@@ -1,0 +1,175 @@
+//! Hardware configuration of the simulated spatial accelerator.
+
+use serde::Serialize;
+
+/// Parameters of the templated flexible spatial accelerator (Fig. 1).
+///
+/// Defaults follow the paper's evaluation setup (Section V-A3): 512 PEs, a 64 B
+/// banked register file per PE, and distribution/reduction bandwidth "sufficient
+/// to ensure that the data is received from (or sent to) all the PEs without any
+/// stalls" — i.e. one element per PE per cycle. The bandwidth case study
+/// (Fig. 16) lowers [`AccelConfig::dist_bandwidth`] / [`AccelConfig::red_bandwidth`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AccelConfig {
+    /// Number of processing elements.
+    pub num_pes: usize,
+    /// Register-file bytes per PE (64 B default).
+    pub rf_bytes_per_pe: usize,
+    /// Bytes per data word (4 for `f32`).
+    pub word_bytes: usize,
+    /// Global-buffer capacity in bytes. The paper sizes it so the evaluation
+    /// batches fit on chip ("there is sufficient on-chip buffering for a batch
+    /// of graph classification datasets and for node classification datasets",
+    /// Section V-A2); shrink it to expose Seq's Fig. 6 DRAM cliff.
+    pub gb_bytes: usize,
+    /// Global-buffer bank size in bytes (1 MB in the paper's energy model).
+    pub gb_bank_bytes: usize,
+    /// Elements per cycle the distribution network can deliver from the global
+    /// buffer to the PEs.
+    pub dist_bandwidth: usize,
+    /// Elements per cycle the reduction/collection network can drain from the PEs
+    /// to the global buffer.
+    pub red_bandwidth: usize,
+    /// Pipeline latency of the distribution network in cycles (single-cycle in
+    /// MAERI, Section V-A1).
+    pub dist_latency: u64,
+    /// Adder-tree latency per level, used as a per-pass pipeline-fill cost when
+    /// reduction is spatial.
+    pub tree_latency_per_level: u64,
+    /// Cost-model ablation knobs (all defaults reproduce the paper's behaviour;
+    /// the `ablation` bench flips them one at a time).
+    pub knobs: ModelKnobs,
+}
+
+/// Ablation switches for the modelling decisions DESIGN.md §3 calls out.
+///
+/// Defaults are the calibrated model; flipping a knob quantifies how much that
+/// decision contributes to the reproduced shapes (see the `ablation` artifact
+/// of the `repro` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ModelKnobs {
+    /// Live partial sums are shared across the `T_red` PEs of a spatial
+    /// reduction group (on = paper behaviour: SP1/SP2 fit, SPhighV spills).
+    pub psum_group_sharing: bool,
+    /// Only the RF-overflow fraction of live psums spills (on); off spills the
+    /// whole working set on any overflow.
+    pub fractional_spill: bool,
+    /// Charge NoC pipeline-fill (tree depth + distribution latency) per pass
+    /// instead of once per phase (off = paper behaviour: the NoCs stream).
+    pub per_pass_fill: bool,
+}
+
+impl Default for ModelKnobs {
+    fn default() -> Self {
+        ModelKnobs { psum_group_sharing: true, fractional_spill: true, per_pass_fill: false }
+    }
+}
+
+impl AccelConfig {
+    /// The paper's evaluation configuration: 512 PEs, 64 B RFs, stall-free NoCs.
+    pub fn paper_default() -> Self {
+        AccelConfig {
+            num_pes: 512,
+            rf_bytes_per_pe: 64,
+            word_bytes: 4,
+            gb_bytes: 64 << 20,
+            gb_bank_bytes: 1 << 20,
+            dist_bandwidth: 512,
+            red_bandwidth: 512,
+            dist_latency: 1,
+            tree_latency_per_level: 1,
+            knobs: ModelKnobs::default(),
+        }
+    }
+
+    /// Same configuration scaled to a different PE count (Fig. 15 uses 2048);
+    /// bandwidth scales with the PE count to stay "sufficient".
+    pub fn with_pes(mut self, num_pes: usize) -> Self {
+        self.num_pes = num_pes;
+        self.dist_bandwidth = num_pes;
+        self.red_bandwidth = num_pes;
+        self
+    }
+
+    /// Same configuration with both NoC bandwidths set to `elems_per_cycle`
+    /// (Fig. 16's "number of elements that can be sent to or received from global
+    /// buffer in parallel").
+    pub fn with_bandwidth(mut self, elems_per_cycle: usize) -> Self {
+        self.dist_bandwidth = elems_per_cycle.max(1);
+        self.red_bandwidth = elems_per_cycle.max(1);
+        self
+    }
+
+    /// Register-file capacity per PE in words.
+    pub fn rf_words(&self) -> usize {
+        self.rf_bytes_per_pe / self.word_bytes
+    }
+
+    /// Full-machine bandwidth share (used by Seq/SP where one phase owns the
+    /// whole accelerator at a time).
+    pub fn full_bandwidth(&self) -> BandwidthShare {
+        BandwidthShare { dist: self.dist_bandwidth, red: self.red_bandwidth }
+    }
+
+    /// Bandwidth share proportional to a PE allocation fraction — PP splits the
+    /// NoC between the two concurrently-running phases ("the bandwidth is shared
+    /// between the two phases", Section V-C3).
+    pub fn bandwidth_fraction(&self, pes_allocated: usize) -> BandwidthShare {
+        let frac = |total: usize| -> usize {
+            if self.num_pes == 0 {
+                return 1;
+            }
+            ((total * pes_allocated) / self.num_pes).max(1)
+        };
+        BandwidthShare { dist: frac(self.dist_bandwidth), red: frac(self.red_bandwidth) }
+    }
+}
+
+/// The NoC bandwidth available to one phase during its execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BandwidthShare {
+    /// Distribution elements per cycle.
+    pub dist: usize,
+    /// Reduction/collection elements per cycle.
+    pub red: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.num_pes, 512);
+        assert_eq!(c.rf_words(), 16);
+        assert_eq!(c.dist_bandwidth, 512);
+        assert_eq!(c.gb_bank_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn with_pes_scales_bandwidth() {
+        let c = AccelConfig::paper_default().with_pes(2048);
+        assert_eq!(c.num_pes, 2048);
+        assert_eq!(c.dist_bandwidth, 2048);
+        assert_eq!(c.red_bandwidth, 2048);
+    }
+
+    #[test]
+    fn with_bandwidth_clamps_to_one() {
+        let c = AccelConfig::paper_default().with_bandwidth(0);
+        assert_eq!(c.dist_bandwidth, 1);
+    }
+
+    #[test]
+    fn bandwidth_fraction_is_proportional() {
+        let c = AccelConfig::paper_default();
+        let half = c.bandwidth_fraction(256);
+        assert_eq!(half.dist, 256);
+        assert_eq!(half.red, 256);
+        let quarter = c.bandwidth_fraction(128);
+        assert_eq!(quarter.dist, 128);
+        // Never zero even for tiny allocations.
+        assert_eq!(c.bandwidth_fraction(0).dist, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Buffer-access energy model (Section V-B2, after Dally et al.).
+
+use serde::Serialize;
+
+/// Per-access energies for the on-chip storage hierarchy.
+///
+/// The paper assumes 1.046 pJ per global-buffer access (1 MB bank) and 0.053 pJ
+/// per PE register-file access. PP's dedicated intermediate partition is smaller
+/// than a full GB bank, and "the energy of memory accesses from smaller
+/// intermediate buffer partition is less" (Section V-B2) — we scale the access
+/// energy with the square root of the partition capacity (first-order SRAM
+/// bitline/wordline scaling), clamped between the RF and GB energies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EnergyModel {
+    /// Energy per global-buffer access in pJ.
+    pub gb_access_pj: f64,
+    /// Energy per register-file access in pJ.
+    pub rf_access_pj: f64,
+    /// Energy per off-chip DRAM word access in pJ. Fig. 6: when the Seq
+    /// intermediate exceeds the on-chip buffers "it needs to move back and
+    /// forth between memory which adds energy costs". ~200 pJ/word is the
+    /// order of magnitude Dally et al. give for LPDDR-class DRAM (two orders
+    /// above the 1 MB SRAM bank).
+    pub dram_access_pj: f64,
+    /// Reference bank capacity for `gb_access_pj`, in bytes.
+    pub gb_bank_bytes: usize,
+}
+
+impl EnergyModel {
+    /// The paper's constants.
+    pub fn paper_default() -> Self {
+        EnergyModel {
+            gb_access_pj: 1.046,
+            rf_access_pj: 0.053,
+            dram_access_pj: 200.0,
+            gb_bank_bytes: 1 << 20,
+        }
+    }
+
+    /// Energy of one access to an SRAM partition of `capacity_bytes`, in pJ.
+    pub fn buffer_access_pj(&self, capacity_bytes: usize) -> f64 {
+        if capacity_bytes == 0 {
+            return self.rf_access_pj;
+        }
+        let scaled = self.gb_access_pj * (capacity_bytes as f64 / self.gb_bank_bytes as f64).sqrt();
+        scaled.clamp(self.rf_access_pj, self.gb_access_pj)
+    }
+
+    /// Total energy in pJ for a number of GB accesses.
+    pub fn gb_pj(&self, accesses: u64) -> f64 {
+        accesses as f64 * self.gb_access_pj
+    }
+
+    /// Total energy in pJ for a number of RF accesses.
+    pub fn rf_pj(&self, accesses: u64) -> f64 {
+        accesses as f64 * self.rf_access_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let e = EnergyModel::paper_default();
+        assert!((e.gb_access_pj - 1.046).abs() < 1e-12);
+        assert!((e.rf_access_pj - 0.053).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_energy_scales_with_sqrt_capacity() {
+        let e = EnergyModel::paper_default();
+        // Full bank = full energy.
+        assert!((e.buffer_access_pj(1 << 20) - 1.046).abs() < 1e-9);
+        // Quarter bank = half energy.
+        assert!((e.buffer_access_pj(1 << 18) - 0.523).abs() < 1e-9);
+        // Monotone in capacity.
+        assert!(e.buffer_access_pj(1 << 16) < e.buffer_access_pj(1 << 18));
+    }
+
+    #[test]
+    fn partition_energy_is_clamped() {
+        let e = EnergyModel::paper_default();
+        // Tiny partitions never dip below RF energy.
+        assert!((e.buffer_access_pj(4) - e.rf_access_pj).abs() < 1e-12);
+        assert!((e.buffer_access_pj(0) - e.rf_access_pj).abs() < 1e-12);
+        // Oversized partitions never exceed GB energy.
+        assert!((e.buffer_access_pj(1 << 24) - e.gb_access_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let e = EnergyModel::paper_default();
+        assert!((e.gb_pj(1000) - 1046.0).abs() < 1e-9);
+        assert!((e.rf_pj(1000) - 53.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Phase engines: tile-step-accurate simulation of one GNN phase.
+//!
+//! Both engines walk the phase's loop nest at **pass** granularity — one full
+//! sweep of the innermost temporal loop at fixed outer/middle tile indices. Per
+//! pass they account, in closed form:
+//!
+//! * compute cycles — one MAC per PE per cycle, so a pass of `n` innermost tiles
+//!   takes `n` compute cycles; Aggregation rows inside a spatial vertex tile are
+//!   **tile-synchronized**, so a pass takes `ceil(max_degree_in_tile / T_N)`
+//!   steps — the paper's "evil row" pathology emerges from this;
+//! * global-buffer traffic per operand class — streaming operands are re-fetched
+//!   per innermost step, stationary operands reloaded only when their tile
+//!   indices change, multicast copies counted as RF writes;
+//! * partial-sum placement — when the reduction dimension is not innermost, the
+//!   live psums of one accumulation round either fit the RF
+//!   ([`crate::RfBudget`]) or spill, adding GB psum reads/writes per revisit;
+//! * bandwidth stalls — a pass cannot finish faster than its GB reads divide by
+//!   the distribution bandwidth or its writes by the collection bandwidth;
+//! * chunk timestamps — cumulative cycle marks each time `Pel` elements of the
+//!   intermediate are produced (first phase) or consumed (second phase), which
+//!   the inter-phase cost model turns into the PP pipeline schedule.
+
+mod gemm;
+mod spmm;
+
+pub use gemm::{simulate_gemm, GemmDims};
+pub use spmm::{simulate_spmm, SpmmWorkload};
+
+use serde::Serialize;
+
+use crate::{BandwidthShare, OperandClass};
+
+/// Operand-class assignment for one phase run, deciding which Fig. 13 buckets
+/// the traffic lands in. The assignment depends on the phase order: e.g. in AC
+/// the Combination's streaming input is the `Intermediate`; in CA it is the raw
+/// `Input` features and its output is the `Intermediate`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OperandClasses {
+    /// The dense matrix streamed as the "A" operand (features or intermediate).
+    pub a_input: OperandClass,
+    /// The second operand (adjacency for SpMM, weights for GEMM).
+    pub b_input: OperandClass,
+    /// The produced matrix (intermediate or final output).
+    pub output: OperandClass,
+}
+
+impl OperandClasses {
+    /// Aggregation in AC order: reads features, writes the intermediate.
+    pub fn aggregation_ac() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Input,
+            b_input: OperandClass::Adjacency,
+            output: OperandClass::Intermediate,
+        }
+    }
+
+    /// Aggregation in CA order: reads the intermediate, writes the final output.
+    pub fn aggregation_ca() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Intermediate,
+            b_input: OperandClass::Adjacency,
+            output: OperandClass::Output,
+        }
+    }
+
+    /// Combination in AC order: reads the intermediate, writes the final output.
+    pub fn combination_ac() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Intermediate,
+            b_input: OperandClass::Weight,
+            output: OperandClass::Output,
+        }
+    }
+
+    /// Combination in CA order: reads features, writes the intermediate.
+    pub fn combination_ca() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Input,
+            b_input: OperandClass::Weight,
+            output: OperandClass::Intermediate,
+        }
+    }
+}
+
+/// Which side of the intermediate matrix chunk timestamps track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ChunkSide {
+    /// This phase produces the intermediate: mark every `pel` elements written.
+    Produce,
+    /// This phase consumes the intermediate: mark every `pel` elements whose
+    /// processing completes.
+    Consume,
+}
+
+/// Chunk-timestamp request: emit a cumulative cycle mark per `pel` elements.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ChunkSpec {
+    /// Producer or consumer accounting.
+    pub side: ChunkSide,
+    /// Elements per chunk (`Pel`, Section IV-D).
+    pub pel: u64,
+}
+
+/// Per-run engine options.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// NoC bandwidth available to this phase.
+    pub bandwidth: BandwidthShare,
+    /// The `a_input` operand is already resident in the PE register files
+    /// (SP-Optimized consumer): no GB reads, no distribution stalls for it.
+    pub input_resident: bool,
+    /// The produced matrix stays in the PE register files (SP-Optimized
+    /// producer): no GB writes, no collection stalls for it.
+    pub output_stays_local: bool,
+    /// Chunk-timestamp request.
+    pub chunk: Option<ChunkSpec>,
+}
+
+impl EngineOptions {
+    /// Plain run: full bandwidth share given, everything through the GB, no
+    /// chunk marks.
+    pub fn plain(bandwidth: BandwidthShare) -> Self {
+        EngineOptions { bandwidth, input_resident: false, output_stays_local: false, chunk: None }
+    }
+}
+
+/// Tracks progress toward chunk boundaries and records cumulative cycle marks.
+#[derive(Debug)]
+pub(crate) struct ChunkTracker {
+    pel: u64,
+    total: u64,
+    progress: u64,
+    emitted: u64,
+    marks: Vec<u64>,
+}
+
+impl ChunkTracker {
+    pub(crate) fn new(spec: Option<&ChunkSpec>, total_elems: u64) -> Option<Self> {
+        let spec = spec?;
+        let pel = spec.pel.max(1);
+        let chunks = total_elems.div_ceil(pel).max(1);
+        Some(ChunkTracker { pel, total: total_elems, progress: 0, emitted: 0, marks: Vec::with_capacity(chunks as usize) })
+    }
+
+    /// Records `elems` of progress at cumulative time `now`.
+    pub(crate) fn advance(&mut self, elems: u64, now: u64) {
+        self.progress += elems;
+        while (self.emitted + 1) * self.pel <= self.progress {
+            self.marks.push(now);
+            self.emitted += 1;
+        }
+    }
+
+    /// Closes the tracker at final time `now`, emitting the trailing partial
+    /// chunk (and any rounding shortfall) so the last mark equals the phase's
+    /// total cycles.
+    pub(crate) fn finish(mut self, now: u64) -> Vec<u64> {
+        let expected = self.total.div_ceil(self.pel).max(1);
+        while (self.marks.len() as u64) < expected {
+            self.marks.push(now);
+        }
+        if let Some(last) = self.marks.last_mut() {
+            *last = now;
+        }
+        self.marks
+    }
+}
+
+/// Actual size of tile `i` when dividing `extent` into tiles of `tile`.
+#[inline]
+pub(crate) fn actual_tile(extent: usize, tile: usize, i: usize) -> usize {
+    let start = i * tile;
+    tile.min(extent - start)
+}
+
+/// Combines per-pass costs into cycles: compute throughput vs distribution and
+/// collection bandwidth, plus fixed per-pass overheads (tree fill, NoC latency)
+/// and a *serial* preload of stationary operands — streaming cannot start until
+/// the pinned tile sits in the RFs, which is the `t_load` that SP-Optimized
+/// avoids (Table III). Returns `(pass_cycles, stall_cycles)`.
+#[inline]
+pub(crate) fn pass_timing(
+    compute: u64,
+    stream_reads: u64,
+    gb_writes: u64,
+    preload_elems: u64,
+    bw: BandwidthShare,
+    overhead: u64,
+) -> (u64, u64) {
+    let preload = crate::noc::distribution_cycles(preload_elems, bw.dist);
+    let dist = crate::noc::distribution_cycles(stream_reads, bw.dist);
+    let coll = crate::noc::collection_cycles(gb_writes, bw.red);
+    let body = compute.max(dist).max(coll);
+    (preload + body + overhead, preload + body - compute.min(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_tracker_marks_boundaries() {
+        let spec = ChunkSpec { side: ChunkSide::Produce, pel: 10 };
+        let mut t = ChunkTracker::new(Some(&spec), 25).unwrap();
+        t.advance(6, 5);
+        t.advance(6, 9); // 12 ≥ 10 → mark at 9
+        t.advance(10, 20); // 22 ≥ 20 → mark at 20
+        let marks = t.finish(31);
+        assert_eq!(marks, vec![9, 20, 31]); // ceil(25/10) = 3 chunks
+    }
+
+    #[test]
+    fn chunk_tracker_handles_multi_crossings() {
+        let spec = ChunkSpec { side: ChunkSide::Consume, pel: 5 };
+        let mut t = ChunkTracker::new(Some(&spec), 20).unwrap();
+        t.advance(20, 7); // all four chunks complete at once
+        let marks = t.finish(7);
+        assert_eq!(marks, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn chunk_tracker_none_without_spec() {
+        assert!(ChunkTracker::new(None, 100).is_none());
+    }
+
+    #[test]
+    fn actual_tile_remainders() {
+        assert_eq!(actual_tile(10, 4, 0), 4);
+        assert_eq!(actual_tile(10, 4, 1), 4);
+        assert_eq!(actual_tile(10, 4, 2), 2);
+    }
+
+    #[test]
+    fn pass_timing_stall_accounting() {
+        let bw = BandwidthShare { dist: 10, red: 10 };
+        // Compute-bound: 8 cycles compute, 40 reads → 4 cycles dist → no stall.
+        let (c, s) = pass_timing(8, 40, 0, 0, bw, 2);
+        assert_eq!((c, s), (10, 0));
+        // Bandwidth-bound: 100 reads → 10 cycles > 8 compute → 2 stall cycles.
+        let (c, s) = pass_timing(8, 100, 0, 0, bw, 2);
+        assert_eq!((c, s), (12, 2));
+        // Collection-bound.
+        let (c, s) = pass_timing(1, 0, 55, 0, bw, 0);
+        assert_eq!((c, s), (6, 5));
+        // Serial preload adds on top of the overlapped body.
+        let (c, s) = pass_timing(8, 40, 0, 25, bw, 2);
+        assert_eq!((c, s), (13, 3));
+    }
+}

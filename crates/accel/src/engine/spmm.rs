@@ -1,0 +1,655 @@
+//! The sparse-SpMM phase engine (Aggregation over a CSR adjacency).
+
+use omega_dataflow::{Dim, IntraTiling, Phase};
+
+use super::{actual_tile, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses};
+use crate::{AccelConfig, AccessCounters, OperandClass, PhaseStats, RfBudget};
+
+/// The sparse workload of an Aggregation phase: the per-row stored non-zero
+/// counts of the CSR adjacency (degrees, including self loops) and the width of
+/// the dense operand streamed per neighbour (`F` in AC, `G` in CA).
+#[derive(Debug, Clone)]
+pub struct SpmmWorkload<'a> {
+    /// Stored non-zeros per adjacency row.
+    pub degrees: &'a [usize],
+    /// Dense feature width.
+    pub feature_width: usize,
+}
+
+impl SpmmWorkload<'_> {
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Maximum row degree.
+    pub fn max_degree(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Degree summary supporting O(log n) "edges active in neighbour slice `[lo, hi)`"
+/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`.
+struct DegreeSummary {
+    sorted: Vec<u32>,
+    prefix: Vec<u64>, // prefix[i] = sum of sorted[..i]
+}
+
+impl DegreeSummary {
+    fn new(degrees: impl Iterator<Item = usize>) -> Self {
+        let mut sorted: Vec<u32> = degrees.map(|d| d as u32).collect();
+        sorted.sort_unstable();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0u64);
+        for &d in &sorted {
+            prefix.push(prefix.last().unwrap() + d as u64);
+        }
+        DegreeSummary { sorted, prefix }
+    }
+
+    /// Σ_v min(deg_v, x).
+    fn sum_min(&self, x: usize) -> u64 {
+        let idx = self.sorted.partition_point(|&d| (d as usize) < x);
+        self.prefix[idx] + (self.sorted.len() - idx) as u64 * x as u64
+    }
+
+    /// Edge visits whose within-row index falls in `[lo, hi)`.
+    fn active(&self, lo: usize, hi: usize) -> u64 {
+        self.sum_min(hi) - self.sum_min(lo)
+    }
+
+    /// Rows with degree > k.
+    fn count_gt(&self, k: usize) -> u64 {
+        (self.sorted.len() - self.sorted.partition_point(|&d| d as usize <= k)) as u64
+    }
+
+    fn max(&self) -> usize {
+        self.sorted.last().map_or(0, |&d| d as usize)
+    }
+}
+
+/// Simulates the Aggregation phase under a concrete tiling.
+///
+/// Loop-order support (see `DESIGN.md` §3): the row-major orders `VFN`, `FVN`,
+/// `VNF` — used by every Table V preset and every AC pipelined dataflow — are
+/// modelled exactly; `FNV` (column granularity) uses a degree-histogram model of
+/// slice activity; the `N`-outermost orders (`NVF`, `NFV`, legal only under Seq
+/// for AC) use the same histogram model with partial sums conservatively spilled
+/// per slice.
+///
+/// Vertex tiles are **tile-synchronized**: a spatial tile of `T_V` rows advances
+/// at `ceil(max_degree_in_tile / T_N)` steps, which is what makes a single dense
+/// "evil row" dominate runtime when `T_V` is very large (Section V-B1).
+pub fn simulate_spmm(
+    wl: &SpmmWorkload<'_>,
+    tiling: &IntraTiling,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+) -> PhaseStats {
+    assert_eq!(tiling.phase(), Phase::Aggregation, "SpMM engine needs an Aggregation tiling");
+    let v = wl.degrees.len();
+    let f = wl.feature_width;
+    let counters = AccessCounters::default();
+    if v == 0 || f == 0 || wl.nnz() == 0 {
+        return PhaseStats {
+            cycles: 0,
+            stall_cycles: 0,
+            macs: 0,
+            counters,
+            pe_footprint: tiling.pe_footprint(),
+            chunk_marks: Vec::new(),
+            psum_spilled: false,
+        };
+    }
+
+    let max_deg = wl.max_degree();
+    let tv = tiling.tile_of(Dim::V).min(v);
+    let tf = tiling.tile_of(Dim::F).min(f);
+    let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
+    let n_v = v.div_ceil(tv);
+    let n_f = f.div_ceil(tf);
+
+    // Per-vertex-tile degree summaries (row-major orders) and the global summary
+    // (histogram orders).
+    let tile_summaries: Vec<DegreeSummary> = (0..n_v)
+        .map(|i| {
+            let lo = i * tv;
+            let hi = ((i + 1) * tv).min(v);
+            DegreeSummary::new(wl.degrees[lo..hi].iter().copied())
+        })
+        .collect();
+    let global = DegreeSummary::new(wl.degrees.iter().copied());
+
+    let order = tiling.order();
+    let pos_n = order.position(Dim::N).expect("N is an Aggregation dim");
+    let pos_v = order.position(Dim::V).expect("V is an Aggregation dim");
+
+    // Partial-sum placement: with N innermost, the output tile accumulates in the
+    // PE MAC registers. With N in the middle, each PE revisits its F (or V)
+    // slice once per neighbour slice → live psums per PE = temporal revisits of
+    // the dims inner to N. With N outermost, everything stays live.
+    let revisits: u64 = [Dim::V, Dim::F]
+        .iter()
+        .filter(|&&d| order.position(d).expect("dim present") > pos_n)
+        .map(|&d| match d {
+            Dim::V => n_v as u64,
+            _ => n_f as u64,
+        })
+        .product();
+    // Live psums are shared across the T_N PEs of each spatial reduction group.
+    let share = if cfg.knobs.psum_group_sharing { tn.max(1) as u64 } else { 1 };
+    let live_psums_per_pe = revisits.div_ceil(share);
+    let rf = RfBudget::new(cfg.rf_words(), 1);
+    let spill = pos_n < 2 && !rf.psums_fit(live_psums_per_pe as usize);
+    // Only the overflow fraction of the live psums spills to the GB
+    // (ratio carried into the walk state below).
+    let spill_num = if cfg.knobs.fractional_spill {
+        live_psums_per_pe.saturating_sub(rf.psum_capacity() as u64)
+    } else {
+        live_psums_per_pe
+    };
+
+    let total_out = (v as u64) * (f as u64);
+    let total_visits = wl.nnz() * f as u64;
+    let chunk_total = match opts.chunk.map(|c| c.side) {
+        Some(ChunkSide::Produce) => total_out,
+        Some(ChunkSide::Consume) => total_visits,
+        None => 0,
+    };
+    let chunks = ChunkTracker::new(opts.chunk.as_ref(), chunk_total);
+
+    // Pipeline-fill overheads are paid once per phase (the NoCs stream across
+    // passes), not per pass.
+    let tree_overhead = if tn > 1 { crate::tree_latency(tn, cfg.tree_latency_per_level) } else { 0 };
+    let (phase_fill, pass_fill) = if cfg.knobs.per_pass_fill {
+        (0, tree_overhead + cfg.dist_latency)
+    } else {
+        (tree_overhead + cfg.dist_latency, 0)
+    };
+
+    let mut st = Walk {
+        counters,
+        cycles: 0,
+        stall_cycles: 0,
+        macs: 0,
+        spilled: false,
+        chunks,
+        classes: *classes,
+        opts: *opts,
+        overhead: pass_fill,
+        tn: tn as u64,
+        tf: tf as u64,
+        spill_ratio: (spill_num, live_psums_per_pe.max(1)),
+    };
+
+    match (pos_v, pos_n) {
+        // --- exact row-major orders ---------------------------------------------
+        (0, 2) | (1, 2) => {
+            // VFN / FVN: passes over (v-tile × f-tile); reduction innermost.
+            for (iv, summary) in tile_summaries.iter().enumerate() {
+                let avv = actual_tile(v, tv, iv) as u64;
+                let sum = summary.sum_min(usize::MAX >> 1);
+                let steps = (summary.max() as u64).div_ceil(st.tn);
+                for if_ in 0..n_f {
+                    let af = actual_tile(f, tf, if_) as u64;
+                    st.reduction_innermost_pass(steps, sum, avv, af);
+                }
+            }
+        }
+        (0, 1) => {
+            // VNF: per v-tile, neighbour slices in the middle, F innermost.
+            for (iv, summary) in tile_summaries.iter().enumerate() {
+                let avv = actual_tile(v, tv, iv) as u64;
+                let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    let active = summary.active(lo, hi);
+                    st.reduction_middle_pass(
+                        n_f as u64,
+                        active * f as u64,
+                        avv,
+                        f as u64,
+                        in_ as u64,
+                        n_red as u64,
+                        active,
+                        spill,
+                    );
+                }
+            }
+        }
+        (2, 1) => {
+            // FNV: column granularity — per f-tile, global neighbour slices,
+            // vertices innermost (histogram model).
+            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
+            for if_ in 0..n_f {
+                let af = actual_tile(f, tf, if_) as u64;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    let active = global.active(lo, hi);
+                    let rows_active = global.count_gt(lo);
+                    let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                    st.histogram_pass(
+                        rows_active.div_ceil(tv as u64).max(1),
+                        active,
+                        af,
+                        rows_active,
+                        rows_finishing,
+                        in_ as u64,
+                        spill,
+                    );
+                }
+            }
+        }
+        // --- N outermost (Seq-only for AC): histogram model ----------------------
+        (1, 0) => {
+            // NVF: per neighbour slice, vertex tiles in the middle (each
+            // contributing its own active edges for the slice), F innermost.
+            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
+            for in_ in 0..n_red {
+                let lo = in_ * tn;
+                let hi = lo + tn;
+                for summary in &tile_summaries {
+                    let active = summary.active(lo, hi);
+                    let rows_active = summary.count_gt(lo);
+                    let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
+                    st.histogram_pass(
+                        n_f as u64,
+                        active,
+                        f as u64,
+                        rows_active,
+                        rows_finishing,
+                        in_ as u64,
+                        spill,
+                    );
+                }
+            }
+        }
+        (2, 0) => {
+            // NFV: per neighbour slice, feature tiles in the middle (each
+            // revisiting the slice's active edges over its columns), V innermost.
+            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
+            for in_ in 0..n_red {
+                let lo = in_ * tn;
+                let hi = lo + tn;
+                let active = global.active(lo, hi);
+                let rows_active = global.count_gt(lo);
+                let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                for if_ in 0..n_f {
+                    let af = actual_tile(f, tf, if_) as u64;
+                    st.histogram_pass(
+                        rows_active.div_ceil(tv as u64).max(1),
+                        active,
+                        af,
+                        rows_active,
+                        rows_finishing,
+                        in_ as u64,
+                        spill,
+                    );
+                }
+            }
+        }
+        _ => unreachable!("all (pos_v, pos_n) combinations covered"),
+    }
+
+    let cycles = if st.cycles > 0 { st.cycles + phase_fill } else { 0 };
+    let chunk_marks = st.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
+    PhaseStats {
+        cycles,
+        stall_cycles: st.stall_cycles,
+        macs: st.macs,
+        counters: st.counters,
+        pe_footprint: tiling.pe_footprint(),
+        chunk_marks,
+        psum_spilled: st.spilled,
+    }
+}
+
+/// Mutable walk state shared by the pass helpers.
+struct Walk {
+    counters: AccessCounters,
+    cycles: u64,
+    stall_cycles: u64,
+    macs: u64,
+    spilled: bool,
+    chunks: Option<ChunkTracker>,
+    classes: OperandClasses,
+    opts: EngineOptions,
+    overhead: u64,
+    tn: u64,
+    tf: u64,
+    /// Numerator/denominator of the psum overflow fraction.
+    spill_ratio: (u64, u64),
+}
+
+impl Walk {
+    /// Charges the dense-input and adjacency traffic common to every pass that
+    /// visits `edge_visits` edges over `width` feature columns of `rows` rows.
+    fn charge_inputs(&mut self, edge_visits: u64, width: u64, rows: u64) -> u64 {
+        let feat = edge_visits * width;
+        let adj = 2 * edge_visits + rows; // column indices + values + row pointers
+        let mut gb = adj;
+        self.counters.read(self.classes.b_input, adj);
+        if self.opts.input_resident {
+            // CA SP-Optimized: the intermediate rows are already local.
+        } else {
+            self.counters.read(self.classes.a_input, feat);
+            gb += feat;
+        }
+        // Multicast: each adjacency value fans out across the spatial F lanes;
+        // features land in exactly one PE each.
+        self.counters.rf_writes += feat + edge_visits * self.tf;
+        gb
+    }
+
+    /// Pass with `N` innermost (VFN / FVN): reduction completes in-pass.
+    fn reduction_innermost_pass(&mut self, steps: u64, edge_visits: u64, rows: u64, width: u64) {
+        let macs = edge_visits * width;
+        self.macs += macs;
+        self.counters.rf_reads += 2 * macs;
+        let updates = macs.div_ceil(self.tn);
+        self.counters.rf_reads += updates;
+        self.counters.rf_writes += updates;
+        let mut gb_writes = 0;
+        let out = rows * width;
+        if self.opts.output_stays_local {
+            self.counters.rf_writes += out;
+        } else {
+            self.counters.write(self.classes.output, out);
+            gb_writes = out;
+        }
+        let gb_reads = self.charge_inputs(edge_visits, width, rows);
+        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
+        self.cycles += pass;
+        self.stall_cycles += stall;
+        self.advance_chunks(out, macs);
+    }
+
+    /// Pass with `N` in the middle (VNF): one neighbour slice, F innermost.
+    #[allow(clippy::too_many_arguments)]
+    fn reduction_middle_pass(
+        &mut self,
+        steps: u64,
+        macs: u64,
+        rows: u64,
+        width: u64,
+        red_idx: u64,
+        n_red: u64,
+        edge_visits: u64,
+        spill: bool,
+    ) {
+        self.macs += macs;
+        self.counters.rf_reads += 2 * macs;
+        let touched = rows * width;
+        let spilled = touched * self.spill_ratio.0 / self.spill_ratio.1;
+        let mut gb_writes = 0;
+        if spill {
+            self.spilled = true;
+            if red_idx > 0 {
+                self.counters.read(OperandClass::Psum, spilled);
+            }
+            if red_idx < n_red - 1 {
+                self.counters.write(OperandClass::Psum, spilled);
+                gb_writes += spilled;
+            }
+        } else {
+            let updates = macs.div_ceil(self.tn);
+            self.counters.rf_reads += updates;
+            self.counters.rf_writes += updates;
+        }
+        let mut produced = 0;
+        if red_idx == n_red - 1 {
+            if self.opts.output_stays_local {
+                self.counters.rf_writes += touched;
+            } else {
+                self.counters.write(self.classes.output, touched);
+                gb_writes += touched;
+            }
+            produced = touched;
+        }
+        let mut gb_reads = self.charge_inputs(edge_visits, width, rows);
+        if spill && red_idx > 0 {
+            gb_reads += spilled;
+        }
+        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
+        self.cycles += pass;
+        self.stall_cycles += stall;
+        self.advance_chunks(produced, macs);
+    }
+
+    /// Histogram-modelled pass (FNV / NVF / NFV): one global neighbour slice.
+    #[allow(clippy::too_many_arguments)]
+    fn histogram_pass(
+        &mut self,
+        steps: u64,
+        edge_visits: u64,
+        width: u64,
+        rows_active: u64,
+        rows_finishing: u64,
+        red_idx: u64,
+        spill: bool,
+    ) {
+        let macs = edge_visits * width;
+        self.macs += macs;
+        self.counters.rf_reads += 2 * macs;
+        let mut gb_writes = 0;
+        if spill {
+            self.spilled = true;
+            let live = self.spill_scale(rows_active.saturating_sub(rows_finishing) * width);
+            if red_idx > 0 {
+                self.counters.read(OperandClass::Psum, self.spill_scale(rows_active * width));
+            }
+            if live > 0 {
+                self.counters.write(OperandClass::Psum, live);
+                gb_writes += live;
+            }
+        } else {
+            let updates = macs.div_ceil(self.tn);
+            self.counters.rf_reads += updates;
+            self.counters.rf_writes += updates;
+        }
+        let out = rows_finishing * width;
+        if out > 0 {
+            if self.opts.output_stays_local {
+                self.counters.rf_writes += out;
+            } else {
+                self.counters.write(self.classes.output, out);
+                gb_writes += out;
+            }
+        }
+        let mut gb_reads = self.charge_inputs(edge_visits, width, rows_active);
+        if spill && red_idx > 0 {
+            gb_reads += self.spill_scale(rows_active * width);
+        }
+        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
+        self.cycles += pass;
+        self.stall_cycles += stall;
+        self.advance_chunks(out, macs);
+    }
+
+    fn spill_scale(&self, x: u64) -> u64 {
+        x * self.spill_ratio.0 / self.spill_ratio.1
+    }
+
+    fn advance_chunks(&mut self, produced: u64, visits: u64) {
+        let Some(t) = self.chunks.as_mut() else { return };
+        match self.opts.chunk.expect("tracker implies spec").side {
+            ChunkSide::Produce => {
+                if produced > 0 {
+                    t.advance(produced, self.cycles);
+                }
+            }
+            ChunkSide::Consume => t.advance(visits, self.cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BandwidthShare;
+    use omega_dataflow::LoopOrder;
+
+    fn tiling(order: &str, tiles: [usize; 3]) -> IntraTiling {
+        let d: Vec<Dim> = order.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        IntraTiling::new(
+            Phase::Aggregation,
+            LoopOrder::new(Phase::Aggregation, [d[0], d[1], d[2]]).unwrap(),
+            tiles,
+        )
+    }
+
+    fn run(degrees: &[usize], f: usize, t: &IntraTiling) -> PhaseStats {
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees, feature_width: f };
+        simulate_spmm(&wl, t, &cfg, &OperandClasses::aggregation_ac(), &EngineOptions::plain(cfg.full_bandwidth()))
+    }
+
+    #[test]
+    fn mac_count_equals_edge_visits_times_features() {
+        let degrees = [3usize, 1, 5, 0, 2];
+        let e: u64 = 11;
+        for (order, tiles) in [("VFN", [2, 4, 1]), ("FVN", [2, 4, 1]), ("VNF", [2, 1, 4]), ("FNV", [2, 2, 4])] {
+            let s = run(&degrees, 8, &tiling(order, tiles));
+            assert_eq!(s.macs, e * 8, "{order}");
+        }
+    }
+
+    #[test]
+    fn evil_row_dominates_tile_synchronized_cycles() {
+        // 63 rows of degree 2 plus one "evil" row of degree 200 in one big tile:
+        // the tile advances at the evil row's pace.
+        let mut degrees = vec![2usize; 63];
+        degrees.push(200);
+        let wide = run(&degrees, 16, &tiling("VFN", [64, 8, 1]));
+        // Per (v,f) pass: 200 steps; 2 f-tiles → ≥ 400 compute cycles.
+        assert!(wide.cycles >= 400, "cycles = {}", wide.cycles);
+        // Splitting vertices into tiles of 8 isolates the evil row.
+        let narrow = run(&degrees, 16, &tiling("VFN", [8, 8, 1]));
+        // 7 tiles × 2 steps + 1 tile × 200 steps, × 2 f-tiles ≈ 428 ≥ but per-pass
+        // overheads differ; the key property: narrow does *more total passes* yet
+        // comparable cycles, and per-PE efficiency is better.
+        assert!(narrow.compute_utilisation() > wide.compute_utilisation());
+    }
+
+    #[test]
+    fn spatial_n_reduces_cycles_on_dense_graphs() {
+        // Spending PE budget on N (spatial aggregation, Seq2/PP2/PP4 style) cuts
+        // the per-row reduction steps ~T_N-fold on densely connected graphs.
+        let degrees = vec![64usize; 32];
+        let temporal = run(&degrees, 16, &tiling("VFN", [8, 8, 1]));
+        let spatial = run(&degrees, 16, &tiling("VFN", [8, 8, 8]));
+        assert!(
+            spatial.cycles * 4 < temporal.cycles,
+            "spatial {} vs temporal {}",
+            spatial.cycles,
+            temporal.cycles
+        );
+    }
+
+    #[test]
+    fn output_written_once_per_element() {
+        let degrees = [2usize, 3, 1, 4];
+        let s = run(&degrees, 8, &tiling("VFN", [2, 4, 1]));
+        assert_eq!(s.counters.gb_writes[OperandClass::Intermediate.idx()], 4 * 8);
+    }
+
+    #[test]
+    fn input_reads_scale_with_edges_and_features() {
+        let degrees = [2usize, 3, 1, 4];
+        let s = run(&degrees, 8, &tiling("VFN", [2, 4, 1]));
+        assert_eq!(s.counters.gb_reads[OperandClass::Input.idx()], 10 * 8);
+        // Adjacency traffic: 2 per edge visit per f-tile + row pointers.
+        let adj = s.counters.gb_reads[OperandClass::Adjacency.idx()];
+        assert!(adj >= 2 * 10 * 2, "adj = {adj}"); // 2 f-tiles re-walk the CSR
+    }
+
+    #[test]
+    fn vnf_spills_when_f_revisits_overflow_rf() {
+        // n_f = F/T_F = 64 revisits > 13 budget → spill.
+        let degrees = vec![6usize; 16];
+        let s = run(&degrees, 64, &tiling("VNF", [4, 1, 1]));
+        assert!(s.psum_spilled);
+        assert!(s.counters.gb_of(OperandClass::Psum) > 0);
+    }
+
+    #[test]
+    fn vnf_no_spill_with_few_f_tiles() {
+        let degrees = vec![6usize; 16];
+        let s = run(&degrees, 64, &tiling("VNF", [4, 1, 16]));
+        // n_f = 4 ≤ 13 → fits.
+        assert!(!s.psum_spilled);
+        assert_eq!(s.counters.gb_of(OperandClass::Psum), 0);
+    }
+
+    #[test]
+    fn output_stays_local_suppresses_gb_writes() {
+        let degrees = [2usize, 3, 1, 4];
+        let t = tiling("VFN", [2, 4, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees: &degrees, feature_width: 8 };
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.output_stays_local = true;
+        let s = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(), &opts);
+        assert_eq!(s.counters.total_gb_writes(), 0);
+    }
+
+    #[test]
+    fn produce_chunks_align_with_rows() {
+        let degrees = vec![3usize; 16];
+        let t = tiling("VFN", [4, 8, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees: &degrees, feature_width: 8 };
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.chunk = Some(crate::engine::ChunkSpec { side: ChunkSide::Produce, pel: 4 * 8 });
+        let s = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(), &opts);
+        assert_eq!(s.chunk_marks.len(), 4); // 16 rows / 4-row chunks
+        assert_eq!(*s.chunk_marks.last().unwrap(), s.cycles);
+        assert!(s.chunk_marks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bandwidth_throttling_stalls_aggregation() {
+        let degrees = vec![32usize; 64];
+        let t = tiling("VFN", [8, 16, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees: &degrees, feature_width: 32 };
+        let fast = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(),
+            &EngineOptions::plain(BandwidthShare { dist: 512, red: 512 }));
+        let slow = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(),
+            &EngineOptions::plain(BandwidthShare { dist: 32, red: 32 }));
+        assert!(slow.cycles > fast.cycles);
+        assert!(slow.stall_cycles > 0);
+    }
+
+    #[test]
+    fn empty_graph_is_free() {
+        let s = run(&[], 8, &tiling("VFN", [2, 4, 1]));
+        assert_eq!(s.cycles, 0);
+        let s = run(&[0, 0, 0], 8, &tiling("VFN", [2, 4, 1]));
+        assert_eq!(s.cycles, 0);
+    }
+
+    #[test]
+    fn n_outer_orders_produce_consistent_macs() {
+        let degrees = [3usize, 1, 5, 0, 2];
+        for order in ["NVF", "NFV"] {
+            let s = run(&degrees, 8, &tiling(order, [2, 2, 2]));
+            assert_eq!(s.macs, 11 * 8, "{order}");
+            assert!(s.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn degree_summary_queries() {
+        let d = DegreeSummary::new([3usize, 1, 5, 0, 2].into_iter());
+        assert_eq!(d.sum_min(usize::MAX >> 1), 11);
+        assert_eq!(d.active(0, 2), (2 + 1 + 2) + 2); // min(deg,2) each
+        assert_eq!(d.active(2, 4), ((3 - 2) + 2));
+        assert_eq!(d.count_gt(2), 2);
+        assert_eq!(d.count_gt(0), 4);
+        assert_eq!(d.max(), 5);
+    }
+}

@@ -1,0 +1,59 @@
+//! Network-on-chip timing helpers: distribution, collection, reduction tree.
+
+/// Cycles to deliver `elems` operand elements through a distribution network of
+/// `bandwidth` elements/cycle. With the paper's default ("sufficient") bandwidth
+/// this returns a number ≤ the compute cycles and never stalls the array.
+#[inline]
+pub fn distribution_cycles(elems: u64, bandwidth: usize) -> u64 {
+    elems.div_ceil(bandwidth.max(1) as u64)
+}
+
+/// Cycles to drain `elems` output elements through the collection/reduction
+/// network of `bandwidth` elements/cycle.
+#[inline]
+pub fn collection_cycles(elems: u64, bandwidth: usize) -> u64 {
+    elems.div_ceil(bandwidth.max(1) as u64)
+}
+
+/// Pipeline-fill latency of a spatial reduction over `fan_in` inputs with the
+/// given per-level latency — an adder tree of depth `ceil(log2(fan_in))`
+/// (MAERI's augmented reduction tree). Charged once per pass; the tree is
+/// pipelined afterwards.
+#[inline]
+pub fn tree_latency(fan_in: usize, per_level: u64) -> u64 {
+    if fan_in <= 1 {
+        return 0;
+    }
+    let levels = usize::BITS - (fan_in - 1).leading_zeros();
+    levels as u64 * per_level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_rounds_up() {
+        assert_eq!(distribution_cycles(512, 512), 1);
+        assert_eq!(distribution_cycles(513, 512), 2);
+        assert_eq!(distribution_cycles(0, 512), 0);
+        assert_eq!(distribution_cycles(100, 0), 100); // clamped to 1/cycle
+    }
+
+    #[test]
+    fn collection_rounds_up() {
+        assert_eq!(collection_cycles(64, 64), 1);
+        assert_eq!(collection_cycles(65, 64), 2);
+    }
+
+    #[test]
+    fn tree_depth_is_log2() {
+        assert_eq!(tree_latency(1, 1), 0);
+        assert_eq!(tree_latency(2, 1), 1);
+        assert_eq!(tree_latency(4, 1), 2);
+        assert_eq!(tree_latency(5, 1), 3);
+        assert_eq!(tree_latency(8, 1), 3);
+        assert_eq!(tree_latency(512, 1), 9);
+        assert_eq!(tree_latency(8, 2), 6);
+    }
+}

@@ -1,0 +1,74 @@
+//! Register-file occupancy: deciding when partial sums fit or spill.
+
+use serde::Serialize;
+
+/// Per-PE register-file budget accounting.
+///
+/// The 64 B RF (16 words) must hold, simultaneously: any *stationary* operand
+/// elements pinned for reuse, a small double-buffer for the streaming operands,
+/// and the live partial sums of the current accumulation round. When the live
+/// psums do not fit, they spill to the global buffer and every revisit costs a
+/// GB write + read — the overhead the paper calls out for `SPhighV`
+/// ("a huge energy value due to the overhead of writing and reading partial
+/// sums", Section V-D).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RfBudget {
+    /// Total words per PE.
+    pub words: usize,
+    /// Words pinned by stationary operands.
+    pub stationary_words: usize,
+    /// Words reserved to double-buffer streaming operands.
+    pub stream_buffer_words: usize,
+}
+
+impl RfBudget {
+    /// Budget for a PE with `words` capacity holding `stationary_words` pinned
+    /// elements. Two words are reserved for streaming double-buffering.
+    pub fn new(words: usize, stationary_words: usize) -> Self {
+        RfBudget { words, stationary_words, stream_buffer_words: 2 }
+    }
+
+    /// Words left for live partial sums.
+    pub fn psum_capacity(&self) -> usize {
+        self.words
+            .saturating_sub(self.stationary_words)
+            .saturating_sub(self.stream_buffer_words)
+    }
+
+    /// `true` when `live_psums_per_pe` partial sums fit in the RF and accumulate
+    /// locally; `false` means they spill to the global buffer.
+    pub fn psums_fit(&self, live_psums_per_pe: usize) -> bool {
+        live_psums_per_pe <= self.psum_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_subtracts_reservations() {
+        let b = RfBudget::new(16, 1);
+        assert_eq!(b.psum_capacity(), 13);
+        assert!(b.psums_fit(13));
+        assert!(!b.psums_fit(14));
+    }
+
+    #[test]
+    fn saturates_when_overcommitted() {
+        let b = RfBudget::new(4, 10);
+        assert_eq!(b.psum_capacity(), 0);
+        assert!(b.psums_fit(0));
+        assert!(!b.psums_fit(1));
+    }
+
+    #[test]
+    fn sp_high_v_example() {
+        // SPhighV on an HF dataset: stationary intermediate element (1 word) +
+        // stream buffer, G = 16 live psums per PE → 16 > 13 → spill.
+        let b = RfBudget::new(16, 1);
+        assert!(!b.psums_fit(16));
+        // SP1 with T_F = 64 spreads the same psums across 64 PEs → 1 per PE → fits.
+        assert!(b.psums_fit(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-phase simulation statistics.
+
+use serde::Serialize;
+
+/// Operand classes tracked separately in the global-buffer counters — matching
+/// the breakdown of Fig. 13 (Adj / Inp / Int / Wt / Op / Psum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum OperandClass {
+    /// CSR adjacency structure + values (`Adj`).
+    Adjacency,
+    /// Dense input feature matrix (`Inp`).
+    Input,
+    /// The intermediate matrix between the phases (`Int`).
+    Intermediate,
+    /// Weight matrix (`Wt`).
+    Weight,
+    /// Final output matrix (`Op`).
+    Output,
+    /// Spilled partial sums (`Psum`).
+    Psum,
+}
+
+impl OperandClass {
+    /// All classes in Fig. 13 order.
+    pub const ALL: [OperandClass; 6] = [
+        OperandClass::Adjacency,
+        OperandClass::Input,
+        OperandClass::Intermediate,
+        OperandClass::Weight,
+        OperandClass::Output,
+        OperandClass::Psum,
+    ];
+
+    /// Index into counter arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            OperandClass::Adjacency => 0,
+            OperandClass::Input => 1,
+            OperandClass::Intermediate => 2,
+            OperandClass::Weight => 3,
+            OperandClass::Output => 4,
+            OperandClass::Psum => 5,
+        }
+    }
+
+    /// Fig. 13 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperandClass::Adjacency => "Adj",
+            OperandClass::Input => "Inp",
+            OperandClass::Intermediate => "Int",
+            OperandClass::Weight => "Wt",
+            OperandClass::Output => "Op",
+            OperandClass::Psum => "Psum",
+        }
+    }
+}
+
+impl std::fmt::Display for OperandClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Buffer access counters for one simulated phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AccessCounters {
+    /// Global-buffer reads per operand class.
+    pub gb_reads: [u64; 6],
+    /// Global-buffer writes per operand class.
+    pub gb_writes: [u64; 6],
+    /// Register-file reads (all operands).
+    pub rf_reads: u64,
+    /// Register-file writes (all operands).
+    pub rf_writes: u64,
+}
+
+impl AccessCounters {
+    /// Adds `n` GB reads of class `c`.
+    #[inline]
+    pub fn read(&mut self, c: OperandClass, n: u64) {
+        self.gb_reads[c.idx()] += n;
+    }
+
+    /// Adds `n` GB writes of class `c`.
+    #[inline]
+    pub fn write(&mut self, c: OperandClass, n: u64) {
+        self.gb_writes[c.idx()] += n;
+    }
+
+    /// Total GB reads across classes.
+    pub fn total_gb_reads(&self) -> u64 {
+        self.gb_reads.iter().sum()
+    }
+
+    /// Total GB writes across classes.
+    pub fn total_gb_writes(&self) -> u64 {
+        self.gb_writes.iter().sum()
+    }
+
+    /// GB reads + writes of one class.
+    pub fn gb_of(&self, c: OperandClass) -> u64 {
+        self.gb_reads[c.idx()] + self.gb_writes[c.idx()]
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &AccessCounters) {
+        for i in 0..6 {
+            self.gb_reads[i] += other.gb_reads[i];
+            self.gb_writes[i] += other.gb_writes[i];
+        }
+        self.rf_reads += other.rf_reads;
+        self.rf_writes += other.rf_writes;
+    }
+}
+
+/// Result of simulating one phase under one intra-phase dataflow.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseStats {
+    /// Total cycles, including stalls.
+    pub cycles: u64,
+    /// Cycles lost to distribution/collection bandwidth (subset of `cycles`).
+    pub stall_cycles: u64,
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+    /// Buffer access counters.
+    pub counters: AccessCounters,
+    /// PEs occupied by this phase's tiling.
+    pub pe_footprint: usize,
+    /// Cumulative cycle timestamps at which successive `Pel` chunks of the
+    /// intermediate matrix were produced/consumed (empty when no chunking was
+    /// requested). The final entry always equals `cycles`.
+    pub chunk_marks: Vec<u64>,
+    /// `true` if partial sums overflowed the register files and spilled to the
+    /// global buffer somewhere in this phase.
+    pub psum_spilled: bool,
+}
+
+impl PhaseStats {
+    /// Per-chunk durations derived from the cumulative marks.
+    pub fn chunk_durations(&self) -> Vec<u64> {
+        let mut prev = 0;
+        self.chunk_marks
+            .iter()
+            .map(|&m| {
+                let d = m.saturating_sub(prev);
+                prev = m;
+                d
+            })
+            .collect()
+    }
+
+    /// Average achieved MACs per PE per cycle (compute utilisation), in `[0, 1]`.
+    pub fn compute_utilisation(&self) -> f64 {
+        if self.cycles == 0 || self.pe_footprint == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.cycles as f64 * self.pe_footprint as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_distinct() {
+        let idxs: std::collections::HashSet<_> = OperandClass::ALL.iter().map(|c| c.idx()).collect();
+        assert_eq!(idxs.len(), 6);
+        assert_eq!(OperandClass::Adjacency.label(), "Adj");
+        assert_eq!(OperandClass::Psum.to_string(), "Psum");
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = AccessCounters::default();
+        a.read(OperandClass::Input, 10);
+        a.write(OperandClass::Output, 4);
+        a.rf_reads = 7;
+        let mut b = AccessCounters::default();
+        b.read(OperandClass::Input, 5);
+        b.rf_writes = 2;
+        a.merge(&b);
+        assert_eq!(a.gb_reads[OperandClass::Input.idx()], 15);
+        assert_eq!(a.total_gb_reads(), 15);
+        assert_eq!(a.total_gb_writes(), 4);
+        assert_eq!(a.gb_of(OperandClass::Input), 15);
+        assert_eq!(a.gb_of(OperandClass::Output), 4);
+        assert_eq!(a.rf_reads, 7);
+        assert_eq!(a.rf_writes, 2);
+    }
+
+    #[test]
+    fn chunk_durations_from_marks() {
+        let s = PhaseStats {
+            cycles: 100,
+            stall_cycles: 0,
+            macs: 0,
+            counters: AccessCounters::default(),
+            pe_footprint: 1,
+            chunk_marks: vec![30, 70, 100],
+            psum_spilled: false,
+        };
+        assert_eq!(s.chunk_durations(), vec![30, 40, 30]);
+    }
+
+    #[test]
+    fn compute_utilisation_bounds() {
+        let s = PhaseStats {
+            cycles: 10,
+            stall_cycles: 0,
+            macs: 40,
+            counters: AccessCounters::default(),
+            pe_footprint: 8,
+            chunk_marks: vec![],
+            psum_spilled: false,
+        };
+        assert!((s.compute_utilisation() - 0.5).abs() < 1e-12);
+        let zero = PhaseStats { cycles: 0, pe_footprint: 0, ..s };
+        assert_eq!(zero.compute_utilisation(), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests: engine invariants across random dataflows and workloads.
+
+use proptest::prelude::*;
+
+use omega_accel::engine::{simulate_gemm, simulate_spmm, EngineOptions, GemmDims, OperandClasses, SpmmWorkload};
+use omega_accel::functional::{execute_gemm, execute_spmm};
+use omega_accel::{AccelConfig, BandwidthShare};
+use omega_dataflow::{Dim, IntraTiling, LoopOrder, Phase};
+use omega_matrix::{ops, CooMatrix, CsrMatrix, DenseMatrix};
+
+fn agg_tiling(order_idx: usize, tiles: [usize; 3]) -> IntraTiling {
+    let order = LoopOrder::all(Phase::Aggregation)[order_idx % 6];
+    IntraTiling::new(Phase::Aggregation, order, tiles)
+}
+
+fn cmb_tiling(order_idx: usize, tiles: [usize; 3]) -> IntraTiling {
+    let order = LoopOrder::all(Phase::Combination)[order_idx % 6];
+    IntraTiling::new(Phase::Combination, order, tiles)
+}
+
+fn small_dense(r: usize, c: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(r, c, |i, j| (((i * 31 + j * 17) as u64 + seed) % 7) as f32 - 3.0)
+}
+
+fn random_csr(n: usize, density_mod: usize, seed: u64) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0).unwrap();
+        for j in 0..n {
+            if (i * 13 + j * 7 + seed as usize).is_multiple_of(density_mod) {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A dataflow reorders computation; it must not change the result.
+    #[test]
+    fn functional_gemm_is_order_invariant(
+        order_idx in 0usize..6,
+        tv in 1usize..6, tf in 1usize..6, tg in 1usize..6,
+        v in 1usize..9, f in 1usize..9, g in 1usize..9,
+        seed in 0u64..32,
+    ) {
+        let a = small_dense(v, f, seed);
+        let b = small_dense(f, g, seed + 1);
+        let reference = ops::gemm(&a, &b).unwrap();
+        let got = execute_gemm(&a, &b, &cmb_tiling(order_idx, [tv, tf, tg]));
+        prop_assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn functional_spmm_is_order_invariant(
+        order_idx in 0usize..6,
+        tv in 1usize..6, tf in 1usize..6, tn in 1usize..6,
+        n in 1usize..10, f in 1usize..8,
+        density in 2usize..6,
+        seed in 0u64..32,
+    ) {
+        let adj = random_csr(n, density, seed);
+        let x = small_dense(n, f, seed + 2);
+        let reference = ops::spmm(&adj, &x).unwrap();
+        let got = execute_spmm(&adj, &x, &agg_tiling(order_idx, [tv, tf, tn]));
+        prop_assert_eq!(got, reference);
+    }
+
+    /// MAC work is an invariant of the dataflow: only schedule and traffic change.
+    #[test]
+    fn gemm_macs_invariant_across_dataflows(
+        order_idx in 0usize..6,
+        tv in 1usize..9, tf in 1usize..9, tg in 1usize..9,
+        v in 1usize..20, f in 1usize..20, g in 1usize..20,
+    ) {
+        let cfg = AccelConfig::paper_default();
+        let tiling = cmb_tiling(order_idx, [tv, tf, tg]);
+        let s = simulate_gemm(
+            GemmDims { v, f, g },
+            &tiling,
+            &cfg,
+            &OperandClasses::combination_ac(),
+            &EngineOptions::plain(cfg.full_bandwidth()),
+        );
+        prop_assert_eq!(s.macs, (v * f * g) as u64);
+        // Cycles can never undercut the compute bound for the PEs actually used
+        // (tiles are positional in the loop order, so query the tiling).
+        let spatial = (tiling.tile_of(Dim::V).min(v)
+            * tiling.tile_of(Dim::F).min(f)
+            * tiling.tile_of(Dim::G).min(g)) as u64;
+        prop_assert!(s.cycles >= s.macs / spatial.max(1));
+    }
+
+    #[test]
+    fn spmm_macs_invariant_across_dataflows(
+        order_idx in 0usize..6,
+        tv in 1usize..9, tf in 1usize..9, tn in 1usize..5,
+        f in 1usize..16,
+        degrees in proptest::collection::vec(0usize..12, 1..24),
+    ) {
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees: &degrees, feature_width: f };
+        let e = wl.nnz();
+        let s = simulate_spmm(
+            &wl,
+            &agg_tiling(order_idx, [tv, tf, tn]),
+            &cfg,
+            &OperandClasses::aggregation_ac(),
+            &EngineOptions::plain(cfg.full_bandwidth()),
+        );
+        prop_assert_eq!(s.macs, e * f as u64);
+    }
+
+    /// Lowering bandwidth can only slow a phase down (monotonicity).
+    #[test]
+    fn bandwidth_monotonicity_gemm(
+        order_idx in 0usize..6,
+        v in 4usize..24, f in 4usize..24, g in 2usize..12,
+    ) {
+        let cfg = AccelConfig::paper_default();
+        let t = cmb_tiling(order_idx, [4, 4, 2]);
+        let mut prev = None;
+        for bw in [512usize, 64, 8, 1] {
+            let s = simulate_gemm(
+                GemmDims { v, f, g },
+                &t,
+                &cfg,
+                &OperandClasses::combination_ac(),
+                &EngineOptions::plain(BandwidthShare { dist: bw, red: bw }),
+            );
+            if let Some(p) = prev {
+                prop_assert!(s.cycles >= p, "bw {bw}: {} < {}", s.cycles, p);
+            }
+            prev = Some(s.cycles);
+        }
+    }
+
+    /// Chunk marks are monotone, end at the total, and have the expected count.
+    #[test]
+    fn chunk_marks_are_well_formed(
+        degrees in proptest::collection::vec(1usize..9, 4..40),
+        f in 2usize..16,
+        pel_rows in 1usize..8,
+    ) {
+        use omega_accel::engine::{ChunkSide, ChunkSpec};
+        let cfg = AccelConfig::paper_default();
+        let wl = SpmmWorkload { degrees: &degrees, feature_width: f };
+        let t = agg_tiling(0, [2, 4, 1]); // VFN
+        let pel = (pel_rows * f) as u64;
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.chunk = Some(ChunkSpec { side: ChunkSide::Produce, pel });
+        let s = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(), &opts);
+        let total = (degrees.len() * f) as u64;
+        prop_assert_eq!(s.chunk_marks.len() as u64, total.div_ceil(pel));
+        prop_assert!(s.chunk_marks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*s.chunk_marks.last().unwrap(), s.cycles);
+    }
+
+    /// SP-Optimized flags remove exactly the intermediate GB traffic.
+    #[test]
+    fn resident_flags_only_remove_intermediate_traffic(
+        v in 2usize..16, f in 2usize..16, g in 2usize..8,
+    ) {
+        let cfg = AccelConfig::paper_default();
+        let t = cmb_tiling(0, [2, 2, 1]); // VFG
+        let base = simulate_gemm(GemmDims { v, f, g }, &t, &cfg,
+            &OperandClasses::combination_ac(), &EngineOptions::plain(cfg.full_bandwidth()));
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.input_resident = true;
+        let resident = simulate_gemm(GemmDims { v, f, g }, &t, &cfg,
+            &OperandClasses::combination_ac(), &opts);
+        use omega_accel::OperandClass;
+        prop_assert_eq!(resident.counters.gb_reads[OperandClass::Intermediate.idx()], 0);
+        prop_assert_eq!(
+            resident.counters.gb_reads[OperandClass::Weight.idx()],
+            base.counters.gb_reads[OperandClass::Weight.idx()]
+        );
+        prop_assert!(resident.cycles <= base.cycles);
+    }
+}
+
+/// Deterministic end-to-end check on a graph-shaped workload.
+#[test]
+fn engines_run_on_generated_graphs() {
+    use omega_graph::DatasetSpec;
+    let d = DatasetSpec::mutag().generate(3);
+    let degrees: Vec<usize> = (0..d.graph.num_vertices()).map(|v| d.graph.degree(v)).collect();
+    let cfg = AccelConfig::paper_default();
+    let wl = SpmmWorkload { degrees: &degrees, feature_width: d.graph.feature_dim() };
+    let t = agg_tiling(0, [32, 16, 1]);
+    let s = simulate_spmm(&wl, &t, &cfg, &OperandClasses::aggregation_ac(), &EngineOptions::plain(cfg.full_bandwidth()));
+    assert_eq!(s.macs, wl.nnz() * d.graph.feature_dim() as u64);
+    assert!(s.cycles > 0);
+    assert!(s.compute_utilisation() > 0.0);
+}

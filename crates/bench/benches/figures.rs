@@ -1,0 +1,23 @@
+//! Criterion benches — one per evaluation figure. Each measures the wall time
+//! of regenerating that figure with the OMEGA cost model, so regressions in
+//! the simulator's asymptotics show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use omega_bench::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig11", |b| b.iter(|| black_box(figures::fig11())));
+    g.bench_function("fig12", |b| b.iter(|| black_box(figures::fig12())));
+    g.bench_function("fig13", |b| b.iter(|| black_box(figures::fig13())));
+    g.bench_function("fig14", |b| b.iter(|| black_box(figures::fig14())));
+    g.bench_function("fig15", |b| b.iter(|| black_box(figures::fig15())));
+    g.bench_function("fig16", |b| b.iter(|| black_box(figures::fig16())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

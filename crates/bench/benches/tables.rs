@@ -1,0 +1,20 @@
+//! Criterion benches — one per paper table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use omega_bench::tables;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+    g.bench_function("table3", |b| b.iter(|| black_box(tables::table3())));
+    g.bench_function("table4", |b| b.iter(|| black_box(tables::table4())));
+    g.bench_function("table5", |b| b.iter(|| black_box(tables::table5())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

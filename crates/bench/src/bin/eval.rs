@@ -1,0 +1,218 @@
+//! `eval` — evaluate any dataflow (in the paper's template syntax) on any
+//! dataset, with hardware overrides. The tool a downstream user reaches for.
+//!
+//! ```text
+//! eval --dataflow "SP_AC(VsFxNt, VsFxGx)" --dataset Citeseer
+//! eval --preset PP3 --dataset Collab --pes 1024 --bandwidth 256 --hidden 64
+//! eval --dataflow "PP_CA(FsNtVs, GtFtVs)" --dataset Cora --agg-pes 128
+//! ```
+//!
+//! Patterns with `x` placeholders are concretised by the tile chooser; pass
+//! `--tiles tv,tn,tf,tv,tg,tf` to pin exact tile sizes instead.
+
+use std::process::ExitCode;
+
+use omega_accel::AccelConfig;
+use omega_core::{evaluate, GnnWorkload};
+use omega_dataflow::presets::Preset;
+use omega_dataflow::tiles::{choose_tiling, Cap, PhasePolicy};
+use omega_dataflow::{
+    Dim, GnnDataflow, GnnDataflowPattern, InterPhase, IntraTiling, MappingSpec,
+};
+use omega_graph::DatasetSpec;
+
+struct Args {
+    dataflow: Option<String>,
+    preset: Option<String>,
+    dataset: String,
+    hidden: usize,
+    pes: usize,
+    bandwidth: Option<usize>,
+    agg_pes: Option<usize>,
+    tiles: Option<[usize; 6]>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        dataflow: None,
+        preset: None,
+        dataset: "Citeseer".into(),
+        hidden: 16,
+        pes: 512,
+        bandwidth: None,
+        agg_pes: None,
+        tiles: None,
+        seed: 0x0E5A_2022,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dataflow" => out.dataflow = Some(value(&mut i)?),
+            "--preset" => out.preset = Some(value(&mut i)?),
+            "--dataset" => out.dataset = value(&mut i)?,
+            "--hidden" => out.hidden = value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?,
+            "--pes" => out.pes = value(&mut i)?.parse().map_err(|e| format!("--pes: {e}"))?,
+            "--bandwidth" => {
+                out.bandwidth = Some(value(&mut i)?.parse().map_err(|e| format!("--bandwidth: {e}"))?)
+            }
+            "--agg-pes" => {
+                out.agg_pes = Some(value(&mut i)?.parse().map_err(|e| format!("--agg-pes: {e}"))?)
+            }
+            "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--tiles" => {
+                let raw = value(&mut i)?;
+                let parts: Vec<usize> = raw
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|e| format!("--tiles: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 6 {
+                    return Err("--tiles needs 6 comma-separated values (tV,tN,tF,tV,tG,tF)".into());
+                }
+                out.tiles = Some([parts[0], parts[1], parts[2], parts[3], parts[4], parts[5]]);
+            }
+            "--help" | "-h" => return Err("usage".into()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if out.dataflow.is_none() && out.preset.is_none() {
+        return Err("pass --dataflow \"<pattern>\" or --preset <name>".into());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "usage" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: eval (--dataflow \"SP_AC(VsFxNt, VsFxGx)\" | --preset SP2) \
+                 [--dataset NAME] [--hidden G] [--pes N] [--bandwidth ELEMS] \
+                 [--agg-pes N] [--tiles tV,tN,tF,tV,tG,tF] [--seed S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(spec) = DatasetSpec::by_name(&args.dataset) else {
+        eprintln!(
+            "unknown dataset '{}'; known: {}",
+            args.dataset,
+            DatasetSpec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let dataset = spec.generate(args.seed);
+    let wl = GnnWorkload::gcn_layer(&dataset, args.hidden);
+
+    let mut cfg = AccelConfig::paper_default().with_pes(args.pes);
+    if let Some(bw) = args.bandwidth {
+        cfg = cfg.with_bandwidth(bw);
+    }
+
+    let df: GnnDataflow = if let Some(name) = &args.preset {
+        let Some(preset) = Preset::by_name(name) else {
+            eprintln!("unknown preset '{name}'; known: Seq1 Seq2 SP1 SP2 SPhighV PP1 PP2 PP3 PP4");
+            return ExitCode::FAILURE;
+        };
+        let ctx = wl.tile_context(preset.pattern.phase_order);
+        let (a, c) = split(&preset.pattern, &args, &cfg);
+        preset.concretize(&ctx, a, c)
+    } else {
+        let pattern: GnnDataflowPattern = match args.dataflow.as_deref().unwrap_or_default().parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("could not parse dataflow: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        concretize_pattern(&pattern, &wl, &args, &cfg)
+    };
+
+    println!("workload  {} (V={}, F={}, G={}, nnz={}, max deg={})", wl.name, wl.v, wl.f, wl.g, wl.nnz, wl.max_degree);
+    println!("machine   {} PEs, {} elems/cycle NoC", cfg.num_pes, cfg.dist_bandwidth);
+    println!("dataflow  {df}   tiles {:?}", df.tile_tuple());
+
+    match evaluate(&wl, &df, &cfg) {
+        Ok(r) => {
+            println!("\nruntime              {:>14} cycles", r.total_cycles);
+            println!("  aggregation        {:>14} cycles ({} stall)", r.agg.cycles, r.agg.stall_cycles);
+            println!("  combination        {:>14} cycles ({} stall)", r.cmb.cycles, r.cmb.stall_cycles);
+            println!("intermediate buffer  {:>14} elements", r.intermediate_buffer_elems);
+            if let (Some(g), Some(pel)) = (r.granularity, r.pel) {
+                println!("pipelining           {g} granularity, Pel = {pel}");
+            }
+            println!("SP-Optimized         {:>14}", r.sp_optimized);
+            println!("energy               {:>14.3} uJ", r.energy.total_uj());
+            println!("  global buffer      {:>14.3} uJ", r.energy.gb_pj / 1e6);
+            println!("  intermediate       {:>14.3} uJ", r.energy.intermediate_pj / 1e6);
+            println!("  register files     {:>14.3} uJ", r.energy.rf_pj / 1e6);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("\nillegal dataflow: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn split(pattern: &GnnDataflowPattern, args: &Args, cfg: &AccelConfig) -> (usize, usize) {
+    if pattern.inter == InterPhase::ParallelPipeline {
+        let a = args.agg_pes.unwrap_or(cfg.num_pes / 2).clamp(1, cfg.num_pes - 1);
+        (a, cfg.num_pes - a)
+    } else {
+        (cfg.num_pes, cfg.num_pes)
+    }
+}
+
+fn concretize_pattern(
+    pattern: &GnnDataflowPattern,
+    wl: &GnnWorkload,
+    args: &Args,
+    cfg: &AccelConfig,
+) -> GnnDataflow {
+    if let Some(t) = args.tiles {
+        let place = |tiling: &omega_dataflow::IntraPattern, tv: usize, tmid: usize, tf: usize| {
+            let tiles = tiling.order().dims().map(|d| match d {
+                Dim::V => tv,
+                Dim::N | Dim::G => tmid,
+                Dim::F => tf,
+            });
+            IntraTiling::new(tiling.phase(), tiling.order(), tiles)
+        };
+        return GnnDataflow {
+            inter: pattern.inter,
+            phase_order: pattern.phase_order,
+            agg: place(&pattern.agg, t[0], t[1], t[2]),
+            cmb: place(&pattern.cmb, t[3], t[4], t[5]),
+        };
+    }
+    let ctx = wl.tile_context(pattern.phase_order);
+    let (a, c) = split(pattern, args, cfg);
+    let policy = |p: &omega_dataflow::IntraPattern| {
+        let dims: Vec<Dim> = p
+            .order()
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| p.maps()[i] != MappingSpec::Temporal)
+            .map(|(_, &d)| d)
+            .collect();
+        PhasePolicy::round_robin(&dims).with_cap(Dim::N, Cap::MeanDegreePow2)
+    };
+    GnnDataflow {
+        inter: pattern.inter,
+        phase_order: pattern.phase_order,
+        agg: choose_tiling(&pattern.agg, &ctx, a, &policy(&pattern.agg)),
+        cmb: choose_tiling(&pattern.cmb, &ctx, c, &policy(&pattern.cmb)),
+    }
+}

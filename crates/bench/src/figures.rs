@@ -1,0 +1,300 @@
+//! Generators for Figures 11–16 of the paper's evaluation.
+
+use serde::Serialize;
+
+use omega_accel::{AccelConfig, OperandClass};
+use omega_dataflow::presets::Preset;
+
+use crate::common::{default_suite, eval_preset, eval_preset_with_split};
+
+/// Fig. 11: runtimes of the nine Table V dataflows, normalised to Seq1, per
+/// dataset (GCN, 512 PEs, ~100% static utilisation).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataflow preset name.
+    pub dataflow: String,
+    /// Tile tuple `(T_V_AGG, T_N, T_F_AGG, T_V_CMB, T_G, T_F_CMB)`.
+    pub tiles: (usize, usize, usize, usize, usize, usize),
+    /// Absolute cycles.
+    pub cycles: u64,
+    /// Cycles normalised to Seq1 on the same dataset.
+    pub normalized: f64,
+}
+
+/// Regenerates Fig. 11.
+pub fn fig11() -> Vec<Fig11Row> {
+    let cfg = AccelConfig::paper_default();
+    let mut rows = Vec::new();
+    for (_, wl) in default_suite() {
+        let presets = Preset::all();
+        let points: Vec<_> = presets.iter().map(|p| eval_preset(p, &wl, &cfg)).collect();
+        let base = points[0].report.total_cycles.max(1) as f64; // Seq1 first in Table V order
+        for p in points {
+            rows.push(Fig11Row {
+                dataset: p.dataset,
+                dataflow: p.dataflow,
+                tiles: p.tiles,
+                cycles: p.report.total_cycles,
+                normalized: p.report.total_cycles as f64 / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 12: on-chip buffer access energy per dataflow per dataset, split into
+/// the global buffer, the PP intermediate partition, and the PE register files.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataflow preset name.
+    pub dataflow: String,
+    /// Global-buffer energy (µJ), excluding intermediate traffic.
+    pub gb_uj: f64,
+    /// Intermediate buffer energy (µJ).
+    pub intermediate_uj: f64,
+    /// Register-file energy (µJ).
+    pub rf_uj: f64,
+    /// Total (µJ).
+    pub total_uj: f64,
+}
+
+/// Regenerates Fig. 12.
+pub fn fig12() -> Vec<Fig12Row> {
+    let cfg = AccelConfig::paper_default();
+    let mut rows = Vec::new();
+    for (_, wl) in default_suite() {
+        for preset in Preset::all() {
+            let p = eval_preset(&preset, &wl, &cfg);
+            let e = &p.report.energy;
+            rows.push(Fig12Row {
+                dataset: p.dataset,
+                dataflow: p.dataflow,
+                gb_uj: e.gb_pj / 1e6,
+                intermediate_uj: e.intermediate_pj / 1e6,
+                rf_uj: e.rf_pj / 1e6,
+                total_uj: e.total_pj() / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 13: global-buffer access breakdown by operand class (Adj / Inp / Int /
+/// Wt / Op / Psum) for Mutag and Citeseer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Dataset name (Mutag or Citeseer).
+    pub dataset: String,
+    /// Dataflow preset name.
+    pub dataflow: String,
+    /// Accesses per class, in [`OperandClass::ALL`] order.
+    pub accesses: [u64; 6],
+    /// Fraction of total per class.
+    pub fractions: [f64; 6],
+}
+
+/// Regenerates Fig. 13.
+pub fn fig13() -> Vec<Fig13Row> {
+    let cfg = AccelConfig::paper_default();
+    let mut rows = Vec::new();
+    for (_, wl) in default_suite() {
+        if wl.name != "Mutag" && wl.name != "Citeseer" {
+            continue;
+        }
+        for preset in Preset::all() {
+            let p = eval_preset(&preset, &wl, &cfg);
+            let mut accesses = [0u64; 6];
+            for c in OperandClass::ALL {
+                accesses[c.idx()] = p.report.counters.gb_of(c);
+            }
+            let total: u64 = accesses.iter().sum();
+            let fractions = accesses.map(|a| a as f64 / total.max(1) as f64);
+            rows.push(Fig13Row { dataset: p.dataset, dataflow: p.dataflow, accesses, fractions });
+        }
+    }
+    rows
+}
+
+/// Fig. 14: PP load balancing — PE allocations 25-75 / 50-50 / 75-25 at low
+/// (PP1) and high (PP3) pipelining granularity, for Collab, Mutag, Citeseer.
+/// Runtimes are normalised to the 50-50 low-granularity point per dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Granularity label (`low` = PP1, `high` = PP3).
+    pub granularity: String,
+    /// PE allocation label, e.g. `"25-75"` (Aggregation–Combination).
+    pub allocation: String,
+    /// Absolute cycles.
+    pub cycles: u64,
+    /// Normalised to 50-50 low granularity.
+    pub normalized: f64,
+}
+
+/// Regenerates Fig. 14.
+pub fn fig14() -> Vec<Fig14Row> {
+    let cfg = AccelConfig::paper_default();
+    let mut rows = Vec::new();
+    let splits = [(0.25, "25-75"), (0.5, "50-50"), (0.75, "75-25")];
+    for (_, wl) in default_suite() {
+        if !matches!(wl.name.as_str(), "Collab" | "Mutag" | "Citeseer") {
+            continue;
+        }
+        let low = Preset::by_name("PP1").expect("PP1 exists");
+        let high = Preset::by_name("PP3").expect("PP3 exists");
+        let base = eval_preset_with_split(&low, &wl, &cfg, 0.5).report.total_cycles.max(1) as f64;
+        for (preset, label) in [(&low, "low"), (&high, "high")] {
+            for (frac, alloc) in splits {
+                let p = eval_preset_with_split(preset, &wl, &cfg, frac);
+                rows.push(Fig14Row {
+                    dataset: p.dataset,
+                    granularity: label.to_string(),
+                    allocation: alloc.to_string(),
+                    cycles: p.report.total_cycles,
+                    normalized: p.report.total_cycles as f64 / base,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 15: scalability — runtimes at 512 and 2048 PEs (normalised to Seq1 at
+/// the same PE count) for Mutag and Citeseer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataflow preset name.
+    pub dataflow: String,
+    /// PE count (512 or 2048).
+    pub pes: usize,
+    /// Absolute cycles.
+    pub cycles: u64,
+    /// Normalised to Seq1 at the same PE count.
+    pub normalized: f64,
+}
+
+/// Regenerates Fig. 15.
+pub fn fig15() -> Vec<Fig15Row> {
+    let mut rows = Vec::new();
+    for pes in [512usize, 2048] {
+        let cfg = AccelConfig::paper_default().with_pes(pes);
+        for (_, wl) in default_suite() {
+            if wl.name != "Mutag" && wl.name != "Citeseer" {
+                continue;
+            }
+            let points: Vec<_> = Preset::all().iter().map(|p| eval_preset(p, &wl, &cfg)).collect();
+            let base = points[0].report.total_cycles.max(1) as f64;
+            for p in points {
+                rows.push(Fig15Row {
+                    dataset: p.dataset,
+                    dataflow: p.dataflow,
+                    pes,
+                    cycles: p.report.total_cycles,
+                    normalized: p.report.total_cycles as f64 / base,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 16: bandwidth sensitivity — global-buffer elements/cycle swept over
+/// {512, 256, 128, 64}; runtimes normalised to Seq1 at 512 elements/cycle.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig16Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Dataflow preset name (Seq1, SP2, PP3 — one per inter-phase strategy).
+    pub dataflow: String,
+    /// GB elements per cycle.
+    pub bandwidth: usize,
+    /// Absolute cycles.
+    pub cycles: u64,
+    /// Normalised to Seq1 at bandwidth 512.
+    pub normalized: f64,
+}
+
+/// Regenerates Fig. 16.
+pub fn fig16() -> Vec<Fig16Row> {
+    let mut rows = Vec::new();
+    let dataflows = ["Seq1", "SP2", "PP3"];
+    for (_, wl) in default_suite() {
+        if !matches!(wl.name.as_str(), "Collab" | "Mutag" | "Citeseer") {
+            continue;
+        }
+        let base_cfg = AccelConfig::paper_default().with_bandwidth(512);
+        let base = eval_preset(&Preset::by_name("Seq1").expect("Seq1"), &wl, &base_cfg)
+            .report
+            .total_cycles
+            .max(1) as f64;
+        for bw in [512usize, 256, 128, 64] {
+            let cfg = AccelConfig::paper_default().with_bandwidth(bw);
+            for name in dataflows {
+                let p = eval_preset(&Preset::by_name(name).expect("preset"), &wl, &cfg);
+                rows.push(Fig16Row {
+                    dataset: p.dataset,
+                    dataflow: p.dataflow,
+                    bandwidth: bw,
+                    cycles: p.report.total_cycles,
+                    normalized: p.report.total_cycles as f64 / base,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Figure generators are exercised end-to-end (shapes asserted) in the
+    // root integration tests; here we only check structural invariants that
+    // are cheap on the smaller datasets.
+
+    #[test]
+    fn fig14_rows_cover_the_grid() {
+        let rows = fig14();
+        // 3 datasets × 2 granularities × 3 allocations.
+        assert_eq!(rows.len(), 18);
+        // The 50-50 low-granularity point is the normalisation base.
+        for d in ["Collab", "Mutag", "Citeseer"] {
+            let base: Vec<_> = rows
+                .iter()
+                .filter(|r| r.dataset == d && r.granularity == "low" && r.allocation == "50-50")
+                .collect();
+            assert_eq!(base.len(), 1);
+            assert!((base[0].normalized - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig16_monotone_in_bandwidth() {
+        let rows = fig16();
+        for d in ["Collab", "Mutag", "Citeseer"] {
+            for df in ["Seq1", "SP2", "PP3"] {
+                let mut per: Vec<_> =
+                    rows.iter().filter(|r| r.dataset == d && r.dataflow == df).collect();
+                per.sort_by_key(|r| std::cmp::Reverse(r.bandwidth));
+                assert_eq!(per.len(), 4);
+                for w in per.windows(2) {
+                    assert!(
+                        w[1].cycles >= w[0].cycles,
+                        "{d}/{df}: {} @{} vs {} @{}",
+                        w[0].cycles,
+                        w[0].bandwidth,
+                        w[1].cycles,
+                        w[1].bandwidth
+                    );
+                }
+            }
+        }
+    }
+}

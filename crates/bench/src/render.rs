@@ -1,0 +1,176 @@
+//! Generic rendering of experiment rows: aligned terminal tables, CSV, JSON.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// Flattens one JSON object into `(column, cell)` pairs: nested objects get
+/// dotted keys, arrays are joined with `;`.
+fn flatten(prefix: &str, v: &Value, out: &mut Vec<(String, String)>) {
+    match v {
+        Value::Object(map) => {
+            for (k, val) in map {
+                let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten(&key, val, out);
+            }
+        }
+        Value::Array(items) => {
+            let joined = items
+                .iter()
+                .map(render_scalar)
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push((prefix.to_string(), joined));
+        }
+        other => out.push((prefix.to_string(), render_scalar(other))),
+    }
+}
+
+fn render_scalar(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                if n.is_f64() {
+                    format!("{f:.4}")
+                } else {
+                    n.to_string()
+                }
+            } else {
+                n.to_string()
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// Converts rows into `(header, records)` form.
+fn tabulate<T: Serialize>(rows: &[T]) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut header: Vec<String> = Vec::new();
+    let mut records = Vec::with_capacity(rows.len());
+    for row in rows {
+        let v = serde_json::to_value(row).expect("rows serialize");
+        let mut cells = Vec::new();
+        flatten("", &v, &mut cells);
+        if header.is_empty() {
+            header = cells.iter().map(|(k, _)| k.clone()).collect();
+        }
+        records.push(cells.into_iter().map(|(_, c)| c).collect());
+    }
+    (header, records)
+}
+
+/// Renders rows as an aligned text table.
+pub fn text_table<T: Serialize>(title: &str, rows: &[T]) -> String {
+    let (header, records) = tabulate(rows);
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for rec in &records {
+        for (i, cell) in rec.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", line(&header, &widths));
+    for rec in &records {
+        let _ = writeln!(out, "{}", line(rec, &widths));
+    }
+    out
+}
+
+/// Writes rows as CSV.
+pub fn write_csv<T: Serialize>(path: &Path, rows: &[T]) -> std::io::Result<()> {
+    let (header, records) = tabulate(rows);
+    let mut out = String::new();
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let _ = writeln!(out, "{}", header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+    for rec in records {
+        let _ = writeln!(out, "{}", rec.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Writes rows as pretty JSON.
+pub fn write_json<T: Serialize>(path: &Path, rows: &[T]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, serde_json::to_string_pretty(rows).expect("rows serialize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        value: f64,
+        count: u64,
+        tags: Vec<String>,
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row { name: "a".into(), value: 1.5, count: 10, tags: vec!["x".into(), "y".into()] },
+            Row { name: "long-name".into(), value: 0.25, count: 2, tags: vec![] },
+        ]
+    }
+
+    #[test]
+    fn text_table_is_aligned_and_titled() {
+        let t = text_table("Demo", &rows());
+        assert!(t.contains("== Demo =="));
+        assert!(t.contains("name"));
+        assert!(t.contains("1.5000"));
+        assert!(t.contains("x;y"));
+    }
+
+    #[test]
+    fn csv_round_trips_through_fs() {
+        let dir = std::env::temp_dir().join("omega-bench-test");
+        let path = dir.join("demo.csv");
+        write_csv(&path, &rows()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines = content.lines();
+        assert_eq!(lines.next().unwrap(), "count,name,tags,value");
+        assert!(content.contains("10,a,x;y,1.5000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_output_parses_back() {
+        let dir = std::env::temp_dir().join("omega-bench-test-json");
+        let path = dir.join("demo.json");
+        write_json(&path, &rows()).unwrap();
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

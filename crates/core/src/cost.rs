@@ -1,0 +1,219 @@
+//! The cost report: what OMEGA tells you about one dataflow on one workload.
+
+use serde::Serialize;
+
+use omega_accel::{AccessCounters, EnergyModel, OperandClass, PhaseStats};
+use omega_dataflow::{GnnDataflow, Granularity};
+
+/// Where the intermediate matrix lives, deciding its per-access energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntermediateCost {
+    /// Staged through the global buffer at full GB rate, with the given
+    /// fraction of accesses overflowing to DRAM (Seq on large intermediates,
+    /// Fig. 6).
+    GlobalBuffer {
+        /// Fraction of intermediate accesses served from DRAM, in `[0, 1]`.
+        dram_fraction: f64,
+    },
+    /// A dedicated on-chip partition of the given capacity (PP's ping-pong
+    /// buffer): cheaper per access.
+    Partition(usize),
+}
+
+/// On-chip buffer access energy, broken down the way Fig. 12 plots it.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EnergyBreakdown {
+    /// Global-buffer access energy (pJ), excluding intermediate-partition traffic.
+    pub gb_pj: f64,
+    /// Register-file access energy (pJ).
+    pub rf_pj: f64,
+    /// Intermediate-buffer energy (pJ): the dedicated ping-pong partition for PP
+    /// (smaller partition → cheaper access, Section V-B2); for Seq/SP-Generic the
+    /// intermediate lives in the GB and is charged at GB cost here.
+    pub intermediate_pj: f64,
+    /// Off-chip DRAM energy (pJ) for the intermediate overflow when it does not
+    /// fit on chip (Seq on HF datasets, Fig. 6).
+    pub dram_pj: f64,
+    /// GB energy per operand class (Fig. 13's Adj/Inp/Int/Wt/Op/Psum), pJ.
+    pub gb_by_class_pj: [f64; 6],
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown from merged counters.
+    ///
+    /// `intermediate_partition_bytes` is `Some(capacity)` when the intermediate
+    /// traffic goes through a dedicated partition (PP) instead of the GB.
+    pub fn from_counters(
+        counters: &AccessCounters,
+        energy: &EnergyModel,
+        intermediate_partition_bytes: Option<usize>,
+    ) -> Self {
+        let cost = match intermediate_partition_bytes {
+            Some(cap) => IntermediateCost::Partition(cap),
+            None => IntermediateCost::GlobalBuffer { dram_fraction: 0.0 },
+        };
+        Self::from_counters_with(counters, energy, cost)
+    }
+
+    /// [`EnergyBreakdown::from_counters`] with an explicit intermediate-cost
+    /// policy (including DRAM overflow for Seq, Fig. 6).
+    pub fn from_counters_with(
+        counters: &AccessCounters,
+        energy: &EnergyModel,
+        intermediate: IntermediateCost,
+    ) -> Self {
+        let int_idx = OperandClass::Intermediate.idx();
+        let int_accesses = counters.gb_reads[int_idx] + counters.gb_writes[int_idx];
+        let (int_rate, dram_fraction) = match intermediate {
+            IntermediateCost::Partition(cap) => (energy.buffer_access_pj(cap), 0.0),
+            IntermediateCost::GlobalBuffer { dram_fraction } => {
+                (energy.gb_access_pj, dram_fraction.clamp(0.0, 1.0))
+            }
+        };
+        let dram_pj = int_accesses as f64 * dram_fraction * energy.dram_access_pj;
+        let mut gb_by_class_pj = [0.0; 6];
+        let mut gb_pj = 0.0;
+        for c in OperandClass::ALL {
+            let accesses = counters.gb_reads[c.idx()] + counters.gb_writes[c.idx()];
+            let rate = if c == OperandClass::Intermediate { int_rate } else { energy.gb_access_pj };
+            gb_by_class_pj[c.idx()] = accesses as f64 * rate;
+            if c != OperandClass::Intermediate {
+                gb_pj += gb_by_class_pj[c.idx()];
+            }
+        }
+        EnergyBreakdown {
+            gb_pj,
+            rf_pj: energy.rf_pj(counters.rf_reads + counters.rf_writes),
+            intermediate_pj: int_accesses as f64 * int_rate,
+            dram_pj,
+            gb_by_class_pj,
+        }
+    }
+
+    /// Total buffer energy in pJ (on-chip plus DRAM overflow).
+    pub fn total_pj(&self) -> f64 {
+        self.gb_pj + self.rf_pj + self.intermediate_pj + self.dram_pj
+    }
+
+    /// Total on-chip buffer energy in µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+}
+
+/// Full evaluation result for one dataflow on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostReport {
+    /// The evaluated dataflow.
+    pub dataflow: GnnDataflow,
+    /// End-to-end runtime in cycles (inter-phase composition applied).
+    pub total_cycles: u64,
+    /// Aggregation phase statistics.
+    pub agg: PhaseStats,
+    /// Combination phase statistics.
+    pub cmb: PhaseStats,
+    /// Merged access counters of both phases.
+    pub counters: AccessCounters,
+    /// Intermediate buffering requirement in elements (Table III column 2:
+    /// `V×F` for Seq, `Pel` for SP-Generic, 0 for SP-Optimized, `2×Pel` for PP).
+    pub intermediate_buffer_elems: u64,
+    /// Pipelined elements per chunk (`Pel`), when the dataflow pipelines.
+    pub pel: Option<u64>,
+    /// Pipelining granularity, when the dataflow pipelines.
+    pub granularity: Option<Granularity>,
+    /// `true` when the SP-Optimized conditions held (Table II row 2).
+    pub sp_optimized: bool,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl CostReport {
+    /// Runtime normalised to another report (the paper normalises everything to
+    /// `Seq1`).
+    pub fn runtime_relative_to(&self, baseline: &CostReport) -> f64 {
+        if baseline.total_cycles == 0 {
+            return f64::INFINITY;
+        }
+        self.total_cycles as f64 / baseline.total_cycles as f64
+    }
+
+    /// Energy-delay product (pJ · cycles), a common mapper objective.
+    pub fn edp(&self) -> f64 {
+        self.energy.total_pj() * self.total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> AccessCounters {
+        let mut c = AccessCounters::default();
+        c.read(OperandClass::Input, 1000);
+        c.read(OperandClass::Intermediate, 500);
+        c.write(OperandClass::Intermediate, 500);
+        c.write(OperandClass::Output, 100);
+        c.rf_reads = 10_000;
+        c.rf_writes = 5_000;
+        c
+    }
+
+    #[test]
+    fn gb_energy_excludes_intermediate_bucket() {
+        let e = EnergyModel::paper_default();
+        let b = EnergyBreakdown::from_counters(&counters(), &e, None);
+        // GB bucket: 1000 input reads + 100 output writes at 1.046 pJ.
+        assert!((b.gb_pj - 1100.0 * 1.046).abs() < 1e-6);
+        // Intermediate at full GB rate without a partition.
+        assert!((b.intermediate_pj - 1000.0 * 1.046).abs() < 1e-6);
+        assert!((b.rf_pj - 15_000.0 * 0.053).abs() < 1e-6);
+        assert_eq!(b.dram_pj, 0.0);
+        assert!((b.total_pj() - (b.gb_pj + b.rf_pj + b.intermediate_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_discounts_intermediate_energy() {
+        let e = EnergyModel::paper_default();
+        let full = EnergyBreakdown::from_counters(&counters(), &e, None);
+        let small = EnergyBreakdown::from_counters(&counters(), &e, Some(16 << 10));
+        assert!(small.intermediate_pj < full.intermediate_pj);
+        // Non-intermediate buckets unchanged.
+        assert!((small.gb_pj - full.gb_pj).abs() < 1e-9);
+        // Class breakdown reflects the discount.
+        let idx = OperandClass::Intermediate.idx();
+        assert!(small.gb_by_class_pj[idx] < full.gb_by_class_pj[idx]);
+    }
+
+    #[test]
+    fn dram_overflow_is_charged() {
+        let e = EnergyModel::paper_default();
+        let on_chip = EnergyBreakdown::from_counters_with(
+            &counters(),
+            &e,
+            IntermediateCost::GlobalBuffer { dram_fraction: 0.0 },
+        );
+        let overflow = EnergyBreakdown::from_counters_with(
+            &counters(),
+            &e,
+            IntermediateCost::GlobalBuffer { dram_fraction: 0.5 },
+        );
+        // 1000 intermediate accesses, half from DRAM at 200 pJ.
+        assert!((overflow.dram_pj - 500.0 * 200.0).abs() < 1e-6);
+        assert!(overflow.total_pj() > on_chip.total_pj());
+        // Fractions are clamped.
+        let clamped = EnergyBreakdown::from_counters_with(
+            &counters(),
+            &e,
+            IntermediateCost::GlobalBuffer { dram_fraction: 7.0 },
+        );
+        assert!((clamped.dram_pj - 1000.0 * 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_breakdown_sums_to_buckets() {
+        let e = EnergyModel::paper_default();
+        let b = EnergyBreakdown::from_counters(&counters(), &e, Some(1 << 12));
+        let sum: f64 = b.gb_by_class_pj.iter().sum();
+        assert!((sum - (b.gb_pj + b.intermediate_pj)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,481 @@
+//! A mapping optimizer over the dataflow design space (Section VI).
+//!
+//! The paper positions OMEGA as the cost model a future mapper would search
+//! with; this module is that mapper: candidate generation (Table V presets, or
+//! deterministic samples of the full 6,656-pattern space concretised by the
+//! tile chooser) plus parallel best-of search under a runtime / energy / EDP
+//! objective.
+
+use crossbeam::thread;
+use serde::Serialize;
+
+use omega_accel::AccelConfig;
+use omega_dataflow::enumerate::all_patterns;
+use omega_dataflow::presets::Preset;
+use omega_dataflow::tiles::{Cap, PhasePolicy};
+use omega_dataflow::{Dim, GnnDataflow, InterPhase, IntraTiling, MappingSpec, Phase};
+
+use crate::{evaluate, CostReport, GnnWorkload};
+
+/// What the mapper minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Objective {
+    /// Total cycles.
+    Runtime,
+    /// Total on-chip buffer energy.
+    Energy,
+    /// Energy-delay product.
+    Edp,
+}
+
+impl Objective {
+    fn score(self, r: &CostReport) -> f64 {
+        match self {
+            Objective::Runtime => r.total_cycles as f64,
+            Objective::Energy => r.energy.total_pj(),
+            Objective::Edp => r.edp(),
+        }
+    }
+}
+
+/// A search winner: the dataflow and its evaluation.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Winning dataflow.
+    pub dataflow: GnnDataflow,
+    /// Its cost report.
+    pub report: CostReport,
+    /// Objective value.
+    pub score: f64,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// The nine Table V presets concretised for this workload (PP split 50-50).
+pub fn preset_candidates(workload: &GnnWorkload, cfg: &AccelConfig) -> Vec<GnnDataflow> {
+    Preset::all()
+        .iter()
+        .map(|p| {
+            let ctx = workload.tile_context(p.pattern.phase_order);
+            let (a, c) = if p.pattern.inter == InterPhase::ParallelPipeline {
+                (cfg.num_pes / 2, cfg.num_pes / 2)
+            } else {
+                (cfg.num_pes, cfg.num_pes)
+            };
+            p.concretize(&ctx, a, c)
+        })
+        .collect()
+}
+
+/// Deterministic sample of `n` candidates from the full enumerated pattern
+/// space, concretised with a balanced tile policy. `offset` rotates the sample
+/// (stride sampling keeps this reproducible without an RNG).
+pub fn sampled_candidates(
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    n: usize,
+    offset: usize,
+) -> Vec<GnnDataflow> {
+    let patterns: Vec<_> = all_patterns().collect();
+    if patterns.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let stride = (patterns.len() / n.max(1)).max(1);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = &patterns[(offset + i * stride) % patterns.len()];
+        let ctx = workload.tile_context(p.phase_order);
+        let (agg_pes, cmb_pes) = if p.inter == InterPhase::ParallelPipeline {
+            (cfg.num_pes / 2, cfg.num_pes / 2)
+        } else {
+            (cfg.num_pes, cfg.num_pes)
+        };
+        // Balanced growth over the dims the pattern allows to be spatial, with
+        // the neighbour tile capped at the mean degree.
+        let policy_for = |pattern: &omega_dataflow::IntraPattern| {
+            let dims: Vec<Dim> = pattern
+                .order()
+                .dims()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| pattern.maps()[i] != MappingSpec::Temporal)
+                .map(|(_, &d)| d)
+                .collect();
+            PhasePolicy::round_robin(&dims).with_cap(Dim::N, Cap::MeanDegreePow2)
+        };
+        let agg = omega_dataflow::tiles::choose_tiling(&p.agg, &ctx, agg_pes, &policy_for(&p.agg));
+        let cmb = omega_dataflow::tiles::choose_tiling(&p.cmb, &ctx, cmb_pes, &policy_for(&p.cmb));
+        out.push(GnnDataflow { inter: p.inter, phase_order: p.phase_order, agg, cmb });
+    }
+    out
+}
+
+/// Evaluates all candidates in parallel (crossbeam scoped threads) and returns
+/// the best under `objective`. Candidates that fail validation are skipped.
+pub fn best_of(
+    candidates: &[GnnDataflow],
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    objective: Objective,
+    threads: usize,
+) -> Option<SearchResult> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let threads = threads.max(1).min(candidates.len());
+    let chunk = candidates.len().div_ceil(threads);
+    let results: Vec<Option<(usize, CostReport)>> = thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                s.spawn(move |_| {
+                    let mut best: Option<(usize, CostReport)> = None;
+                    for (i, df) in slice.iter().enumerate() {
+                        if let Ok(r) = evaluate(workload, df, cfg) {
+                            let replace = match &best {
+                                Some((_, b)) => objective.score(&r) < objective.score(b),
+                                None => true,
+                            };
+                            if replace {
+                                best = Some((ci * chunk + i, r));
+                            }
+                        }
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mapper worker panicked")).collect()
+    })
+    .expect("mapper scope");
+
+    let evaluated = candidates.len();
+    results
+        .into_iter()
+        .flatten()
+        .min_by(|(_, a), (_, b)| {
+            objective.score(a).partial_cmp(&objective.score(b)).expect("scores are finite")
+        })
+        .map(|(i, report)| SearchResult {
+            dataflow: candidates[i],
+            score: objective.score(&report),
+            report,
+            evaluated,
+        })
+}
+
+/// The Table V presets *plus* their CA-order companions (including AWB-GCN's
+/// dataflow) — the candidate set that covers both compute orders. CA shrinks
+/// aggregation work from `E×F` to `E×G`, so for wide-feature workloads the CA
+/// members routinely win.
+pub fn extended_candidates(workload: &GnnWorkload, cfg: &AccelConfig) -> Vec<GnnDataflow> {
+    let mut out = preset_candidates(workload, cfg);
+    for p in omega_dataflow::presets::ca_variants() {
+        let ctx = workload.tile_context(p.pattern.phase_order);
+        let (a, c) = if p.pattern.inter == InterPhase::ParallelPipeline {
+            (cfg.num_pes / 2, cfg.num_pes / 2)
+        } else {
+            (cfg.num_pes, cfg.num_pes)
+        };
+        out.push(p.concretize(&ctx, a, c));
+    }
+    out
+}
+
+/// One-call search: presets plus `extra_samples` sampled patterns.
+pub fn search(
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    objective: Objective,
+    extra_samples: usize,
+    threads: usize,
+) -> Option<SearchResult> {
+    let mut candidates = extended_candidates(workload, cfg);
+    candidates.extend(sampled_candidates(workload, cfg, extra_samples, 0));
+    best_of(&candidates, workload, cfg, objective, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::DatasetSpec;
+
+    fn wl() -> GnnWorkload {
+        GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16)
+    }
+
+    #[test]
+    fn preset_candidates_cover_table_v() {
+        let cfg = AccelConfig::paper_default();
+        let c = preset_candidates(&wl(), &cfg);
+        assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn sampled_candidates_are_deterministic_and_sized() {
+        let cfg = AccelConfig::paper_default();
+        let a = sampled_candidates(&wl(), &cfg, 20, 0);
+        let b = sampled_candidates(&wl(), &cfg, 20, 0);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, b);
+        let c = sampled_candidates(&wl(), &cfg, 20, 7);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn best_of_minimises_objective() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let candidates = preset_candidates(&workload, &cfg);
+        let best = best_of(&candidates, &workload, &cfg, Objective::Runtime, 4).unwrap();
+        assert_eq!(best.evaluated, 9);
+        // The winner is no slower than every candidate.
+        for df in &candidates {
+            if let Ok(r) = evaluate(&workload, df, &cfg) {
+                assert!(best.report.total_cycles <= r.total_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn objectives_disagree_in_general() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let candidates = preset_candidates(&workload, &cfg);
+        let rt = best_of(&candidates, &workload, &cfg, Objective::Runtime, 2).unwrap();
+        let en = best_of(&candidates, &workload, &cfg, Objective::Energy, 2).unwrap();
+        let edp = best_of(&candidates, &workload, &cfg, Objective::Edp, 2).unwrap();
+        // EDP winner can never beat the runtime winner on runtime or the energy
+        // winner on energy.
+        assert!(edp.report.total_cycles >= rt.report.total_cycles);
+        assert!(edp.report.energy.total_pj() >= en.report.energy.total_pj() - 1e-9);
+    }
+
+    #[test]
+    fn search_combines_sources() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let result = search(&workload, &cfg, Objective::Runtime, 12, 4).unwrap();
+        assert_eq!(result.evaluated, 9 + 3 + 12); // presets + CA variants + samples
+        assert!(result.score > 0.0);
+    }
+
+    #[test]
+    fn extended_candidates_cover_both_compute_orders() {
+        use omega_dataflow::PhaseOrder;
+        let cfg = AccelConfig::paper_default();
+        let c = extended_candidates(&wl(), &cfg);
+        assert_eq!(c.len(), 12);
+        assert!(c.iter().any(|df| df.phase_order == PhaseOrder::CA));
+        // On a wide-feature workload the CA members win the runtime search.
+        let wide = GnnWorkload::gcn_layer(&DatasetSpec::collab().generate(2), 16);
+        let wide_candidates = extended_candidates(&wide, &cfg);
+        let best = best_of(&wide_candidates, &wide, &cfg, Objective::Runtime, 4).unwrap();
+        assert_eq!(best.dataflow.phase_order, PhaseOrder::CA, "{}", best.dataflow);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let cfg = AccelConfig::paper_default();
+        assert!(best_of(&[], &wl(), &cfg, Objective::Runtime, 2).is_none());
+    }
+}
+
+/// Local search over tile sizes around a concrete dataflow ("the tile sizes
+/// (T_Dim) are also parameters which can put the actual number of possible
+/// mappings in the trillions", Section III-C).
+///
+/// Hill climbing: each step tries doubling or halving one tile of one phase
+/// (keeping the pattern's spatial/temporal constraints and the PE budgets),
+/// keeps the best improving neighbour, and stops at a local optimum or after
+/// `max_steps`. Returns the refined result (the input dataflow if no neighbour
+/// improves).
+pub fn refine_tiles(
+    dataflow: &GnnDataflow,
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    objective: Objective,
+    max_steps: usize,
+) -> Option<SearchResult> {
+    let mut current = *dataflow;
+    let mut report = evaluate(workload, &current, cfg).ok()?;
+    let mut score = objective.score(&report);
+    let mut evaluated = 1;
+
+    let budgets = |df: &GnnDataflow| -> (usize, usize) {
+        if df.inter == InterPhase::ParallelPipeline {
+            (cfg.num_pes / 2, cfg.num_pes / 2)
+        } else {
+            (cfg.num_pes, cfg.num_pes)
+        }
+    };
+
+    for _ in 0..max_steps {
+        let (agg_budget, cmb_budget) = budgets(&current);
+        let mut best_neighbour: Option<(GnnDataflow, CostReport, f64)> = None;
+        for (phase_sel, budget) in [(Phase::Aggregation, agg_budget), (Phase::Combination, cmb_budget)] {
+            let tiling = if phase_sel == Phase::Aggregation { current.agg } else { current.cmb };
+            for pos in 0..3 {
+                for grow in [true, false] {
+                    let Some(new_tiling) = scaled_tile(&tiling, pos, grow) else { continue };
+                    if new_tiling.pe_footprint() > budget {
+                        continue;
+                    }
+                    let candidate = if phase_sel == Phase::Aggregation {
+                        GnnDataflow { agg: new_tiling, ..current }
+                    } else {
+                        GnnDataflow { cmb: new_tiling, ..current }
+                    };
+                    let Ok(r) = evaluate(workload, &candidate, cfg) else { continue };
+                    evaluated += 1;
+                    let s = objective.score(&r);
+                    if s < score
+                        && best_neighbour.as_ref().is_none_or(|(_, _, bs)| s < *bs)
+                    {
+                        best_neighbour = Some((candidate, r, s));
+                    }
+                }
+            }
+        }
+        match best_neighbour {
+            Some((df, r, s)) => {
+                current = df;
+                report = r;
+                score = s;
+            }
+            None => break, // local optimum
+        }
+    }
+    Some(SearchResult { dataflow: current, report, score, evaluated })
+}
+
+/// Doubles or halves the tile at `pos`, returning `None` when out of range.
+fn scaled_tile(tiling: &IntraTiling, pos: usize, grow: bool) -> Option<IntraTiling> {
+    let mut tiles = *tiling.tiles();
+    if grow {
+        tiles[pos] = tiles[pos].checked_mul(2)?;
+    } else {
+        if tiles[pos] <= 1 {
+            return None;
+        }
+        tiles[pos] /= 2;
+    }
+    Some(IntraTiling::new(tiling.phase(), tiling.order(), tiles))
+}
+
+/// The runtime/energy Pareto frontier of a candidate set: every dataflow not
+/// dominated (strictly worse on both axes) by another. Sorted by runtime.
+pub fn pareto_frontier(
+    candidates: &[GnnDataflow],
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+) -> Vec<SearchResult> {
+    let mut evaluated: Vec<(GnnDataflow, CostReport)> = candidates
+        .iter()
+        .filter_map(|df| evaluate(workload, df, cfg).ok().map(|r| (*df, r)))
+        .collect();
+    evaluated.sort_by_key(|(_, r)| r.total_cycles);
+    let mut frontier: Vec<SearchResult> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    let n = evaluated.len();
+    for (df, r) in evaluated {
+        let e = r.energy.total_pj();
+        if e < best_energy {
+            best_energy = e;
+            frontier.push(SearchResult {
+                dataflow: df,
+                score: r.total_cycles as f64,
+                report: r,
+                evaluated: n,
+            });
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use omega_graph::DatasetSpec;
+
+    fn wl() -> GnnWorkload {
+        GnnWorkload::gcn_layer(&DatasetSpec::proteins().generate(2), 16)
+    }
+
+    #[test]
+    fn refine_tiles_never_regresses() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        for df in preset_candidates(&workload, &cfg) {
+            let base = evaluate(&workload, &df, &cfg).unwrap();
+            let refined = refine_tiles(&df, &workload, &cfg, Objective::Runtime, 8).unwrap();
+            assert!(
+                refined.report.total_cycles <= base.total_cycles,
+                "{df}: {} -> {}",
+                base.total_cycles,
+                refined.report.total_cycles
+            );
+            assert!(refined.evaluated >= 1);
+        }
+    }
+
+    #[test]
+    fn refine_tiles_improves_a_bad_start() {
+        // Start from a deliberately under-parallelised Seq dataflow.
+        use omega_dataflow::{LoopOrder};
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let agg = IntraTiling::new(
+            Phase::Aggregation,
+            LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).unwrap(),
+            [2, 2, 1],
+        );
+        let cmb = IntraTiling::new(
+            Phase::Combination,
+            LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap(),
+            [2, 2, 1],
+        );
+        let df = GnnDataflow {
+            inter: InterPhase::Sequential,
+            phase_order: omega_dataflow::PhaseOrder::AC,
+            agg,
+            cmb,
+        };
+        let base = evaluate(&workload, &df, &cfg).unwrap();
+        let refined = refine_tiles(&df, &workload, &cfg, Objective::Runtime, 32).unwrap();
+        assert!(
+            (refined.report.total_cycles as f64) < 0.2 * base.total_cycles as f64,
+            "{} -> {}",
+            base.total_cycles,
+            refined.report.total_cycles
+        );
+        // The refined tiling still fits the machine.
+        assert!(refined.dataflow.agg.pe_footprint() <= cfg.num_pes);
+        assert!(refined.dataflow.cmb.pe_footprint() <= cfg.num_pes);
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_sorted() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let candidates = preset_candidates(&workload, &cfg);
+        let frontier = pareto_frontier(&candidates, &workload, &cfg);
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= candidates.len());
+        // Sorted by runtime, strictly improving in energy.
+        for w in frontier.windows(2) {
+            assert!(w[0].report.total_cycles <= w[1].report.total_cycles);
+            assert!(w[0].report.energy.total_pj() > w[1].report.energy.total_pj());
+        }
+        // No frontier point is dominated by any candidate.
+        for f in &frontier {
+            for df in &candidates {
+                let r = evaluate(&workload, df, &cfg).unwrap();
+                let dominates = r.total_cycles < f.report.total_cycles
+                    && r.energy.total_pj() < f.report.energy.total_pj();
+                assert!(!dominates, "{df} dominates {}", f.dataflow);
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Multi-layer GNN models: evaluating whole networks, not just one layer.
+//!
+//! Section II-A: "the main computation bottlenecks of various GNN algorithms like
+//! GCN, GraphSage, GINConv can be broken down into two phases: Aggregation and
+//! Combination. GCNs allow either phase to precede the other while some
+//! algorithms like GraphSAGE perform Aggregation before Combination." This module
+//! models those algorithms as layer stacks over one graph:
+//!
+//! * layer `ℓ` consumes the width produced by layer `ℓ−1` (the first layer
+//!   consumes the dataset features), so the F↔G asymmetry — and with it the best
+//!   dataflow — changes from layer to layer;
+//! * the algorithm constrains the legal phase orders (GraphSAGE/GIN are AC-only);
+//! * GIN's combination is a 2-layer MLP, adding a third (dense) phase per layer,
+//!   which the evaluator costs as an extra GEMM stage.
+//!
+//! [`evaluate_model`] runs one preset across all layers (re-concretised per
+//! layer); [`evaluate_model_mapped`] lets the mapper pick the best preset *per
+//! layer* — the cross-layer face of the paper's flexibility argument.
+
+use serde::Serialize;
+
+use omega_accel::engine::{simulate_gemm, EngineOptions, GemmDims, OperandClasses};
+use omega_accel::{AccelConfig, AccessCounters, EnergyModel};
+use omega_dataflow::presets::Preset;
+use omega_dataflow::{InterPhase, PhaseOrder};
+
+use crate::cost::EnergyBreakdown;
+use crate::mapper::{best_of, preset_candidates, Objective};
+use crate::{evaluate, CostReport, EvalError, GnnWorkload};
+
+/// The GNN algorithm, deciding phase-order legality and per-layer structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Algorithm {
+    /// Graph Convolutional Network: either phase order is legal.
+    Gcn,
+    /// GraphSAGE (mean aggregator): Aggregation must precede Combination.
+    GraphSage,
+    /// GIN: Aggregation first, then a 2-layer MLP combination with the given
+    /// hidden width.
+    GinConv {
+        /// Hidden width of the per-layer MLP.
+        mlp_hidden: usize,
+    },
+}
+
+impl Algorithm {
+    /// Phase orders this algorithm admits (Section II-A).
+    pub fn allowed_phase_orders(self) -> &'static [PhaseOrder] {
+        match self {
+            Algorithm::Gcn => &[PhaseOrder::AC, PhaseOrder::CA],
+            Algorithm::GraphSage | Algorithm::GinConv { .. } => &[PhaseOrder::AC],
+        }
+    }
+}
+
+/// A GNN model: an algorithm plus the output width of each layer.
+#[derive(Debug, Clone, Serialize)]
+pub struct GnnModel {
+    /// Model name (for reports).
+    pub name: String,
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Output feature width per layer (layer 0 consumes the dataset features).
+    pub layer_widths: Vec<usize>,
+}
+
+impl GnnModel {
+    /// The standard 2-layer GCN (hidden 16, `num_classes` outputs) used by the
+    /// Kipf & Welling citation benchmarks.
+    pub fn gcn_2layer(num_classes: usize) -> Self {
+        GnnModel { name: "GCN-2".into(), algorithm: Algorithm::Gcn, layer_widths: vec![16, num_classes] }
+    }
+
+    /// A 2-layer GraphSAGE with the given hidden and output widths.
+    pub fn sage_2layer(hidden: usize, num_classes: usize) -> Self {
+        GnnModel {
+            name: "GraphSAGE-2".into(),
+            algorithm: Algorithm::GraphSage,
+            layer_widths: vec![hidden, num_classes],
+        }
+    }
+
+    /// A GIN with `layers` identical layers of the given width (GIN papers use
+    /// 5 layers of width 64 on the TU datasets).
+    pub fn gin(layers: usize, width: usize) -> Self {
+        GnnModel {
+            name: format!("GIN-{layers}"),
+            algorithm: Algorithm::GinConv { mlp_hidden: width },
+            layer_widths: vec![width; layers],
+        }
+    }
+
+    /// The per-layer workloads for a base (dataset) workload.
+    pub fn layer_workloads(&self, base: &GnnWorkload) -> Vec<GnnWorkload> {
+        let mut f = base.f;
+        self.layer_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let wl = GnnWorkload {
+                    name: format!("{}[L{}]", base.name, i),
+                    f,
+                    g,
+                    ..base.clone()
+                };
+                f = g;
+                wl
+            })
+            .collect()
+    }
+}
+
+/// Evaluation of one model on one graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelReport {
+    /// Per-layer reports, in layer order.
+    pub layers: Vec<CostReport>,
+    /// Extra MLP-GEMM cycles per layer (GIN only; zero otherwise).
+    pub mlp_cycles: Vec<u64>,
+    /// End-to-end cycles (layers are sequential: layer ℓ+1 needs all of ℓ).
+    pub total_cycles: u64,
+    /// Total buffer energy in pJ.
+    pub total_energy_pj: f64,
+}
+
+/// Model-evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The chosen dataflow's phase order is illegal for the algorithm.
+    PhaseOrderNotAllowed {
+        /// The offending order.
+        order: PhaseOrder,
+    },
+    /// A layer evaluation failed.
+    Layer(EvalError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::PhaseOrderNotAllowed { order } => {
+                write!(f, "phase order {order} is not legal for this algorithm (Section II-A)")
+            }
+            ModelError::Layer(e) => write!(f, "layer evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Evaluates `model` on `base` using one Table V preset for every layer
+/// (re-concretised per layer, since each layer's F/G differ).
+pub fn evaluate_model(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    preset: &Preset,
+    cfg: &AccelConfig,
+) -> Result<ModelReport, ModelError> {
+    if !model.allowed(preset.pattern.phase_order) {
+        return Err(ModelError::PhaseOrderNotAllowed { order: preset.pattern.phase_order });
+    }
+    let mut layers = Vec::new();
+    let mut mlp_cycles = Vec::new();
+    for wl in model.layer_workloads(base) {
+        let ctx = wl.tile_context(preset.pattern.phase_order);
+        let (a, c) = if preset.pattern.inter == InterPhase::ParallelPipeline {
+            (cfg.num_pes / 2, cfg.num_pes / 2)
+        } else {
+            (cfg.num_pes, cfg.num_pes)
+        };
+        let df = preset.concretize(&ctx, a, c);
+        let report = evaluate(&wl, &df, cfg).map_err(ModelError::Layer)?;
+        mlp_cycles.push(mlp_stage(model, &wl, &report, cfg));
+        layers.push(report);
+    }
+    Ok(finish(layers, mlp_cycles))
+}
+
+/// Evaluates `model` with the mapper choosing the best preset per layer.
+pub fn evaluate_model_mapped(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    cfg: &AccelConfig,
+    objective: Objective,
+) -> Result<ModelReport, ModelError> {
+    let mut layers = Vec::new();
+    let mut mlp_cycles = Vec::new();
+    for wl in model.layer_workloads(base) {
+        let candidates: Vec<_> = preset_candidates(&wl, cfg)
+            .into_iter()
+            .filter(|df| model.allowed(df.phase_order))
+            .collect();
+        let best = best_of(&candidates, &wl, cfg, objective, 4)
+            .ok_or(ModelError::Layer(EvalError::Invalid(
+                omega_dataflow::ValidationError::BrokenSpOptimizedTiles { detail: "no candidates" },
+            )))?;
+        mlp_cycles.push(mlp_stage(model, &wl, &best.report, cfg));
+        layers.push(best.report);
+    }
+    Ok(finish(layers, mlp_cycles))
+}
+
+impl GnnModel {
+    fn allowed(&self, order: PhaseOrder) -> bool {
+        self.algorithm.allowed_phase_orders().contains(&order)
+    }
+}
+
+/// GIN's second MLP GEMM (`V×G · G×mlp_hidden`), costed with the layer's
+/// combination tiling on the full array. Returns `(cycles, energy_pj)`.
+fn mlp_stage(model: &GnnModel, wl: &GnnWorkload, report: &CostReport, cfg: &AccelConfig) -> (u64, f64) {
+    let Algorithm::GinConv { mlp_hidden } = model.algorithm else {
+        return (0, 0.0);
+    };
+    let dims = GemmDims { v: wl.v, f: wl.g, g: mlp_hidden };
+    let stats = simulate_gemm(
+        dims,
+        &report.dataflow.cmb,
+        cfg,
+        &OperandClasses::combination_ac(),
+        &EngineOptions::plain(cfg.full_bandwidth()),
+    );
+    let energy = EnergyBreakdown::from_counters(&stats.counters, &EnergyModel::paper_default(), None);
+    (stats.cycles, energy.total_pj())
+}
+
+fn finish(layers: Vec<CostReport>, mlp: Vec<(u64, f64)>) -> ModelReport {
+    let mlp_cycles: Vec<u64> = mlp.iter().map(|&(c, _)| c).collect();
+    let total_cycles =
+        layers.iter().map(|l| l.total_cycles).sum::<u64>() + mlp_cycles.iter().sum::<u64>();
+    let mut counters = AccessCounters::default();
+    for l in &layers {
+        counters.merge(&l.counters);
+    }
+    let total_energy_pj = layers.iter().map(|l| l.energy.total_pj()).sum::<f64>()
+        + mlp.iter().map(|&(_, e)| e).sum::<f64>();
+    ModelReport { layers, mlp_cycles, total_cycles, total_energy_pj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::DatasetSpec;
+
+    fn base() -> GnnWorkload {
+        GnnWorkload::gcn_layer(&DatasetSpec::cora().generate(3), 16)
+    }
+
+    #[test]
+    fn layer_widths_chain() {
+        let model = GnnModel::gcn_2layer(7);
+        let wls = model.layer_workloads(&base());
+        assert_eq!(wls.len(), 2);
+        assert_eq!((wls[0].f, wls[0].g), (1433, 16));
+        assert_eq!((wls[1].f, wls[1].g), (16, 7));
+        assert!(wls[0].name.contains("[L0]"));
+    }
+
+    #[test]
+    fn gcn_two_layer_evaluates() {
+        let model = GnnModel::gcn_2layer(7);
+        let preset = Preset::by_name("SP2").unwrap();
+        let cfg = AccelConfig::paper_default();
+        let r = evaluate_model(&model, &base(), &preset, &cfg).unwrap();
+        assert_eq!(r.layers.len(), 2);
+        assert_eq!(r.total_cycles, r.layers[0].total_cycles + r.layers[1].total_cycles);
+        // Layer 2 is much cheaper (F = 16 instead of 1433).
+        assert!(r.layers[1].total_cycles < r.layers[0].total_cycles / 4);
+        assert!(r.total_energy_pj > 0.0);
+    }
+
+    #[test]
+    fn sage_rejects_ca_presets() {
+        // Build a CA pattern preset stand-in by checking the algorithm gate
+        // directly (all Table V presets are AC, so the gate is exercised here).
+        assert_eq!(Algorithm::GraphSage.allowed_phase_orders(), &[PhaseOrder::AC]);
+        assert_eq!(Algorithm::Gcn.allowed_phase_orders().len(), 2);
+        let model = GnnModel::sage_2layer(32, 7);
+        assert!(model.allowed(PhaseOrder::AC));
+        assert!(!model.allowed(PhaseOrder::CA));
+    }
+
+    #[test]
+    fn gin_adds_mlp_stages() {
+        let model = GnnModel::gin(3, 64);
+        let preset = Preset::by_name("Seq1").unwrap();
+        let cfg = AccelConfig::paper_default();
+        let small = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 64);
+        let r = evaluate_model(&model, &small, &preset, &cfg).unwrap();
+        assert_eq!(r.layers.len(), 3);
+        assert_eq!(r.mlp_cycles.len(), 3);
+        assert!(r.mlp_cycles.iter().all(|&c| c > 0), "{:?}", r.mlp_cycles);
+        let layer_sum: u64 = r.layers.iter().map(|l| l.total_cycles).sum();
+        assert_eq!(r.total_cycles, layer_sum + r.mlp_cycles.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn mapper_can_pick_different_dataflows_per_layer() {
+        let model = GnnModel::gcn_2layer(7);
+        let cfg = AccelConfig::paper_default();
+        let fixed = evaluate_model(&model, &base(), &Preset::by_name("Seq1").unwrap(), &cfg).unwrap();
+        let mapped = evaluate_model_mapped(&model, &base(), &cfg, Objective::Runtime).unwrap();
+        assert!(mapped.total_cycles <= fixed.total_cycles);
+        // Both layers were actually searched.
+        assert_eq!(mapped.layers.len(), 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! Generalisation beyond GNNs: multiphase sparse/dense kernel chains.
+//!
+//! Section VI: "the taxonomy and inter-phase analysis ... can be generalized to
+//! dataflows for multiphase computations (GEMM-GEMM / GEMM-SpMM / SpMM-SpMM).
+//! One immediate example is Deep Learning Recommendation Models that is built
+//! of an SpMM and a DenseGEMM in parallel followed by concatenation followed by
+//! a DenseGEMM." This module models such chains: stages are individual
+//! GEMM/SpMM phase runs, grouped sequentially, pipelined pairwise (the SP/PP
+//! composition), or in parallel on partitioned PEs (the DLRM front end).
+
+use serde::Serialize;
+
+use omega_accel::engine::{
+    simulate_gemm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims, OperandClasses,
+    SpmmWorkload,
+};
+use omega_accel::{AccelConfig, AccessCounters, EnergyModel, PhaseStats};
+use omega_dataflow::IntraTiling;
+
+use crate::cost::EnergyBreakdown;
+use crate::pipeline::{pipeline_runtime, resample_durations};
+
+/// One kernel stage of a multiphase chain.
+#[derive(Debug, Clone)]
+pub enum StageKind {
+    /// A dense GEMM with the given dimensions and Combination tiling.
+    Gemm {
+        /// Matrix dimensions.
+        dims: GemmDims,
+        /// Concrete tiling (Combination phase).
+        tiling: IntraTiling,
+    },
+    /// A sparse SpMM with the given row degrees, dense width, and Aggregation
+    /// tiling.
+    Spmm {
+        /// Stored non-zeros per row.
+        degrees: Vec<usize>,
+        /// Dense operand width.
+        width: usize,
+        /// Concrete tiling (Aggregation phase).
+        tiling: IntraTiling,
+    },
+}
+
+/// A named stage.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label (for reports).
+    pub name: String,
+    /// The kernel.
+    pub kind: StageKind,
+}
+
+impl Stage {
+    /// Builds a GEMM stage.
+    pub fn gemm(name: impl Into<String>, dims: GemmDims, tiling: IntraTiling) -> Self {
+        Stage { name: name.into(), kind: StageKind::Gemm { dims, tiling } }
+    }
+
+    /// Builds an SpMM stage.
+    pub fn spmm(name: impl Into<String>, degrees: Vec<usize>, width: usize, tiling: IntraTiling) -> Self {
+        Stage { name: name.into(), kind: StageKind::Spmm { degrees, width, tiling } }
+    }
+
+    fn run(&self, cfg: &AccelConfig, opts: &EngineOptions) -> PhaseStats {
+        match &self.kind {
+            StageKind::Gemm { dims, tiling } => {
+                simulate_gemm(*dims, tiling, cfg, &OperandClasses::combination_ac(), opts)
+            }
+            StageKind::Spmm { degrees, width, tiling } => {
+                let wl = SpmmWorkload { degrees, feature_width: *width };
+                simulate_spmm(&wl, tiling, cfg, &OperandClasses::aggregation_ac(), opts)
+            }
+        }
+    }
+
+    /// Output elements of this stage (drives pipelined chunking).
+    pub fn output_elems(&self) -> u64 {
+        match &self.kind {
+            StageKind::Gemm { dims, .. } => dims.v as u64 * dims.g as u64,
+            StageKind::Spmm { degrees, width, .. } => degrees.len() as u64 * *width as u64,
+        }
+    }
+}
+
+/// A node of the chain: a single stage or a parallel group (stages running
+/// concurrently on partitioned PEs, like DLRM's bottom MLP ∥ embedding SpMM).
+#[derive(Debug, Clone)]
+pub enum ChainNode {
+    /// One stage on the whole array.
+    Single(Stage),
+    /// Concurrent stages; the group finishes with its slowest member.
+    Parallel(Vec<Stage>),
+}
+
+/// How one node hands data to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Link {
+    /// Barrier: the next node starts after this one fully finishes.
+    Sequential,
+    /// Producer/consumer pipelining at `pel` elements per chunk (only between
+    /// two `Single` nodes).
+    Pipelined {
+        /// Elements per pipeline chunk.
+        pel: u64,
+    },
+}
+
+/// A multiphase kernel chain.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    /// Nodes in execution order.
+    pub nodes: Vec<ChainNode>,
+    /// Links between consecutive nodes (`nodes.len() - 1` entries).
+    pub links: Vec<Link>,
+}
+
+/// Evaluation of one chain.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Per-stage statistics, flattened in chain order.
+    pub stages: Vec<(String, PhaseStats)>,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// Merged counters.
+    pub counters: AccessCounters,
+    /// Buffer energy (all non-RF traffic charged at GB rate).
+    pub energy: EnergyBreakdown,
+}
+
+/// Evaluates a chain on the accelerator.
+///
+/// # Panics
+/// Panics if `links.len() + 1 != nodes.len()`, or if a `Pipelined` link touches
+/// a `Parallel` node (pipelining is defined pairwise between single stages).
+pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> ChainReport {
+    assert_eq!(chain.links.len() + 1, chain.nodes.len(), "need one link between consecutive nodes");
+    let full_bw = cfg.full_bandwidth();
+    let mut stages: Vec<(String, PhaseStats)> = Vec::new();
+    let mut total: u64 = 0;
+
+    // Pre-run every node, attaching chunk specs where a pipelined link needs
+    // producer/consumer timestamps.
+    let mut node_stats: Vec<Vec<(String, PhaseStats)>> = Vec::with_capacity(chain.nodes.len());
+    for (i, node) in chain.nodes.iter().enumerate() {
+        let produce_pel = chain.links.get(i).and_then(|l| match l {
+            Link::Pipelined { pel } => Some(*pel),
+            Link::Sequential => None,
+        });
+        let consume_pel = i.checked_sub(1).and_then(|j| match chain.links[j] {
+            Link::Pipelined { pel } => Some(pel),
+            Link::Sequential => None,
+        });
+        match node {
+            ChainNode::Single(stage) => {
+                assert!(
+                    produce_pel.is_none() || consume_pel.is_none(),
+                    "a stage cannot be pipelined on both sides"
+                );
+                let mut opts = EngineOptions::plain(full_bw);
+                if let Some(pel) = produce_pel {
+                    opts.chunk = Some(ChunkSpec { side: ChunkSide::Produce, pel });
+                } else if let Some(pel) = consume_pel {
+                    opts.chunk = Some(ChunkSpec { side: ChunkSide::Consume, pel });
+                }
+                node_stats.push(vec![(stage.name.clone(), stage.run(cfg, &opts))]);
+            }
+            ChainNode::Parallel(group) => {
+                assert!(
+                    produce_pel.is_none() && consume_pel.is_none(),
+                    "pipelined links require single stages on both ends"
+                );
+                // Split bandwidth evenly across the group; PEs are already
+                // partitioned by the stages' tilings.
+                let share = omega_accel::BandwidthShare {
+                    dist: (full_bw.dist / group.len().max(1)).max(1),
+                    red: (full_bw.red / group.len().max(1)).max(1),
+                };
+                let opts = EngineOptions::plain(share);
+                node_stats.push(
+                    group.iter().map(|s| (s.name.clone(), s.run(cfg, &opts))).collect(),
+                );
+            }
+        }
+    }
+
+    // Compose timing.
+    let mut i = 0;
+    while i < chain.nodes.len() {
+        let pipelined_next = matches!(chain.links.get(i), Some(Link::Pipelined { .. }));
+        if pipelined_next {
+            let producer = &node_stats[i][0].1;
+            let consumer = &node_stats[i + 1][0].1;
+            let p = producer.chunk_durations();
+            let c = consumer.chunk_durations();
+            let k = p.len().max(1);
+            let c = if c.len() == k { c } else { resample_durations(&c, k) };
+            let p = if p.is_empty() { vec![0] } else { p };
+            total += pipeline_runtime(&p, &c);
+            i += 2;
+        } else {
+            let node_cycles = node_stats[i].iter().map(|(_, s)| s.cycles).max().unwrap_or(0);
+            total += node_cycles;
+            i += 1;
+        }
+    }
+
+    let mut counters = AccessCounters::default();
+    for group in &node_stats {
+        for (_, s) in group {
+            counters.merge(&s.counters);
+        }
+    }
+    for group in node_stats {
+        stages.extend(group);
+    }
+    let energy = EnergyBreakdown::from_counters(&counters, &EnergyModel::paper_default(), None);
+    ChainReport { stages, total_cycles: total, counters, energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_dataflow::{Dim, LoopOrder, Phase};
+
+    fn cmb_tiling(tiles: [usize; 3]) -> IntraTiling {
+        IntraTiling::new(
+            Phase::Combination,
+            LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap(),
+            tiles,
+        )
+    }
+
+    fn agg_tiling(tiles: [usize; 3]) -> IntraTiling {
+        IntraTiling::new(
+            Phase::Aggregation,
+            LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).unwrap(),
+            tiles,
+        )
+    }
+
+    fn gemm_stage(name: &str, v: usize, f: usize, g: usize) -> Stage {
+        Stage::gemm(name, GemmDims { v, f, g }, cmb_tiling([8, 8, 1]))
+    }
+
+    #[test]
+    fn sequential_chain_adds_cycles() {
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Single(gemm_stage("a", 32, 16, 8)),
+                ChainNode::Single(gemm_stage("b", 32, 8, 4)),
+            ],
+            links: vec![Link::Sequential],
+        };
+        let cfg = AccelConfig::paper_default();
+        let r = evaluate_chain(&chain, &cfg);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.total_cycles, r.stages[0].1.cycles + r.stages[1].1.cycles);
+        assert!(r.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn parallel_group_takes_the_max() {
+        let chain = Chain {
+            nodes: vec![ChainNode::Parallel(vec![
+                gemm_stage("big", 64, 64, 16),
+                gemm_stage("small", 8, 8, 4),
+            ])],
+            links: vec![],
+        };
+        let cfg = AccelConfig::paper_default();
+        let r = evaluate_chain(&chain, &cfg);
+        let max = r.stages.iter().map(|(_, s)| s.cycles).max().unwrap();
+        assert_eq!(r.total_cycles, max);
+    }
+
+    #[test]
+    fn pipelined_link_overlaps() {
+        let producer = Stage::spmm("embed", vec![4; 64], 16, agg_tiling([8, 8, 1]));
+        let consumer = gemm_stage("top", 64, 16, 8);
+        let pel = 8 * 16; // 8 rows
+        let seq = Chain {
+            nodes: vec![
+                ChainNode::Single(producer.clone()),
+                ChainNode::Single(consumer.clone()),
+            ],
+            links: vec![Link::Sequential],
+        };
+        let pip = Chain {
+            nodes: vec![ChainNode::Single(producer), ChainNode::Single(consumer)],
+            links: vec![Link::Pipelined { pel }],
+        };
+        let cfg = AccelConfig::paper_default();
+        let r_seq = evaluate_chain(&seq, &cfg);
+        let r_pip = evaluate_chain(&pip, &cfg);
+        assert!(r_pip.total_cycles <= r_seq.total_cycles);
+        let slower = r_pip.stages.iter().map(|(_, s)| s.cycles).max().unwrap();
+        assert!(r_pip.total_cycles >= slower);
+    }
+
+    #[test]
+    fn dlrm_shaped_chain_runs() {
+        // DLRM: SpMM (embedding gather) ∥ GEMM (bottom MLP) → concat → GEMM (top MLP).
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Parallel(vec![
+                    Stage::spmm("embedding", vec![8; 128], 32, agg_tiling([8, 8, 1])),
+                    gemm_stage("bottom-mlp", 128, 32, 32),
+                ]),
+                ChainNode::Single(gemm_stage("top-mlp", 128, 64, 16)),
+            ],
+            links: vec![Link::Sequential],
+        };
+        let cfg = AccelConfig::paper_default();
+        let r = evaluate_chain(&chain, &cfg);
+        assert_eq!(r.stages.len(), 3);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link")]
+    fn wrong_link_count_panics() {
+        let chain = Chain { nodes: vec![ChainNode::Single(gemm_stage("a", 4, 4, 4))], links: vec![Link::Sequential] };
+        evaluate_chain(&chain, &AccelConfig::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "single stages")]
+    fn pipelined_parallel_panics() {
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Parallel(vec![gemm_stage("a", 4, 4, 4)]),
+                ChainNode::Single(gemm_stage("b", 4, 4, 4)),
+            ],
+            links: vec![Link::Pipelined { pel: 4 }],
+        };
+        evaluate_chain(&chain, &AccelConfig::paper_default());
+    }
+}

@@ -1,0 +1,130 @@
+//! The PP pipeline schedule (Section IV-C).
+
+/// Total runtime of a two-stage pipeline over per-chunk durations.
+///
+/// The producer works on chunk `i` while the consumer processes chunk `i−1`
+/// (Fig. 7a); a pipeline step takes as long as the slower phase
+/// ("The runtime of one pipeline step is equal to the runtime of the slower
+/// phase for producing Pel elements. The total runtime is the sum of runtimes
+/// of individual steps `sum(max(t_AGG, t_CMB)_Pel)`", Section IV-C), plus the
+/// fill (first producer chunk) and drain (last consumer chunk) steps.
+///
+/// # Panics
+/// Panics if the slices have different lengths (chunk streams must align).
+pub fn pipeline_runtime(producer: &[u64], consumer: &[u64]) -> u64 {
+    assert_eq!(producer.len(), consumer.len(), "chunk streams must have equal length");
+    if producer.is_empty() {
+        return 0;
+    }
+    let k = producer.len();
+    let mut total = producer[0];
+    for i in 1..k {
+        total += producer[i].max(consumer[i - 1]);
+    }
+    total + consumer[k - 1]
+}
+
+/// Redistributes a duration sequence into `k` chunks with the same total, by
+/// linear interpolation over the cumulative timeline.
+///
+/// Needed when the producer and consumer account chunk progress in different
+/// units (e.g. a CA consumer counts edge visits while the producer counts
+/// intermediate elements) and their mark counts differ.
+pub fn resample_durations(durations: &[u64], k: usize) -> Vec<u64> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let total: u64 = durations.iter().sum();
+    if durations.is_empty() || total == 0 {
+        return vec![0; k];
+    }
+    // Cumulative marks at each original boundary.
+    let mut out = Vec::with_capacity(k);
+    let mut prev_mark = 0u64;
+    for i in 1..=k {
+        // Target cumulative fraction i/k of the total, interpolated on the
+        // original cumulative curve (piecewise linear within chunks).
+        let target = (total as u128 * i as u128 / k as u128) as u64;
+        let mut cum = 0u64;
+        let mut mark = total;
+        for &d in durations {
+            if cum + d >= target {
+                // Fraction of this chunk needed.
+                mark = cum + (target - cum);
+                break;
+            }
+            cum += d;
+        }
+        out.push(mark - prev_mark);
+        prev_mark = mark;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chunk_is_sequential() {
+        // One chunk: no overlap possible — fill + drain = both phases in full.
+        assert_eq!(pipeline_runtime(&[10], &[7]), 17);
+    }
+
+    #[test]
+    fn balanced_pipeline_overlaps() {
+        // 4 chunks of 10 vs 10: total = 10 (fill) + 3×10 + 10 (drain) = 50,
+        // versus 80 sequential.
+        assert_eq!(pipeline_runtime(&[10; 4], &[10; 4]), 50);
+    }
+
+    #[test]
+    fn slower_phase_dominates() {
+        // Consumer 3× slower: total ≈ fill + Σ consumer.
+        let p = [10u64; 5];
+        let c = [30u64; 5];
+        assert_eq!(pipeline_runtime(&p, &c), 10 + 4 * 30 + 30);
+    }
+
+    #[test]
+    fn imbalanced_chunks() {
+        let p = [5u64, 50, 5];
+        let c = [20u64, 20, 20];
+        // 5 + max(50,20) + max(5,20) + 20 = 95.
+        assert_eq!(pipeline_runtime(&p, &c), 95);
+    }
+
+    #[test]
+    fn empty_pipeline() {
+        assert_eq!(pipeline_runtime(&[], &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        pipeline_runtime(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn resample_preserves_total() {
+        let d = vec![10u64, 20, 30, 40];
+        for k in [1, 2, 3, 4, 5, 8, 100] {
+            let r = resample_durations(&d, k);
+            assert_eq!(r.len(), k);
+            assert_eq!(r.iter().sum::<u64>(), 100, "k={k}");
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_uniform() {
+        let d = vec![25u64; 4];
+        assert_eq!(resample_durations(&d, 4), d);
+    }
+
+    #[test]
+    fn resample_edge_cases() {
+        assert_eq!(resample_durations(&[], 3), vec![0, 0, 0]);
+        assert_eq!(resample_durations(&[0, 0], 2), vec![0, 0]);
+        assert!(resample_durations(&[5, 5], 0).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! GNN layer workloads: what the cost model evaluates a dataflow against.
+
+use serde::Serialize;
+
+use omega_dataflow::tiles::TileContext;
+use omega_dataflow::PhaseOrder;
+use omega_graph::{Dataset, Graph};
+
+/// One GCN-style layer over one (possibly batched) graph: the matrix dimensions
+/// and adjacency degree structure that both phase engines consume.
+#[derive(Debug, Clone, Serialize)]
+pub struct GnnWorkload {
+    /// Workload name (dataset name).
+    pub name: String,
+    /// Vertices `V`.
+    pub v: usize,
+    /// Input feature width `F`.
+    pub f: usize,
+    /// Output feature width `G` (the GCN hidden dimension; the paper does not
+    /// state it — we default to 16, see `DESIGN.md` §2).
+    pub g: usize,
+    /// Stored non-zeros per adjacency row (incl. self loops).
+    pub degrees: Vec<usize>,
+    /// Total stored non-zeros.
+    pub nnz: u64,
+    /// Mean row degree.
+    pub mean_degree: f64,
+    /// Maximum row degree.
+    pub max_degree: usize,
+}
+
+/// Default GCN hidden width used throughout the evaluation.
+pub const DEFAULT_HIDDEN: usize = 16;
+
+impl GnnWorkload {
+    /// Builds the workload for a GCN layer with hidden width `g` over `graph`.
+    pub fn from_graph(graph: &Graph, g: usize) -> Self {
+        let v = graph.num_vertices();
+        let degrees: Vec<usize> = (0..v).map(|i| graph.degree(i)).collect();
+        let nnz: u64 = degrees.iter().map(|&d| d as u64).sum();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mean_degree = if v > 0 { nnz as f64 / v as f64 } else { 0.0 };
+        GnnWorkload {
+            name: graph.name.clone(),
+            v,
+            f: graph.feature_dim(),
+            g,
+            degrees,
+            nnz,
+            mean_degree,
+            max_degree,
+        }
+    }
+
+    /// Builds the workload for a GCN layer over a generated dataset.
+    pub fn gcn_layer(dataset: &Dataset, g: usize) -> Self {
+        let mut wl = Self::from_graph(&dataset.graph, g);
+        wl.name = dataset.name().to_string();
+        wl
+    }
+
+    /// Tile-selection context for this workload under a phase order.
+    pub fn tile_context(&self, phase_order: PhaseOrder) -> TileContext {
+        TileContext::new(phase_order, self.v, self.f, self.g, self.mean_degree, self.max_degree)
+    }
+
+    /// Elements of the inter-phase intermediate matrix (`V×F` for AC, `V×G` for
+    /// CA).
+    pub fn intermediate_elems(&self, phase_order: PhaseOrder) -> u64 {
+        match phase_order {
+            PhaseOrder::AC => self.v as u64 * self.f as u64,
+            PhaseOrder::CA => self.v as u64 * self.g as u64,
+        }
+    }
+
+    /// Total MACs of the layer (Aggregation + Combination), independent of the
+    /// dataflow.
+    pub fn total_macs(&self, phase_order: PhaseOrder) -> u64 {
+        let (agg_width, cmb) = match phase_order {
+            PhaseOrder::AC => (self.f as u64, self.v as u64 * self.f as u64 * self.g as u64),
+            PhaseOrder::CA => (self.g as u64, self.v as u64 * self.f as u64 * self.g as u64),
+        };
+        self.nnz * agg_width + cmb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::GraphBuilder;
+
+    fn wl() -> GnnWorkload {
+        let g = GraphBuilder::new("t", 6, 10).edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).build();
+        GnnWorkload::from_graph(&g, 4)
+    }
+
+    #[test]
+    fn dimensions_and_degrees() {
+        let w = wl();
+        assert_eq!(w.v, 6);
+        assert_eq!(w.f, 10);
+        assert_eq!(w.g, 4);
+        // 5 undirected edges → 10 directed + 6 self loops.
+        assert_eq!(w.nnz, 16);
+        assert_eq!(w.degrees.len(), 6);
+        assert_eq!(w.max_degree, 3);
+        assert!((w.mean_degree - 16.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_size_by_phase_order() {
+        let w = wl();
+        assert_eq!(w.intermediate_elems(PhaseOrder::AC), 60);
+        assert_eq!(w.intermediate_elems(PhaseOrder::CA), 24);
+    }
+
+    #[test]
+    fn total_macs() {
+        let w = wl();
+        // AC: agg = nnz*F, cmb = V*F*G.
+        assert_eq!(w.total_macs(PhaseOrder::AC), 16 * 10 + 6 * 10 * 4);
+        // CA: cmb first (V*F*G), agg over G-wide rows.
+        assert_eq!(w.total_macs(PhaseOrder::CA), 16 * 4 + 6 * 10 * 4);
+    }
+
+    #[test]
+    fn tile_context_uses_phase_order() {
+        let w = wl();
+        let ac = w.tile_context(PhaseOrder::AC);
+        assert_eq!(ac.f_agg, 10);
+        let ca = w.tile_context(PhaseOrder::CA);
+        assert_eq!(ca.f_agg, 4);
+    }
+}

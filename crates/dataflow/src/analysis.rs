@@ -1,0 +1,250 @@
+//! Table I reproduction: hardware implications of intra-phase dataflow choices.
+//!
+//! For a 2D GEMM dataflow, the loop order decides which operand is *stationary*
+//! (pinned in the PEs) versus *streaming* (re-fetched every cycle), and the spatial
+//! dimensions decide which operands are *multicast* and whether partial-sum
+//! reduction is *spatial* (across PEs) or *temporal* (read-modify-write inside a
+//! PE). The classification rule:
+//!
+//! * the operand **not** indexed by the innermost loop dimension is stationary —
+//!   every other operand's index advances each cycle, so it streams;
+//! * a streaming operand is multicast along every spatial dimension it is **not**
+//!   indexed by (those PEs all need the same value in the same cycle);
+//! * reduction is spatial iff the phase's reduction dimension is spatial.
+
+use serde::Serialize;
+
+use crate::{Dim, IntraTiling, Mapping, Phase};
+
+/// An operand of a GNN phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Operand {
+    /// Aggregation: the CSR adjacency matrix `A` (`V × N`).
+    Adjacency,
+    /// Aggregation: the input feature matrix (`N × F` view of `X`).
+    InputFeatures,
+    /// The intermediate matrix (`V × F`): Aggregation's output, Combination's input.
+    Intermediate,
+    /// Combination: the weight matrix `W` (`F × G`).
+    Weights,
+    /// Combination: the output matrix (`V × G`).
+    Output,
+}
+
+impl Operand {
+    /// The loop dimensions this operand is indexed by, per phase.
+    pub fn dims(self, phase: Phase) -> [Dim; 2] {
+        match (phase, self) {
+            (Phase::Aggregation, Operand::Adjacency) => [Dim::V, Dim::N],
+            (Phase::Aggregation, Operand::InputFeatures) => [Dim::N, Dim::F],
+            (Phase::Aggregation, Operand::Intermediate) => [Dim::V, Dim::F],
+            (Phase::Combination, Operand::Intermediate) => [Dim::V, Dim::F],
+            (Phase::Combination, Operand::Weights) => [Dim::F, Dim::G],
+            (Phase::Combination, Operand::Output) => [Dim::V, Dim::G],
+            _ => panic!("operand {self:?} does not appear in phase {phase}"),
+        }
+    }
+
+    /// The three operands of a phase: `(input a, input b, output)`.
+    pub fn of_phase(phase: Phase) -> [Operand; 3] {
+        match phase {
+            Phase::Aggregation => [Operand::Adjacency, Operand::InputFeatures, Operand::Intermediate],
+            Phase::Combination => [Operand::Intermediate, Operand::Weights, Operand::Output],
+        }
+    }
+
+    /// The output operand of a phase.
+    pub fn output_of(phase: Phase) -> Operand {
+        match phase {
+            Phase::Aggregation => Operand::Intermediate,
+            Phase::Combination => Operand::Output,
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Operand::Adjacency => "Adjacency (V×N)",
+            Operand::InputFeatures => "InputFeatures (N×F)",
+            Operand::Intermediate => "Intermediate (V×F)",
+            Operand::Weights => "Weights (F×G)",
+            Operand::Output => "Output (V×G)",
+        })
+    }
+}
+
+/// How partial sums are reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReductionStyle {
+    /// Across PEs via the reduction network (adder tree / store-and-forward).
+    Spatial,
+    /// Read-modify-write accumulators inside each PE.
+    Temporal,
+}
+
+/// Table I-style classification of one intra-phase dataflow.
+#[derive(Debug, Clone, Serialize)]
+pub struct DataflowAnalysis {
+    /// Operand pinned in the PEs (if any input is; the output "stationary" case is
+    /// reported through `reduction` = temporal with `output_stationary` = true).
+    pub stationary: Option<Operand>,
+    /// Operands streamed from the global buffer every cycle.
+    pub streaming: Vec<Operand>,
+    /// `(operand, dim)` pairs where the operand is spatially multicast across the
+    /// PEs of that (spatial) dimension.
+    pub multicast: Vec<(Operand, Dim)>,
+    /// Whether partial sums reduce across PEs or within them.
+    pub reduction: ReductionStyle,
+    /// `true` when the output operand is the stationary one (accumulates in place).
+    pub output_stationary: bool,
+}
+
+/// Classifies a concrete intra-phase tiling (either phase).
+pub fn analyse(tiling: &IntraTiling) -> DataflowAnalysis {
+    let phase = tiling.phase();
+    let inner = tiling.order().inner();
+    let operands = Operand::of_phase(phase);
+    let output = Operand::output_of(phase);
+
+    let mut stationary = None;
+    let mut streaming = Vec::new();
+    let mut output_stationary = false;
+    for op in operands {
+        let indexed_by_inner = op.dims(phase).contains(&inner);
+        if op == output {
+            output_stationary = !indexed_by_inner;
+            if indexed_by_inner {
+                streaming.push(op);
+            }
+        } else if indexed_by_inner {
+            streaming.push(op);
+        } else {
+            stationary = Some(op);
+        }
+    }
+
+    let mut multicast = Vec::new();
+    for &op in &streaming {
+        if op == output {
+            continue; // outputs are collected, not distributed
+        }
+        for d in phase.dims() {
+            if tiling.mapping_of(d) == Some(Mapping::Spatial) && !op.dims(phase).contains(&d) {
+                multicast.push((op, d));
+            }
+        }
+    }
+
+    let reduction = if tiling.mapping_of(phase.reduction_dim()) == Some(Mapping::Spatial) {
+        ReductionStyle::Spatial
+    } else {
+        ReductionStyle::Temporal
+    };
+
+    DataflowAnalysis { stationary, streaming, multicast, reduction, output_stationary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopOrder;
+
+    fn cmb(order: &str, tiles: [usize; 3]) -> IntraTiling {
+        let d: Vec<Dim> = order.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        IntraTiling::new(
+            Phase::Combination,
+            LoopOrder::new(Phase::Combination, [d[0], d[1], d[2]]).unwrap(),
+            tiles,
+        )
+    }
+
+    fn agg(order: &str, tiles: [usize; 3]) -> IntraTiling {
+        let d: Vec<Dim> = order.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        IntraTiling::new(
+            Phase::Aggregation,
+            LoopOrder::new(Phase::Aggregation, [d[0], d[1], d[2]]).unwrap(),
+            tiles,
+        )
+    }
+
+    #[test]
+    fn table_i_row1_vsgsft() {
+        // VsGsFt: output stationary; intermediate + weights stream with spatial
+        // multicast; temporal reduction.
+        let a = analyse(&cmb("VGF", [2, 2, 1]));
+        assert!(a.output_stationary);
+        assert_eq!(a.stationary, None);
+        assert!(a.streaming.contains(&Operand::Intermediate));
+        assert!(a.streaming.contains(&Operand::Weights));
+        assert_eq!(a.reduction, ReductionStyle::Temporal);
+        // Intermediate (V,F) multicast across spatial G; Weights (F,G) across V.
+        assert!(a.multicast.contains(&(Operand::Intermediate, Dim::G)));
+        assert!(a.multicast.contains(&(Operand::Weights, Dim::V)));
+    }
+
+    #[test]
+    fn table_i_row2_gsfsvt() {
+        // GsFsVt: weights stationary; intermediate streams with multicast;
+        // spatial reduction across PEs.
+        let a = analyse(&cmb("GFV", [2, 2, 1]));
+        assert_eq!(a.stationary, Some(Operand::Weights));
+        assert!(!a.output_stationary);
+        assert!(a.streaming.contains(&Operand::Intermediate));
+        assert!(a.streaming.contains(&Operand::Output));
+        assert_eq!(a.reduction, ReductionStyle::Spatial);
+        assert!(a.multicast.contains(&(Operand::Intermediate, Dim::G)));
+    }
+
+    #[test]
+    fn table_i_row3_vsfsgt() {
+        // VsFsGt: intermediate stationary; weights stream with multicast across V;
+        // spatial reduction.
+        let a = analyse(&cmb("VFG", [2, 2, 1]));
+        assert_eq!(a.stationary, Some(Operand::Intermediate));
+        assert!(a.streaming.contains(&Operand::Weights));
+        assert!(a.streaming.contains(&Operand::Output));
+        assert_eq!(a.reduction, ReductionStyle::Spatial);
+        assert!(a.multicast.contains(&(Operand::Weights, Dim::V)));
+    }
+
+    #[test]
+    fn fig5c_aggregation_vtfsnt() {
+        // VtFsNt: intermediate (output) stationary, adjacency + inputs stream,
+        // temporal reduction (Fig. 5c).
+        let a = analyse(&agg("VFN", [1, 4, 1]));
+        assert!(a.output_stationary);
+        assert!(a.streaming.contains(&Operand::Adjacency));
+        assert!(a.streaming.contains(&Operand::InputFeatures));
+        assert_eq!(a.reduction, ReductionStyle::Temporal);
+        // Adjacency (V,N) multicast across spatial F.
+        assert!(a.multicast.contains(&(Operand::Adjacency, Dim::F)));
+    }
+
+    #[test]
+    fn spatial_n_gives_spatial_reduction() {
+        let a = analyse(&agg("VFN", [1, 4, 8]));
+        assert_eq!(a.reduction, ReductionStyle::Spatial);
+    }
+
+    #[test]
+    fn no_multicast_without_spatial_dims() {
+        let a = analyse(&cmb("VGF", [1, 1, 1]));
+        assert!(a.multicast.is_empty());
+        assert_eq!(a.reduction, ReductionStyle::Temporal);
+    }
+
+    #[test]
+    fn operand_dims_and_phase_membership() {
+        assert_eq!(Operand::Weights.dims(Phase::Combination), [Dim::F, Dim::G]);
+        assert_eq!(Operand::Intermediate.dims(Phase::Aggregation), [Dim::V, Dim::F]);
+        assert_eq!(Operand::output_of(Phase::Aggregation), Operand::Intermediate);
+        assert_eq!(Operand::output_of(Phase::Combination), Operand::Output);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not appear")]
+    fn weights_not_in_aggregation() {
+        Operand::Weights.dims(Phase::Aggregation);
+    }
+}

@@ -1,0 +1,301 @@
+//! Loop-nest vocabulary: dimensions, spatial/temporal mappings, loop orders.
+
+use serde::Serialize;
+
+/// A loop dimension of a GNN phase (paper notation, Fig. 3):
+///
+/// * `V` — vertices (output rows in both phases),
+/// * `N` — neighbours (the Aggregation reduction dimension, encoded in CSR),
+/// * `F` — input features (Aggregation columns; the Combination reduction dim),
+/// * `G` — output features (Combination columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, PartialOrd, Ord)]
+pub enum Dim {
+    /// Vertices.
+    V,
+    /// Neighbours (Aggregation reduction).
+    N,
+    /// Input features (Combination reduction).
+    F,
+    /// Output features.
+    G,
+}
+
+impl Dim {
+    /// One-letter name as used in the paper's dataflow strings.
+    pub fn letter(self) -> char {
+        match self {
+            Dim::V => 'V',
+            Dim::N => 'N',
+            Dim::F => 'F',
+            Dim::G => 'G',
+        }
+    }
+
+    /// Parses a single dimension letter (case-insensitive).
+    pub fn from_letter(c: char) -> Option<Dim> {
+        match c.to_ascii_uppercase() {
+            'V' => Some(Dim::V),
+            'N' => Some(Dim::N),
+            'F' => Some(Dim::F),
+            'G' => Some(Dim::G),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// The two GNN phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Phase {
+    /// SpMM over the adjacency matrix (`H = A · X`).
+    Aggregation,
+    /// Dense GEMM with the weights (`X' = H · W`).
+    Combination,
+}
+
+impl Phase {
+    /// The three loop dimensions of this phase.
+    pub fn dims(self) -> [Dim; 3] {
+        match self {
+            Phase::Aggregation => [Dim::V, Dim::F, Dim::N],
+            Phase::Combination => [Dim::V, Dim::F, Dim::G],
+        }
+    }
+
+    /// The reduction dimension of this phase (`N` for Aggregation, `F` for
+    /// Combination).
+    pub fn reduction_dim(self) -> Dim {
+        match self {
+            Phase::Aggregation => Dim::N,
+            Phase::Combination => Dim::F,
+        }
+    }
+
+    /// `true` if `d` is one of this phase's loop dimensions.
+    pub fn owns(self, d: Dim) -> bool {
+        self.dims().contains(&d)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Phase::Aggregation => "Aggregation",
+            Phase::Combination => "Combination",
+        })
+    }
+}
+
+/// Concrete mapping of a dimension: spatial (unrolled across PEs, tile size > 1) or
+/// temporal (tile size = 1), the paper's `s` / `t` subscripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Mapping {
+    /// Unrolled across PEs (`T_Dim > 1`).
+    Spatial,
+    /// Iterated over time (`T_Dim = 1`).
+    Temporal,
+}
+
+impl Mapping {
+    /// Paper subscript letter.
+    pub fn letter(self) -> char {
+        match self {
+            Mapping::Spatial => 's',
+            Mapping::Temporal => 't',
+        }
+    }
+}
+
+/// Mapping *pattern*: spatial, temporal, or either — the paper's `x` subscript used
+/// throughout Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum MappingSpec {
+    /// Must be spatial.
+    Spatial,
+    /// Must be temporal.
+    Temporal,
+    /// Either spatial or temporal.
+    Any,
+}
+
+impl MappingSpec {
+    /// Paper subscript letter (`s`, `t`, or `x`).
+    pub fn letter(self) -> char {
+        match self {
+            MappingSpec::Spatial => 's',
+            MappingSpec::Temporal => 't',
+            MappingSpec::Any => 'x',
+        }
+    }
+
+    /// Parses a subscript letter.
+    pub fn from_letter(c: char) -> Option<MappingSpec> {
+        match c.to_ascii_lowercase() {
+            's' => Some(MappingSpec::Spatial),
+            't' => Some(MappingSpec::Temporal),
+            'x' => Some(MappingSpec::Any),
+            _ => None,
+        }
+    }
+
+    /// `true` when a concrete mapping satisfies this pattern.
+    pub fn admits(self, m: Mapping) -> bool {
+        match self {
+            MappingSpec::Spatial => m == Mapping::Spatial,
+            MappingSpec::Temporal => m == Mapping::Temporal,
+            MappingSpec::Any => true,
+        }
+    }
+
+    /// The concrete mappings this pattern admits.
+    pub fn candidates(self) -> &'static [Mapping] {
+        match self {
+            MappingSpec::Spatial => &[Mapping::Spatial],
+            MappingSpec::Temporal => &[Mapping::Temporal],
+            MappingSpec::Any => &[Mapping::Spatial, Mapping::Temporal],
+        }
+    }
+}
+
+/// A phase's loop order: the three temporal loops from outermost to innermost
+/// (Fig. 4's "Loop order - VGF (V→G→F)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct LoopOrder {
+    dims: [Dim; 3],
+}
+
+impl LoopOrder {
+    /// Builds a loop order, checking it is a permutation of `phase`'s dimensions.
+    pub fn new(phase: Phase, dims: [Dim; 3]) -> Option<LoopOrder> {
+        let mut expect = phase.dims();
+        let mut got = dims;
+        expect.sort();
+        got.sort();
+        (expect == got).then_some(LoopOrder { dims })
+    }
+
+    /// The dimensions, outermost first.
+    #[inline]
+    pub fn dims(&self) -> [Dim; 3] {
+        self.dims
+    }
+
+    /// Outermost dimension.
+    #[inline]
+    pub fn outer(&self) -> Dim {
+        self.dims[0]
+    }
+
+    /// Middle dimension.
+    #[inline]
+    pub fn middle(&self) -> Dim {
+        self.dims[1]
+    }
+
+    /// Innermost dimension.
+    #[inline]
+    pub fn inner(&self) -> Dim {
+        self.dims[2]
+    }
+
+    /// Position of `d` (0 = outermost), if present.
+    pub fn position(&self, d: Dim) -> Option<usize> {
+        self.dims.iter().position(|&x| x == d)
+    }
+
+    /// All six loop orders of a phase.
+    pub fn all(phase: Phase) -> Vec<LoopOrder> {
+        let [a, b, c] = phase.dims();
+        [[a, b, c], [a, c, b], [b, a, c], [b, c, a], [c, a, b], [c, b, a]]
+            .into_iter()
+            .map(|dims| LoopOrder { dims })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for LoopOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in self.dims {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_letters_round_trip() {
+        for d in [Dim::V, Dim::N, Dim::F, Dim::G] {
+            assert_eq!(Dim::from_letter(d.letter()), Some(d));
+            assert_eq!(Dim::from_letter(d.letter().to_ascii_lowercase()), Some(d));
+        }
+        assert_eq!(Dim::from_letter('Q'), None);
+    }
+
+    #[test]
+    fn phase_dims_and_reduction() {
+        assert_eq!(Phase::Aggregation.reduction_dim(), Dim::N);
+        assert_eq!(Phase::Combination.reduction_dim(), Dim::F);
+        assert!(Phase::Aggregation.owns(Dim::N));
+        assert!(!Phase::Aggregation.owns(Dim::G));
+        assert!(Phase::Combination.owns(Dim::G));
+        assert!(!Phase::Combination.owns(Dim::N));
+    }
+
+    #[test]
+    fn mapping_spec_admission() {
+        assert!(MappingSpec::Any.admits(Mapping::Spatial));
+        assert!(MappingSpec::Any.admits(Mapping::Temporal));
+        assert!(MappingSpec::Spatial.admits(Mapping::Spatial));
+        assert!(!MappingSpec::Spatial.admits(Mapping::Temporal));
+        assert!(!MappingSpec::Temporal.admits(Mapping::Spatial));
+        assert_eq!(MappingSpec::Any.candidates().len(), 2);
+        assert_eq!(MappingSpec::Temporal.candidates(), &[Mapping::Temporal]);
+    }
+
+    #[test]
+    fn subscript_letters() {
+        assert_eq!(MappingSpec::from_letter('S'), Some(MappingSpec::Spatial));
+        assert_eq!(MappingSpec::from_letter('x'), Some(MappingSpec::Any));
+        assert_eq!(MappingSpec::from_letter('q'), None);
+        assert_eq!(Mapping::Spatial.letter(), 's');
+        assert_eq!(Mapping::Temporal.letter(), 't');
+    }
+
+    #[test]
+    fn loop_order_validation() {
+        assert!(LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).is_some());
+        assert!(LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::G]).is_none());
+        assert!(LoopOrder::new(Phase::Combination, [Dim::G, Dim::V, Dim::F]).is_some());
+        assert!(LoopOrder::new(Phase::Combination, [Dim::V, Dim::V, Dim::F]).is_none());
+    }
+
+    #[test]
+    fn loop_order_positions() {
+        let o = LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap();
+        assert_eq!(o.outer(), Dim::V);
+        assert_eq!(o.middle(), Dim::G);
+        assert_eq!(o.inner(), Dim::F);
+        assert_eq!(o.position(Dim::F), Some(2));
+        assert_eq!(o.position(Dim::N), None);
+        assert_eq!(o.to_string(), "VGF");
+    }
+
+    #[test]
+    fn all_orders_are_six_distinct() {
+        for phase in [Phase::Aggregation, Phase::Combination] {
+            let all = LoopOrder::all(phase);
+            assert_eq!(all.len(), 6);
+            let set: std::collections::HashSet<_> = all.iter().map(|o| o.dims()).collect();
+            assert_eq!(set.len(), 6);
+        }
+    }
+}

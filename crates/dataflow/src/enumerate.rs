@@ -1,0 +1,161 @@
+//! Design-space enumeration — reproduces the paper's **6,656** dataflow count.
+//!
+//! Section III-C: "This leads to a total of 6,656 choices purely from the product
+//! of all feasible loop orders, parallelism choices, and phase order across the
+//! three inter-phase choices." The count decomposes as:
+//!
+//! * **Seq** (Table II row 1, "ANY-All pairs"): 6 aggregation orders × 2³ mapping
+//!   choices × 6 combination orders × 2³ × 2 phase orders = **4,608**;
+//! * **SP-Generic** (row 3, "same as rows 4-9"): 8 legal order pairs per phase
+//!   order (see [`crate::granularity`]) × 2⁶ mappings × 2 phase orders = **1,024**;
+//! * **PP** (rows 4-9): the same legal pairs = **1,024**.
+//!
+//! 4,608 + 1,024 + 1,024 = **6,656**. The 16 SP-Optimized instances of row 2 are
+//! the subset of SP element-granularity choices with tied tiles and temporal
+//! reduction; the paper lists them separately and they are not double-counted —
+//! [`sp_optimized_pattern_count`] exposes them for completeness.
+//!
+//! Tile sizes are *not* part of this count — each choice still has its free
+//! `T_Dim` parameters, "which can put the actual number of possible mappings in
+//! the trillions" (Section III-C).
+
+use crate::granularity::pipeline_granularity;
+use crate::{
+    GnnDataflowPattern, InterPhase, IntraPattern, LoopOrder, MappingSpec, Phase, PhaseOrder,
+};
+
+/// Iterates over every *concrete-mapping* pattern (each dim `s` or `t`, no `x`) in
+/// the design space, in a deterministic order.
+pub fn all_patterns() -> impl Iterator<Item = GnnDataflowPattern> {
+    let mut out = Vec::with_capacity(design_space_size());
+    for inter in InterPhase::all() {
+        for phase_order in PhaseOrder::all() {
+            for agg_order in LoopOrder::all(Phase::Aggregation) {
+                for cmb_order in LoopOrder::all(Phase::Combination) {
+                    if !orders_legal(inter, phase_order, agg_order, cmb_order) {
+                        continue;
+                    }
+                    for agg_maps in all_mapping_triples() {
+                        for cmb_maps in all_mapping_triples() {
+                            out.push(GnnDataflowPattern {
+                                inter,
+                                phase_order,
+                                agg: IntraPattern::new(Phase::Aggregation, agg_order, agg_maps),
+                                cmb: IntraPattern::new(Phase::Combination, cmb_order, cmb_maps),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter()
+}
+
+/// Whether the loop-order pair is legal under the inter-phase strategy.
+fn orders_legal(
+    inter: InterPhase,
+    phase_order: PhaseOrder,
+    agg_order: LoopOrder,
+    cmb_order: LoopOrder,
+) -> bool {
+    match inter {
+        InterPhase::Sequential => true,
+        InterPhase::SequentialPipeline | InterPhase::ParallelPipeline => {
+            pipeline_granularity(phase_order, agg_order, cmb_order).is_some()
+        }
+    }
+}
+
+/// All 8 concrete mapping triples (`s`/`t` per dimension).
+fn all_mapping_triples() -> [[MappingSpec; 3]; 8] {
+    let opts = [MappingSpec::Spatial, MappingSpec::Temporal];
+    let mut out = [[MappingSpec::Spatial; 3]; 8];
+    let mut i = 0;
+    for a in opts {
+        for b in opts {
+            for c in opts {
+                out[i] = [a, b, c];
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Number of choices for one inter-phase strategy.
+pub fn count_for(inter: InterPhase) -> usize {
+    let mut n = 0;
+    for phase_order in PhaseOrder::all() {
+        for agg_order in LoopOrder::all(Phase::Aggregation) {
+            for cmb_order in LoopOrder::all(Phase::Combination) {
+                if orders_legal(inter, phase_order, agg_order, cmb_order) {
+                    n += 64; // 2^3 agg mappings × 2^3 cmb mappings
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Total size of the enumerated design space (the paper's 6,656).
+pub fn design_space_size() -> usize {
+    InterPhase::all().iter().map(|&i| count_for(i)).sum()
+}
+
+/// Number of SP-Optimized instances (Table II row 2): 4 loop-order templates
+/// (2 per phase order) × 2² tied spatial/temporal choices for the shared
+/// intermediate-tile dims = 16.
+pub fn sp_optimized_pattern_count() -> usize {
+    4 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_pattern;
+
+    #[test]
+    fn total_matches_paper() {
+        assert_eq!(design_space_size(), 6656);
+    }
+
+    #[test]
+    fn per_strategy_breakdown() {
+        assert_eq!(count_for(InterPhase::Sequential), 4608);
+        assert_eq!(count_for(InterPhase::SequentialPipeline), 1024);
+        assert_eq!(count_for(InterPhase::ParallelPipeline), 1024);
+    }
+
+    #[test]
+    fn iterator_agrees_with_count() {
+        assert_eq!(all_patterns().count(), 6656);
+    }
+
+    #[test]
+    fn all_enumerated_patterns_validate() {
+        for p in all_patterns() {
+            assert!(validate_pattern(&p).is_ok(), "{p}");
+        }
+    }
+
+    #[test]
+    fn patterns_are_distinct() {
+        let set: std::collections::HashSet<String> = all_patterns().map(|p| p.to_string()).collect();
+        assert_eq!(set.len(), 6656);
+    }
+
+    #[test]
+    fn sp_optimized_count() {
+        assert_eq!(sp_optimized_pattern_count(), 16);
+    }
+
+    #[test]
+    fn pipelined_patterns_have_granularity() {
+        for p in all_patterns() {
+            if p.inter != InterPhase::Sequential {
+                assert!(p.granularity().is_some(), "{p}");
+            }
+        }
+    }
+}

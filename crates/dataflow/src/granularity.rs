@@ -1,0 +1,283 @@
+//! Producer/consumer chunk-stream analysis for pipelined inter-phase dataflows.
+//!
+//! SP-Generic and PP hand the intermediate matrix from the first phase to the
+//! second in chunks (Section IV-D). Whether a pair of intra-phase loop orders can
+//! pipeline — and at which granularity — is determined by *what the producer
+//! completes* and *what the consumer needs*, per loop iteration:
+//!
+//! * The **producer** finishes a region of the intermediate only once its reduction
+//!   dimension (`N` for Aggregation, `F` for Combination) has fully iterated:
+//!   reduction innermost → element tiles complete one at a time; reduction in the
+//!   middle → whole slices (rows/columns) complete; reduction outermost → nothing
+//!   completes until the very end, so no pipelining.
+//! * The **consumer** needs a region per iteration of its non-intermediate
+//!   dimension (`G` for Combination, `V` for Aggregation-as-consumer in CA):
+//!   that dim innermost → it consumes element tiles; in the middle → whole slices;
+//!   outermost → it re-reads the entire intermediate each iteration, so no
+//!   pipelining.
+//!
+//! Two orders are compatible when the producer's chunk stream can feed the
+//! consumer's in order; the pipeline granularity is the coarser of the two. This
+//! analysis reproduces exactly the legal loop-order pairs of Table II rows 4–9
+//! (see the tests below, which check all 16 templates and that no others appear).
+
+use serde::Serialize;
+
+use crate::{Dim, Granularity, LoopOrder, Phase, PhaseOrder};
+
+/// Which axis of the intermediate matrix a dimension addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Axis {
+    /// Intermediate rows (vertices for AC; Combination-output vertices for CA).
+    Row,
+    /// Intermediate columns (features for AC; output features for CA).
+    Col,
+}
+
+/// The stream of intermediate chunks a phase produces or consumes, in traversal
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ChunkStream {
+    /// Element tiles, traversed `major`-then-`minor`.
+    Element {
+        /// Axis iterated in the outer position.
+        major: Axis,
+        /// Axis iterated in the inner position.
+        minor: Axis,
+    },
+    /// Whole slices along one axis (`Row` slices = intermediate rows, etc.).
+    Slice {
+        /// The sliced axis.
+        axis: Axis,
+    },
+    /// No pipelining possible (region only complete / only consumable at the end).
+    None,
+}
+
+/// Maps a phase dimension to the intermediate-matrix axis it addresses, given the
+/// phase order. For AC the intermediate is `V×F` in both phases' coordinates; for
+/// CA it is `V×G` for the producer (Combination) and is *re-read* as `N×F` by the
+/// consumer (Aggregation) — "V×G matrix after Cmb becomes N×F for Agg" (Table II
+/// row 7).
+pub fn intermediate_axis(phase: Phase, phase_order: PhaseOrder, d: Dim) -> Option<Axis> {
+    match (phase_order, phase, d) {
+        (PhaseOrder::AC, _, Dim::V) => Some(Axis::Row),
+        (PhaseOrder::AC, _, Dim::F) => Some(Axis::Col),
+        (PhaseOrder::CA, Phase::Combination, Dim::V) => Some(Axis::Row),
+        (PhaseOrder::CA, Phase::Combination, Dim::G) => Some(Axis::Col),
+        (PhaseOrder::CA, Phase::Aggregation, Dim::N) => Some(Axis::Row),
+        (PhaseOrder::CA, Phase::Aggregation, Dim::F) => Some(Axis::Col),
+        _ => None,
+    }
+}
+
+/// Chunk stream the *producer* phase completes while walking `order`.
+pub fn production_stream(phase: Phase, phase_order: PhaseOrder, order: LoopOrder) -> ChunkStream {
+    stream_for(phase, phase_order, order, phase.reduction_dim())
+}
+
+/// Chunk stream the *consumer* phase requires while walking `order`.
+pub fn consumption_stream(phase: Phase, phase_order: PhaseOrder, order: LoopOrder) -> ChunkStream {
+    // The consumer's "free" dimension — the one that does not address the
+    // intermediate — plays the same structural role as the producer's reduction dim.
+    let free = match (phase, phase_order) {
+        (Phase::Combination, PhaseOrder::AC) => Dim::G,
+        (Phase::Aggregation, PhaseOrder::CA) => Dim::V,
+        // A phase can only consume the intermediate when it runs second.
+        _ => return ChunkStream::None,
+    };
+    stream_for(phase, phase_order, order, free)
+}
+
+fn stream_for(phase: Phase, phase_order: PhaseOrder, order: LoopOrder, pivot: Dim) -> ChunkStream {
+    let Some(pos) = order.position(pivot) else {
+        return ChunkStream::None;
+    };
+    match pos {
+        2 => {
+            let major = intermediate_axis(phase, phase_order, order.outer());
+            let minor = intermediate_axis(phase, phase_order, order.middle());
+            match (major, minor) {
+                (Some(major), Some(minor)) if major != minor => ChunkStream::Element { major, minor },
+                _ => ChunkStream::None,
+            }
+        }
+        1 => match intermediate_axis(phase, phase_order, order.outer()) {
+            Some(axis) => ChunkStream::Slice { axis },
+            None => ChunkStream::None,
+        },
+        _ => ChunkStream::None,
+    }
+}
+
+/// Pipelining granularity for a phase-order + loop-order pair, or `None` when the
+/// pair cannot pipeline (Table II rows 4–9 legality).
+///
+/// `agg_order` / `cmb_order` are the loop orders of the Aggregation and Combination
+/// phases; which one produces and which consumes follows from `phase_order`.
+pub fn pipeline_granularity(
+    phase_order: PhaseOrder,
+    agg_order: LoopOrder,
+    cmb_order: LoopOrder,
+) -> Option<Granularity> {
+    let (produce, consume) = match phase_order {
+        PhaseOrder::AC => (
+            production_stream(Phase::Aggregation, phase_order, agg_order),
+            consumption_stream(Phase::Combination, phase_order, cmb_order),
+        ),
+        PhaseOrder::CA => (
+            production_stream(Phase::Combination, phase_order, cmb_order),
+            consumption_stream(Phase::Aggregation, phase_order, agg_order),
+        ),
+    };
+    match (produce, consume) {
+        (ChunkStream::Element { major: pm, minor: pn }, ChunkStream::Element { major: cm, minor: cn }) => {
+            (pm == cm && pn == cn).then_some(Granularity::Element)
+        }
+        (ChunkStream::Element { major, .. }, ChunkStream::Slice { axis })
+        | (ChunkStream::Slice { axis }, ChunkStream::Element { major, .. }) => {
+            (major == axis).then(|| slice_granularity(axis))
+        }
+        (ChunkStream::Slice { axis: a }, ChunkStream::Slice { axis: b }) => {
+            (a == b).then(|| slice_granularity(a))
+        }
+        _ => None,
+    }
+}
+
+fn slice_granularity(axis: Axis) -> Granularity {
+    match axis {
+        Axis::Row => Granularity::Row,
+        Axis::Col => Granularity::Column,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(s: &str) -> LoopOrder {
+        let dims: Vec<Dim> = s.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        LoopOrder::new(Phase::Aggregation, [dims[0], dims[1], dims[2]]).unwrap()
+    }
+
+    fn cmb(s: &str) -> LoopOrder {
+        let dims: Vec<Dim> = s.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        LoopOrder::new(Phase::Combination, [dims[0], dims[1], dims[2]]).unwrap()
+    }
+
+    #[test]
+    fn table_ii_row4_element_ac() {
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VFN"), cmb("VFG")), Some(Granularity::Element));
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("FVN"), cmb("FVG")), Some(Granularity::Element));
+    }
+
+    #[test]
+    fn table_ii_row5_row_ac() {
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VFN"), cmb("VGF")), Some(Granularity::Row));
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VNF"), cmb("VGF")), Some(Granularity::Row));
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VNF"), cmb("VFG")), Some(Granularity::Row));
+    }
+
+    #[test]
+    fn table_ii_row6_column_ac() {
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("FVN"), cmb("FGV")), Some(Granularity::Column));
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("FNV"), cmb("FGV")), Some(Granularity::Column));
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("FNV"), cmb("FVG")), Some(Granularity::Column));
+    }
+
+    #[test]
+    fn table_ii_row7_element_ca() {
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("NFV"), cmb("VGF")), Some(Granularity::Element));
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("FNV"), cmb("GVF")), Some(Granularity::Element));
+    }
+
+    #[test]
+    fn table_ii_row8_row_ca() {
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("NVF"), cmb("VGF")), Some(Granularity::Row));
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("NVF"), cmb("VFG")), Some(Granularity::Row));
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("NFV"), cmb("VFG")), Some(Granularity::Row));
+    }
+
+    #[test]
+    fn table_ii_row9_column_ca() {
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("FVN"), cmb("GVF")), Some(Granularity::Column));
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("FVN"), cmb("GFV")), Some(Granularity::Column));
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("FNV"), cmb("GFV")), Some(Granularity::Column));
+    }
+
+    #[test]
+    fn incompatible_pairs_are_rejected() {
+        // Major-order mismatch.
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VFN"), cmb("FVG")), None);
+        // Slice axes disagree.
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VNF"), cmb("FGV")), None);
+        // Reduction outermost: producer completes nothing until the end.
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("NVF"), cmb("VGF")), None);
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("NFV"), cmb("VFG")), None);
+        // Consumer free-dim outermost: re-reads the whole intermediate per G.
+        assert_eq!(pipeline_granularity(PhaseOrder::AC, agg("VFN"), cmb("GVF")), None);
+        // CA with V-outermost aggregation: irregular gather over the whole
+        // intermediate (neighbour rows), cannot pipeline.
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("VFN"), cmb("VGF")), None);
+        assert_eq!(pipeline_granularity(PhaseOrder::CA, agg("VNF"), cmb("VGF")), None);
+    }
+
+    #[test]
+    fn exactly_eight_templates_per_phase_order() {
+        for phase_order in PhaseOrder::all() {
+            let mut count = 0;
+            for a in LoopOrder::all(Phase::Aggregation) {
+                for c in LoopOrder::all(Phase::Combination) {
+                    if pipeline_granularity(phase_order, a, c).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(count, 8, "phase order {phase_order}");
+        }
+    }
+
+    #[test]
+    fn granularity_split_matches_table_ii() {
+        // AC: 2 element, 3 row, 3 column templates (rows 4, 5, 6).
+        let mut elem = 0;
+        let mut row = 0;
+        let mut col = 0;
+        for a in LoopOrder::all(Phase::Aggregation) {
+            for c in LoopOrder::all(Phase::Combination) {
+                match pipeline_granularity(PhaseOrder::AC, a, c) {
+                    Some(Granularity::Element) => elem += 1,
+                    Some(Granularity::Row) => row += 1,
+                    Some(Granularity::Column) => col += 1,
+                    None => {}
+                }
+            }
+        }
+        assert_eq!((elem, row, col), (2, 3, 3));
+    }
+
+    #[test]
+    fn production_stream_shapes() {
+        assert_eq!(
+            production_stream(Phase::Aggregation, PhaseOrder::AC, agg("VFN")),
+            ChunkStream::Element { major: Axis::Row, minor: Axis::Col }
+        );
+        assert_eq!(
+            production_stream(Phase::Aggregation, PhaseOrder::AC, agg("VNF")),
+            ChunkStream::Slice { axis: Axis::Row }
+        );
+        assert_eq!(production_stream(Phase::Aggregation, PhaseOrder::AC, agg("NVF")), ChunkStream::None);
+        assert_eq!(
+            production_stream(Phase::Combination, PhaseOrder::CA, cmb("GFV")),
+            ChunkStream::Slice { axis: Axis::Col }
+        );
+    }
+
+    #[test]
+    fn consumption_requires_running_second() {
+        // Aggregation cannot consume in AC order (it runs first).
+        assert_eq!(consumption_stream(Phase::Aggregation, PhaseOrder::AC, agg("VFN")), ChunkStream::None);
+        assert_eq!(consumption_stream(Phase::Combination, PhaseOrder::CA, cmb("VGF")), ChunkStream::None);
+    }
+}

@@ -1,0 +1,264 @@
+//! Intra-phase dataflows: patterns (with `x` placeholders) and concrete tilings.
+
+use serde::Serialize;
+
+use crate::{Dim, LoopOrder, Mapping, MappingSpec, Phase};
+
+/// An intra-phase dataflow *pattern*: a loop order plus per-dimension mapping
+/// specs, e.g. `VxFsNt` (Table II/V style). Patterns describe families of concrete
+/// dataflows; [`IntraTiling`] is one member with actual tile sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct IntraPattern {
+    phase: Phase,
+    order: LoopOrder,
+    /// Mapping spec per loop position (aligned with `order.dims()`).
+    maps: [MappingSpec; 3],
+}
+
+impl IntraPattern {
+    /// Builds a pattern from a loop order and per-position mapping specs.
+    pub fn new(phase: Phase, order: LoopOrder, maps: [MappingSpec; 3]) -> Self {
+        IntraPattern { phase, order, maps }
+    }
+
+    /// Convenience constructor from dimension/spec pairs in loop order.
+    ///
+    /// Returns `None` if the dims are not a permutation of the phase's dims.
+    pub fn from_pairs(phase: Phase, pairs: [(Dim, MappingSpec); 3]) -> Option<Self> {
+        let order = LoopOrder::new(phase, [pairs[0].0, pairs[1].0, pairs[2].0])?;
+        Some(IntraPattern { phase, order, maps: [pairs[0].1, pairs[1].1, pairs[2].1] })
+    }
+
+    /// The phase this pattern belongs to.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The loop order.
+    #[inline]
+    pub fn order(&self) -> LoopOrder {
+        self.order
+    }
+
+    /// Mapping specs aligned with `order().dims()`.
+    #[inline]
+    pub fn maps(&self) -> [MappingSpec; 3] {
+        self.maps
+    }
+
+    /// Mapping spec of dimension `d`, if it belongs to this phase.
+    pub fn map_of(&self, d: Dim) -> Option<MappingSpec> {
+        self.order.position(d).map(|i| self.maps[i])
+    }
+
+    /// `true` when `tiling` instantiates this pattern (same order, mappings
+    /// admitted).
+    pub fn admits(&self, tiling: &IntraTiling) -> bool {
+        tiling.phase() == self.phase
+            && tiling.order() == self.order
+            && self
+                .maps
+                .iter()
+                .zip(tiling.tiles())
+                .all(|(spec, &t)| spec.admits(if t > 1 { Mapping::Spatial } else { Mapping::Temporal }))
+    }
+}
+
+impl std::fmt::Display for IntraPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (d, m) in self.order.dims().iter().zip(self.maps) {
+            write!(f, "{}{}", d.letter(), m.letter())?;
+        }
+        Ok(())
+    }
+}
+
+/// A concrete intra-phase dataflow: loop order plus tile sizes.
+///
+/// Tile size semantics follow the paper (Fig. 4): `T_Dim` is the number of elements
+/// of that dimension mapped *in parallel across PEs*; `T_Dim > 1` ⇔ the dimension is
+/// spatial (`s`), `T_Dim = 1` ⇔ temporal (`t`). The product of the tile sizes is the
+/// number of PEs the phase occupies (its static utilisation numerator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct IntraTiling {
+    phase: Phase,
+    order: LoopOrder,
+    /// Tile sizes aligned with `order.dims()`.
+    tiles: [usize; 3],
+}
+
+impl IntraTiling {
+    /// Builds a tiling.
+    ///
+    /// # Panics
+    /// Panics if any tile size is zero (a zero tile has no meaning).
+    pub fn new(phase: Phase, order: LoopOrder, tiles: [usize; 3]) -> Self {
+        assert!(tiles.iter().all(|&t| t > 0), "tile sizes must be >= 1");
+        IntraTiling { phase, order, tiles }
+    }
+
+    /// The phase this tiling belongs to.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The loop order.
+    #[inline]
+    pub fn order(&self) -> LoopOrder {
+        self.order
+    }
+
+    /// Tile sizes aligned with `order().dims()`.
+    #[inline]
+    pub fn tiles(&self) -> &[usize; 3] {
+        &self.tiles
+    }
+
+    /// Tile size of dimension `d` (1 for dims not in this phase — callers treat
+    /// foreign dims as untiled).
+    pub fn tile_of(&self, d: Dim) -> usize {
+        self.order.position(d).map_or(1, |i| self.tiles[i])
+    }
+
+    /// Concrete mapping of dimension `d` (`Spatial` iff its tile exceeds 1).
+    pub fn mapping_of(&self, d: Dim) -> Option<Mapping> {
+        self.order
+            .position(d)
+            .map(|i| if self.tiles[i] > 1 { Mapping::Spatial } else { Mapping::Temporal })
+    }
+
+    /// Number of PEs this tiling occupies (= product of tile sizes), the paper's
+    /// static-utilisation numerator (Section V-A3, footnote 3).
+    pub fn pe_footprint(&self) -> usize {
+        self.tiles.iter().product()
+    }
+
+    /// Static utilisation against a PE budget, in `[0, 1]`.
+    pub fn static_utilisation(&self, pes: usize) -> f64 {
+        if pes == 0 {
+            return 0.0;
+        }
+        (self.pe_footprint() as f64 / pes as f64).min(1.0)
+    }
+
+    /// The pattern this tiling instantiates (every dim mapped concretely).
+    pub fn to_pattern(&self) -> IntraPattern {
+        let maps = [0, 1, 2].map(|i| {
+            if self.tiles[i] > 1 {
+                MappingSpec::Spatial
+            } else {
+                MappingSpec::Temporal
+            }
+        });
+        IntraPattern { phase: self.phase, order: self.order, maps }
+    }
+}
+
+impl std::fmt::Display for IntraTiling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (d, t) in self.order.dims().iter().zip(self.tiles) {
+            write!(f, "{}{}", d.letter(), if t > 1 { 's' } else { 't' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmb_order(d: [Dim; 3]) -> LoopOrder {
+        LoopOrder::new(Phase::Combination, d).unwrap()
+    }
+
+    #[test]
+    fn pattern_display_matches_paper_syntax() {
+        let p = IntraPattern::from_pairs(
+            Phase::Combination,
+            [(Dim::V, MappingSpec::Spatial), (Dim::G, MappingSpec::Spatial), (Dim::F, MappingSpec::Temporal)],
+        )
+        .unwrap();
+        assert_eq!(p.to_string(), "VsGsFt");
+        let q = IntraPattern::from_pairs(
+            Phase::Aggregation,
+            [(Dim::V, MappingSpec::Any), (Dim::F, MappingSpec::Spatial), (Dim::N, MappingSpec::Temporal)],
+        )
+        .unwrap();
+        assert_eq!(q.to_string(), "VxFsNt");
+    }
+
+    #[test]
+    fn from_pairs_rejects_wrong_dims() {
+        assert!(IntraPattern::from_pairs(
+            Phase::Aggregation,
+            [(Dim::V, MappingSpec::Any), (Dim::G, MappingSpec::Any), (Dim::N, MappingSpec::Any)],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tiling_mappings_derive_from_tile_sizes() {
+        let t = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [2, 2, 1]);
+        assert_eq!(t.mapping_of(Dim::V), Some(Mapping::Spatial));
+        assert_eq!(t.mapping_of(Dim::F), Some(Mapping::Temporal));
+        assert_eq!(t.mapping_of(Dim::N), None);
+        assert_eq!(t.tile_of(Dim::G), 2);
+        assert_eq!(t.tile_of(Dim::N), 1);
+        assert_eq!(t.pe_footprint(), 4);
+        assert_eq!(t.to_string(), "VsGsFt");
+    }
+
+    #[test]
+    fn fig4_example() {
+        // Fig. 4: T_V=2, T_G=2, T_F=1 → VsGsFt.
+        let t = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [2, 2, 1]);
+        assert_eq!(t.to_pattern().to_string(), "VsGsFt");
+    }
+
+    #[test]
+    fn static_utilisation() {
+        let t = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [16, 16, 2]);
+        assert_eq!(t.pe_footprint(), 512);
+        assert!((t.static_utilisation(512) - 1.0).abs() < 1e-12);
+        assert!((t.static_utilisation(1024) - 0.5).abs() < 1e-12);
+        assert_eq!(t.static_utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn pattern_admits_matching_tiling() {
+        let p = IntraPattern::from_pairs(
+            Phase::Combination,
+            [(Dim::V, MappingSpec::Any), (Dim::G, MappingSpec::Spatial), (Dim::F, MappingSpec::Temporal)],
+        )
+        .unwrap();
+        let good = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [1, 4, 1]);
+        assert!(p.admits(&good));
+        let wrong_order = IntraTiling::new(Phase::Combination, cmb_order([Dim::G, Dim::V, Dim::F]), [4, 1, 1]);
+        assert!(!p.admits(&wrong_order));
+        let f_spatial = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [1, 4, 2]);
+        assert!(!p.admits(&f_spatial));
+        let g_temporal = IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [4, 1, 1]);
+        assert!(!p.admits(&g_temporal));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile sizes")]
+    fn zero_tile_panics() {
+        IntraTiling::new(Phase::Combination, cmb_order([Dim::V, Dim::G, Dim::F]), [0, 1, 1]);
+    }
+
+    #[test]
+    fn map_of_queries_pattern() {
+        let p = IntraPattern::from_pairs(
+            Phase::Aggregation,
+            [(Dim::F, MappingSpec::Spatial), (Dim::V, MappingSpec::Any), (Dim::N, MappingSpec::Temporal)],
+        )
+        .unwrap();
+        assert_eq!(p.map_of(Dim::F), Some(MappingSpec::Spatial));
+        assert_eq!(p.map_of(Dim::N), Some(MappingSpec::Temporal));
+        assert_eq!(p.map_of(Dim::G), None);
+        assert_eq!(p.order().to_string(), "FVN");
+    }
+}

@@ -1,0 +1,61 @@
+//! The GNN dataflow taxonomy of the paper (Section III).
+//!
+//! A complete GNN dataflow is described by the template
+//!
+//! ```text
+//! <Inter><order>(<AggIntra>, <CmbIntra>)
+//! ```
+//!
+//! e.g. `PP_AC(VtFsNt, VsGsFt)` — HyGCN's dataflow expressed on a flexible spatial
+//! accelerator (paper, Section III-C). This crate provides:
+//!
+//! * [`Dim`], [`Mapping`], [`LoopOrder`] — the vocabulary of intra-phase loop nests
+//!   (Fig. 4): three temporal loops plus spatial (`s`) / temporal (`t`) parallelism
+//!   per dimension, where *spatial* means a tile size > 1.
+//! * [`IntraPattern`] / [`IntraTiling`] — an intra-phase dataflow as a pattern
+//!   (possibly with `x` = "either" placeholders, as used throughout Table II) and as
+//!   a concrete tiling.
+//! * [`InterPhase`], [`PhaseOrder`], [`Granularity`] — the inter-phase strategies
+//!   Seq / SP / PP, the AC/CA computation orders, and the element/row/column
+//!   pipelining granularities of Section IV-D.
+//! * [`granularity`] — the producer/consumer chunk-compatibility analysis that
+//!   reproduces the legal loop-order pairs of Table II rows 4–9.
+//! * [`GnnDataflowPattern`] / [`GnnDataflow`] — full descriptors with `Display` and
+//!   `FromStr` for the paper's template syntax, validation, and SP-Optimized
+//!   detection (Table II row 2).
+//! * [`enumerate`] — design-space enumeration reproducing the paper's **6,656**
+//!   loop-order/parallelism/phase-order choices.
+//! * [`tiles`] — tile-size selection maximising static utilisation (Section V-A3).
+//! * [`presets`] — the nine evaluated configurations of Table V.
+//! * [`analysis`] — the stationarity/streaming/reduction classification of Table I.
+//!
+//! ```
+//! use omega_dataflow::{GnnDataflowPattern, Granularity};
+//!
+//! // HyGCN's dataflow in the paper's template syntax (Section III-C):
+//! let hygcn: GnnDataflowPattern = "PP_AC(VxFsNt, VsGsFt)".parse().unwrap();
+//! assert_eq!(hygcn.granularity(), Some(Granularity::Row));
+//!
+//! // The full design space the taxonomy describes:
+//! assert_eq!(omega_dataflow::enumerate::design_space_size(), 6_656);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod descriptor;
+mod dim;
+pub mod enumerate;
+pub mod granularity;
+mod inter;
+mod intra;
+pub mod presets;
+pub mod tiles;
+mod validate;
+
+pub use descriptor::{GnnDataflow, GnnDataflowPattern, ParseError};
+pub use dim::{Dim, LoopOrder, Mapping, MappingSpec, Phase};
+pub use inter::{Granularity, InterPhase, PhaseOrder};
+pub use intra::{IntraPattern, IntraTiling};
+pub use validate::{validate, validate_pattern, ValidationError};

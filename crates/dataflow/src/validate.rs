@@ -1,0 +1,127 @@
+//! Dataflow legality checks per Table II.
+
+use crate::granularity::pipeline_granularity;
+use crate::{GnnDataflow, GnnDataflowPattern, InterPhase};
+
+/// Why a dataflow is illegal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A pipelined strategy (SP/PP) was requested but the loop-order pair cannot
+    /// produce/consume the intermediate in a compatible chunk stream
+    /// (Table II rows 2–9 list the legal pairs).
+    IncompatiblePipelineOrders {
+        /// The offending aggregation loop order (e.g. `"NVF"`).
+        agg_order: String,
+        /// The offending combination loop order.
+        cmb_order: String,
+    },
+    /// SP-Optimized loop orders were used, but the tile constraints
+    /// (`T_N = 1`, tied intermediate tiles) are violated, so the intermediate
+    /// cannot stay resident in the PE register files.
+    BrokenSpOptimizedTiles {
+        /// Explanation of the violated constraint.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::IncompatiblePipelineOrders { agg_order, cmb_order } => write!(
+                f,
+                "loop orders ({agg_order}, {cmb_order}) cannot pipeline: producer chunk stream \
+                 does not match consumer chunk stream (Table II rows 4-9)"
+            ),
+            ValidationError::BrokenSpOptimizedTiles { detail } => {
+                write!(f, "SP-Optimized tile constraint violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks a dataflow *pattern* for Table II legality.
+///
+/// * `Seq` admits any order pair (Table II row 1: "ANY-All pairs").
+/// * `SP` and `PP` require a compatible producer/consumer chunk stream
+///   (rows 2–9). SP-Optimized loop orders `(VFN, VFG)` / `(FVN, FVG)` are a subset
+///   of the element-granularity pairs, so they pass the same check.
+pub fn validate_pattern(p: &GnnDataflowPattern) -> Result<(), ValidationError> {
+    match p.inter {
+        InterPhase::Sequential => Ok(()),
+        InterPhase::SequentialPipeline | InterPhase::ParallelPipeline => {
+            if pipeline_granularity(p.phase_order, p.agg.order(), p.cmb.order()).is_some() {
+                Ok(())
+            } else {
+                Err(ValidationError::IncompatiblePipelineOrders {
+                    agg_order: p.agg.order().to_string(),
+                    cmb_order: p.cmb.order().to_string(),
+                })
+            }
+        }
+    }
+}
+
+/// Checks a concrete dataflow for Table II legality.
+///
+/// Beyond [`validate_pattern`], a concrete SP dataflow whose loop orders match the
+/// SP-Optimized templates but whose tiles break the in-register constraints is
+/// still legal — it simply degrades to SP-Generic — so no additional tile check is
+/// applied here. Use [`GnnDataflow::is_sp_optimized`] to distinguish the two.
+pub fn validate(df: &GnnDataflow) -> Result<(), ValidationError> {
+    validate_pattern(&df.to_pattern())
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, IntraTiling, LoopOrder, Phase, PhaseOrder};
+
+    fn tiling(phase: Phase, s: &str, tiles: [usize; 3]) -> IntraTiling {
+        let d: Vec<Dim> = s.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        IntraTiling::new(phase, LoopOrder::new(phase, [d[0], d[1], d[2]]).unwrap(), tiles)
+    }
+
+    fn df(inter: InterPhase, agg: &str, cmb: &str) -> GnnDataflow {
+        GnnDataflow {
+            inter,
+            phase_order: PhaseOrder::AC,
+            agg: tiling(Phase::Aggregation, agg, [2, 2, 1]),
+            cmb: tiling(Phase::Combination, cmb, [2, 2, 1]),
+        }
+    }
+
+    #[test]
+    fn seq_admits_anything() {
+        for agg in ["VFN", "NVF", "NFV", "FNV"] {
+            for cmb in ["VGF", "GVF", "GFV", "FVG"] {
+                assert!(validate(&df(InterPhase::Sequential, agg, cmb)).is_ok(), "{agg},{cmb}");
+            }
+        }
+    }
+
+    #[test]
+    fn pp_rejects_incompatible_orders() {
+        assert!(validate(&df(InterPhase::ParallelPipeline, "VFN", "VGF")).is_ok());
+        let e = validate(&df(InterPhase::ParallelPipeline, "NVF", "VGF")).unwrap_err();
+        assert!(matches!(e, ValidationError::IncompatiblePipelineOrders { .. }));
+        assert!(e.to_string().contains("NVF"));
+        assert!(validate(&df(InterPhase::SequentialPipeline, "NFV", "GVF")).is_err());
+    }
+
+    #[test]
+    fn sp_generic_orders_are_legal() {
+        // SP with PP-style orders (Table II row 3 = rows 4-9).
+        assert!(validate(&df(InterPhase::SequentialPipeline, "VNF", "VGF")).is_ok());
+        assert!(validate(&df(InterPhase::SequentialPipeline, "FNV", "FVG")).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidationError::BrokenSpOptimizedTiles { detail: "T_N must be 1" };
+        assert!(e.to_string().contains("T_N"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Edge-list graph construction with GNN-style preprocessing.
+
+use omega_matrix::{CooMatrix, CsrMatrix, Elem};
+
+use crate::Graph;
+
+/// Builds a [`Graph`] from an edge list, with the preprocessing steps GCN-style
+/// layers expect: symmetrisation, self loops, and optional symmetric normalisation
+/// `D^{-1/2} (A + I) D^{-1/2}` (Kipf & Welling).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    num_vertices: usize,
+    feature_dim: usize,
+    edges: Vec<(u32, u32)>,
+    undirected: bool,
+    self_loops: bool,
+    normalise: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `num_vertices` vertices and `feature_dim`
+    /// input features.
+    pub fn new(name: impl Into<String>, num_vertices: usize, feature_dim: usize) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            num_vertices,
+            feature_dim,
+            edges: Vec::new(),
+            undirected: true,
+            self_loops: true,
+            normalise: false,
+        }
+    }
+
+    /// Adds an edge `u → v`. Ignores out-of-range endpoints silently? No — panics,
+    /// because a generator producing out-of-range endpoints is a bug.
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u < self.num_vertices && v < self.num_vertices, "edge ({u},{v}) out of range");
+        self.edges.push((u as u32, v as u32));
+        self
+    }
+
+    /// Adds many edges at once.
+    pub fn edges(&mut self, list: impl IntoIterator<Item = (usize, usize)>) -> &mut Self {
+        for (u, v) in list {
+            self.edge(u, v);
+        }
+        self
+    }
+
+    /// Whether to mirror every edge (default `true`; the paper's graphs are
+    /// undirected).
+    pub fn undirected(&mut self, yes: bool) -> &mut Self {
+        self.undirected = yes;
+        self
+    }
+
+    /// Whether to add self loops (default `true`; GCN aggregation includes the
+    /// vertex's own features — the paper's Fig. 3 example has them).
+    pub fn self_loops(&mut self, yes: bool) -> &mut Self {
+        self.self_loops = yes;
+        self
+    }
+
+    /// Whether to apply symmetric GCN normalisation (default `false`; normalisation
+    /// changes values, not structure, so the cost model is unaffected).
+    pub fn normalise(&mut self, yes: bool) -> &mut Self {
+        self.normalise = yes;
+        self
+    }
+
+    /// Number of vertices this builder was configured with.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Finalises the adjacency matrix and wraps it in a [`Graph`].
+    pub fn build(&self) -> Graph {
+        let n = self.num_vertices;
+        let mut coo = CooMatrix::with_capacity(n, n, self.edges.len() * 2 + n);
+        for &(u, v) in &self.edges {
+            coo.push(u as usize, v as usize, 1.0).expect("validated in edge()");
+            if self.undirected && u != v {
+                coo.push(v as usize, u as usize, 1.0).expect("validated in edge()");
+            }
+        }
+        if self.self_loops {
+            for v in 0..n {
+                coo.push(v, v, 1.0).expect("in range");
+            }
+        }
+        // Duplicate edges collapse to a single structural non-zero: adjacency is a
+        // 0/1 pattern regardless of how many times a generator emitted the pair.
+        let mut csr = clamp_binary(coo.to_csr());
+        if self.normalise {
+            csr = gcn_normalise(&csr);
+        }
+        Graph::new(self.name.clone(), csr, self.feature_dim)
+    }
+}
+
+/// Replaces every stored value with 1.0 (structure-only adjacency).
+fn clamp_binary(csr: CsrMatrix) -> CsrMatrix {
+    let (rows, cols) = csr.shape();
+    let row_ptr = csr.row_ptr().to_vec();
+    let col_idx = csr.col_idx().to_vec();
+    let values = vec![1.0; col_idx.len()];
+    CsrMatrix::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+        .expect("re-assembling a valid CSR")
+}
+
+/// Symmetric normalisation `D^{-1/2} A D^{-1/2}` over the stored pattern.
+fn gcn_normalise(csr: &CsrMatrix) -> CsrMatrix {
+    let n = csr.rows();
+    let inv_sqrt_deg: Vec<Elem> = (0..n)
+        .map(|v| {
+            let d = csr.row_nnz(v) as Elem;
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let row_ptr = csr.row_ptr().to_vec();
+    let col_idx = csr.col_idx().to_vec();
+    let mut values = Vec::with_capacity(csr.nnz());
+    for r in 0..n {
+        for (c, v) in csr.row_iter(r) {
+            values.push(v * inv_sqrt_deg[r] * inv_sqrt_deg[c]);
+        }
+    }
+    CsrMatrix::from_raw_parts(n, n, row_ptr, col_idx, values).expect("same structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrises_and_adds_self_loops() {
+        let g = GraphBuilder::new("t", 3, 2).edges([(0, 1), (1, 2)]).build();
+        let a = g.adjacency();
+        // 2 undirected edges → 4 directed + 3 self loops.
+        assert_eq!(a.nnz(), 7);
+        assert!(a.row_cols(1).contains(&0));
+        assert!(a.row_cols(0).contains(&1));
+        for v in 0..3 {
+            assert!(a.row_cols(v).contains(&(v as u32)), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn directed_mode_keeps_one_direction() {
+        let g = GraphBuilder::new("t", 3, 1)
+            .undirected(false)
+            .self_loops(false)
+            .edges([(0, 1)])
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.adjacency().row_cols(1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = GraphBuilder::new("t", 2, 1)
+            .self_loops(false)
+            .edges([(0, 1), (0, 1), (1, 0)])
+            .build();
+        assert_eq!(g.num_edges(), 2); // (0,1) and (1,0), each once
+        assert_eq!(g.adjacency().row_vals(0), &[1.0]);
+    }
+
+    #[test]
+    fn self_loop_edge_not_double_counted() {
+        let g = GraphBuilder::new("t", 2, 1).edges([(0, 0)]).build();
+        // (0,0) from the edge list merges with the structural self loop.
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn normalisation_scales_rows() {
+        let g = GraphBuilder::new("t", 2, 1).normalise(true).edges([(0, 1)]).build();
+        let a = g.adjacency();
+        // Both vertices have degree 2 (neighbour + self loop): every value 1/2.
+        for r in 0..2 {
+            for (_, v) in a.row_iter(r) {
+                assert!((v - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::new("t", 2, 1).edge(0, 5);
+    }
+}

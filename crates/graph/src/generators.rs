@@ -1,0 +1,310 @@
+//! Seeded random-graph generators covering the degree regimes of Table IV.
+//!
+//! Three shapes are enough to reproduce the paper's workload categories:
+//!
+//! * [`erdos_renyi`] — near-uniform degrees at a target density. Dense instances
+//!   stand in for the ego-network collaboration sets (Imdb-bin, Collab — the "HE"
+//!   category with high edges/vertex).
+//! * [`chung_lu`] — expected-degree model with a power-law weight sequence. This
+//!   produces the skewed degree distributions (hub vertices, the paper's "evil
+//!   rows") of citation/social graphs (Citeseer, Cora, Reddit-bin).
+//! * [`ring_molecule`] — ring backbone plus sparse chords: near-regular low-degree
+//!   graphs like the molecular sets (Mutag, Proteins — "LEF").
+//!
+//! All generators are deterministic given the seed and return a [`GraphBuilder`] so
+//! callers can still toggle self loops / normalisation before building.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GraphBuilder;
+
+/// Erdős–Rényi `G(n, m)`: exactly `undirected_edges` distinct undirected non-loop
+/// edges chosen uniformly (when that many distinct pairs exist; otherwise the
+/// complete graph).
+pub fn erdos_renyi(
+    name: &str,
+    n: usize,
+    undirected_edges: usize,
+    feature_dim: usize,
+    seed: u64,
+) -> GraphBuilder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(name, n, feature_dim);
+    if n < 2 {
+        return b;
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = undirected_edges.min(max_edges);
+    if m * 3 >= max_edges {
+        // Dense regime: Floyd-style sampling over the edge index space avoids long
+        // rejection loops when the graph is nearly complete (Collab is ~90% dense).
+        let mut picked = sample_distinct(&mut rng, max_edges, m);
+        picked.sort_unstable();
+        for idx in picked {
+            let (u, v) = unrank_pair(idx, n);
+            b.edge(u, v);
+        }
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                b.edge(key.0, key.1);
+            }
+        }
+    }
+    b
+}
+
+/// Chung-Lu expected-degree graph with a truncated power-law weight sequence.
+///
+/// Vertex `i` gets weight `w_i ∝ (i + 5)^{-1/(γ-1)}` scaled so the expected number
+/// of undirected edges is `undirected_edges`. Edge `(u, v)` appears with probability
+/// `min(1, w_u · w_v / Σw)`. `gamma ≈ 2.1` gives pronounced hubs ("evil rows");
+/// larger `gamma` flattens the distribution.
+pub fn chung_lu(
+    name: &str,
+    n: usize,
+    undirected_edges: usize,
+    gamma: f64,
+    feature_dim: usize,
+    seed: u64,
+) -> GraphBuilder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(name, n, feature_dim);
+    if n < 2 || undirected_edges == 0 {
+        return b;
+    }
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 5) as f64).powf(-alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    // Scale so that Σ w_i = expected total degree = 2 * edges.
+    let scale = (2.0 * undirected_edges as f64) / wsum;
+    for w in &mut weights {
+        *w *= scale;
+    }
+    let total_w: f64 = weights.iter().sum();
+    // Efficient Chung-Lu sampling (Miller & Hagberg): walk vertices in weight order,
+    // skipping geometrically — O(n + m) instead of O(n²).
+    for u in 0..n {
+        let mut v = u + 1;
+        let mut p = (weights[u] * weights[v.min(n - 1)] / total_w).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                v += skip;
+            }
+            if v >= n {
+                break;
+            }
+            let q = (weights[u] * weights[v] / total_w).min(1.0);
+            if rng.gen_range(0.0f64..1.0) < q / p {
+                b.edge(u, v);
+            }
+            p = q;
+            v += 1;
+        }
+    }
+    b
+}
+
+/// Ego network: vertex 0 (the ego) connects to every other vertex, and the
+/// remaining `undirected_edges - (n-1)` edges are uniform among the alters —
+/// the shape of the Imdb-bin / Collab collaboration graphs, where each graph is
+/// an actor's or researcher's ego net and the ego row is a guaranteed hub.
+pub fn ego_network(
+    name: &str,
+    n: usize,
+    undirected_edges: usize,
+    feature_dim: usize,
+    seed: u64,
+) -> GraphBuilder {
+    if n < 2 {
+        return GraphBuilder::new(name, n, feature_dim);
+    }
+    let spokes = n - 1;
+    let rest = undirected_edges.saturating_sub(spokes);
+    // Alters form an ER graph among themselves (indices 1..n).
+    let mut b = erdos_renyi_offset(name, n, 1, rest, feature_dim, seed);
+    for v in 1..n {
+        b.edge(0, v);
+    }
+    b
+}
+
+/// ER over vertices `[lo, n)` of an `n`-vertex builder (helper for ego nets).
+fn erdos_renyi_offset(
+    name: &str,
+    n: usize,
+    lo: usize,
+    undirected_edges: usize,
+    feature_dim: usize,
+    seed: u64,
+) -> GraphBuilder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(name, n, feature_dim);
+    let m_nodes = n - lo;
+    if m_nodes < 2 {
+        return b;
+    }
+    let max_edges = m_nodes * (m_nodes - 1) / 2;
+    let m = undirected_edges.min(max_edges);
+    if m * 3 >= max_edges {
+        let mut picked = sample_distinct(&mut rng, max_edges, m);
+        picked.sort_unstable();
+        for idx in picked {
+            let (u, v) = unrank_pair(idx, m_nodes);
+            b.edge(lo + u, lo + v);
+        }
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.gen_range(lo..n);
+            let v = rng.gen_range(lo..n);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                b.edge(key.0, key.1);
+            }
+        }
+    }
+    b
+}
+
+/// Ring backbone with `chords` extra random chords: near-regular molecular-style
+/// graphs (degree ≈ 2 + small noise), matching Mutag/Proteins where edges/vertex
+/// is barely above 1 (undirected).
+pub fn ring_molecule(name: &str, n: usize, chords: usize, feature_dim: usize, seed: u64) -> GraphBuilder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(name, n, feature_dim);
+    if n < 2 {
+        return b;
+    }
+    for v in 0..n {
+        b.edge(v, (v + 1) % n);
+    }
+    for _ in 0..chords {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.edge(u.min(v), u.max(v));
+        }
+    }
+    b
+}
+
+/// Samples `k` distinct values from `0..space` (Floyd's algorithm).
+fn sample_distinct(rng: &mut StdRng, space: usize, k: usize) -> Vec<usize> {
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in space - k..space {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding unordered pair.
+fn unrank_pair(mut idx: usize, n: usize) -> (usize, usize) {
+    // Row u has (n - 1 - u) pairs (u, u+1..n).
+    for u in 0..n - 1 {
+        let row = n - 1 - u;
+        if idx < row {
+            return (u, u + 1 + idx);
+        }
+        idx -= row;
+    }
+    unreachable!("index within pair space");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_hits_edge_target() {
+        let g = erdos_renyi("er", 50, 200, 8, 1).self_loops(false).build();
+        // 200 undirected edges → 400 directed nnz.
+        assert_eq!(g.num_edges(), 400);
+    }
+
+    #[test]
+    fn erdos_renyi_dense_regime() {
+        // 20 vertices → 190 possible edges; ask for 170 (dense path).
+        let g = erdos_renyi("er", 20, 170, 4, 2).self_loops(false).build();
+        assert_eq!(g.num_edges(), 340);
+    }
+
+    #[test]
+    fn erdos_renyi_clamps_to_complete_graph() {
+        let g = erdos_renyi("er", 5, 1000, 4, 3).self_loops(false).build();
+        assert_eq!(g.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi("er", 30, 60, 4, 7).build();
+        let b = erdos_renyi("er", 30, 60, 4, 7).build();
+        assert_eq!(a.adjacency().col_idx(), b.adjacency().col_idx());
+        let c = erdos_renyi("er", 30, 60, 4, 8).build();
+        assert_ne!(a.adjacency().col_idx(), c.adjacency().col_idx());
+    }
+
+    #[test]
+    fn chung_lu_produces_skewed_degrees() {
+        let g = chung_lu("cl", 1000, 3000, 2.1, 8, 5).self_loops(false).build();
+        let nnz = g.num_edges();
+        // Within 40% of the 2 * 3000 directed target (random model).
+        assert!((3600..=8400).contains(&nnz), "nnz = {nnz}");
+        let mean = g.adjacency().mean_degree();
+        let max = g.adjacency().max_degree() as f64;
+        // Hub vertices ("evil rows"): max degree far above mean.
+        assert!(max > 6.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn chung_lu_is_deterministic() {
+        let a = chung_lu("cl", 200, 500, 2.3, 4, 11).build();
+        let b = chung_lu("cl", 200, 500, 2.3, 4, 11).build();
+        assert_eq!(a.adjacency().col_idx(), b.adjacency().col_idx());
+    }
+
+    #[test]
+    fn ring_molecule_is_near_regular() {
+        let g = ring_molecule("mol", 18, 2, 8, 3).self_loops(false).build();
+        // Ring: every degree ≥ 2; chords add at most 2 each.
+        let degs = g.adjacency().degrees();
+        assert!(degs.iter().all(|&d| (2..=6).contains(&d)), "{degs:?}");
+        assert!(g.num_edges() >= 36);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert_eq!(erdos_renyi("e", 1, 5, 1, 0).build().num_edges(), 1); // just self loop
+        assert_eq!(chung_lu("c", 1, 5, 2.5, 1, 0).build().num_edges(), 1);
+        assert_eq!(ring_molecule("r", 1, 0, 1, 0).build().num_edges(), 1);
+        assert_eq!(erdos_renyi("e", 0, 0, 1, 0).build().num_vertices(), 0);
+    }
+
+    #[test]
+    fn unrank_pair_is_a_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph workload substrate for the OMEGA framework.
+//!
+//! The paper evaluates GNN dataflows on seven datasets (Table IV): five
+//! graph-classification sets from the TU-Dortmund benchmark collection (Mutag,
+//! Proteins, Imdb-bin, Collab, Reddit-bin) and two node-classification citation
+//! networks (Citeseer, Cora). Those datasets are not redistributable here, so this
+//! crate provides **seeded synthetic generators** calibrated to each dataset's
+//! published statistics — node/edge counts, feature width, degree-distribution
+//! shape — which is all the cost model consumes (see `DESIGN.md` §2 for the
+//! substitution argument).
+//!
+//! Provided pieces:
+//!
+//! * [`Graph`] — a vertex set with CSR adjacency (optionally normalised) plus a
+//!   feature width; the unit the accelerator simulator consumes.
+//! * [`GraphBuilder`] — edge-list construction with symmetrisation, self loops, and
+//!   GCN normalisation.
+//! * [`generators`] — Erdős–Rényi, Chung-Lu power-law, and ring-molecule generators
+//!   covering the degree-shape regimes of Table IV.
+//! * [`DatasetSpec`] / [`Dataset`] — the Table IV registry and batched instantiation
+//!   (64 graphs per batch; 32 for Reddit-bin, matching Section V-A2).
+//! * [`GraphStats`] / [`Category`] — degree statistics and the paper's HE/HF/LEF
+//!   workload categorisation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod builder;
+mod datasets;
+pub mod generators;
+mod graph;
+mod stats;
+
+pub use batch::batch_graphs;
+pub use builder::GraphBuilder;
+pub use datasets::{suite, Dataset, DatasetSpec, EdgeConvention};
+pub use graph::Graph;
+pub use stats::{Category, GraphStats};

@@ -1,0 +1,141 @@
+//! Graph statistics and the paper's HE / HF / LEF workload categorisation.
+
+use serde::Serialize;
+
+use crate::Graph;
+
+/// The paper's three workload categories (Table IV):
+///
+/// * `HE` — high edges/vertex, relatively low features/vertex (Imdb-bin, Collab);
+/// * `HF` — high features/vertex, relatively low edges/vertex (Reddit-bin,
+///   Citeseer, Cora);
+/// * `LEF` — low edges/vertex **and** low features (Mutag, Proteins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Category {
+    /// High edges per vertex.
+    HE,
+    /// High features per vertex.
+    HF,
+    /// Low edges and low features.
+    LEF,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Category::HE => "HE",
+            Category::HF => "HF",
+            Category::LEF => "LEF",
+        })
+    }
+}
+
+/// Summary statistics for a (possibly batched) graph workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphStats {
+    /// Vertices in the (batched) graph.
+    pub vertices: usize,
+    /// Stored adjacency non-zeros (directed edge slots, incl. self loops).
+    pub edges: usize,
+    /// Input feature width `F`.
+    pub features: usize,
+    /// Mean stored degree.
+    pub mean_degree: f64,
+    /// Maximum stored degree — the "evil row" driver.
+    pub max_degree: usize,
+    /// Adjacency sparsity in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn of(graph: &Graph) -> Self {
+        let a = graph.adjacency();
+        GraphStats {
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            features: graph.feature_dim(),
+            mean_degree: a.mean_degree(),
+            max_degree: a.max_degree(),
+            sparsity: a.sparsity(),
+        }
+    }
+
+    /// Classifies the workload with the paper's informal rule: dense rows → HE,
+    /// wide features → HF, otherwise LEF.
+    ///
+    /// Thresholds follow Table IV's split: HE sets have mean degree ≥ 8 (Imdb ≈ 10,
+    /// Collab ≈ 66); HF sets have F ≥ 1000 (Reddit 3782, Citeseer 3703, Cora 1433);
+    /// the molecular sets fall through to LEF.
+    pub fn category(&self) -> Category {
+        if self.mean_degree >= 8.0 {
+            Category::HE
+        } else if self.features >= 1000 {
+            Category::HF
+        } else {
+            Category::LEF
+        }
+    }
+
+    /// Degree skew: max degree over mean degree. Values ≫ 1 indicate hub vertices.
+    pub fn degree_skew(&self) -> f64 {
+        if self.mean_degree > 0.0 {
+            self.max_degree as f64 / self.mean_degree
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star(n: usize, f: usize) -> Graph {
+        let mut b = GraphBuilder::new("star", n, f);
+        for v in 1..n {
+            b.edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(10, 16);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 10);
+        // 9 undirected spokes → 18 directed + 10 self loops.
+        assert_eq!(s.edges, 28);
+        assert_eq!(s.max_degree, 10); // hub: 9 spokes + self loop
+        assert!((s.mean_degree - 2.8).abs() < 1e-9);
+        assert!(s.degree_skew() > 3.0);
+        assert!(s.sparsity > 0.5);
+    }
+
+    #[test]
+    fn categorisation_thresholds() {
+        let lef = GraphStats { vertices: 100, edges: 300, features: 28, mean_degree: 3.0, max_degree: 5, sparsity: 0.97 };
+        assert_eq!(lef.category(), Category::LEF);
+        let he = GraphStats { mean_degree: 40.0, ..lef.clone() };
+        assert_eq!(he.category(), Category::HE);
+        let hf = GraphStats { features: 3703, ..lef.clone() };
+        assert_eq!(hf.category(), Category::HF);
+        // HE takes precedence over HF (dense + wide is still compute-bound on edges).
+        let both = GraphStats { mean_degree: 40.0, features: 3703, ..lef };
+        assert_eq!(both.category(), Category::HE);
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(Category::HE.to_string(), "HE");
+        assert_eq!(Category::HF.to_string(), "HF");
+        assert_eq!(Category::LEF.to_string(), "LEF");
+    }
+
+    #[test]
+    fn zero_degree_skew_is_zero() {
+        let s = GraphStats { vertices: 0, edges: 0, features: 1, mean_degree: 0.0, max_degree: 0, sparsity: 1.0 };
+        assert_eq!(s.degree_skew(), 0.0);
+    }
+}

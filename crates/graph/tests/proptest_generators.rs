@@ -1,0 +1,128 @@
+//! Property tests for the graph substrate: generators, batching, invariants.
+
+use proptest::prelude::*;
+
+use omega_graph::generators::{chung_lu, ego_network, erdos_renyi, ring_molecule};
+use omega_graph::{batch_graphs, DatasetSpec, Graph, GraphBuilder, GraphStats};
+
+fn structural_invariants(g: &Graph) {
+    let a = g.adjacency();
+    // Square, sorted-unique rows, symmetric (builders default to undirected).
+    assert_eq!(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let cols = a.row_cols(r);
+        assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} sorted/unique");
+        for &c in cols {
+            assert!(
+                a.row_cols(c as usize).contains(&(r as u32)),
+                "edge ({r},{c}) missing its mirror"
+            );
+        }
+        // Self loop present (builders default to self_loops(true)).
+        assert!(cols.contains(&(r as u32)), "self loop at {r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn erdos_renyi_invariants(n in 2usize..60, edges in 0usize..300, seed in 0u64..64) {
+        let g = erdos_renyi("er", n, edges, 4, seed).build();
+        structural_invariants(&g);
+        // nnz = 2 * min(edges, max) + n self loops.
+        let max_edges = n * (n - 1) / 2;
+        prop_assert_eq!(g.num_edges(), 2 * edges.min(max_edges) + n);
+    }
+
+    #[test]
+    fn chung_lu_invariants(n in 2usize..200, edges in 1usize..500, seed in 0u64..64) {
+        let g = chung_lu("cl", n, edges, 2.2, 4, seed).build();
+        structural_invariants(&g);
+        prop_assert!(g.num_edges() >= n); // at least the self loops
+    }
+
+    #[test]
+    fn ego_network_has_a_hub(n in 3usize..80, edges in 0usize..400, seed in 0u64..64) {
+        let g = ego_network("ego", n, edges, 4, seed).build();
+        structural_invariants(&g);
+        // The ego (vertex 0) is connected to everyone: degree = n-1 spokes + self loop.
+        prop_assert_eq!(g.degree(0), n);
+        prop_assert_eq!(g.adjacency().max_degree(), n);
+    }
+
+    #[test]
+    fn ring_molecule_is_connected_and_low_degree(n in 3usize..60, chords in 0usize..10, seed in 0u64..64) {
+        let g = ring_molecule("mol", n, chords, 4, seed).build();
+        structural_invariants(&g);
+        // Ring guarantees degree >= 3 (two neighbours + self loop).
+        prop_assert!(g.adjacency().degrees().iter().all(|&d| d >= 3));
+        prop_assert!(g.adjacency().max_degree() <= 3 + 2 * chords);
+    }
+
+    #[test]
+    fn batching_preserves_counts(sizes in proptest::collection::vec(2usize..12, 1..6), seed in 0u64..32) {
+        let graphs: Vec<Graph> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| erdos_renyi(&format!("g{i}"), n, n, 4, seed + i as u64).build())
+            .collect();
+        let total_v: usize = graphs.iter().map(|g| g.num_vertices()).sum();
+        let total_e: usize = graphs.iter().map(|g| g.num_edges()).sum();
+        let batched = batch_graphs("batch", &graphs);
+        prop_assert_eq!(batched.num_vertices(), total_v);
+        prop_assert_eq!(batched.num_edges(), total_e);
+        structural_invariants(&batched);
+        // Block-diagonal: no edge crosses a graph boundary.
+        let mut offset = 0;
+        for g in &graphs {
+            let hi = offset + g.num_vertices();
+            for r in offset..hi {
+                for &c in batched.adjacency().row_cols(r) {
+                    prop_assert!((offset..hi).contains(&(c as usize)), "cross-block edge");
+                }
+            }
+            offset = hi;
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_seed_deterministic(spec_idx in 0usize..7, seed in 0u64..8) {
+        let spec = &DatasetSpec::all()[spec_idx];
+        // Only the small sets in the hot proptest loop.
+        if spec.avg_nodes > 100.0 {
+            return Ok(());
+        }
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        prop_assert_eq!(a.graph.num_vertices(), b.graph.num_vertices());
+        prop_assert_eq!(a.graph.adjacency().col_idx(), b.graph.adjacency().col_idx());
+        let s = GraphStats::of(&a.graph);
+        prop_assert_eq!(s.category(), spec.category);
+    }
+
+    #[test]
+    fn gcn_normalisation_bounds_spectral_rows(n in 2usize..30, edges in 0usize..100, seed in 0u64..32) {
+        let base = erdos_renyi("norm", n, edges, 2, seed);
+        let edge_list: Vec<(usize, usize)> = {
+            let g = base.build();
+            let a = g.adjacency();
+            (0..a.rows())
+                .flat_map(|r| {
+                    a.row_cols(r).iter().map(move |&c| (r, c as usize)).collect::<Vec<_>>()
+                })
+                .filter(|&(r, c)| r < c)
+                .collect()
+        };
+        let mut b = GraphBuilder::new("norm", n, 2);
+        b.normalise(true).edges(edge_list);
+        let g = b.build();
+        // Symmetric normalisation keeps every entry in (0, 1].
+        let a = g.adjacency();
+        for r in 0..a.rows() {
+            for (_, v) in a.row_iter(r) {
+                prop_assert!(v > 0.0 && v <= 1.0, "value {v}");
+            }
+        }
+    }
+}

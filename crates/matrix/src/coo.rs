@@ -1,0 +1,193 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+
+use crate::{CsrMatrix, DenseMatrix, Elem, MatrixError, Result};
+
+/// A sparse matrix under construction, stored as `(row, col, value)` triplets.
+///
+/// COO is the natural format for *building* sparse matrices (graph edge lists arrive
+/// in arbitrary order); the engines consume the compiled [`CsrMatrix`] form, which is
+/// what the paper assumes for the adjacency matrix (Section II-A, Fig. 3b).
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, Elem)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows × cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty COO matrix with pre-reserved capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        CooMatrix { rows, cols, entries: Vec::with_capacity(nnz) }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates not yet merged).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::IndexOutOfBounds`] when `row`/`col` exceed the shape.
+    pub fn push(&mut self, row: usize, col: usize, value: Elem) -> Result<()> {
+        if row >= self.rows {
+            return Err(MatrixError::IndexOutOfBounds { what: "row", index: row, bound: self.rows });
+        }
+        if col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds { what: "column", index: col, bound: self.cols });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Elem)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Compiles the triplets to CSR, summing duplicate coordinates.
+    ///
+    /// Duplicate summing matters for batched graphs where an edge may be recorded in
+    /// both directions plus a self loop.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row: O(nnz + rows), no comparison sort needed.
+        let mut row_counts = vec![0u32; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut cols: Vec<u32> = vec![0; self.entries.len()];
+        let mut vals: Vec<Elem> = vec![0.0; self.entries.len()];
+        let mut cursor = row_counts.clone();
+        for &(r, c, v) in &self.entries {
+            let slot = cursor[r as usize] as usize;
+            cols[slot] = c;
+            vals[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_ptr: Vec<u32> = Vec::with_capacity(self.rows + 1);
+        let mut out_cols: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut out_vals: Vec<Elem> = Vec::with_capacity(self.entries.len());
+        out_ptr.push(0);
+        let mut scratch: Vec<(u32, Elem)> = Vec::new();
+        for r in 0..self.rows {
+            let (lo, hi) = (row_counts[r] as usize, row_counts[r + 1] as usize);
+            scratch.clear();
+            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                i = j;
+            }
+            out_ptr.push(out_cols.len() as u32);
+        }
+        CsrMatrix::from_raw_parts(self.rows, self.cols, out_ptr, out_cols, out_vals)
+            .expect("COO compilation produces structurally valid CSR")
+    }
+
+    /// Materialises the triplets as a dense matrix (duplicates summed).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            *m.get_mut(r as usize, c as usize) += v;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(0, 0, 1.0).is_ok());
+        assert!(matches!(coo.push(2, 0, 1.0), Err(MatrixError::IndexOutOfBounds { what: "row", .. })));
+        assert!(matches!(coo.push(0, 5, 1.0), Err(MatrixError::IndexOutOfBounds { what: "column", .. })));
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn to_csr_sorts_rows_and_columns() {
+        let mut coo = CooMatrix::with_capacity(3, 3, 4);
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row_cols(0), &[1, 2]);
+        assert_eq!(csr.row_vals(0), &[3.0, 2.0]);
+        assert_eq!(csr.row_cols(2), &[0]);
+    }
+
+    #[test]
+    fn to_csr_merges_duplicates() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.row_vals(0), &[3.5]);
+    }
+
+    #[test]
+    fn to_dense_matches_to_csr() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(1, 3, 2.0).unwrap();
+        coo.push(1, 3, 1.0).unwrap();
+        coo.push(2, 0, -1.0).unwrap();
+        let dense = coo.to_dense();
+        assert_eq!(dense.get(1, 3), 3.0);
+        assert_eq!(dense.get(2, 0), -1.0);
+        assert_eq!(coo.to_csr().to_dense(), dense);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let coo = CooMatrix::new(4, 4);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        for r in 0..4 {
+            assert!(csr.row_cols(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn iter_yields_pushed_triplets() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, 5.0).unwrap();
+        let items: Vec<_> = coo.iter().collect();
+        assert_eq!(items, vec![(1, 0, 5.0)]);
+    }
+}

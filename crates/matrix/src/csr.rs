@@ -1,0 +1,298 @@
+//! Compressed Sparse Row matrix — the adjacency representation the paper assumes.
+
+use crate::{DenseMatrix, Elem, MatrixError, Result};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Matches the paper's Fig. 3b: `row_ptr` is the "Vertex-array" (length `rows + 1`)
+/// and `col_idx` is the "Edge-array" (length `nnz`), so the neighbours of a vertex
+/// are stored back-to-back. Values are kept separately; for an unweighted adjacency
+/// matrix they are all `1.0` (GCN-style normalisation produces other weights).
+///
+/// Indices are `u32` (graphs in Table IV have ≤ ~14k batched vertices; `u32` halves
+/// the index footprint, which matters because the simulator charges buffer energy
+/// per word).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<Elem>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating the structural invariants.
+    ///
+    /// # Errors
+    /// * [`MatrixError::MalformedRowPtr`] — wrong `row_ptr` length, non-zero start,
+    ///   non-monotone pointers, or final pointer not equal to `col_idx.len()`.
+    /// * [`MatrixError::BadBufferLen`] — `values.len() != col_idx.len()`.
+    /// * [`MatrixError::IndexOutOfBounds`] — any column index `>= cols`.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<Elem>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(MatrixError::MalformedRowPtr { detail: "row_ptr length must be rows + 1" });
+        }
+        if row_ptr.first() != Some(&0) {
+            return Err(MatrixError::MalformedRowPtr { detail: "row_ptr must start at 0" });
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::MalformedRowPtr { detail: "row_ptr must be non-decreasing" });
+        }
+        if *row_ptr.last().expect("non-empty by construction") as usize != col_idx.len() {
+            return Err(MatrixError::MalformedRowPtr { detail: "row_ptr must end at nnz" });
+        }
+        if values.len() != col_idx.len() {
+            return Err(MatrixError::BadBufferLen { expected: col_idx.len(), actual: values.len() });
+        }
+        if let Some(&bad) = col_idx.iter().find(|&&c| c as usize >= cols) {
+            return Err(MatrixError::IndexOutOfBounds { what: "column", index: bad as usize, bound: cols });
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// An empty (all-zero) `rows × cols` CSR matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of non-zeros in row `r` — the vertex degree for an adjacency matrix
+    /// (the paper's `N` for that vertex).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Column indices of row `r` (the neighbour list).
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_vals(&self, r: usize) -> &[Elem] {
+        &self.values[self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize]
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, Elem)> + '_ {
+        self.row_cols(r).iter().zip(self.row_vals(r)).map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// The row-pointer ("vertex") array, length `rows + 1`.
+    #[inline]
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The column-index ("edge") array, length `nnz`.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The values array, length `nnz`.
+    #[inline]
+    pub fn values(&self) -> &[Elem] {
+        &self.values
+    }
+
+    /// Fraction of zero entries, in `[0, 1]`. Graphs of interest exceed 0.99
+    /// (Section II-A).
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows as f64 * self.cols as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        1.0 - self.nnz() as f64 / total
+    }
+
+    /// Per-row non-zero counts (degree vector).
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Maximum row degree — the "evil row" the paper blames for SPhighV's runtime
+    /// on HF datasets (Section V-B).
+    pub fn max_degree(&self) -> usize {
+        (0..self.rows).map(|r| self.row_nnz(r)).max().unwrap_or(0)
+    }
+
+    /// Mean row degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / self.rows as f64
+    }
+
+    /// Materialises the matrix densely (test/debug helper).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                *m.get_mut(r, c) += v;
+            }
+        }
+        m
+    }
+
+    /// Transposed copy (CSR of the transpose), used for CA phase-order workloads
+    /// where Aggregation consumes Combination output.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0u32; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts.clone();
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                let slot = cursor[c] as usize;
+                col_idx[slot] = r as u32;
+                values[slot] = v;
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr: counts, col_idx, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // Fig. 3 of the paper: 5 vertices, 11 edges (with self loops).
+        // Adjacency rows: [0,1], [1,2], [1,2,4], [0,3], [0,4]
+        CsrMatrix::from_raw_parts(
+            5,
+            5,
+            vec![0, 2, 4, 7, 9, 11],
+            vec![0, 1, 1, 2, 1, 2, 4, 0, 3, 0, 4],
+            vec![1.0; 11],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_structure() {
+        let a = example();
+        assert_eq!(a.nnz(), 11);
+        assert_eq!(a.row_cols(2), &[1, 2, 4]);
+        assert_eq!(a.row_nnz(2), 3);
+        assert_eq!(a.max_degree(), 3);
+        assert!((a.mean_degree() - 2.2).abs() < 1e-9);
+        assert_eq!(a.degrees(), vec![2, 2, 3, 2, 2]);
+        assert!((a.sparsity() - (1.0 - 11.0 / 25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_inputs() {
+        // Wrong row_ptr length.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(MatrixError::MalformedRowPtr { .. })
+        ));
+        // Does not start at zero.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![1, 1], vec![], vec![]),
+            Err(MatrixError::MalformedRowPtr { .. })
+        ));
+        // Decreasing.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]),
+            Err(MatrixError::MalformedRowPtr { .. })
+        ));
+        // Last pointer != nnz.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 2], vec![0], vec![1.0]),
+            Err(MatrixError::MalformedRowPtr { .. })
+        ));
+        // Values length mismatch.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![]),
+            Err(MatrixError::BadBufferLen { .. })
+        ));
+        // Column out of range.
+        assert!(matches!(
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::empty(3, 7);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (3, 7));
+        assert_eq!(m.sparsity(), 1.0);
+        assert_eq!(m.max_degree(), 0);
+        assert_eq!(m.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let a = example();
+        let d = a.to_dense();
+        assert_eq!(d.get(2, 4), 1.0);
+        assert_eq!(d.get(0, 4), 0.0);
+        // Row sums equal degrees for an unweighted matrix.
+        for r in 0..5 {
+            let sum: f32 = d.row(r).iter().sum();
+            assert_eq!(sum as usize, a.row_nnz(r));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_correct() {
+        let a = example();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (5, 5));
+        assert_eq!(t.nnz(), a.nnz());
+        assert_eq!(t.to_dense(), a.to_dense().transpose());
+        assert_eq!(t.transpose().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn row_iter_matches_slices() {
+        let a = example();
+        let pairs: Vec<_> = a.row_iter(3).collect();
+        assert_eq!(pairs, vec![(0, 1.0), (3, 1.0)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by all matrix constructors and kernels.
+
+use std::fmt;
+
+/// Convenience alias for `std::result::Result<T, MatrixError>`.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors produced by matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimMismatch {
+        /// Operation that was attempted (e.g. `"gemm"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A buffer used to build a matrix had the wrong length for its shape.
+    BadBufferLen {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// An index (row, column, or pointer) was out of bounds.
+    IndexOutOfBounds {
+        /// Description of the offending index.
+        what: &'static str,
+        /// The index value.
+        index: usize,
+        /// The exclusive bound it must stay under.
+        bound: usize,
+    },
+    /// A CSR row-pointer array was malformed (wrong length or not monotone).
+    MalformedRowPtr {
+        /// Human-readable explanation.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: dimension mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::BadBufferLen { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape ({expected} expected)")
+            }
+            MatrixError::IndexOutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (< {bound} required)")
+            }
+            MatrixError::MalformedRowPtr { detail } => write!(f, "malformed CSR row pointers: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MatrixError::DimMismatch { op: "gemm", lhs: (2, 3), rhs: (4, 5) };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = MatrixError::BadBufferLen { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('6'));
+
+        let e = MatrixError::IndexOutOfBounds { what: "column", index: 9, bound: 4 };
+        assert!(e.to_string().contains("column"));
+
+        let e = MatrixError::MalformedRowPtr { detail: "not monotone" };
+        assert!(e.to_string().contains("monotone"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Beyond GNNs: a DLRM-shaped multiphase chain (Section VI).
+//!
+//! DLRM inference is "an SpMM and a DenseGEMM in parallel followed by
+//! concatenation followed by a DenseGEMM". This example builds that chain from
+//! the same phase engines and compares sequential vs pipelined composition of
+//! the back half.
+//!
+//! ```sh
+//! cargo run --release --example dlrm_multiphase
+//! ```
+
+use omega_gnn::core::multiphase::{evaluate_chain, Chain, ChainNode, Link, Stage};
+use omega_gnn::prelude::*;
+use omega_accel::engine::GemmDims;
+use omega_dataflow::{Dim, IntraTiling, LoopOrder, Phase};
+
+fn agg_tiling(tiles: [usize; 3]) -> IntraTiling {
+    IntraTiling::new(
+        Phase::Aggregation,
+        LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).expect("valid order"),
+        tiles,
+    )
+}
+
+fn cmb_tiling(tiles: [usize; 3]) -> IntraTiling {
+    IntraTiling::new(
+        Phase::Combination,
+        LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).expect("valid order"),
+        tiles,
+    )
+}
+
+fn main() {
+    let hw = AccelConfig::paper_default();
+
+    // A batch of 2048 requests. Each gathers 32 sparse embeddings of width 64
+    // (SpMM over a multi-hot lookup matrix) while the bottom MLP transforms the
+    // 64 dense features; the concatenated 128-wide vector feeds the top MLP.
+    let batch = 2048;
+    let lookups_per_request = 32;
+    let embedding_width = 64;
+
+    // Parallel front end: each branch is tiled onto half the array.
+    let embedding = Stage::spmm(
+        "embedding-gather",
+        vec![lookups_per_request; batch],
+        embedding_width,
+        agg_tiling([16, 16, 1]),
+    );
+    let bottom_mlp = Stage::gemm(
+        "bottom-mlp",
+        GemmDims { v: batch, f: 64, g: 64 },
+        cmb_tiling([16, 16, 1]),
+    );
+    let top_dims = GemmDims { v: batch, f: 128, g: 32 };
+
+    for (label, link) in [
+        ("sequential concat -> top MLP", Link::Sequential),
+        ("row-pipelined concat -> top MLP (Pel = 64 rows)", Link::Pipelined { pel: 64 * 128 }),
+    ] {
+        // Rebuild the front end per run (stages are consumed by the chain).
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Parallel(vec![embedding.clone(), bottom_mlp.clone()]),
+                ChainNode::Single(Stage::gemm("top-mlp", top_dims, cmb_tiling([16, 16, 2]))),
+            ],
+            links: vec![link],
+        };
+        let report = evaluate_chain(&chain, &hw);
+        println!("{label}:");
+        for (name, stats) in &report.stages {
+            println!(
+                "  {:<18} {:>10} cycles   {:>12} MACs   util {:.2}",
+                name,
+                stats.cycles,
+                stats.macs,
+                stats.compute_utilisation()
+            );
+        }
+        println!(
+            "  total: {} cycles, {:.3} uJ buffer energy\n",
+            report.total_cycles,
+            report.energy.total_uj()
+        );
+    }
+
+    println!("the taxonomy's inter-phase analysis carries over unchanged: the");
+    println!("pipelined link applies the same sum(max(...)) composition as PP.");
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration: search the dataflow space with OMEGA as the cost
+//! model (the mapping optimizer of Section VI).
+//!
+//! ```sh
+//! cargo run --release --example explore_dataflows [dataset] [samples]
+//! ```
+
+use omega_gnn::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset_name = args.get(1).map(String::as_str).unwrap_or("Cora");
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let spec = DatasetSpec::by_name(dataset_name).unwrap_or_else(|| {
+        eprintln!("unknown dataset '{dataset_name}', using Cora");
+        DatasetSpec::cora()
+    });
+    let dataset = spec.generate(11);
+    let workload = GnnWorkload::gcn_layer(&dataset, 16);
+    let hw = AccelConfig::paper_default();
+
+    println!(
+        "searching {} candidates (9 presets + {} sampled patterns) on {} ...",
+        9 + samples,
+        samples,
+        workload.name
+    );
+    let mut candidates = mapper::preset_candidates(&workload, &hw);
+    candidates.extend(mapper::sampled_candidates(&workload, &hw, samples, 0));
+
+    for objective in [Objective::Runtime, Objective::Energy, Objective::Edp] {
+        let best = mapper::best_of(&candidates, &workload, &hw, objective, 8)
+            .expect("candidates evaluated");
+        println!(
+            "\nbest for {:?}: {}  (tiles {:?})",
+            objective,
+            best.dataflow,
+            best.dataflow.tile_tuple()
+        );
+        println!(
+            "  {} cycles, {:.3} uJ, EDP {:.3e}, granularity {:?}, SP-opt {}",
+            best.report.total_cycles,
+            best.report.energy.total_uj(),
+            best.report.edp(),
+            best.report.granularity,
+            best.report.sp_optimized,
+        );
+    }
+
+    // How much headroom is there beyond the paper's presets?
+    let preset_only = mapper::best_of(
+        &mapper::preset_candidates(&workload, &hw),
+        &workload,
+        &hw,
+        Objective::Runtime,
+        8,
+    )
+    .expect("presets evaluated");
+    let searched = mapper::best_of(&candidates, &workload, &hw, Objective::Runtime, 8)
+        .expect("candidates evaluated");
+    println!(
+        "\nruntime: best Table V preset = {} cycles; searched space = {} cycles ({:+.1}%)",
+        preset_only.report.total_cycles,
+        searched.report.total_cycles,
+        100.0 * (searched.report.total_cycles as f64 / preset_only.report.total_cycles as f64 - 1.0),
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: evaluate one GNN dataflow on one dataset.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use omega_gnn::prelude::*;
+
+fn main() {
+    // 1. A workload: synthetic Citeseer (Table IV) running one GCN layer with a
+    //    16-wide hidden dimension.
+    let dataset = DatasetSpec::citeseer().generate(42);
+    let workload = GnnWorkload::gcn_layer(&dataset, 16);
+    println!(
+        "workload: {} — V={}, F={}, G={}, nnz={}, max degree={}",
+        workload.name, workload.v, workload.f, workload.g, workload.nnz, workload.max_degree
+    );
+
+    // 2. A machine: the paper's 512-PE flexible spatial accelerator.
+    let hw = AccelConfig::paper_default();
+
+    // 3. A dataflow: Table V's SP2 (sequential pipeline, high T_V), tiles chosen
+    //    for ~100% static utilisation on this workload.
+    let preset = Preset::by_name("SP2").expect("SP2 is a Table V preset");
+    let ctx = workload.tile_context(preset.pattern.phase_order);
+    let dataflow = preset.concretize(&ctx, hw.num_pes, hw.num_pes);
+    println!("dataflow: {dataflow}   tiles (T_V,T_N,T_F | T_V,T_G,T_F) = {:?}", dataflow.tile_tuple());
+
+    // 4. Evaluate.
+    let report = evaluate(&workload, &dataflow, &hw).expect("legal dataflow");
+    println!("SP-Optimized conditions hold: {}", report.sp_optimized);
+    println!("total runtime:        {} cycles", report.total_cycles);
+    println!("  aggregation:        {} cycles", report.agg.cycles);
+    println!("  combination:        {} cycles", report.cmb.cycles);
+    println!("intermediate buffer:  {} elements (Table III)", report.intermediate_buffer_elems);
+    println!("buffer energy:        {:.3} uJ", report.energy.total_uj());
+    println!("  global buffer:      {:.3} uJ", report.energy.gb_pj / 1e6);
+    println!("  intermediate:       {:.3} uJ", report.energy.intermediate_pj / 1e6);
+    println!("  register files:     {:.3} uJ", report.energy.rf_pj / 1e6);
+
+    // 5. Compare against the sequential baseline (Seq1).
+    let seq1 = Preset::by_name("Seq1").expect("Seq1 is a Table V preset");
+    let baseline = evaluate(&workload, &seq1.concretize(&ctx, hw.num_pes, hw.num_pes), &hw)
+        .expect("legal dataflow");
+    println!(
+        "vs Seq1: {:.2}x runtime, {:.2}x energy",
+        report.runtime_relative_to(&baseline),
+        report.energy.total_pj() / baseline.energy.total_pj()
+    );
+}

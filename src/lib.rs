@@ -1,0 +1,44 @@
+//! # OMEGA — GNN dataflow design-space exploration on spatial accelerators
+//!
+//! Facade crate re-exporting the whole workspace, so examples and downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use omega_gnn::prelude::*;
+//!
+//! // A synthetic stand-in for the Citeseer citation network (Table IV).
+//! let dataset = DatasetSpec::mutag().generate(42);
+//! let workload = GnnWorkload::gcn_layer(&dataset, 16);
+//!
+//! // The paper's accelerator: 512 PEs, 64 B RFs, stall-free NoCs.
+//! let hw = AccelConfig::paper_default();
+//!
+//! // Table V's SP2 dataflow, concretised for this workload.
+//! let preset = Preset::by_name("SP2").unwrap();
+//! let ctx = workload.tile_context(preset.pattern.phase_order);
+//! let dataflow = preset.concretize(&ctx, hw.num_pes, hw.num_pes);
+//!
+//! let report = evaluate(&workload, &dataflow, &hw).unwrap();
+//! assert!(report.total_cycles > 0);
+//! println!("{dataflow}: {} cycles, {:.3} uJ", report.total_cycles, report.energy.total_uj());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured comparison of every table and figure.
+
+pub use omega_accel as accel;
+pub use omega_core as core;
+pub use omega_dataflow as dataflow;
+pub use omega_graph as graph;
+pub use omega_matrix as matrix;
+
+/// Common imports for examples and quick experimentation.
+pub mod prelude {
+    pub use omega_accel::{AccelConfig, EnergyModel, OperandClass};
+    pub use omega_core::mapper::{self, Objective};
+    pub use omega_core::{evaluate, CostReport, GnnWorkload};
+    pub use omega_dataflow::presets::{self, Preset};
+    pub use omega_dataflow::{GnnDataflow, GnnDataflowPattern, InterPhase, PhaseOrder};
+    pub use omega_graph::{DatasetSpec, Graph, GraphBuilder};
+    pub use omega_matrix::{ops, CsrMatrix, DenseMatrix};
+}
