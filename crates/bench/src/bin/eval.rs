@@ -82,7 +82,9 @@ fn parse_args() -> Result<Args, String> {
         i += 1;
     }
     if out.dataflow.is_none() && out.preset.is_none() {
-        return Err("pass --dataflow \"<pattern>\" or --preset <name>".into());
+        // Bare `eval` should still do something useful: evaluate the paper's
+        // SP2 preset on the default dataset.
+        out.preset = Some("SP2".into());
     }
     Ok(out)
 }
@@ -95,9 +97,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: eval (--dataflow \"SP_AC(VsFxNt, VsFxGx)\" | --preset SP2) \
+                "usage: eval [--dataflow \"SP_AC(VsFxNt, VsFxGx)\" | --preset SP2] \
                  [--dataset NAME] [--hidden G] [--pes N] [--bandwidth ELEMS] \
-                 [--agg-pes N] [--tiles tV,tN,tF,tV,tG,tF] [--seed S]"
+                 [--agg-pes N] [--tiles tV,tN,tF,tV,tG,tF] [--seed S]\n\
+                 with no dataflow/preset, defaults to --preset SP2"
             );
             return ExitCode::FAILURE;
         }

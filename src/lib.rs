@@ -23,8 +23,9 @@
 //! println!("{dataflow}: {} cycles, {:.3} uJ", report.total_cycles, report.energy.total_uj());
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-versus-measured comparison of every table and figure.
+//! See `README.md` for the build/run instructions and the per-crate system
+//! inventory; the `repro` binary (`cargo run --release --bin repro`)
+//! regenerates every table and figure of the paper.
 
 pub use omega_accel as accel;
 pub use omega_core as core;

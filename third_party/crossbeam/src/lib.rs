@@ -1,0 +1,87 @@
+//! Vendored minimal stand-in for `crossbeam` (no crates.io in this build
+//! environment; see `third_party/README.md`).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since 1.63, which makes crossbeam's version
+//! largely redundant). The crossbeam calling convention is preserved: the
+//! scope closure's spawns receive a scope handle argument, and `scope` returns
+//! `Err` instead of unwinding when a worker panics.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub use std::thread::ScopedJoinHandle;
+
+    /// Result type matching `crossbeam::thread::scope`'s.
+    pub type ScopeResult<T> = std::thread::Result<T>;
+
+    /// A copyable handle onto a `std::thread::Scope`, passed (by value, which
+    /// crossbeam's `|_|` spawn closures tolerate) to spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_workers() {
+            let n = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+                }
+            })
+            .unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 8);
+        }
+
+        #[test]
+        fn worker_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn handles_can_be_joined_inside_scope() {
+            let sums: Vec<usize> = super::scope(|s| {
+                let handles: Vec<_> =
+                    (0..4).map(|i| s.spawn(move |_| i * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(sums, vec![0, 10, 20, 30]);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Minimal `#[derive(Serialize)]` for the vendored `serde` stand-in.
+//!
+//! Hand-rolled token walking (no `syn`/`quote` — the build is offline). Supports
+//! exactly the shapes this workspace uses: non-generic structs with named
+//! fields, tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like. Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(src) => src.parse().expect("serde_derive: generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id))
+            if id.to_string() == "struct" || id.to_string() == "enum" =>
+        {
+            id.to_string()
+        }
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored stub): generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = if kind == "struct" {
+        match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g);
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), \
+                             ::serde::Serialize::to_content(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = tuple_arity(g);
+                match n {
+                    0 => "::serde::Content::Seq(vec![])".to_string(),
+                    // Newtype structs serialize transparently, as in real serde.
+                    1 => "::serde::Serialize::to_content(&self.0)".to_string(),
+                    _ => {
+                        let items: Vec<String> = (0..n)
+                            .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                            .collect();
+                        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                    }
+                }
+            }
+            _ => "::serde::Content::Null".to_string(), // unit struct
+        }
+    } else {
+        let g = match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+            other => return Err(format!("serde_derive: expected enum body, got {other:?}")),
+        };
+        let mut arms = Vec::new();
+        for v in variants(&g) {
+            arms.push(match v {
+                Variant::Unit(vn) => format!(
+                    "{name}::{vn} => ::serde::Content::Str(::std::string::String::from({vn:?})),"
+                ),
+                Variant::Tuple(vn, n) => {
+                    let binds: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                    let inner = if n == 1 {
+                        "::serde::Serialize::to_content(__f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                         (::std::string::String::from({vn:?}), {inner})]),",
+                        binds.join(", ")
+                    )
+                }
+                Variant::Struct(vn, fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_content({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![\
+                         (::std::string::String::from({vn:?}), \
+                         ::serde::Content::Map(vec![{}]))]),",
+                        fields.join(", "),
+                        pairs.join(", ")
+                    )
+                }
+            });
+        }
+        format!("match self {{ {} }}", arms.join(" "))
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    ))
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances `i` to just past the next `,` that sits outside any `<...>` nesting
+/// (parens/brackets/braces are opaque `Group`s, so only angles need counting).
+fn skip_past_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            _ => break,
+        }
+        i += 1;
+        skip_past_comma(&toks, &mut i);
+    }
+    out
+}
+
+fn tuple_arity(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // A trailing comma does not add a field.
+                ',' if angle == 0 && k + 1 < toks.len() => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                out.push(Variant::Tuple(name, tuple_arity(vg)));
+                i += 1;
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                out.push(Variant::Struct(name, named_fields(vg)));
+                i += 1;
+            }
+            _ => out.push(Variant::Unit(name)),
+        }
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        skip_past_comma(&toks, &mut i);
+    }
+    out
+}

@@ -1,0 +1,450 @@
+//! Vendored minimal stand-in for `serde_json` (no crates.io in this build
+//! environment; see `third_party/README.md`).
+//!
+//! Provides the subset the workspace uses: [`Value`] with sorted-key objects
+//! (matching real serde_json's default `BTreeMap` ordering), [`to_value`],
+//! [`to_string`] / [`to_string_pretty`], and a strict-enough [`from_str`]
+//! parser for round-tripping its own output.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, Serialize};
+
+/// Key-sorted object representation, like real serde_json without
+/// `preserve_order`.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, PartialEq)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::I(v) => v as f64,
+            N::U(v) => v as f64,
+            N::F(v) => v,
+        })
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(v) => Some(v),
+            N::I(v) => u64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::I(v) => write!(f, "{v}"),
+            N::U(v) => write!(f, "{v}"),
+            N::F(v) => {
+                if v.is_finite() {
+                    if v == v.trunc() && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // Real serde_json refuses non-finite floats; emit null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(Number(N::I(v))),
+        Content::U64(v) => Value::Number(Number(N::U(v))),
+        Content::F64(v) => Value::Number(Number(N::F(v))),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(pairs) => {
+            Value::Object(pairs.into_iter().map(|(k, v)| (k, content_to_value(v))).collect())
+        }
+    }
+}
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(content_to_value(value.to_content()))
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(content_to_value(value.to_content()).to_string())
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = content_to_value(value.to_content());
+    Ok(format!("{}", Pretty(&v)))
+}
+
+struct Pretty<'a>(&'a Value);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self.0, Some(2), 0)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    let (nl, pad, pad_in, colon) = match indent {
+        Some(w) => {
+            ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1)), ": ")
+        }
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => write!(f, "{n}"),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad_in}")?;
+                write_value(f, item, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad}]")
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{nl}{pad_in}")?;
+                write_escaped(f, k)?;
+                f.write_str(colon)?;
+                write_value(f, val, indent, depth + 1)?;
+            }
+            write!(f, "{nl}{pad}}}")
+        }
+    }
+}
+
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected {:?} at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u codepoint".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar from the remaining input.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            let v: f64 = text.parse().map_err(|e| Error(format!("bad number {text:?}: {e}")))?;
+            Ok(Value::Number(Number(N::F(v))))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Value::Number(Number(N::U(v))))
+        } else {
+            let v: i64 = text.parse().map_err(|e| Error(format!("bad number {text:?}: {e}")))?;
+            Ok(Value::Number(Number(N::I(v))))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                other => return Err(Error(format!("expected , or ] got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                other => return Err(Error(format!("expected , or }} got {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let src = r#"{"a": [1, 2.5, -3], "b": "x\ny", "c": true, "d": null}"#;
+        let v = from_str(src).unwrap();
+        let back = from_str(&v.to_string()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let rows = vec![("k".to_string(), 1.5f64)];
+        let s = to_string_pretty(&rows).unwrap();
+        assert!(from_str(&s).is_ok());
+    }
+}
