@@ -3,7 +3,7 @@
 use omega_dataflow::{Dim, IntraTiling, Phase};
 use serde::Serialize;
 
-use super::{actual_tile, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses};
+use super::{actual_tile, loop_classes, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses};
 use crate::{AccelConfig, AccessCounters, PhaseStats, RfBudget};
 
 /// Matrix dimensions of a GEMM phase: `Output[V×G] += A[V×F] · B[F×G]`.
@@ -120,9 +120,23 @@ pub fn simulate_gemm(
     let mut macs: u64 = 0;
     let mut spilled_any = false;
 
-    for i0 in 0..n0 {
+    // Pass costs are uniform in each loop index except at the first iteration
+    // (stationary reloads), the last (remainder tile, final reduction step), and
+    // the reduction-index boundaries — so both loops collapse into ≤ 3 classes
+    // each, every class evaluated once with its multiplicity. With chunk
+    // timestamps requested the outer loop must still walk pass order, so only
+    // the inner loop is batched (the timeline within a batch is reconstructed
+    // exactly by `ChunkTracker::advance_repeat`).
+    let i0_classes: Vec<(usize, u64)> = if chunks.is_some() {
+        (0..n0).map(|i| (i, 1)).collect()
+    } else {
+        loop_classes(n0)
+    };
+    let i1_classes = loop_classes(n1);
+    for &(i0, m0) in &i0_classes {
         let a0 = actual_tile(extent(d0), tile(d0), i0) as u64;
-        for i1 in 0..n1 {
+        for &(i1, m1) in &i1_classes {
+            let m = m0 * m1;
             let a1 = actual_tile(extent(d1), tile(d1), i1) as u64;
             // Coverage of a dimension within this pass.
             let cover = |d: Dim| -> u64 {
@@ -163,7 +177,7 @@ pub fn simulate_gemm(
                         // Already in the RFs: only the per-use RF reads (counted
                         // with the MACs) apply.
                     } else {
-                        counters.read(class, elems);
+                        counters.read(class, elems * m);
                         if streaming {
                             gb_reads_pass += elems;
                         } else {
@@ -171,15 +185,15 @@ pub fn simulate_gemm(
                             // — the serial t_load of Table III.
                             preload_elems += elems;
                         }
-                        counters.rf_writes += elems * copies;
+                        counters.rf_writes += elems * copies * m;
                     }
                 }
             }
 
             // --- compute ---------------------------------------------------------
             let macs_pass = a0 * a1 * e2;
-            macs += macs_pass;
-            counters.rf_reads += 2 * macs_pass;
+            macs += macs_pass * m;
+            counters.rf_reads += 2 * macs_pass * m;
 
             // --- outputs & partial sums -----------------------------------------
             let mut produced_this_pass: u64 = 0;
@@ -187,12 +201,12 @@ pub fn simulate_gemm(
                 // Reduction innermost: the pass completes its output tile.
                 let out_elems = a0 * a1;
                 let updates = macs_pass / t_red.max(1) as u64;
-                counters.rf_reads += updates;
-                counters.rf_writes += updates;
+                counters.rf_reads += updates * m;
+                counters.rf_writes += updates * m;
                 if opts.output_stays_local {
-                    counters.rf_writes += out_elems;
+                    counters.rf_writes += out_elems * m;
                 } else {
-                    counters.write(classes.output, out_elems);
+                    counters.write(classes.output, out_elems * m);
                     gb_writes_pass += out_elems;
                 }
                 produced_this_pass = out_elems;
@@ -205,23 +219,23 @@ pub fn simulate_gemm(
                     spilled_any = true;
                     let spilled = spill_frac(touched);
                     if red_idx > 0 {
-                        counters.read(crate::OperandClass::Psum, spilled);
+                        counters.read(crate::OperandClass::Psum, spilled * m);
                         gb_reads_pass += spilled;
                     }
                     if red_idx < n_red - 1 {
-                        counters.write(crate::OperandClass::Psum, spilled);
+                        counters.write(crate::OperandClass::Psum, spilled * m);
                         gb_writes_pass += spilled;
                     }
                 } else {
                     let updates = macs_pass / t_red.max(1) as u64;
-                    counters.rf_reads += updates;
-                    counters.rf_writes += updates;
+                    counters.rf_reads += updates * m;
+                    counters.rf_writes += updates * m;
                 }
                 if red_idx == n_red - 1 {
                     if opts.output_stays_local {
-                        counters.rf_writes += touched;
+                        counters.rf_writes += touched * m;
                     } else {
-                        counters.write(classes.output, touched);
+                        counters.write(classes.output, touched * m);
                         gb_writes_pass += touched;
                     }
                     produced_this_pass = touched;
@@ -237,23 +251,24 @@ pub fn simulate_gemm(
                 opts.bandwidth,
                 pass_fill,
             );
-            cycles += pass_cycles;
-            stall_cycles += stall;
+            let start = cycles;
+            cycles += pass_cycles * m;
+            stall_cycles += stall * m;
 
             // --- chunk progress (timestamped at pass end) -------------------------
             if let Some(t) = chunks.as_mut() {
                 match opts.chunk.expect("tracker implies spec").side {
                     ChunkSide::Produce => {
                         if produced_this_pass > 0 {
-                            t.advance(produced_this_pass, cycles);
+                            t.advance_repeat(m, produced_this_pass, pass_cycles, start);
                         }
                     }
                     ChunkSide::Consume => match pos_g {
-                        2 => t.advance(a0 * a1, cycles),
+                        2 => t.advance_repeat(m, a0 * a1, pass_cycles, start),
                         1
                             if i1 == n1 - 1 => {
                                 // A's dims here are d0 and d2.
-                                t.advance(a0 * e2, cycles)
+                                t.advance_repeat(m, a0 * e2, pass_cycles, start)
                             }
                         _ => {} // G outermost: whole intermediate needed; marks at finish
                     },

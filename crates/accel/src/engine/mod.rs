@@ -142,13 +142,48 @@ impl ChunkTracker {
         Some(ChunkTracker { pel, total: total_elems, progress: 0, emitted: 0, marks: Vec::with_capacity(chunks as usize) })
     }
 
-    /// Records `elems` of progress at cumulative time `now`.
+    /// Records `elems` of progress at cumulative time `now`. Reference
+    /// implementation for [`Self::advance_repeat`], which the engines use for
+    /// batched passes (`advance(e, t)` ≡ `advance_repeat(1, e, …)`); kept for
+    /// the equivalence test.
+    #[cfg(test)]
     pub(crate) fn advance(&mut self, elems: u64, now: u64) {
         self.progress += elems;
         while (self.emitted + 1) * self.pel <= self.progress {
             self.marks.push(now);
             self.emitted += 1;
         }
+    }
+
+    /// Records `reps` back-to-back identical passes, each contributing
+    /// `elems_each` of progress and `cycles_each` cycles, with the first pass
+    /// starting at cumulative time `start_cycles`. Emits exactly the marks the
+    /// equivalent sequence of [`Self::advance`] calls would (each boundary is
+    /// stamped with the end time of the pass that crosses it) in O(#marks)
+    /// instead of O(reps) — what lets the engines batch uniform passes without
+    /// losing the pipeline-chunk timeline.
+    pub(crate) fn advance_repeat(
+        &mut self,
+        reps: u64,
+        elems_each: u64,
+        cycles_each: u64,
+        start_cycles: u64,
+    ) {
+        if reps == 0 {
+            return;
+        }
+        if elems_each == 0 {
+            return;
+        }
+        let end = self.progress + reps * elems_each;
+        while (self.emitted + 1) * self.pel <= end {
+            let target = (self.emitted + 1) * self.pel;
+            // 1-based index of the pass whose end crosses `target`.
+            let r = (target - self.progress).div_ceil(elems_each);
+            self.marks.push(start_cycles + r * cycles_each);
+            self.emitted += 1;
+        }
+        self.progress = end;
     }
 
     /// Closes the tracker at final time `now`, emitting the trailing partial
@@ -171,6 +206,21 @@ impl ChunkTracker {
 pub(crate) fn actual_tile(extent: usize, tile: usize, i: usize) -> usize {
     let start = i * tile;
     tile.min(extent - start)
+}
+
+/// Equivalence classes of a tiled loop of `n` iterations whose per-pass cost is
+/// uniform except possibly at the first index (stationary reloads), the last
+/// index (remainder tile, final reduction step), and boundary conditions on the
+/// reduction index. Returns `(representative index, multiplicity)` pairs in
+/// iteration order; walking them with the multiplicity applied is exactly
+/// equivalent to walking `0..n` pass by pass.
+pub(crate) fn loop_classes(n: usize) -> Vec<(usize, u64)> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![(0, 1)],
+        2 => vec![(0, 1), (1, 1)],
+        _ => vec![(0, 1), (1, (n - 2) as u64), (n - 1, 1)],
+    }
 }
 
 /// Combines per-pass costs into cycles: compute throughput vs distribution and
@@ -221,6 +271,45 @@ mod tests {
     #[test]
     fn chunk_tracker_none_without_spec() {
         assert!(ChunkTracker::new(None, 100).is_none());
+    }
+
+    #[test]
+    fn advance_repeat_matches_sequential_advance() {
+        // Batched uniform passes must emit exactly the marks the per-pass walk
+        // would, including multi-crossing and partial-trailing cases.
+        for (pel, total, reps, elems, cycles) in
+            [(10u64, 95u64, 12u64, 8u64, 3u64), (3, 40, 7, 6, 5), (64, 64, 4, 9, 2), (5, 100, 20, 5, 1)]
+        {
+            let spec = ChunkSpec { side: ChunkSide::Produce, pel };
+            let mut seq = ChunkTracker::new(Some(&spec), total).unwrap();
+            let mut now = 17u64; // arbitrary non-zero start
+            for _ in 0..reps {
+                now += cycles;
+                seq.advance(elems, now);
+            }
+            let mut batched = ChunkTracker::new(Some(&spec), total).unwrap();
+            batched.advance_repeat(reps, elems, cycles, 17);
+            assert_eq!(seq.marks, batched.marks, "pel={pel} reps={reps} elems={elems}");
+            assert_eq!(seq.progress, batched.progress);
+            assert_eq!(seq.emitted, batched.emitted);
+        }
+    }
+
+    #[test]
+    fn loop_classes_partition_the_range() {
+        for n in 0..7usize {
+            let classes = loop_classes(n);
+            let total: u64 = classes.iter().map(|&(_, m)| m).sum();
+            assert_eq!(total, n as u64, "n={n}");
+            // First and last indices are always singleton classes.
+            if n >= 2 {
+                assert_eq!(classes.first().unwrap(), &(0, 1));
+                assert_eq!(classes.last().unwrap(), &(n - 1, 1));
+            }
+            // Representatives are valid indices in iteration order.
+            assert!(classes.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(classes.iter().all(|&(rep, _)| rep < n));
+        }
     }
 
     #[test]

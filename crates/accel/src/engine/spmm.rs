@@ -110,17 +110,6 @@ pub fn simulate_spmm(
     let n_v = v.div_ceil(tv);
     let n_f = f.div_ceil(tf);
 
-    // Per-vertex-tile degree summaries (row-major orders) and the global summary
-    // (histogram orders).
-    let tile_summaries: Vec<DegreeSummary> = (0..n_v)
-        .map(|i| {
-            let lo = i * tv;
-            let hi = ((i + 1) * tv).min(v);
-            DegreeSummary::new(wl.degrees[lo..hi].iter().copied())
-        })
-        .collect();
-    let global = DegreeSummary::new(wl.degrees.iter().copied());
-
     let order = tiling.order();
     let pos_n = order.position(Dim::N).expect("N is an Aggregation dim");
     let pos_v = order.position(Dim::V).expect("V is an Aggregation dim");
@@ -183,63 +172,128 @@ pub fn simulate_spmm(
         spill_ratio: (spill_num, live_psums_per_pe.max(1)),
     };
 
+    // F-tile classes: the full tiles then the remainder, in iteration order, so
+    // the inner `F` loop of every order collapses to ≤ 2 batched passes.
+    let af_last = (f - (n_f - 1) * tf) as u64;
+    let f_classes: Vec<(u64, u64)> = if af_last == tf as u64 {
+        vec![(tf as u64, n_f as u64)]
+    } else {
+        vec![(tf as u64, (n_f - 1) as u64), (af_last, 1)]
+    };
+    // Per-vertex-tile degree summary, built only by the orders that slice the
+    // neighbour dimension mid-nest.
+    let tile_summary = |iv: usize| -> DegreeSummary {
+        let lo = iv * tv;
+        let hi = ((iv + 1) * tv).min(v);
+        DegreeSummary::new(wl.degrees[lo..hi].iter().copied())
+    };
+
     match (pos_v, pos_n) {
         // --- exact row-major orders ---------------------------------------------
         (0, 2) | (1, 2) => {
             // VFN / FVN: passes over (v-tile × f-tile); reduction innermost.
-            for (iv, summary) in tile_summaries.iter().enumerate() {
-                let avv = actual_tile(v, tv, iv) as u64;
-                let sum = summary.sum_min(usize::MAX >> 1);
-                let steps = (summary.max() as u64).div_ceil(st.tn);
-                for if_ in 0..n_f {
-                    let af = actual_tile(f, tf, if_) as u64;
-                    st.reduction_innermost_pass(steps, sum, avv, af);
+            // Only the degree sum and max of each tile matter, so the tile walk
+            // is a single scan and the F loop is batched per class.
+            for iv in 0..n_v {
+                let lo = iv * tv;
+                let hi = ((iv + 1) * tv).min(v);
+                let mut sum = 0u64;
+                let mut mx = 0usize;
+                for &d in &wl.degrees[lo..hi] {
+                    sum += d as u64;
+                    mx = mx.max(d);
+                }
+                let avv = (hi - lo) as u64;
+                let steps = (mx as u64).div_ceil(st.tn);
+                for &(af, m) in &f_classes {
+                    st.reduction_innermost_pass(steps, sum, avv, af, m);
                 }
             }
         }
         (0, 1) => {
             // VNF: per v-tile, neighbour slices in the middle, F innermost.
-            for (iv, summary) in tile_summaries.iter().enumerate() {
-                let avv = actual_tile(v, tv, iv) as u64;
-                let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
-                for in_ in 0..n_red {
-                    let lo = in_ * tn;
-                    let hi = lo + tn;
-                    let active = summary.active(lo, hi);
-                    st.reduction_middle_pass(
-                        n_f as u64,
-                        active * f as u64,
-                        avv,
-                        f as u64,
-                        in_ as u64,
-                        n_red as u64,
-                        active,
-                        spill,
-                    );
+            if tv == 1 && st.chunks.is_none() {
+                // Single-row tiles with identical degrees make identical pass
+                // sequences — batch by degree class (order-insensitive without
+                // chunk timestamps).
+                for &(d, m) in &degree_classes(wl.degrees) {
+                    st.vnf_vertex(d, f, n_f, tn, spill, m);
+                }
+            } else if tv == 1 {
+                for &d in wl.degrees {
+                    st.vnf_vertex(d, f, n_f, tn, spill, 1);
+                }
+            } else {
+                for iv in 0..n_v {
+                    let summary = tile_summary(iv);
+                    let avv = actual_tile(v, tv, iv) as u64;
+                    let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        let active = summary.active(lo, hi);
+                        st.reduction_middle_pass(
+                            n_f as u64,
+                            active * f as u64,
+                            avv,
+                            f as u64,
+                            in_ as u64,
+                            n_red as u64,
+                            active,
+                            spill,
+                            1,
+                        );
+                    }
                 }
             }
         }
         (2, 1) => {
             // FNV: column granularity — per f-tile, global neighbour slices,
             // vertices innermost (histogram model).
+            let global = DegreeSummary::new(wl.degrees.iter().copied());
             let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
-            for if_ in 0..n_f {
-                let af = actual_tile(f, tf, if_) as u64;
+            if st.chunks.is_none() {
+                // Hoist the slice walk out of the F loop: every f-tile repeats
+                // the same slice sequence (order-insensitive without chunks).
                 for in_ in 0..n_red {
                     let lo = in_ * tn;
                     let hi = lo + tn;
                     let active = global.active(lo, hi);
                     let rows_active = global.count_gt(lo);
                     let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
-                    st.histogram_pass(
-                        rows_active.div_ceil(tv as u64).max(1),
-                        active,
-                        af,
-                        rows_active,
-                        rows_finishing,
-                        in_ as u64,
-                        spill,
-                    );
+                    for &(af, m) in &f_classes {
+                        st.histogram_pass(
+                            rows_active.div_ceil(tv as u64).max(1),
+                            active,
+                            af,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            spill,
+                            m,
+                        );
+                    }
+                }
+            } else {
+                for if_ in 0..n_f {
+                    let af = actual_tile(f, tf, if_) as u64;
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        let active = global.active(lo, hi);
+                        let rows_active = global.count_gt(lo);
+                        let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                        st.histogram_pass(
+                            rows_active.div_ceil(tv as u64).max(1),
+                            active,
+                            af,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            spill,
+                            1,
+                        );
+                    }
                 }
             }
         }
@@ -247,29 +301,59 @@ pub fn simulate_spmm(
         (1, 0) => {
             // NVF: per neighbour slice, vertex tiles in the middle (each
             // contributing its own active edges for the slice), F innermost.
-            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
-            for in_ in 0..n_red {
-                let lo = in_ * tn;
-                let hi = lo + tn;
-                for summary in &tile_summaries {
-                    let active = summary.active(lo, hi);
-                    let rows_active = summary.count_gt(lo);
-                    let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
-                    st.histogram_pass(
-                        n_f as u64,
-                        active,
-                        f as u64,
-                        rows_active,
-                        rows_finishing,
-                        in_ as u64,
-                        spill,
-                    );
+            if tv == 1 && st.chunks.is_none() {
+                let classes = degree_classes(wl.degrees);
+                let gmax = classes.last().map_or(0, |&(d, _)| d);
+                let n_red = (gmax as u64).div_ceil(st.tn).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    for &(d, m) in &classes {
+                        let active = (d.min(hi) - d.min(lo)) as u64;
+                        let rows_active = u64::from(d > lo);
+                        let rows_finishing = u64::from(d > lo && d <= hi.saturating_sub(1));
+                        st.histogram_pass(
+                            n_f as u64,
+                            active,
+                            f as u64,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            spill,
+                            m,
+                        );
+                    }
+                }
+            } else {
+                let summaries: Vec<DegreeSummary> = (0..n_v).map(tile_summary).collect();
+                let gmax = summaries.iter().map(|s| s.max()).max().unwrap_or(0);
+                let n_red = (gmax as u64).div_ceil(st.tn).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    for summary in &summaries {
+                        let active = summary.active(lo, hi);
+                        let rows_active = summary.count_gt(lo);
+                        let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
+                        st.histogram_pass(
+                            n_f as u64,
+                            active,
+                            f as u64,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            spill,
+                            1,
+                        );
+                    }
                 }
             }
         }
         (2, 0) => {
             // NFV: per neighbour slice, feature tiles in the middle (each
             // revisiting the slice's active edges over its columns), V innermost.
+            // The F loop is batched per class, preserving iteration order.
+            let global = DegreeSummary::new(wl.degrees.iter().copied());
             let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
             for in_ in 0..n_red {
                 let lo = in_ * tn;
@@ -277,8 +361,7 @@ pub fn simulate_spmm(
                 let active = global.active(lo, hi);
                 let rows_active = global.count_gt(lo);
                 let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
-                for if_ in 0..n_f {
-                    let af = actual_tile(f, tf, if_) as u64;
+                for &(af, m) in &f_classes {
                     st.histogram_pass(
                         rows_active.div_ceil(tv as u64).max(1),
                         active,
@@ -287,6 +370,7 @@ pub fn simulate_spmm(
                         rows_finishing,
                         in_ as u64,
                         spill,
+                        m,
                     );
                 }
             }
@@ -326,48 +410,59 @@ struct Walk {
 
 impl Walk {
     /// Charges the dense-input and adjacency traffic common to every pass that
-    /// visits `edge_visits` edges over `width` feature columns of `rows` rows.
-    fn charge_inputs(&mut self, edge_visits: u64, width: u64, rows: u64) -> u64 {
+    /// visits `edge_visits` edges over `width` feature columns of `rows` rows,
+    /// for `m` identical passes. Returns the *per-pass* GB reads (for timing).
+    fn charge_inputs(&mut self, edge_visits: u64, width: u64, rows: u64, m: u64) -> u64 {
         let feat = edge_visits * width;
         let adj = 2 * edge_visits + rows; // column indices + values + row pointers
         let mut gb = adj;
-        self.counters.read(self.classes.b_input, adj);
+        self.counters.read(self.classes.b_input, adj * m);
         if self.opts.input_resident {
             // CA SP-Optimized: the intermediate rows are already local.
         } else {
-            self.counters.read(self.classes.a_input, feat);
+            self.counters.read(self.classes.a_input, feat * m);
             gb += feat;
         }
         // Multicast: each adjacency value fans out across the spatial F lanes;
         // features land in exactly one PE each.
-        self.counters.rf_writes += feat + edge_visits * self.tf;
+        self.counters.rf_writes += (feat + edge_visits * self.tf) * m;
         gb
     }
 
-    /// Pass with `N` innermost (VFN / FVN): reduction completes in-pass.
-    fn reduction_innermost_pass(&mut self, steps: u64, edge_visits: u64, rows: u64, width: u64) {
+    /// `m` identical passes with `N` innermost (VFN / FVN): reduction completes
+    /// in-pass.
+    fn reduction_innermost_pass(
+        &mut self,
+        steps: u64,
+        edge_visits: u64,
+        rows: u64,
+        width: u64,
+        m: u64,
+    ) {
         let macs = edge_visits * width;
-        self.macs += macs;
-        self.counters.rf_reads += 2 * macs;
+        self.macs += macs * m;
+        self.counters.rf_reads += 2 * macs * m;
         let updates = macs.div_ceil(self.tn);
-        self.counters.rf_reads += updates;
-        self.counters.rf_writes += updates;
+        self.counters.rf_reads += updates * m;
+        self.counters.rf_writes += updates * m;
         let mut gb_writes = 0;
         let out = rows * width;
         if self.opts.output_stays_local {
-            self.counters.rf_writes += out;
+            self.counters.rf_writes += out * m;
         } else {
-            self.counters.write(self.classes.output, out);
+            self.counters.write(self.classes.output, out * m);
             gb_writes = out;
         }
-        let gb_reads = self.charge_inputs(edge_visits, width, rows);
+        let gb_reads = self.charge_inputs(edge_visits, width, rows, m);
         let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        self.cycles += pass;
-        self.stall_cycles += stall;
-        self.advance_chunks(out, macs);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        self.advance_chunks(m, out, macs, pass, start);
     }
 
-    /// Pass with `N` in the middle (VNF): one neighbour slice, F innermost.
+    /// `m` identical passes with `N` in the middle (VNF): one neighbour slice,
+    /// F innermost.
     #[allow(clippy::too_many_arguments)]
     fn reduction_middle_pass(
         &mut self,
@@ -379,47 +474,72 @@ impl Walk {
         n_red: u64,
         edge_visits: u64,
         spill: bool,
+        m: u64,
     ) {
-        self.macs += macs;
-        self.counters.rf_reads += 2 * macs;
+        self.macs += macs * m;
+        self.counters.rf_reads += 2 * macs * m;
         let touched = rows * width;
         let spilled = touched * self.spill_ratio.0 / self.spill_ratio.1;
         let mut gb_writes = 0;
         if spill {
             self.spilled = true;
             if red_idx > 0 {
-                self.counters.read(OperandClass::Psum, spilled);
+                self.counters.read(OperandClass::Psum, spilled * m);
             }
             if red_idx < n_red - 1 {
-                self.counters.write(OperandClass::Psum, spilled);
+                self.counters.write(OperandClass::Psum, spilled * m);
                 gb_writes += spilled;
             }
         } else {
             let updates = macs.div_ceil(self.tn);
-            self.counters.rf_reads += updates;
-            self.counters.rf_writes += updates;
+            self.counters.rf_reads += updates * m;
+            self.counters.rf_writes += updates * m;
         }
         let mut produced = 0;
         if red_idx == n_red - 1 {
             if self.opts.output_stays_local {
-                self.counters.rf_writes += touched;
+                self.counters.rf_writes += touched * m;
             } else {
-                self.counters.write(self.classes.output, touched);
+                self.counters.write(self.classes.output, touched * m);
                 gb_writes += touched;
             }
             produced = touched;
         }
-        let mut gb_reads = self.charge_inputs(edge_visits, width, rows);
+        let mut gb_reads = self.charge_inputs(edge_visits, width, rows, m);
         if spill && red_idx > 0 {
             gb_reads += spilled;
         }
         let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        self.cycles += pass;
-        self.stall_cycles += stall;
-        self.advance_chunks(produced, macs);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        self.advance_chunks(m, produced, macs, pass, start);
     }
 
-    /// Histogram-modelled pass (FNV / NVF / NFV): one global neighbour slice.
+    /// The full slice walk of one single-row vertex tile under VNF (`m` rows of
+    /// identical degree `d` batched together).
+    fn vnf_vertex(&mut self, d: usize, f: usize, n_f: usize, tn: usize, spill: bool, m: u64) {
+        let n_red = (d as u64).div_ceil(self.tn).max(1) as usize;
+        for in_ in 0..n_red {
+            let lo = in_ * tn;
+            let hi = lo + tn;
+            let active = (d.min(hi) - d.min(lo)) as u64;
+            self.reduction_middle_pass(
+                n_f as u64,
+                active * f as u64,
+                1,
+                f as u64,
+                in_ as u64,
+                n_red as u64,
+                active,
+                spill,
+                m,
+            );
+        }
+    }
+
+    /// `m` identical histogram-modelled passes (FNV / NVF / NFV): one global
+    /// neighbour slice.
     #[allow(clippy::too_many_arguments)]
     fn histogram_pass(
         &mut self,
@@ -430,60 +550,78 @@ impl Walk {
         rows_finishing: u64,
         red_idx: u64,
         spill: bool,
+        m: u64,
     ) {
         let macs = edge_visits * width;
-        self.macs += macs;
-        self.counters.rf_reads += 2 * macs;
+        self.macs += macs * m;
+        self.counters.rf_reads += 2 * macs * m;
         let mut gb_writes = 0;
         if spill {
             self.spilled = true;
             let live = self.spill_scale(rows_active.saturating_sub(rows_finishing) * width);
             if red_idx > 0 {
-                self.counters.read(OperandClass::Psum, self.spill_scale(rows_active * width));
+                self.counters.read(OperandClass::Psum, self.spill_scale(rows_active * width) * m);
             }
             if live > 0 {
-                self.counters.write(OperandClass::Psum, live);
+                self.counters.write(OperandClass::Psum, live * m);
                 gb_writes += live;
             }
         } else {
             let updates = macs.div_ceil(self.tn);
-            self.counters.rf_reads += updates;
-            self.counters.rf_writes += updates;
+            self.counters.rf_reads += updates * m;
+            self.counters.rf_writes += updates * m;
         }
         let out = rows_finishing * width;
         if out > 0 {
             if self.opts.output_stays_local {
-                self.counters.rf_writes += out;
+                self.counters.rf_writes += out * m;
             } else {
-                self.counters.write(self.classes.output, out);
+                self.counters.write(self.classes.output, out * m);
                 gb_writes += out;
             }
         }
-        let mut gb_reads = self.charge_inputs(edge_visits, width, rows_active);
+        let mut gb_reads = self.charge_inputs(edge_visits, width, rows_active, m);
         if spill && red_idx > 0 {
             gb_reads += self.spill_scale(rows_active * width);
         }
         let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        self.cycles += pass;
-        self.stall_cycles += stall;
-        self.advance_chunks(out, macs);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        self.advance_chunks(m, out, macs, pass, start);
     }
 
     fn spill_scale(&self, x: u64) -> u64 {
         x * self.spill_ratio.0 / self.spill_ratio.1
     }
 
-    fn advance_chunks(&mut self, produced: u64, visits: u64) {
+    fn advance_chunks(&mut self, m: u64, produced_each: u64, visits_each: u64, pass_cycles: u64, start: u64) {
         let Some(t) = self.chunks.as_mut() else { return };
         match self.opts.chunk.expect("tracker implies spec").side {
             ChunkSide::Produce => {
-                if produced > 0 {
-                    t.advance(produced, self.cycles);
+                if produced_each > 0 {
+                    t.advance_repeat(m, produced_each, pass_cycles, start);
                 }
             }
-            ChunkSide::Consume => t.advance(visits, self.cycles),
+            ChunkSide::Consume => t.advance_repeat(m, visits_each, pass_cycles, start),
         }
     }
+}
+
+/// Distinct degrees with multiplicities, ascending — single-row vertex tiles
+/// with equal degree make identical pass sequences, so batched walks iterate
+/// these classes instead of every vertex.
+fn degree_classes(degrees: &[usize]) -> Vec<(usize, u64)> {
+    let mut sorted: Vec<usize> = degrees.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(usize, u64)> = Vec::new();
+    for d in sorted {
+        match out.last_mut() {
+            Some((last, m)) if *last == d => *m += 1,
+            _ => out.push((d, 1)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

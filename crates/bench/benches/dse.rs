@@ -1,0 +1,58 @@
+//! Criterion benches for the exhaustive DSE engine: full-space search cost and
+//! thread scaling (near-linear on multi-core hosts; flat on a single core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use omega_accel::AccelConfig;
+use omega_core::dse::{explore, DseOptions};
+use omega_core::mapper::Objective;
+use omega_core::GnnWorkload;
+use omega_graph::DatasetSpec;
+
+fn workload(name: &str) -> GnnWorkload {
+    let dataset = DatasetSpec::by_name(name).expect("dataset").generate(0x0E5A_2022);
+    GnnWorkload::gcn_layer(&dataset, 16)
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let wl = workload("Mutag");
+    let cfg = AccelConfig::paper_default();
+    let mut group = c.benchmark_group("dse_exhaustive_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let out = explore(
+                    &wl,
+                    &cfg,
+                    &DseOptions { threads, ..DseOptions::new(Objective::Runtime) },
+                );
+                assert_eq!(out.space, 6656);
+                out.best().map(|r| r.report.total_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_objectives(c: &mut Criterion) {
+    let wl = workload("Proteins");
+    let cfg = AccelConfig::paper_default();
+    let mut group = c.benchmark_group("dse_exhaustive_objective");
+    group.sample_size(10);
+    for (name, objective) in
+        [("runtime", Objective::Runtime), ("energy", Objective::Energy), ("edp", Objective::Edp)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &objective, |b, &objective| {
+            b.iter(|| {
+                explore(&wl, &cfg, &DseOptions { threads: 4, ..DseOptions::new(objective) })
+                    .best()
+                    .map(|r| r.score)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(dse, bench_thread_scaling, bench_objectives);
+criterion_main!(dse);

@@ -106,6 +106,14 @@ fn main() -> ExitCode {
         }
     };
 
+    // Degenerate hardware is rejected up front: 0 PEs has no meaningful cost
+    // model (and divides/clamps downstream), and a parallel pipeline cannot
+    // split fewer than 2 PEs into two concurrent partitions.
+    if args.pes == 0 {
+        eprintln!("error: --pes must be >= 1 (got 0)");
+        return ExitCode::FAILURE;
+    }
+
     let Some(spec) = DatasetSpec::by_name(&args.dataset) else {
         eprintln!(
             "unknown dataset '{}'; known: {}",
@@ -127,6 +135,10 @@ fn main() -> ExitCode {
             eprintln!("unknown preset '{name}'; known: Seq1 Seq2 SP1 SP2 SPhighV PP1 PP2 PP3 PP4");
             return ExitCode::FAILURE;
         };
+        if let Err(e) = check_pp_split(&preset.pattern, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
         let ctx = wl.tile_context(preset.pattern.phase_order);
         let (a, c) = split(&preset.pattern, &args, &cfg);
         preset.concretize(&ctx, a, c)
@@ -138,6 +150,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Err(e) = check_pp_split(&pattern, &cfg) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
         concretize_pattern(&pattern, &wl, &args, &cfg)
     };
 
@@ -166,6 +182,18 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// A parallel pipeline needs at least one PE per partition; with fewer than 2
+/// PEs the split (`clamp(1, num_pes - 1)`) would underflow — reject clearly.
+fn check_pp_split(pattern: &GnnDataflowPattern, cfg: &AccelConfig) -> Result<(), String> {
+    if pattern.inter == InterPhase::ParallelPipeline && cfg.num_pes < 2 {
+        return Err(format!(
+            "a PP dataflow splits the array into two partitions and needs --pes >= 2 (got {})",
+            cfg.num_pes
+        ));
+    }
+    Ok(())
 }
 
 fn split(pattern: &GnnDataflowPattern, args: &Args, cfg: &AccelConfig) -> (usize, usize) {

@@ -24,7 +24,7 @@ fn main() -> ExitCode {
     }
     let all = [
         "table1", "table2", "table3", "table4", "table5", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "flexibility", "ablation", "accelerators", "sweep",
+        "fig15", "fig16", "flexibility", "ablation", "accelerators", "sweep", "preset_gap",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -75,6 +75,12 @@ fn main() -> ExitCode {
                 name,
                 "Graph-property sweep: where the best dataflow flips",
                 &sweep::sweep(),
+            ),
+            "preset_gap" => emit(
+                &out_dir,
+                name,
+                "Preset gap: best Table V preset vs the exhaustive 6,656-space optimum",
+                &insights::preset_gap(),
             ),
             other => {
                 eprintln!("unknown experiment '{other}'; known: {}", all.join(", "));

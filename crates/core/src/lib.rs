@@ -18,11 +18,12 @@
 //!   with NoC bandwidth split between the partitions (rows 4-6).
 //!
 //! Entry point: [`evaluate`] (a [`GnnWorkload`] × [`GnnDataflow`] ×
-//! [`AccelConfig`] → [`CostReport`]). [`mapper`] searches the dataflow space
-//! using `evaluate` as its cost model (the "future work" optimizer of
-//! Section VI), [`models`] stacks layers into whole GNNs, and [`multiphase`]
-//! generalises the composition to non-GNN multiphase kernels (DLRM-style
-//! chains).
+//! [`AccelConfig`] → [`CostReport`]). [`mapper`] searches candidate sets using
+//! `evaluate` as its cost model (the "future work" optimizer of Section VI),
+//! [`dse`] exhaustively explores the full 6,656-pattern space in parallel
+//! (streamed work queue, top-K reduction, workload-keyed cache), [`models`]
+//! stacks layers into whole GNNs, and [`multiphase`] generalises the
+//! composition to non-GNN multiphase kernels (DLRM-style chains).
 //!
 //! ```
 //! use omega_core::{evaluate, AccelConfig, GnnWorkload};
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+pub mod dse;
 mod evaluate;
 pub mod mapper;
 pub mod model_check;

@@ -6,14 +6,12 @@
 //! tile chooser) plus parallel best-of search under a runtime / energy / EDP
 //! objective.
 
-use crossbeam::thread;
 use serde::Serialize;
 
 use omega_accel::AccelConfig;
-use omega_dataflow::enumerate::all_patterns;
+use omega_dataflow::enumerate::PatternSpace;
 use omega_dataflow::presets::Preset;
-use omega_dataflow::tiles::{Cap, PhasePolicy};
-use omega_dataflow::{Dim, GnnDataflow, InterPhase, IntraTiling, MappingSpec, Phase};
+use omega_dataflow::{GnnDataflow, InterPhase, IntraTiling, Phase};
 
 use crate::{evaluate, CostReport, GnnWorkload};
 
@@ -29,7 +27,8 @@ pub enum Objective {
 }
 
 impl Objective {
-    fn score(self, r: &CostReport) -> f64 {
+    /// The objective value of a report (lower is better).
+    pub fn score(self, r: &CostReport) -> f64 {
         match self {
             Objective::Runtime => r.total_cycles as f64,
             Objective::Energy => r.energy.total_pj(),
@@ -47,8 +46,10 @@ pub struct SearchResult {
     pub report: CostReport,
     /// Objective value.
     pub score: f64,
-    /// Number of candidates evaluated.
+    /// Number of candidates actually evaluated (successful `evaluate` calls).
     pub evaluated: usize,
+    /// Candidates rejected by dataflow validation (never evaluated).
+    pub skipped: usize,
 }
 
 /// The nine Table V presets concretised for this workload (PP split 50-50).
@@ -67,51 +68,55 @@ pub fn preset_candidates(workload: &GnnWorkload, cfg: &AccelConfig) -> Vec<GnnDa
         .collect()
 }
 
-/// Deterministic sample of `n` candidates from the full enumerated pattern
-/// space, concretised with a balanced tile policy. `offset` rotates the sample
-/// (stride sampling keeps this reproducible without an RNG).
+/// Deterministic sample of up to `n` candidates from the full enumerated
+/// pattern space, concretised with the balanced tile policy of
+/// [`crate::dse::concretize_pattern`]. `offset` rotates the sample (stride
+/// sampling keeps this reproducible without an RNG).
+///
+/// Guarantee: every returned dataflow comes from a *distinct* pattern — `n` is
+/// capped at the space size, and the stride walk never revisits an index, so
+/// the result has exactly `min(n, space)` entries (the historical behaviour
+/// silently wrapped around and yielded duplicates when `n` exceeded the
+/// space).
 pub fn sampled_candidates(
     workload: &GnnWorkload,
     cfg: &AccelConfig,
     n: usize,
     offset: usize,
 ) -> Vec<GnnDataflow> {
-    let patterns: Vec<_> = all_patterns().collect();
-    if patterns.is_empty() || n == 0 {
+    let space = PatternSpace::new();
+    if space.is_empty() || n == 0 {
         return Vec::new();
     }
-    let stride = (patterns.len() / n.max(1)).max(1);
+    let len = space.len();
+    let n = n.min(len);
+    let stride = (len / n).max(1);
+    // With n capped the stride walk is collision-free: i·stride < n·⌊len/n⌋ ≤
+    // len, so the offsets are distinct mod len. Debug builds keep the
+    // distinctness guarantee loud instead of silently shrinking the result.
+    debug_assert!(
+        {
+            let mut taken = vec![false; len];
+            (0..n).all(|i| !std::mem::replace(&mut taken[(offset + i * stride) % len], true))
+        },
+        "stride sample revisited a pattern index (n={n}, stride={stride}, offset={offset})"
+    );
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let p = &patterns[(offset + i * stride) % patterns.len()];
-        let ctx = workload.tile_context(p.phase_order);
-        let (agg_pes, cmb_pes) = if p.inter == InterPhase::ParallelPipeline {
-            (cfg.num_pes / 2, cfg.num_pes / 2)
-        } else {
-            (cfg.num_pes, cfg.num_pes)
-        };
-        // Balanced growth over the dims the pattern allows to be spatial, with
-        // the neighbour tile capped at the mean degree.
-        let policy_for = |pattern: &omega_dataflow::IntraPattern| {
-            let dims: Vec<Dim> = pattern
-                .order()
-                .dims()
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| pattern.maps()[i] != MappingSpec::Temporal)
-                .map(|(_, &d)| d)
-                .collect();
-            PhasePolicy::round_robin(&dims).with_cap(Dim::N, Cap::MeanDegreePow2)
-        };
-        let agg = omega_dataflow::tiles::choose_tiling(&p.agg, &ctx, agg_pes, &policy_for(&p.agg));
-        let cmb = omega_dataflow::tiles::choose_tiling(&p.cmb, &ctx, cmb_pes, &policy_for(&p.cmb));
-        out.push(GnnDataflow { inter: p.inter, phase_order: p.phase_order, agg, cmb });
+        let idx = (offset + i * stride) % len;
+        out.push(crate::dse::concretize_pattern(&space.get(idx), workload, cfg));
     }
     out
 }
 
-/// Evaluates all candidates in parallel (crossbeam scoped threads) and returns
-/// the best under `objective`. Candidates that fail validation are skipped.
+/// Evaluates all candidates in parallel (crossbeam scoped threads, shared with
+/// the exhaustive engine of [`crate::dse`]) and returns the best under
+/// `objective`. Candidates that fail validation are skipped and counted in
+/// [`SearchResult::skipped`]; [`SearchResult::evaluated`] counts the successful
+/// `evaluate` calls, so `evaluated + skipped == candidates.len()`.
+///
+/// The winner's report carries no per-chunk pipeline timeline (`chunk_marks`);
+/// re-run [`evaluate`] on the winning dataflow if you need it.
 pub fn best_of(
     candidates: &[GnnDataflow],
     workload: &GnnWorkload,
@@ -122,46 +127,25 @@ pub fn best_of(
     if candidates.is_empty() {
         return None;
     }
-    let threads = threads.max(1).min(candidates.len());
-    let chunk = candidates.len().div_ceil(threads);
-    let results: Vec<Option<(usize, CostReport)>> = thread::scope(|s| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, slice)| {
-                s.spawn(move |_| {
-                    let mut best: Option<(usize, CostReport)> = None;
-                    for (i, df) in slice.iter().enumerate() {
-                        if let Ok(r) = evaluate(workload, df, cfg) {
-                            let replace = match &best {
-                                Some((_, b)) => objective.score(&r) < objective.score(b),
-                                None => true,
-                            };
-                            if replace {
-                                best = Some((ci * chunk + i, r));
-                            }
-                        }
-                    }
-                    best
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("mapper worker panicked")).collect()
-    })
-    .expect("mapper scope");
-
-    let evaluated = candidates.len();
-    results
+    let gen = |i: usize| candidates[i];
+    let job = crate::dse::SearchJob {
+        workload,
+        cfg,
+        objective,
+        k: 1,
+        threads,
+        chunk: candidates.len().div_ceil(threads.max(1)),
+    };
+    let (merged, evaluated, skipped) = crate::dse::parallel_top_k(candidates.len(), &gen, &job);
+    merged
         .into_iter()
-        .flatten()
-        .min_by(|(_, a), (_, b)| {
-            objective.score(a).partial_cmp(&objective.score(b)).expect("scores are finite")
-        })
-        .map(|(i, report)| SearchResult {
-            dataflow: candidates[i],
-            score: objective.score(&report),
+        .min_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("scores are finite"))
+        .map(|(score, _, dataflow, report)| SearchResult {
+            dataflow,
             report,
+            score,
             evaluated,
+            skipped,
         })
 }
 
@@ -199,6 +183,7 @@ pub fn search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use omega_dataflow::Dim;
     use omega_graph::DatasetSpec;
 
     fn wl() -> GnnWorkload {
@@ -224,18 +209,55 @@ mod tests {
     }
 
     #[test]
+    fn sampled_candidates_cap_at_the_space_without_duplicates() {
+        use omega_dataflow::enumerate::design_space_size;
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        // Historically n > space wrapped the stride walk and yielded duplicate
+        // patterns; now the result caps at the space size, all-distinct.
+        let over = sampled_candidates(&workload, &cfg, design_space_size() + 500, 3);
+        assert_eq!(over.len(), design_space_size());
+        let distinct: std::collections::HashSet<String> =
+            over.iter().map(|df| df.to_string()).collect();
+        assert_eq!(distinct.len(), over.len());
+    }
+
+    #[test]
     fn best_of_minimises_objective() {
         let cfg = AccelConfig::paper_default();
         let workload = wl();
         let candidates = preset_candidates(&workload, &cfg);
         let best = best_of(&candidates, &workload, &cfg, Objective::Runtime, 4).unwrap();
         assert_eq!(best.evaluated, 9);
+        assert_eq!(best.skipped, 0);
         // The winner is no slower than every candidate.
         for df in &candidates {
             if let Ok(r) = evaluate(&workload, df, &cfg) {
                 assert!(best.report.total_cycles <= r.total_cycles);
             }
         }
+    }
+
+    #[test]
+    fn best_of_counts_only_actual_evaluations() {
+        use omega_dataflow::{IntraTiling, LoopOrder, PhaseOrder};
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let mut candidates = preset_candidates(&workload, &cfg);
+        // A PP dataflow whose loop orders cannot pipeline fails validation and
+        // must be counted as skipped, not evaluated.
+        let agg_order = LoopOrder::new(Phase::Aggregation, [Dim::N, Dim::V, Dim::F]).unwrap();
+        let cmb_order = LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap();
+        candidates.push(GnnDataflow {
+            inter: InterPhase::ParallelPipeline,
+            phase_order: PhaseOrder::AC,
+            agg: IntraTiling::new(Phase::Aggregation, agg_order, [1, 2, 2]),
+            cmb: IntraTiling::new(Phase::Combination, cmb_order, [2, 2, 1]),
+        });
+        let best = best_of(&candidates, &workload, &cfg, Objective::Runtime, 3).unwrap();
+        assert_eq!(best.evaluated, 9);
+        assert_eq!(best.skipped, 1);
+        assert_eq!(best.evaluated + best.skipped, candidates.len());
     }
 
     #[test]
@@ -257,7 +279,9 @@ mod tests {
         let cfg = AccelConfig::paper_default();
         let workload = wl();
         let result = search(&workload, &cfg, Objective::Runtime, 12, 4).unwrap();
-        assert_eq!(result.evaluated, 9 + 3 + 12); // presets + CA variants + samples
+        // presets + CA variants + samples, every one either evaluated or skipped.
+        assert_eq!(result.evaluated + result.skipped, 9 + 3 + 12);
+        assert_eq!(result.skipped, 0); // all concretised candidates validate
         assert!(result.score > 0.0);
     }
 
@@ -302,6 +326,7 @@ pub fn refine_tiles(
     let mut report = evaluate(workload, &current, cfg).ok()?;
     let mut score = objective.score(&report);
     let mut evaluated = 1;
+    let mut skipped = 0;
 
     let budgets = |df: &GnnDataflow| -> (usize, usize) {
         if df.inter == InterPhase::ParallelPipeline {
@@ -327,7 +352,10 @@ pub fn refine_tiles(
                     } else {
                         GnnDataflow { cmb: new_tiling, ..current }
                     };
-                    let Ok(r) = evaluate(workload, &candidate, cfg) else { continue };
+                    let Ok(r) = evaluate(workload, &candidate, cfg) else {
+                        skipped += 1;
+                        continue;
+                    };
                     evaluated += 1;
                     let s = objective.score(&r);
                     if s < score
@@ -347,7 +375,7 @@ pub fn refine_tiles(
             None => break, // local optimum
         }
     }
-    Some(SearchResult { dataflow: current, report, score, evaluated })
+    Some(SearchResult { dataflow: current, report, score, evaluated, skipped })
 }
 
 /// Doubles or halves the tile at `pos`, returning `None` when out of range.
@@ -379,6 +407,7 @@ pub fn pareto_frontier(
     let mut frontier: Vec<SearchResult> = Vec::new();
     let mut best_energy = f64::INFINITY;
     let n = evaluated.len();
+    let skipped = candidates.len() - n;
     for (df, r) in evaluated {
         let e = r.energy.total_pj();
         if e < best_energy {
@@ -388,6 +417,7 @@ pub fn pareto_frontier(
                 score: r.total_cycles as f64,
                 report: r,
                 evaluated: n,
+                skipped,
             });
         }
     }
@@ -397,6 +427,7 @@ pub fn pareto_frontier(
 #[cfg(test)]
 mod extension_tests {
     use super::*;
+    use omega_dataflow::Dim;
     use omega_graph::DatasetSpec;
 
     fn wl() -> GnnWorkload {

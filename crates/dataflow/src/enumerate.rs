@@ -18,38 +18,109 @@
 //! Tile sizes are *not* part of this count — each choice still has its free
 //! `T_Dim` parameters, "which can put the actual number of possible mappings in
 //! the trillions" (Section III-C).
+//!
+//! The space is exposed two ways, both in the same deterministic order:
+//!
+//! * [`all_patterns`] — a true lazy iterator (O(#legal order pairs) memory, the
+//!   patterns themselves are generated on the fly, never collected);
+//! * [`PatternSpace`] — a random-access index over the space with O(1)
+//!   [`PatternSpace::get`], which is what lets a parallel design-space explorer
+//!   carve the 6,656 choices into chunked work units without materialising a
+//!   `Vec` of them.
 
 use crate::granularity::pipeline_granularity;
 use crate::{
     GnnDataflowPattern, InterPhase, IntraPattern, LoopOrder, MappingSpec, Phase, PhaseOrder,
 };
 
-/// Iterates over every *concrete-mapping* pattern (each dim `s` or `t`, no `x`) in
-/// the design space, in a deterministic order.
-pub fn all_patterns() -> impl Iterator<Item = GnnDataflowPattern> {
-    let mut out = Vec::with_capacity(design_space_size());
-    for inter in InterPhase::all() {
-        for phase_order in PhaseOrder::all() {
-            for agg_order in LoopOrder::all(Phase::Aggregation) {
-                for cmb_order in LoopOrder::all(Phase::Combination) {
-                    if !orders_legal(inter, phase_order, agg_order, cmb_order) {
-                        continue;
-                    }
-                    for agg_maps in all_mapping_triples() {
-                        for cmb_maps in all_mapping_triples() {
-                            out.push(GnnDataflowPattern {
-                                inter,
-                                phase_order,
-                                agg: IntraPattern::new(Phase::Aggregation, agg_order, agg_maps),
-                                cmb: IntraPattern::new(Phase::Combination, cmb_order, cmb_maps),
-                            });
+/// Patterns per legal `(inter, phase order, agg order, cmb order)` block:
+/// 2³ aggregation mapping triples × 2³ combination triples.
+const BLOCK: usize = 64;
+
+/// One legal `(inter, phase order, agg order, cmb order)` combination; each
+/// contributes [`BLOCK`] concrete-mapping patterns.
+#[derive(Debug, Clone, Copy)]
+struct OrderBlock {
+    inter: InterPhase,
+    phase_order: PhaseOrder,
+    agg_order: LoopOrder,
+    cmb_order: LoopOrder,
+}
+
+/// Random-access index over the full design space.
+///
+/// Holds one small descriptor per legal loop-order combination (104 of them for
+/// the paper's taxonomy — 72 Seq + 16 SP + 16 PP), never the patterns
+/// themselves. `get(i)` materialises pattern `i` on demand, in the same order
+/// [`all_patterns`] yields them.
+#[derive(Debug, Clone)]
+pub struct PatternSpace {
+    blocks: Vec<OrderBlock>,
+}
+
+impl PatternSpace {
+    /// Builds the block index (cheap: walks the ~150 order combinations once).
+    pub fn new() -> Self {
+        let mut blocks = Vec::new();
+        for inter in InterPhase::all() {
+            for phase_order in PhaseOrder::all() {
+                for agg_order in LoopOrder::all(Phase::Aggregation) {
+                    for cmb_order in LoopOrder::all(Phase::Combination) {
+                        if orders_legal(inter, phase_order, agg_order, cmb_order) {
+                            blocks.push(OrderBlock { inter, phase_order, agg_order, cmb_order });
                         }
                     }
                 }
             }
         }
+        PatternSpace { blocks }
     }
-    out.into_iter()
+
+    /// Total number of patterns (the paper's 6,656).
+    pub fn len(&self) -> usize {
+        self.blocks.len() * BLOCK
+    }
+
+    /// `true` when the space is empty (never, for the paper's taxonomy).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Pattern `i` of the space (same order as [`all_patterns`]).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> GnnDataflowPattern {
+        let b = &self.blocks[i / BLOCK];
+        let m = i % BLOCK;
+        GnnDataflowPattern {
+            inter: b.inter,
+            phase_order: b.phase_order,
+            agg: IntraPattern::new(Phase::Aggregation, b.agg_order, mapping_triple(m / 8)),
+            cmb: IntraPattern::new(Phase::Combination, b.cmb_order, mapping_triple(m % 8)),
+        }
+    }
+
+    /// Lazily iterates the whole space in index order.
+    pub fn iter(&self) -> impl Iterator<Item = GnnDataflowPattern> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl Default for PatternSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterates over every *concrete-mapping* pattern (each dim `s` or `t`, no `x`)
+/// in the design space, in a deterministic order.
+///
+/// This is a true streaming iterator: it holds the ~104-entry block index and
+/// generates each pattern on demand — the full space is never collected.
+pub fn all_patterns() -> impl Iterator<Item = GnnDataflowPattern> {
+    let space = PatternSpace::new();
+    (0..space.len()).map(move |i| space.get(i))
 }
 
 /// Whether the loop-order pair is legal under the inter-phase strategy.
@@ -67,20 +138,19 @@ fn orders_legal(
     }
 }
 
-/// All 8 concrete mapping triples (`s`/`t` per dimension).
-fn all_mapping_triples() -> [[MappingSpec; 3]; 8] {
-    let opts = [MappingSpec::Spatial, MappingSpec::Temporal];
-    let mut out = [[MappingSpec::Spatial; 3]; 8];
-    let mut i = 0;
-    for a in opts {
-        for b in opts {
-            for c in opts {
-                out[i] = [a, b, c];
-                i += 1;
-            }
+/// The `j`-th (0..8) concrete mapping triple, ordered with the first dimension's
+/// choice most significant and `Spatial < Temporal` (matching the historical
+/// `all_mapping_triples` nesting).
+fn mapping_triple(j: usize) -> [MappingSpec; 3] {
+    debug_assert!(j < 8);
+    let pick = |bit: usize| {
+        if j >> bit & 1 == 0 {
+            MappingSpec::Spatial
+        } else {
+            MappingSpec::Temporal
         }
-    }
-    out
+    };
+    [pick(2), pick(1), pick(0)]
 }
 
 /// Number of choices for one inter-phase strategy.
@@ -90,7 +160,7 @@ pub fn count_for(inter: InterPhase) -> usize {
         for agg_order in LoopOrder::all(Phase::Aggregation) {
             for cmb_order in LoopOrder::all(Phase::Combination) {
                 if orders_legal(inter, phase_order, agg_order, cmb_order) {
-                    n += 64; // 2^3 agg mappings × 2^3 cmb mappings
+                    n += BLOCK; // 2^3 agg mappings × 2^3 cmb mappings
                 }
             }
         }
@@ -157,5 +227,32 @@ mod tests {
                 assert!(p.granularity().is_some(), "{p}");
             }
         }
+    }
+
+    #[test]
+    fn space_len_matches_streaming_count() {
+        let space = PatternSpace::new();
+        assert_eq!(space.len(), 6656);
+        assert_eq!(space.len(), all_patterns().count());
+        assert!(!space.is_empty());
+    }
+
+    #[test]
+    fn indexed_access_matches_streaming_order() {
+        let space = PatternSpace::new();
+        for (i, p) in all_patterns().enumerate() {
+            assert_eq!(space.get(i), p, "index {i}");
+        }
+        assert_eq!(space.iter().count(), space.len());
+    }
+
+    #[test]
+    fn mapping_triples_cover_all_combinations() {
+        let set: std::collections::HashSet<String> =
+            (0..8).map(|j| format!("{:?}", mapping_triple(j))).collect();
+        assert_eq!(set.len(), 8);
+        // First triple is all-spatial, last all-temporal (historical nesting).
+        assert_eq!(mapping_triple(0), [MappingSpec::Spatial; 3]);
+        assert_eq!(mapping_triple(7), [MappingSpec::Temporal; 3]);
     }
 }

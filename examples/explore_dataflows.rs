@@ -1,8 +1,9 @@
-//! Design-space exploration: search the dataflow space with OMEGA as the cost
-//! model (the mapping optimizer of Section VI).
+//! Design-space exploration: exhaustively search the full 6,656-pattern
+//! dataflow space with OMEGA as the cost model (the mapping optimizer of
+//! Section VI), via the parallel DSE engine.
 //!
 //! ```sh
-//! cargo run --release --example explore_dataflows [dataset] [samples]
+//! cargo run --release --example explore_dataflows [dataset] [threads]
 //! ```
 
 use omega_gnn::prelude::*;
@@ -10,7 +11,7 @@ use omega_gnn::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let dataset_name = args.get(1).map(String::as_str).unwrap_or("Cora");
-    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     let spec = DatasetSpec::by_name(dataset_name).unwrap_or_else(|| {
         eprintln!("unknown dataset '{dataset_name}', using Cora");
@@ -21,22 +22,27 @@ fn main() {
     let hw = AccelConfig::paper_default();
 
     println!(
-        "searching {} candidates (9 presets + {} sampled patterns) on {} ...",
-        9 + samples,
-        samples,
+        "exhaustively searching all {} patterns (+preset seeds) on {} with {threads} threads ...",
+        omega_dataflow::enumerate::design_space_size(),
         workload.name
     );
-    let mut candidates = mapper::preset_candidates(&workload, &hw);
-    candidates.extend(mapper::sampled_candidates(&workload, &hw, samples, 0));
 
+    let cache = DseCache::global();
     for objective in [Objective::Runtime, Objective::Energy, Objective::Edp] {
-        let best = mapper::best_of(&candidates, &workload, &hw, objective, 8)
-            .expect("candidates evaluated");
+        let out = cache.explore(
+            &workload,
+            &hw,
+            &DseOptions { objective, threads, top_k: 3, ..DseOptions::default() },
+        );
+        let best = out.best().expect("non-empty space");
         println!(
-            "\nbest for {:?}: {}  (tiles {:?})",
+            "\nbest for {:?}: {}  (tiles {:?})  [{} evaluated, {} skipped, {:.2}s]",
             objective,
             best.dataflow,
-            best.dataflow.tile_tuple()
+            best.dataflow.tile_tuple(),
+            out.evaluated,
+            out.skipped,
+            out.elapsed_ms / 1e3,
         );
         println!(
             "  {} cycles, {:.3} uJ, EDP {:.3e}, granularity {:?}, SP-opt {}",
@@ -48,21 +54,27 @@ fn main() {
         );
     }
 
-    // How much headroom is there beyond the paper's presets?
+    // How much headroom is there beyond the paper's presets? (The runtime
+    // outcome is cached — this re-uses the search above.)
+    let out = cache.explore(
+        &workload,
+        &hw,
+        &DseOptions { threads, top_k: 3, ..DseOptions::default() },
+    );
     let preset_only = mapper::best_of(
         &mapper::preset_candidates(&workload, &hw),
         &workload,
         &hw,
         Objective::Runtime,
-        8,
+        threads,
     )
     .expect("presets evaluated");
-    let searched = mapper::best_of(&candidates, &workload, &hw, Objective::Runtime, 8)
-        .expect("candidates evaluated");
+    let optimum = out.best().expect("non-empty space");
     println!(
-        "\nruntime: best Table V preset = {} cycles; searched space = {} cycles ({:+.1}%)",
+        "\nruntime: best Table V preset = {} cycles; exhaustive optimum = {} cycles ({:+.1}%)",
         preset_only.report.total_cycles,
-        searched.report.total_cycles,
-        100.0 * (searched.report.total_cycles as f64 / preset_only.report.total_cycles as f64 - 1.0),
+        optimum.report.total_cycles,
+        100.0
+            * (optimum.report.total_cycles as f64 / preset_only.report.total_cycles as f64 - 1.0),
     );
 }

@@ -36,6 +36,7 @@ pub use omega_matrix as matrix;
 /// Common imports for examples and quick experimentation.
 pub mod prelude {
     pub use omega_accel::{AccelConfig, EnergyModel, OperandClass};
+    pub use omega_core::dse::{self, DseCache, DseOptions};
     pub use omega_core::mapper::{self, Objective};
     pub use omega_core::{evaluate, CostReport, GnnWorkload};
     pub use omega_dataflow::presets::{self, Preset};
