@@ -111,6 +111,20 @@ impl AccelConfig {
         BandwidthShare { dist: self.dist_bandwidth, red: self.red_bandwidth }
     }
 
+    /// The two complementary NoC shares of a producer/consumer PE partition
+    /// (the paper's PP strategy applied between any two pipelined stages, not
+    /// just the Agg/Cmb pair): each side receives its proportional
+    /// [`Self::bandwidth_fraction`]. When the allocations fit the machine
+    /// (`producer_pes + consumer_pes <= num_pes`) the shares never
+    /// oversubscribe the NoC beyond the per-side minimum of one element/cycle.
+    pub fn partition_bandwidth(
+        &self,
+        producer_pes: usize,
+        consumer_pes: usize,
+    ) -> (BandwidthShare, BandwidthShare) {
+        (self.bandwidth_fraction(producer_pes), self.bandwidth_fraction(consumer_pes))
+    }
+
     /// Bandwidth share proportional to a PE allocation fraction — PP splits the
     /// NoC between the two concurrently-running phases ("the bandwidth is shared
     /// between the two phases", Section V-C3).
@@ -159,6 +173,20 @@ mod tests {
     fn with_bandwidth_clamps_to_one() {
         let c = AccelConfig::paper_default().with_bandwidth(0);
         assert_eq!(c.dist_bandwidth, 1);
+    }
+
+    #[test]
+    fn partition_bandwidth_is_complementary_and_never_oversubscribes() {
+        let c = AccelConfig::paper_default();
+        let (p, q) = c.partition_bandwidth(384, 128);
+        assert_eq!((p.dist, q.dist), (384, 128));
+        assert_eq!((p.red, q.red), (384, 128));
+        // Any fitting partition stays within the machine NoC.
+        for prod in [1usize, 7, 100, 256, 511] {
+            let (p, q) = c.partition_bandwidth(prod, c.num_pes - prod);
+            assert!(p.dist + q.dist <= c.dist_bandwidth.max(2));
+            assert!(p.dist >= 1 && q.dist >= 1);
+        }
     }
 
     #[test]

@@ -1,33 +1,43 @@
 //! `explore` — exhaustive parallel design-space exploration over the paper's
-//! full 6,656-pattern dataflow space, for any dataset and objective.
+//! full 6,656-pattern dataflow space, for any dataset and objective — and,
+//! with `--model`, the model-level joint search over per-layer dataflows,
+//! inter-layer pipelining, and PE partitioning for whole GNN chains.
 //!
 //! ```text
 //! explore --dataset Cora --objective edp --threads 8 --top 10 --refine
 //! explore --dataset Citeseer --objective runtime --json results/cora-dse.json
 //! explore --dataset Mutag --threads 2 --pes 2048 --hidden 64
+//! explore --model gcn2 --dataset Cora --threads 8
+//! explore --model gin --dataset Mutag --per-layer-k 4 --json -
 //! ```
 //!
 //! Prints a ranked table of the best dataflows (the *true* optimum of the
 //! enumerated space, not a preset or a sample), the preset gap — how much the
 //! best Table V preset leaves on the table versus that optimum — and search
-//! statistics. `--json PATH` additionally writes the full outcome as JSON
-//! (`-` for stdout).
+//! statistics. In `--model` mode the ranked rows are whole-model mappings and
+//! the gap is measured against the best *uniform* preset applied to every
+//! layer. `--json PATH` additionally writes the full outcome as JSON (`-` for
+//! stdout).
 
 use std::process::ExitCode;
 
 use omega_accel::AccelConfig;
-use omega_core::dse::{explore, DseOptions, ExploreOutcome};
+use omega_core::dse::model::{explore_model, ModelDseOptions, ModelExploreOutcome};
+use omega_core::dse::{explore, DseCache, DseOptions, ExploreOutcome};
 use omega_core::mapper::{self, Objective};
+use omega_core::models::GnnModel;
 use omega_core::{evaluate, GnnWorkload};
 use omega_graph::DatasetSpec;
 
 struct Args {
     dataset: String,
+    model: Option<String>,
+    per_layer_k: usize,
     objective: Objective,
     threads: usize,
     top: usize,
     refine: bool,
-    hidden: usize,
+    hidden: Option<usize>,
     pes: usize,
     bandwidth: Option<usize>,
     seed: u64,
@@ -37,11 +47,13 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         dataset: "Citeseer".into(),
+        model: None,
+        per_layer_k: 4,
         objective: Objective::Runtime,
         threads: 8,
         top: 10,
         refine: false,
-        hidden: 16,
+        hidden: None,
         pes: 512,
         bandwidth: None,
         seed: 0x0E5A_2022,
@@ -56,6 +68,11 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         match argv[i].as_str() {
             "--dataset" => out.dataset = value(&mut i)?,
+            "--model" => out.model = Some(value(&mut i)?),
+            "--per-layer-k" => {
+                out.per_layer_k =
+                    value(&mut i)?.parse().map_err(|e| format!("--per-layer-k: {e}"))?
+            }
             "--objective" => {
                 out.objective = match value(&mut i)?.to_lowercase().as_str() {
                     "runtime" | "cycles" => Objective::Runtime,
@@ -69,7 +86,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--top" => out.top = value(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?,
             "--refine" => out.refine = true,
-            "--hidden" => out.hidden = value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?,
+            "--hidden" => {
+                out.hidden = Some(value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?)
+            }
             "--pes" => out.pes = value(&mut i)?.parse().map_err(|e| format!("--pes: {e}"))?,
             "--bandwidth" => {
                 out.bandwidth = Some(value(&mut i)?.parse().map_err(|e| format!("--bandwidth: {e}"))?)
@@ -90,7 +109,20 @@ fn parse_args() -> Result<Args, String> {
     if out.pes == 0 {
         return Err("--pes must be >= 1".into());
     }
+    if out.per_layer_k == 0 {
+        return Err("--per-layer-k must be >= 1".into());
+    }
     Ok(out)
+}
+
+/// The named multi-layer models the CLI can explore.
+fn model_by_name(name: &str) -> Option<GnnModel> {
+    match name.to_lowercase().as_str() {
+        "gcn2" => Some(GnnModel::gcn_2layer(7)),
+        "sage2" => Some(GnnModel::sage_2layer(32, 7)),
+        "gin" => Some(GnnModel::gin(3, 64)),
+        _ => None,
+    }
 }
 
 fn main() -> ExitCode {
@@ -101,8 +133,9 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: explore [--dataset NAME] [--objective runtime|energy|edp] \
-                 [--threads N] [--top K] [--refine] [--hidden G] [--pes N] \
+                "usage: explore [--dataset NAME] [--model gcn2|sage2|gin] \
+                 [--objective runtime|energy|edp] [--threads N] [--top K] \
+                 [--per-layer-k K] [--refine] [--hidden G] [--pes N] \
                  [--bandwidth ELEMS] [--seed S] [--json PATH|-]"
             );
             return ExitCode::FAILURE;
@@ -118,10 +151,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let dataset = spec.generate(args.seed);
-    let workload = GnnWorkload::gcn_layer(&dataset, args.hidden);
+    let workload = GnnWorkload::gcn_layer(&dataset, args.hidden.unwrap_or(16));
     let mut cfg = AccelConfig::paper_default().with_pes(args.pes);
     if let Some(bw) = args.bandwidth {
         cfg = cfg.with_bandwidth(bw);
+    }
+
+    if let Some(model_name) = &args.model {
+        let Some(model) = model_by_name(model_name) else {
+            eprintln!("unknown model '{model_name}'; known: gcn2, sage2, gin");
+            return ExitCode::FAILURE;
+        };
+        return run_model(&model, &workload, &cfg, &args);
     }
 
     let opts = DseOptions {
@@ -186,6 +227,119 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Model mode: joint search over per-layer dataflows × inter-layer links × PE
+/// partitions for a whole GNN chain, reported against the best uniform preset.
+fn run_model(model: &GnnModel, workload: &GnnWorkload, cfg: &AccelConfig, args: &Args) -> ExitCode {
+    if args.hidden.is_some() || args.refine {
+        eprintln!(
+            "error: --hidden and --refine have no effect with --model \
+             (layer widths come from the model; tile refinement is layer-level only)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let opts = ModelDseOptions {
+        objective: args.objective,
+        threads: args.threads,
+        top_k: args.top,
+        per_layer_k: args.per_layer_k,
+        ..ModelDseOptions::default()
+    };
+    let outcome = explore_model(model, workload, cfg, &opts, DseCache::global());
+
+    println!(
+        "model     {} ({} layers) on {} (V={}, F={}, nnz={})",
+        outcome.model,
+        outcome.layer_candidates.len(),
+        workload.name,
+        workload.v,
+        workload.f,
+        workload.nnz
+    );
+    println!("machine   {} PEs, {} elems/cycle NoC", cfg.num_pes, cfg.dist_bandwidth);
+    println!(
+        "search    {} joint mappings ({} layer candidates × {} link options) + {} uniform seeds, \
+         {} evaluated, {} infeasible, {} threads, {:.2}s",
+        outcome.space,
+        outcome
+            .layer_candidates
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("·"),
+        outcome
+            .link_options
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("·"),
+        outcome.seeded,
+        outcome.evaluated,
+        outcome.skipped,
+        outcome.threads,
+        outcome.elapsed_ms / 1e3,
+    );
+    println!();
+    print_model_ranked(&outcome, args.objective);
+
+    if let (Some(best), Some(uniform), Some(gap)) =
+        (outcome.best(), outcome.uniform.as_ref(), outcome.model_gap())
+    {
+        // The gap is measured in the chosen objective, not always cycles.
+        println!(
+            "\nmodel gap: best uniform preset {} scores {:.4e} end-to-end; \
+             per-layer-specialised mapping scores {:.4e} ({:.2}% on the table; \
+             cycles {} vs {})",
+            uniform.preset,
+            uniform.score,
+            best.score,
+            100.0 * (gap - 1.0),
+            uniform.total_cycles,
+            best.report.total_cycles,
+        );
+    }
+
+    if let Some(path) = &args.json {
+        match serde_json::to_string_pretty(&outcome) {
+            Ok(json) => {
+                if path == "-" {
+                    println!("{json}");
+                } else if let Err(e) = write_with_dirs(path, &json) {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("could not serialise outcome: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_model_ranked(outcome: &ModelExploreOutcome, objective: Objective) {
+    let score_head = match objective {
+        Objective::Runtime => "cycles",
+        Objective::Energy => "energy (uJ)",
+        Objective::Edp => "EDP (cyc*pJ)",
+    };
+    println!(
+        "{:>4}  {:<72} {:>14} {:>14} {:>14}",
+        "rank", "per-layer mapping (⇒ sequential, ∥pel@p/c⇒ pipelined link)", "cycles",
+        "energy (uJ)", score_head
+    );
+    for (rank, r) in outcome.ranked.iter().enumerate() {
+        println!(
+            "{:>4}  {:<72} {:>14} {:>14.3} {:>14.4e}",
+            rank + 1,
+            format!("{}", r.mapping),
+            r.report.total_cycles,
+            r.report.energy.total_uj(),
+            r.score,
+        );
+    }
 }
 
 fn write_with_dirs(path: &str, contents: &str) -> std::io::Result<()> {

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let all = [
         "table1", "table2", "table3", "table4", "table5", "fig11", "fig12", "fig13", "fig14",
         "fig15", "fig16", "flexibility", "ablation", "accelerators", "sweep", "preset_gap",
+        "model_dse",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -81,6 +82,12 @@ fn main() -> ExitCode {
                 name,
                 "Preset gap: best Table V preset vs the exhaustive 6,656-space optimum",
                 &insights::preset_gap(),
+            ),
+            "model_dse" => emit(
+                &out_dir,
+                name,
+                "Model-level DSE: per-layer-specialised + pipelined chains vs best uniform preset",
+                &insights::model_gap(),
             ),
             other => {
                 eprintln!("unknown experiment '{other}'; known: {}", all.join(", "));

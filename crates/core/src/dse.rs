@@ -33,10 +33,12 @@ use serde::Serialize;
 use omega_accel::AccelConfig;
 use omega_dataflow::enumerate::PatternSpace;
 use omega_dataflow::tiles::{choose_tiling, Cap, PhasePolicy};
-use omega_dataflow::{Dim, GnnDataflow, GnnDataflowPattern, InterPhase, MappingSpec};
+use omega_dataflow::{Dim, GnnDataflow, GnnDataflowPattern, InterPhase, IntraPattern, MappingSpec};
 
 use crate::mapper::{refine_tiles, Objective};
 use crate::{evaluate, CostReport, GnnWorkload};
+
+pub mod model;
 
 /// Tuning knobs of an exhaustive exploration.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -118,6 +120,21 @@ impl ExploreOutcome {
     }
 }
 
+/// The balanced concretisation policy used throughout the explorers:
+/// round-robin growth over the dims the pattern allows to be spatial, with the
+/// neighbour tile capped at the mean degree.
+pub(crate) fn balanced_policy(p: &IntraPattern) -> PhasePolicy {
+    let dims: Vec<Dim> = p
+        .order()
+        .dims()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| p.maps()[i] != MappingSpec::Temporal)
+        .map(|(_, &d)| d)
+        .collect();
+    PhasePolicy::round_robin(&dims).with_cap(Dim::N, Cap::MeanDegreePow2)
+}
+
 /// Concretises an enumerated pattern for `workload`: balanced round-robin
 /// growth over the dims the pattern allows to be spatial, the neighbour tile
 /// capped at the mean degree, and a 50-50 PE split for PP patterns.
@@ -132,48 +149,37 @@ pub fn concretize_pattern(
     } else {
         (cfg.num_pes, cfg.num_pes)
     };
-    let policy_for = |p: &omega_dataflow::IntraPattern| {
-        let dims: Vec<Dim> = p
-            .order()
-            .dims()
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| p.maps()[i] != MappingSpec::Temporal)
-            .map(|(_, &d)| d)
-            .collect();
-        PhasePolicy::round_robin(&dims).with_cap(Dim::N, Cap::MeanDegreePow2)
-    };
     GnnDataflow {
         inter: pattern.inter,
         phase_order: pattern.phase_order,
-        agg: choose_tiling(&pattern.agg, &ctx, agg_pes, &policy_for(&pattern.agg)),
-        cmb: choose_tiling(&pattern.cmb, &ctx, cmb_pes, &policy_for(&pattern.cmb)),
+        agg: choose_tiling(&pattern.agg, &ctx, agg_pes, &balanced_policy(&pattern.agg)),
+        cmb: choose_tiling(&pattern.cmb, &ctx, cmb_pes, &balanced_policy(&pattern.cmb)),
     }
 }
 
 /// A candidate with its evaluation, as tracked inside the search (tie-broken by
 /// `index` so results are independent of thread interleaving).
 #[derive(Debug, Clone)]
-struct Entry {
+struct Entry<C, R> {
     score: f64,
     index: usize,
-    dataflow: GnnDataflow,
-    report: CostReport,
+    candidate: C,
+    report: R,
 }
 
 /// Bounded best-K accumulator, kept sorted ascending by `(score, index)`.
 #[derive(Debug)]
-struct TopK {
+struct TopK<C, R> {
     k: usize,
-    entries: Vec<Entry>,
+    entries: Vec<Entry<C, R>>,
 }
 
-impl TopK {
+impl<C, R> TopK<C, R> {
     fn new(k: usize) -> Self {
         TopK { k: k.max(1), entries: Vec::with_capacity(k.max(1) + 1) }
     }
 
-    fn offer(&mut self, e: Entry) {
+    fn offer(&mut self, e: Entry<C, R>) {
         let key = (e.score, e.index);
         if self.entries.len() == self.k {
             let worst = self.entries.last().expect("non-empty at capacity");
@@ -192,7 +198,81 @@ impl TopK {
 /// A scored candidate: `(score, tie-break index, dataflow, report)`.
 pub(crate) type Scored = (f64, usize, GnnDataflow, CostReport);
 
-/// Shared parameters of a parallel candidate search.
+/// A generic scored candidate: `(score, tie-break index, candidate, report)`.
+pub(crate) type ScoredEntry<C, R> = (f64, usize, C, R);
+
+/// Shape of any streaming parallel candidate search.
+pub(crate) struct ParallelJob {
+    /// Winners to keep per worker (and overall).
+    pub k: usize,
+    pub threads: usize,
+    /// Candidates per work-queue claim.
+    pub chunk: usize,
+}
+
+/// Evaluates `count` candidates produced on demand by `gen` across scoped
+/// workers pulling chunked ranges from an atomic cursor; `score` turns a
+/// candidate into `(objective value, report)` or `None` when the candidate is
+/// invalid. Returns the merged (unsorted) per-worker top-K lists plus
+/// `(evaluated, skipped)` counts.
+///
+/// Generic over the candidate type: [`explore`] and [`crate::mapper::best_of`]
+/// search [`GnnDataflow`]s, [`model::explore_model`] searches whole-model
+/// mappings — all through this one deterministic (thread-count-invariant)
+/// primitive.
+pub(crate) fn parallel_search<C: Send, R: Send>(
+    count: usize,
+    gen: &(dyn Fn(usize) -> C + Sync),
+    score: &(dyn Fn(&C) -> Option<(f64, R)> + Sync),
+    job: &ParallelJob,
+) -> (Vec<ScoredEntry<C, R>>, usize, usize) {
+    if count == 0 {
+        return (Vec::new(), 0, 0);
+    }
+    let threads = job.threads.max(1).min(count);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let run_worker = || -> (TopK<C, R>, usize, usize) {
+        let chunk = job.chunk.max(1);
+        let mut top = TopK::new(job.k);
+        let mut evaluated = 0usize;
+        let mut skipped = 0usize;
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= count {
+                break;
+            }
+            for index in start..(start + chunk).min(count) {
+                let candidate = gen(index);
+                match score(&candidate) {
+                    Some((score, report)) => {
+                        evaluated += 1;
+                        top.offer(Entry { score, index, candidate, report });
+                    }
+                    None => skipped += 1,
+                }
+            }
+        }
+        (top, evaluated, skipped)
+    };
+    let results: Vec<(TopK<C, R>, usize, usize)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads).map(|_| s.spawn(|_| run_worker())).collect();
+        handles.into_iter().map(|h| h.join().expect("dse worker panicked")).collect()
+    })
+    .expect("dse scope");
+
+    let mut merged = Vec::new();
+    let mut evaluated = 0;
+    let mut skipped = 0;
+    for (top, e, s) in results {
+        evaluated += e;
+        skipped += s;
+        merged.extend(top.entries.into_iter().map(|e| (e.score, e.index, e.candidate, e.report)));
+    }
+    (merged, evaluated, skipped)
+}
+
+/// Shared parameters of a parallel *dataflow* candidate search.
 pub(crate) struct SearchJob<'a> {
     pub workload: &'a GnnWorkload,
     pub cfg: &'a AccelConfig,
@@ -204,77 +284,26 @@ pub(crate) struct SearchJob<'a> {
     pub chunk: usize,
 }
 
-/// Evaluates `count` candidates produced on demand by `gen` across scoped
-/// workers pulling chunked ranges from an atomic cursor; returns the merged
-/// (unsorted) per-worker top-K lists plus `(evaluated, skipped)` counts.
-///
-/// This is the parallel search primitive shared by [`explore`] (over the full
-/// pattern space) and [`crate::mapper::best_of`] (over an explicit candidate
-/// slice).
+/// [`parallel_search`] specialised to dataflow candidates scored by
+/// [`evaluate`] — the primitive shared by [`explore`] (over the full pattern
+/// space) and [`crate::mapper::best_of`] (over an explicit candidate slice).
 pub(crate) fn parallel_top_k(
     count: usize,
     gen: &(dyn Fn(usize) -> GnnDataflow + Sync),
     job: &SearchJob<'_>,
 ) -> (Vec<Scored>, usize, usize) {
-    if count == 0 {
-        return (Vec::new(), 0, 0);
-    }
-    let threads = job.threads.max(1).min(count);
-    let cursor = AtomicUsize::new(0);
-    let cursor = &cursor;
-    fn run_worker(
-        cursor: &AtomicUsize,
-        count: usize,
-        gen: &(dyn Fn(usize) -> GnnDataflow + Sync),
-        job: &SearchJob<'_>,
-    ) -> (TopK, usize, usize) {
-        let chunk = job.chunk.max(1);
-        let mut top = TopK::new(job.k);
-        let mut evaluated = 0usize;
-        let mut skipped = 0usize;
-        loop {
-            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-            if start >= count {
-                break;
-            }
-            for index in start..(start + chunk).min(count) {
-                let dataflow = gen(index);
-                match evaluate(job.workload, &dataflow, job.cfg) {
-                    Ok(mut report) => {
-                        evaluated += 1;
-                        // Ranked winners don't need the per-chunk pipeline
-                        // timeline, and a poorly-tiled PP candidate's marks run
-                        // to millions of entries — drop them before retention
-                        // so per-worker top-K memory stays bounded. (Re-run
-                        // `evaluate` on a winner to recover its timeline.)
-                        report.agg.chunk_marks = Vec::new();
-                        report.cmb.chunk_marks = Vec::new();
-                        let score = job.objective.score(&report);
-                        top.offer(Entry { score, index, dataflow, report });
-                    }
-                    Err(_) => skipped += 1,
-                }
-            }
-        }
-        (top, evaluated, skipped)
-    }
-    let results: Vec<(TopK, usize, usize)> = thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| s.spawn(move |_| run_worker(cursor, count, gen, job)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("dse worker panicked")).collect()
-    })
-    .expect("dse scope");
-
-    let mut merged = Vec::new();
-    let mut evaluated = 0;
-    let mut skipped = 0;
-    for (top, e, s) in results {
-        evaluated += e;
-        skipped += s;
-        merged.extend(top.entries.into_iter().map(|e| (e.score, e.index, e.dataflow, e.report)));
-    }
-    (merged, evaluated, skipped)
+    let pjob = ParallelJob { k: job.k, threads: job.threads, chunk: job.chunk };
+    let score = |dataflow: &GnnDataflow| -> Option<(f64, CostReport)> {
+        let mut report = evaluate(job.workload, dataflow, job.cfg).ok()?;
+        // Ranked winners don't need the per-chunk pipeline timeline, and a
+        // poorly-tiled PP candidate's marks run to millions of entries — drop
+        // them before retention so per-worker top-K memory stays bounded.
+        // (Re-run `evaluate` on a winner to recover its timeline.)
+        report.agg.chunk_marks = Vec::new();
+        report.cmb.chunk_marks = Vec::new();
+        Some((job.objective.score(&report), report))
+    };
+    parallel_search(count, gen, &score, &pjob)
 }
 
 /// Exhaustively searches the full 6,656-pattern space for `workload` on `cfg`.
@@ -452,7 +481,10 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
     };
-    eat(workload.name.as_bytes());
+    // The workload *name* is deliberately not hashed: it is cosmetic (layer
+    // workloads are named "Cora[L0]" etc.), and the dimensions plus the full
+    // degree sequence below already determine the search result — so a model
+    // layer shaped like a plain dataset workload shares its cache entry.
     for x in [workload.v as u64, workload.f as u64, workload.g as u64, workload.nnz] {
         eat(&x.to_le_bytes());
     }
@@ -572,7 +604,7 @@ mod tests {
         let report = evaluate(&workload, &df, &cfg).unwrap();
         let mut top = TopK::new(2);
         for index in [5usize, 3, 9, 1] {
-            top.offer(Entry { score: 1.0, index, dataflow: df, report: report.clone() });
+            top.offer(Entry { score: 1.0, index, candidate: df, report: report.clone() });
         }
         let idx: Vec<usize> = top.entries.iter().map(|e| e.index).collect();
         assert_eq!(idx, vec![1, 3]);

@@ -1,0 +1,568 @@
+//! Model-level inter-phase DSE: joint search over per-layer dataflows,
+//! inter-layer pipelining, and PE partitioning for whole GNN chains.
+//!
+//! The layer-level explorer of [`crate::dse`] answers "what is the best
+//! two-phase dataflow for *this* layer?"; this module answers the question the
+//! paper's inter-phase analysis raises for whole models: **how should a
+//! multi-layer GNN be mapped end-to-end** when every layer may want a different
+//! intra-phase pattern (the F↔G asymmetry flips between layers), consecutive
+//! layers may be pipelined instead of barrier-separated, and a pipelined pair
+//! must split the PE array and NoC between producer and consumer (the paper's
+//! PP strategy, Section IV-C, generalised across layer boundaries).
+//!
+//! The joint space for a model of `L` layers is the product of
+//!
+//! * per-layer candidates — the top-K winners of the layer-level exhaustive
+//!   search (shared through the [`DseCache`], so repeated studies never
+//!   re-search a layer shape), and
+//! * per-link strategies — [`Link::Sequential`] or a partitioned
+//!   [`Link::Pipelined`] over a small `Pel` ladder derived from the producing
+//!   layer's output size and a ladder of PE splits.
+//!
+//! The product is enumerated with O(1) mixed-radix indexing and driven through
+//! the same streaming, thread-deterministic [`parallel_search`] primitive as
+//! the layer-level engine; uniform Table V preset chains are seeded so the
+//! reported optimum is never worse than any fixed-preset accelerator.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use omega_accel::AccelConfig;
+use omega_dataflow::presets::Preset;
+use omega_dataflow::GnnDataflow;
+
+use super::{parallel_search, DseCache, DseOptions, ParallelJob};
+use crate::mapper::Objective;
+use crate::models::{to_chain, uniform_layer_dataflows, GnnModel, ModelError};
+use crate::multiphase::{evaluate_chain, ChainReport, Link, PartitionSplit};
+use crate::GnnWorkload;
+
+/// Tuning knobs of a model-level exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelDseOptions {
+    /// What to minimise (end-to-end over the whole chain).
+    pub objective: Objective,
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// How many ranked model mappings to keep.
+    pub top_k: usize,
+    /// Layer-level winners fed into the joint search, per layer.
+    pub per_layer_k: usize,
+    /// Rungs of the inter-layer `Pel` ladder (chunk sizes per pipelined link).
+    pub pel_rungs: usize,
+    /// Producer-side PE fractions tried for partitioned inter-layer links.
+    pub split_fractions: Vec<f64>,
+    /// Mappings per work-queue claim.
+    pub chunk: usize,
+}
+
+impl Default for ModelDseOptions {
+    fn default() -> Self {
+        ModelDseOptions {
+            objective: Objective::Runtime,
+            threads: 4,
+            top_k: 5,
+            per_layer_k: 4,
+            pel_rungs: 3,
+            split_fractions: vec![0.25, 0.5, 0.75],
+            chunk: 16,
+        }
+    }
+}
+
+impl ModelDseOptions {
+    /// Default options for `objective`.
+    pub fn new(objective: Objective) -> Self {
+        ModelDseOptions { objective, ..Default::default() }
+    }
+}
+
+/// One point of the joint model space: a dataflow per layer plus an
+/// inter-layer link per layer boundary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelMapping {
+    /// Concrete dataflow of each layer, in layer order.
+    pub layer_dataflows: Vec<GnnDataflow>,
+    /// Inter-layer links (`layers - 1` entries).
+    pub links: Vec<Link>,
+}
+
+impl ModelMapping {
+    /// Pipelined inter-layer links in this mapping.
+    pub fn pipelined_inter_links(&self) -> usize {
+        self.links.iter().filter(|l| l.is_pipelined()).count()
+    }
+
+    /// `true` when any layer pipelines internally (SP/PP) or any inter-layer
+    /// link is pipelined.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined_inter_links() > 0
+            || self
+                .layer_dataflows
+                .iter()
+                .any(|df| df.inter != omega_dataflow::InterPhase::Sequential)
+    }
+}
+
+impl std::fmt::Display for ModelMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, df) in self.layer_dataflows.iter().enumerate() {
+            if i > 0 {
+                match self.links[i - 1] {
+                    Link::Sequential => write!(f, " ⇒ ")?,
+                    Link::Pipelined { pel, split: None } => write!(f, " ∥{pel}⇒ ")?,
+                    Link::Pipelined { pel, split: Some(s) } => {
+                        write!(f, " ∥{pel}@{}/{}⇒ ", s.producer_pes, s.consumer_pes)?
+                    }
+                }
+            }
+            write!(f, "{df}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The enumerable joint space: per-layer candidate lists × per-link options,
+/// indexed mixed-radix in O(1) — never materialised.
+#[derive(Debug, Clone)]
+pub struct ModelSpace {
+    /// Candidate dataflows per layer.
+    pub layer_candidates: Vec<Vec<GnnDataflow>>,
+    /// Link options per layer boundary.
+    pub link_options: Vec<Vec<Link>>,
+}
+
+impl ModelSpace {
+    /// Total number of joint mappings.
+    pub fn len(&self) -> usize {
+        self.layer_candidates
+            .iter()
+            .map(Vec::len)
+            .chain(self.link_options.iter().map(Vec::len))
+            .fold(1usize, |a, b| a.saturating_mul(b))
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layer_candidates.iter().any(Vec::is_empty)
+            || self.link_options.iter().any(Vec::is_empty)
+    }
+
+    /// Mapping `i` of the space (layers are the least-significant digits).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn mapping(&self, mut i: usize) -> ModelMapping {
+        let mut layer_dataflows = Vec::with_capacity(self.layer_candidates.len());
+        for cands in &self.layer_candidates {
+            layer_dataflows.push(cands[i % cands.len()]);
+            i /= cands.len();
+        }
+        let mut links = Vec::with_capacity(self.link_options.len());
+        for opts in &self.link_options {
+            links.push(opts[i % opts.len()]);
+            i /= opts.len();
+        }
+        assert_eq!(i, 0, "mapping index out of range");
+        ModelMapping { layer_dataflows, links }
+    }
+}
+
+/// One ranked model-level winner.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankedModelMapping {
+    /// The joint mapping.
+    pub mapping: ModelMapping,
+    /// Its chain evaluation (chunk timelines stripped).
+    pub report: ChainReport,
+    /// Objective value (lower is better).
+    pub score: f64,
+    /// Index in the joint enumeration (`None` for uniform-preset seeds).
+    pub index: Option<usize>,
+}
+
+/// The best uniform (one Table V preset for every layer, sequential between
+/// layers) chain — what a fixed-dataflow accelerator achieves on the model.
+#[derive(Debug, Clone, Serialize)]
+pub struct UniformBaseline {
+    /// Preset name.
+    pub preset: String,
+    /// End-to-end cycles of the uniform chain.
+    pub total_cycles: u64,
+    /// Objective value.
+    pub score: f64,
+}
+
+/// The result of one model-level exploration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelExploreOutcome {
+    /// Model name.
+    pub model: String,
+    /// Base workload (dataset) name.
+    pub workload: String,
+    /// Winners, best first, deduplicated by mapping (≤ `top_k`).
+    pub ranked: Vec<RankedModelMapping>,
+    /// Size of the joint space.
+    pub space: usize,
+    /// Candidates per layer.
+    pub layer_candidates: Vec<usize>,
+    /// Link options per layer boundary.
+    pub link_options: Vec<usize>,
+    /// Successful chain evaluations (space + uniform seeds).
+    pub evaluated: usize,
+    /// Mappings rejected as structurally infeasible (e.g. a stage pipelined on
+    /// both sides, or a partition too small for its tiling).
+    pub skipped: usize,
+    /// Uniform preset chains seeded.
+    pub seeded: usize,
+    /// The best uniform Table V preset applied to every layer.
+    pub uniform: Option<UniformBaseline>,
+    /// Wall-clock of the joint search in milliseconds (excludes the cached
+    /// layer-level searches).
+    pub elapsed_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl ModelExploreOutcome {
+    /// The optimum, if any mapping evaluated successfully.
+    pub fn best(&self) -> Option<&RankedModelMapping> {
+        self.ranked.first()
+    }
+
+    /// Uniform-baseline objective score over winner score (≥ 1 when both
+    /// exist, under *any* objective — uniform chains are seeded into the
+    /// search): how much per-layer specialisation + pipelining saves
+    /// end-to-end.
+    pub fn model_gap(&self) -> Option<f64> {
+        let best = self.best()?;
+        let uniform = self.uniform.as_ref()?;
+        (best.score > 0.0).then(|| uniform.score / best.score)
+    }
+}
+
+/// The `Pel` ladder for a producing layer handing `total` intermediate elements
+/// downstream in rows of `row` elements: geometrically descending chunk sizes
+/// (`total/4`, `total/16`, …), clamped to at least one output row, deduplicated.
+pub fn pel_ladder(total: u64, row: u64, rungs: usize) -> Vec<u64> {
+    let row = row.max(1);
+    let mut out: Vec<u64> = Vec::with_capacity(rungs);
+    for i in 0..rungs as u32 {
+        // Saturate deep rungs to zero instead of overflowing the shift width.
+        let shifted = total.checked_shr(2 * (i + 1)).unwrap_or(0);
+        let pel = shifted.max(row);
+        if !out.contains(&pel) {
+            out.push(pel);
+        }
+    }
+    out
+}
+
+/// Link options for one layer boundary: `Sequential`, plus a partitioned
+/// `Pipelined` per (`Pel` rung × producer split fraction).
+fn link_options(
+    producer_elems: u64,
+    row_elems: u64,
+    cfg: &AccelConfig,
+    opts: &ModelDseOptions,
+) -> Vec<Link> {
+    let mut out = vec![Link::Sequential];
+    let splits: Vec<PartitionSplit> = opts
+        .split_fractions
+        .iter()
+        .map(|&f| {
+            let hi = cfg.num_pes.saturating_sub(1).max(1);
+            let producer_pes = ((cfg.num_pes as f64 * f).round() as usize).clamp(1, hi);
+            PartitionSplit { producer_pes, consumer_pes: (cfg.num_pes - producer_pes).max(1) }
+        })
+        .collect();
+    for pel in pel_ladder(producer_elems, row_elems, opts.pel_rungs) {
+        for &split in &splits {
+            let link = Link::Pipelined { pel, split: Some(split) };
+            if !out.contains(&link) {
+                out.push(link);
+            }
+        }
+    }
+    out
+}
+
+/// The layer-level candidate list for one layer workload: the top winners of
+/// the exhaustive per-layer search (via `cache`), filtered to the phase orders
+/// the algorithm admits, topped up with the workload-tuned presets when the
+/// filter bites, truncated to `per_layer_k`.
+fn layer_candidate_list(
+    model: &GnnModel,
+    wl: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &ModelDseOptions,
+    cache: &DseCache,
+) -> Vec<GnnDataflow> {
+    let allowed =
+        |df: &GnnDataflow| model.algorithm.allowed_phase_orders().contains(&df.phase_order);
+    let layer_opts = DseOptions {
+        objective: opts.objective,
+        threads: opts.threads,
+        top_k: opts.per_layer_k + 4, // headroom for the phase-order filter
+        refine_steps: 0,
+        chunk: 64,
+        seed_presets: true,
+    };
+    let outcome = cache.explore(wl, cfg, &layer_opts);
+    let mut cands: Vec<GnnDataflow> =
+        outcome.ranked.iter().map(|r| r.dataflow).filter(allowed).collect();
+    if cands.len() < opts.per_layer_k {
+        for df in crate::mapper::extended_candidates(wl, cfg) {
+            if allowed(&df) && !cands.contains(&df) {
+                cands.push(df);
+            }
+        }
+    }
+    cands.truncate(opts.per_layer_k.max(1));
+    cands
+}
+
+/// Builds the joint model space for `model` on `base` — exposed so tests can
+/// brute-force the exact space the parallel search streams over.
+pub fn build_space(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &ModelDseOptions,
+    cache: &DseCache,
+) -> ModelSpace {
+    let wls = model.layer_workloads(base);
+    // Layers with the same (F, G) shape share one candidate search (the graph
+    // is identical across layers, so shape determines the result).
+    let mut by_shape: Vec<((usize, usize), Vec<GnnDataflow>)> = Vec::new();
+    let mut layer_candidates = Vec::with_capacity(wls.len());
+    for wl in &wls {
+        let key = (wl.f, wl.g);
+        let cands = match by_shape.iter().find(|(k, _)| *k == key) {
+            Some((_, c)) => c.clone(),
+            None => {
+                let c = layer_candidate_list(model, wl, cfg, opts, cache);
+                by_shape.push((key, c.clone()));
+                c
+            }
+        };
+        layer_candidates.push(cands);
+    }
+    let link_options = (0..wls.len().saturating_sub(1))
+        .map(|j| {
+            let (elems, row) = model.layer_output_shape(base, j);
+            link_options(elems, row, cfg, opts)
+        })
+        .collect();
+    ModelSpace { layer_candidates, link_options }
+}
+
+/// Lowers and evaluates one joint mapping end-to-end, returning its objective
+/// value and chain report.
+pub fn evaluate_mapping(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    mapping: &ModelMapping,
+    cfg: &AccelConfig,
+    objective: Objective,
+) -> Result<(f64, ChainReport), ModelError> {
+    let chain = to_chain(model, base, &mapping.layer_dataflows, &mapping.links, cfg)?;
+    let report = evaluate_chain(&chain, cfg)?;
+    Ok((objective.score_chain(&report), report))
+}
+
+/// Jointly explores per-layer dataflows × inter-layer links × PE partitions
+/// for `model` on `base`.
+///
+/// Deterministic: the ranked result is independent of `threads` and `chunk`
+/// (ties broken by enumeration index). Layer-level searches go through
+/// `cache`, so repeated model studies over the same layer shapes never
+/// re-search the 6,656-pattern space.
+pub fn explore_model(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &ModelDseOptions,
+    cache: &DseCache,
+) -> ModelExploreOutcome {
+    let t0 = Instant::now();
+    let space = build_space(model, base, cfg, opts, cache);
+    let total = space.len();
+    let threads = opts.threads.max(1);
+
+    let space_ref = &space;
+    let gen = move |i: usize| space_ref.mapping(i);
+    let score = |m: &ModelMapping| -> Option<(f64, ChainReport)> {
+        let (s, mut r) = evaluate_mapping(model, base, m, cfg, opts.objective).ok()?;
+        // Winners don't need the per-chunk pipeline timelines; keep retention
+        // memory bounded (re-evaluate a winner to recover them).
+        for (_, stats) in &mut r.stages {
+            stats.chunk_marks = Vec::new();
+        }
+        Some((s, r))
+    };
+    let job = ParallelJob { k: opts.top_k, threads, chunk: opts.chunk };
+    let (mut merged, mut evaluated, skipped) = parallel_search(total, &gen, &score, &job);
+
+    // Seed the uniform Table V preset chains (one preset for every layer,
+    // sequential between layers): the reported optimum can never lose to a
+    // fixed-dataflow accelerator, and the best of them is the baseline the
+    // model gap is measured against.
+    let mut uniform: Option<UniformBaseline> = None;
+    let mut seeded = 0;
+    for (j, preset) in Preset::all().iter().enumerate() {
+        let Ok(layer_dataflows) = uniform_layer_dataflows(model, base, preset, cfg) else {
+            continue;
+        };
+        let links = vec![Link::Sequential; layer_dataflows.len().saturating_sub(1)];
+        let mapping = ModelMapping { layer_dataflows, links };
+        if let Some((s, r)) = score(&mapping) {
+            evaluated += 1;
+            seeded += 1;
+            if uniform.as_ref().is_none_or(|u| s < u.score) {
+                uniform = Some(UniformBaseline {
+                    preset: preset.name.to_string(),
+                    total_cycles: r.total_cycles,
+                    score: s,
+                });
+            }
+            merged.push((s, total + j, mapping, r));
+        }
+    }
+
+    // Rank: ascending (score, index), deduplicated by mapping.
+    merged.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("scores are finite"));
+    let mut ranked: Vec<RankedModelMapping> = Vec::with_capacity(opts.top_k.max(1));
+    for (score, index, mapping, report) in merged {
+        if ranked.len() == opts.top_k.max(1) {
+            break;
+        }
+        if ranked.iter().any(|r| r.mapping == mapping) {
+            continue;
+        }
+        ranked.push(RankedModelMapping {
+            mapping,
+            report,
+            score,
+            index: (index < total).then_some(index),
+        });
+    }
+
+    ModelExploreOutcome {
+        model: model.name.clone(),
+        workload: base.name.clone(),
+        ranked,
+        space: total,
+        layer_candidates: space.layer_candidates.iter().map(Vec::len).collect(),
+        link_options: space.link_options.iter().map(Vec::len).collect(),
+        evaluated,
+        skipped,
+        seeded,
+        uniform,
+        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_graph::DatasetSpec;
+
+    fn base() -> GnnWorkload {
+        GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16)
+    }
+
+    fn quick_opts() -> ModelDseOptions {
+        ModelDseOptions {
+            threads: 2,
+            top_k: 4,
+            per_layer_k: 3,
+            pel_rungs: 2,
+            split_fractions: vec![0.25, 0.5],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pel_ladder_is_descending_row_clamped_and_deduped() {
+        let l = pel_ladder(4096, 16, 3);
+        assert_eq!(l, vec![1024, 256, 64]);
+        // Clamping collapses small outputs onto one rung.
+        assert_eq!(pel_ladder(64, 32, 3), vec![32]);
+        assert_eq!(pel_ladder(0, 0, 2), vec![1]);
+        // Deep ladders saturate instead of overflowing the u64 shift width.
+        let deep = pel_ladder(u64::MAX, 8, 40);
+        assert_eq!(deep.last(), Some(&8));
+        assert!(deep.windows(2).all(|w| w[0] > w[1]), "{deep:?}");
+    }
+
+    #[test]
+    fn space_indexing_is_a_bijection() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gcn_2layer(7);
+        let cache = DseCache::new();
+        let space = build_space(&model, &base(), &cfg, &quick_opts(), &cache);
+        assert_eq!(space.layer_candidates.len(), 2);
+        assert_eq!(space.link_options.len(), 1);
+        assert_eq!(
+            space.len(),
+            space.layer_candidates[0].len()
+                * space.layer_candidates[1].len()
+                * space.link_options[0].len()
+        );
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..space.len() {
+            let m = space.mapping(i);
+            assert!(seen.insert(format!("{m}")), "duplicate mapping at {i}");
+        }
+        assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn winner_is_never_worse_than_the_uniform_baseline() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gcn_2layer(7);
+        let cache = DseCache::new();
+        let out = explore_model(&model, &base(), &cfg, &quick_opts(), &cache);
+        let best = out.best().expect("non-empty space");
+        let uniform = out.uniform.as_ref().expect("presets evaluated");
+        assert!(best.score <= uniform.score);
+        assert!(out.model_gap().expect("both present") >= 1.0 - 1e-12);
+        assert!(out.evaluated + out.skipped >= out.space);
+        // Ranked ascending, deduplicated.
+        for w in out.ranked.windows(2) {
+            assert!(w[0].score <= w[1].score);
+            assert!(w[0].mapping != w[1].mapping);
+        }
+    }
+
+    #[test]
+    fn sage_candidates_are_ac_only() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::sage_2layer(16, 7);
+        let cache = DseCache::new();
+        let space = build_space(&model, &base(), &cfg, &quick_opts(), &cache);
+        for cands in &space.layer_candidates {
+            assert!(!cands.is_empty());
+            assert!(cands
+                .iter()
+                .all(|df| df.phase_order == omega_dataflow::PhaseOrder::AC));
+        }
+    }
+
+    #[test]
+    fn identical_layer_shapes_share_one_search() {
+        let cfg = AccelConfig::paper_default();
+        // GIN layers 1.. all have (F, G) = (64, 64): one search serves them.
+        let model = GnnModel::gin(3, 64);
+        let wl = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 64);
+        let cache = DseCache::new();
+        let space = build_space(&model, &wl, &cfg, &quick_opts(), &cache);
+        assert_eq!(space.layer_candidates.len(), 3);
+        assert_eq!(space.layer_candidates[1], space.layer_candidates[2]);
+        // Two shapes → two layer-level searches, not three.
+        assert_eq!(cache.searches(), 2);
+    }
+}

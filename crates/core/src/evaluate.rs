@@ -50,23 +50,7 @@ pub fn evaluate(
         _ => dataflow.granularity(),
     };
 
-    // Intermediate-matrix geometry and Pel (Section IV-D; footnote 1 uses the
-    // max tile across the two phases).
-    let (rows, cols, t_row_max, t_col_max) = match dataflow.phase_order {
-        PhaseOrder::AC => (
-            workload.v,
-            workload.f,
-            dataflow.agg.tile_of(Dim::V).max(dataflow.cmb.tile_of(Dim::V)),
-            dataflow.agg.tile_of(Dim::F).max(dataflow.cmb.tile_of(Dim::F)),
-        ),
-        PhaseOrder::CA => (
-            workload.v,
-            workload.g,
-            dataflow.cmb.tile_of(Dim::V).max(dataflow.agg.tile_of(Dim::N)),
-            dataflow.cmb.tile_of(Dim::G).max(dataflow.agg.tile_of(Dim::F)),
-        ),
-    };
-    let pel = granularity.map(|g| g.pel(rows, cols, t_row_max, t_col_max) as u64);
+    let pel = granularity.and(intermediate_pel(workload, dataflow));
 
     // The dense width Aggregation streams per neighbour: F under AC, G under CA.
     let agg_width = match dataflow.phase_order {
@@ -181,6 +165,41 @@ pub fn evaluate(
     })
 }
 
+/// The `Pel` implied by a pipelined dataflow's granularity for `workload`:
+/// intermediate-matrix geometry per Section IV-D, with footnote 1's "max tile
+/// across the two phases" rule. `None` when the loop-order pair cannot
+/// pipeline. Shared by [`evaluate`] and the chain lowering of
+/// [`crate::models::to_chain`] so both agree on chunk sizes.
+pub(crate) fn intermediate_pel(workload: &GnnWorkload, dataflow: &GnnDataflow) -> Option<u64> {
+    let granularity = dataflow.granularity()?;
+    let (rows, cols, t_row_max, t_col_max) = match dataflow.phase_order {
+        PhaseOrder::AC => (
+            workload.v,
+            workload.f,
+            dataflow.agg.tile_of(Dim::V).max(dataflow.cmb.tile_of(Dim::V)),
+            dataflow.agg.tile_of(Dim::F).max(dataflow.cmb.tile_of(Dim::F)),
+        ),
+        PhaseOrder::CA => (
+            workload.v,
+            workload.g,
+            dataflow.cmb.tile_of(Dim::V).max(dataflow.agg.tile_of(Dim::N)),
+            dataflow.cmb.tile_of(Dim::G).max(dataflow.agg.tile_of(Dim::F)),
+        ),
+    };
+    Some(granularity.pel(rows, cols, t_row_max, t_col_max) as u64)
+}
+
+/// Rescales a `Pel` measured in intermediate elements onto the SpMM engine's
+/// edge-visit progress axis (`pel · visits / elems`, ≥ 1). Shared by the PP
+/// path here and [`crate::multiphase`]'s consume-side chunking so the two stay
+/// bit-identical — the chain lowering's cycle fidelity depends on it.
+pub(crate) fn scale_elems_to_visits(pel_elems: u64, total_elems: u64, total_visits: u64) -> u64 {
+    if total_elems == 0 {
+        return pel_elems.max(1);
+    }
+    ((pel_elems as u128 * total_visits as u128) / total_elems as u128).max(1) as u64
+}
+
 /// The SpMM engine tracks *consumption* progress in edge-visit units rather
 /// than intermediate elements (a CA consumer gathers arbitrary rows); convert
 /// `Pel` accordingly so chunk counts roughly align before resampling.
@@ -188,12 +207,7 @@ fn chunk_pel(side: ChunkSide, pel_elems: u64, wl: &GnnWorkload, agg_width: usize
     match side {
         ChunkSide::Produce => pel_elems,
         ChunkSide::Consume => {
-            let total_elems = (wl.v as u64) * agg_width as u64;
-            let total_visits = wl.nnz * agg_width as u64;
-            if total_elems == 0 {
-                return pel_elems.max(1);
-            }
-            ((pel_elems as u128 * total_visits as u128) / total_elems as u128).max(1) as u64
+            scale_elems_to_visits(pel_elems, (wl.v as u64) * agg_width as u64, wl.nnz * agg_width as u64)
         }
     }
 }

@@ -22,8 +22,12 @@
 //! `evaluate` as its cost model (the "future work" optimizer of Section VI),
 //! [`dse`] exhaustively explores the full 6,656-pattern space in parallel
 //! (streamed work queue, top-K reduction, workload-keyed cache), [`models`]
-//! stacks layers into whole GNNs, and [`multiphase`] generalises the
-//! composition to non-GNN multiphase kernels (DLRM-style chains).
+//! stacks layers into whole GNNs and lowers them onto multiphase chains
+//! ([`models::to_chain`]), [`dse::model`] jointly searches per-layer dataflows
+//! × inter-layer pipelining × PE partitions for those chains, and
+//! [`multiphase`] generalises the composition to non-GNN multiphase kernels
+//! (DLRM-style chains) with sequential, idealised-pipelined, and partitioned
+//! (PP) links.
 //!
 //! ```
 //! use omega_core::{evaluate, AccelConfig, GnnWorkload};

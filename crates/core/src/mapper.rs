@@ -35,6 +35,17 @@ impl Objective {
             Objective::Edp => r.edp(),
         }
     }
+
+    /// The objective value of a whole-chain report (lower is better) — the
+    /// model-level analogue of [`Self::score`], used by
+    /// [`crate::dse::model::explore_model`].
+    pub fn score_chain(self, r: &crate::multiphase::ChainReport) -> f64 {
+        match self {
+            Objective::Runtime => r.total_cycles as f64,
+            Objective::Energy => r.energy.total_pj(),
+            Objective::Edp => r.total_cycles as f64 * r.energy.total_pj(),
+        }
+    }
 }
 
 /// A search winner: the dataflow and its evaluation.

@@ -22,10 +22,12 @@ use serde::Serialize;
 use omega_accel::engine::{simulate_gemm, EngineOptions, GemmDims, OperandClasses};
 use omega_accel::{AccelConfig, AccessCounters, EnergyModel};
 use omega_dataflow::presets::Preset;
-use omega_dataflow::{InterPhase, PhaseOrder};
+use omega_dataflow::tiles::choose_tiling;
+use omega_dataflow::{GnnDataflow, InterPhase, PhaseOrder};
 
 use crate::cost::EnergyBreakdown;
 use crate::mapper::{best_of, preset_candidates, Objective};
+use crate::multiphase::{Chain, ChainError, ChainNode, Link, PartitionSplit, Stage};
 use crate::{evaluate, CostReport, EvalError, GnnWorkload};
 
 /// The GNN algorithm, deciding phase-order legality and per-layer structure.
@@ -133,6 +135,23 @@ pub enum ModelError {
     },
     /// A layer evaluation failed.
     Layer(EvalError),
+    /// `to_chain` was given the wrong number of per-layer dataflows.
+    LayerCountMismatch {
+        /// Layers in the model.
+        expected: usize,
+        /// Dataflows supplied.
+        got: usize,
+    },
+    /// `to_chain` was given the wrong number of inter-layer links.
+    LinkCountMismatch {
+        /// Links expected (`layers - 1`).
+        expected: usize,
+        /// Links supplied.
+        got: usize,
+    },
+    /// The lowered chain is structurally invalid (e.g. a stage pipelined on
+    /// both sides, or a partition too small for its stage's tiling).
+    Chain(ChainError),
 }
 
 impl std::fmt::Display for ModelError {
@@ -142,11 +161,24 @@ impl std::fmt::Display for ModelError {
                 write!(f, "phase order {order} is not legal for this algorithm (Section II-A)")
             }
             ModelError::Layer(e) => write!(f, "layer evaluation failed: {e}"),
+            ModelError::LayerCountMismatch { expected, got } => {
+                write!(f, "model has {expected} layers but {got} dataflows were supplied")
+            }
+            ModelError::LinkCountMismatch { expected, got } => {
+                write!(f, "model needs {expected} inter-layer links but {got} were supplied")
+            }
+            ModelError::Chain(e) => write!(f, "chain evaluation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for ModelError {}
+
+impl From<ChainError> for ModelError {
+    fn from(e: ChainError) -> Self {
+        ModelError::Chain(e)
+    }
+}
 
 /// Evaluates `model` on `base` using one Table V preset for every layer
 /// (re-concretised per layer, since each layer's F/G differ).
@@ -156,21 +188,12 @@ pub fn evaluate_model(
     preset: &Preset,
     cfg: &AccelConfig,
 ) -> Result<ModelReport, ModelError> {
-    if !model.allowed(preset.pattern.phase_order) {
-        return Err(ModelError::PhaseOrderNotAllowed { order: preset.pattern.phase_order });
-    }
+    let dfs = uniform_layer_dataflows(model, base, preset, cfg)?;
     let mut layers = Vec::new();
     let mut mlp_cycles = Vec::new();
-    for wl in model.layer_workloads(base) {
-        let ctx = wl.tile_context(preset.pattern.phase_order);
-        let (a, c) = if preset.pattern.inter == InterPhase::ParallelPipeline {
-            (cfg.num_pes / 2, cfg.num_pes / 2)
-        } else {
-            (cfg.num_pes, cfg.num_pes)
-        };
-        let df = preset.concretize(&ctx, a, c);
-        let report = evaluate(&wl, &df, cfg).map_err(ModelError::Layer)?;
-        mlp_cycles.push(mlp_stage(model, &wl, &report, cfg));
+    for (wl, df) in model.layer_workloads(base).iter().zip(&dfs) {
+        let report = evaluate(wl, df, cfg).map_err(ModelError::Layer)?;
+        mlp_cycles.push(mlp_stage(model, wl, &report, cfg));
         layers.push(report);
     }
     Ok(finish(layers, mlp_cycles))
@@ -222,6 +245,195 @@ fn mlp_stage(model: &GnnModel, wl: &GnnWorkload, report: &CostReport, cfg: &Acce
     );
     let energy = EnergyBreakdown::from_counters(&stats.counters, &EnergyModel::paper_default(), None);
     (stats.cycles, energy.total_pj())
+}
+
+/// Concretises `preset` for every layer of `model` (PP split 50-50) — the
+/// per-layer dataflows a *uniform* fixed-preset accelerator would run, shared
+/// by [`evaluate_model`] and the uniform baseline of the model-level explorer.
+pub fn uniform_layer_dataflows(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    preset: &Preset,
+    cfg: &AccelConfig,
+) -> Result<Vec<GnnDataflow>, ModelError> {
+    if !model.allowed(preset.pattern.phase_order) {
+        return Err(ModelError::PhaseOrderNotAllowed { order: preset.pattern.phase_order });
+    }
+    Ok(model
+        .layer_workloads(base)
+        .iter()
+        .map(|wl| {
+            let ctx = wl.tile_context(preset.pattern.phase_order);
+            let (a, c) = if preset.pattern.inter == InterPhase::ParallelPipeline {
+                (cfg.num_pes / 2, cfg.num_pes / 2)
+            } else {
+                (cfg.num_pes, cfg.num_pes)
+            };
+            preset.concretize(&ctx, a, c)
+        })
+        .collect())
+}
+
+impl GnnModel {
+    /// Output elements layer `layer` hands to its successor (the layer's final
+    /// stage output: `V×G`, or `V×mlp_hidden` for GIN's trailing MLP), together
+    /// with the width of one output row. Drives the inter-layer `Pel` ladder.
+    pub fn layer_output_shape(&self, base: &GnnWorkload, layer: usize) -> (u64, u64) {
+        let width = match self.algorithm {
+            Algorithm::GinConv { mlp_hidden } => mlp_hidden,
+            _ => self.layer_widths[layer],
+        };
+        (base.v as u64 * width as u64, width as u64)
+    }
+}
+
+/// Re-tiles a stage that no longer fits its PE allocation (a partitioned
+/// inter-layer link squeezed it): same pattern, balanced growth under the
+/// reduced budget. Stages that already fit keep their original tiling.
+fn fit_stage(stage: &mut Stage, ctx: &omega_dataflow::tiles::TileContext, budget: usize) {
+    if stage.pe_footprint() <= budget {
+        return;
+    }
+    let pattern = stage.tiling().to_pattern();
+    let fitted = choose_tiling(&pattern, ctx, budget, &crate::dse::balanced_policy(&pattern));
+    match &mut stage.kind {
+        crate::multiphase::StageKind::Gemm { tiling, .. }
+        | crate::multiphase::StageKind::Spmm { tiling, .. } => *tiling = fitted,
+    }
+}
+
+/// Lowers a whole GNN model onto a multiphase [`Chain`]: one SpMM + one GEMM
+/// stage per layer in the layer dataflow's phase order (plus GIN's MLP GEMM),
+/// intra-layer links derived from each dataflow's inter-phase strategy
+/// (`Seq`/`SP` → [`Link::Sequential`] with SP-Optimized residency flags, `PP` →
+/// a partitioned [`Link::Pipelined`] at the paper's `Pel`), and the given
+/// inter-layer links woven between layer boundaries.
+///
+/// A partitioned inter-layer link re-tiles the boundary stages to fit their PE
+/// allocations (same pattern, balanced growth). The lowering is cycle-faithful
+/// to [`evaluate`]: a chain with all-`Sequential` inter-layer links reproduces
+/// [`evaluate_model`]'s end-to-end cycle count exactly (chain energy is coarser
+/// — all non-RF traffic at GB rate, no partition discount).
+pub fn to_chain(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    layer_dataflows: &[GnnDataflow],
+    inter_links: &[Link],
+    cfg: &AccelConfig,
+) -> Result<Chain, ModelError> {
+    let wls = model.layer_workloads(base);
+    if layer_dataflows.len() != wls.len() {
+        return Err(ModelError::LayerCountMismatch { expected: wls.len(), got: layer_dataflows.len() });
+    }
+    if inter_links.len() + 1 != wls.len() {
+        return Err(ModelError::LinkCountMismatch {
+            expected: wls.len().saturating_sub(1),
+            got: inter_links.len(),
+        });
+    }
+
+    // Build each layer's stage list first (validation + phase order gates).
+    let mut layer_stages: Vec<Vec<Stage>> = Vec::with_capacity(wls.len());
+    for (wl, df) in wls.iter().zip(layer_dataflows) {
+        if !model.allowed(df.phase_order) {
+            return Err(ModelError::PhaseOrderNotAllowed { order: df.phase_order });
+        }
+        omega_dataflow::validate(df).map_err(|e| ModelError::Layer(EvalError::Invalid(e)))?;
+        let sp_opt = df.is_sp_optimized();
+        let gemm_dims = GemmDims { v: wl.v, f: wl.f, g: wl.g };
+        let agg_width = match df.phase_order {
+            PhaseOrder::AC => wl.f,
+            PhaseOrder::CA => wl.g,
+        };
+        let agg = Stage::spmm(format!("{}.agg", wl.name), wl.degrees.clone(), agg_width, df.agg);
+        let cmb = Stage::gemm(format!("{}.cmb", wl.name), gemm_dims, df.cmb);
+        let (first, second) = match df.phase_order {
+            PhaseOrder::AC => (agg, cmb),
+            PhaseOrder::CA => (cmb, agg),
+        };
+        let (first, second) = if sp_opt {
+            (first.with_residency(false, true), second.with_residency(true, false))
+        } else {
+            (first, second)
+        };
+        let mut stages = vec![first, second];
+        if let Algorithm::GinConv { mlp_hidden } = model.algorithm {
+            let dims = GemmDims { v: wl.v, f: wl.g, g: mlp_hidden };
+            stages.push(Stage::gemm(format!("{}.mlp", wl.name), dims, df.cmb));
+        }
+        layer_stages.push(stages);
+    }
+
+    // Every stage must at least fit the target machine (candidates may have
+    // been concretised for a larger array).
+    for (stages, (wl, df)) in layer_stages.iter_mut().zip(wls.iter().zip(layer_dataflows)) {
+        let ctx = wl.tile_context(df.phase_order);
+        for stage in stages.iter_mut() {
+            fit_stage(stage, &ctx, cfg.num_pes);
+        }
+    }
+
+    // Partitioned inter-layer links squeeze the boundary stages: re-tile them
+    // under their allocations before deriving intra-layer links, so PP splits
+    // reflect the tilings that actually run.
+    for (j, link) in inter_links.iter().enumerate() {
+        if let Link::Pipelined { split: Some(s), .. } = link {
+            let producer_ctx = wls[j].tile_context(layer_dataflows[j].phase_order);
+            let producer = layer_stages[j].last_mut().expect("layers have stages");
+            fit_stage(producer, &producer_ctx, s.producer_pes);
+            let consumer_ctx = wls[j + 1].tile_context(layer_dataflows[j + 1].phase_order);
+            let consumer = layer_stages[j + 1].first_mut().expect("layers have stages");
+            fit_stage(consumer, &consumer_ctx, s.consumer_pes);
+        }
+    }
+
+    // Weave intra- and inter-layer links.
+    let mut nodes: Vec<ChainNode> = Vec::new();
+    let mut links: Vec<Link> = Vec::new();
+    for (j, (stages, (wl, df))) in
+        layer_stages.into_iter().zip(wls.iter().zip(layer_dataflows)).enumerate()
+    {
+        if j > 0 {
+            links.push(inter_links[j - 1]);
+        }
+        // Intra-layer link between the phase pair, from (possibly re-tiled)
+        // stage tilings so Pel and the PP split match what runs.
+        let effective = GnnDataflow {
+            agg: *match df.phase_order {
+                PhaseOrder::AC => stages[0].tiling(),
+                PhaseOrder::CA => stages[1].tiling(),
+            },
+            cmb: *match df.phase_order {
+                PhaseOrder::AC => stages[1].tiling(),
+                PhaseOrder::CA => stages[0].tiling(),
+            },
+            ..*df
+        };
+        let intra = match df.inter {
+            InterPhase::Sequential | InterPhase::SequentialPipeline => Link::Sequential,
+            InterPhase::ParallelPipeline => {
+                let pel = crate::evaluate::intermediate_pel(wl, &effective)
+                    .expect("validated PP dataflow has a granularity");
+                Link::Pipelined {
+                    pel,
+                    split: Some(PartitionSplit {
+                        producer_pes: stages[0].pe_footprint(),
+                        consumer_pes: stages[1].pe_footprint(),
+                    }),
+                }
+            }
+        };
+        let n = stages.len();
+        for (k, stage) in stages.into_iter().enumerate() {
+            nodes.push(ChainNode::Single(stage));
+            if k == 0 {
+                links.push(intra);
+            } else if k + 1 < n {
+                links.push(Link::Sequential); // GIN's MLP follows its layer.
+            }
+        }
+    }
+    Ok(Chain { nodes, links })
 }
 
 fn finish(layers: Vec<CostReport>, mlp: Vec<(u64, f64)>) -> ModelReport {
@@ -292,6 +504,96 @@ mod tests {
         assert!(r.mlp_cycles.iter().all(|&c| c > 0), "{:?}", r.mlp_cycles);
         let layer_sum: u64 = r.layers.iter().map(|l| l.total_cycles).sum();
         assert_eq!(r.total_cycles, layer_sum + r.mlp_cycles.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn to_chain_matches_evaluate_model_cycles_for_every_preset() {
+        // The chain lowering with all-Sequential inter-layer links must be
+        // cycle-faithful to the per-layer cost model, for every inter-phase
+        // strategy (Seq, SP incl. SP-Optimized, partitioned PP).
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gcn_2layer(7);
+        let b = base();
+        for preset in Preset::all() {
+            let per_layer = evaluate_model(&model, &b, &preset, &cfg).unwrap();
+            let dfs = uniform_layer_dataflows(&model, &b, &preset, &cfg).unwrap();
+            let chain = to_chain(&model, &b, &dfs, &[Link::Sequential], &cfg).unwrap();
+            let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
+            assert_eq!(
+                r.total_cycles, per_layer.total_cycles,
+                "{}: chain lowering drifted from evaluate()",
+                preset.name
+            );
+            assert_eq!(r.stages.len(), 4);
+        }
+    }
+
+    #[test]
+    fn to_chain_matches_evaluate_model_for_gin_with_mlp_stages() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gin(3, 64);
+        let small = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 64);
+        let preset = Preset::by_name("SP2").unwrap();
+        let per_layer = evaluate_model(&model, &small, &preset, &cfg).unwrap();
+        let dfs = uniform_layer_dataflows(&model, &small, &preset, &cfg).unwrap();
+        let chain =
+            to_chain(&model, &small, &dfs, &[Link::Sequential, Link::Sequential], &cfg).unwrap();
+        let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
+        assert_eq!(r.stages.len(), 9); // 3 layers × (agg + cmb + mlp)
+        assert_eq!(r.total_cycles, per_layer.total_cycles);
+    }
+
+    #[test]
+    fn to_chain_rejects_bad_shapes_and_orders() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gcn_2layer(7);
+        let b = base();
+        let dfs = uniform_layer_dataflows(&model, &b, &Preset::by_name("Seq1").unwrap(), &cfg)
+            .unwrap();
+        assert!(matches!(
+            to_chain(&model, &b, &dfs[..1], &[Link::Sequential], &cfg),
+            Err(ModelError::LayerCountMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            to_chain(&model, &b, &dfs, &[], &cfg),
+            Err(ModelError::LinkCountMismatch { expected: 1, got: 0 })
+        ));
+        // CA dataflows are illegal for GraphSAGE.
+        let sage = GnnModel::sage_2layer(16, 7);
+        let ca = uniform_layer_dataflows(
+            &GnnModel::gcn_2layer(7),
+            &b,
+            &omega_dataflow::presets::seq_ca(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(
+            to_chain(&sage, &b, &ca, &[Link::Sequential], &cfg),
+            Err(ModelError::PhaseOrderNotAllowed { order: PhaseOrder::CA })
+        ));
+    }
+
+    #[test]
+    fn partitioned_inter_layer_link_retiles_boundary_stages() {
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gcn_2layer(7);
+        let b = base();
+        let dfs = uniform_layer_dataflows(&model, &b, &Preset::by_name("Seq1").unwrap(), &cfg)
+            .unwrap();
+        let (elems, row) = model.layer_output_shape(&b, 0);
+        assert_eq!(row, 16);
+        let link = Link::pipelined_split(elems / 4, 96, 416);
+        let chain = to_chain(&model, &b, &dfs, &[link], &cfg).unwrap();
+        // Boundary stages (L0's cmb, L1's agg) fit their partitions.
+        assert!(chain.nodes.len() == 4);
+        let footprint = |i: usize| match &chain.nodes[i] {
+            crate::multiphase::ChainNode::Single(s) => s.pe_footprint(),
+            _ => unreachable!(),
+        };
+        assert!(footprint(1) <= 96, "producer footprint {}", footprint(1));
+        assert!(footprint(2) <= 416);
+        let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
+        assert!(r.total_cycles > 0);
     }
 
     #[test]

@@ -7,6 +7,17 @@
 //! a DenseGEMM." This module models such chains: stages are individual
 //! GEMM/SpMM phase runs, grouped sequentially, pipelined pairwise (the SP/PP
 //! composition), or in parallel on partitioned PEs (the DLRM front end).
+//!
+//! Pipelined links come in two flavours:
+//!
+//! * **idealised** (`split: None`) — both stages keep the full NoC, an upper
+//!   bound no physical schedule can beat (useful as a what-if);
+//! * **partitioned** (`split: Some(..)`) — the paper's PP strategy: producer
+//!   and consumer run *concurrently* on disjoint PE partitions, each throttled
+//!   to its proportional NoC share ([`AccelConfig::partition_bandwidth`]).
+//!
+//! Whole GNN models lower onto chains via [`crate::models::to_chain`], which
+//! the model-level explorer of [`crate::dse::model`] searches over.
 
 use serde::Serialize;
 
@@ -49,27 +60,54 @@ pub struct Stage {
     pub name: String,
     /// The kernel.
     pub kind: StageKind,
+    /// The streaming input is already resident in the PE register files
+    /// (SP-Optimized consumer): no GB reads or distribution stalls for it.
+    pub input_resident: bool,
+    /// The produced matrix stays in the PE register files (SP-Optimized
+    /// producer): no GB writes or collection stalls for it.
+    pub output_stays_local: bool,
 }
 
 impl Stage {
     /// Builds a GEMM stage.
     pub fn gemm(name: impl Into<String>, dims: GemmDims, tiling: IntraTiling) -> Self {
-        Stage { name: name.into(), kind: StageKind::Gemm { dims, tiling } }
+        Stage {
+            name: name.into(),
+            kind: StageKind::Gemm { dims, tiling },
+            input_resident: false,
+            output_stays_local: false,
+        }
     }
 
     /// Builds an SpMM stage.
     pub fn spmm(name: impl Into<String>, degrees: Vec<usize>, width: usize, tiling: IntraTiling) -> Self {
-        Stage { name: name.into(), kind: StageKind::Spmm { degrees, width, tiling } }
+        Stage {
+            name: name.into(),
+            kind: StageKind::Spmm { degrees, width, tiling },
+            input_resident: false,
+            output_stays_local: false,
+        }
+    }
+
+    /// Same stage with SP-Optimized residency flags (intermediate pinned in the
+    /// RFs on the flagged side).
+    pub fn with_residency(mut self, input_resident: bool, output_stays_local: bool) -> Self {
+        self.input_resident = input_resident;
+        self.output_stays_local = output_stays_local;
+        self
     }
 
     fn run(&self, cfg: &AccelConfig, opts: &EngineOptions) -> PhaseStats {
+        let mut opts = *opts;
+        opts.input_resident |= self.input_resident;
+        opts.output_stays_local |= self.output_stays_local;
         match &self.kind {
             StageKind::Gemm { dims, tiling } => {
-                simulate_gemm(*dims, tiling, cfg, &OperandClasses::combination_ac(), opts)
+                simulate_gemm(*dims, tiling, cfg, &OperandClasses::combination_ac(), &opts)
             }
             StageKind::Spmm { degrees, width, tiling } => {
                 let wl = SpmmWorkload { degrees, feature_width: *width };
-                simulate_spmm(&wl, tiling, cfg, &OperandClasses::aggregation_ac(), opts)
+                simulate_spmm(&wl, tiling, cfg, &OperandClasses::aggregation_ac(), &opts)
             }
         }
     }
@@ -79,6 +117,35 @@ impl Stage {
         match &self.kind {
             StageKind::Gemm { dims, .. } => dims.v as u64 * dims.g as u64,
             StageKind::Spmm { degrees, width, .. } => degrees.len() as u64 * *width as u64,
+        }
+    }
+
+    /// The stage's concrete tiling.
+    pub fn tiling(&self) -> &IntraTiling {
+        match &self.kind {
+            StageKind::Gemm { tiling, .. } | StageKind::Spmm { tiling, .. } => tiling,
+        }
+    }
+
+    /// PEs the stage's tiling occupies.
+    pub fn pe_footprint(&self) -> usize {
+        self.tiling().pe_footprint()
+    }
+
+    /// The `Pel` the engine should count on the consume side: the SpMM engine
+    /// tracks consumption in edge-visit units (a consumer gathers arbitrary
+    /// rows), so convert intermediate elements accordingly (same conversion as
+    /// [`evaluate`](crate::evaluate())'s PP path); GEMM consumes in element
+    /// units directly.
+    fn consume_pel(&self, pel_elems: u64) -> u64 {
+        match &self.kind {
+            StageKind::Gemm { .. } => pel_elems.max(1),
+            StageKind::Spmm { degrees, width, .. } => {
+                let total_elems = degrees.len() as u64 * *width as u64;
+                let total_visits: u64 =
+                    degrees.iter().map(|&d| d as u64).sum::<u64>() * *width as u64;
+                crate::evaluate::scale_elems_to_visits(pel_elems, total_elems, total_visits)
+            }
         }
     }
 }
@@ -93,17 +160,49 @@ pub enum ChainNode {
     Parallel(Vec<Stage>),
 }
 
+/// A producer/consumer PE partition for a pipelined link (the paper's PP
+/// strategy): the two stages run concurrently on disjoint PE allocations, each
+/// receiving its proportional NoC bandwidth share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PartitionSplit {
+    /// PEs allocated to the producing stage.
+    pub producer_pes: usize,
+    /// PEs allocated to the consuming stage.
+    pub consumer_pes: usize,
+}
+
 /// How one node hands data to the next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Link {
     /// Barrier: the next node starts after this one fully finishes.
     Sequential,
     /// Producer/consumer pipelining at `pel` elements per chunk (only between
-    /// two `Single` nodes).
+    /// two `Single` nodes). With `split: None` both stages keep the full NoC
+    /// (an idealised upper bound); with `split: Some(..)` they run on
+    /// partitioned PEs with proportionally split bandwidth (physical PP).
     Pipelined {
         /// Elements per pipeline chunk.
         pel: u64,
+        /// Optional PE partition (`None` = idealised full-resource overlap).
+        split: Option<PartitionSplit>,
     },
+}
+
+impl Link {
+    /// An idealised pipelined link (both stages keep their full resources).
+    pub fn pipelined(pel: u64) -> Self {
+        Link::Pipelined { pel, split: None }
+    }
+
+    /// A partitioned (physical PP) pipelined link.
+    pub fn pipelined_split(pel: u64, producer_pes: usize, consumer_pes: usize) -> Self {
+        Link::Pipelined { pel, split: Some(PartitionSplit { producer_pes, consumer_pes }) }
+    }
+
+    /// `true` for either pipelined flavour.
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self, Link::Pipelined { .. })
+    }
 }
 
 /// A multiphase kernel chain.
@@ -116,7 +215,7 @@ pub struct Chain {
 }
 
 /// Evaluation of one chain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ChainReport {
     /// Per-stage statistics, flattened in chain order.
     pub stages: Vec<(String, PhaseStats)>,
@@ -128,13 +227,84 @@ pub struct ChainReport {
     pub energy: EnergyBreakdown,
 }
 
+/// Structural failure of a chain evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// `links.len() + 1 != nodes.len()`.
+    LinkCountMismatch {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of links.
+        links: usize,
+    },
+    /// A `Pipelined` link touches a `Parallel` node (pipelining is defined
+    /// pairwise between single stages).
+    PipelinedParallelNode {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// A stage would have to produce and consume pipelined chunks at once.
+    PipelinedBothSides {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// A partitioned link allocates fewer PEs than the stage's tiling needs.
+    PartitionTooSmall {
+        /// Index of the offending node.
+        node: usize,
+        /// PEs allocated to the stage.
+        allocated: usize,
+        /// PEs the stage's tiling occupies.
+        footprint: usize,
+    },
+    /// A partition allocates more PEs than the machine has.
+    PartitionOversubscribed {
+        /// Producer + consumer allocation.
+        allocated: usize,
+        /// PEs available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::LinkCountMismatch { nodes, links } => write!(
+                f,
+                "need one link between consecutive nodes ({nodes} nodes, {links} links)"
+            ),
+            ChainError::PipelinedParallelNode { node } => {
+                write!(f, "pipelined links require single stages on both ends (node {node})")
+            }
+            ChainError::PipelinedBothSides { node } => {
+                write!(f, "a stage cannot be pipelined on both sides (node {node})")
+            }
+            ChainError::PartitionTooSmall { node, allocated, footprint } => write!(
+                f,
+                "partition too small at node {node}: {allocated} PEs allocated, tiling needs {footprint}"
+            ),
+            ChainError::PartitionOversubscribed { allocated, available } => {
+                write!(f, "partition oversubscribed: {allocated} PEs allocated of {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
 /// Evaluates a chain on the accelerator.
 ///
-/// # Panics
-/// Panics if `links.len() + 1 != nodes.len()`, or if a `Pipelined` link touches
-/// a `Parallel` node (pipelining is defined pairwise between single stages).
-pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> ChainReport {
-    assert_eq!(chain.links.len() + 1, chain.nodes.len(), "need one link between consecutive nodes");
+/// Returns a [`ChainError`] when the chain is structurally invalid: mismatched
+/// link count, a pipelined link touching a `Parallel` node, a stage pipelined
+/// on both sides, or a partitioned link whose PE allocation cannot hold its
+/// stage (or oversubscribes the machine).
+pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> Result<ChainReport, ChainError> {
+    if chain.links.len() + 1 != chain.nodes.len() {
+        return Err(ChainError::LinkCountMismatch {
+            nodes: chain.nodes.len(),
+            links: chain.links.len(),
+        });
+    }
     let full_bw = cfg.full_bandwidth();
     let mut stages: Vec<(String, PhaseStats)> = Vec::new();
     let mut total: u64 = 0;
@@ -143,42 +313,81 @@ pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> ChainReport {
     // producer/consumer timestamps.
     let mut node_stats: Vec<Vec<(String, PhaseStats)>> = Vec::with_capacity(chain.nodes.len());
     for (i, node) in chain.nodes.iter().enumerate() {
-        let produce_pel = chain.links.get(i).and_then(|l| match l {
-            Link::Pipelined { pel } => Some(*pel),
+        let produce = chain.links.get(i).and_then(|l| match l {
+            Link::Pipelined { pel, split } => Some((*pel, *split)),
             Link::Sequential => None,
         });
-        let consume_pel = i.checked_sub(1).and_then(|j| match chain.links[j] {
-            Link::Pipelined { pel } => Some(pel),
+        let consume = i.checked_sub(1).and_then(|j| match chain.links[j] {
+            Link::Pipelined { pel, split } => Some((pel, split)),
             Link::Sequential => None,
         });
         match node {
             ChainNode::Single(stage) => {
-                assert!(
-                    produce_pel.is_none() || consume_pel.is_none(),
-                    "a stage cannot be pipelined on both sides"
-                );
+                if produce.is_some() && consume.is_some() {
+                    return Err(ChainError::PipelinedBothSides { node: i });
+                }
                 let mut opts = EngineOptions::plain(full_bw);
-                if let Some(pel) = produce_pel {
+                if let Some((pel, split)) = produce {
+                    if let Some(s) = split {
+                        let allocated = s.producer_pes + s.consumer_pes;
+                        if allocated > cfg.num_pes {
+                            return Err(ChainError::PartitionOversubscribed {
+                                allocated,
+                                available: cfg.num_pes,
+                            });
+                        }
+                        if stage.pe_footprint() > s.producer_pes {
+                            return Err(ChainError::PartitionTooSmall {
+                                node: i,
+                                allocated: s.producer_pes,
+                                footprint: stage.pe_footprint(),
+                            });
+                        }
+                        opts.bandwidth = cfg.partition_bandwidth(s.producer_pes, s.consumer_pes).0;
+                    }
                     opts.chunk = Some(ChunkSpec { side: ChunkSide::Produce, pel });
-                } else if let Some(pel) = consume_pel {
-                    opts.chunk = Some(ChunkSpec { side: ChunkSide::Consume, pel });
+                } else if let Some((pel, split)) = consume {
+                    if let Some(s) = split {
+                        if stage.pe_footprint() > s.consumer_pes {
+                            return Err(ChainError::PartitionTooSmall {
+                                node: i,
+                                allocated: s.consumer_pes,
+                                footprint: stage.pe_footprint(),
+                            });
+                        }
+                        opts.bandwidth = cfg.partition_bandwidth(s.producer_pes, s.consumer_pes).1;
+                    }
+                    opts.chunk =
+                        Some(ChunkSpec { side: ChunkSide::Consume, pel: stage.consume_pel(pel) });
                 }
                 node_stats.push(vec![(stage.name.clone(), stage.run(cfg, &opts))]);
             }
             ChainNode::Parallel(group) => {
-                assert!(
-                    produce_pel.is_none() && consume_pel.is_none(),
-                    "pipelined links require single stages on both ends"
-                );
-                // Split bandwidth evenly across the group; PEs are already
-                // partitioned by the stages' tilings.
-                let share = omega_accel::BandwidthShare {
-                    dist: (full_bw.dist / group.len().max(1)).max(1),
-                    red: (full_bw.red / group.len().max(1)).max(1),
-                };
-                let opts = EngineOptions::plain(share);
+                if produce.is_some() || consume.is_some() {
+                    return Err(ChainError::PipelinedParallelNode { node: i });
+                }
+                // Concurrent members occupy disjoint PE partitions: their
+                // tilings must fit the machine together, like a pipelined
+                // split must.
+                let allocated: usize = group.iter().map(Stage::pe_footprint).sum();
+                if allocated > cfg.num_pes {
+                    return Err(ChainError::PartitionOversubscribed {
+                        allocated,
+                        available: cfg.num_pes,
+                    });
+                }
+                // NoC bandwidth is shared between the concurrently-running
+                // members in proportion to their PE allocations, exactly as the
+                // PP cost model splits it between phases (Section V-C3).
                 node_stats.push(
-                    group.iter().map(|s| (s.name.clone(), s.run(cfg, &opts))).collect(),
+                    group
+                        .iter()
+                        .map(|s| {
+                            let opts =
+                                EngineOptions::plain(cfg.bandwidth_fraction(s.pe_footprint()));
+                            (s.name.clone(), s.run(cfg, &opts))
+                        })
+                        .collect(),
                 );
             }
         }
@@ -215,7 +424,7 @@ pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> ChainReport {
         stages.extend(group);
     }
     let energy = EnergyBreakdown::from_counters(&counters, &EnergyModel::paper_default(), None);
-    ChainReport { stages, total_cycles: total, counters, energy }
+    Ok(ChainReport { stages, total_cycles: total, counters, energy })
 }
 
 #[cfg(test)]
@@ -253,7 +462,7 @@ mod tests {
             links: vec![Link::Sequential],
         };
         let cfg = AccelConfig::paper_default();
-        let r = evaluate_chain(&chain, &cfg);
+        let r = evaluate_chain(&chain, &cfg).unwrap();
         assert_eq!(r.stages.len(), 2);
         assert_eq!(r.total_cycles, r.stages[0].1.cycles + r.stages[1].1.cycles);
         assert!(r.energy.total_pj() > 0.0);
@@ -269,7 +478,7 @@ mod tests {
             links: vec![],
         };
         let cfg = AccelConfig::paper_default();
-        let r = evaluate_chain(&chain, &cfg);
+        let r = evaluate_chain(&chain, &cfg).unwrap();
         let max = r.stages.iter().map(|(_, s)| s.cycles).max().unwrap();
         assert_eq!(r.total_cycles, max);
     }
@@ -288,14 +497,82 @@ mod tests {
         };
         let pip = Chain {
             nodes: vec![ChainNode::Single(producer), ChainNode::Single(consumer)],
-            links: vec![Link::Pipelined { pel }],
+            links: vec![Link::pipelined(pel)],
         };
         let cfg = AccelConfig::paper_default();
-        let r_seq = evaluate_chain(&seq, &cfg);
-        let r_pip = evaluate_chain(&pip, &cfg);
+        let r_seq = evaluate_chain(&seq, &cfg).unwrap();
+        let r_pip = evaluate_chain(&pip, &cfg).unwrap();
         assert!(r_pip.total_cycles <= r_seq.total_cycles);
         let slower = r_pip.stages.iter().map(|(_, s)| s.cycles).max().unwrap();
         assert!(r_pip.total_cycles >= slower);
+    }
+
+    #[test]
+    fn partitioned_pipelined_link_throttles_both_sides() {
+        let producer = Stage::spmm("embed", vec![4; 64], 16, agg_tiling([8, 8, 1]));
+        let consumer = gemm_stage("top", 64, 16, 8);
+        let pel = 8 * 16;
+        let cfg = AccelConfig::paper_default();
+        let ideal = Chain {
+            nodes: vec![ChainNode::Single(producer.clone()), ChainNode::Single(consumer.clone())],
+            links: vec![Link::pipelined(pel)],
+        };
+        let split = Chain {
+            nodes: vec![ChainNode::Single(producer), ChainNode::Single(consumer)],
+            links: vec![Link::pipelined_split(pel, 256, 256)],
+        };
+        let r_ideal = evaluate_chain(&ideal, &cfg).unwrap();
+        let r_split = evaluate_chain(&split, &cfg).unwrap();
+        // Halving the NoC share can only slow the stages down.
+        assert!(r_split.total_cycles >= r_ideal.total_cycles);
+        for ((_, a), (_, b)) in r_split.stages.iter().zip(&r_ideal.stages) {
+            assert!(a.cycles >= b.cycles);
+        }
+    }
+
+    #[test]
+    fn partition_errors_are_typed() {
+        let cfg = AccelConfig::paper_default();
+        let mk = |link: Link| Chain {
+            nodes: vec![
+                ChainNode::Single(gemm_stage("a", 32, 16, 8)), // footprint 64
+                ChainNode::Single(gemm_stage("b", 32, 8, 4)),
+            ],
+            links: vec![link],
+        };
+        // Producer squeezed below its 64-PE footprint.
+        assert_eq!(
+            evaluate_chain(&mk(Link::pipelined_split(64, 32, 480)), &cfg).unwrap_err(),
+            ChainError::PartitionTooSmall { node: 0, allocated: 32, footprint: 64 }
+        );
+        // Consumer squeezed below its footprint.
+        assert_eq!(
+            evaluate_chain(&mk(Link::pipelined_split(64, 448, 32)), &cfg).unwrap_err(),
+            ChainError::PartitionTooSmall { node: 1, allocated: 32, footprint: 64 }
+        );
+        // More PEs than the machine has.
+        assert_eq!(
+            evaluate_chain(&mk(Link::pipelined_split(64, 400, 200)), &cfg).unwrap_err(),
+            ChainError::PartitionOversubscribed { allocated: 600, available: 512 }
+        );
+    }
+
+    #[test]
+    fn oversubscribed_parallel_group_is_an_error() {
+        // Two full-array tilings cannot run concurrently: the proportional
+        // bandwidth model would otherwise credit the group with more NoC than
+        // the machine has.
+        let chain = Chain {
+            nodes: vec![ChainNode::Parallel(vec![
+                Stage::gemm("a", GemmDims { v: 64, f: 64, g: 64 }, cmb_tiling([32, 16, 1])),
+                Stage::gemm("b", GemmDims { v: 64, f: 64, g: 64 }, cmb_tiling([32, 16, 1])),
+            ])],
+            links: vec![],
+        };
+        assert_eq!(
+            evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
+            ChainError::PartitionOversubscribed { allocated: 1024, available: 512 }
+        );
     }
 
     #[test]
@@ -312,28 +589,87 @@ mod tests {
             links: vec![Link::Sequential],
         };
         let cfg = AccelConfig::paper_default();
-        let r = evaluate_chain(&chain, &cfg);
+        let r = evaluate_chain(&chain, &cfg).unwrap();
         assert_eq!(r.stages.len(), 3);
         assert!(r.total_cycles > 0);
     }
 
     #[test]
-    #[should_panic(expected = "one link")]
-    fn wrong_link_count_panics() {
-        let chain = Chain { nodes: vec![ChainNode::Single(gemm_stage("a", 4, 4, 4))], links: vec![Link::Sequential] };
-        evaluate_chain(&chain, &AccelConfig::paper_default());
+    fn wrong_link_count_is_an_error() {
+        let chain = Chain {
+            nodes: vec![ChainNode::Single(gemm_stage("a", 4, 4, 4))],
+            links: vec![Link::Sequential],
+        };
+        assert_eq!(
+            evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
+            ChainError::LinkCountMismatch { nodes: 1, links: 1 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "single stages")]
-    fn pipelined_parallel_panics() {
+    fn pipelined_parallel_is_an_error() {
         let chain = Chain {
             nodes: vec![
                 ChainNode::Parallel(vec![gemm_stage("a", 4, 4, 4)]),
                 ChainNode::Single(gemm_stage("b", 4, 4, 4)),
             ],
-            links: vec![Link::Pipelined { pel: 4 }],
+            links: vec![Link::pipelined(4)],
         };
-        evaluate_chain(&chain, &AccelConfig::paper_default());
+        assert_eq!(
+            evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
+            ChainError::PipelinedParallelNode { node: 0 }
+        );
+        // The same link arriving *at* a parallel node is equally rejected.
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Single(gemm_stage("a", 4, 4, 4)),
+                ChainNode::Parallel(vec![gemm_stage("b", 4, 4, 4)]),
+            ],
+            links: vec![Link::pipelined(4)],
+        };
+        assert_eq!(
+            evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
+            ChainError::PipelinedParallelNode { node: 1 }
+        );
+    }
+
+    #[test]
+    fn pipelined_both_sides_is_an_error() {
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Single(gemm_stage("a", 16, 8, 8)),
+                ChainNode::Single(gemm_stage("b", 16, 8, 8)),
+                ChainNode::Single(gemm_stage("c", 16, 8, 8)),
+            ],
+            links: vec![Link::pipelined(8), Link::pipelined(8)],
+        };
+        assert_eq!(
+            evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
+            ChainError::PipelinedBothSides { node: 1 }
+        );
+    }
+
+    #[test]
+    fn residency_flags_remove_intermediate_traffic() {
+        use omega_accel::OperandClass;
+        let producer = Stage::spmm("agg", vec![4; 64], 16, agg_tiling([8, 8, 1]));
+        let consumer = gemm_stage("cmb", 64, 16, 8);
+        let cfg = AccelConfig::paper_default();
+        let plain = Chain {
+            nodes: vec![ChainNode::Single(producer.clone()), ChainNode::Single(consumer.clone())],
+            links: vec![Link::Sequential],
+        };
+        let resident = Chain {
+            nodes: vec![
+                ChainNode::Single(producer.with_residency(false, true)),
+                ChainNode::Single(consumer.with_residency(true, false)),
+            ],
+            links: vec![Link::Sequential],
+        };
+        let r_plain = evaluate_chain(&plain, &cfg).unwrap();
+        let r_res = evaluate_chain(&resident, &cfg).unwrap();
+        assert!(r_plain.counters.gb_of(OperandClass::Intermediate) > 0);
+        assert_eq!(r_res.counters.gb_of(OperandClass::Intermediate), 0);
+        assert!(r_res.total_cycles <= r_plain.total_cycles);
     }
 }

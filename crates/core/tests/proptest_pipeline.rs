@@ -1,0 +1,107 @@
+//! Property tests for the PP pipeline schedule and chunk-stream resampling
+//! (Section IV-C): `pipeline_runtime` is bounded by its phases and robust to
+//! chunk reordering, `resample_durations` preserves totals exactly.
+
+use proptest::prelude::*;
+
+use omega_core::{pipeline_runtime, resample_durations};
+
+/// Deterministic Fisher–Yates over the *interior* indices `1..len-1`, seeded by
+/// a SplitMix64 walk — the first and last chunks (fill and drain) stay put.
+fn permute_interior(v: &[u64], seed: u64) -> Vec<u64> {
+    let mut out = v.to_vec();
+    if out.len() <= 3 {
+        return out;
+    }
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (2..out.len() - 1).rev() {
+        let j = 1 + (next() % i as u64) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Aligned producer/consumer chunk streams of equal (non-zero) length.
+fn chunk_pairs() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    proptest::collection::vec((0u64..2_000, 0u64..2_000), 1..48)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fill + overlapped steps + drain is bracketed by the slower phase below
+    /// and the sequential sum above: `max(Σp, Σc) ≤ runtime ≤ Σp + Σc`.
+    #[test]
+    fn pipeline_runtime_is_bounded_by_its_phases((p, c) in chunk_pairs()) {
+        let total = pipeline_runtime(&p, &c);
+        let sp: u64 = p.iter().sum();
+        let sc: u64 = c.iter().sum();
+        prop_assert!(total >= sp.max(sc), "{} < max({}, {})", total, sp, sc);
+        prop_assert!(total <= sp + sc, "{} > {} + {}", total, sp, sc);
+    }
+
+    /// Reordering the interior chunks (fill and drain fixed) keeps the
+    /// schedule inside the same bracket — in particular no permutation ever
+    /// beats the slower phase's total or exceeds the sequential sum.
+    #[test]
+    fn interior_chunk_permutations_stay_bounded(
+        (p, c) in chunk_pairs(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let pp = permute_interior(&p, seed);
+        let cp = permute_interior(&c, seed ^ 0xD6E8_FEB8_6659_FD93);
+        let sp: u64 = p.iter().sum();
+        let sc: u64 = c.iter().sum();
+        // Permutation preserves the per-phase totals…
+        prop_assert_eq!(pp.iter().sum::<u64>(), sp);
+        prop_assert_eq!(cp.iter().sum::<u64>(), sc);
+        // …so every permuted schedule obeys the same bracket.
+        let total = pipeline_runtime(&pp, &cp);
+        prop_assert!(total >= sp.max(sc));
+        prop_assert!(total <= sp + sc);
+    }
+
+    /// Resampling preserves the total exactly and returns exactly `k` chunks.
+    #[test]
+    fn resample_preserves_total_and_length(
+        d in proptest::collection::vec(0u64..5_000, 0..40),
+        k in 1usize..64,
+    ) {
+        let r = resample_durations(&d, k);
+        prop_assert_eq!(r.len(), k);
+        prop_assert_eq!(r.iter().sum::<u64>(), d.iter().sum::<u64>());
+        // Uniform split: chunks differ by at most one cycle.
+        let (min, max) = (*r.iter().min().unwrap(), *r.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "{:?}", r);
+    }
+
+    /// `k = 1` collapses to the plain sum (a single sequential chunk).
+    #[test]
+    fn resample_to_one_chunk_is_the_sum(d in proptest::collection::vec(0u64..5_000, 0..40)) {
+        prop_assert_eq!(resample_durations(&d, 1), vec![d.iter().sum::<u64>()]);
+    }
+
+    /// Resampling a consumer stream to the producer's chunk count never breaks
+    /// the pipeline bracket — the invariant `evaluate_chain` relies on when
+    /// producer and consumer chunk counts disagree.
+    #[test]
+    fn pipeline_with_resampled_consumer_stays_bounded(
+        p in proptest::collection::vec(0u64..2_000, 1..48),
+        c in proptest::collection::vec(0u64..2_000, 1..48),
+    ) {
+        let cr = resample_durations(&c, p.len());
+        let total = pipeline_runtime(&p, &cr);
+        let sp: u64 = p.iter().sum();
+        let sc: u64 = c.iter().sum();
+        prop_assert!(total >= sp.max(sc));
+        prop_assert!(total <= sp + sc);
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! DLRM inference is "an SpMM and a DenseGEMM in parallel followed by
 //! concatenation followed by a DenseGEMM". This example builds that chain from
-//! the same phase engines and compares sequential vs pipelined composition of
-//! the back half.
+//! the same phase engines and compares sequential, idealised-pipelined, and
+//! PE-partitioned (PP) composition of the two-layer top MLP — and shows the
+//! typed [`ChainError`] a structurally impossible chain now returns instead of
+//! panicking.
 //!
 //! ```sh
 //! cargo run --release --example dlrm_multiphase
@@ -35,38 +37,35 @@ fn main() {
 
     // A batch of 2048 requests. Each gathers 32 sparse embeddings of width 64
     // (SpMM over a multi-hot lookup matrix) while the bottom MLP transforms the
-    // 64 dense features; the concatenated 128-wide vector feeds the top MLP.
+    // 64 dense features; the concatenated 128-wide vector feeds a 2-layer top
+    // MLP whose stages can be pipelined producer/consumer.
     let batch = 2048;
-    let lookups_per_request = 32;
-    let embedding_width = 64;
+    let front = ChainNode::Parallel(vec![
+        Stage::spmm("embedding-gather", vec![32; batch], 64, agg_tiling([16, 16, 1])),
+        Stage::gemm("bottom-mlp", GemmDims { v: batch, f: 64, g: 64 }, cmb_tiling([16, 16, 1])),
+    ]);
+    let top1 = |t: [usize; 3]| {
+        Stage::gemm("top-mlp-1", GemmDims { v: batch, f: 128, g: 64 }, cmb_tiling(t))
+    };
+    let top2 = |t: [usize; 3]| {
+        Stage::gemm("top-mlp-2", GemmDims { v: batch, f: 64, g: 32 }, cmb_tiling(t))
+    };
 
-    // Parallel front end: each branch is tiled onto half the array.
-    let embedding = Stage::spmm(
-        "embedding-gather",
-        vec![lookups_per_request; batch],
-        embedding_width,
-        agg_tiling([16, 16, 1]),
-    );
-    let bottom_mlp = Stage::gemm(
-        "bottom-mlp",
-        GemmDims { v: batch, f: 64, g: 64 },
-        cmb_tiling([16, 16, 1]),
-    );
-    let top_dims = GemmDims { v: batch, f: 128, g: 32 };
-
-    for (label, link) in [
-        ("sequential concat -> top MLP", Link::Sequential),
-        ("row-pipelined concat -> top MLP (Pel = 64 rows)", Link::Pipelined { pel: 64 * 128 }),
-    ] {
-        // Rebuild the front end per run (stages are consumed by the chain).
+    // The top-MLP handoff is 2048×64 elements; pipeline it 64 rows at a time.
+    let pel = 64 * 64;
+    let variants: [(&str, [usize; 3], [usize; 3], Link); 3] = [
+        ("sequential top MLP", [16, 16, 2], [16, 16, 1], Link::Sequential),
+        // Idealised: both stages keep the full NoC — an upper bound.
+        ("pipelined top MLP (idealised)", [16, 16, 2], [16, 16, 1], Link::pipelined(pel)),
+        // Physical PP: 256/256 PE partition, proportionally split bandwidth.
+        ("pipelined top MLP (PP 256/256)", [16, 16, 1], [16, 16, 1], Link::pipelined_split(pel, 256, 256)),
+    ];
+    for (label, t1, t2, link) in variants {
         let chain = Chain {
-            nodes: vec![
-                ChainNode::Parallel(vec![embedding.clone(), bottom_mlp.clone()]),
-                ChainNode::Single(Stage::gemm("top-mlp", top_dims, cmb_tiling([16, 16, 2]))),
-            ],
-            links: vec![link],
+            nodes: vec![front.clone(), ChainNode::Single(top1(t1)), ChainNode::Single(top2(t2))],
+            links: vec![Link::Sequential, link],
         };
-        let report = evaluate_chain(&chain, &hw);
+        let report = evaluate_chain(&chain, &hw).expect("chain is structurally valid");
         println!("{label}:");
         for (name, stats) in &report.stages {
             println!(
@@ -84,6 +83,16 @@ fn main() {
         );
     }
 
+    // Pipelining into the parallel front end is structurally impossible —
+    // historically a panic, now a typed error the mapper can skip over.
+    let bad = Chain {
+        nodes: vec![front, ChainNode::Single(top1([16, 16, 2]))],
+        links: vec![Link::pipelined(pel)],
+    };
+    let err = evaluate_chain(&bad, &hw).expect_err("parallel neighbours cannot pipeline");
+    println!("pipelining a Parallel neighbour is rejected: {err}\n");
+
     println!("the taxonomy's inter-phase analysis carries over unchanged: the");
-    println!("pipelined link applies the same sum(max(...)) composition as PP.");
+    println!("pipelined link applies the same sum(max(...)) composition as PP,");
+    println!("and the partitioned variant throttles each side to its NoC share.");
 }

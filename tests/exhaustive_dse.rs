@@ -60,6 +60,48 @@ fn streaming_and_collected_enumeration_agree() {
 }
 
 #[test]
+fn model_explore_winners_are_thread_count_invariant() {
+    use omega_gnn::core::dse::model::{explore_model, ModelDseOptions, ModelExploreOutcome};
+    use omega_gnn::core::models::GnnModel;
+
+    let hw = AccelConfig::paper_default();
+    let workload = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);
+    let model = GnnModel::gcn_2layer(7);
+    let cache = DseCache::new();
+    let run = |threads: usize, chunk: usize| -> ModelExploreOutcome {
+        explore_model(
+            &model,
+            &workload,
+            &hw,
+            &ModelDseOptions {
+                threads,
+                chunk,
+                top_k: 4,
+                per_layer_k: 3,
+                pel_rungs: 2,
+                ..Default::default()
+            },
+            &cache,
+        )
+    };
+    let a = run(1, 16);
+    let b = run(2, 7);
+    let c = run(8, 1);
+    // Bit-identical ranked winners regardless of worker count and chunking.
+    let key = |o: &ModelExploreOutcome| -> Vec<(String, u64, Option<usize>)> {
+        o.ranked
+            .iter()
+            .map(|r| (format!("{}", r.mapping), r.report.total_cycles, r.index))
+            .collect()
+    };
+    assert!(!a.ranked.is_empty());
+    assert_eq!(key(&a), key(&b));
+    assert_eq!(key(&a), key(&c));
+    assert_eq!((a.evaluated, a.skipped, a.space), (b.evaluated, b.skipped, b.space));
+    assert_eq!((a.evaluated, a.skipped, a.space), (c.evaluated, c.skipped, c.space));
+}
+
+#[test]
 fn search_result_counts_are_consistent() {
     let hw = AccelConfig::paper_default();
     let workload = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);

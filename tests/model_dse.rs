@@ -1,0 +1,114 @@
+//! Model-level DSE acceptance (ISSUE 3): the streaming parallel joint search
+//! matches a brute-force enumeration of its space, and per-layer-specialised
+//! (+pipelined) mappings strictly beat the best uniform Table V preset on the
+//! Cora GCN-2 chain.
+
+use omega_gnn::core::dse::model::{
+    build_space, evaluate_mapping, explore_model, ModelDseOptions,
+};
+use omega_gnn::core::models::GnnModel;
+use omega_gnn::prelude::*;
+
+fn small_opts() -> ModelDseOptions {
+    ModelDseOptions {
+        threads: 2,
+        top_k: 3,
+        per_layer_k: 3,
+        pel_rungs: 3, // the ISSUE's "small exhaustive case" ladder
+        split_fractions: vec![0.25, 0.5, 0.75],
+        ..Default::default()
+    }
+}
+
+#[test]
+fn model_winner_matches_brute_force_enumeration_on_mutag() {
+    let hw = AccelConfig::paper_default();
+    let workload = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);
+    let model = GnnModel::gcn_2layer(7);
+    let opts = small_opts();
+    let cache = DseCache::new();
+
+    let out = explore_model(&model, &workload, &hw, &opts, &cache);
+    let best = out.best().expect("non-empty space");
+
+    // Brute force: walk the identical joint space sequentially and keep the
+    // minimum by (score, index) — exactly the search's deterministic order.
+    let space = build_space(&model, &workload, &hw, &opts, &cache);
+    assert_eq!(space.len(), out.space);
+    let mut brute: Option<(f64, usize, u64, String)> = None;
+    let mut evaluated = 0;
+    let mut skipped = 0;
+    for i in 0..space.len() {
+        let mapping = space.mapping(i);
+        match evaluate_mapping(&model, &workload, &mapping, &hw, opts.objective) {
+            Ok((score, report)) => {
+                evaluated += 1;
+                if brute.as_ref().is_none_or(|b| score < b.0) {
+                    brute = Some((score, i, report.total_cycles, format!("{mapping}")));
+                }
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    let (b_score, b_index, b_cycles, b_desc) = brute.expect("at least one feasible mapping");
+
+    // The parallel streaming search found the same winner, bit for bit —
+    // unless a uniform-preset seed won, which the enumerated space must then
+    // have tied (seeds can only improve the result).
+    assert!(best.score <= b_score);
+    match best.index {
+        Some(idx) => {
+            assert_eq!(best.score, b_score, "winner drifted from brute force");
+            assert_eq!(idx, b_index);
+            assert_eq!(best.report.total_cycles, b_cycles);
+            assert_eq!(format!("{}", best.mapping), b_desc);
+        }
+        None => panic!("seeded uniform chain beat the whole joint space: {b_desc}"),
+    }
+    // Coverage accounting agrees with the brute-force walk (seeds on top).
+    assert_eq!(out.evaluated - out.seeded, evaluated);
+    assert_eq!(out.skipped, skipped);
+    assert_eq!(evaluated + skipped, space.len());
+}
+
+#[test]
+fn cora_gcn2_specialised_mapping_strictly_beats_best_uniform_preset() {
+    let hw = AccelConfig::paper_default();
+    let workload = GnnWorkload::gcn_layer(&DatasetSpec::cora().generate(3), 16);
+    let model = GnnModel::gcn_2layer(7);
+    let opts = ModelDseOptions { threads: 4, per_layer_k: 4, top_k: 12, ..Default::default() };
+    let cache = DseCache::new();
+    let out = explore_model(&model, &workload, &hw, &opts, &cache);
+
+    let best = out.best().expect("winner");
+    let uniform = out.uniform.as_ref().expect("uniform baseline");
+    // The acceptance headline: per-layer specialisation beats the best single
+    // Table V preset applied to every layer, strictly.
+    assert!(
+        best.report.total_cycles < uniform.total_cycles,
+        "winner {} vs uniform {} ({})",
+        best.report.total_cycles,
+        uniform.total_cycles,
+        uniform.preset
+    );
+    assert!(best.index.is_some(), "winner is a real member of the joint space");
+    // Layer specialisation: the two layers' dataflows differ (F flips from
+    // 1433 to 16 across the boundary, so the best patterns do too).
+    let dfs = &best.mapping.layer_dataflows;
+    assert_eq!(dfs.len(), 2);
+    assert_ne!(dfs[0], dfs[1], "{}", best.mapping);
+    // And the ranked report contains a *pipelined* specialised mapping that
+    // also strictly beats the uniform preset (on Cora it ties the optimum:
+    // the tiny second layer pipelines at zero cost).
+    let pipelined_winner = out
+        .ranked
+        .iter()
+        .find(|r| r.mapping.is_pipelined())
+        .expect("a pipelined mapping ranks");
+    assert!(
+        pipelined_winner.report.total_cycles < uniform.total_cycles,
+        "pipelined {} vs uniform {}",
+        pipelined_winner.report.total_cycles,
+        uniform.total_cycles
+    );
+}
