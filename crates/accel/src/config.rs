@@ -140,7 +140,7 @@ impl AccelConfig {
 }
 
 /// The NoC bandwidth available to one phase during its execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct BandwidthShare {
     /// Distribution elements per cycle.
     pub dist: usize,

@@ -7,7 +7,7 @@ use super::{actual_tile, loop_classes, pass_timing, ChunkSide, ChunkTracker, Eng
 use crate::{AccelConfig, AccessCounters, PhaseStats, RfBudget};
 
 /// Matrix dimensions of a GEMM phase: `Output[V×G] += A[V×F] · B[F×G]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct GemmDims {
     /// Rows of `A` and the output (vertices).
     pub v: usize,

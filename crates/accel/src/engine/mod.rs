@@ -24,7 +24,7 @@ mod gemm;
 mod spmm;
 
 pub use gemm::{simulate_gemm, GemmDims};
-pub use spmm::{simulate_spmm, SpmmWorkload};
+pub use spmm::{simulate_spmm, simulate_spmm_prepared, PreparedSpmm, SpmmWorkload};
 
 use serde::Serialize;
 
@@ -34,7 +34,7 @@ use crate::{BandwidthShare, OperandClass};
 /// the traffic lands in. The assignment depends on the phase order: e.g. in AC
 /// the Combination's streaming input is the `Intermediate`; in CA it is the raw
 /// `Input` features and its output is the `Intermediate`.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct OperandClasses {
     /// The dense matrix streamed as the "A" operand (features or intermediate).
     pub a_input: OperandClass,
@@ -83,7 +83,7 @@ impl OperandClasses {
 }
 
 /// Which side of the intermediate matrix chunk timestamps track.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum ChunkSide {
     /// This phase produces the intermediate: mark every `pel` elements written.
     Produce,
@@ -93,7 +93,7 @@ pub enum ChunkSide {
 }
 
 /// Chunk-timestamp request: emit a cumulative cycle mark per `pel` elements.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct ChunkSpec {
     /// Producer or consumer accounting.
     pub side: ChunkSide,
@@ -102,7 +102,11 @@ pub struct ChunkSpec {
 }
 
 /// Per-run engine options.
-#[derive(Debug, Clone, Copy)]
+///
+/// `Eq`/`Hash` make the options usable as part of a phase-simulation cache key
+/// (the engines are deterministic functions of workload × tiling × options):
+/// every field that changes a simulation result participates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineOptions {
     /// NoC bandwidth available to this phase.
     pub bandwidth: BandwidthShare,

@@ -35,6 +35,41 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE 4 headline: phase-factored + pruned vs brute-force reference,
+/// single-threaded, per dataset (the configuration `BENCH_dse.json` records —
+/// regenerate its numbers from this bench's output after engine changes).
+fn bench_factored_vs_reference(c: &mut Criterion) {
+    let cfg = AccelConfig::paper_default();
+    for dataset in ["Mutag", "Proteins", "Citeseer"] {
+        let wl = workload(dataset);
+        let mut group = c.benchmark_group(format!("dse_single_thread/{dataset}"));
+        // The reference arm re-simulates every candidate twice; keep the
+        // sample count low so the slow arm stays tractable.
+        group.sample_size(3);
+        for (name, prune, phase_cache) in
+            [("factored", true, true), ("reference", false, false)]
+        {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| {
+                    let out = explore(
+                        &wl,
+                        &cfg,
+                        &DseOptions {
+                            threads: 1,
+                            prune,
+                            phase_cache,
+                            ..DseOptions::new(Objective::Runtime)
+                        },
+                    );
+                    assert_eq!(out.space, 6656);
+                    out.best().map(|r| r.report.total_cycles)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_objectives(c: &mut Criterion) {
     let wl = workload("Proteins");
     let cfg = AccelConfig::paper_default();
@@ -54,5 +89,5 @@ fn bench_objectives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(dse, bench_thread_scaling, bench_objectives);
+criterion_group!(dse, bench_factored_vs_reference, bench_thread_scaling, bench_objectives);
 criterion_main!(dse);

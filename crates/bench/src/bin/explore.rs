@@ -37,6 +37,9 @@ struct Args {
     threads: usize,
     top: usize,
     refine: bool,
+    prune: bool,
+    phase_cache: bool,
+    stats: bool,
     hidden: Option<usize>,
     pes: usize,
     bandwidth: Option<usize>,
@@ -53,6 +56,9 @@ fn parse_args() -> Result<Args, String> {
         threads: 8,
         top: 10,
         refine: false,
+        prune: true,
+        phase_cache: true,
+        stats: false,
         hidden: None,
         pes: 512,
         bandwidth: None,
@@ -86,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--top" => out.top = value(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?,
             "--refine" => out.refine = true,
+            "--no-prune" => out.prune = false,
+            "--no-phase-cache" => out.phase_cache = false,
+            "--stats" => out.stats = true,
             "--hidden" => {
                 out.hidden = Some(value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?)
             }
@@ -135,7 +144,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: explore [--dataset NAME] [--model gcn2|sage2|gin] \
                  [--objective runtime|energy|edp] [--threads N] [--top K] \
-                 [--per-layer-k K] [--refine] [--hidden G] [--pes N] \
+                 [--per-layer-k K] [--refine] [--no-prune] [--no-phase-cache] \
+                 [--stats] [--hidden G] [--pes N] \
                  [--bandwidth ELEMS] [--seed S] [--json PATH|-]"
             );
             return ExitCode::FAILURE;
@@ -170,6 +180,8 @@ fn main() -> ExitCode {
         threads: args.threads,
         top_k: args.top,
         refine_steps: if args.refine { 16 } else { 0 },
+        prune: args.prune,
+        phase_cache: args.phase_cache,
         ..DseOptions::default()
     };
     let outcome = explore(&workload, &cfg, &opts);
@@ -189,6 +201,20 @@ fn main() -> ExitCode {
         outcome.elapsed_ms / 1e3,
         if args.refine { format!(" (incl. {} refinement evals)", outcome.refine_evals) } else { String::new() },
     );
+    if args.stats {
+        // The factored-engine observables (also in the JSON outcome): unique
+        // phase sims vs reuse, and how much of the space the admissible
+        // lower bound pruned without simulating.
+        let lookups = outcome.phase_sims + outcome.phase_cache_hits;
+        println!(
+            "stats     phase_sims={} phase_cache_hits={} ({:.1}% reuse), pruned={} ({:.1}% of space)",
+            outcome.phase_sims,
+            outcome.phase_cache_hits,
+            100.0 * outcome.phase_cache_hits as f64 / lookups.max(1) as f64,
+            outcome.pruned,
+            100.0 * outcome.pruned as f64 / outcome.space.max(1) as f64,
+        );
+    }
     println!();
     print_ranked(&outcome, args.objective);
 
@@ -198,7 +224,7 @@ fn main() -> ExitCode {
         let preset_best = mapper::extended_candidates(&workload, &cfg)
             .iter()
             .filter_map(|df| evaluate(&workload, df, &cfg).ok().map(|r| (args.objective.score(&r), df.to_string())))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+            .min_by(|a, b| a.0.total_cmp(&b.0));
         if let Some((preset_score, preset_name)) = preset_best {
             println!(
                 "\npreset gap: best preset {} scores {:.4e}; exhaustive optimum {:.4e} ({:.2}% on the table)",
@@ -236,6 +262,13 @@ fn run_model(model: &GnnModel, workload: &GnnWorkload, cfg: &AccelConfig, args: 
         eprintln!(
             "error: --hidden and --refine have no effect with --model \
              (layer widths come from the model; tile refinement is layer-level only)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !args.prune || !args.phase_cache || args.stats {
+        eprintln!(
+            "error: --no-prune/--no-phase-cache/--stats are layer-level flags \
+             (the model search always uses the factored per-layer engine)"
         );
         return ExitCode::FAILURE;
     }

@@ -45,7 +45,7 @@ fn best(points: &[(String, u64, f64)]) -> (String, u64, String, f64) {
     let best_rt = points.iter().min_by_key(|(_, c, _)| *c).expect("non-empty");
     let best_en = points
         .iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .min_by(|a, b| a.2.total_cmp(&b.2))
         .expect("non-empty");
     let worst_rt = points.iter().map(|(_, c, _)| *c).max().expect("non-empty");
     (best_rt.0.clone(), best_rt.1, best_en.0.clone(), worst_rt as f64 / best_rt.1 as f64)

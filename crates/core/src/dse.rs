@@ -23,7 +23,7 @@
 //!   the same workload.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -35,8 +35,9 @@ use omega_dataflow::enumerate::PatternSpace;
 use omega_dataflow::tiles::{choose_tiling, Cap, PhasePolicy};
 use omega_dataflow::{Dim, GnnDataflow, GnnDataflowPattern, InterPhase, IntraPattern, MappingSpec};
 
+use crate::evaluate::DseEval;
 use crate::mapper::{refine_tiles, Objective};
-use crate::{evaluate, CostReport, GnnWorkload};
+use crate::{CostReport, GnnWorkload, PhaseSimCache, PreparedEval};
 
 pub mod model;
 
@@ -56,6 +57,15 @@ pub struct DseOptions {
     /// Also evaluate the Table V presets + CA companions as seeds, so the
     /// reported optimum is never worse than any preset's hand-tuned tiling.
     pub seed_presets: bool,
+    /// Skip simulating candidates whose admissible cycle lower bound already
+    /// exceeds the worst retained top-K score (active under the `Runtime`
+    /// objective only; the ranked output is bit-identical either way —
+    /// disable to exercise the brute-force reference path).
+    pub prune: bool,
+    /// Memoise phase simulations across candidates, so `Sequential`/`SP`
+    /// sweeps pay for each *unique* phase configuration once (bit-identical
+    /// results; disable to exercise the uncached reference path).
+    pub phase_cache: bool,
 }
 
 impl Default for DseOptions {
@@ -67,6 +77,8 @@ impl Default for DseOptions {
             refine_steps: 0,
             chunk: 64,
             seed_presets: true,
+            prune: true,
+            phase_cache: true,
         }
     }
 }
@@ -103,6 +115,16 @@ pub struct ExploreOutcome {
     pub evaluated: usize,
     /// Candidates rejected by dataflow validation.
     pub skipped: usize,
+    /// Candidates whose admissible cycle lower bound proved they cannot enter
+    /// the ranked top-K, skipped without simulation ([`DseOptions::prune`]).
+    pub pruned: usize,
+    /// Phase simulations the explorer's [`PhaseSimCache`] actually ran —
+    /// unique phase configurations (0 when the cache is disabled: direct
+    /// simulations are not counted).
+    pub phase_sims: usize,
+    /// Phase-simulation lookups answered from the cache instead of re-running
+    /// an engine (0 when [`DseOptions::phase_cache`] is off).
+    pub phase_cache_hits: usize,
     /// Preset seeds evaluated.
     pub seeded: usize,
     /// Evaluations spent by the refinement stage.
@@ -157,6 +179,13 @@ pub fn concretize_pattern(
     }
 }
 
+/// Total order on a `(score, tie-break index)` search key: `f64::total_cmp` on
+/// the score — so a NaN objective value can never panic the search mid-sweep
+/// (NaN sorts after every finite score and +∞) — then the index.
+pub(crate) fn key_cmp(a: (f64, usize), b: (f64, usize)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
 /// A candidate with its evaluation, as tracked inside the search (tie-broken by
 /// `index` so results are independent of thread interleaving).
 #[derive(Debug, Clone)]
@@ -167,31 +196,57 @@ struct Entry<C, R> {
     report: R,
 }
 
-/// Bounded best-K accumulator, kept sorted ascending by `(score, index)`.
+impl<C, R> Entry<C, R> {
+    fn key(&self) -> (f64, usize) {
+        (self.score, self.index)
+    }
+}
+
+/// Bounded best-K accumulator, kept sorted ascending by `(score, index)` and
+/// deduplicated by candidate: capacity counts *distinct* candidates, with only
+/// the best-keyed entry kept per candidate.
+///
+/// Distinctness is what makes [`TopK::worst_at_capacity`] a sound *global*
+/// pruning threshold: once a worker retains `k` distinct candidates, any
+/// candidate that cannot beat the worst of them can never appear in the final
+/// ranked list (which also dedups by candidate), no matter which worker would
+/// have evaluated it.
 #[derive(Debug)]
 struct TopK<C, R> {
     k: usize,
     entries: Vec<Entry<C, R>>,
 }
 
-impl<C, R> TopK<C, R> {
+impl<C: PartialEq, R> TopK<C, R> {
     fn new(k: usize) -> Self {
         TopK { k: k.max(1), entries: Vec::with_capacity(k.max(1) + 1) }
     }
 
     fn offer(&mut self, e: Entry<C, R>) {
-        let key = (e.score, e.index);
-        if self.entries.len() == self.k {
+        use std::cmp::Ordering::{Greater, Less};
+        let key = e.key();
+        if let Some(pos) = self.entries.iter().position(|x| x.candidate == e.candidate) {
+            // Same candidate seen before: keep whichever entry sorts first.
+            if key_cmp(self.entries[pos].key(), key) != Greater {
+                return;
+            }
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.k {
             let worst = self.entries.last().expect("non-empty at capacity");
-            if (worst.score, worst.index) <= key {
+            if key_cmp(key, worst.key()) != Less {
                 return;
             }
         }
-        let pos = self
-            .entries
-            .partition_point(|x| (x.score, x.index) < key);
+        let pos = self.entries.partition_point(|x| key_cmp(x.key(), key) == Less);
         self.entries.insert(pos, e);
         self.entries.truncate(self.k);
+    }
+
+    /// The worst retained score once `k` distinct candidates are held —
+    /// monotonically non-increasing over a worker's lifetime, hence safe to
+    /// publish into the shared pruning threshold at any point.
+    fn worst_at_capacity(&self) -> Option<f64> {
+        (self.entries.len() == self.k).then(|| self.entries.last().expect("at capacity").score)
     }
 }
 
@@ -201,6 +256,16 @@ pub(crate) type Scored = (f64, usize, GnnDataflow, CostReport);
 /// A generic scored candidate: `(score, tie-break index, candidate, report)`.
 pub(crate) type ScoredEntry<C, R> = (f64, usize, C, R);
 
+/// How one candidate fared inside [`parallel_search`].
+pub(crate) enum Verdict<R> {
+    /// Evaluated successfully: `(objective value, report)`.
+    Score(f64, R),
+    /// Structurally invalid — counted as skipped, as if it never evaluated.
+    Skip,
+    /// Lower-bound-pruned against the shared threshold — simulation elided.
+    Prune,
+}
+
 /// Shape of any streaming parallel candidate search.
 pub(crate) struct ParallelJob {
     /// Winners to keep per worker (and overall).
@@ -208,35 +273,49 @@ pub(crate) struct ParallelJob {
     pub threads: usize,
     /// Candidates per work-queue claim.
     pub chunk: usize,
+    /// Starting value of the shared pruning threshold (`f64::INFINITY` when no
+    /// pre-evaluated entries warrant one).
+    pub init_threshold: f64,
 }
 
 /// Evaluates `count` candidates produced on demand by `gen` across scoped
 /// workers pulling chunked ranges from an atomic cursor; `score` turns a
-/// candidate into `(objective value, report)` or `None` when the candidate is
-/// invalid. Returns the merged (unsorted) per-worker top-K lists plus
-/// `(evaluated, skipped)` counts.
+/// candidate (plus the current pruning threshold) into a [`Verdict`]. Returns
+/// the merged (unsorted) per-worker top-K lists plus
+/// `(evaluated, skipped, pruned)` counts.
+///
+/// Workers share one atomic pruning threshold: whenever a worker holds `k`
+/// *distinct* retained candidates it publishes its worst retained score
+/// (`fetch_min` over the float's bit pattern — non-negative floats order like
+/// their bits), and `score` may answer [`Verdict::Prune`] for any candidate
+/// whose admissible lower bound exceeds the threshold it was handed. The
+/// ranked outcome is bit-identical with pruning on or off; only the work
+/// performed differs.
 ///
 /// Generic over the candidate type: [`explore`] and [`crate::mapper::best_of`]
 /// search [`GnnDataflow`]s, [`model::explore_model`] searches whole-model
 /// mappings — all through this one deterministic (thread-count-invariant)
 /// primitive.
-pub(crate) fn parallel_search<C: Send, R: Send>(
+pub(crate) fn parallel_search<C: Send + PartialEq, R: Send>(
     count: usize,
     gen: &(dyn Fn(usize) -> C + Sync),
-    score: &(dyn Fn(&C) -> Option<(f64, R)> + Sync),
+    score: &(dyn Fn(&C, f64) -> Verdict<R> + Sync),
     job: &ParallelJob,
-) -> (Vec<ScoredEntry<C, R>>, usize, usize) {
+) -> (Vec<ScoredEntry<C, R>>, usize, usize, usize) {
     if count == 0 {
-        return (Vec::new(), 0, 0);
+        return (Vec::new(), 0, 0, 0);
     }
     let threads = job.threads.max(1).min(count);
     let cursor = AtomicUsize::new(0);
     let cursor = &cursor;
-    let run_worker = || -> (TopK<C, R>, usize, usize) {
+    let threshold = AtomicU64::new(job.init_threshold.max(0.0).to_bits());
+    let threshold = &threshold;
+    let run_worker = || -> (TopK<C, R>, usize, usize, usize) {
         let chunk = job.chunk.max(1);
         let mut top = TopK::new(job.k);
         let mut evaluated = 0usize;
         let mut skipped = 0usize;
+        let mut pruned = 0usize;
         loop {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= count {
@@ -244,18 +323,25 @@ pub(crate) fn parallel_search<C: Send, R: Send>(
             }
             for index in start..(start + chunk).min(count) {
                 let candidate = gen(index);
-                match score(&candidate) {
-                    Some((score, report)) => {
+                let thr = f64::from_bits(threshold.load(Ordering::Relaxed));
+                match score(&candidate, thr) {
+                    Verdict::Score(score, report) => {
                         evaluated += 1;
                         top.offer(Entry { score, index, candidate, report });
+                        if let Some(worst) = top.worst_at_capacity() {
+                            if worst >= 0.0 {
+                                threshold.fetch_min(worst.to_bits(), Ordering::Relaxed);
+                            }
+                        }
                     }
-                    None => skipped += 1,
+                    Verdict::Skip => skipped += 1,
+                    Verdict::Prune => pruned += 1,
                 }
             }
         }
-        (top, evaluated, skipped)
+        (top, evaluated, skipped, pruned)
     };
-    let results: Vec<(TopK<C, R>, usize, usize)> = thread::scope(|s| {
+    let results: Vec<(TopK<C, R>, usize, usize, usize)> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads).map(|_| s.spawn(|_| run_worker())).collect();
         handles.into_iter().map(|h| h.join().expect("dse worker panicked")).collect()
     })
@@ -264,12 +350,14 @@ pub(crate) fn parallel_search<C: Send, R: Send>(
     let mut merged = Vec::new();
     let mut evaluated = 0;
     let mut skipped = 0;
-    for (top, e, s) in results {
+    let mut pruned = 0;
+    for (top, e, s, p) in results {
         evaluated += e;
         skipped += s;
+        pruned += p;
         merged.extend(top.entries.into_iter().map(|e| (e.score, e.index, e.candidate, e.report)));
     }
-    (merged, evaluated, skipped)
+    (merged, evaluated, skipped, pruned)
 }
 
 /// Shared parameters of a parallel *dataflow* candidate search.
@@ -292,54 +380,86 @@ pub(crate) fn parallel_top_k(
     gen: &(dyn Fn(usize) -> GnnDataflow + Sync),
     job: &SearchJob<'_>,
 ) -> (Vec<Scored>, usize, usize) {
-    let pjob = ParallelJob { k: job.k, threads: job.threads, chunk: job.chunk };
-    let score = |dataflow: &GnnDataflow| -> Option<(f64, CostReport)> {
-        let mut report = evaluate(job.workload, dataflow, job.cfg).ok()?;
-        // Ranked winners don't need the per-chunk pipeline timeline, and a
-        // poorly-tiled PP candidate's marks run to millions of entries — drop
-        // them before retention so per-worker top-K memory stays bounded.
-        // (Re-run `evaluate` on a winner to recover its timeline.)
-        report.agg.chunk_marks = Vec::new();
-        report.cmb.chunk_marks = Vec::new();
-        Some((job.objective.score(&report), report))
+    let pjob = ParallelJob {
+        k: job.k,
+        threads: job.threads,
+        chunk: job.chunk,
+        init_threshold: f64::INFINITY,
     };
-    parallel_search(count, gen, &score, &pjob)
+    let prep = PreparedEval::new(job.workload, job.cfg);
+    let score = |dataflow: &GnnDataflow, _thr: f64| -> Verdict<CostReport> {
+        dse_verdict(prep.evaluate_dse(dataflow, None, None), job.objective)
+    };
+    let (merged, evaluated, skipped, _pruned) = parallel_search(count, gen, &score, &pjob);
+    (merged, evaluated, skipped)
+}
+
+/// Turns a [`DseEval`] into a search [`Verdict`], stripping the per-chunk
+/// pipeline timelines before retention: ranked winners don't need them, and a
+/// poorly-tiled PP candidate's marks run to millions of entries — dropping
+/// them keeps per-worker top-K memory bounded. (Re-run [`evaluate`] on a
+/// winner to recover its timeline.) Shared by [`parallel_top_k`] and
+/// [`explore`] so the mapper and explorer paths cannot diverge.
+fn dse_verdict(eval: DseEval, objective: Objective) -> Verdict<CostReport> {
+    match eval {
+        DseEval::Report(report) => {
+            let mut report = *report;
+            report.agg.chunk_marks = Vec::new();
+            report.cmb.chunk_marks = Vec::new();
+            Verdict::Score(objective.score(&report), report)
+        }
+        DseEval::Invalid => Verdict::Skip,
+        DseEval::Pruned => Verdict::Prune,
+    }
 }
 
 /// Exhaustively searches the full 6,656-pattern space for `workload` on `cfg`.
 ///
 /// Deterministic: the ranked result is independent of `threads` and `chunk`
-/// (ties broken by enumeration index).
+/// (ties broken by enumeration index) — and of [`DseOptions::prune`] and
+/// [`DseOptions::phase_cache`], which only change the work performed, never
+/// the ranked output.
 pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> ExploreOutcome {
     let t0 = Instant::now();
     let space = PatternSpace::new();
     let total = space.len();
     let threads = opts.threads.max(1);
-    let space_ref = &space;
-    let gen = move |i: usize| concretize_pattern(&space_ref.get(i), workload, cfg);
-    let job = SearchJob {
-        workload,
-        cfg,
-        objective: opts.objective,
-        k: opts.top_k,
-        threads,
-        chunk: opts.chunk,
-    };
-    let (mut merged, mut evaluated, skipped) = parallel_top_k(total, &gen, &job);
+    let prep = PreparedEval::new(workload, cfg);
+    let phase_cache = PhaseSimCache::new();
+    let cache_ref = opts.phase_cache.then_some(&phase_cache);
 
-    // Seed with the presets' hand-tuned concretisations (indices past the space
-    // keep tie-breaking deterministic and mark them as non-enumerated).
-    let mut seeded = 0;
+    // Seed with the presets' hand-tuned concretisations *before* the sweep
+    // (indices past the space keep tie-breaking deterministic and mark them as
+    // non-enumerated). Seeds are unconditionally part of the final pool, so
+    // under Runtime pruning their K-th best distinct score is a sound initial
+    // threshold — the sweep can prune from candidate one.
+    let mut seeds: Vec<Scored> = Vec::new();
     if opts.seed_presets {
         for (j, df) in crate::mapper::extended_candidates(workload, cfg).into_iter().enumerate() {
-            if let Ok(report) = evaluate(workload, &df, cfg) {
-                evaluated += 1;
-                seeded += 1;
+            if let DseEval::Report(report) = prep.evaluate_dse(&df, cache_ref, None) {
                 let score = opts.objective.score(&report);
-                merged.push((score, total + j, df, report));
+                seeds.push((score, total + j, df, *report));
             }
         }
     }
+    let seeded = seeds.len();
+    let pruning = opts.prune && opts.objective == Objective::Runtime;
+    let init_threshold =
+        if pruning { kth_distinct_score(&seeds, opts.top_k) } else { f64::INFINITY };
+
+    let space_ref = &space;
+    let gen = move |i: usize| concretize_pattern(&space_ref.get(i), workload, cfg);
+    let prep_ref = &prep;
+    let score = move |dataflow: &GnnDataflow, thr: f64| -> Verdict<CostReport> {
+        dse_verdict(
+            prep_ref.evaluate_dse(dataflow, cache_ref, pruning.then_some(thr)),
+            opts.objective,
+        )
+    };
+    let job = ParallelJob { k: opts.top_k, threads, chunk: opts.chunk, init_threshold };
+    let (mut merged, mut evaluated, skipped, pruned) = parallel_search(total, &gen, &score, &job);
+    evaluated += seeded;
+    merged.extend(seeds);
 
     let ranked = rank(merged, opts.top_k, total);
 
@@ -372,11 +492,34 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         space: total,
         evaluated,
         skipped,
+        pruned,
+        phase_sims: phase_cache.misses(),
+        phase_cache_hits: phase_cache.hits(),
         seeded,
         refine_evals,
         elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         threads,
     }
+}
+
+/// The `k`-th best distinct-dataflow score among pre-evaluated entries — the
+/// sound initial pruning threshold derived from the preset seeds (they are in
+/// the final pool unconditionally, so any candidate that cannot beat `k`
+/// distinct seeds can never be ranked). `INFINITY` with fewer distinct seeds.
+fn kth_distinct_score(seeds: &[Scored], k: usize) -> f64 {
+    let mut sorted: Vec<&Scored> = seeds.iter().collect();
+    sorted.sort_by(|a, b| key_cmp((a.0, a.1), (b.0, b.1)));
+    let mut distinct: Vec<&GnnDataflow> = Vec::new();
+    for s in sorted {
+        if distinct.iter().any(|d| **d == s.2) {
+            continue;
+        }
+        distinct.push(&s.2);
+        if distinct.len() == k.max(1) {
+            return s.0;
+        }
+    }
+    f64::INFINITY
 }
 
 /// Sorts by `(score, index)`, deduplicates identical concrete dataflows, and
@@ -386,7 +529,7 @@ fn rank(
     k: usize,
     space: usize,
 ) -> Vec<RankedDataflow> {
-    pool.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("scores are finite"));
+    pool.sort_by(|a, b| key_cmp((a.0, a.1), (b.0, b.1)));
     let mut out: Vec<RankedDataflow> = Vec::with_capacity(k);
     for (score, index, dataflow, report) in pool {
         if out.len() == k {
@@ -491,12 +634,43 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
     for &d in &workload.degrees {
         eat(&(d as u64).to_le_bytes());
     }
-    // The accelerator config and the result-affecting options, via their
-    // serialised forms (threads/chunk do not affect the deterministic result,
-    // so two searches differing only there share a key).
-    eat(serde_json::to_string(cfg).unwrap_or_default().as_bytes());
-    eat(format!("{:?}", opts.objective).as_bytes());
-    for x in [opts.top_k as u64, opts.refine_steps as u64, opts.seed_presets as u64] {
+    // The accelerator config, field by field. (This replaces a
+    // `serde_json::to_string` round-trip that ran on every cache lookup and
+    // silently degraded the key to "" on serialization failure.)
+    for x in [
+        cfg.num_pes as u64,
+        cfg.rf_bytes_per_pe as u64,
+        cfg.word_bytes as u64,
+        cfg.gb_bytes as u64,
+        cfg.gb_bank_bytes as u64,
+        cfg.dist_bandwidth as u64,
+        cfg.red_bandwidth as u64,
+        cfg.dist_latency,
+        cfg.tree_latency_per_level,
+    ] {
+        eat(&x.to_le_bytes());
+    }
+    eat(&[
+        cfg.knobs.psum_group_sharing as u8,
+        cfg.knobs.fractional_spill as u8,
+        cfg.knobs.per_pass_fill as u8,
+    ]);
+    // The result-affecting options (threads/chunk do not affect the
+    // deterministic ranked result, so two searches differing only there share
+    // a key; prune/phase_cache keep the ranked list bit-identical but change
+    // the recorded work counters, so they key the cached outcome too).
+    eat(&[match opts.objective {
+        Objective::Runtime => 0u8,
+        Objective::Energy => 1,
+        Objective::Edp => 2,
+    }]);
+    for x in [
+        opts.top_k as u64,
+        opts.refine_steps as u64,
+        opts.seed_presets as u64,
+        opts.prune as u64,
+        opts.phase_cache as u64,
+    ] {
         eat(&x.to_le_bytes());
     }
     h
@@ -505,6 +679,7 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluate;
     use omega_graph::DatasetSpec;
 
     fn wl() -> GnnWorkload {
@@ -520,10 +695,15 @@ mod tests {
         let cfg = AccelConfig::paper_default();
         let out = explore(&wl(), &cfg, &quick_opts());
         assert_eq!(out.space, 6656);
-        // Every pattern either evaluated or was rejected by validation; seeds
-        // come on top.
-        assert_eq!(out.evaluated - out.seeded + out.skipped, 6656);
+        // Every pattern either evaluated, was rejected by validation, or was
+        // lower-bound-pruned; seeds come on top.
+        assert_eq!(out.evaluated - out.seeded + out.skipped + out.pruned, 6656);
         assert_eq!(out.seeded, 12); // 9 presets + 3 CA companions
+        // The optimisation machinery actually engaged: candidates were pruned
+        // and Sequential/SP candidates shared phase simulations.
+        assert!(out.pruned > 0, "no candidate was lower-bound-pruned");
+        assert!(out.phase_cache_hits > 0, "no phase simulation was reused");
+        assert!(out.phase_sims < 2 * (out.evaluated + out.pruned), "cache ran more sims than brute force");
         assert!(out.ranked.len() <= 5);
         assert!(!out.ranked.is_empty());
         // Ranked ascending, deduplicated.
@@ -539,7 +719,10 @@ mod tests {
         let workload = wl();
         let a = explore(&workload, &cfg, &DseOptions { threads: 1, ..quick_opts() });
         let b = explore(&workload, &cfg, &DseOptions { threads: 4, chunk: 17, ..quick_opts() });
-        assert_eq!(a.evaluated, b.evaluated);
+        // How *far* pruning gets depends on thread interleaving, but what a
+        // candidate can be pruned *for* does not: evaluated + pruned and the
+        // validation skips are invariant, and so is the ranked output.
+        assert_eq!(a.evaluated + a.pruned, b.evaluated + b.pruned);
         assert_eq!(a.skipped, b.skipped);
         let key = |o: &ExploreOutcome| -> Vec<(String, u64, Option<usize>)> {
             o.ranked
@@ -548,6 +731,59 @@ mod tests {
                 .collect()
         };
         assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn pruned_and_cached_explore_is_bit_identical_to_reference() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let fast = explore(&workload, &cfg, &quick_opts());
+        let reference = explore(
+            &workload,
+            &cfg,
+            &DseOptions { prune: false, phase_cache: false, ..quick_opts() },
+        );
+        // The reference path really is brute force…
+        assert_eq!(reference.pruned, 0);
+        assert_eq!(reference.phase_cache_hits, 0);
+        assert_eq!(reference.phase_sims, 0);
+        // …and the optimised path reproduces its ranked output bit for bit,
+        // with consistent accounting.
+        assert_eq!(fast.evaluated + fast.pruned, reference.evaluated);
+        assert_eq!(fast.skipped, reference.skipped);
+        let key = |o: &ExploreOutcome| -> Vec<(String, u64, u64, Option<usize>)> {
+            o.ranked
+                .iter()
+                .map(|r| {
+                    (r.dataflow.to_string(), r.score.to_bits(), r.report.total_cycles, r.pattern_index)
+                })
+                .collect()
+        };
+        assert_eq!(key(&fast), key(&reference));
+    }
+
+    #[test]
+    fn nan_scores_never_panic_and_sort_last() {
+        // A NaN objective score must not panic the sort or the top-K — it
+        // ranks after every finite score (f64::total_cmp).
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let df = concretize_pattern(&PatternSpace::new().get(0), &workload, &cfg);
+        let report = evaluate(&workload, &df, &cfg).unwrap();
+        let mut top: TopK<usize, CostReport> = TopK::new(2);
+        for (score, index) in [(f64::NAN, 0usize), (2.0, 1), (1.0, 2)] {
+            // Distinct candidates (the index itself), so dedup stays out of
+            // the way and the ordering alone is under test.
+            top.offer(Entry { score, index, candidate: index, report: report.clone() });
+        }
+        let order: Vec<usize> = top.entries.iter().map(|e| e.index).collect();
+        assert_eq!(order, vec![2, 1]); // NaN fell off the end of the top-2
+        let pool = vec![
+            (f64::NAN, 0usize, df, report.clone()),
+            (1.0, 1, df, report.clone()),
+        ];
+        let ranked = rank(pool, 2, 10);
+        assert_eq!(ranked[0].score, 1.0); // no panic, finite first
     }
 
     #[test]
@@ -598,15 +834,34 @@ mod tests {
 
     #[test]
     fn top_k_keeps_best_with_deterministic_ties() {
-        let cfg = AccelConfig::paper_default();
-        let workload = wl();
-        let df = concretize_pattern(&PatternSpace::new().get(0), &workload, &cfg);
-        let report = evaluate(&workload, &df, &cfg).unwrap();
-        let mut top = TopK::new(2);
+        let mut top: TopK<usize, ()> = TopK::new(2);
         for index in [5usize, 3, 9, 1] {
-            top.offer(Entry { score: 1.0, index, candidate: df, report: report.clone() });
+            // Distinct candidates, identical scores: ties break by index.
+            top.offer(Entry { score: 1.0, index, candidate: index, report: () });
         }
         let idx: Vec<usize> = top.entries.iter().map(|e| e.index).collect();
         assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_capacity_counts_distinct_candidates() {
+        // The same candidate offered repeatedly occupies one slot (best key
+        // wins), so `worst_at_capacity` really means "k distinct candidates
+        // retained" — the soundness condition of the shared prune threshold.
+        let mut top: TopK<&str, ()> = TopK::new(2);
+        for (score, index) in [(1.0, 5usize), (1.0, 3), (1.0, 9), (1.0, 1)] {
+            top.offer(Entry { score, index, candidate: "same", report: () });
+        }
+        assert_eq!(top.entries.len(), 1);
+        assert_eq!(top.entries[0].index, 1);
+        assert_eq!(top.worst_at_capacity(), None); // 1 distinct < k = 2
+        top.offer(Entry { score: 4.0, index: 7, candidate: "other", report: () });
+        assert_eq!(top.worst_at_capacity(), Some(4.0));
+        // A third distinct candidate must now beat the worst to enter.
+        top.offer(Entry { score: 5.0, index: 2, candidate: "worse", report: () });
+        assert_eq!(top.entries.len(), 2);
+        assert_eq!(top.worst_at_capacity(), Some(4.0));
+        top.offer(Entry { score: 2.0, index: 8, candidate: "better", report: () });
+        assert_eq!(top.worst_at_capacity(), Some(2.0));
     }
 }

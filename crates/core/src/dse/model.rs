@@ -308,6 +308,10 @@ fn layer_candidate_list(
         refine_steps: 0,
         chunk: 64,
         seed_presets: true,
+        // The per-layer searches are the model explorer's hot path: let them
+        // use the factored/pruned engine (ranked-output-neutral).
+        prune: true,
+        phase_cache: true,
     };
     let outcome = cache.explore(wl, cfg, &layer_opts);
     let mut cands: Vec<GnnDataflow> =
@@ -393,7 +397,7 @@ pub fn explore_model(
 
     let space_ref = &space;
     let gen = move |i: usize| space_ref.mapping(i);
-    let score = |m: &ModelMapping| -> Option<(f64, ChainReport)> {
+    let score_mapping = |m: &ModelMapping| -> Option<(f64, ChainReport)> {
         let (s, mut r) = evaluate_mapping(model, base, m, cfg, opts.objective).ok()?;
         // Winners don't need the per-chunk pipeline timelines; keep retention
         // memory bounded (re-evaluate a winner to recover them).
@@ -402,8 +406,20 @@ pub fn explore_model(
         }
         Some((s, r))
     };
-    let job = ParallelJob { k: opts.top_k, threads, chunk: opts.chunk };
-    let (mut merged, mut evaluated, skipped) = parallel_search(total, &gen, &score, &job);
+    let score = |m: &ModelMapping, _thr: f64| -> super::Verdict<ChainReport> {
+        match score_mapping(m) {
+            Some((s, r)) => super::Verdict::Score(s, r),
+            None => super::Verdict::Skip,
+        }
+    };
+    let job = ParallelJob {
+        k: opts.top_k,
+        threads,
+        chunk: opts.chunk,
+        init_threshold: f64::INFINITY,
+    };
+    let (mut merged, mut evaluated, skipped, _pruned) =
+        parallel_search(total, &gen, &score, &job);
 
     // Seed the uniform Table V preset chains (one preset for every layer,
     // sequential between layers): the reported optimum can never lose to a
@@ -417,7 +433,7 @@ pub fn explore_model(
         };
         let links = vec![Link::Sequential; layer_dataflows.len().saturating_sub(1)];
         let mapping = ModelMapping { layer_dataflows, links };
-        if let Some((s, r)) = score(&mapping) {
+        if let Some((s, r)) = score_mapping(&mapping) {
             evaluated += 1;
             seeded += 1;
             if uniform.as_ref().is_none_or(|u| s < u.score) {
@@ -431,8 +447,9 @@ pub fn explore_model(
         }
     }
 
-    // Rank: ascending (score, index), deduplicated by mapping.
-    merged.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("scores are finite"));
+    // Rank: ascending (score, index), deduplicated by mapping. `total_cmp`
+    // keys so a NaN objective score cannot panic the sort (it ranks last).
+    merged.sort_by(|a, b| super::key_cmp((a.0, a.1), (b.0, b.1)));
     let mut ranked: Vec<RankedModelMapping> = Vec::with_capacity(opts.top_k.max(1));
     for (score, index, mapping, report) in merged {
         if ranked.len() == opts.top_k.max(1) {

@@ -1,11 +1,28 @@
 //! The OMEGA evaluation entry point: one workload × one dataflow × one machine.
+//!
+//! The evaluation is **phase-factored**: [`evaluate`] first *plans* the two
+//! phase simulations (tiling, operand classes, bandwidth share, residency
+//! flags, chunk spec — everything a phase engine's result depends on besides
+//! the workload itself), then runs them, then *composes* the totals per the
+//! inter-phase cost model (Table III). The factoring is what the exhaustive
+//! explorer of [`crate::dse`] exploits: for `Sequential` and
+//! `SequentialPipeline` dataflows the two phase simulations are completely
+//! independent of each other, so a [`PhaseSimCache`] keyed by the phase plan
+//! lets a 6,656-candidate sweep simulate each *unique* phase configuration
+//! once and recompose the rest arithmetically.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims, OperandClasses,
-    SpmmWorkload,
+    simulate_gemm, simulate_spmm_prepared, ChunkSide, ChunkSpec, EngineOptions, GemmDims,
+    OperandClasses, PreparedSpmm,
 };
-use omega_accel::{AccelConfig, AccessCounters, EnergyModel};
-use omega_dataflow::{validate, Dim, GnnDataflow, InterPhase, PhaseOrder, ValidationError};
+use omega_accel::{AccelConfig, AccessCounters, BandwidthShare, EnergyModel, PhaseStats};
+use omega_dataflow::{
+    validate, Dim, GnnDataflow, Granularity, InterPhase, IntraTiling, PhaseOrder, ValidationError,
+};
 
 use crate::cost::{CostReport, EnergyBreakdown, IntermediateCost};
 use crate::pipeline::{pipeline_runtime, resample_durations};
@@ -36,133 +53,411 @@ impl From<ValidationError> for EvalError {
 
 /// Evaluates `dataflow` running `workload` on the accelerator `cfg`, producing
 /// runtime, buffering, and energy per the inter-phase cost model (Table III).
+///
+/// One-shot convenience over [`PreparedEval`]: callers evaluating many
+/// dataflows of the *same* workload should prepare once and reuse it (the DSE
+/// engines do), which hoists the degree preprocessing out of every simulation.
 pub fn evaluate(
     workload: &GnnWorkload,
     dataflow: &GnnDataflow,
     cfg: &AccelConfig,
 ) -> Result<CostReport, EvalError> {
-    validate(dataflow)?;
-    let sp_optimized = dataflow.is_sp_optimized();
-    // A Sequential dataflow's loop orders may *happen* to be pipeline-compatible,
-    // but nothing is pipelined — report no granularity/Pel for it.
-    let granularity = match dataflow.inter {
-        InterPhase::Sequential => None,
-        _ => dataflow.granularity(),
-    };
+    PreparedEval::new(workload, cfg).evaluate(dataflow)
+}
 
-    let pel = granularity.and(intermediate_pel(workload, dataflow));
+/// One phase simulation, fully specified modulo the workload held by the
+/// surrounding [`PreparedEval`]. Doubles as the [`PhaseSimCache`] key: two
+/// equal keys denote bit-identical simulations (the engines are deterministic),
+/// so every result-affecting knob — tiling, operand classes, bandwidth share,
+/// residency flags, chunk spec — participates in `Eq`/`Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PhaseKey {
+    /// Aggregation: SpMM over the prepared degrees, `width` dense columns.
+    Spmm { width: usize, tiling: IntraTiling, classes: OperandClasses, opts: EngineOptions },
+    /// Combination: dense GEMM.
+    Gemm { dims: GemmDims, tiling: IntraTiling, classes: OperandClasses, opts: EngineOptions },
+}
 
-    // The dense width Aggregation streams per neighbour: F under AC, G under CA.
-    let agg_width = match dataflow.phase_order {
-        PhaseOrder::AC => workload.f,
-        PhaseOrder::CA => workload.g,
-    };
-    let gemm_dims = GemmDims { v: workload.v, f: workload.f, g: workload.g };
-    let spmm_wl = SpmmWorkload { degrees: &workload.degrees, feature_width: agg_width };
-    let (agg_classes, cmb_classes) = match dataflow.phase_order {
-        PhaseOrder::AC => (OperandClasses::aggregation_ac(), OperandClasses::combination_ac()),
-        PhaseOrder::CA => (OperandClasses::aggregation_ca(), OperandClasses::combination_ca()),
-    };
+/// The planned evaluation of one dataflow: both phase simulations plus the
+/// composition facts that do not depend on simulation results.
+struct EvalPlan {
+    sp_optimized: bool,
+    granularity: Option<Granularity>,
+    pel: Option<u64>,
+    agg: PhaseKey,
+    cmb: PhaseKey,
+}
 
-    let energy_model = EnergyModel { gb_bank_bytes: cfg.gb_bank_bytes, ..EnergyModel::paper_default() };
+/// How a DSE-driven evaluation ended (see [`PreparedEval::evaluate_dse`]).
+pub(crate) enum DseEval {
+    /// The dataflow evaluated; the report's phase timelines are intact.
+    Report(Box<CostReport>),
+    /// The admissible cycle lower bound already exceeds the pruning threshold:
+    /// the candidate cannot enter the ranked result, simulation skipped.
+    Pruned,
+    /// The dataflow failed Table II validation.
+    Invalid,
+}
 
-    let (agg, cmb, total_cycles, buffering, partition_bytes) = match dataflow.inter {
-        InterPhase::Sequential => {
-            let bw = cfg.full_bandwidth();
-            let agg = simulate_spmm(&spmm_wl, &dataflow.agg, cfg, &agg_classes, &EngineOptions::plain(bw));
-            let cmb = simulate_gemm(gemm_dims, &dataflow.cmb, cfg, &cmb_classes, &EngineOptions::plain(bw));
-            let total = agg.cycles + cmb.cycles;
-            let buffering = workload.intermediate_elems(dataflow.phase_order);
-            (agg, cmb, total, buffering, None)
+/// A workload's evaluation context, prepared once and shared across many
+/// dataflow evaluations: the hoisted SpMM degree structures, the GEMM
+/// dimensions, and the energy model.
+pub struct PreparedEval<'a> {
+    workload: &'a GnnWorkload,
+    cfg: &'a AccelConfig,
+    spmm: PreparedSpmm<'a>,
+    gemm_dims: GemmDims,
+    energy_model: EnergyModel,
+}
+
+impl<'a> PreparedEval<'a> {
+    /// Prepares `workload` for repeated evaluation on `cfg`.
+    pub fn new(workload: &'a GnnWorkload, cfg: &'a AccelConfig) -> Self {
+        PreparedEval {
+            workload,
+            cfg,
+            spmm: PreparedSpmm::new(&workload.degrees),
+            gemm_dims: GemmDims { v: workload.v, f: workload.f, g: workload.g },
+            energy_model: EnergyModel {
+                gb_bank_bytes: cfg.gb_bank_bytes,
+                ..EnergyModel::paper_default()
+            },
         }
-        InterPhase::SequentialPipeline => {
-            let bw = cfg.full_bandwidth();
-            let mut producer_opts = EngineOptions::plain(bw);
-            let mut consumer_opts = EngineOptions::plain(bw);
-            if sp_optimized {
-                producer_opts.output_stays_local = true;
-                consumer_opts.input_resident = true;
+    }
+
+    /// Evaluates one dataflow — bit-identical to [`evaluate`].
+    pub fn evaluate(&self, dataflow: &GnnDataflow) -> Result<CostReport, EvalError> {
+        let plan = self.plan(dataflow)?;
+        let agg = self.simulate(&plan.agg);
+        let cmb = self.simulate(&plan.cmb);
+        Ok(self.compose(dataflow, &plan, agg, cmb))
+    }
+
+    /// [`Self::evaluate`] through a shared [`PhaseSimCache`]: bit-identical
+    /// results, with repeated phase configurations simulated only once —
+    /// Sequential/SP dataflows that share a phase tiling share its simulation.
+    pub fn evaluate_with_cache(
+        &self,
+        dataflow: &GnnDataflow,
+        cache: &PhaseSimCache,
+    ) -> Result<CostReport, EvalError> {
+        let plan = self.plan(dataflow)?;
+        let agg = cache.stats(self, &plan.agg).as_ref().clone();
+        let cmb = cache.stats(self, &plan.cmb).as_ref().clone();
+        Ok(self.compose(dataflow, &plan, agg, cmb))
+    }
+
+    /// The DSE hot path: evaluate with an optional shared phase-simulation
+    /// cache and an optional pruning threshold (total-cycle budget — candidates
+    /// whose admissible lower bound exceeds it skip simulation entirely).
+    pub(crate) fn evaluate_dse(
+        &self,
+        dataflow: &GnnDataflow,
+        cache: Option<&PhaseSimCache>,
+        prune_above: Option<f64>,
+    ) -> DseEval {
+        let Ok(plan) = self.plan(dataflow) else { return DseEval::Invalid };
+        if let Some(threshold) = prune_above {
+            if self.lower_bound(&plan, dataflow.inter) as f64 > threshold {
+                return DseEval::Pruned;
             }
-            let (agg, cmb) = match dataflow.phase_order {
-                PhaseOrder::AC => (
-                    simulate_spmm(&spmm_wl, &dataflow.agg, cfg, &agg_classes, &producer_opts),
-                    simulate_gemm(gemm_dims, &dataflow.cmb, cfg, &cmb_classes, &consumer_opts),
-                ),
-                PhaseOrder::CA => (
-                    simulate_spmm(&spmm_wl, &dataflow.agg, cfg, &agg_classes, &consumer_opts),
-                    simulate_gemm(gemm_dims, &dataflow.cmb, cfg, &cmb_classes, &producer_opts),
-                ),
-            };
-            let total = agg.cycles + cmb.cycles;
-            // Table III: SP-Generic stages Pel elements through the GB;
-            // SP-Optimized keeps the intermediate in the RFs (zero buffering).
-            let buffering = if sp_optimized { 0 } else { pel.unwrap_or(0) };
-            (agg, cmb, total, buffering, None)
         }
-        InterPhase::ParallelPipeline => {
-            let pel_elems = pel.expect("validated PP dataflow has a granularity");
-            // NoC bandwidth is shared between the concurrently-running
-            // partitions in proportion to their PE allocation (Section V-C3).
-            let agg_bw = cfg.bandwidth_fraction(dataflow.agg.pe_footprint());
-            let cmb_bw = cfg.bandwidth_fraction(dataflow.cmb.pe_footprint());
-            let mut agg_opts = EngineOptions::plain(agg_bw);
-            let mut cmb_opts = EngineOptions::plain(cmb_bw);
-            let (producer_is_agg, agg_side, cmb_side) = match dataflow.phase_order {
-                PhaseOrder::AC => (true, ChunkSide::Produce, ChunkSide::Consume),
-                PhaseOrder::CA => (false, ChunkSide::Consume, ChunkSide::Produce),
-            };
-            agg_opts.chunk = Some(ChunkSpec { side: agg_side, pel: chunk_pel(agg_side, pel_elems, workload, agg_width) });
-            cmb_opts.chunk = Some(ChunkSpec { side: cmb_side, pel: pel_elems });
-            let agg = simulate_spmm(&spmm_wl, &dataflow.agg, cfg, &agg_classes, &agg_opts);
-            let cmb = simulate_gemm(gemm_dims, &dataflow.cmb, cfg, &cmb_classes, &cmb_opts);
+        let (agg, cmb) = match cache {
+            Some(cache) => {
+                (cache.stats(self, &plan.agg).as_ref().clone(), cache.stats(self, &plan.cmb).as_ref().clone())
+            }
+            None => (self.simulate(&plan.agg), self.simulate(&plan.cmb)),
+        };
+        DseEval::Report(Box::new(self.compose(dataflow, &plan, agg, cmb)))
+    }
 
-            let (producer, consumer) = if producer_is_agg { (&agg, &cmb) } else { (&cmb, &agg) };
-            let p_dur = producer.chunk_durations();
-            let c_dur = consumer.chunk_durations();
-            let k = p_dur.len().max(1);
-            let c_dur = if c_dur.len() == k { c_dur } else { resample_durations(&c_dur, k) };
-            let p_dur = if p_dur.is_empty() { vec![0] } else { p_dur };
-            let total = pipeline_runtime(&p_dur, &c_dur);
-            // Ping-pong buffering: 2 × Pel (Table III).
-            let buffering = 2 * pel_elems;
-            let partition = Some((buffering as usize) * cfg.word_bytes);
-            (agg, cmb, total, buffering, partition)
+    /// Plans the two phase simulations of `dataflow` — the per-phase engine
+    /// options exactly as the inter-phase cost model prescribes them.
+    fn plan(&self, dataflow: &GnnDataflow) -> Result<EvalPlan, EvalError> {
+        validate(dataflow)?;
+        let workload = self.workload;
+        let cfg = self.cfg;
+        let sp_optimized = dataflow.is_sp_optimized();
+        // A Sequential dataflow's loop orders may *happen* to be
+        // pipeline-compatible, but nothing is pipelined — report no
+        // granularity/Pel for it.
+        let granularity = match dataflow.inter {
+            InterPhase::Sequential => None,
+            _ => dataflow.granularity(),
+        };
+        let pel = granularity.and(intermediate_pel(workload, dataflow));
+
+        // The dense width Aggregation streams per neighbour: F under AC, G under CA.
+        let agg_width = match dataflow.phase_order {
+            PhaseOrder::AC => workload.f,
+            PhaseOrder::CA => workload.g,
+        };
+        let (agg_classes, cmb_classes) = match dataflow.phase_order {
+            PhaseOrder::AC => (OperandClasses::aggregation_ac(), OperandClasses::combination_ac()),
+            PhaseOrder::CA => (OperandClasses::aggregation_ca(), OperandClasses::combination_ca()),
+        };
+
+        let (agg_opts, cmb_opts) = match dataflow.inter {
+            InterPhase::Sequential => {
+                let bw = cfg.full_bandwidth();
+                (EngineOptions::plain(bw), EngineOptions::plain(bw))
+            }
+            InterPhase::SequentialPipeline => {
+                let bw = cfg.full_bandwidth();
+                let mut producer_opts = EngineOptions::plain(bw);
+                let mut consumer_opts = EngineOptions::plain(bw);
+                if sp_optimized {
+                    producer_opts.output_stays_local = true;
+                    consumer_opts.input_resident = true;
+                }
+                match dataflow.phase_order {
+                    PhaseOrder::AC => (producer_opts, consumer_opts),
+                    PhaseOrder::CA => (consumer_opts, producer_opts),
+                }
+            }
+            InterPhase::ParallelPipeline => {
+                let pel_elems = pel.expect("validated PP dataflow has a granularity");
+                // NoC bandwidth is shared between the concurrently-running
+                // partitions in proportion to their PE allocation (Section V-C3).
+                let agg_bw = cfg.bandwidth_fraction(dataflow.agg.pe_footprint());
+                let cmb_bw = cfg.bandwidth_fraction(dataflow.cmb.pe_footprint());
+                let mut agg_opts = EngineOptions::plain(agg_bw);
+                let mut cmb_opts = EngineOptions::plain(cmb_bw);
+                let (agg_side, cmb_side) = match dataflow.phase_order {
+                    PhaseOrder::AC => (ChunkSide::Produce, ChunkSide::Consume),
+                    PhaseOrder::CA => (ChunkSide::Consume, ChunkSide::Produce),
+                };
+                agg_opts.chunk = Some(ChunkSpec {
+                    side: agg_side,
+                    pel: chunk_pel(agg_side, pel_elems, workload, agg_width),
+                });
+                cmb_opts.chunk = Some(ChunkSpec { side: cmb_side, pel: pel_elems });
+                (agg_opts, cmb_opts)
+            }
+        };
+
+        Ok(EvalPlan {
+            sp_optimized,
+            granularity,
+            pel,
+            agg: PhaseKey::Spmm {
+                width: agg_width,
+                tiling: dataflow.agg,
+                classes: agg_classes,
+                opts: agg_opts,
+            },
+            cmb: PhaseKey::Gemm {
+                dims: self.gemm_dims,
+                tiling: dataflow.cmb,
+                classes: cmb_classes,
+                opts: cmb_opts,
+            },
+        })
+    }
+
+    /// Runs one planned phase simulation.
+    fn simulate(&self, key: &PhaseKey) -> PhaseStats {
+        match key {
+            PhaseKey::Spmm { width, tiling, classes, opts } => {
+                simulate_spmm_prepared(&self.spmm, *width, tiling, self.cfg, classes, opts)
+            }
+            PhaseKey::Gemm { dims, tiling, classes, opts } => {
+                simulate_gemm(*dims, tiling, self.cfg, classes, opts)
+            }
         }
-    };
+    }
 
-    let mut counters = AccessCounters::default();
-    counters.merge(&agg.counters);
-    counters.merge(&cmb.counters);
-    // Fig. 6 / Section IV-A: Seq stages the whole intermediate on chip; whatever
-    // does not fit the GB moves through DRAM instead. The intermediate is the
-    // resident working set (the other operands stream through small staging
-    // buffers), so the overflow is charged against the full GB capacity.
-    let intermediate_cost = match partition_bytes {
-        Some(cap) => IntermediateCost::Partition(cap),
-        None => {
-            let dram_fraction = if dataflow.inter == InterPhase::Sequential {
-                let int_bytes = buffering as f64 * cfg.word_bytes as f64;
-                ((int_bytes - cfg.gb_bytes as f64) / int_bytes.max(1.0)).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            IntermediateCost::GlobalBuffer { dram_fraction }
+    /// Composes two phase results into the inter-phase cost report (Table III).
+    fn compose(
+        &self,
+        dataflow: &GnnDataflow,
+        plan: &EvalPlan,
+        agg: PhaseStats,
+        cmb: PhaseStats,
+    ) -> CostReport {
+        let workload = self.workload;
+        let cfg = self.cfg;
+        let (total_cycles, buffering, partition_bytes) = match dataflow.inter {
+            InterPhase::Sequential => (
+                agg.cycles + cmb.cycles,
+                workload.intermediate_elems(dataflow.phase_order),
+                None,
+            ),
+            InterPhase::SequentialPipeline => {
+                // Table III: SP-Generic stages Pel elements through the GB;
+                // SP-Optimized keeps the intermediate in the RFs (zero buffering).
+                let buffering = if plan.sp_optimized { 0 } else { plan.pel.unwrap_or(0) };
+                (agg.cycles + cmb.cycles, buffering, None)
+            }
+            InterPhase::ParallelPipeline => {
+                let pel_elems = plan.pel.expect("validated PP dataflow has a granularity");
+                let producer_is_agg = dataflow.phase_order == PhaseOrder::AC;
+                let (producer, consumer) = if producer_is_agg { (&agg, &cmb) } else { (&cmb, &agg) };
+                let p_dur = producer.chunk_durations();
+                let c_dur = consumer.chunk_durations();
+                let k = p_dur.len().max(1);
+                let c_dur = if c_dur.len() == k { c_dur } else { resample_durations(&c_dur, k) };
+                let p_dur = if p_dur.is_empty() { vec![0] } else { p_dur };
+                let total = pipeline_runtime(&p_dur, &c_dur);
+                // Ping-pong buffering: 2 × Pel (Table III).
+                let buffering = 2 * pel_elems;
+                (total, buffering, Some((buffering as usize) * cfg.word_bytes))
+            }
+        };
+
+        let mut counters = AccessCounters::default();
+        counters.merge(&agg.counters);
+        counters.merge(&cmb.counters);
+        // Fig. 6 / Section IV-A: Seq stages the whole intermediate on chip;
+        // whatever does not fit the GB moves through DRAM instead. The
+        // intermediate is the resident working set (the other operands stream
+        // through small staging buffers), so the overflow is charged against
+        // the full GB capacity.
+        let intermediate_cost = match partition_bytes {
+            Some(cap) => IntermediateCost::Partition(cap),
+            None => {
+                let dram_fraction = if dataflow.inter == InterPhase::Sequential {
+                    let int_bytes = buffering as f64 * cfg.word_bytes as f64;
+                    ((int_bytes - cfg.gb_bytes as f64) / int_bytes.max(1.0)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                IntermediateCost::GlobalBuffer { dram_fraction }
+            }
+        };
+        let energy =
+            EnergyBreakdown::from_counters_with(&counters, &self.energy_model, intermediate_cost);
+
+        CostReport {
+            dataflow: *dataflow,
+            total_cycles,
+            agg,
+            cmb,
+            counters,
+            intermediate_buffer_elems: buffering,
+            pel: plan.pel,
+            granularity: plan.granularity,
+            sp_optimized: plan.sp_optimized,
+            energy,
         }
-    };
-    let energy = EnergyBreakdown::from_counters_with(&counters, &energy_model, intermediate_cost);
+    }
 
-    Ok(CostReport {
-        dataflow: *dataflow,
-        total_cycles,
-        agg,
-        cmb,
-        counters,
-        intermediate_buffer_elems: buffering,
-        pel,
-        granularity,
-        sp_optimized,
-        energy,
-    })
+    /// An admissible (never over-estimating) lower bound on the planned
+    /// dataflow's total cycles: per phase, the maximum of the MAC roofline
+    /// (`macs / PE footprint`) and the NoC bandwidth floors over the
+    /// *compulsory* traffic (streaming inputs, single-write outputs) at that
+    /// phase's bandwidth share; phases add under Seq/SP and overlap (max)
+    /// under PP. Every term under-counts what the engines charge — stalls,
+    /// adjacency traffic, psum spills, tile-synchronization, and fill
+    /// overheads only push the true cycle count further up — so pruning on
+    /// this bound can never discard a candidate that would have ranked.
+    fn lower_bound(&self, plan: &EvalPlan, inter: InterPhase) -> u64 {
+        let agg = self.phase_bound(&plan.agg);
+        let cmb = self.phase_bound(&plan.cmb);
+        match inter {
+            InterPhase::ParallelPipeline => agg.max(cmb),
+            _ => agg + cmb,
+        }
+    }
+
+    fn phase_bound(&self, key: &PhaseKey) -> u64 {
+        fn floor3(macs: u64, footprint: u64, reads: u64, writes: u64, bw: BandwidthShare) -> u64 {
+            macs.div_ceil(footprint.max(1))
+                .max(reads.div_ceil(bw.dist.max(1) as u64))
+                .max(writes.div_ceil(bw.red.max(1) as u64))
+        }
+        match key {
+            PhaseKey::Spmm { width, tiling, opts, .. } => {
+                let v = self.workload.v as u64;
+                let w = *width as u64;
+                if v == 0 || w == 0 || self.workload.nnz == 0 {
+                    return 0; // the engine early-returns a zero report
+                }
+                let macs = self.workload.nnz * w;
+                let reads = if opts.input_resident { 0 } else { macs };
+                let writes = if opts.output_stays_local { 0 } else { v * w };
+                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+            }
+            PhaseKey::Gemm { dims, tiling, opts, .. } => {
+                let (v, f, g) = (dims.v as u64, dims.f as u64, dims.g as u64);
+                if v == 0 || f == 0 || g == 0 {
+                    return 0; // the engine early-returns a zero report
+                }
+                let macs = v * f * g;
+                let reads = f * g + if opts.input_resident { 0 } else { v * f };
+                let writes = if opts.output_stays_local { 0 } else { v * g };
+                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+            }
+        }
+    }
+}
+
+/// A shared, thread-safe memo of phase simulations for one
+/// [`PreparedEval`]-prepared workload, keyed by the full phase plan.
+///
+/// Purely an execution optimisation: hits return the exact [`PhaseStats`] the
+/// engine would recompute, so cached and uncached evaluations are
+/// bit-identical. Entries whose chunk timelines are enormous (degenerately
+/// tiled PP candidates) are recomputed instead of cached to keep the memo's
+/// footprint bounded.
+#[derive(Debug, Default)]
+pub struct PhaseSimCache {
+    inner: Mutex<HashMap<PhaseKey, Arc<PhaseStats>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Chunk-timeline length above which a simulation is recomputed per use rather
+/// than cached (a degenerately-tiled PP candidate can mark millions of chunks).
+const MAX_CACHED_MARKS: usize = 1 << 16;
+
+impl PhaseSimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran a phase engine (unique phase configurations, plus
+    /// recomputations of oversized-timeline entries).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct phase configurations currently memoised.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("phase cache poisoned").len()
+    }
+
+    /// `true` when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stats for `key`, simulated via `prep` on miss.
+    fn stats(&self, prep: &PreparedEval<'_>, key: &PhaseKey) -> Arc<PhaseStats> {
+        if let Some(hit) = self.inner.lock().expect("phase cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Simulate outside the lock (sims are long; racing duplicates are
+        // deterministic, so first-write-wins is harmless).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::new(prep.simulate(key));
+        if stats.chunk_marks.len() > MAX_CACHED_MARKS {
+            return stats;
+        }
+        self.inner
+            .lock()
+            .expect("phase cache poisoned")
+            .entry(*key)
+            .or_insert(stats)
+            .clone()
+    }
 }
 
 /// The `Pel` implied by a pipelined dataflow's granularity for `workload`:

@@ -150,7 +150,7 @@ pub fn best_of(
     let (merged, evaluated, skipped) = crate::dse::parallel_top_k(candidates.len(), &gen, &job);
     merged
         .into_iter()
-        .min_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("scores are finite"))
+        .min_by(|a, b| crate::dse::key_cmp((a.0, a.1), (b.0, b.1)))
         .map(|(score, _, dataflow, report)| SearchResult {
             dataflow,
             report,
