@@ -1,6 +1,9 @@
 //! Phase engines: tile-step-accurate simulation of one GNN phase.
 //!
-//! Both engines walk the phase's loop nest at **pass** granularity — one full
+//! Three engines live here: dense GEMM ([`simulate_gemm`]), sparse SpMM over a
+//! CSR adjacency ([`simulate_spmm`]), and the adjacency-masked SDDMM attention
+//! scoring of GAT-style models ([`simulate_sddmm`]). All walk the loop nest at
+//! **pass** granularity — one full
 //! sweep of the innermost temporal loop at fixed outer/middle tile indices. Per
 //! pass they account, in closed form:
 //!
@@ -21,9 +24,11 @@
 //!   the inter-phase cost model turns into the PP pipeline schedule.
 
 mod gemm;
+mod sddmm;
 mod spmm;
 
 pub use gemm::{simulate_gemm, GemmDims};
+pub use sddmm::{simulate_sddmm, simulate_sddmm_prepared, SddmmWorkload};
 pub use spmm::{simulate_spmm, simulate_spmm_prepared, PreparedSpmm, SpmmWorkload};
 
 use serde::Serialize;
@@ -80,6 +85,29 @@ impl OperandClasses {
             output: OperandClass::Intermediate,
         }
     }
+
+    /// SDDMM attention scoring: reads the input features (both dot-product
+    /// operands come from the same feature matrix), walks the adjacency
+    /// structure, and writes per-edge scores.
+    pub fn sddmm() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Input,
+            b_input: OperandClass::Adjacency,
+            output: OperandClass::EdgeScore,
+        }
+    }
+
+    /// Attention-weighted Aggregation (GAT, AC order): like
+    /// [`Self::aggregation_ac`], but the per-edge values gathered alongside the
+    /// CSR structure are the SDDMM-produced attention scores, so their traffic
+    /// lands in the [`OperandClass::EdgeScore`] bucket.
+    pub fn aggregation_gat() -> Self {
+        OperandClasses {
+            a_input: OperandClass::Input,
+            b_input: OperandClass::EdgeScore,
+            output: OperandClass::Intermediate,
+        }
+    }
 }
 
 /// Which side of the intermediate matrix chunk timestamps track.
@@ -116,6 +144,12 @@ pub struct EngineOptions {
     /// The produced matrix stays in the PE register files (SP-Optimized
     /// producer): no GB writes, no collection stalls for it.
     pub output_stays_local: bool,
+    /// The per-edge values gathered with the CSR structure (the attention
+    /// scores of a GAT aggregation) are already resident in the PE register
+    /// files — the SDDMM producer kept them local — so only the structure
+    /// (indices + row pointers) is fetched from the GB. Consumed by the SpMM
+    /// engine; the other engines ignore it.
+    pub scores_resident: bool,
     /// Chunk-timestamp request.
     pub chunk: Option<ChunkSpec>,
 }
@@ -124,7 +158,13 @@ impl EngineOptions {
     /// Plain run: full bandwidth share given, everything through the GB, no
     /// chunk marks.
     pub fn plain(bandwidth: BandwidthShare) -> Self {
-        EngineOptions { bandwidth, input_resident: false, output_stays_local: false, chunk: None }
+        EngineOptions {
+            bandwidth,
+            input_resident: false,
+            output_stays_local: false,
+            scores_resident: false,
+            chunk: None,
+        }
     }
 }
 

@@ -1,0 +1,770 @@
+//! The SDDMM phase engine: adjacency-masked attention scoring (GAT).
+//!
+//! An attention GNN's score computation is a **sampled dense-dense matrix
+//! multiply**: `S = A ⊙ (Q · Kᵀ)` — one dot product per stored adjacency
+//! non-zero, where both dot operands come from the (transformed) feature
+//! matrix. Its sparsity structure is exactly the graph, which is why VersaGNN
+//! and Dynasparse argue it deserves its own dataflow treatment: the loop nest
+//! shares the Aggregation dimension set `[V, N, F]`, but the **reduction
+//! dimension is `F`** (the dot-product length), not `N`.
+//!
+//! The engine mirrors the SpMM engine's structure: passes over vertex tiles,
+//! neighbour slices, and `F`-slices, with rows inside a spatial vertex tile
+//! **tile-synchronized** (the evil-row pathology applies to scoring too),
+//! degree-class batching for single-row tiles, and the same closed-form
+//! per-pass accounting. Differences from SpMM:
+//!
+//! * per edge and per head, `ceil(dot_width / T_F)` spatial-reduction steps
+//!   produce **one scalar score**, so the phase output is adjacency-shaped
+//!   (`heads × nnz` elements, the [`crate::OperandClass::EdgeScore`] bucket);
+//! * when `F` is not innermost, the **partial scores** of in-flight edges are
+//!   the live psums — they spill exactly like the other engines' partial sums;
+//! * heads iterate back-to-back at fixed tile indices, so a workload with `h`
+//!   heads runs each pass with multiplicity `h` (the total MAC count
+//!   `heads · nnz · dot_width` is invariant in `heads` when the feature width
+//!   splits across heads, but the score count `heads · nnz` is not);
+//! * after the last score completes, an **edge-wise softmax pass** normalises
+//!   the scores per row: two streaming sweeps over the score array (max +
+//!   exp-sum, then normalise + write-back), costed against compute throughput
+//!   and the NoC floors like any other pass. With `output_stays_local` the
+//!   scores never leave the RFs and the sweeps are compute-only.
+//!
+//! Loop-order support: the three orders that keep `V` before `N` (`VFN`,
+//! `VNF`, `FVN`). Orders that put `N` before `V` interleave every row's score
+//! production across the whole phase, which the row-wise softmax cannot
+//! stream — `omega_dataflow::validate_sddmm` rejects them before the engine
+//! is reached (the engine itself panics on them).
+
+use omega_dataflow::{Dim, IntraTiling, Phase};
+
+use super::{
+    actual_tile, loop_classes, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses,
+    PreparedSpmm,
+};
+use crate::{AccelConfig, AccessCounters, OperandClass, PhaseStats, RfBudget};
+
+use super::spmm::DegreeSummary;
+
+/// The workload of an SDDMM scoring phase: the adjacency degree structure,
+/// the per-head dot-product length, and the head count.
+#[derive(Debug, Clone)]
+pub struct SddmmWorkload<'a> {
+    /// Stored non-zeros per adjacency row (incl. self loops).
+    pub degrees: &'a [usize],
+    /// Per-head dot-product length (`F / heads` when the feature width splits
+    /// across heads, GAT-style).
+    pub dot_width: usize,
+    /// Attention heads (clamped to ≥ 1): each edge produces one score per head.
+    pub heads: usize,
+}
+
+impl SddmmWorkload<'_> {
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Scores the phase produces (`heads × nnz`).
+    pub fn scores(&self) -> u64 {
+        self.heads.max(1) as u64 * self.nnz()
+    }
+}
+
+/// Simulates the SDDMM scoring phase (plus its softmax pass) under a concrete
+/// tiling.
+///
+/// The tiling is over the Aggregation dimension set (`V`/`F`/`N`), with `F`
+/// acting as the reduction: `T_F` PEs form the dot-product reduction group,
+/// `T_N` parallelises a row's edges, `T_V` parallelises rows
+/// (tile-synchronized).
+///
+/// # Panics
+/// Panics if the tiling is not an Aggregation tiling or its loop order puts
+/// `N` before `V` (see `omega_dataflow::validate_sddmm`).
+pub fn simulate_sddmm(
+    wl: &SddmmWorkload<'_>,
+    tiling: &IntraTiling,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+) -> PhaseStats {
+    simulate_sddmm_prepared(
+        &PreparedSpmm::new(wl.degrees),
+        wl.dot_width,
+        wl.heads,
+        tiling,
+        cfg,
+        classes,
+        opts,
+    )
+}
+
+/// [`simulate_sddmm`] over pre-hoisted degree structures ([`PreparedSpmm`] —
+/// the SDDMM and SpMM phases of one workload share the same adjacency, so the
+/// DSE prepares it once). Bit-identical to the plain entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sddmm_prepared(
+    prep: &PreparedSpmm<'_>,
+    dot_width: usize,
+    heads: usize,
+    tiling: &IntraTiling,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+) -> PhaseStats {
+    simulate_sddmm_inner(prep, dot_width, heads, tiling, cfg, classes, opts, false)
+}
+
+/// Shared body of the batched engine and the naive per-pass reference walk
+/// (`naive = true` visits every index and head with multiplicity 1; the tests
+/// assert the two are bit-identical).
+#[allow(clippy::too_many_arguments)]
+fn simulate_sddmm_inner(
+    prep: &PreparedSpmm<'_>,
+    dot_width: usize,
+    heads: usize,
+    tiling: &IntraTiling,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+    naive: bool,
+) -> PhaseStats {
+    assert_eq!(tiling.phase(), Phase::Aggregation, "SDDMM engine needs a V/F/N tiling");
+    let order = tiling.order();
+    let pos_v = order.position(Dim::V).expect("V is an SDDMM dim");
+    let pos_f = order.position(Dim::F).expect("F is an SDDMM dim");
+    let pos_n = order.position(Dim::N).expect("N is an SDDMM dim");
+    assert!(
+        pos_v < pos_n,
+        "SDDMM loop order {order} puts N before V; gate with omega_dataflow::validate_sddmm"
+    );
+
+    let degrees = prep.degrees();
+    let v = degrees.len();
+    let d = dot_width;
+    let h = heads.max(1) as u64;
+    let counters = AccessCounters::default();
+    if v == 0 || d == 0 || prep.nnz() == 0 {
+        return PhaseStats {
+            cycles: 0,
+            stall_cycles: 0,
+            macs: 0,
+            counters,
+            pe_footprint: tiling.pe_footprint(),
+            chunk_marks: Vec::new(),
+            psum_spilled: false,
+        };
+    }
+
+    let max_deg = prep.max_degree();
+    let tv = tiling.tile_of(Dim::V).min(v);
+    let tf = tiling.tile_of(Dim::F).min(d);
+    let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
+    let n_v = v.div_ceil(tv);
+    let n_f = d.div_ceil(tf);
+    let n_n_global = (max_deg as u64).div_ceil(tn as u64).max(1);
+
+    // Partial-score placement: with F innermost each edge's dot completes
+    // in-pass (MAC-register accumulation). With F further out, every (edge,
+    // head) in the loops inner to F keeps a live partial score, shared across
+    // the T_F PEs of each dot-product reduction group.
+    let revisits: u64 = [(Dim::V, n_v as u64), (Dim::N, n_n_global)]
+        .iter()
+        .filter(|&&(dim, _)| order.position(dim).expect("dim present") > pos_f)
+        .map(|&(_, n)| n)
+        .product();
+    let share = if cfg.knobs.psum_group_sharing { tf.max(1) as u64 } else { 1 };
+    let live_psums_per_pe = (h * revisits).div_ceil(share);
+    let rf = RfBudget::new(cfg.rf_words(), 1);
+    // A single F-slice completes every dot in-pass regardless of the loop
+    // order, so only multi-slice reductions can spill partial scores.
+    let spill = pos_f < 2 && n_f > 1 && !rf.psums_fit(live_psums_per_pe as usize);
+    let spill_num = if cfg.knobs.fractional_spill {
+        live_psums_per_pe.saturating_sub(rf.psum_capacity() as u64)
+    } else {
+        live_psums_per_pe
+    };
+
+    let scores_total = h * prep.nnz();
+    let total_visits = scores_total * d as u64;
+    let chunk_total = match opts.chunk.map(|c| c.side) {
+        Some(ChunkSide::Produce) => scores_total,
+        Some(ChunkSide::Consume) => total_visits,
+        None => 0,
+    };
+    let chunks = ChunkTracker::new(opts.chunk.as_ref(), chunk_total);
+
+    // The dot-product reduction tree spans the T_F lanes.
+    let tree_overhead = if tf > 1 { crate::tree_latency(tf, cfg.tree_latency_per_level) } else { 0 };
+    let (phase_fill, pass_fill) = if cfg.knobs.per_pass_fill {
+        (0, tree_overhead + cfg.dist_latency)
+    } else {
+        (tree_overhead + cfg.dist_latency, 0)
+    };
+
+    let mut st = SddmmWalk {
+        counters,
+        cycles: 0,
+        stall_cycles: 0,
+        macs: 0,
+        spilled: false,
+        chunks,
+        classes: *classes,
+        opts: *opts,
+        overhead: pass_fill,
+        tf: tf as u64,
+        tn: tn as u64,
+        n_f: n_f as u64,
+        dot_width: d as u64,
+        spill_ratio: (spill_num, live_psums_per_pe.max(1)),
+        spill,
+    };
+
+    walk_orders(&mut st, prep, WalkShape { v, d, tv, tf, tn, n_v, n_f, h, pos_v, pos_f }, naive);
+
+    // Edge-wise softmax: normalise each row's scores once the last one exists.
+    let softmax = st.softmax_pass(scores_total, tiling.pe_footprint() as u64);
+    let cycles = if st.cycles > 0 { st.cycles + phase_fill + softmax } else { 0 };
+    let chunk_marks = st.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
+    PhaseStats {
+        cycles,
+        stall_cycles: st.stall_cycles,
+        macs: st.macs,
+        counters: st.counters,
+        pe_footprint: tiling.pe_footprint(),
+        chunk_marks,
+        psum_spilled: st.spilled,
+    }
+}
+
+/// The static shape of one walk, shared by the batched engine and the naive
+/// per-pass reference walker of the tests.
+#[derive(Clone, Copy)]
+struct WalkShape {
+    v: usize,
+    d: usize,
+    tv: usize,
+    tf: usize,
+    tn: usize,
+    n_v: usize,
+    n_f: usize,
+    h: u64,
+    pos_v: usize,
+    pos_f: usize,
+}
+
+/// Dispatches the four supported loop orders. `naive` forces the unbatched
+/// per-pass reference walk (every index and head visited with multiplicity 1)
+/// — the engine path collapses uniform passes via `loop_classes`, degree
+/// classes, and the head multiplicity, and the tests assert both walks are
+/// bit-identical.
+fn walk_orders(st: &mut SddmmWalk, prep: &PreparedSpmm<'_>, s: WalkShape, naive: bool) {
+    let degrees = prep.degrees();
+    let tn = st.tn;
+    // Degree sum and max of one vertex tile — the only facts a row-major
+    // scoring pass needs (tile synchronization keys off the max).
+    let tile_scan = move |iv: usize| -> (u64, u64, u64) {
+        let lo = iv * s.tv;
+        let hi = ((iv + 1) * s.tv).min(s.v);
+        let mut sum = 0u64;
+        let mut mx = 0usize;
+        for &deg in &degrees[lo..hi] {
+            sum += deg as u64;
+            mx = mx.max(deg);
+        }
+        (sum, (mx as u64).div_ceil(tn), (hi - lo) as u64)
+    };
+    // Heads iterate back-to-back at fixed (tile, slice) indices: the engine
+    // folds them into the pass multiplicity, the reference walk repeats the
+    // pass `h` times.
+    let (m_h, reps_h) = if naive { (1, s.h) } else { (s.h, 1) };
+    match (s.pos_v, s.pos_f) {
+        (0, 1) => {
+            // VFN: per v-tile, F-slices in the middle, neighbours innermost.
+            // The F loop is batched per `loop_classes` — at a fixed v-tile its
+            // passes are consecutive in true iteration order, so the batching
+            // is chunk-exact.
+            let f_walk: Vec<(usize, u64)> = if naive {
+                (0..s.n_f).map(|i| (i, 1)).collect()
+            } else {
+                loop_classes(s.n_f)
+            };
+            for iv in 0..s.n_v {
+                let (sum, steps, avv) = tile_scan(iv);
+                for &(if_, mf) in &f_walk {
+                    let af = actual_tile(s.d, s.tf, if_) as u64;
+                    for _ in 0..reps_h {
+                        st.scoring_pass(steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                    }
+                }
+            }
+        }
+        (1, 0) => {
+            // FVN: F-slices outermost, v-tiles in the middle, neighbours
+            // innermost — the same passes as VFN in f-major order. Batching
+            // the middle F-class would lump passes that interleave with other
+            // v-tiles in true order, so with chunk timestamps the F loop
+            // walks per index.
+            let f_walk: Vec<(usize, u64)> = if naive || st.chunks.is_some() {
+                (0..s.n_f).map(|i| (i, 1)).collect()
+            } else {
+                loop_classes(s.n_f)
+            };
+            for &(if_, mf) in &f_walk {
+                let af = actual_tile(s.d, s.tf, if_) as u64;
+                for iv in 0..s.n_v {
+                    let (sum, steps, avv) = tile_scan(iv);
+                    for _ in 0..reps_h {
+                        st.scoring_pass(steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                    }
+                }
+            }
+        }
+        (0, 2) => {
+            // VNF: per v-tile, neighbour slices in the middle, the dot-product
+            // F loop innermost — scores complete in-pass.
+            if s.tv == 1 && st.chunks.is_none() && !naive {
+                // Single-row tiles of equal degree make identical pass
+                // sequences — batch by degree class (order-insensitive
+                // without chunk timestamps).
+                for &(deg, m) in prep.classes() {
+                    st.vnf_vertex(deg, s, m * s.h, 1);
+                }
+            } else if s.tv == 1 {
+                for &deg in degrees {
+                    st.vnf_vertex(deg, s, m_h, reps_h);
+                }
+            } else {
+                for iv in 0..s.n_v {
+                    let lo = iv * s.tv;
+                    let hi = ((iv + 1) * s.tv).min(s.v);
+                    let summary = DegreeSummary::new(degrees[lo..hi].iter().copied());
+                    let avv = (hi - lo) as u64;
+                    let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
+                    for in_ in 0..n_red {
+                        let active = summary.active(in_ * s.tn, (in_ + 1) * s.tn);
+                        for _ in 0..reps_h {
+                            st.streaming_pass(active, avv, in_ == 0, m_h);
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("validate_sddmm admits only the V-before-N orders (VFN, VNF, FVN)"),
+    }
+}
+
+/// Mutable walk state shared by the pass helpers.
+struct SddmmWalk {
+    counters: AccessCounters,
+    cycles: u64,
+    stall_cycles: u64,
+    macs: u64,
+    spilled: bool,
+    chunks: Option<ChunkTracker>,
+    classes: OperandClasses,
+    opts: EngineOptions,
+    overhead: u64,
+    tf: u64,
+    tn: u64,
+    n_f: u64,
+    dot_width: u64,
+    /// Numerator/denominator of the partial-score overflow fraction.
+    spill_ratio: (u64, u64),
+    spill: bool,
+}
+
+impl SddmmWalk {
+    /// Charges the feature and adjacency-structure traffic of a pass visiting
+    /// `edge_visits` edges over `width` dot-product columns of `rows` rows,
+    /// for `m` identical passes. The stationary Q row slices preload serially
+    /// (`q_preload` false suppresses them — VNF keeps the row pinned across
+    /// its neighbour slices). Returns per-pass `(gb_stream_reads, preload)`.
+    fn charge_inputs(
+        &mut self,
+        edge_visits: u64,
+        width: u64,
+        rows: u64,
+        q_preload: bool,
+        m: u64,
+    ) -> (u64, u64) {
+        let k_elems = edge_visits * width; // gathered neighbour slices (streamed)
+        let q_elems = if q_preload { rows * width } else { 0 }; // pinned row slices
+        let structure = edge_visits + rows; // column indices + row pointers
+        self.counters.read(OperandClass::Adjacency, structure * m);
+        let mut gb = structure;
+        let mut preload = 0;
+        if !self.opts.input_resident {
+            self.counters.read(self.classes.a_input, (k_elems + q_elems) * m);
+            gb += k_elems;
+            preload = q_elems;
+        }
+        // Multicast: each Q element fans out across the T_N edge lanes; K
+        // elements land in exactly one reduction group each.
+        self.counters.rf_writes += (k_elems + q_elems * self.tn) * m;
+        (gb, preload)
+    }
+
+    /// `m` identical passes at a fixed `F`-slice (the `VFN`/`FVN` row-major
+    /// walks): `steps` tile-synchronized compute steps cover `edge_visits`
+    /// edges × `af` dot columns; partial scores carry across the `n_f`
+    /// F-slices (accumulating in the RFs or spilling).
+    #[allow(clippy::too_many_arguments)]
+    fn scoring_pass(
+        &mut self,
+        steps: u64,
+        edge_visits: u64,
+        rows: u64,
+        af: u64,
+        red_idx: u64,
+        q_preload: bool,
+        m: u64,
+    ) {
+        let macs = edge_visits * af;
+        self.macs += macs * m;
+        self.counters.rf_reads += 2 * macs * m;
+        let mut gb_writes = 0;
+        if self.spill {
+            self.spilled = true;
+            let spilled = edge_visits * self.spill_ratio.0 / self.spill_ratio.1;
+            if red_idx > 0 {
+                self.counters.read(OperandClass::Psum, spilled * m);
+            }
+            if red_idx < self.n_f - 1 {
+                self.counters.write(OperandClass::Psum, spilled * m);
+                gb_writes += spilled;
+            }
+        } else {
+            let updates = macs.div_ceil(self.tf);
+            self.counters.rf_reads += updates * m;
+            self.counters.rf_writes += updates * m;
+        }
+        let mut produced = 0;
+        if red_idx == self.n_f - 1 {
+            produced = edge_visits; // one score per edge completes
+            if self.opts.output_stays_local {
+                self.counters.rf_writes += produced * m;
+            } else {
+                self.counters.write(self.classes.output, produced * m);
+                gb_writes += produced;
+            }
+        }
+        let (mut gb_reads, preload) = self.charge_inputs(edge_visits, af, rows, q_preload, m);
+        if self.spill && red_idx > 0 {
+            gb_reads += edge_visits * self.spill_ratio.0 / self.spill_ratio.1;
+        }
+        let (pass, stall) =
+            pass_timing(steps.max(1), gb_reads, gb_writes, preload, self.opts.bandwidth, self.overhead);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        self.advance_chunks(m, produced, macs, pass, start);
+    }
+
+    /// `m` identical `VNF` passes: one neighbour slice of one v-tile, the full
+    /// dot streaming innermost — each visited edge's score completes in-pass.
+    fn streaming_pass(&mut self, edge_visits: u64, rows: u64, first_slice: bool, m: u64) {
+        let width = self.dot_width;
+        let macs = edge_visits * width;
+        self.macs += macs * m;
+        self.counters.rf_reads += 2 * macs * m;
+        let updates = macs.div_ceil(self.tf);
+        self.counters.rf_reads += updates * m;
+        self.counters.rf_writes += updates * m;
+        let produced = edge_visits;
+        let mut gb_writes = 0;
+        if self.opts.output_stays_local {
+            self.counters.rf_writes += produced * m;
+        } else {
+            self.counters.write(self.classes.output, produced * m);
+            gb_writes += produced;
+        }
+        let (gb_reads, preload) = self.charge_inputs(edge_visits, width, rows, first_slice, m);
+        let steps = self.n_f; // F-slices stream innermost per edge group
+        let (pass, stall) =
+            pass_timing(steps.max(1), gb_reads, gb_writes, preload, self.opts.bandwidth, self.overhead);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        self.advance_chunks(m, produced, macs, pass, start);
+    }
+
+    /// The full neighbour-slice walk of one single-row `VNF` vertex (`m` rows
+    /// of identical degree batched together; `reps` unbatched head repetitions
+    /// per slice for the reference walk).
+    fn vnf_vertex(&mut self, deg: usize, s: WalkShape, m: u64, reps: u64) {
+        let n_red = (deg as u64).div_ceil(self.tn).max(1) as usize;
+        for in_ in 0..n_red {
+            let lo = in_ * s.tn;
+            let hi = lo + s.tn;
+            let active = (deg.min(hi) - deg.min(lo)) as u64;
+            for _ in 0..reps {
+                self.streaming_pass(active, 1, in_ == 0, m);
+            }
+        }
+    }
+
+    /// The edge-wise softmax: two streaming sweeps over the `scores` array
+    /// (row max + exp-sum, then normalise + write-back), each bounded by
+    /// compute throughput (one score per PE per cycle) and the NoC floors.
+    /// Returns the sweep cycles; traffic lands in the output class.
+    fn softmax_pass(&mut self, scores: u64, footprint: u64) -> u64 {
+        if scores == 0 {
+            return 0;
+        }
+        let compute = scores.div_ceil(footprint.max(1));
+        let gb = if self.opts.output_stays_local { 0 } else { scores };
+        let dist = crate::noc::distribution_cycles(gb, self.opts.bandwidth.dist);
+        let coll = crate::noc::collection_cycles(gb, self.opts.bandwidth.red);
+        let sweep1 = compute.max(dist);
+        let sweep2 = compute.max(dist).max(coll);
+        self.stall_cycles += (sweep1 - compute.min(sweep1)) + (sweep2 - compute.min(sweep2));
+        if self.opts.output_stays_local {
+            self.counters.rf_reads += 2 * scores;
+            self.counters.rf_writes += scores;
+        } else {
+            self.counters.read(self.classes.output, 2 * scores);
+            self.counters.write(self.classes.output, scores);
+            self.counters.rf_reads += 2 * scores;
+            self.counters.rf_writes += scores;
+        }
+        sweep1 + sweep2
+    }
+
+    fn advance_chunks(&mut self, m: u64, produced_each: u64, visits_each: u64, pass_cycles: u64, start: u64) {
+        let Some(t) = self.chunks.as_mut() else { return };
+        match self.opts.chunk.expect("tracker implies spec").side {
+            ChunkSide::Produce => {
+                if produced_each > 0 {
+                    t.advance_repeat(m, produced_each, pass_cycles, start);
+                }
+            }
+            ChunkSide::Consume => t.advance_repeat(m, visits_each, pass_cycles, start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ChunkSpec;
+    use crate::BandwidthShare;
+    use omega_dataflow::LoopOrder;
+
+    fn tiling(order: &str, tiles: [usize; 3]) -> IntraTiling {
+        let d: Vec<Dim> = order.chars().map(|c| Dim::from_letter(c).unwrap()).collect();
+        IntraTiling::new(
+            Phase::Aggregation,
+            LoopOrder::new(Phase::Aggregation, [d[0], d[1], d[2]]).unwrap(),
+            tiles,
+        )
+    }
+
+    fn run(degrees: &[usize], d: usize, h: usize, t: &IntraTiling) -> PhaseStats {
+        let cfg = AccelConfig::paper_default();
+        let wl = SddmmWorkload { degrees, dot_width: d, heads: h };
+        simulate_sddmm(&wl, t, &cfg, &OperandClasses::sddmm(), &EngineOptions::plain(cfg.full_bandwidth()))
+    }
+
+    /// The reference walk: every index and head visited pass by pass,
+    /// multiplicity 1 — no `loop_classes`, no degree-class batching, no head
+    /// batching.
+    fn run_naive(
+        degrees: &[usize],
+        d: usize,
+        h: usize,
+        t: &IntraTiling,
+        cfg: &AccelConfig,
+        opts: &EngineOptions,
+    ) -> PhaseStats {
+        simulate_sddmm_inner(
+            &PreparedSpmm::new(degrees),
+            d,
+            h,
+            t,
+            cfg,
+            &OperandClasses::sddmm(),
+            opts,
+            true,
+        )
+    }
+
+    const SUPPORTED_ORDERS: [&str; 3] = ["VFN", "VNF", "FVN"];
+
+    fn stats_eq(a: &PhaseStats, b: &PhaseStats, ctx: &str) {
+        assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
+        assert_eq!(a.stall_cycles, b.stall_cycles, "{ctx}: stalls");
+        assert_eq!(a.macs, b.macs, "{ctx}: macs");
+        assert_eq!(a.counters, b.counters, "{ctx}: counters");
+        assert_eq!(a.chunk_marks, b.chunk_marks, "{ctx}: chunk marks");
+        assert_eq!(a.psum_spilled, b.psum_spilled, "{ctx}: spill flag");
+    }
+
+    #[test]
+    fn batched_walk_is_bit_identical_to_naive_reference() {
+        // The satellite acceptance: every supported loop order, a spread of
+        // tilings (incl. remainder tiles and spill-inducing shapes), and both
+        // chunked paths, engine vs unbatched reference.
+        let cfg = AccelConfig::paper_default();
+        let degree_sets: [&[usize]; 3] =
+            [&[3, 1, 5, 0, 2], &[7, 7, 7, 7, 7, 7, 7, 7], &[1, 64, 2, 2, 3, 9, 1, 1, 30]];
+        for degrees in degree_sets {
+            for order in SUPPORTED_ORDERS {
+                for tiles in [[1, 1, 1], [2, 4, 2], [4, 2, 1], [3, 3, 3], [1, 2, 4]] {
+                    for (d, h) in [(16, 1), (13, 4), (8, 3)] {
+                        let t = tiling(order, tiles);
+                        let wl = SddmmWorkload { degrees, dot_width: d, heads: h };
+                        let base_opts = EngineOptions::plain(cfg.full_bandwidth());
+                        let chunked = {
+                            let mut o = base_opts;
+                            o.chunk = Some(ChunkSpec { side: ChunkSide::Produce, pel: 7 });
+                            o
+                        };
+                        let consuming = {
+                            let mut o = base_opts;
+                            o.chunk = Some(ChunkSpec { side: ChunkSide::Consume, pel: 33 });
+                            o
+                        };
+                        for opts in [base_opts, chunked, consuming] {
+                            let fast =
+                                simulate_sddmm(&wl, &t, &cfg, &OperandClasses::sddmm(), &opts);
+                            let slow = run_naive(degrees, d, h, &t, &cfg, &opts);
+                            stats_eq(
+                                &fast,
+                                &slow,
+                                &format!("{order} {tiles:?} d={d} h={h} chunk={:?}", opts.chunk),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mac_count_is_invariant_across_orders_and_heads() {
+        let degrees = [3usize, 1, 5, 0, 2];
+        let nnz: u64 = 11;
+        for order in SUPPORTED_ORDERS {
+            for (d, h) in [(16, 1), (4, 4), (8, 2)] {
+                let s = run(&degrees, d, h, &tiling(order, [2, 2, 2]));
+                assert_eq!(s.macs, nnz * (d * h) as u64, "{order} d={d} h={h}");
+                assert!(s.cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_written_once_per_edge_per_head() {
+        let degrees = [2usize, 3, 1, 4];
+        for order in SUPPORTED_ORDERS {
+            let s = run(&degrees, 8, 3, &tiling(order, [2, 4, 1]));
+            // Scoring writes h·nnz once; the softmax writes the normalised
+            // copy once more.
+            assert_eq!(
+                s.counters.gb_writes[OperandClass::EdgeScore.idx()],
+                2 * 3 * 10,
+                "{order}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_reads_scores_twice() {
+        let degrees = [2usize, 3, 1, 4];
+        let s = run(&degrees, 8, 2, &tiling("VFN", [2, 4, 1]));
+        assert_eq!(s.counters.gb_reads[OperandClass::EdgeScore.idx()], 2 * 2 * 10);
+    }
+
+    #[test]
+    fn evil_row_dominates_tile_synchronized_scoring() {
+        let mut degrees = vec![2usize; 63];
+        degrees.push(200);
+        let wide = run(&degrees, 16, 1, &tiling("VFN", [64, 8, 1]));
+        let narrow = run(&degrees, 16, 1, &tiling("VFN", [8, 8, 1]));
+        assert!(narrow.compute_utilisation() > wide.compute_utilisation());
+    }
+
+    #[test]
+    fn spatial_reduction_lanes_cut_dot_cycles() {
+        // T_F spatial lanes shorten every edge's dot product.
+        let degrees = vec![8usize; 32];
+        let temporal = run(&degrees, 64, 1, &tiling("VNF", [8, 1, 4]));
+        let spatial = run(&degrees, 64, 1, &tiling("VNF", [8, 16, 4]));
+        assert!(spatial.cycles * 4 < temporal.cycles, "{} vs {}", spatial.cycles, temporal.cycles);
+    }
+
+    #[test]
+    fn partial_scores_spill_when_f_sliced_and_edges_overflow_rf() {
+        // VFN with many F-slices: every edge of a dense row keeps a live
+        // partial score across slices → spills past the 13-word RF.
+        let degrees = vec![64usize; 16];
+        let s = run(&degrees, 64, 2, &tiling("VFN", [4, 1, 1]));
+        assert!(s.psum_spilled);
+        assert!(s.counters.gb_of(OperandClass::Psum) > 0);
+        // F innermost streams the whole dot per edge: nothing persists.
+        let vnf = run(&degrees, 64, 2, &tiling("VNF", [4, 1, 1]));
+        assert!(!vnf.psum_spilled);
+        assert_eq!(vnf.counters.gb_of(OperandClass::Psum), 0);
+    }
+
+    #[test]
+    fn output_stays_local_suppresses_score_traffic() {
+        let degrees = [2usize, 3, 1, 4];
+        let t = tiling("VFN", [2, 4, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SddmmWorkload { degrees: &degrees, dot_width: 8, heads: 2 };
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.output_stays_local = true;
+        let s = simulate_sddmm(&wl, &t, &cfg, &OperandClasses::sddmm(), &opts);
+        assert_eq!(s.counters.gb_of(OperandClass::EdgeScore), 0);
+        assert_eq!(s.counters.total_gb_writes(), 0);
+    }
+
+    #[test]
+    fn produce_chunks_cover_all_scores() {
+        let degrees = vec![3usize; 16];
+        let t = tiling("VFN", [4, 8, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SddmmWorkload { degrees: &degrees, dot_width: 8, heads: 2 };
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.chunk = Some(ChunkSpec { side: ChunkSide::Produce, pel: 12 });
+        let s = simulate_sddmm(&wl, &t, &cfg, &OperandClasses::sddmm(), &opts);
+        assert_eq!(s.chunk_marks.len(), (2 * 48u64).div_ceil(12) as usize);
+        assert_eq!(*s.chunk_marks.last().unwrap(), s.cycles);
+        assert!(s.chunk_marks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bandwidth_throttling_stalls_scoring() {
+        let degrees = vec![32usize; 64];
+        let t = tiling("VFN", [8, 16, 1]);
+        let cfg = AccelConfig::paper_default();
+        let wl = SddmmWorkload { degrees: &degrees, dot_width: 32, heads: 4 };
+        let fast = simulate_sddmm(&wl, &t, &cfg, &OperandClasses::sddmm(),
+            &EngineOptions::plain(BandwidthShare { dist: 512, red: 512 }));
+        let slow = simulate_sddmm(&wl, &t, &cfg, &OperandClasses::sddmm(),
+            &EngineOptions::plain(BandwidthShare { dist: 16, red: 16 }));
+        assert!(slow.cycles > fast.cycles);
+        assert!(slow.stall_cycles > fast.stall_cycles);
+    }
+
+    #[test]
+    fn empty_workloads_are_free() {
+        assert_eq!(run(&[], 8, 2, &tiling("VFN", [2, 4, 1])).cycles, 0);
+        assert_eq!(run(&[0, 0], 8, 2, &tiling("VFN", [2, 4, 1])).cycles, 0);
+        assert_eq!(run(&[3, 2], 0, 2, &tiling("VFN", [2, 4, 1])).cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "N before V")]
+    fn n_outermost_orders_panic() {
+        run(&[2, 2], 8, 1, &tiling("NVF", [2, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "N before V")]
+    fn fnv_order_panics() {
+        run(&[2, 2], 8, 1, &tiling("FNV", [2, 2, 2]));
+    }
+}

@@ -31,15 +31,16 @@ impl SpmmWorkload<'_> {
 }
 
 /// Degree summary supporting O(log n) "edges active in neighbour slice `[lo, hi)`"
-/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`.
+/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`. Shared with the SDDMM
+/// engine, whose neighbour-slice walks are the same shape.
 #[derive(Debug)]
-struct DegreeSummary {
+pub(crate) struct DegreeSummary {
     sorted: Vec<u32>,
     prefix: Vec<u64>, // prefix[i] = sum of sorted[..i]
 }
 
 impl DegreeSummary {
-    fn new(degrees: impl Iterator<Item = usize>) -> Self {
+    pub(crate) fn new(degrees: impl Iterator<Item = usize>) -> Self {
         let mut sorted: Vec<u32> = degrees.map(|d| d as u32).collect();
         sorted.sort_unstable();
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
@@ -57,16 +58,16 @@ impl DegreeSummary {
     }
 
     /// Edge visits whose within-row index falls in `[lo, hi)`.
-    fn active(&self, lo: usize, hi: usize) -> u64 {
+    pub(crate) fn active(&self, lo: usize, hi: usize) -> u64 {
         self.sum_min(hi) - self.sum_min(lo)
     }
 
     /// Rows with degree > k.
-    fn count_gt(&self, k: usize) -> u64 {
+    pub(crate) fn count_gt(&self, k: usize) -> u64 {
         (self.sorted.len() - self.sorted.partition_point(|&d| d as usize <= k)) as u64
     }
 
-    fn max(&self) -> usize {
+    pub(crate) fn max(&self) -> usize {
         self.sorted.last().map_or(0, |&d| d as usize)
     }
 }
@@ -76,7 +77,7 @@ impl DegreeSummary {
 /// path) pays the O(V log V) sorting once instead of per simulation.
 ///
 /// The totals (`nnz`, `max_degree`) are computed eagerly; the sorted degree
-/// classes and the global [`DegreeSummary`] — needed only by some loop orders —
+/// classes and the global degree summary — needed only by some loop orders —
 /// are built lazily on first use and shared across threads.
 #[derive(Debug)]
 pub struct PreparedSpmm<'a> {
@@ -110,11 +111,11 @@ impl<'a> PreparedSpmm<'a> {
         self.max_degree
     }
 
-    fn classes(&self) -> &[(usize, u64)] {
+    pub(crate) fn classes(&self) -> &[(usize, u64)] {
         self.classes.get_or_init(|| degree_classes(self.degrees))
     }
 
-    fn global(&self) -> &DegreeSummary {
+    pub(crate) fn global(&self) -> &DegreeSummary {
         self.global.get_or_init(|| DegreeSummary::new(self.degrees.iter().copied()))
     }
 }
@@ -479,9 +480,17 @@ impl Walk {
     /// for `m` identical passes. Returns the *per-pass* GB reads (for timing).
     fn charge_inputs(&mut self, edge_visits: u64, width: u64, rows: u64, m: u64) -> u64 {
         let feat = edge_visits * width;
-        let adj = 2 * edge_visits + rows; // column indices + values + row pointers
-        let mut gb = adj;
-        self.counters.read(self.classes.b_input, adj * m);
+        // CSR structure (column indices + row pointers) is always Adjacency
+        // traffic; the per-edge *values* land in the `b_input` class (plain
+        // adjacency values, or attention scores for a GAT aggregation) and can
+        // be RF-resident when the SDDMM producer kept them local.
+        let structure = edge_visits + rows;
+        self.counters.read(OperandClass::Adjacency, structure * m);
+        let mut gb = structure;
+        if !self.opts.scores_resident {
+            self.counters.read(self.classes.b_input, edge_visits * m);
+            gb += edge_visits;
+        }
         if self.opts.input_resident {
             // CA SP-Optimized: the intermediate rows are already local.
         } else {

@@ -17,8 +17,10 @@
 //!   cost model consumes (Section V-A1: "Some dataflows like PP require
 //!   timestamps for the portions of outputs computed for both the phases, which
 //!   are collected at the granularity of Pel").
-//! * [`engine`] — the two phase engines: [`engine::simulate_gemm`] (Combination)
-//!   and [`engine::simulate_spmm`] (Aggregation over CSR). Both walk the loop
+//! * [`engine`] — the three phase engines: [`engine::simulate_gemm`]
+//!   (Combination), [`engine::simulate_spmm`] (Aggregation over CSR), and
+//!   [`engine::simulate_sddmm`] (adjacency-masked attention scoring plus its
+//!   edge-wise softmax pass). All walk the loop
 //!   nest at *pass* granularity (one sweep of the innermost temporal loop),
 //!   computing cycles and buffer traffic in closed form per pass: compute
 //!   throughput (1 MAC/PE/cycle), distribution/collection bandwidth stalls,
@@ -60,4 +62,4 @@ pub use config::{AccelConfig, BandwidthShare, ModelKnobs};
 pub use energy::EnergyModel;
 pub use noc::{collection_cycles, distribution_cycles, tree_latency};
 pub use rf::RfBudget;
-pub use stats::{AccessCounters, OperandClass, PhaseStats};
+pub use stats::{AccessCounters, OperandClass, PhaseStats, NUM_OPERAND_CLASSES};

@@ -2,8 +2,9 @@
 
 use serde::Serialize;
 
-/// Operand classes tracked separately in the global-buffer counters — matching
-/// the breakdown of Fig. 13 (Adj / Inp / Int / Wt / Op / Psum).
+/// Operand classes tracked separately in the global-buffer counters — the
+/// breakdown of Fig. 13 (Adj / Inp / Int / Wt / Op / Psum) extended with the
+/// per-edge attention scores an SDDMM phase produces (`Score`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum OperandClass {
     /// CSR adjacency structure + values (`Adj`).
@@ -18,17 +19,25 @@ pub enum OperandClass {
     Output,
     /// Spilled partial sums (`Psum`).
     Psum,
+    /// Per-edge attention scores (`Score`): the adjacency-shaped output of an
+    /// SDDMM scoring phase, re-read as the aggregation weights of an
+    /// attention GNN.
+    EdgeScore,
 }
 
+/// Number of distinct [`OperandClass`] buckets (length of the counter arrays).
+pub const NUM_OPERAND_CLASSES: usize = 7;
+
 impl OperandClass {
-    /// All classes in Fig. 13 order.
-    pub const ALL: [OperandClass; 6] = [
+    /// All classes in Fig. 13 order (the attention-score bucket last).
+    pub const ALL: [OperandClass; NUM_OPERAND_CLASSES] = [
         OperandClass::Adjacency,
         OperandClass::Input,
         OperandClass::Intermediate,
         OperandClass::Weight,
         OperandClass::Output,
         OperandClass::Psum,
+        OperandClass::EdgeScore,
     ];
 
     /// Index into counter arrays.
@@ -41,6 +50,7 @@ impl OperandClass {
             OperandClass::Weight => 3,
             OperandClass::Output => 4,
             OperandClass::Psum => 5,
+            OperandClass::EdgeScore => 6,
         }
     }
 
@@ -53,6 +63,7 @@ impl OperandClass {
             OperandClass::Weight => "Wt",
             OperandClass::Output => "Op",
             OperandClass::Psum => "Psum",
+            OperandClass::EdgeScore => "Score",
         }
     }
 }
@@ -67,9 +78,9 @@ impl std::fmt::Display for OperandClass {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct AccessCounters {
     /// Global-buffer reads per operand class.
-    pub gb_reads: [u64; 6],
+    pub gb_reads: [u64; NUM_OPERAND_CLASSES],
     /// Global-buffer writes per operand class.
-    pub gb_writes: [u64; 6],
+    pub gb_writes: [u64; NUM_OPERAND_CLASSES],
     /// Register-file reads (all operands).
     pub rf_reads: u64,
     /// Register-file writes (all operands).
@@ -106,7 +117,7 @@ impl AccessCounters {
 
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &AccessCounters) {
-        for i in 0..6 {
+        for i in 0..NUM_OPERAND_CLASSES {
             self.gb_reads[i] += other.gb_reads[i];
             self.gb_writes[i] += other.gb_writes[i];
         }
@@ -167,9 +178,10 @@ mod tests {
     #[test]
     fn class_indices_are_distinct() {
         let idxs: std::collections::HashSet<_> = OperandClass::ALL.iter().map(|c| c.idx()).collect();
-        assert_eq!(idxs.len(), 6);
+        assert_eq!(idxs.len(), NUM_OPERAND_CLASSES);
         assert_eq!(OperandClass::Adjacency.label(), "Adj");
         assert_eq!(OperandClass::Psum.to_string(), "Psum");
+        assert_eq!(OperandClass::EdgeScore.label(), "Score");
     }
 
     #[test]

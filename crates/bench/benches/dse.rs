@@ -89,5 +89,43 @@ fn bench_objectives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(dse, bench_factored_vs_reference, bench_thread_scaling, bench_objectives);
+/// The ISSUE 5 trajectory row: the GAT model-level joint search (three-phase
+/// layers, SDDMM included) through the factored per-layer engine vs the
+/// brute-force reference arm, single-threaded on Cora.
+fn bench_gat_model_search(c: &mut Criterion) {
+    use omega_core::dse::model::{explore_model, ModelDseOptions};
+    use omega_core::dse::DseCache;
+    use omega_core::models::GnnModel;
+
+    let cfg = AccelConfig::paper_default();
+    let wl = workload("Cora");
+    let model = GnnModel::gat_2layer(8, 7);
+    let mut group = c.benchmark_group("dse_model_gat/Cora");
+    group.sample_size(3);
+    for (name, prune, phase_cache) in [("factored", true, true), ("reference", false, false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                // A fresh cache per iteration so the layer searches really run.
+                let cache = DseCache::new();
+                let opts = ModelDseOptions {
+                    threads: 1,
+                    prune,
+                    phase_cache,
+                    ..ModelDseOptions::default()
+                };
+                let out = explore_model(&model, &wl, &cfg, &opts, &cache);
+                out.best().map(|r| r.report.total_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    dse,
+    bench_factored_vs_reference,
+    bench_thread_scaling,
+    bench_objectives,
+    bench_gat_model_search
+);
 criterion_main!(dse);

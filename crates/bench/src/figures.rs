@@ -2,7 +2,7 @@
 
 use serde::Serialize;
 
-use omega_accel::{AccelConfig, OperandClass};
+use omega_accel::{AccelConfig, OperandClass, NUM_OPERAND_CLASSES};
 use omega_dataflow::presets::Preset;
 
 use crate::common::{default_suite, eval_preset, eval_preset_with_split};
@@ -84,7 +84,7 @@ pub fn fig12() -> Vec<Fig12Row> {
 }
 
 /// Fig. 13: global-buffer access breakdown by operand class (Adj / Inp / Int /
-/// Wt / Op / Psum) for Mutag and Citeseer.
+/// Wt / Op / Psum, plus the attention-score bucket) for Mutag and Citeseer.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig13Row {
     /// Dataset name (Mutag or Citeseer).
@@ -92,9 +92,9 @@ pub struct Fig13Row {
     /// Dataflow preset name.
     pub dataflow: String,
     /// Accesses per class, in [`OperandClass::ALL`] order.
-    pub accesses: [u64; 6],
+    pub accesses: [u64; NUM_OPERAND_CLASSES],
     /// Fraction of total per class.
-    pub fractions: [f64; 6],
+    pub fractions: [f64; NUM_OPERAND_CLASSES],
 }
 
 /// Regenerates Fig. 13.
@@ -107,7 +107,7 @@ pub fn fig13() -> Vec<Fig13Row> {
         }
         for preset in Preset::all() {
             let p = eval_preset(&preset, &wl, &cfg);
-            let mut accesses = [0u64; 6];
+            let mut accesses = [0u64; NUM_OPERAND_CLASSES];
             for c in OperandClass::ALL {
                 accesses[c.idx()] = p.report.counters.gb_of(c);
             }

@@ -458,6 +458,9 @@ pub enum GnnModelCase {
     Sage2,
     /// 3-layer GIN of width 64 (adds an MLP GEMM per layer).
     Gin3,
+    /// 2-layer GAT (8 heads over hidden 64, 7 classes) — adds an SDDMM
+    /// scoring phase per layer, AC-only.
+    Gat2,
 }
 
 impl GnnModelCase {
@@ -467,13 +470,14 @@ impl GnnModelCase {
             GnnModelCase::Gcn2 => GnnModel::gcn_2layer(7),
             GnnModelCase::Sage2 => GnnModel::sage_2layer(32, 7),
             GnnModelCase::Gin3 => GnnModel::gin(3, 64),
+            GnnModelCase::Gat2 => GnnModel::gat_2layer(8, 7),
         }
     }
 }
 
 /// The default model-gap study: citation-style node classification (Cora,
-/// Citeseer) under GCN-2/GraphSAGE-2, and graph classification (Mutag,
-/// Proteins) under GCN-2/GIN-3.
+/// Citeseer) under GCN-2/GraphSAGE-2/GAT-2, and graph classification (Mutag,
+/// Proteins) under GCN-2/GIN-3/GAT-2 — all three phase types covered.
 pub fn model_gap() -> Vec<ModelGapRow> {
     model_gap_for(&[
         (GnnModelCase::Gcn2, "Cora"),
@@ -482,6 +486,8 @@ pub fn model_gap() -> Vec<ModelGapRow> {
         (GnnModelCase::Gcn2, "Mutag"),
         (GnnModelCase::Gin3, "Mutag"),
         (GnnModelCase::Gin3, "Proteins"),
+        (GnnModelCase::Gat2, "Cora"),
+        (GnnModelCase::Gat2, "Mutag"),
     ])
 }
 
@@ -493,9 +499,12 @@ mod model_gap_tests {
     fn model_gap_bounds_and_specialisation_win() {
         // Small-graph subset keeps the per-layer exhaustive searches quick; the
         // repro binary runs the full study.
-        let rows =
-            model_gap_for(&[(GnnModelCase::Gcn2, "Mutag"), (GnnModelCase::Gin3, "Mutag")]);
-        assert_eq!(rows.len(), 2);
+        let rows = model_gap_for(&[
+            (GnnModelCase::Gcn2, "Mutag"),
+            (GnnModelCase::Gin3, "Mutag"),
+            (GnnModelCase::Gat2, "Mutag"),
+        ]);
+        assert_eq!(rows.len(), 3);
         for r in &rows {
             // The joint winner can never lose to a uniform preset (they are
             // seeded into the search).
@@ -508,6 +517,9 @@ mod model_gap_tests {
         assert!(rows.iter().any(|r| r.model_gap > 1.005), "{rows:#?}");
         // GIN adds an MLP stage per layer and has 3 layers.
         assert_eq!(rows[1].layers, 3);
+        // GAT's attention (SDDMM) phases make it strictly costlier than GCN-2
+        // on the same graph even after joint optimisation.
+        assert!(rows[2].specialised_cycles > rows[0].specialised_cycles, "{rows:#?}");
     }
 }
 

@@ -2,7 +2,7 @@
 
 use serde::Serialize;
 
-use omega_accel::{AccessCounters, EnergyModel, OperandClass, PhaseStats};
+use omega_accel::{AccessCounters, EnergyModel, OperandClass, PhaseStats, NUM_OPERAND_CLASSES};
 use omega_dataflow::{GnnDataflow, Granularity};
 
 /// Where the intermediate matrix lives, deciding its per-access energy.
@@ -34,8 +34,9 @@ pub struct EnergyBreakdown {
     /// Off-chip DRAM energy (pJ) for the intermediate overflow when it does not
     /// fit on chip (Seq on HF datasets, Fig. 6).
     pub dram_pj: f64,
-    /// GB energy per operand class (Fig. 13's Adj/Inp/Int/Wt/Op/Psum), pJ.
-    pub gb_by_class_pj: [f64; 6],
+    /// GB energy per operand class (Fig. 13's Adj/Inp/Int/Wt/Op/Psum plus the
+    /// attention-score bucket), pJ.
+    pub gb_by_class_pj: [f64; NUM_OPERAND_CLASSES],
 }
 
 impl EnergyBreakdown {
@@ -71,7 +72,7 @@ impl EnergyBreakdown {
             }
         };
         let dram_pj = int_accesses as f64 * dram_fraction * energy.dram_access_pj;
-        let mut gb_by_class_pj = [0.0; 6];
+        let mut gb_by_class_pj = [0.0; NUM_OPERAND_CLASSES];
         let mut gb_pj = 0.0;
         for c in OperandClass::ALL {
             let accesses = counters.gb_reads[c.idx()] + counters.gb_writes[c.idx()];
@@ -106,13 +107,18 @@ impl EnergyBreakdown {
 pub struct CostReport {
     /// The evaluated dataflow.
     pub dataflow: GnnDataflow,
-    /// End-to-end runtime in cycles (inter-phase composition applied).
+    /// End-to-end runtime in cycles (inter-phase composition applied; includes
+    /// the SDDMM scoring phase for attention workloads).
     pub total_cycles: u64,
     /// Aggregation phase statistics.
     pub agg: PhaseStats,
     /// Combination phase statistics.
     pub cmb: PhaseStats,
-    /// Merged access counters of both phases.
+    /// SDDMM scoring-phase statistics (attention workloads only) — runs
+    /// sequentially before the aggregation/combination pair, sharing the
+    /// Aggregation tiling.
+    pub sddmm: Option<PhaseStats>,
+    /// Merged access counters of all phases.
     pub counters: AccessCounters,
     /// Intermediate buffering requirement in elements (Table III column 2:
     /// `V×F` for Seq, `Pel` for SP-Generic, 0 for SP-Optimized, `2×Pel` for PP).

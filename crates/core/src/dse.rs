@@ -406,6 +406,9 @@ fn dse_verdict(eval: DseEval, objective: Objective) -> Verdict<CostReport> {
             let mut report = *report;
             report.agg.chunk_marks = Vec::new();
             report.cmb.chunk_marks = Vec::new();
+            if let Some(s) = report.sddmm.as_mut() {
+                s.chunk_marks = Vec::new();
+            }
             Verdict::Score(objective.score(&report), report)
         }
         DseEval::Invalid => Verdict::Skip,
@@ -419,6 +422,25 @@ fn dse_verdict(eval: DseEval, objective: Objective) -> Verdict<CostReport> {
 /// (ties broken by enumeration index) — and of [`DseOptions::prune`] and
 /// [`DseOptions::phase_cache`], which only change the work performed, never
 /// the ranked output.
+///
+/// ```
+/// use omega_core::dse::{explore, DseOptions};
+/// use omega_core::mapper::Objective;
+/// use omega_core::{AccelConfig, GnnWorkload};
+///
+/// let dataset = omega_graph::DatasetSpec::mutag().generate(1);
+/// let workload = GnnWorkload::gcn_layer(&dataset, 16);
+/// let outcome = explore(
+///     &workload,
+///     &AccelConfig::paper_default(),
+///     &DseOptions { threads: 2, top_k: 3, ..DseOptions::new(Objective::Runtime) },
+/// );
+/// assert_eq!(outcome.space, 6_656);
+/// let best = outcome.best().expect("the enumerated space is never empty");
+/// assert!(best.report.total_cycles > 0);
+/// // The optimum is seeded with every Table V preset, so it never loses to one.
+/// assert!(outcome.ranked.windows(2).all(|w| w[0].score <= w[1].score));
+/// ```
 pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> ExploreOutcome {
     let t0 = Instant::now();
     let space = PatternSpace::new();
@@ -631,6 +653,10 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
     for x in [workload.v as u64, workload.f as u64, workload.g as u64, workload.nnz] {
         eat(&x.to_le_bytes());
     }
+    // Attention changes the evaluation (an extra SDDMM phase and its head
+    // count), so a GAT layer must never share a cache entry with a plain
+    // layer of the same shape.
+    eat(&(workload.attention.map_or(0, |a| a.heads as u64)).to_le_bytes());
     for &d in &workload.degrees {
         eat(&(d as u64).to_le_bytes());
     }

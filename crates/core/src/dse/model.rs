@@ -20,7 +20,7 @@
 //!   layer's output size and a ladder of PE splits.
 //!
 //! The product is enumerated with O(1) mixed-radix indexing and driven through
-//! the same streaming, thread-deterministic [`parallel_search`] primitive as
+//! the same streaming, thread-deterministic `parallel_search` primitive as
 //! the layer-level engine; uniform Table V preset chains are seeded so the
 //! reported optimum is never worse than any fixed-preset accelerator.
 
@@ -55,6 +55,13 @@ pub struct ModelDseOptions {
     pub split_fractions: Vec<f64>,
     /// Mappings per work-queue claim.
     pub chunk: usize,
+    /// Lower-bound pruning in the per-layer exhaustive searches
+    /// ([`DseOptions::prune`]; ranked-output-neutral — disable to exercise the
+    /// brute-force reference arm).
+    pub prune: bool,
+    /// Phase-simulation memoisation in the per-layer searches
+    /// ([`DseOptions::phase_cache`]; ranked-output-neutral).
+    pub phase_cache: bool,
 }
 
 impl Default for ModelDseOptions {
@@ -67,6 +74,8 @@ impl Default for ModelDseOptions {
             pel_rungs: 3,
             split_fractions: vec![0.25, 0.5, 0.75],
             chunk: 16,
+            prune: true,
+            phase_cache: true,
         }
     }
 }
@@ -216,6 +225,13 @@ pub struct ModelExploreOutcome {
     pub skipped: usize,
     /// Uniform preset chains seeded.
     pub seeded: usize,
+    /// Phase simulations the per-layer exhaustive searches actually ran
+    /// (summed over the distinct layer shapes; repeated shapes served from the
+    /// [`DseCache`] re-report their original search's counters).
+    pub phase_sims: usize,
+    /// Per-layer phase-simulation lookups answered from the
+    /// [`crate::PhaseSimCache`] instead of re-running an engine.
+    pub phase_cache_hits: usize,
     /// The best uniform Table V preset applied to every layer.
     pub uniform: Option<UniformBaseline>,
     /// Wall-clock of the joint search in milliseconds (excludes the cached
@@ -298,9 +314,11 @@ fn layer_candidate_list(
     cfg: &AccelConfig,
     opts: &ModelDseOptions,
     cache: &DseCache,
-) -> Vec<GnnDataflow> {
-    let allowed =
-        |df: &GnnDataflow| model.algorithm.allowed_phase_orders().contains(&df.phase_order);
+) -> (Vec<GnnDataflow>, usize, usize) {
+    let allowed = |df: &GnnDataflow| {
+        model.algorithm.allowed_phase_orders().contains(&df.phase_order)
+            && (wl.attention.is_none() || omega_dataflow::validate_sddmm(&df.agg).is_ok())
+    };
     let layer_opts = DseOptions {
         objective: opts.objective,
         threads: opts.threads,
@@ -308,10 +326,11 @@ fn layer_candidate_list(
         refine_steps: 0,
         chunk: 64,
         seed_presets: true,
-        // The per-layer searches are the model explorer's hot path: let them
-        // use the factored/pruned engine (ranked-output-neutral).
-        prune: true,
-        phase_cache: true,
+        // The per-layer searches are the model explorer's hot path: the
+        // factored/pruned engine is ranked-output-neutral, but the reference
+        // arm stays reachable for the bit-identity acceptance tests.
+        prune: opts.prune,
+        phase_cache: opts.phase_cache,
     };
     let outcome = cache.explore(wl, cfg, &layer_opts);
     let mut cands: Vec<GnnDataflow> =
@@ -324,7 +343,7 @@ fn layer_candidate_list(
         }
     }
     cands.truncate(opts.per_layer_k.max(1));
-    cands
+    (cands, outcome.phase_sims, outcome.phase_cache_hits)
 }
 
 /// Builds the joint model space for `model` on `base` — exposed so tests can
@@ -336,17 +355,33 @@ pub fn build_space(
     opts: &ModelDseOptions,
     cache: &DseCache,
 ) -> ModelSpace {
+    build_space_with_stats(model, base, cfg, opts, cache).0
+}
+
+/// [`build_space`] plus the summed `(phase_sims, phase_cache_hits)` of the
+/// distinct per-layer searches it triggered.
+fn build_space_with_stats(
+    model: &GnnModel,
+    base: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &ModelDseOptions,
+    cache: &DseCache,
+) -> (ModelSpace, usize, usize) {
     let wls = model.layer_workloads(base);
     // Layers with the same (F, G) shape share one candidate search (the graph
     // is identical across layers, so shape determines the result).
     let mut by_shape: Vec<((usize, usize), Vec<GnnDataflow>)> = Vec::new();
     let mut layer_candidates = Vec::with_capacity(wls.len());
+    let mut phase_sims = 0;
+    let mut phase_cache_hits = 0;
     for wl in &wls {
         let key = (wl.f, wl.g);
         let cands = match by_shape.iter().find(|(k, _)| *k == key) {
             Some((_, c)) => c.clone(),
             None => {
-                let c = layer_candidate_list(model, wl, cfg, opts, cache);
+                let (c, sims, hits) = layer_candidate_list(model, wl, cfg, opts, cache);
+                phase_sims += sims;
+                phase_cache_hits += hits;
                 by_shape.push((key, c.clone()));
                 c
             }
@@ -359,7 +394,7 @@ pub fn build_space(
             link_options(elems, row, cfg, opts)
         })
         .collect();
-    ModelSpace { layer_candidates, link_options }
+    (ModelSpace { layer_candidates, link_options }, phase_sims, phase_cache_hits)
 }
 
 /// Lowers and evaluates one joint mapping end-to-end, returning its objective
@@ -391,7 +426,8 @@ pub fn explore_model(
     cache: &DseCache,
 ) -> ModelExploreOutcome {
     let t0 = Instant::now();
-    let space = build_space(model, base, cfg, opts, cache);
+    let (space, phase_sims, phase_cache_hits) =
+        build_space_with_stats(model, base, cfg, opts, cache);
     let total = space.len();
     let threads = opts.threads.max(1);
 
@@ -476,6 +512,8 @@ pub fn explore_model(
         evaluated,
         skipped,
         seeded,
+        phase_sims,
+        phase_cache_hits,
         uniform,
         elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         threads,

@@ -16,12 +16,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_spmm_prepared, ChunkSide, ChunkSpec, EngineOptions, GemmDims,
-    OperandClasses, PreparedSpmm,
+    simulate_gemm, simulate_sddmm_prepared, simulate_spmm_prepared, ChunkSide, ChunkSpec,
+    EngineOptions, GemmDims, OperandClasses, PreparedSpmm,
 };
 use omega_accel::{AccelConfig, AccessCounters, BandwidthShare, EnergyModel, PhaseStats};
 use omega_dataflow::{
-    validate, Dim, GnnDataflow, Granularity, InterPhase, IntraTiling, PhaseOrder, ValidationError,
+    validate, validate_sddmm, Dim, GnnDataflow, Granularity, InterPhase, IntraTiling, PhaseOrder,
+    ValidationError,
 };
 
 use crate::cost::{CostReport, EnergyBreakdown, IntermediateCost};
@@ -31,14 +32,22 @@ use crate::GnnWorkload;
 /// Evaluation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
-    /// The dataflow violates Table II legality.
+    /// The dataflow violates Table II legality (or, for attention workloads,
+    /// the SDDMM loop-order legality of `omega_dataflow::validate_sddmm`).
     Invalid(ValidationError),
+    /// An attention (GAT) workload was evaluated under the CA phase order:
+    /// the scores are computed on the phase's input features and consumed by
+    /// the Aggregation, so only AC is legal.
+    AttentionRequiresAc,
 }
 
 impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::Invalid(e) => write!(f, "illegal dataflow: {e}"),
+            EvalError::AttentionRequiresAc => {
+                write!(f, "attention (GAT) layers are AC-only: SDDMM score -> aggregate -> combine")
+            }
         }
     }
 }
@@ -76,14 +85,27 @@ enum PhaseKey {
     Spmm { width: usize, tiling: IntraTiling, classes: OperandClasses, opts: EngineOptions },
     /// Combination: dense GEMM.
     Gemm { dims: GemmDims, tiling: IntraTiling, classes: OperandClasses, opts: EngineOptions },
+    /// Attention scoring: SDDMM over the prepared degrees (`heads` per-edge
+    /// dot products of `dot_width` elements, plus the softmax pass).
+    Sddmm {
+        dot_width: usize,
+        heads: usize,
+        tiling: IntraTiling,
+        classes: OperandClasses,
+        opts: EngineOptions,
+    },
 }
 
-/// The planned evaluation of one dataflow: both phase simulations plus the
+/// The planned evaluation of one dataflow: every phase simulation plus the
 /// composition facts that do not depend on simulation results.
 struct EvalPlan {
     sp_optimized: bool,
     granularity: Option<Granularity>,
     pel: Option<u64>,
+    /// The attention scoring phase, when the workload has one. It runs
+    /// sequentially before the aggregation/combination pair on the full
+    /// array, sharing the Aggregation tiling.
+    sddmm: Option<PhaseKey>,
     agg: PhaseKey,
     cmb: PhaseKey,
 }
@@ -128,9 +150,10 @@ impl<'a> PreparedEval<'a> {
     /// Evaluates one dataflow — bit-identical to [`evaluate`].
     pub fn evaluate(&self, dataflow: &GnnDataflow) -> Result<CostReport, EvalError> {
         let plan = self.plan(dataflow)?;
+        let sddmm = plan.sddmm.as_ref().map(|k| self.simulate(k));
         let agg = self.simulate(&plan.agg);
         let cmb = self.simulate(&plan.cmb);
-        Ok(self.compose(dataflow, &plan, agg, cmb))
+        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb))
     }
 
     /// [`Self::evaluate`] through a shared [`PhaseSimCache`]: bit-identical
@@ -142,9 +165,10 @@ impl<'a> PreparedEval<'a> {
         cache: &PhaseSimCache,
     ) -> Result<CostReport, EvalError> {
         let plan = self.plan(dataflow)?;
+        let sddmm = plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone());
         let agg = cache.stats(self, &plan.agg).as_ref().clone();
         let cmb = cache.stats(self, &plan.cmb).as_ref().clone();
-        Ok(self.compose(dataflow, &plan, agg, cmb))
+        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb))
     }
 
     /// The DSE hot path: evaluate with an optional shared phase-simulation
@@ -162,13 +186,19 @@ impl<'a> PreparedEval<'a> {
                 return DseEval::Pruned;
             }
         }
-        let (agg, cmb) = match cache {
-            Some(cache) => {
-                (cache.stats(self, &plan.agg).as_ref().clone(), cache.stats(self, &plan.cmb).as_ref().clone())
-            }
-            None => (self.simulate(&plan.agg), self.simulate(&plan.cmb)),
+        let (sddmm, agg, cmb) = match cache {
+            Some(cache) => (
+                plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone()),
+                cache.stats(self, &plan.agg).as_ref().clone(),
+                cache.stats(self, &plan.cmb).as_ref().clone(),
+            ),
+            None => (
+                plan.sddmm.as_ref().map(|k| self.simulate(k)),
+                self.simulate(&plan.agg),
+                self.simulate(&plan.cmb),
+            ),
         };
-        DseEval::Report(Box::new(self.compose(dataflow, &plan, agg, cmb)))
+        DseEval::Report(Box::new(self.compose(dataflow, &plan, sddmm, agg, cmb)))
     }
 
     /// Plans the two phase simulations of `dataflow` — the per-phase engine
@@ -178,6 +208,34 @@ impl<'a> PreparedEval<'a> {
         let workload = self.workload;
         let cfg = self.cfg;
         let sp_optimized = dataflow.is_sp_optimized();
+
+        // Attention (GAT) workloads prepend an SDDMM scoring phase: scores are
+        // computed on the input features (AC only) with the layer's
+        // Aggregation tiling, which must satisfy the SDDMM loop-order rule.
+        let sddmm = match workload.attention {
+            None => None,
+            Some(att) => {
+                if dataflow.phase_order != PhaseOrder::AC {
+                    return Err(EvalError::AttentionRequiresAc);
+                }
+                validate_sddmm(&dataflow.agg)?;
+                let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+                if sp_optimized {
+                    // SP-Optimized attention: both phases share the tiling, so
+                    // the scores never leave the PE register files — the
+                    // softmax runs locally and the aggregation gathers the
+                    // resident values (its `scores_resident` flag below).
+                    opts.output_stays_local = true;
+                }
+                Some(PhaseKey::Sddmm {
+                    dot_width: att.dot_width(workload.f),
+                    heads: att.heads,
+                    tiling: dataflow.agg,
+                    classes: OperandClasses::sddmm(),
+                    opts,
+                })
+            }
+        };
         // A Sequential dataflow's loop orders may *happen* to be
         // pipeline-compatible, but nothing is pipelined — report no
         // granularity/Pel for it.
@@ -192,9 +250,15 @@ impl<'a> PreparedEval<'a> {
             PhaseOrder::AC => workload.f,
             PhaseOrder::CA => workload.g,
         };
-        let (agg_classes, cmb_classes) = match dataflow.phase_order {
-            PhaseOrder::AC => (OperandClasses::aggregation_ac(), OperandClasses::combination_ac()),
-            PhaseOrder::CA => (OperandClasses::aggregation_ca(), OperandClasses::combination_ca()),
+        let (agg_classes, cmb_classes) = match (workload.attention, dataflow.phase_order) {
+            // GAT aggregation gathers SDDMM scores as its per-edge values.
+            (Some(_), _) => (OperandClasses::aggregation_gat(), OperandClasses::combination_ac()),
+            (None, PhaseOrder::AC) => {
+                (OperandClasses::aggregation_ac(), OperandClasses::combination_ac())
+            }
+            (None, PhaseOrder::CA) => {
+                (OperandClasses::aggregation_ca(), OperandClasses::combination_ca())
+            }
         };
 
         let (agg_opts, cmb_opts) = match dataflow.inter {
@@ -236,10 +300,19 @@ impl<'a> PreparedEval<'a> {
             }
         };
 
+        let mut agg_opts = agg_opts;
+        if sddmm.is_some() && sp_optimized {
+            // The SDDMM producer kept the scores local (see above): the
+            // aggregation reads them from the RFs, fetching only the CSR
+            // structure.
+            agg_opts.scores_resident = true;
+        }
+
         Ok(EvalPlan {
             sp_optimized,
             granularity,
             pel,
+            sddmm,
             agg: PhaseKey::Spmm {
                 width: agg_width,
                 tiling: dataflow.agg,
@@ -264,14 +337,21 @@ impl<'a> PreparedEval<'a> {
             PhaseKey::Gemm { dims, tiling, classes, opts } => {
                 simulate_gemm(*dims, tiling, self.cfg, classes, opts)
             }
+            PhaseKey::Sddmm { dot_width, heads, tiling, classes, opts } => {
+                simulate_sddmm_prepared(
+                    &self.spmm, *dot_width, *heads, tiling, self.cfg, classes, opts,
+                )
+            }
         }
     }
 
-    /// Composes two phase results into the inter-phase cost report (Table III).
+    /// Composes the phase results into the inter-phase cost report (Table III;
+    /// an attention workload's SDDMM phase adds sequentially up front).
     fn compose(
         &self,
         dataflow: &GnnDataflow,
         plan: &EvalPlan,
+        sddmm: Option<PhaseStats>,
         agg: PhaseStats,
         cmb: PhaseStats,
     ) -> CostReport {
@@ -305,7 +385,15 @@ impl<'a> PreparedEval<'a> {
             }
         };
 
+        // The scoring phase is a sequential prefix: every downstream phase
+        // needs the full normalised score array (the softmax is a global
+        // per-row reduction), so its cycles add on top of the composition.
+        let total_cycles = total_cycles + sddmm.as_ref().map_or(0, |s| s.cycles);
+
         let mut counters = AccessCounters::default();
+        if let Some(s) = &sddmm {
+            counters.merge(&s.counters);
+        }
         counters.merge(&agg.counters);
         counters.merge(&cmb.counters);
         // Fig. 6 / Section IV-A: Seq stages the whole intermediate on chip;
@@ -333,6 +421,7 @@ impl<'a> PreparedEval<'a> {
             total_cycles,
             agg,
             cmb,
+            sddmm,
             counters,
             intermediate_buffer_elems: buffering,
             pel: plan.pel,
@@ -354,10 +443,15 @@ impl<'a> PreparedEval<'a> {
     fn lower_bound(&self, plan: &EvalPlan, inter: InterPhase) -> u64 {
         let agg = self.phase_bound(&plan.agg);
         let cmb = self.phase_bound(&plan.cmb);
-        match inter {
-            InterPhase::ParallelPipeline => agg.max(cmb),
-            _ => agg + cmb,
-        }
+        // The SDDMM prefix always adds sequentially; its bound deliberately
+        // omits the softmax sweeps (a further under-estimate, still
+        // admissible).
+        let sddmm = plan.sddmm.as_ref().map_or(0, |k| self.phase_bound(k));
+        sddmm
+            + match inter {
+                InterPhase::ParallelPipeline => agg.max(cmb),
+                _ => agg + cmb,
+            }
     }
 
     fn phase_bound(&self, key: &PhaseKey) -> u64 {
@@ -386,6 +480,18 @@ impl<'a> PreparedEval<'a> {
                 let macs = v * f * g;
                 let reads = f * g + if opts.input_resident { 0 } else { v * f };
                 let writes = if opts.output_stays_local { 0 } else { v * g };
+                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+            }
+            PhaseKey::Sddmm { dot_width, heads, tiling, opts, .. } => {
+                let (d, h) = (*dot_width as u64, (*heads).max(1) as u64);
+                if self.workload.v == 0 || d == 0 || self.workload.nnz == 0 {
+                    return 0; // the engine early-returns a zero report
+                }
+                // Compulsory: one gathered K element per MAC; one score write
+                // per (edge, head).
+                let macs = h * self.workload.nnz * d;
+                let reads = if opts.input_resident { 0 } else { macs };
+                let writes = if opts.output_stays_local { 0 } else { h * self.workload.nnz };
                 floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
             }
         }
@@ -650,6 +756,113 @@ mod tests {
         assert_eq!(r.agg.macs, wl.nnz * wl.g as u64);
         // CA intermediate is V×G.
         assert_eq!(r.intermediate_buffer_elems, (wl.v * wl.g) as u64);
+    }
+
+    fn gat_workload() -> GnnWorkload {
+        let d = DatasetSpec::mutag().generate(1);
+        GnnWorkload::gat_layer(&d, 16, 4)
+    }
+
+    #[test]
+    fn gat_workload_prepends_a_scoring_phase() {
+        let wl = gat_workload();
+        let cfg = AccelConfig::paper_default();
+        for name in ["Seq1", "SP2", "PP3"] {
+            let r = eval_preset(name, &wl, &cfg);
+            let sddmm = r.sddmm.as_ref().expect("attention workload scores");
+            // heads × nnz × (F/heads) dot MACs; sequential prefix.
+            let att = wl.attention.unwrap();
+            assert_eq!(
+                sddmm.macs,
+                wl.nnz * (att.heads * att.dot_width(wl.f)) as u64,
+                "{name}"
+            );
+            assert!(sddmm.cycles > 0, "{name}");
+            let base = match name {
+                // PP overlaps agg/cmb, Seq/SP add them.
+                "PP3" => r.total_cycles,
+                _ => r.agg.cycles + r.cmb.cycles + sddmm.cycles,
+            };
+            assert_eq!(
+                r.total_cycles, base,
+                "{name}: sddmm must add sequentially"
+            );
+            // Scores flow through the Score bucket somewhere (GB or RF).
+            let plain = {
+                let mut p = wl.clone();
+                p.attention = None;
+                eval_preset(name, &p, &cfg)
+            };
+            assert!(r.total_cycles > plain.total_cycles, "{name}");
+        }
+    }
+
+    #[test]
+    fn sp_optimized_gat_keeps_scores_in_the_register_files() {
+        let wl = gat_workload();
+        let cfg = AccelConfig::paper_default();
+        let seq = eval_preset("Seq1", &wl, &cfg);
+        let sp = eval_preset("SP2", &wl, &cfg);
+        use omega_accel::OperandClass;
+        assert!(seq.counters.gb_of(OperandClass::EdgeScore) > 0);
+        assert_eq!(sp.counters.gb_of(OperandClass::EdgeScore), 0, "SP-Optimized scores stay local");
+    }
+
+    #[test]
+    fn gat_rejects_ca_and_sddmm_illegal_orders() {
+        use omega_dataflow::{IntraTiling, LoopOrder, Phase};
+        let wl = gat_workload();
+        let cfg = AccelConfig::paper_default();
+        // CA phase order: scores need the AC structure.
+        let agg_order = LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).unwrap();
+        let cmb_order = LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap();
+        let ca = GnnDataflow {
+            inter: InterPhase::Sequential,
+            phase_order: PhaseOrder::CA,
+            agg: IntraTiling::new(Phase::Aggregation, agg_order, [16, 16, 1]),
+            cmb: IntraTiling::new(Phase::Combination, cmb_order, [32, 16, 1]),
+        };
+        assert_eq!(evaluate(&wl, &ca, &cfg).unwrap_err(), EvalError::AttentionRequiresAc);
+        // N-before-V aggregation order: the SDDMM cannot stream its softmax.
+        let nvf = LoopOrder::new(Phase::Aggregation, [Dim::N, Dim::V, Dim::F]).unwrap();
+        let bad = GnnDataflow {
+            inter: InterPhase::Sequential,
+            phase_order: PhaseOrder::AC,
+            agg: IntraTiling::new(Phase::Aggregation, nvf, [1, 16, 16]),
+            cmb: IntraTiling::new(Phase::Combination, cmb_order, [32, 16, 1]),
+        };
+        let err = evaluate(&wl, &bad, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Invalid(ValidationError::SddmmOrderUnsupported { .. })
+        ));
+        // The same dataflows are fine without attention.
+        let mut plain = wl.clone();
+        plain.attention = None;
+        assert!(evaluate(&plain, &ca, &cfg).is_ok());
+        assert!(evaluate(&plain, &bad, &cfg).is_ok());
+    }
+
+    #[test]
+    fn gat_cached_evaluation_is_bit_identical() {
+        let wl = gat_workload();
+        let cfg = AccelConfig::paper_default();
+        let prep = PreparedEval::new(&wl, &cfg);
+        let cache = PhaseSimCache::new();
+        let ctx = wl.tile_context(PhaseOrder::AC);
+        for name in ["Seq1", "Seq2", "SP1", "SP2", "PP1"] {
+            let df = Preset::by_name(name).unwrap().concretize(&ctx, 512, 512);
+            let direct = prep.evaluate(&df).unwrap();
+            let cached = prep.evaluate_with_cache(&df, &cache).unwrap();
+            assert_eq!(direct.total_cycles, cached.total_cycles, "{name}");
+            assert_eq!(direct.counters, cached.counters, "{name}");
+            assert_eq!(
+                direct.sddmm.as_ref().map(|s| s.cycles),
+                cached.sddmm.as_ref().map(|s| s.cycles),
+                "{name}"
+            );
+        }
+        assert!(cache.hits() > 0, "shared agg tilings must share SDDMM sims");
     }
 
     #[test]

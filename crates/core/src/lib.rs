@@ -59,7 +59,7 @@ mod workload;
 pub use cost::{CostReport, EnergyBreakdown, IntermediateCost};
 pub use evaluate::{evaluate, evaluate_many, EvalError, PhaseSimCache, PreparedEval};
 pub use pipeline::{pipeline_runtime, resample_durations};
-pub use workload::{GnnWorkload, DEFAULT_HIDDEN};
+pub use workload::{AttentionSpec, GnnWorkload, PhaseKind, DEFAULT_HIDDEN};
 
 pub use omega_accel::AccelConfig;
 pub use omega_dataflow::GnnDataflow;

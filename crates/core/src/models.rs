@@ -43,14 +43,34 @@ pub enum Algorithm {
         /// Hidden width of the per-layer MLP.
         mlp_hidden: usize,
     },
+    /// Graph Attention Network: every layer prepends an SDDMM scoring phase
+    /// (per-edge `QKᵀ` dot products masked to the adjacency, plus an
+    /// edge-wise softmax) before the attention-weighted Aggregation — three
+    /// phases per layer, AC-only.
+    Gat {
+        /// Attention heads per layer (the feature width splits across them).
+        heads: usize,
+    },
 }
 
 impl Algorithm {
-    /// Phase orders this algorithm admits (Section II-A).
+    /// Phase orders this algorithm admits (Section II-A; GAT scores on the
+    /// input features, so Aggregation must follow the scoring).
     pub fn allowed_phase_orders(self) -> &'static [PhaseOrder] {
         match self {
             Algorithm::Gcn => &[PhaseOrder::AC, PhaseOrder::CA],
-            Algorithm::GraphSage | Algorithm::GinConv { .. } => &[PhaseOrder::AC],
+            Algorithm::GraphSage | Algorithm::GinConv { .. } | Algorithm::Gat { .. } => {
+                &[PhaseOrder::AC]
+            }
+        }
+    }
+
+    /// The attention structure this algorithm gives every layer workload
+    /// (`None` for the two-phase algorithms).
+    pub fn attention(self) -> Option<crate::workload::AttentionSpec> {
+        match self {
+            Algorithm::Gat { heads } => Some(crate::workload::AttentionSpec::new(heads)),
+            _ => None,
         }
     }
 }
@@ -92,9 +112,23 @@ impl GnnModel {
         }
     }
 
-    /// The per-layer workloads for a base (dataset) workload.
+    /// The standard 2-layer GAT (Veličković et al. on the citation networks:
+    /// `heads` heads over a hidden width of 64, one implicit output head of
+    /// `num_classes`).
+    pub fn gat_2layer(heads: usize, num_classes: usize) -> Self {
+        GnnModel {
+            name: "GAT-2".into(),
+            algorithm: Algorithm::Gat { heads },
+            layer_widths: vec![64, num_classes],
+        }
+    }
+
+    /// The per-layer workloads for a base (dataset) workload. GAT layers carry
+    /// the algorithm's attention spec, which makes [`crate::evaluate`] prepend
+    /// the SDDMM scoring phase.
     pub fn layer_workloads(&self, base: &GnnWorkload) -> Vec<GnnWorkload> {
         let mut f = base.f;
+        let attention = self.algorithm.attention();
         self.layer_widths
             .iter()
             .enumerate()
@@ -103,6 +137,7 @@ impl GnnModel {
                     name: format!("{}[L{}]", base.name, i),
                     f,
                     g,
+                    attention,
                     ..base.clone()
                 };
                 f = g;
@@ -298,7 +333,8 @@ fn fit_stage(stage: &mut Stage, ctx: &omega_dataflow::tiles::TileContext, budget
     let fitted = choose_tiling(&pattern, ctx, budget, &crate::dse::balanced_policy(&pattern));
     match &mut stage.kind {
         crate::multiphase::StageKind::Gemm { tiling, .. }
-        | crate::multiphase::StageKind::Spmm { tiling, .. } => *tiling = fitted,
+        | crate::multiphase::StageKind::Spmm { tiling, .. }
+        | crate::multiphase::StageKind::Sddmm { tiling, .. } => *tiling = fitted,
     }
 }
 
@@ -361,6 +397,27 @@ pub fn to_chain(
             let dims = GemmDims { v: wl.v, f: wl.g, g: mlp_hidden };
             stages.push(Stage::gemm(format!("{}.mlp", wl.name), dims, df.cmb));
         }
+        if let Some(att) = model.algorithm.attention() {
+            // GAT: the SDDMM scoring stage precedes the (AC-ordered)
+            // aggregation. Its tiling is the layer's Aggregation tiling, which
+            // must satisfy the SDDMM loop-order rule; when the layer is
+            // SP-Optimized the scores stay in the RFs and the aggregation
+            // gathers them in place (the reused-score residency pair).
+            omega_dataflow::validate_sddmm(&df.agg)
+                .map_err(|e| ModelError::Layer(EvalError::Invalid(e)))?;
+            let mut sddmm = Stage::sddmm(
+                format!("{}.att", wl.name),
+                wl.degrees.clone(),
+                att.dot_width(wl.f),
+                att.heads,
+                df.agg,
+            );
+            if sp_opt {
+                sddmm = sddmm.with_residency(false, true);
+            }
+            stages[0] = stages[0].clone().with_scores(sp_opt);
+            stages.insert(0, sddmm);
+        }
         layer_stages.push(stages);
     }
 
@@ -396,16 +453,19 @@ pub fn to_chain(
         if j > 0 {
             links.push(inter_links[j - 1]);
         }
+        // The Aggregation/Combination phase pair sits after GAT's leading
+        // SDDMM stage, if any.
+        let pair = usize::from(model.algorithm.attention().is_some());
         // Intra-layer link between the phase pair, from (possibly re-tiled)
         // stage tilings so Pel and the PP split match what runs.
         let effective = GnnDataflow {
             agg: *match df.phase_order {
-                PhaseOrder::AC => stages[0].tiling(),
-                PhaseOrder::CA => stages[1].tiling(),
+                PhaseOrder::AC => stages[pair].tiling(),
+                PhaseOrder::CA => stages[pair + 1].tiling(),
             },
             cmb: *match df.phase_order {
-                PhaseOrder::AC => stages[1].tiling(),
-                PhaseOrder::CA => stages[0].tiling(),
+                PhaseOrder::AC => stages[pair + 1].tiling(),
+                PhaseOrder::CA => stages[pair].tiling(),
             },
             ..*df
         };
@@ -417,8 +477,8 @@ pub fn to_chain(
                 Link::Pipelined {
                     pel,
                     split: Some(PartitionSplit {
-                        producer_pes: stages[0].pe_footprint(),
-                        consumer_pes: stages[1].pe_footprint(),
+                        producer_pes: stages[pair].pe_footprint(),
+                        consumer_pes: stages[pair + 1].pe_footprint(),
                     }),
                 }
             }
@@ -426,10 +486,11 @@ pub fn to_chain(
         let n = stages.len();
         for (k, stage) in stages.into_iter().enumerate() {
             nodes.push(ChainNode::Single(stage));
-            if k == 0 {
-                links.push(intra);
-            } else if k + 1 < n {
-                links.push(Link::Sequential); // GIN's MLP follows its layer.
+            if k + 1 < n {
+                // The phase pair gets the dataflow's inter-phase link; every
+                // other boundary (SDDMM → aggregation, layer → GIN MLP) is a
+                // barrier.
+                links.push(if k == pair { intra } else { Link::Sequential });
             }
         }
     }
@@ -594,6 +655,59 @@ mod tests {
         assert!(footprint(2) <= 416);
         let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
         assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn gat_layers_carry_attention_and_are_ac_only() {
+        let model = GnnModel::gat_2layer(8, 7);
+        assert_eq!(Algorithm::Gat { heads: 8 }.allowed_phase_orders(), &[PhaseOrder::AC]);
+        let wls = model.layer_workloads(&base());
+        assert_eq!(wls.len(), 2);
+        assert_eq!(wls[0].attention.map(|a| a.heads), Some(8));
+        assert_eq!((wls[0].f, wls[0].g), (1433, 64));
+        assert_eq!((wls[1].f, wls[1].g), (64, 7));
+    }
+
+    #[test]
+    fn gat_to_chain_matches_evaluate_model_cycles_for_every_preset() {
+        // The GAT lowering (SDDMM stage + residency pair) must stay
+        // cycle-faithful to the per-layer cost model, exactly like the
+        // two-phase algorithms.
+        let cfg = AccelConfig::paper_default();
+        let model = GnnModel::gat_2layer(4, 7);
+        let small = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 64);
+        for preset in Preset::all() {
+            let per_layer = evaluate_model(&model, &small, &preset, &cfg).unwrap();
+            let dfs = uniform_layer_dataflows(&model, &small, &preset, &cfg).unwrap();
+            let chain = to_chain(&model, &small, &dfs, &[Link::Sequential], &cfg).unwrap();
+            let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
+            assert_eq!(r.stages.len(), 6); // 2 layers × (att + agg + cmb)
+            assert_eq!(
+                r.total_cycles, per_layer.total_cycles,
+                "{}: GAT chain lowering drifted from evaluate()",
+                preset.name
+            );
+        }
+    }
+
+    #[test]
+    fn gat_is_costlier_than_gcn_of_the_same_widths() {
+        let cfg = AccelConfig::paper_default();
+        let small = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 64);
+        let preset = Preset::by_name("Seq1").unwrap();
+        let gat = evaluate_model(&GnnModel::gat_2layer(4, 7), &small, &preset, &cfg).unwrap();
+        let gcn = evaluate_model(
+            &GnnModel {
+                name: "GCN-2w".into(),
+                algorithm: Algorithm::Gcn,
+                layer_widths: vec![64, 7],
+            },
+            &small,
+            &preset,
+            &cfg,
+        )
+        .unwrap();
+        assert!(gat.total_cycles > gcn.total_cycles);
     }
 
     #[test]

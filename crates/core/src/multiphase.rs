@@ -22,8 +22,8 @@
 use serde::Serialize;
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims, OperandClasses,
-    SpmmWorkload,
+    simulate_gemm, simulate_sddmm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims,
+    OperandClasses, SddmmWorkload, SpmmWorkload,
 };
 use omega_accel::{AccelConfig, AccessCounters, EnergyModel, PhaseStats};
 use omega_dataflow::IntraTiling;
@@ -51,6 +51,19 @@ pub enum StageKind {
         /// Concrete tiling (Aggregation phase).
         tiling: IntraTiling,
     },
+    /// An SDDMM attention-scoring stage (per-edge dot products masked to the
+    /// adjacency, plus the edge-wise softmax) with a `V`/`F`/`N` tiling.
+    Sddmm {
+        /// Stored non-zeros per row.
+        degrees: Vec<usize>,
+        /// Per-head dot-product length.
+        dot_width: usize,
+        /// Attention heads.
+        heads: usize,
+        /// Concrete tiling (Aggregation dimension set; must satisfy
+        /// `omega_dataflow::validate_sddmm`).
+        tiling: IntraTiling,
+    },
 }
 
 /// A named stage.
@@ -66,6 +79,14 @@ pub struct Stage {
     /// The produced matrix stays in the PE register files (SP-Optimized
     /// producer): no GB writes or collection stalls for it.
     pub output_stays_local: bool,
+    /// This SpMM stage gathers SDDMM-produced attention scores as its
+    /// per-edge values (their traffic lands in the `Score` bucket). Meaningful
+    /// on SpMM stages only.
+    pub gathers_scores: bool,
+    /// The gathered per-edge values (attention scores) are RF-resident — the
+    /// preceding SDDMM stage kept them local — so only the CSR structure is
+    /// fetched. Meaningful on SpMM stages only; implies [`Self::gathers_scores`].
+    pub scores_resident: bool,
 }
 
 impl Stage {
@@ -76,6 +97,8 @@ impl Stage {
             kind: StageKind::Gemm { dims, tiling },
             input_resident: false,
             output_stays_local: false,
+            gathers_scores: false,
+            scores_resident: false,
         }
     }
 
@@ -86,6 +109,26 @@ impl Stage {
             kind: StageKind::Spmm { degrees, width, tiling },
             input_resident: false,
             output_stays_local: false,
+            gathers_scores: false,
+            scores_resident: false,
+        }
+    }
+
+    /// Builds an SDDMM attention-scoring stage.
+    pub fn sddmm(
+        name: impl Into<String>,
+        degrees: Vec<usize>,
+        dot_width: usize,
+        heads: usize,
+        tiling: IntraTiling,
+    ) -> Self {
+        Stage {
+            name: name.into(),
+            kind: StageKind::Sddmm { degrees, dot_width, heads, tiling },
+            input_resident: false,
+            output_stays_local: false,
+            gathers_scores: false,
+            scores_resident: false,
         }
     }
 
@@ -97,17 +140,36 @@ impl Stage {
         self
     }
 
+    /// Same stage marked as gathering attention scores as its per-edge values
+    /// (`resident` additionally keeps them in the RFs — pairs with an SDDMM
+    /// producer whose [`Self::with_residency`] kept its output local).
+    pub fn with_scores(mut self, resident: bool) -> Self {
+        self.gathers_scores = true;
+        self.scores_resident = resident;
+        self
+    }
+
     fn run(&self, cfg: &AccelConfig, opts: &EngineOptions) -> PhaseStats {
         let mut opts = *opts;
         opts.input_resident |= self.input_resident;
         opts.output_stays_local |= self.output_stays_local;
+        opts.scores_resident |= self.scores_resident;
         match &self.kind {
             StageKind::Gemm { dims, tiling } => {
                 simulate_gemm(*dims, tiling, cfg, &OperandClasses::combination_ac(), &opts)
             }
             StageKind::Spmm { degrees, width, tiling } => {
                 let wl = SpmmWorkload { degrees, feature_width: *width };
-                simulate_spmm(&wl, tiling, cfg, &OperandClasses::aggregation_ac(), &opts)
+                let classes = if self.gathers_scores || self.scores_resident {
+                    OperandClasses::aggregation_gat()
+                } else {
+                    OperandClasses::aggregation_ac()
+                };
+                simulate_spmm(&wl, tiling, cfg, &classes, &opts)
+            }
+            StageKind::Sddmm { degrees, dot_width, heads, tiling } => {
+                let wl = SddmmWorkload { degrees, dot_width: *dot_width, heads: *heads };
+                simulate_sddmm(&wl, tiling, cfg, &OperandClasses::sddmm(), &opts)
             }
         }
     }
@@ -117,13 +179,18 @@ impl Stage {
         match &self.kind {
             StageKind::Gemm { dims, .. } => dims.v as u64 * dims.g as u64,
             StageKind::Spmm { degrees, width, .. } => degrees.len() as u64 * *width as u64,
+            StageKind::Sddmm { degrees, heads, .. } => {
+                (*heads).max(1) as u64 * degrees.iter().map(|&d| d as u64).sum::<u64>()
+            }
         }
     }
 
     /// The stage's concrete tiling.
     pub fn tiling(&self) -> &IntraTiling {
         match &self.kind {
-            StageKind::Gemm { tiling, .. } | StageKind::Spmm { tiling, .. } => tiling,
+            StageKind::Gemm { tiling, .. }
+            | StageKind::Spmm { tiling, .. }
+            | StageKind::Sddmm { tiling, .. } => tiling,
         }
     }
 
@@ -144,6 +211,16 @@ impl Stage {
                 let total_elems = degrees.len() as u64 * *width as u64;
                 let total_visits: u64 =
                     degrees.iter().map(|&d| d as u64).sum::<u64>() * *width as u64;
+                crate::evaluate::scale_elems_to_visits(pel_elems, total_elems, total_visits)
+            }
+            StageKind::Sddmm { degrees, dot_width, heads, .. } => {
+                // The SDDMM consumes its feature input per edge visit (MAC
+                // units), like the SpMM consume path.
+                let h = (*heads).max(1) as u64;
+                let total_elems = degrees.len() as u64 * h * *dot_width as u64;
+                let total_visits: u64 = degrees.iter().map(|&d| d as u64).sum::<u64>()
+                    * h
+                    * *dot_width as u64;
                 crate::evaluate::scale_elems_to_visits(pel_elems, total_elems, total_visits)
             }
         }

@@ -6,8 +6,46 @@ use omega_dataflow::tiles::TileContext;
 use omega_dataflow::PhaseOrder;
 use omega_graph::{Dataset, Graph};
 
+/// The kind of one phase of a GNN layer — which engine simulates it.
+///
+/// Two-phase layers (GCN, GraphSAGE, GIN) are an [`PhaseKind::Spmm`] +
+/// [`PhaseKind::Gemm`] pair in either order; attention layers (GAT) prepend an
+/// [`PhaseKind::Sddmm`] scoring phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PhaseKind {
+    /// Adjacency-masked dense-dense scoring (attention `QKᵀ` + softmax).
+    Sddmm,
+    /// Sparse aggregation over the CSR adjacency.
+    Spmm,
+    /// Dense combination with the weight matrix.
+    Gemm,
+}
+
+/// The attention structure of a GAT-style layer: how many heads score every
+/// edge. The per-head dot-product length is `F / heads` (the feature width
+/// splits across heads), clamped to ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct AttentionSpec {
+    /// Attention heads (≥ 1).
+    pub heads: usize,
+}
+
+impl AttentionSpec {
+    /// An attention spec with `heads` heads (clamped to ≥ 1).
+    pub fn new(heads: usize) -> Self {
+        AttentionSpec { heads: heads.max(1) }
+    }
+
+    /// The per-head dot-product length for an input feature width `f`.
+    /// (`heads` is clamped defensively: the field is public, so a literal can
+    /// bypass the [`Self::new`] clamp.)
+    pub fn dot_width(&self, f: usize) -> usize {
+        (f / self.heads.max(1)).max(1)
+    }
+}
+
 /// One GCN-style layer over one (possibly batched) graph: the matrix dimensions
-/// and adjacency degree structure that both phase engines consume.
+/// and adjacency degree structure that the phase engines consume.
 #[derive(Debug, Clone, Serialize)]
 pub struct GnnWorkload {
     /// Workload name (dataset name).
@@ -27,6 +65,10 @@ pub struct GnnWorkload {
     pub mean_degree: f64,
     /// Maximum row degree.
     pub max_degree: usize,
+    /// Attention structure, when this is a GAT-style layer: the evaluation
+    /// prepends an SDDMM scoring phase (per-edge `QKᵀ` dot products masked to
+    /// the adjacency, plus an edge-wise softmax) before the aggregation.
+    pub attention: Option<AttentionSpec>,
 }
 
 /// Default GCN hidden width used throughout the evaluation.
@@ -49,6 +91,7 @@ impl GnnWorkload {
             nnz,
             mean_degree,
             max_degree,
+            attention: None,
         }
     }
 
@@ -57,6 +100,31 @@ impl GnnWorkload {
         let mut wl = Self::from_graph(&dataset.graph, g);
         wl.name = dataset.name().to_string();
         wl
+    }
+
+    /// Builds the workload for a GAT layer over a generated dataset: a GCN
+    /// layer with `heads`-headed attention scoring prepended.
+    pub fn gat_layer(dataset: &Dataset, g: usize, heads: usize) -> Self {
+        let mut wl = Self::gcn_layer(dataset, g);
+        wl.attention = Some(AttentionSpec::new(heads));
+        wl
+    }
+
+    /// The phases this workload's layer runs under `phase_order`, in execution
+    /// order. Attention layers are AC-only: SDDMM score → SpMM weighted
+    /// aggregate → GEMM combine.
+    pub fn phase_kinds(&self, phase_order: PhaseOrder) -> Vec<PhaseKind> {
+        match (self.attention, phase_order) {
+            (Some(_), _) => vec![PhaseKind::Sddmm, PhaseKind::Spmm, PhaseKind::Gemm],
+            (None, PhaseOrder::AC) => vec![PhaseKind::Spmm, PhaseKind::Gemm],
+            (None, PhaseOrder::CA) => vec![PhaseKind::Gemm, PhaseKind::Spmm],
+        }
+    }
+
+    /// Edge scores an attention layer materialises (`heads × nnz`; 0 without
+    /// attention).
+    pub fn edge_scores(&self) -> u64 {
+        self.attention.map_or(0, |a| a.heads as u64 * self.nnz)
     }
 
     /// Tile-selection context for this workload under a phase order.
@@ -73,14 +141,17 @@ impl GnnWorkload {
         }
     }
 
-    /// Total MACs of the layer (Aggregation + Combination), independent of the
-    /// dataflow.
+    /// Total MACs of the layer (SDDMM scoring when attention is present, plus
+    /// Aggregation + Combination), independent of the dataflow.
     pub fn total_macs(&self, phase_order: PhaseOrder) -> u64 {
         let (agg_width, cmb) = match phase_order {
             PhaseOrder::AC => (self.f as u64, self.v as u64 * self.f as u64 * self.g as u64),
             PhaseOrder::CA => (self.g as u64, self.v as u64 * self.f as u64 * self.g as u64),
         };
-        self.nnz * agg_width + cmb
+        let sddmm = self
+            .attention
+            .map_or(0, |a| a.heads as u64 * self.nnz * a.dot_width(self.f) as u64);
+        sddmm + self.nnz * agg_width + cmb
     }
 }
 
@@ -130,5 +201,29 @@ mod tests {
         assert_eq!(ac.f_agg, 10);
         let ca = w.tile_context(PhaseOrder::CA);
         assert_eq!(ca.f_agg, 4);
+    }
+
+    #[test]
+    fn attention_adds_an_sddmm_phase() {
+        let mut w = wl();
+        assert_eq!(w.phase_kinds(PhaseOrder::AC), vec![PhaseKind::Spmm, PhaseKind::Gemm]);
+        assert_eq!(w.phase_kinds(PhaseOrder::CA), vec![PhaseKind::Gemm, PhaseKind::Spmm]);
+        assert_eq!(w.edge_scores(), 0);
+        let plain_macs = w.total_macs(PhaseOrder::AC);
+        w.attention = Some(AttentionSpec::new(2));
+        assert_eq!(
+            w.phase_kinds(PhaseOrder::AC),
+            vec![PhaseKind::Sddmm, PhaseKind::Spmm, PhaseKind::Gemm]
+        );
+        assert_eq!(w.edge_scores(), 2 * 16);
+        // 2 heads × nnz × (F/2) dot width on top of the two-phase MACs.
+        assert_eq!(w.total_macs(PhaseOrder::AC), plain_macs + 2 * 16 * 5);
+    }
+
+    #[test]
+    fn attention_spec_clamps() {
+        assert_eq!(AttentionSpec::new(0).heads, 1);
+        assert_eq!(AttentionSpec::new(8).dot_width(64), 8);
+        assert_eq!(AttentionSpec::new(8).dot_width(4), 1);
     }
 }

@@ -58,4 +58,6 @@ pub use descriptor::{GnnDataflow, GnnDataflowPattern, ParseError};
 pub use dim::{Dim, LoopOrder, Mapping, MappingSpec, Phase};
 pub use inter::{Granularity, InterPhase, PhaseOrder};
 pub use intra::{IntraPattern, IntraTiling};
-pub use validate::{validate, validate_pattern, ValidationError};
+pub use validate::{
+    validate, validate_pattern, validate_sddmm, validate_sddmm_pattern, ValidationError,
+};

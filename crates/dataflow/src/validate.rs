@@ -1,7 +1,8 @@
-//! Dataflow legality checks per Table II.
+//! Dataflow legality checks per Table II, plus the SDDMM-phase legality of
+//! attention (GAT) layers.
 
 use crate::granularity::pipeline_granularity;
-use crate::{GnnDataflow, GnnDataflowPattern, InterPhase};
+use crate::{Dim, GnnDataflow, GnnDataflowPattern, InterPhase, IntraPattern, IntraTiling, Phase};
 
 /// Why a dataflow is illegal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,13 @@ pub enum ValidationError {
         /// Explanation of the violated constraint.
         detail: &'static str,
     },
+    /// An attention (GAT) layer's SDDMM scoring phase cannot run this loop
+    /// order: scores must be produced row-contiguously for the row-wise
+    /// softmax, so `V` has to precede `N` in the shared `V`/`F`/`N` nest.
+    SddmmOrderUnsupported {
+        /// The offending loop order (e.g. `"NVF"`).
+        order: String,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -35,6 +43,11 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BrokenSpOptimizedTiles { detail } => {
                 write!(f, "SP-Optimized tile constraint violated: {detail}")
             }
+            ValidationError::SddmmOrderUnsupported { order } => write!(
+                f,
+                "SDDMM scoring cannot run loop order {order}: the row-wise softmax needs \
+                 row-contiguous scores, so V must precede N"
+            ),
         }
     }
 }
@@ -71,6 +84,39 @@ pub fn validate_pattern(p: &GnnDataflowPattern) -> Result<(), ValidationError> {
 /// applied here. Use [`GnnDataflow::is_sp_optimized`] to distinguish the two.
 pub fn validate(df: &GnnDataflow) -> Result<(), ValidationError> {
     validate_pattern(&df.to_pattern())
+}
+
+/// Checks a tiling's legality as the **SDDMM scoring phase** of an attention
+/// (GAT) layer.
+///
+/// The SDDMM shares the Aggregation dimension set (`V`/`N`/`F` — one dot
+/// product per stored non-zero, reduced over `F`), so it reuses the layer's
+/// Aggregation tiling. Beyond that shape requirement, the loop order must keep
+/// `V` before `N`: each row's scores have to complete contiguously so the
+/// row-wise softmax can stream over them — `N`-before-`V` orders interleave
+/// every row's score production across the whole phase. The admitted orders
+/// are `VFN`, `VNF`, and `FVN`.
+pub fn validate_sddmm(tiling: &IntraTiling) -> Result<(), ValidationError> {
+    sddmm_order_legal(tiling.phase(), tiling.order())
+}
+
+/// [`validate_sddmm`] at the pattern level (same rule: Aggregation dim set,
+/// `V` before `N`).
+pub fn validate_sddmm_pattern(pattern: &IntraPattern) -> Result<(), ValidationError> {
+    sddmm_order_legal(pattern.phase(), pattern.order())
+}
+
+fn sddmm_order_legal(phase: Phase, order: crate::LoopOrder) -> Result<(), ValidationError> {
+    if phase != Phase::Aggregation {
+        return Err(ValidationError::SddmmOrderUnsupported { order: order.to_string() });
+    }
+    let pos_v = order.position(Dim::V).expect("V is an Aggregation dim");
+    let pos_n = order.position(Dim::N).expect("N is an Aggregation dim");
+    if pos_v < pos_n {
+        Ok(())
+    } else {
+        Err(ValidationError::SddmmOrderUnsupported { order: order.to_string() })
+    }
 }
 
 
@@ -123,5 +169,22 @@ mod tests {
     fn error_display() {
         let e = ValidationError::BrokenSpOptimizedTiles { detail: "T_N must be 1" };
         assert!(e.to_string().contains("T_N"));
+        let e = ValidationError::SddmmOrderUnsupported { order: "NVF".into() };
+        assert!(e.to_string().contains("NVF"));
+        assert!(e.to_string().contains("softmax"));
+    }
+
+    #[test]
+    fn sddmm_admits_v_before_n_orders_only() {
+        for (order, ok) in
+            [("VFN", true), ("VNF", true), ("FVN", true), ("FNV", false), ("NVF", false), ("NFV", false)]
+        {
+            let t = tiling(Phase::Aggregation, order, [2, 2, 1]);
+            assert_eq!(validate_sddmm(&t).is_ok(), ok, "{order}");
+            assert_eq!(validate_sddmm_pattern(&t.to_pattern()).is_ok(), ok, "{order}");
+        }
+        // A Combination tiling is the wrong dimension set entirely.
+        let cmb = tiling(Phase::Combination, "VGF", [2, 2, 1]);
+        assert!(validate_sddmm(&cmb).is_err());
     }
 }

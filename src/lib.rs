@@ -24,7 +24,9 @@
 //! ```
 //!
 //! See `README.md` for the build/run instructions and the per-crate system
-//! inventory; the `repro` binary (`cargo run --release --bin repro`)
+//! inventory, and `DESIGN.md` for the architecture — the crate map, the three
+//! phase engines (GEMM / SpMM / SDDMM), the inter-phase cost model, and the
+//! DSE stack. The `repro` binary (`cargo run --release --bin repro`)
 //! regenerates every table and figure of the paper.
 
 pub use omega_accel as accel;
@@ -38,7 +40,7 @@ pub mod prelude {
     pub use omega_accel::{AccelConfig, EnergyModel, OperandClass};
     pub use omega_core::dse::{self, DseCache, DseOptions};
     pub use omega_core::mapper::{self, Objective};
-    pub use omega_core::{evaluate, CostReport, GnnWorkload};
+    pub use omega_core::{evaluate, AttentionSpec, CostReport, GnnWorkload, PhaseKind};
     pub use omega_dataflow::presets::{self, Preset};
     pub use omega_dataflow::{GnnDataflow, GnnDataflowPattern, InterPhase, PhaseOrder};
     pub use omega_graph::{DatasetSpec, Graph, GraphBuilder};

@@ -218,3 +218,43 @@ fn search_result_counts_are_consistent() {
     assert_eq!(best.evaluated + best.skipped, candidates.len());
     assert_eq!(best.skipped, 0);
 }
+
+#[test]
+fn gat_layer_explore_is_bit_identical_and_skips_sddmm_illegal_patterns() {
+    // ISSUE 5: the layer-level exhaustive search over an attention workload
+    // threads the third (SDDMM) phase through the factored engine — the
+    // pruned/cached path must stay bit-identical to brute force, and the
+    // CA / N-before-V patterns the SDDMM cannot run count as validation skips.
+    let hw = AccelConfig::paper_default();
+    let plain = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);
+    let gat = GnnWorkload::gat_layer(&DatasetSpec::mutag().generate(4), 16, 4);
+    let base = DseOptions { threads: 2, top_k: 8, ..DseOptions::new(Objective::Runtime) };
+    let fast = dse::explore(&gat, &hw, &base);
+    let reference =
+        dse::explore(&gat, &hw, &DseOptions { prune: false, phase_cache: false, ..base });
+    assert_eq!(reference.phase_sims, 0);
+    assert_eq!(fast.evaluated + fast.pruned, reference.evaluated);
+    assert_eq!(fast.skipped, reference.skipped);
+    let key = |o: &dse::ExploreOutcome| -> Vec<(String, u64, u64, Option<usize>)> {
+        o.ranked
+            .iter()
+            .map(|r| (r.dataflow.to_string(), r.score.to_bits(), r.report.total_cycles, r.pattern_index))
+            .collect()
+    };
+    assert_eq!(key(&fast), key(&reference));
+    // The attention gates shrink the evaluable space: every CA pattern and
+    // every N-before-V aggregation order is now a validation skip.
+    let plain_out = dse::explore(&plain, &hw, &base);
+    assert!(fast.skipped > plain_out.skipped, "{} vs {}", fast.skipped, plain_out.skipped);
+    // Every ranked winner is AC with an SDDMM-legal aggregation order and a
+    // scoring phase in its report.
+    for r in &fast.ranked {
+        assert_eq!(r.dataflow.phase_order, PhaseOrder::AC);
+        assert!(omega_dataflow::validate_sddmm(&r.dataflow.agg).is_ok(), "{}", r.dataflow);
+        assert!(r.report.sddmm.is_some());
+        assert!(r.report.total_cycles > 0);
+    }
+    // Attention work is never free: the GAT optimum is strictly costlier than
+    // the plain optimum of the same layer shape.
+    assert!(fast.best().unwrap().score > plain_out.best().unwrap().score);
+}

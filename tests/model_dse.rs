@@ -1,12 +1,16 @@
 //! Model-level DSE acceptance (ISSUE 3): the streaming parallel joint search
 //! matches a brute-force enumeration of its space, and per-layer-specialised
 //! (+pipelined) mappings strictly beat the best uniform Table V preset on the
-//! Cora GCN-2 chain.
+//! Cora GCN-2 chain. ISSUE 5 adds the attention scenario: the GAT joint
+//! search (three phases per layer, SDDMM included) beats every uniform
+//! preset, stays thread-count-invariant, and its factored per-layer engine is
+//! bit-identical to the brute-force reference arm.
 
 use omega_gnn::core::dse::model::{
-    build_space, evaluate_mapping, explore_model, ModelDseOptions,
+    build_space, evaluate_mapping, explore_model, ModelDseOptions, ModelExploreOutcome,
 };
-use omega_gnn::core::models::GnnModel;
+use omega_gnn::core::models::{to_chain, uniform_layer_dataflows, GnnModel};
+use omega_gnn::core::multiphase::{evaluate_chain, Link};
 use omega_gnn::prelude::*;
 
 fn small_opts() -> ModelDseOptions {
@@ -69,6 +73,91 @@ fn model_winner_matches_brute_force_enumeration_on_mutag() {
     assert_eq!(out.evaluated - out.seeded, evaluated);
     assert_eq!(out.skipped, skipped);
     assert_eq!(evaluated + skipped, space.len());
+}
+
+/// The deterministic identity of a ranked model outcome, down to score bits.
+fn ranked_key(o: &ModelExploreOutcome) -> Vec<(String, u64, u64, Option<usize>)> {
+    o.ranked
+        .iter()
+        .map(|r| {
+            (format!("{}", r.mapping), r.score.to_bits(), r.report.total_cycles, r.index)
+        })
+        .collect()
+}
+
+#[test]
+fn gat_joint_winner_beats_every_uniform_preset_and_is_thread_invariant() {
+    let hw = AccelConfig::paper_default();
+    let workload = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);
+    let model = GnnModel::gat_2layer(8, 7);
+    let opts = small_opts();
+    let cache = DseCache::new();
+    let out = explore_model(&model, &workload, &hw, &opts, &cache);
+    let best = out.best().expect("non-empty GAT space");
+    assert!(out.phase_cache_hits > 0, "per-layer GAT searches must share phase sims");
+
+    // The winner beats (never loses to) EVERY uniform Table V preset chain,
+    // not just the best one.
+    let mut evaluated_presets = 0;
+    for preset in Preset::all() {
+        let Ok(dfs) = uniform_layer_dataflows(&model, &workload, &preset, &hw) else {
+            continue;
+        };
+        let chain = to_chain(&model, &workload, &dfs, &[Link::Sequential], &hw)
+            .expect("uniform GAT chain lowers");
+        let r = evaluate_chain(&chain, &hw).expect("uniform GAT chain evaluates");
+        evaluated_presets += 1;
+        assert!(
+            best.report.total_cycles <= r.total_cycles,
+            "{}: uniform {} beats joint winner {}",
+            preset.name,
+            r.total_cycles,
+            best.report.total_cycles
+        );
+        // Every GAT chain carries the SDDMM stage per layer.
+        assert_eq!(r.stages.len(), 6, "{}", preset.name);
+    }
+    assert_eq!(evaluated_presets, 9, "all Table V presets are AC and SDDMM-legal");
+
+    // Thread-count invariance, down to score bits.
+    let two = explore_model(
+        &model,
+        &workload,
+        &hw,
+        &ModelDseOptions { threads: 1, ..small_opts() },
+        &DseCache::new(),
+    );
+    let eight = explore_model(
+        &model,
+        &workload,
+        &hw,
+        &ModelDseOptions { threads: 8, chunk: 3, ..small_opts() },
+        &DseCache::new(),
+    );
+    assert_eq!(ranked_key(&two), ranked_key(&eight));
+    assert_eq!(ranked_key(&out), ranked_key(&two));
+}
+
+#[test]
+fn gat_factored_search_is_bit_identical_to_reference_arm() {
+    // The acceptance criterion: the factored path (phase cache + pruning in
+    // the per-layer searches) and the `--no-prune --no-phase-cache` reference
+    // produce bit-identical ranked GAT outcomes.
+    let hw = AccelConfig::paper_default();
+    let workload = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16);
+    let model = GnnModel::gat_2layer(8, 7);
+    let fast = explore_model(&model, &workload, &hw, &small_opts(), &DseCache::new());
+    let reference = explore_model(
+        &model,
+        &workload,
+        &hw,
+        &ModelDseOptions { prune: false, phase_cache: false, ..small_opts() },
+        &DseCache::new(),
+    );
+    assert_eq!(reference.phase_sims, 0);
+    assert_eq!(reference.phase_cache_hits, 0);
+    assert!(fast.phase_sims > 0);
+    assert_eq!(ranked_key(&fast), ranked_key(&reference));
 }
 
 #[test]

@@ -26,6 +26,7 @@ fn workload_strategy() -> impl Strategy<Value = GnnWorkload> {
                 nnz,
                 mean_degree,
                 max_degree,
+                attention: None,
             }
         })
 }
