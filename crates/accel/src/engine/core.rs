@@ -1,0 +1,652 @@
+//! The `PhaseEngine` core: shared machinery of every phase engine.
+//!
+//! A phase engine is split in two (DESIGN.md §3):
+//!
+//! * the **core** (this module) owns everything that is identical across phase
+//!   kinds — the pass-granularity walk state ([`PhaseWalk`]), chunk-timeline
+//!   emission ([`ChunkTracker`]), uniform-pass batching ([`loop_classes`]),
+//!   bandwidth-share accounting ([`bandwidth_sweep`], [`pass_timing`]),
+//!   partial-sum placement ([`SpillModel`]), pipeline-fill overheads
+//!   ([`fill_overheads`]), prepared workload structures ([`PreparedSpmm`],
+//!   [`PreparedGemm`]), and the [`run_phase`] driver that assembles the final
+//!   [`PhaseStats`];
+//! * each **leaf** (`gemm.rs`, `spmm.rs`, `sddmm.rs`, `elementwise.rs`)
+//!   implements the [`PhaseEngine`] trait: which loop orders are legal, how the
+//!   tile walk visits the workload, and what each pass costs in MACs and
+//!   per-operand-class traffic.
+//!
+//! Everything here is crate-internal by design: the public surface of
+//! `omega_accel::engine` stays the `simulate_*` functions and their
+//! workload/options types, so the core can evolve without breaking callers.
+//!
+//! # Adding a phase kind
+//!
+//! 1. Define the workload type and a leaf struct precomputing the tile grid
+//!    and a [`SpillModel`] (when the phase can carry partial sums).
+//! 2. Implement [`PhaseEngine`]: `is_empty`, `reduction_lanes`,
+//!    `pe_footprint`, `chunk_total`, and `walk` — the walk calls
+//!    [`PhaseWalk::run_pass`] once per batched pass with the per-pass compute
+//!    steps, GB traffic, and produced/consumed element counts. Override
+//!    `epilogue` for post-walk sweeps (the SDDMM softmax).
+//! 3. Expose a `simulate_<kind>` entry point that validates the tiling and
+//!    calls [`run_phase`]. The elementwise engine (`elementwise.rs`, ~150
+//!    lines) is the template.
+
+use std::sync::OnceLock;
+
+use super::{ChunkSide, ChunkSpec, EngineOptions, GemmDims, OperandClasses};
+use crate::{AccelConfig, AccessCounters, BandwidthShare, PhaseStats, RfBudget};
+
+/// Tracks progress toward chunk boundaries and records cumulative cycle marks.
+#[derive(Debug)]
+pub(crate) struct ChunkTracker {
+    pel: u64,
+    total: u64,
+    progress: u64,
+    emitted: u64,
+    marks: Vec<u64>,
+}
+
+impl ChunkTracker {
+    pub(crate) fn new(spec: Option<&ChunkSpec>, total_elems: u64) -> Option<Self> {
+        let spec = spec?;
+        let pel = spec.pel.max(1);
+        let chunks = total_elems.div_ceil(pel).max(1);
+        Some(ChunkTracker { pel, total: total_elems, progress: 0, emitted: 0, marks: Vec::with_capacity(chunks as usize) })
+    }
+
+    /// Records `elems` of progress at cumulative time `now`. Reference
+    /// implementation for [`Self::advance_repeat`], which the engines use for
+    /// batched passes (`advance(e, t)` ≡ `advance_repeat(1, e, …)`); kept for
+    /// the equivalence test.
+    #[cfg(test)]
+    pub(crate) fn advance(&mut self, elems: u64, now: u64) {
+        self.progress += elems;
+        while (self.emitted + 1) * self.pel <= self.progress {
+            self.marks.push(now);
+            self.emitted += 1;
+        }
+    }
+
+    /// Records `reps` back-to-back identical passes, each contributing
+    /// `elems_each` of progress and `cycles_each` cycles, with the first pass
+    /// starting at cumulative time `start_cycles`. Emits exactly the marks the
+    /// equivalent sequence of [`Self::advance`] calls would (each boundary is
+    /// stamped with the end time of the pass that crosses it) in O(#marks)
+    /// instead of O(reps) — what lets the engines batch uniform passes without
+    /// losing the pipeline-chunk timeline.
+    pub(crate) fn advance_repeat(
+        &mut self,
+        reps: u64,
+        elems_each: u64,
+        cycles_each: u64,
+        start_cycles: u64,
+    ) {
+        if reps == 0 {
+            return;
+        }
+        if elems_each == 0 {
+            return;
+        }
+        let end = self.progress + reps * elems_each;
+        while (self.emitted + 1) * self.pel <= end {
+            let target = (self.emitted + 1) * self.pel;
+            // 1-based index of the pass whose end crosses `target`.
+            let r = (target - self.progress).div_ceil(elems_each);
+            self.marks.push(start_cycles + r * cycles_each);
+            self.emitted += 1;
+        }
+        self.progress = end;
+    }
+
+    /// Closes the tracker at final time `now`, emitting the trailing partial
+    /// chunk (and any rounding shortfall) so the last mark equals the phase's
+    /// total cycles.
+    pub(crate) fn finish(mut self, now: u64) -> Vec<u64> {
+        let expected = self.total.div_ceil(self.pel).max(1);
+        while (self.marks.len() as u64) < expected {
+            self.marks.push(now);
+        }
+        if let Some(last) = self.marks.last_mut() {
+            *last = now;
+        }
+        self.marks
+    }
+}
+
+/// Actual size of tile `i` when dividing `extent` into tiles of `tile`.
+#[inline]
+pub(crate) fn actual_tile(extent: usize, tile: usize, i: usize) -> usize {
+    let start = i * tile;
+    tile.min(extent - start)
+}
+
+/// Equivalence classes of a tiled loop of `n` iterations whose per-pass cost is
+/// uniform except possibly at the first index (stationary reloads), the last
+/// index (remainder tile, final reduction step), and boundary conditions on the
+/// reduction index. Returns `(representative index, multiplicity)` pairs in
+/// iteration order; walking them with the multiplicity applied is exactly
+/// equivalent to walking `0..n` pass by pass.
+pub(crate) fn loop_classes(n: usize) -> Vec<(usize, u64)> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![(0, 1)],
+        2 => vec![(0, 1), (1, 1)],
+        _ => vec![(0, 1), (1, (n - 2) as u64), (n - 1, 1)],
+    }
+}
+
+/// One NoC-bounded sweep: `compute` cycles of array work overlapped with
+/// distributing `gb_reads` elements and collecting `gb_writes` elements at the
+/// given bandwidth share. Returns `(body_cycles, stall_cycles)` — the body is
+/// the slowest of the three streams, the stall the part not covered by
+/// compute. This is the single copy of the bandwidth-share math every engine's
+/// pass timing and the SDDMM softmax sweeps reduce to.
+#[inline]
+pub(crate) fn bandwidth_sweep(
+    compute: u64,
+    gb_reads: u64,
+    gb_writes: u64,
+    bw: BandwidthShare,
+) -> (u64, u64) {
+    let dist = crate::noc::distribution_cycles(gb_reads, bw.dist);
+    let coll = crate::noc::collection_cycles(gb_writes, bw.red);
+    let body = compute.max(dist).max(coll);
+    (body, body - compute.min(body))
+}
+
+/// Combines per-pass costs into cycles: one [`bandwidth_sweep`] body, plus
+/// fixed per-pass overheads (tree fill, NoC latency) and a *serial* preload of
+/// stationary operands — streaming cannot start until the pinned tile sits in
+/// the RFs, which is the `t_load` that SP-Optimized avoids (Table III).
+/// Returns `(pass_cycles, stall_cycles)`.
+#[inline]
+pub(crate) fn pass_timing(
+    compute: u64,
+    stream_reads: u64,
+    gb_writes: u64,
+    preload_elems: u64,
+    bw: BandwidthShare,
+    overhead: u64,
+) -> (u64, u64) {
+    let preload = crate::noc::distribution_cycles(preload_elems, bw.dist);
+    let (body, stall) = bandwidth_sweep(compute, stream_reads, gb_writes, bw);
+    (preload + body + overhead, preload + stall)
+}
+
+/// Pipeline-fill overheads of a phase whose spatial reduction spans `lanes`
+/// PEs: the reduction-tree depth plus the distribution-network latency.
+/// Returns `(phase_fill, pass_fill)` — by default the networks stay pipelined
+/// across passes, so the fill is paid once per phase; the `per_pass_fill` knob
+/// moves it into every pass instead.
+pub(crate) fn fill_overheads(cfg: &AccelConfig, lanes: usize) -> (u64, u64) {
+    let tree = if lanes > 1 { crate::tree_latency(lanes, cfg.tree_latency_per_level) } else { 0 };
+    if cfg.knobs.per_pass_fill {
+        (0, tree + cfg.dist_latency)
+    } else {
+        (tree + cfg.dist_latency, 0)
+    }
+}
+
+/// Partial-sum placement for one phase: whether the live partial sums of an
+/// accumulation round fit the per-PE register files, and — when they do not —
+/// which fraction of the touched elements spills to the global buffer.
+///
+/// `revisits` is the number of live partial sums per reduction group (the
+/// temporal revisits of the output dims inner to the reduction position, times
+/// any head multiplicity); `lanes` the spatial reduction group size sharing
+/// them (`psum_group_sharing`); `possible` gates kinds/orders that cannot
+/// carry partial sums at all (reduction innermost, single reduction slice).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpillModel {
+    /// Live partial sums per PE (the overflow fraction's denominator, ≥ 1).
+    live: u64,
+    /// The overflowing share of them (the numerator).
+    num: u64,
+    /// `true` when the live psums overflow the RF and spill to the GB.
+    pub(crate) spill: bool,
+}
+
+impl SpillModel {
+    pub(crate) fn new(cfg: &AccelConfig, revisits: u64, lanes: usize, possible: bool) -> Self {
+        let share = if cfg.knobs.psum_group_sharing { lanes.max(1) as u64 } else { 1 };
+        let live = revisits.div_ceil(share);
+        let rf = RfBudget::new(cfg.rf_words(), 1);
+        let spill = possible && !rf.psums_fit(live as usize);
+        // Only the psums that do not fit spill: traffic scales with the
+        // overflow fraction (the RF keeps serving the rest).
+        let num = if cfg.knobs.fractional_spill {
+            live.saturating_sub(rf.psum_capacity() as u64)
+        } else {
+            live
+        };
+        SpillModel { live: live.max(1), num, spill }
+    }
+
+    /// The GB-spilled share of `x` live elements.
+    #[inline]
+    pub(crate) fn scale(&self, x: u64) -> u64 {
+        x * self.num / self.live
+    }
+}
+
+/// Mutable walk state threaded through every leaf's tile walk: the accumulating
+/// statistics, the chunk tracker, and the per-run classification/options.
+/// Leaves charge traffic into [`Self::counters`] as they classify it, then
+/// close each batched pass with [`Self::run_pass`].
+pub(crate) struct PhaseWalk {
+    /// Per-operand-class buffer access counters.
+    pub(crate) counters: AccessCounters,
+    /// Cumulative cycles so far.
+    pub(crate) cycles: u64,
+    /// Cumulative bandwidth-stall cycles (subset of `cycles`).
+    pub(crate) stall_cycles: u64,
+    /// Cumulative MACs.
+    pub(crate) macs: u64,
+    /// Set when any pass spilled partial sums.
+    pub(crate) spilled: bool,
+    /// Operand-class assignment of this run.
+    pub(crate) classes: OperandClasses,
+    /// Per-run engine options.
+    pub(crate) opts: EngineOptions,
+    chunks: Option<ChunkTracker>,
+    /// Per-pass fill overhead (0 unless `per_pass_fill`).
+    overhead: u64,
+}
+
+impl PhaseWalk {
+    /// `true` when chunk timestamps were requested — leaves use this to pick
+    /// order-exact walks over order-insensitive batched ones.
+    pub(crate) fn has_chunks(&self) -> bool {
+        self.chunks.is_some()
+    }
+
+    /// Closes a batch of `m` identical passes: times the pass body against the
+    /// bandwidth share ([`pass_timing`]), accumulates cycles and stalls, and
+    /// advances the chunk timeline — `produced_each` intermediate elements per
+    /// pass on the produce side, `consumed_each` on the consume side (either
+    /// may be 0 when the pass completes nothing on that side).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_pass(
+        &mut self,
+        compute: u64,
+        gb_reads: u64,
+        gb_writes: u64,
+        preload_elems: u64,
+        produced_each: u64,
+        consumed_each: u64,
+        m: u64,
+    ) {
+        let (pass, stall) =
+            pass_timing(compute, gb_reads, gb_writes, preload_elems, self.opts.bandwidth, self.overhead);
+        let start = self.cycles;
+        self.cycles += pass * m;
+        self.stall_cycles += stall * m;
+        if let Some(t) = self.chunks.as_mut() {
+            let elems = match self.opts.chunk.expect("tracker implies spec").side {
+                ChunkSide::Produce => produced_each,
+                ChunkSide::Consume => consumed_each,
+            };
+            t.advance_repeat(m, elems, pass, start);
+        }
+    }
+}
+
+/// One phase kind's leaf: what [`run_phase`] needs beyond the shared core.
+/// Implementations precompute their tile grid (and [`SpillModel`]) at
+/// construction; `walk` then visits the workload pass by pass.
+pub(crate) trait PhaseEngine {
+    /// Degenerate workload (no work at all) — [`run_phase`] returns
+    /// [`PhaseStats::empty`] without walking.
+    fn is_empty(&self) -> bool;
+
+    /// Spatial reduction lanes (the tree fan-in; 1 when the phase has no
+    /// spatial reduction), used for the pipeline-fill overheads.
+    fn reduction_lanes(&self) -> usize;
+
+    /// PEs the tiling occupies.
+    fn pe_footprint(&self) -> usize;
+
+    /// Total intermediate elements the chunk timeline tracks on `side`:
+    /// produced elements, or the consume-side progress units of this kind
+    /// (edge visits for the sparse engines, elements for the dense ones).
+    fn chunk_total(&self, side: ChunkSide) -> u64;
+
+    /// The phase-specific tile walk: one [`PhaseWalk::run_pass`] per batched
+    /// pass.
+    fn walk(&self, w: &mut PhaseWalk);
+
+    /// Post-walk sweeps (the SDDMM softmax); returns the extra cycles to add
+    /// after the walk. Traffic/stalls are charged into the walk state.
+    fn epilogue(&self, _w: &mut PhaseWalk) -> u64 {
+        0
+    }
+}
+
+/// Drives one leaf through the shared simulation skeleton: empty short-cut,
+/// fill overheads, chunk tracking, the walk, the epilogue, and the final
+/// [`PhaseStats`] assembly. Every `simulate_*` entry point is a thin wrapper
+/// over this.
+pub(crate) fn run_phase<E: PhaseEngine>(
+    leaf: &E,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+) -> PhaseStats {
+    let footprint = leaf.pe_footprint();
+    if leaf.is_empty() {
+        return PhaseStats::empty(footprint);
+    }
+    let (phase_fill, pass_fill) = fill_overheads(cfg, leaf.reduction_lanes());
+    let chunk_total = opts.chunk.map_or(0, |c| leaf.chunk_total(c.side));
+    let mut w = PhaseWalk {
+        counters: AccessCounters::default(),
+        cycles: 0,
+        stall_cycles: 0,
+        macs: 0,
+        spilled: false,
+        classes: *classes,
+        opts: *opts,
+        chunks: ChunkTracker::new(opts.chunk.as_ref(), chunk_total),
+        overhead: pass_fill,
+    };
+    leaf.walk(&mut w);
+    let extra = leaf.epilogue(&mut w);
+    // Phase-level pipeline fill is paid once, only when the phase did any work.
+    let cycles = if w.cycles > 0 { w.cycles + phase_fill + extra } else { 0 };
+    let chunk_marks = w.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
+    PhaseStats {
+        cycles,
+        stall_cycles: w.stall_cycles,
+        macs: w.macs,
+        counters: w.counters,
+        pe_footprint: footprint,
+        chunk_marks,
+        psum_spilled: w.spilled,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared workload structures — the shared prepare logic hoisted out of the
+// leaves so `PreparedEval` plans every phase kind uniformly.
+// ---------------------------------------------------------------------------
+
+/// Degree summary supporting O(log n) "edges active in neighbour slice `[lo, hi)`"
+/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`. Shared by the SpMM and
+/// SDDMM leaves, whose neighbour-slice walks are the same shape.
+#[derive(Debug)]
+pub(crate) struct DegreeSummary {
+    sorted: Vec<u32>,
+    prefix: Vec<u64>, // prefix[i] = sum of sorted[..i]
+}
+
+impl DegreeSummary {
+    pub(crate) fn new(degrees: impl Iterator<Item = usize>) -> Self {
+        let mut sorted: Vec<u32> = degrees.map(|d| d as u32).collect();
+        sorted.sort_unstable();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0u64);
+        for &d in &sorted {
+            prefix.push(prefix.last().unwrap() + d as u64);
+        }
+        DegreeSummary { sorted, prefix }
+    }
+
+    /// Σ_v min(deg_v, x).
+    fn sum_min(&self, x: usize) -> u64 {
+        let idx = self.sorted.partition_point(|&d| (d as usize) < x);
+        self.prefix[idx] + (self.sorted.len() - idx) as u64 * x as u64
+    }
+
+    /// Edge visits whose within-row index falls in `[lo, hi)`.
+    pub(crate) fn active(&self, lo: usize, hi: usize) -> u64 {
+        self.sum_min(hi) - self.sum_min(lo)
+    }
+
+    /// Rows with degree > k.
+    pub(crate) fn count_gt(&self, k: usize) -> u64 {
+        (self.sorted.len() - self.sorted.partition_point(|&d| d as usize <= k)) as u64
+    }
+
+    pub(crate) fn max(&self) -> usize {
+        self.sorted.last().map_or(0, |&d| d as usize)
+    }
+}
+
+/// Distinct degrees with multiplicities, ascending — single-row vertex tiles
+/// with equal degree make identical pass sequences, so batched walks iterate
+/// these classes instead of every vertex.
+fn degree_classes(degrees: &[usize]) -> Vec<(usize, u64)> {
+    let mut sorted: Vec<usize> = degrees.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(usize, u64)> = Vec::new();
+    for d in sorted {
+        match out.last_mut() {
+            Some((last, m)) if *last == d => *m += 1,
+            _ => out.push((d, 1)),
+        }
+    }
+    out
+}
+
+/// Degree structures of one adjacency, hoisted out of the sparse leaves so a
+/// caller evaluating thousands of tilings of the *same* workload (the DSE hot
+/// path) pays the O(V log V) sorting once instead of per simulation.
+///
+/// The totals (`nnz`, `max_degree`) are computed eagerly; the sorted degree
+/// classes and the global degree summary — needed only by some loop orders —
+/// are built lazily on first use and shared across threads.
+#[derive(Debug)]
+pub struct PreparedSpmm<'a> {
+    degrees: &'a [usize],
+    nnz: u64,
+    max_degree: usize,
+    classes: OnceLock<Vec<(usize, u64)>>,
+    global: OnceLock<DegreeSummary>,
+}
+
+impl<'a> PreparedSpmm<'a> {
+    /// Prepares the degree structures for `degrees`.
+    pub fn new(degrees: &'a [usize]) -> Self {
+        let nnz = degrees.iter().map(|&d| d as u64).sum();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        PreparedSpmm { degrees, nnz, max_degree, classes: OnceLock::new(), global: OnceLock::new() }
+    }
+
+    /// The stored non-zeros per row this preparation covers.
+    pub fn degrees(&self) -> &'a [usize] {
+        self.degrees
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    /// Maximum row degree.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    pub(crate) fn classes(&self) -> &[(usize, u64)] {
+        self.classes.get_or_init(|| degree_classes(self.degrees))
+    }
+
+    pub(crate) fn global(&self) -> &DegreeSummary {
+        self.global.get_or_init(|| DegreeSummary::new(self.degrees.iter().copied()))
+    }
+}
+
+/// Prepared form of a GEMM workload — the dense counterpart of
+/// [`PreparedSpmm`], so `PreparedEval` holds one prepared structure per phase
+/// kind and calls the uniform `simulate_*_prepared` entry points. A GEMM has
+/// no degree structure to hoist, so this only pins the dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedGemm {
+    dims: GemmDims,
+}
+
+impl PreparedGemm {
+    /// Prepares a GEMM of the given dimensions.
+    pub fn new(dims: GemmDims) -> Self {
+        PreparedGemm { dims }
+    }
+
+    /// The matrix dimensions this preparation covers.
+    pub fn dims(&self) -> GemmDims {
+        self.dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_tracker_marks_boundaries() {
+        let spec = ChunkSpec { side: ChunkSide::Produce, pel: 10 };
+        let mut t = ChunkTracker::new(Some(&spec), 25).unwrap();
+        t.advance(6, 5);
+        t.advance(6, 9); // 12 ≥ 10 → mark at 9
+        t.advance(10, 20); // 22 ≥ 20 → mark at 20
+        let marks = t.finish(31);
+        assert_eq!(marks, vec![9, 20, 31]); // ceil(25/10) = 3 chunks
+    }
+
+    #[test]
+    fn chunk_tracker_handles_multi_crossings() {
+        let spec = ChunkSpec { side: ChunkSide::Consume, pel: 5 };
+        let mut t = ChunkTracker::new(Some(&spec), 20).unwrap();
+        t.advance(20, 7); // all four chunks complete at once
+        let marks = t.finish(7);
+        assert_eq!(marks, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn chunk_tracker_none_without_spec() {
+        assert!(ChunkTracker::new(None, 100).is_none());
+    }
+
+    #[test]
+    fn advance_repeat_matches_sequential_advance() {
+        // Batched uniform passes must emit exactly the marks the per-pass walk
+        // would, including multi-crossing and partial-trailing cases.
+        for (pel, total, reps, elems, cycles) in
+            [(10u64, 95u64, 12u64, 8u64, 3u64), (3, 40, 7, 6, 5), (64, 64, 4, 9, 2), (5, 100, 20, 5, 1)]
+        {
+            let spec = ChunkSpec { side: ChunkSide::Produce, pel };
+            let mut seq = ChunkTracker::new(Some(&spec), total).unwrap();
+            let mut now = 17u64; // arbitrary non-zero start
+            for _ in 0..reps {
+                now += cycles;
+                seq.advance(elems, now);
+            }
+            let mut batched = ChunkTracker::new(Some(&spec), total).unwrap();
+            batched.advance_repeat(reps, elems, cycles, 17);
+            assert_eq!(seq.marks, batched.marks, "pel={pel} reps={reps} elems={elems}");
+            assert_eq!(seq.progress, batched.progress);
+            assert_eq!(seq.emitted, batched.emitted);
+        }
+    }
+
+    #[test]
+    fn loop_classes_partition_the_range() {
+        for n in 0..7usize {
+            let classes = loop_classes(n);
+            let total: u64 = classes.iter().map(|&(_, m)| m).sum();
+            assert_eq!(total, n as u64, "n={n}");
+            // First and last indices are always singleton classes.
+            if n >= 2 {
+                assert_eq!(classes.first().unwrap(), &(0, 1));
+                assert_eq!(classes.last().unwrap(), &(n - 1, 1));
+            }
+            // Representatives are valid indices in iteration order.
+            assert!(classes.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(classes.iter().all(|&(rep, _)| rep < n));
+        }
+    }
+
+    #[test]
+    fn actual_tile_remainders() {
+        assert_eq!(actual_tile(10, 4, 0), 4);
+        assert_eq!(actual_tile(10, 4, 1), 4);
+        assert_eq!(actual_tile(10, 4, 2), 2);
+    }
+
+    #[test]
+    fn pass_timing_stall_accounting() {
+        let bw = BandwidthShare { dist: 10, red: 10 };
+        // Compute-bound: 8 cycles compute, 40 reads → 4 cycles dist → no stall.
+        let (c, s) = pass_timing(8, 40, 0, 0, bw, 2);
+        assert_eq!((c, s), (10, 0));
+        // Bandwidth-bound: 100 reads → 10 cycles > 8 compute → 2 stall cycles.
+        let (c, s) = pass_timing(8, 100, 0, 0, bw, 2);
+        assert_eq!((c, s), (12, 2));
+        // Collection-bound.
+        let (c, s) = pass_timing(1, 0, 55, 0, bw, 0);
+        assert_eq!((c, s), (6, 5));
+        // Serial preload adds on top of the overlapped body.
+        let (c, s) = pass_timing(8, 40, 0, 25, bw, 2);
+        assert_eq!((c, s), (13, 3));
+    }
+
+    /// Satellite check: [`bandwidth_sweep`] reproduces each engine's previous
+    /// inline NoC math exactly — both the pass-timing composition and the
+    /// SDDMM softmax two-sweep costing.
+    #[test]
+    fn bandwidth_sweep_matches_previous_inline_math() {
+        let cases = [
+            (8u64, 40u64, 0u64, 10usize, 10usize),
+            (8, 100, 0, 10, 10),
+            (1, 0, 55, 10, 10),
+            (7, 33, 91, 4, 16),
+            (0, 0, 0, 512, 512),
+            (100, 5000, 4999, 512, 256),
+        ];
+        for (compute, reads, writes, dist, red) in cases {
+            let bw = BandwidthShare { dist, red };
+            // The engines' previous inline form.
+            let d = crate::noc::distribution_cycles(reads, bw.dist);
+            let c = crate::noc::collection_cycles(writes, bw.red);
+            let body = compute.max(d).max(c);
+            let stall = body - compute.min(body);
+            assert_eq!(bandwidth_sweep(compute, reads, writes, bw), (body, stall));
+            // The softmax two-sweep form: sweep 1 reads only, sweep 2 reads +
+            // writes; stalls accumulate per sweep.
+            let sweep1 = compute.max(d);
+            let sweep2 = compute.max(d).max(c);
+            let (b1, s1) = bandwidth_sweep(compute, reads, 0, bw);
+            let (b2, s2) = bandwidth_sweep(compute, reads, writes, bw);
+            assert_eq!((b1, b2), (sweep1, sweep2));
+            assert_eq!(s1 + s2, (sweep1 - compute.min(sweep1)) + (sweep2 - compute.min(sweep2)));
+        }
+    }
+
+    #[test]
+    fn spill_model_overflow_fraction() {
+        let cfg = AccelConfig::paper_default(); // 16-word RF → 13 psum slots
+        // 32 revisits over 2 lanes → 16 live > 13 → spills 3/16 of traffic.
+        let s = SpillModel::new(&cfg, 32, 2, true);
+        assert!(s.spill);
+        assert_eq!(s.scale(160), 160 * 3 / 16);
+        // Fits: 8 live ≤ 13.
+        let s = SpillModel::new(&cfg, 16, 2, false);
+        assert!(!s.spill);
+        let s = SpillModel::new(&cfg, 16, 2, true);
+        assert!(!s.spill);
+        // `possible = false` never spills regardless of pressure.
+        let s = SpillModel::new(&cfg, 1 << 20, 1, false);
+        assert!(!s.spill);
+    }
+
+    #[test]
+    fn degree_summary_queries() {
+        let d = DegreeSummary::new([3usize, 1, 5, 0, 2].into_iter());
+        assert_eq!(d.sum_min(usize::MAX >> 1), 11);
+        assert_eq!(d.active(0, 2), (2 + 1 + 2) + 2); // min(deg,2) each
+        assert_eq!(d.active(2, 4), (3 - 2) + 2);
+        assert_eq!(d.count_gt(2), 2);
+        assert_eq!(d.count_gt(0), 4);
+        assert_eq!(d.max(), 5);
+    }
+}

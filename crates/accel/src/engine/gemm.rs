@@ -1,10 +1,13 @@
-//! The dense-GEMM phase engine (Combination).
+//! The dense-GEMM phase leaf (Combination).
 
 use omega_dataflow::{Dim, IntraTiling, Phase};
 use serde::Serialize;
 
-use super::{actual_tile, loop_classes, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses};
-use crate::{AccelConfig, AccessCounters, PhaseStats, RfBudget};
+use super::core::{
+    actual_tile, loop_classes, run_phase, PhaseEngine, PhaseWalk, PreparedGemm, SpillModel,
+};
+use super::{ChunkSide, EngineOptions, OperandClasses};
+use crate::{AccelConfig, PhaseStats};
 
 /// Matrix dimensions of a GEMM phase: `Output[V×G] += A[V×F] · B[F×G]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -29,267 +32,271 @@ pub fn simulate_gemm(
     classes: &OperandClasses,
     opts: &EngineOptions,
 ) -> PhaseStats {
+    simulate_gemm_prepared(&PreparedGemm::new(dims), tiling, cfg, classes, opts)
+}
+
+/// [`simulate_gemm`] over a pre-built [`PreparedGemm`] — the uniform
+/// `simulate_*_prepared` entry point callers evaluating many tilings of one
+/// workload use for every phase kind.
+pub fn simulate_gemm_prepared(
+    prep: &PreparedGemm,
+    tiling: &IntraTiling,
+    cfg: &AccelConfig,
+    classes: &OperandClasses,
+    opts: &EngineOptions,
+) -> PhaseStats {
     assert_eq!(tiling.phase(), Phase::Combination, "GEMM engine needs a Combination tiling");
-    let GemmDims { v, f, g } = dims;
-    let mut counters = AccessCounters::default();
-    if v == 0 || f == 0 || g == 0 {
-        return PhaseStats {
-            cycles: 0,
-            stall_cycles: 0,
-            macs: 0,
-            counters,
-            pe_footprint: tiling.pe_footprint(),
-            chunk_marks: Vec::new(),
-            psum_spilled: false,
+    let leaf = GemmLeaf::new(prep.dims(), tiling, cfg);
+    run_phase(&leaf, cfg, classes, opts)
+}
+
+/// The GEMM leaf: a dense three-deep nest over `V`/`F`/`G` whose passes sweep
+/// the innermost dimension at fixed outer/middle tiles.
+struct GemmLeaf<'a> {
+    dims: GemmDims,
+    tiling: &'a IntraTiling,
+    /// Spatial reduction group size (`T_F`).
+    t_red: usize,
+    /// Position of the reduction dimension `F` in the loop order.
+    pos_r: usize,
+    /// Reduction tile count.
+    n_red: u64,
+    /// Position of `G` in the loop order (decides the consume-chunk stream).
+    pos_g: usize,
+    spill: SpillModel,
+}
+
+impl<'a> GemmLeaf<'a> {
+    fn new(dims: GemmDims, tiling: &'a IntraTiling, cfg: &AccelConfig) -> Self {
+        let GemmDims { v, f, g } = dims;
+        if v == 0 || f == 0 || g == 0 {
+            // Degenerate: `run_phase` short-circuits before reading these.
+            let spill = SpillModel::new(cfg, 1, 1, false);
+            return GemmLeaf { dims, tiling, t_red: 1, pos_r: 2, n_red: 1, pos_g: 0, spill };
+        }
+        let extent = |d: Dim| -> usize {
+            match d {
+                Dim::V => v,
+                Dim::F => f,
+                Dim::G => g,
+                Dim::N => 1,
+            }
         };
+        let tile = |d: Dim| -> usize { tiling.tile_of(d).min(extent(d)) };
+        let ntiles = |d: Dim| -> usize { extent(d).div_ceil(tile(d)) };
+        let order = tiling.order();
+        let t_red = tile(Dim::F);
+        let pos_r = order.position(Dim::F).expect("F is a Combination dim");
+        let n_red = ntiles(Dim::F) as u64;
+        let pos_g = order.position(Dim::G).expect("G is a Combination dim");
+        // Partial-sum placement: the live psums of one accumulation round are
+        // the temporal revisits of the output dims inner to the reduction
+        // position, *shared across the T_F PEs of each spatial reduction group*
+        // — which is why SP1/SP2 (large T_F) keep psums in the RFs while
+        // SPhighV (T_F = 1) spills (Section V-D). One RF word is pinned by the
+        // stationary operand (there is always exactly one operand not indexed
+        // by the innermost loop dimension).
+        let out_revisits: u64 = [Dim::V, Dim::G]
+            .iter()
+            .filter(|&&d| order.position(d).expect("output dim present") > pos_r)
+            .map(|&d| ntiles(d) as u64)
+            .product();
+        let spill = SpillModel::new(cfg, out_revisits, t_red, pos_r < 2);
+        GemmLeaf { dims, tiling, t_red, pos_r, n_red, pos_g, spill }
+    }
+}
+
+impl PhaseEngine for GemmLeaf<'_> {
+    fn is_empty(&self) -> bool {
+        self.dims.v == 0 || self.dims.f == 0 || self.dims.g == 0
     }
 
-    let extent = |d: Dim| -> usize {
-        match d {
-            Dim::V => v,
-            Dim::F => f,
-            Dim::G => g,
-            Dim::N => 1,
+    fn reduction_lanes(&self) -> usize {
+        self.t_red
+    }
+
+    fn pe_footprint(&self) -> usize {
+        self.tiling.pe_footprint()
+    }
+
+    fn chunk_total(&self, side: ChunkSide) -> u64 {
+        match side {
+            // Output of this phase is the intermediate (CA).
+            ChunkSide::Produce => (self.dims.v as u64) * (self.dims.g as u64),
+            // The A input is the intermediate (AC).
+            ChunkSide::Consume => (self.dims.v as u64) * (self.dims.f as u64),
         }
-    };
-    let tile = |d: Dim| -> usize { tiling.tile_of(d).min(extent(d)) };
-    let ntiles = |d: Dim| -> usize { extent(d).div_ceil(tile(d)) };
+    }
 
-    let order = tiling.order();
-    let [d0, d1, d2] = order.dims();
-    let (n0, n1, n2) = (ntiles(d0), ntiles(d1), ntiles(d2));
-    let e2 = extent(d2) as u64;
+    fn walk(&self, w: &mut PhaseWalk) {
+        let GemmDims { v, f, g } = self.dims;
+        let extent = |d: Dim| -> usize {
+            match d {
+                Dim::V => v,
+                Dim::F => f,
+                Dim::G => g,
+                Dim::N => 1,
+            }
+        };
+        let tile = |d: Dim| -> usize { self.tiling.tile_of(d).min(extent(d)) };
+        let ntiles = |d: Dim| -> usize { extent(d).div_ceil(tile(d)) };
+        let order = self.tiling.order();
+        let [d0, d1, d2] = order.dims();
+        let (n0, n1, n2) = (ntiles(d0), ntiles(d1), ntiles(d2));
+        let e2 = extent(d2) as u64;
 
-    // Operand dimension sets.
-    let a_dims = [Dim::V, Dim::F];
-    let b_dims = [Dim::F, Dim::G];
-    let t_red = tile(Dim::F);
-    let pos_r = order.position(Dim::F).expect("F is a Combination dim");
-    let n_red = ntiles(Dim::F) as u64;
+        // Operand dimension sets.
+        let a_dims = [Dim::V, Dim::F];
+        let b_dims = [Dim::F, Dim::G];
 
-    // Partial-sum placement: the live psums of one accumulation round are the
-    // temporal revisits of the output dims inner to the reduction position,
-    // *shared across the T_F PEs of each spatial reduction group* — which is why
-    // SP1/SP2 (large T_F) keep psums in the RFs while SPhighV (T_F = 1) spills
-    // (Section V-D). One RF word is pinned by the stationary operand (there is
-    // always exactly one operand not indexed by the innermost loop dimension).
-    let out_revisits: u64 = [Dim::V, Dim::G]
-        .iter()
-        .filter(|&&d| order.position(d).expect("output dim present") > pos_r)
-        .map(|&d| ntiles(d) as u64)
-        .product();
-    let share = if cfg.knobs.psum_group_sharing { t_red.max(1) as u64 } else { 1 };
-    let live_psums_per_pe = out_revisits.div_ceil(share);
-    let rf = RfBudget::new(cfg.rf_words(), 1);
-    let spill = pos_r < 2 && !rf.psums_fit(live_psums_per_pe as usize);
-    // Only the psums that do not fit spill: traffic scales with the overflow
-    // fraction (the RF keeps serving the rest).
-    let spill_num = if cfg.knobs.fractional_spill {
-        live_psums_per_pe.saturating_sub(rf.psum_capacity() as u64)
-    } else {
-        live_psums_per_pe
-    };
-    let spill_frac =
-        |x: u64| -> u64 { (x * spill_num).checked_div(live_psums_per_pe).unwrap_or(0) };
-
-    let total_out = (v as u64) * (g as u64);
-    let intermediate_total = match opts.chunk.map(|c| c.side) {
-        Some(ChunkSide::Produce) => total_out, // output of this phase is the intermediate (CA)
-        Some(ChunkSide::Consume) => (v as u64) * (f as u64), // A input is the intermediate (AC)
-        None => 0,
-    };
-    let mut chunks = ChunkTracker::new(opts.chunk.as_ref(), intermediate_total);
-    let pos_g = order.position(Dim::G).expect("G is a Combination dim");
-
-    // Pipeline-fill overheads (reduction-tree depth, distribution latency) are
-    // paid once per phase: the tree and the distribution network stay pipelined
-    // across passes (MAERI's networks are single-cycle-per-hop and streaming).
-    let tree_overhead = if t_red > 1 {
-        crate::tree_latency(t_red, cfg.tree_latency_per_level)
-    } else {
-        0
-    };
-    let (phase_fill, pass_fill) = if cfg.knobs.per_pass_fill {
-        (0, tree_overhead + cfg.dist_latency)
-    } else {
-        (tree_overhead + cfg.dist_latency, 0)
-    };
-
-    let mut cycles: u64 = 0;
-    let mut stall_cycles: u64 = 0;
-    let mut macs: u64 = 0;
-    let mut spilled_any = false;
-
-    // Pass costs are uniform in each loop index except at the first iteration
-    // (stationary reloads), the last (remainder tile, final reduction step), and
-    // the reduction-index boundaries — so both loops collapse into ≤ 3 classes
-    // each, every class evaluated once with its multiplicity. With chunk
-    // timestamps requested the outer loop must still walk pass order, so only
-    // the inner loop is batched (the timeline within a batch is reconstructed
-    // exactly by `ChunkTracker::advance_repeat`).
-    let i0_classes: Vec<(usize, u64)> = if chunks.is_some() {
-        (0..n0).map(|i| (i, 1)).collect()
-    } else {
-        loop_classes(n0)
-    };
-    let i1_classes = loop_classes(n1);
-    for &(i0, m0) in &i0_classes {
-        let a0 = actual_tile(extent(d0), tile(d0), i0) as u64;
-        for &(i1, m1) in &i1_classes {
-            let m = m0 * m1;
-            let a1 = actual_tile(extent(d1), tile(d1), i1) as u64;
-            // Coverage of a dimension within this pass.
-            let cover = |d: Dim| -> u64 {
-                if d == d0 {
-                    a0
-                } else if d == d1 {
-                    a1
-                } else {
-                    e2
-                }
-            };
-
-            let mut gb_reads_pass: u64 = 0;
-            let mut gb_writes_pass: u64 = 0;
-            let mut preload_elems: u64 = 0;
-
-            // --- input operands -------------------------------------------------
-            for (dims2, class, is_a) in [(a_dims, classes.a_input, true), (b_dims, classes.b_input, false)]
-            {
-                let streaming = dims2.contains(&d2);
-                let elems: u64 = dims2.iter().map(|&d| cover(d)).product();
-                let lacking: Dim = *[Dim::V, Dim::F, Dim::G]
-                    .iter()
-                    .find(|&&d| !dims2.contains(&d))
-                    .expect("each operand lacks one dim");
-                let copies = tile(lacking) as u64;
-                let resident = is_a && opts.input_resident;
-                let fetch = if streaming {
-                    // Re-fetched every pass.
-                    true
-                } else {
-                    // Stationary: reload when its indices change — every pass if
-                    // indexed by the middle loop, else once per outer iteration.
-                    dims2.contains(&d1) || i1 == 0
+        // Pass costs are uniform in each loop index except at the first
+        // iteration (stationary reloads), the last (remainder tile, final
+        // reduction step), and the reduction-index boundaries — so both loops
+        // collapse into ≤ 3 classes each, every class evaluated once with its
+        // multiplicity. With chunk timestamps requested the outer loop must
+        // still walk pass order, so only the inner loop is batched (the
+        // timeline within a batch is reconstructed exactly by
+        // `ChunkTracker::advance_repeat`).
+        let i0_classes: Vec<(usize, u64)> = if w.has_chunks() {
+            (0..n0).map(|i| (i, 1)).collect()
+        } else {
+            loop_classes(n0)
+        };
+        let i1_classes = loop_classes(n1);
+        for &(i0, m0) in &i0_classes {
+            let a0 = actual_tile(extent(d0), tile(d0), i0) as u64;
+            for &(i1, m1) in &i1_classes {
+                let m = m0 * m1;
+                let a1 = actual_tile(extent(d1), tile(d1), i1) as u64;
+                // Coverage of a dimension within this pass.
+                let cover = |d: Dim| -> u64 {
+                    if d == d0 {
+                        a0
+                    } else if d == d1 {
+                        a1
+                    } else {
+                        e2
+                    }
                 };
-                if fetch {
-                    if resident {
-                        // Already in the RFs: only the per-use RF reads (counted
-                        // with the MACs) apply.
+
+                let mut gb_reads_pass: u64 = 0;
+                let mut gb_writes_pass: u64 = 0;
+                let mut preload_elems: u64 = 0;
+
+                // --- input operands ---------------------------------------------
+                for (dims2, class, is_a) in
+                    [(a_dims, w.classes.a_input, true), (b_dims, w.classes.b_input, false)]
+                {
+                    let streaming = dims2.contains(&d2);
+                    let elems: u64 = dims2.iter().map(|&d| cover(d)).product();
+                    let lacking: Dim = *[Dim::V, Dim::F, Dim::G]
+                        .iter()
+                        .find(|&&d| !dims2.contains(&d))
+                        .expect("each operand lacks one dim");
+                    let copies = tile(lacking) as u64;
+                    let resident = is_a && w.opts.input_resident;
+                    let fetch = if streaming {
+                        // Re-fetched every pass.
+                        true
                     } else {
-                        counters.read(class, elems * m);
-                        if streaming {
-                            gb_reads_pass += elems;
+                        // Stationary: reload when its indices change — every pass
+                        // if indexed by the middle loop, else once per outer
+                        // iteration.
+                        dims2.contains(&d1) || i1 == 0
+                    };
+                    if fetch {
+                        if resident {
+                            // Already in the RFs: only the per-use RF reads
+                            // (counted with the MACs) apply.
                         } else {
-                            // Stationary tiles are pinned before streaming starts
-                            // — the serial t_load of Table III.
-                            preload_elems += elems;
-                        }
-                        counters.rf_writes += elems * copies * m;
-                    }
-                }
-            }
-
-            // --- compute ---------------------------------------------------------
-            let macs_pass = a0 * a1 * e2;
-            macs += macs_pass * m;
-            counters.rf_reads += 2 * macs_pass * m;
-
-            // --- outputs & partial sums -----------------------------------------
-            let mut produced_this_pass: u64 = 0;
-            if pos_r == 2 {
-                // Reduction innermost: the pass completes its output tile.
-                let out_elems = a0 * a1;
-                let updates = macs_pass / t_red.max(1) as u64;
-                counters.rf_reads += updates * m;
-                counters.rf_writes += updates * m;
-                if opts.output_stays_local {
-                    counters.rf_writes += out_elems * m;
-                } else {
-                    counters.write(classes.output, out_elems * m);
-                    gb_writes_pass += out_elems;
-                }
-                produced_this_pass = out_elems;
-            } else {
-                // Reduction at an outer position: outputs touched this pass are
-                // revisited across the reduction tiles.
-                let touched: u64 = [Dim::V, Dim::G].iter().map(|&d| cover(d)).product();
-                let red_idx = if pos_r == 0 { i0 as u64 } else { i1 as u64 };
-                if spill {
-                    spilled_any = true;
-                    let spilled = spill_frac(touched);
-                    if red_idx > 0 {
-                        counters.read(crate::OperandClass::Psum, spilled * m);
-                        gb_reads_pass += spilled;
-                    }
-                    if red_idx < n_red - 1 {
-                        counters.write(crate::OperandClass::Psum, spilled * m);
-                        gb_writes_pass += spilled;
-                    }
-                } else {
-                    let updates = macs_pass / t_red.max(1) as u64;
-                    counters.rf_reads += updates * m;
-                    counters.rf_writes += updates * m;
-                }
-                if red_idx == n_red - 1 {
-                    if opts.output_stays_local {
-                        counters.rf_writes += touched * m;
-                    } else {
-                        counters.write(classes.output, touched * m);
-                        gb_writes_pass += touched;
-                    }
-                    produced_this_pass = touched;
-                }
-            }
-
-            // --- timing ----------------------------------------------------------
-            let (pass_cycles, stall) = pass_timing(
-                n2 as u64,
-                gb_reads_pass,
-                gb_writes_pass,
-                preload_elems,
-                opts.bandwidth,
-                pass_fill,
-            );
-            let start = cycles;
-            cycles += pass_cycles * m;
-            stall_cycles += stall * m;
-
-            // --- chunk progress (timestamped at pass end) -------------------------
-            if let Some(t) = chunks.as_mut() {
-                match opts.chunk.expect("tracker implies spec").side {
-                    ChunkSide::Produce => {
-                        if produced_this_pass > 0 {
-                            t.advance_repeat(m, produced_this_pass, pass_cycles, start);
-                        }
-                    }
-                    ChunkSide::Consume => match pos_g {
-                        2 => t.advance_repeat(m, a0 * a1, pass_cycles, start),
-                        1
-                            if i1 == n1 - 1 => {
-                                // A's dims here are d0 and d2.
-                                t.advance_repeat(m, a0 * e2, pass_cycles, start)
+                            w.counters.read(class, elems * m);
+                            if streaming {
+                                gb_reads_pass += elems;
+                            } else {
+                                // Stationary tiles are pinned before streaming
+                                // starts — the serial t_load of Table III.
+                                preload_elems += elems;
                             }
-                        _ => {} // G outermost: whole intermediate needed; marks at finish
-                    },
+                            w.counters.rf_writes += elems * copies * m;
+                        }
+                    }
                 }
+
+                // --- compute ----------------------------------------------------
+                let macs_pass = a0 * a1 * e2;
+                w.macs += macs_pass * m;
+                w.counters.rf_reads += 2 * macs_pass * m;
+
+                // --- outputs & partial sums -------------------------------------
+                let mut produced_this_pass: u64 = 0;
+                if self.pos_r == 2 {
+                    // Reduction innermost: the pass completes its output tile.
+                    let out_elems = a0 * a1;
+                    let updates = macs_pass / self.t_red.max(1) as u64;
+                    w.counters.rf_reads += updates * m;
+                    w.counters.rf_writes += updates * m;
+                    if w.opts.output_stays_local {
+                        w.counters.rf_writes += out_elems * m;
+                    } else {
+                        w.counters.write(w.classes.output, out_elems * m);
+                        gb_writes_pass += out_elems;
+                    }
+                    produced_this_pass = out_elems;
+                } else {
+                    // Reduction at an outer position: outputs touched this pass
+                    // are revisited across the reduction tiles.
+                    let touched: u64 = [Dim::V, Dim::G].iter().map(|&d| cover(d)).product();
+                    let red_idx = if self.pos_r == 0 { i0 as u64 } else { i1 as u64 };
+                    if self.spill.spill {
+                        w.spilled = true;
+                        let spilled = self.spill.scale(touched);
+                        if red_idx > 0 {
+                            w.counters.read(crate::OperandClass::Psum, spilled * m);
+                            gb_reads_pass += spilled;
+                        }
+                        if red_idx < self.n_red - 1 {
+                            w.counters.write(crate::OperandClass::Psum, spilled * m);
+                            gb_writes_pass += spilled;
+                        }
+                    } else {
+                        let updates = macs_pass / self.t_red.max(1) as u64;
+                        w.counters.rf_reads += updates * m;
+                        w.counters.rf_writes += updates * m;
+                    }
+                    if red_idx == self.n_red - 1 {
+                        if w.opts.output_stays_local {
+                            w.counters.rf_writes += touched * m;
+                        } else {
+                            w.counters.write(w.classes.output, touched * m);
+                            gb_writes_pass += touched;
+                        }
+                        produced_this_pass = touched;
+                    }
+                }
+
+                // --- consume-side chunk stream ----------------------------------
+                // A's elements whose processing completes this pass: the A tile
+                // itself when G is innermost; the (d0, d2) A-tile on the last
+                // middle iteration when G is the middle loop; nothing per pass
+                // when G is outermost (the whole intermediate stays needed —
+                // marks land at finish).
+                let consumed_this_pass = match self.pos_g {
+                    2 => a0 * a1,
+                    1 if i1 == n1 - 1 => a0 * e2,
+                    _ => 0,
+                };
+
+                w.run_pass(
+                    n2 as u64,
+                    gb_reads_pass,
+                    gb_writes_pass,
+                    preload_elems,
+                    produced_this_pass,
+                    consumed_this_pass,
+                    m,
+                );
             }
         }
-    }
-
-    if cycles > 0 {
-        cycles += phase_fill;
-    }
-    let chunk_marks = chunks.map(|t| t.finish(cycles)).unwrap_or_default();
-
-    PhaseStats {
-        cycles,
-        stall_cycles,
-        macs,
-        counters,
-        pe_footprint: tiling.pe_footprint(),
-        chunk_marks,
-        psum_spilled: spilled_any,
     }
 }
 
@@ -451,5 +458,20 @@ mod tests {
         let s = run(dims, &tiling("VGF", [512, 16, 1]));
         assert_eq!(s.macs, 12);
         assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn prepared_variant_matches_unprepared() {
+        let dims = GemmDims { v: 12, f: 9, g: 7 };
+        let prep = PreparedGemm::new(dims);
+        let cfg = AccelConfig::paper_default();
+        let t = tiling("VFG", [4, 2, 1]);
+        let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+        opts.chunk = Some(crate::engine::ChunkSpec { side: ChunkSide::Produce, pel: 11 });
+        let a = simulate_gemm(dims, &t, &cfg, &OperandClasses::combination_ca(), &opts);
+        let b = simulate_gemm_prepared(&prep, &t, &cfg, &OperandClasses::combination_ca(), &opts);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.chunk_marks, b.chunk_marks);
     }
 }

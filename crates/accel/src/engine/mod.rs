@@ -1,9 +1,14 @@
 //! Phase engines: tile-step-accurate simulation of one GNN phase.
 //!
-//! Three engines live here: dense GEMM ([`simulate_gemm`]), sparse SpMM over a
-//! CSR adjacency ([`simulate_spmm`]), and the adjacency-masked SDDMM attention
-//! scoring of GAT-style models ([`simulate_sddmm`]). All walk the loop nest at
-//! **pass** granularity — one full
+//! Four engines live here: dense GEMM ([`simulate_gemm`]), sparse SpMM over a
+//! CSR adjacency ([`simulate_spmm`]), the adjacency-masked SDDMM attention
+//! scoring of GAT-style models ([`simulate_sddmm`]), and the streaming
+//! elementwise/normalization phase ([`simulate_elementwise`]). Each engine is a
+//! thin **leaf** over the shared `core` module's machinery (the
+//! `PhaseEngine` trait): the core owns the tile-walk bookkeeping, pass timing,
+//! chunk timestamps, and stats assembly, while a leaf contributes only the
+//! phase-specific loop nest and per-pass operand math. All walk the loop nest
+//! at **pass** granularity — one full
 //! sweep of the innermost temporal loop at fixed outer/middle tile indices. Per
 //! pass they account, in closed form:
 //!
@@ -23,13 +28,17 @@
 //!   intermediate are produced (first phase) or consumed (second phase), which
 //!   the inter-phase cost model turns into the PP pipeline schedule.
 
+pub(crate) mod core;
+mod elementwise;
 mod gemm;
 mod sddmm;
 mod spmm;
 
-pub use gemm::{simulate_gemm, GemmDims};
+pub use self::core::{PreparedGemm, PreparedSpmm};
+pub use elementwise::{simulate_elementwise, ElementwiseOp, ElementwiseWorkload};
+pub use gemm::{simulate_gemm, simulate_gemm_prepared, GemmDims};
 pub use sddmm::{simulate_sddmm, simulate_sddmm_prepared, SddmmWorkload};
-pub use spmm::{simulate_spmm, simulate_spmm_prepared, PreparedSpmm, SpmmWorkload};
+pub use spmm::{simulate_spmm, simulate_spmm_prepared, SpmmWorkload};
 
 use serde::Serialize;
 
@@ -108,6 +117,14 @@ impl OperandClasses {
             output: OperandClass::Intermediate,
         }
     }
+
+    /// An elementwise/normalization phase operating in place on one matrix:
+    /// its read and write traffic both land in `class` (the class of the
+    /// matrix it post-processes — usually [`OperandClass::Output`] for a
+    /// post-layer activation or LayerNorm).
+    pub fn elementwise_on(class: OperandClass) -> Self {
+        OperandClasses { a_input: class, b_input: class, output: class }
+    }
 }
 
 /// Which side of the intermediate matrix chunk timestamps track.
@@ -165,218 +182,5 @@ impl EngineOptions {
             scores_resident: false,
             chunk: None,
         }
-    }
-}
-
-/// Tracks progress toward chunk boundaries and records cumulative cycle marks.
-#[derive(Debug)]
-pub(crate) struct ChunkTracker {
-    pel: u64,
-    total: u64,
-    progress: u64,
-    emitted: u64,
-    marks: Vec<u64>,
-}
-
-impl ChunkTracker {
-    pub(crate) fn new(spec: Option<&ChunkSpec>, total_elems: u64) -> Option<Self> {
-        let spec = spec?;
-        let pel = spec.pel.max(1);
-        let chunks = total_elems.div_ceil(pel).max(1);
-        Some(ChunkTracker { pel, total: total_elems, progress: 0, emitted: 0, marks: Vec::with_capacity(chunks as usize) })
-    }
-
-    /// Records `elems` of progress at cumulative time `now`. Reference
-    /// implementation for [`Self::advance_repeat`], which the engines use for
-    /// batched passes (`advance(e, t)` ≡ `advance_repeat(1, e, …)`); kept for
-    /// the equivalence test.
-    #[cfg(test)]
-    pub(crate) fn advance(&mut self, elems: u64, now: u64) {
-        self.progress += elems;
-        while (self.emitted + 1) * self.pel <= self.progress {
-            self.marks.push(now);
-            self.emitted += 1;
-        }
-    }
-
-    /// Records `reps` back-to-back identical passes, each contributing
-    /// `elems_each` of progress and `cycles_each` cycles, with the first pass
-    /// starting at cumulative time `start_cycles`. Emits exactly the marks the
-    /// equivalent sequence of [`Self::advance`] calls would (each boundary is
-    /// stamped with the end time of the pass that crosses it) in O(#marks)
-    /// instead of O(reps) — what lets the engines batch uniform passes without
-    /// losing the pipeline-chunk timeline.
-    pub(crate) fn advance_repeat(
-        &mut self,
-        reps: u64,
-        elems_each: u64,
-        cycles_each: u64,
-        start_cycles: u64,
-    ) {
-        if reps == 0 {
-            return;
-        }
-        if elems_each == 0 {
-            return;
-        }
-        let end = self.progress + reps * elems_each;
-        while (self.emitted + 1) * self.pel <= end {
-            let target = (self.emitted + 1) * self.pel;
-            // 1-based index of the pass whose end crosses `target`.
-            let r = (target - self.progress).div_ceil(elems_each);
-            self.marks.push(start_cycles + r * cycles_each);
-            self.emitted += 1;
-        }
-        self.progress = end;
-    }
-
-    /// Closes the tracker at final time `now`, emitting the trailing partial
-    /// chunk (and any rounding shortfall) so the last mark equals the phase's
-    /// total cycles.
-    pub(crate) fn finish(mut self, now: u64) -> Vec<u64> {
-        let expected = self.total.div_ceil(self.pel).max(1);
-        while (self.marks.len() as u64) < expected {
-            self.marks.push(now);
-        }
-        if let Some(last) = self.marks.last_mut() {
-            *last = now;
-        }
-        self.marks
-    }
-}
-
-/// Actual size of tile `i` when dividing `extent` into tiles of `tile`.
-#[inline]
-pub(crate) fn actual_tile(extent: usize, tile: usize, i: usize) -> usize {
-    let start = i * tile;
-    tile.min(extent - start)
-}
-
-/// Equivalence classes of a tiled loop of `n` iterations whose per-pass cost is
-/// uniform except possibly at the first index (stationary reloads), the last
-/// index (remainder tile, final reduction step), and boundary conditions on the
-/// reduction index. Returns `(representative index, multiplicity)` pairs in
-/// iteration order; walking them with the multiplicity applied is exactly
-/// equivalent to walking `0..n` pass by pass.
-pub(crate) fn loop_classes(n: usize) -> Vec<(usize, u64)> {
-    match n {
-        0 => Vec::new(),
-        1 => vec![(0, 1)],
-        2 => vec![(0, 1), (1, 1)],
-        _ => vec![(0, 1), (1, (n - 2) as u64), (n - 1, 1)],
-    }
-}
-
-/// Combines per-pass costs into cycles: compute throughput vs distribution and
-/// collection bandwidth, plus fixed per-pass overheads (tree fill, NoC latency)
-/// and a *serial* preload of stationary operands — streaming cannot start until
-/// the pinned tile sits in the RFs, which is the `t_load` that SP-Optimized
-/// avoids (Table III). Returns `(pass_cycles, stall_cycles)`.
-#[inline]
-pub(crate) fn pass_timing(
-    compute: u64,
-    stream_reads: u64,
-    gb_writes: u64,
-    preload_elems: u64,
-    bw: BandwidthShare,
-    overhead: u64,
-) -> (u64, u64) {
-    let preload = crate::noc::distribution_cycles(preload_elems, bw.dist);
-    let dist = crate::noc::distribution_cycles(stream_reads, bw.dist);
-    let coll = crate::noc::collection_cycles(gb_writes, bw.red);
-    let body = compute.max(dist).max(coll);
-    (preload + body + overhead, preload + body - compute.min(body))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn chunk_tracker_marks_boundaries() {
-        let spec = ChunkSpec { side: ChunkSide::Produce, pel: 10 };
-        let mut t = ChunkTracker::new(Some(&spec), 25).unwrap();
-        t.advance(6, 5);
-        t.advance(6, 9); // 12 ≥ 10 → mark at 9
-        t.advance(10, 20); // 22 ≥ 20 → mark at 20
-        let marks = t.finish(31);
-        assert_eq!(marks, vec![9, 20, 31]); // ceil(25/10) = 3 chunks
-    }
-
-    #[test]
-    fn chunk_tracker_handles_multi_crossings() {
-        let spec = ChunkSpec { side: ChunkSide::Consume, pel: 5 };
-        let mut t = ChunkTracker::new(Some(&spec), 20).unwrap();
-        t.advance(20, 7); // all four chunks complete at once
-        let marks = t.finish(7);
-        assert_eq!(marks, vec![7, 7, 7, 7]);
-    }
-
-    #[test]
-    fn chunk_tracker_none_without_spec() {
-        assert!(ChunkTracker::new(None, 100).is_none());
-    }
-
-    #[test]
-    fn advance_repeat_matches_sequential_advance() {
-        // Batched uniform passes must emit exactly the marks the per-pass walk
-        // would, including multi-crossing and partial-trailing cases.
-        for (pel, total, reps, elems, cycles) in
-            [(10u64, 95u64, 12u64, 8u64, 3u64), (3, 40, 7, 6, 5), (64, 64, 4, 9, 2), (5, 100, 20, 5, 1)]
-        {
-            let spec = ChunkSpec { side: ChunkSide::Produce, pel };
-            let mut seq = ChunkTracker::new(Some(&spec), total).unwrap();
-            let mut now = 17u64; // arbitrary non-zero start
-            for _ in 0..reps {
-                now += cycles;
-                seq.advance(elems, now);
-            }
-            let mut batched = ChunkTracker::new(Some(&spec), total).unwrap();
-            batched.advance_repeat(reps, elems, cycles, 17);
-            assert_eq!(seq.marks, batched.marks, "pel={pel} reps={reps} elems={elems}");
-            assert_eq!(seq.progress, batched.progress);
-            assert_eq!(seq.emitted, batched.emitted);
-        }
-    }
-
-    #[test]
-    fn loop_classes_partition_the_range() {
-        for n in 0..7usize {
-            let classes = loop_classes(n);
-            let total: u64 = classes.iter().map(|&(_, m)| m).sum();
-            assert_eq!(total, n as u64, "n={n}");
-            // First and last indices are always singleton classes.
-            if n >= 2 {
-                assert_eq!(classes.first().unwrap(), &(0, 1));
-                assert_eq!(classes.last().unwrap(), &(n - 1, 1));
-            }
-            // Representatives are valid indices in iteration order.
-            assert!(classes.windows(2).all(|w| w[0].0 < w[1].0));
-            assert!(classes.iter().all(|&(rep, _)| rep < n));
-        }
-    }
-
-    #[test]
-    fn actual_tile_remainders() {
-        assert_eq!(actual_tile(10, 4, 0), 4);
-        assert_eq!(actual_tile(10, 4, 1), 4);
-        assert_eq!(actual_tile(10, 4, 2), 2);
-    }
-
-    #[test]
-    fn pass_timing_stall_accounting() {
-        let bw = BandwidthShare { dist: 10, red: 10 };
-        // Compute-bound: 8 cycles compute, 40 reads → 4 cycles dist → no stall.
-        let (c, s) = pass_timing(8, 40, 0, 0, bw, 2);
-        assert_eq!((c, s), (10, 0));
-        // Bandwidth-bound: 100 reads → 10 cycles > 8 compute → 2 stall cycles.
-        let (c, s) = pass_timing(8, 100, 0, 0, bw, 2);
-        assert_eq!((c, s), (12, 2));
-        // Collection-bound.
-        let (c, s) = pass_timing(1, 0, 55, 0, bw, 0);
-        assert_eq!((c, s), (6, 5));
-        // Serial preload adds on top of the overlapped body.
-        let (c, s) = pass_timing(8, 40, 0, 25, bw, 2);
-        assert_eq!((c, s), (13, 3));
     }
 }

@@ -1,4 +1,4 @@
-//! The SDDMM phase engine: adjacency-masked attention scoring (GAT).
+//! The SDDMM phase leaf: adjacency-masked attention scoring (GAT).
 //!
 //! An attention GNN's score computation is a **sampled dense-dense matrix
 //! multiply**: `S = A ⊙ (Q · Kᵀ)` — one dot product per stored adjacency
@@ -8,7 +8,7 @@
 //! shares the Aggregation dimension set `[V, N, F]`, but the **reduction
 //! dimension is `F`** (the dot-product length), not `N`.
 //!
-//! The engine mirrors the SpMM engine's structure: passes over vertex tiles,
+//! The leaf mirrors the SpMM leaf's structure: passes over vertex tiles,
 //! neighbour slices, and `F`-slices, with rows inside a spatial vertex tile
 //! **tile-synchronized** (the evil-row pathology applies to scoring too),
 //! degree-class batching for single-row tiles, and the same closed-form
@@ -26,8 +26,9 @@
 //! * after the last score completes, an **edge-wise softmax pass** normalises
 //!   the scores per row: two streaming sweeps over the score array (max +
 //!   exp-sum, then normalise + write-back), costed against compute throughput
-//!   and the NoC floors like any other pass. With `output_stays_local` the
-//!   scores never leave the RFs and the sweeps are compute-only.
+//!   and the NoC floors like any other pass (the leaf's `epilogue`). With
+//!   `output_stays_local` the scores never leave the RFs and the sweeps are
+//!   compute-only.
 //!
 //! Loop-order support: the three orders that keep `V` before `N` (`VFN`,
 //! `VNF`, `FVN`). Orders that put `N` before `V` interleave every row's score
@@ -37,13 +38,12 @@
 
 use omega_dataflow::{Dim, IntraTiling, Phase};
 
-use super::{
-    actual_tile, loop_classes, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses,
-    PreparedSpmm,
+use super::core::{
+    actual_tile, bandwidth_sweep, loop_classes, run_phase, DegreeSummary, PhaseEngine, PhaseWalk,
+    PreparedSpmm, SpillModel,
 };
-use crate::{AccelConfig, AccessCounters, OperandClass, PhaseStats, RfBudget};
-
-use super::spmm::DegreeSummary;
+use super::{ChunkSide, EngineOptions, OperandClasses};
+use crate::{AccelConfig, OperandClass, PhaseStats};
 
 /// The workload of an SDDMM scoring phase: the adjacency degree structure,
 /// the per-head dot-product length, and the head count.
@@ -115,7 +115,7 @@ pub fn simulate_sddmm_prepared(
     simulate_sddmm_inner(prep, dot_width, heads, tiling, cfg, classes, opts, false)
 }
 
-/// Shared body of the batched engine and the naive per-pass reference walk
+/// Shared body of the batched leaf and the naive per-pass reference walk
 /// (`naive = true` visits every index and head with multiplicity 1; the tests
 /// assert the two are bit-identical).
 #[allow(clippy::too_many_arguments)]
@@ -132,112 +132,16 @@ fn simulate_sddmm_inner(
     assert_eq!(tiling.phase(), Phase::Aggregation, "SDDMM engine needs a V/F/N tiling");
     let order = tiling.order();
     let pos_v = order.position(Dim::V).expect("V is an SDDMM dim");
-    let pos_f = order.position(Dim::F).expect("F is an SDDMM dim");
     let pos_n = order.position(Dim::N).expect("N is an SDDMM dim");
     assert!(
         pos_v < pos_n,
         "SDDMM loop order {order} puts N before V; gate with omega_dataflow::validate_sddmm"
     );
-
-    let degrees = prep.degrees();
-    let v = degrees.len();
-    let d = dot_width;
-    let h = heads.max(1) as u64;
-    let counters = AccessCounters::default();
-    if v == 0 || d == 0 || prep.nnz() == 0 {
-        return PhaseStats {
-            cycles: 0,
-            stall_cycles: 0,
-            macs: 0,
-            counters,
-            pe_footprint: tiling.pe_footprint(),
-            chunk_marks: Vec::new(),
-            psum_spilled: false,
-        };
-    }
-
-    let max_deg = prep.max_degree();
-    let tv = tiling.tile_of(Dim::V).min(v);
-    let tf = tiling.tile_of(Dim::F).min(d);
-    let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
-    let n_v = v.div_ceil(tv);
-    let n_f = d.div_ceil(tf);
-    let n_n_global = (max_deg as u64).div_ceil(tn as u64).max(1);
-
-    // Partial-score placement: with F innermost each edge's dot completes
-    // in-pass (MAC-register accumulation). With F further out, every (edge,
-    // head) in the loops inner to F keeps a live partial score, shared across
-    // the T_F PEs of each dot-product reduction group.
-    let revisits: u64 = [(Dim::V, n_v as u64), (Dim::N, n_n_global)]
-        .iter()
-        .filter(|&&(dim, _)| order.position(dim).expect("dim present") > pos_f)
-        .map(|&(_, n)| n)
-        .product();
-    let share = if cfg.knobs.psum_group_sharing { tf.max(1) as u64 } else { 1 };
-    let live_psums_per_pe = (h * revisits).div_ceil(share);
-    let rf = RfBudget::new(cfg.rf_words(), 1);
-    // A single F-slice completes every dot in-pass regardless of the loop
-    // order, so only multi-slice reductions can spill partial scores.
-    let spill = pos_f < 2 && n_f > 1 && !rf.psums_fit(live_psums_per_pe as usize);
-    let spill_num = if cfg.knobs.fractional_spill {
-        live_psums_per_pe.saturating_sub(rf.psum_capacity() as u64)
-    } else {
-        live_psums_per_pe
-    };
-
-    let scores_total = h * prep.nnz();
-    let total_visits = scores_total * d as u64;
-    let chunk_total = match opts.chunk.map(|c| c.side) {
-        Some(ChunkSide::Produce) => scores_total,
-        Some(ChunkSide::Consume) => total_visits,
-        None => 0,
-    };
-    let chunks = ChunkTracker::new(opts.chunk.as_ref(), chunk_total);
-
-    // The dot-product reduction tree spans the T_F lanes.
-    let tree_overhead = if tf > 1 { crate::tree_latency(tf, cfg.tree_latency_per_level) } else { 0 };
-    let (phase_fill, pass_fill) = if cfg.knobs.per_pass_fill {
-        (0, tree_overhead + cfg.dist_latency)
-    } else {
-        (tree_overhead + cfg.dist_latency, 0)
-    };
-
-    let mut st = SddmmWalk {
-        counters,
-        cycles: 0,
-        stall_cycles: 0,
-        macs: 0,
-        spilled: false,
-        chunks,
-        classes: *classes,
-        opts: *opts,
-        overhead: pass_fill,
-        tf: tf as u64,
-        tn: tn as u64,
-        n_f: n_f as u64,
-        dot_width: d as u64,
-        spill_ratio: (spill_num, live_psums_per_pe.max(1)),
-        spill,
-    };
-
-    walk_orders(&mut st, prep, WalkShape { v, d, tv, tf, tn, n_v, n_f, h, pos_v, pos_f }, naive);
-
-    // Edge-wise softmax: normalise each row's scores once the last one exists.
-    let softmax = st.softmax_pass(scores_total, tiling.pe_footprint() as u64);
-    let cycles = if st.cycles > 0 { st.cycles + phase_fill + softmax } else { 0 };
-    let chunk_marks = st.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
-    PhaseStats {
-        cycles,
-        stall_cycles: st.stall_cycles,
-        macs: st.macs,
-        counters: st.counters,
-        pe_footprint: tiling.pe_footprint(),
-        chunk_marks,
-        psum_spilled: st.spilled,
-    }
+    let leaf = SddmmLeaf::new(prep, dot_width, heads, tiling, cfg, naive);
+    run_phase(&leaf, cfg, classes, opts)
 }
 
-/// The static shape of one walk, shared by the batched engine and the naive
+/// The static shape of one walk, shared by the batched leaf and the naive
 /// per-pass reference walker of the tests.
 #[derive(Clone, Copy)]
 struct WalkShape {
@@ -253,135 +157,71 @@ struct WalkShape {
     pos_f: usize,
 }
 
-/// Dispatches the four supported loop orders. `naive` forces the unbatched
-/// per-pass reference walk (every index and head visited with multiplicity 1)
-/// — the engine path collapses uniform passes via `loop_classes`, degree
-/// classes, and the head multiplicity, and the tests assert both walks are
-/// bit-identical.
-fn walk_orders(st: &mut SddmmWalk, prep: &PreparedSpmm<'_>, s: WalkShape, naive: bool) {
-    let degrees = prep.degrees();
-    let tn = st.tn;
-    // Degree sum and max of one vertex tile — the only facts a row-major
-    // scoring pass needs (tile synchronization keys off the max).
-    let tile_scan = move |iv: usize| -> (u64, u64, u64) {
-        let lo = iv * s.tv;
-        let hi = ((iv + 1) * s.tv).min(s.v);
-        let mut sum = 0u64;
-        let mut mx = 0usize;
-        for &deg in &degrees[lo..hi] {
-            sum += deg as u64;
-            mx = mx.max(deg);
+/// The SDDMM leaf: dot-product scoring over the adjacency structure, with the
+/// row-wise softmax as the epilogue.
+struct SddmmLeaf<'a> {
+    prep: &'a PreparedSpmm<'a>,
+    shape: WalkShape,
+    tiling: &'a IntraTiling,
+    spill: SpillModel,
+    naive: bool,
+    scores_total: u64,
+}
+
+impl<'a> SddmmLeaf<'a> {
+    fn new(
+        prep: &'a PreparedSpmm<'a>,
+        dot_width: usize,
+        heads: usize,
+        tiling: &'a IntraTiling,
+        cfg: &AccelConfig,
+        naive: bool,
+    ) -> Self {
+        let order = tiling.order();
+        let pos_v = order.position(Dim::V).expect("V is an SDDMM dim");
+        let pos_f = order.position(Dim::F).expect("F is an SDDMM dim");
+        let v = prep.degrees().len();
+        let d = dot_width;
+        let h = heads.max(1) as u64;
+        let scores_total = h * prep.nnz();
+        if v == 0 || d == 0 || prep.nnz() == 0 {
+            // Degenerate: `run_phase` short-circuits before reading these.
+            let shape =
+                WalkShape { v, d, tv: 1, tf: 1, tn: 1, n_v: 0, n_f: 0, h, pos_v, pos_f };
+            let spill = SpillModel::new(cfg, 1, 1, false);
+            return SddmmLeaf { prep, shape, tiling, spill, naive, scores_total };
         }
-        (sum, (mx as u64).div_ceil(tn), (hi - lo) as u64)
-    };
-    // Heads iterate back-to-back at fixed (tile, slice) indices: the engine
-    // folds them into the pass multiplicity, the reference walk repeats the
-    // pass `h` times.
-    let (m_h, reps_h) = if naive { (1, s.h) } else { (s.h, 1) };
-    match (s.pos_v, s.pos_f) {
-        (0, 1) => {
-            // VFN: per v-tile, F-slices in the middle, neighbours innermost.
-            // The F loop is batched per `loop_classes` — at a fixed v-tile its
-            // passes are consecutive in true iteration order, so the batching
-            // is chunk-exact.
-            let f_walk: Vec<(usize, u64)> = if naive {
-                (0..s.n_f).map(|i| (i, 1)).collect()
-            } else {
-                loop_classes(s.n_f)
-            };
-            for iv in 0..s.n_v {
-                let (sum, steps, avv) = tile_scan(iv);
-                for &(if_, mf) in &f_walk {
-                    let af = actual_tile(s.d, s.tf, if_) as u64;
-                    for _ in 0..reps_h {
-                        st.scoring_pass(steps, sum, avv, af, if_ as u64, true, mf * m_h);
-                    }
-                }
-            }
-        }
-        (1, 0) => {
-            // FVN: F-slices outermost, v-tiles in the middle, neighbours
-            // innermost — the same passes as VFN in f-major order. Batching
-            // the middle F-class would lump passes that interleave with other
-            // v-tiles in true order, so with chunk timestamps the F loop
-            // walks per index.
-            let f_walk: Vec<(usize, u64)> = if naive || st.chunks.is_some() {
-                (0..s.n_f).map(|i| (i, 1)).collect()
-            } else {
-                loop_classes(s.n_f)
-            };
-            for &(if_, mf) in &f_walk {
-                let af = actual_tile(s.d, s.tf, if_) as u64;
-                for iv in 0..s.n_v {
-                    let (sum, steps, avv) = tile_scan(iv);
-                    for _ in 0..reps_h {
-                        st.scoring_pass(steps, sum, avv, af, if_ as u64, true, mf * m_h);
-                    }
-                }
-            }
-        }
-        (0, 2) => {
-            // VNF: per v-tile, neighbour slices in the middle, the dot-product
-            // F loop innermost — scores complete in-pass.
-            if s.tv == 1 && st.chunks.is_none() && !naive {
-                // Single-row tiles of equal degree make identical pass
-                // sequences — batch by degree class (order-insensitive
-                // without chunk timestamps).
-                for &(deg, m) in prep.classes() {
-                    st.vnf_vertex(deg, s, m * s.h, 1);
-                }
-            } else if s.tv == 1 {
-                for &deg in degrees {
-                    st.vnf_vertex(deg, s, m_h, reps_h);
-                }
-            } else {
-                for iv in 0..s.n_v {
-                    let lo = iv * s.tv;
-                    let hi = ((iv + 1) * s.tv).min(s.v);
-                    let summary = DegreeSummary::new(degrees[lo..hi].iter().copied());
-                    let avv = (hi - lo) as u64;
-                    let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
-                    for in_ in 0..n_red {
-                        let active = summary.active(in_ * s.tn, (in_ + 1) * s.tn);
-                        for _ in 0..reps_h {
-                            st.streaming_pass(active, avv, in_ == 0, m_h);
-                        }
-                    }
-                }
-            }
-        }
-        _ => unreachable!("validate_sddmm admits only the V-before-N orders (VFN, VNF, FVN)"),
+        let max_deg = prep.max_degree();
+        let tv = tiling.tile_of(Dim::V).min(v);
+        let tf = tiling.tile_of(Dim::F).min(d);
+        let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
+        let n_v = v.div_ceil(tv);
+        let n_f = d.div_ceil(tf);
+        let n_n_global = (max_deg as u64).div_ceil(tn as u64).max(1);
+        // Partial-score placement: with F innermost each edge's dot completes
+        // in-pass (MAC-register accumulation). With F further out, every
+        // (edge, head) in the loops inner to F keeps a live partial score,
+        // shared across the T_F PEs of each dot-product reduction group. A
+        // single F-slice completes every dot in-pass regardless of the loop
+        // order, so only multi-slice reductions can spill partial scores.
+        let revisits: u64 = [(Dim::V, n_v as u64), (Dim::N, n_n_global)]
+            .iter()
+            .filter(|&&(dim, _)| order.position(dim).expect("dim present") > pos_f)
+            .map(|&(_, n)| n)
+            .product();
+        let spill = SpillModel::new(cfg, h * revisits, tf, pos_f < 2 && n_f > 1);
+        let shape = WalkShape { v, d, tv, tf, tn, n_v, n_f, h, pos_v, pos_f };
+        SddmmLeaf { prep, shape, tiling, spill, naive, scores_total }
     }
-}
 
-/// Mutable walk state shared by the pass helpers.
-struct SddmmWalk {
-    counters: AccessCounters,
-    cycles: u64,
-    stall_cycles: u64,
-    macs: u64,
-    spilled: bool,
-    chunks: Option<ChunkTracker>,
-    classes: OperandClasses,
-    opts: EngineOptions,
-    overhead: u64,
-    tf: u64,
-    tn: u64,
-    n_f: u64,
-    dot_width: u64,
-    /// Numerator/denominator of the partial-score overflow fraction.
-    spill_ratio: (u64, u64),
-    spill: bool,
-}
-
-impl SddmmWalk {
     /// Charges the feature and adjacency-structure traffic of a pass visiting
     /// `edge_visits` edges over `width` dot-product columns of `rows` rows,
     /// for `m` identical passes. The stationary Q row slices preload serially
     /// (`q_preload` false suppresses them — VNF keeps the row pinned across
     /// its neighbour slices). Returns per-pass `(gb_stream_reads, preload)`.
     fn charge_inputs(
-        &mut self,
+        &self,
+        w: &mut PhaseWalk,
         edge_visits: u64,
         width: u64,
         rows: u64,
@@ -391,17 +231,17 @@ impl SddmmWalk {
         let k_elems = edge_visits * width; // gathered neighbour slices (streamed)
         let q_elems = if q_preload { rows * width } else { 0 }; // pinned row slices
         let structure = edge_visits + rows; // column indices + row pointers
-        self.counters.read(OperandClass::Adjacency, structure * m);
+        w.counters.read(OperandClass::Adjacency, structure * m);
         let mut gb = structure;
         let mut preload = 0;
-        if !self.opts.input_resident {
-            self.counters.read(self.classes.a_input, (k_elems + q_elems) * m);
+        if !w.opts.input_resident {
+            w.counters.read(w.classes.a_input, (k_elems + q_elems) * m);
             gb += k_elems;
             preload = q_elems;
         }
         // Multicast: each Q element fans out across the T_N edge lanes; K
         // elements land in exactly one reduction group each.
-        self.counters.rf_writes += (k_elems + q_elems * self.tn) * m;
+        w.counters.rf_writes += (k_elems + q_elems * self.shape.tn as u64) * m;
         (gb, preload)
     }
 
@@ -411,7 +251,8 @@ impl SddmmWalk {
     /// F-slices (accumulating in the RFs or spilling).
     #[allow(clippy::too_many_arguments)]
     fn scoring_pass(
-        &mut self,
+        &self,
+        w: &mut PhaseWalk,
         steps: u64,
         edge_visits: u64,
         rows: u64,
@@ -420,127 +261,233 @@ impl SddmmWalk {
         q_preload: bool,
         m: u64,
     ) {
+        let n_f = self.shape.n_f as u64;
         let macs = edge_visits * af;
-        self.macs += macs * m;
-        self.counters.rf_reads += 2 * macs * m;
+        w.macs += macs * m;
+        w.counters.rf_reads += 2 * macs * m;
         let mut gb_writes = 0;
-        if self.spill {
-            self.spilled = true;
-            let spilled = edge_visits * self.spill_ratio.0 / self.spill_ratio.1;
+        if self.spill.spill {
+            w.spilled = true;
+            let spilled = self.spill.scale(edge_visits);
             if red_idx > 0 {
-                self.counters.read(OperandClass::Psum, spilled * m);
+                w.counters.read(OperandClass::Psum, spilled * m);
             }
-            if red_idx < self.n_f - 1 {
-                self.counters.write(OperandClass::Psum, spilled * m);
+            if red_idx < n_f - 1 {
+                w.counters.write(OperandClass::Psum, spilled * m);
                 gb_writes += spilled;
             }
         } else {
-            let updates = macs.div_ceil(self.tf);
-            self.counters.rf_reads += updates * m;
-            self.counters.rf_writes += updates * m;
+            let updates = macs.div_ceil(self.shape.tf as u64);
+            w.counters.rf_reads += updates * m;
+            w.counters.rf_writes += updates * m;
         }
         let mut produced = 0;
-        if red_idx == self.n_f - 1 {
+        if red_idx == n_f - 1 {
             produced = edge_visits; // one score per edge completes
-            if self.opts.output_stays_local {
-                self.counters.rf_writes += produced * m;
+            if w.opts.output_stays_local {
+                w.counters.rf_writes += produced * m;
             } else {
-                self.counters.write(self.classes.output, produced * m);
+                w.counters.write(w.classes.output, produced * m);
                 gb_writes += produced;
             }
         }
-        let (mut gb_reads, preload) = self.charge_inputs(edge_visits, af, rows, q_preload, m);
-        if self.spill && red_idx > 0 {
-            gb_reads += edge_visits * self.spill_ratio.0 / self.spill_ratio.1;
+        let (mut gb_reads, preload) = self.charge_inputs(w, edge_visits, af, rows, q_preload, m);
+        if self.spill.spill && red_idx > 0 {
+            gb_reads += self.spill.scale(edge_visits);
         }
-        let (pass, stall) =
-            pass_timing(steps.max(1), gb_reads, gb_writes, preload, self.opts.bandwidth, self.overhead);
-        let start = self.cycles;
-        self.cycles += pass * m;
-        self.stall_cycles += stall * m;
-        self.advance_chunks(m, produced, macs, pass, start);
+        w.run_pass(steps.max(1), gb_reads, gb_writes, preload, produced, macs, m);
     }
 
     /// `m` identical `VNF` passes: one neighbour slice of one v-tile, the full
     /// dot streaming innermost — each visited edge's score completes in-pass.
-    fn streaming_pass(&mut self, edge_visits: u64, rows: u64, first_slice: bool, m: u64) {
-        let width = self.dot_width;
+    fn streaming_pass(&self, w: &mut PhaseWalk, edge_visits: u64, rows: u64, first_slice: bool, m: u64) {
+        let width = self.shape.d as u64;
         let macs = edge_visits * width;
-        self.macs += macs * m;
-        self.counters.rf_reads += 2 * macs * m;
-        let updates = macs.div_ceil(self.tf);
-        self.counters.rf_reads += updates * m;
-        self.counters.rf_writes += updates * m;
+        w.macs += macs * m;
+        w.counters.rf_reads += 2 * macs * m;
+        let updates = macs.div_ceil(self.shape.tf as u64);
+        w.counters.rf_reads += updates * m;
+        w.counters.rf_writes += updates * m;
         let produced = edge_visits;
         let mut gb_writes = 0;
-        if self.opts.output_stays_local {
-            self.counters.rf_writes += produced * m;
+        if w.opts.output_stays_local {
+            w.counters.rf_writes += produced * m;
         } else {
-            self.counters.write(self.classes.output, produced * m);
+            w.counters.write(w.classes.output, produced * m);
             gb_writes += produced;
         }
-        let (gb_reads, preload) = self.charge_inputs(edge_visits, width, rows, first_slice, m);
-        let steps = self.n_f; // F-slices stream innermost per edge group
-        let (pass, stall) =
-            pass_timing(steps.max(1), gb_reads, gb_writes, preload, self.opts.bandwidth, self.overhead);
-        let start = self.cycles;
-        self.cycles += pass * m;
-        self.stall_cycles += stall * m;
-        self.advance_chunks(m, produced, macs, pass, start);
+        let (gb_reads, preload) = self.charge_inputs(w, edge_visits, width, rows, first_slice, m);
+        let steps = self.shape.n_f as u64; // F-slices stream innermost per edge group
+        w.run_pass(steps.max(1), gb_reads, gb_writes, preload, produced, macs, m);
     }
 
     /// The full neighbour-slice walk of one single-row `VNF` vertex (`m` rows
     /// of identical degree batched together; `reps` unbatched head repetitions
     /// per slice for the reference walk).
-    fn vnf_vertex(&mut self, deg: usize, s: WalkShape, m: u64, reps: u64) {
-        let n_red = (deg as u64).div_ceil(self.tn).max(1) as usize;
+    fn vnf_vertex(&self, w: &mut PhaseWalk, deg: usize, m: u64, reps: u64) {
+        let tn = self.shape.tn;
+        let n_red = (deg as u64).div_ceil(tn as u64).max(1) as usize;
         for in_ in 0..n_red {
-            let lo = in_ * s.tn;
-            let hi = lo + s.tn;
+            let lo = in_ * tn;
+            let hi = lo + tn;
             let active = (deg.min(hi) - deg.min(lo)) as u64;
             for _ in 0..reps {
-                self.streaming_pass(active, 1, in_ == 0, m);
+                self.streaming_pass(w, active, 1, in_ == 0, m);
             }
         }
     }
+}
 
-    /// The edge-wise softmax: two streaming sweeps over the `scores` array
+impl PhaseEngine for SddmmLeaf<'_> {
+    fn is_empty(&self) -> bool {
+        self.shape.v == 0 || self.shape.d == 0 || self.prep.nnz() == 0
+    }
+
+    fn reduction_lanes(&self) -> usize {
+        // The dot-product reduction tree spans the T_F lanes.
+        self.shape.tf
+    }
+
+    fn pe_footprint(&self) -> usize {
+        self.tiling.pe_footprint()
+    }
+
+    fn chunk_total(&self, side: ChunkSide) -> u64 {
+        match side {
+            ChunkSide::Produce => self.scores_total,
+            ChunkSide::Consume => self.scores_total * self.shape.d as u64,
+        }
+    }
+
+    /// Dispatches the supported loop orders. `naive` forces the unbatched
+    /// per-pass reference walk (every index and head visited with
+    /// multiplicity one) — the engine path collapses uniform passes via
+    /// `loop_classes`, degree classes, and the head multiplicity, and the
+    /// tests assert both walks are bit-identical.
+    fn walk(&self, w: &mut PhaseWalk) {
+        let s = self.shape;
+        let degrees = self.prep.degrees();
+        let tn = s.tn as u64;
+        // Degree sum and max of one vertex tile — the only facts a row-major
+        // scoring pass needs (tile synchronization keys off the max).
+        let tile_scan = move |iv: usize| -> (u64, u64, u64) {
+            let lo = iv * s.tv;
+            let hi = ((iv + 1) * s.tv).min(s.v);
+            let mut sum = 0u64;
+            let mut mx = 0usize;
+            for &deg in &degrees[lo..hi] {
+                sum += deg as u64;
+                mx = mx.max(deg);
+            }
+            (sum, (mx as u64).div_ceil(tn), (hi - lo) as u64)
+        };
+        // Heads iterate back-to-back at fixed (tile, slice) indices: the leaf
+        // folds them into the pass multiplicity, the reference walk repeats the
+        // pass `h` times.
+        let (m_h, reps_h) = if self.naive { (1, s.h) } else { (s.h, 1) };
+        match (s.pos_v, s.pos_f) {
+            (0, 1) => {
+                // VFN: per v-tile, F-slices in the middle, neighbours
+                // innermost. The F loop is batched per `loop_classes` — at a
+                // fixed v-tile its passes are consecutive in true iteration
+                // order, so the batching is chunk-exact.
+                let f_walk: Vec<(usize, u64)> = if self.naive {
+                    (0..s.n_f).map(|i| (i, 1)).collect()
+                } else {
+                    loop_classes(s.n_f)
+                };
+                for iv in 0..s.n_v {
+                    let (sum, steps, avv) = tile_scan(iv);
+                    for &(if_, mf) in &f_walk {
+                        let af = actual_tile(s.d, s.tf, if_) as u64;
+                        for _ in 0..reps_h {
+                            self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                        }
+                    }
+                }
+            }
+            (1, 0) => {
+                // FVN: F-slices outermost, v-tiles in the middle, neighbours
+                // innermost — the same passes as VFN in f-major order. Batching
+                // the middle F-class would lump passes that interleave with
+                // other v-tiles in true order, so with chunk timestamps the F
+                // loop walks per index.
+                let f_walk: Vec<(usize, u64)> = if self.naive || w.has_chunks() {
+                    (0..s.n_f).map(|i| (i, 1)).collect()
+                } else {
+                    loop_classes(s.n_f)
+                };
+                for &(if_, mf) in &f_walk {
+                    let af = actual_tile(s.d, s.tf, if_) as u64;
+                    for iv in 0..s.n_v {
+                        let (sum, steps, avv) = tile_scan(iv);
+                        for _ in 0..reps_h {
+                            self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                        }
+                    }
+                }
+            }
+            (0, 2) => {
+                // VNF: per v-tile, neighbour slices in the middle, the
+                // dot-product F loop innermost — scores complete in-pass.
+                if s.tv == 1 && !w.has_chunks() && !self.naive {
+                    // Single-row tiles of equal degree make identical pass
+                    // sequences — batch by degree class (order-insensitive
+                    // without chunk timestamps).
+                    for &(deg, m) in self.prep.classes() {
+                        self.vnf_vertex(w, deg, m * s.h, 1);
+                    }
+                } else if s.tv == 1 {
+                    for &deg in degrees {
+                        self.vnf_vertex(w, deg, m_h, reps_h);
+                    }
+                } else {
+                    for iv in 0..s.n_v {
+                        let lo = iv * s.tv;
+                        let hi = ((iv + 1) * s.tv).min(s.v);
+                        let summary = DegreeSummary::new(degrees[lo..hi].iter().copied());
+                        let avv = (hi - lo) as u64;
+                        let n_red = (summary.max() as u64).div_ceil(tn).max(1) as usize;
+                        for in_ in 0..n_red {
+                            let active = summary.active(in_ * s.tn, (in_ + 1) * s.tn);
+                            for _ in 0..reps_h {
+                                self.streaming_pass(w, active, avv, in_ == 0, m_h);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("validate_sddmm admits only the V-before-N orders (VFN, VNF, FVN)"),
+        }
+    }
+
+    /// The edge-wise softmax: two streaming sweeps over the score array
     /// (row max + exp-sum, then normalise + write-back), each bounded by
     /// compute throughput (one score per PE per cycle) and the NoC floors.
     /// Returns the sweep cycles; traffic lands in the output class.
-    fn softmax_pass(&mut self, scores: u64, footprint: u64) -> u64 {
+    fn epilogue(&self, w: &mut PhaseWalk) -> u64 {
+        let scores = self.scores_total;
         if scores == 0 {
             return 0;
         }
+        let footprint = self.tiling.pe_footprint() as u64;
         let compute = scores.div_ceil(footprint.max(1));
-        let gb = if self.opts.output_stays_local { 0 } else { scores };
-        let dist = crate::noc::distribution_cycles(gb, self.opts.bandwidth.dist);
-        let coll = crate::noc::collection_cycles(gb, self.opts.bandwidth.red);
-        let sweep1 = compute.max(dist);
-        let sweep2 = compute.max(dist).max(coll);
-        self.stall_cycles += (sweep1 - compute.min(sweep1)) + (sweep2 - compute.min(sweep2));
-        if self.opts.output_stays_local {
-            self.counters.rf_reads += 2 * scores;
-            self.counters.rf_writes += scores;
+        let gb = if w.opts.output_stays_local { 0 } else { scores };
+        // Sweep 1 re-reads the scores (no write-back yet); sweep 2 reads and
+        // writes the normalised copy.
+        let (sweep1, stall1) = bandwidth_sweep(compute, gb, 0, w.opts.bandwidth);
+        let (sweep2, stall2) = bandwidth_sweep(compute, gb, gb, w.opts.bandwidth);
+        w.stall_cycles += stall1 + stall2;
+        if w.opts.output_stays_local {
+            w.counters.rf_reads += 2 * scores;
+            w.counters.rf_writes += scores;
         } else {
-            self.counters.read(self.classes.output, 2 * scores);
-            self.counters.write(self.classes.output, scores);
-            self.counters.rf_reads += 2 * scores;
-            self.counters.rf_writes += scores;
+            w.counters.read(w.classes.output, 2 * scores);
+            w.counters.write(w.classes.output, scores);
+            w.counters.rf_reads += 2 * scores;
+            w.counters.rf_writes += scores;
         }
         sweep1 + sweep2
-    }
-
-    fn advance_chunks(&mut self, m: u64, produced_each: u64, visits_each: u64, pass_cycles: u64, start: u64) {
-        let Some(t) = self.chunks.as_mut() else { return };
-        match self.opts.chunk.expect("tracker implies spec").side {
-            ChunkSide::Produce => {
-                if produced_each > 0 {
-                    t.advance_repeat(m, produced_each, pass_cycles, start);
-                }
-            }
-            ChunkSide::Consume => t.advance_repeat(m, visits_each, pass_cycles, start),
-        }
     }
 }
 

@@ -1,11 +1,12 @@
-//! The sparse-SpMM phase engine (Aggregation over a CSR adjacency).
-
-use std::sync::OnceLock;
+//! The sparse-SpMM phase leaf (Aggregation over a CSR adjacency).
 
 use omega_dataflow::{Dim, IntraTiling, Phase};
 
-use super::{actual_tile, pass_timing, ChunkSide, ChunkTracker, EngineOptions, OperandClasses};
-use crate::{AccelConfig, AccessCounters, OperandClass, PhaseStats, RfBudget};
+use super::core::{
+    actual_tile, run_phase, DegreeSummary, PhaseEngine, PhaseWalk, PreparedSpmm, SpillModel,
+};
+use super::{ChunkSide, EngineOptions, OperandClasses};
+use crate::{AccelConfig, OperandClass, PhaseStats};
 
 /// The sparse workload of an Aggregation phase: the per-row stored non-zero
 /// counts of the CSR adjacency (degrees, including self loops) and the width of
@@ -27,96 +28,6 @@ impl SpmmWorkload<'_> {
     /// Maximum row degree.
     pub fn max_degree(&self) -> usize {
         self.degrees.iter().copied().max().unwrap_or(0)
-    }
-}
-
-/// Degree summary supporting O(log n) "edges active in neighbour slice `[lo, hi)`"
-/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`. Shared with the SDDMM
-/// engine, whose neighbour-slice walks are the same shape.
-#[derive(Debug)]
-pub(crate) struct DegreeSummary {
-    sorted: Vec<u32>,
-    prefix: Vec<u64>, // prefix[i] = sum of sorted[..i]
-}
-
-impl DegreeSummary {
-    pub(crate) fn new(degrees: impl Iterator<Item = usize>) -> Self {
-        let mut sorted: Vec<u32> = degrees.map(|d| d as u32).collect();
-        sorted.sort_unstable();
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
-        prefix.push(0u64);
-        for &d in &sorted {
-            prefix.push(prefix.last().unwrap() + d as u64);
-        }
-        DegreeSummary { sorted, prefix }
-    }
-
-    /// Σ_v min(deg_v, x).
-    fn sum_min(&self, x: usize) -> u64 {
-        let idx = self.sorted.partition_point(|&d| (d as usize) < x);
-        self.prefix[idx] + (self.sorted.len() - idx) as u64 * x as u64
-    }
-
-    /// Edge visits whose within-row index falls in `[lo, hi)`.
-    pub(crate) fn active(&self, lo: usize, hi: usize) -> u64 {
-        self.sum_min(hi) - self.sum_min(lo)
-    }
-
-    /// Rows with degree > k.
-    pub(crate) fn count_gt(&self, k: usize) -> u64 {
-        (self.sorted.len() - self.sorted.partition_point(|&d| d as usize <= k)) as u64
-    }
-
-    pub(crate) fn max(&self) -> usize {
-        self.sorted.last().map_or(0, |&d| d as usize)
-    }
-}
-
-/// Degree structures of one adjacency, hoisted out of [`simulate_spmm`] so a
-/// caller evaluating thousands of tilings of the *same* workload (the DSE hot
-/// path) pays the O(V log V) sorting once instead of per simulation.
-///
-/// The totals (`nnz`, `max_degree`) are computed eagerly; the sorted degree
-/// classes and the global degree summary — needed only by some loop orders —
-/// are built lazily on first use and shared across threads.
-#[derive(Debug)]
-pub struct PreparedSpmm<'a> {
-    degrees: &'a [usize],
-    nnz: u64,
-    max_degree: usize,
-    classes: OnceLock<Vec<(usize, u64)>>,
-    global: OnceLock<DegreeSummary>,
-}
-
-impl<'a> PreparedSpmm<'a> {
-    /// Prepares the degree structures for `degrees`.
-    pub fn new(degrees: &'a [usize]) -> Self {
-        let nnz = degrees.iter().map(|&d| d as u64).sum();
-        let max_degree = degrees.iter().copied().max().unwrap_or(0);
-        PreparedSpmm { degrees, nnz, max_degree, classes: OnceLock::new(), global: OnceLock::new() }
-    }
-
-    /// The stored non-zeros per row this preparation covers.
-    pub fn degrees(&self) -> &'a [usize] {
-        self.degrees
-    }
-
-    /// Total stored non-zeros.
-    pub fn nnz(&self) -> u64 {
-        self.nnz
-    }
-
-    /// Maximum row degree.
-    pub fn max_degree(&self) -> usize {
-        self.max_degree
-    }
-
-    pub(crate) fn classes(&self) -> &[(usize, u64)] {
-        self.classes.get_or_init(|| degree_classes(self.degrees))
-    }
-
-    pub(crate) fn global(&self) -> &DegreeSummary {
-        self.global.get_or_init(|| DegreeSummary::new(self.degrees.iter().copied()))
     }
 }
 
@@ -153,360 +64,93 @@ pub fn simulate_spmm_prepared(
     opts: &EngineOptions,
 ) -> PhaseStats {
     assert_eq!(tiling.phase(), Phase::Aggregation, "SpMM engine needs an Aggregation tiling");
-    let degrees = prep.degrees();
-    let v = degrees.len();
-    let f = feature_width;
-    let counters = AccessCounters::default();
-    if v == 0 || f == 0 || prep.nnz() == 0 {
-        return PhaseStats {
-            cycles: 0,
-            stall_cycles: 0,
-            macs: 0,
-            counters,
-            pe_footprint: tiling.pe_footprint(),
-            chunk_marks: Vec::new(),
-            psum_spilled: false,
-        };
-    }
-
-    let max_deg = prep.max_degree();
-    let tv = tiling.tile_of(Dim::V).min(v);
-    let tf = tiling.tile_of(Dim::F).min(f);
-    let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
-    let n_v = v.div_ceil(tv);
-    let n_f = f.div_ceil(tf);
-
-    let order = tiling.order();
-    let pos_n = order.position(Dim::N).expect("N is an Aggregation dim");
-    let pos_v = order.position(Dim::V).expect("V is an Aggregation dim");
-
-    // Partial-sum placement: with N innermost, the output tile accumulates in the
-    // PE MAC registers. With N in the middle, each PE revisits its F (or V)
-    // slice once per neighbour slice → live psums per PE = temporal revisits of
-    // the dims inner to N. With N outermost, everything stays live.
-    let revisits: u64 = [Dim::V, Dim::F]
-        .iter()
-        .filter(|&&d| order.position(d).expect("dim present") > pos_n)
-        .map(|&d| match d {
-            Dim::V => n_v as u64,
-            _ => n_f as u64,
-        })
-        .product();
-    // Live psums are shared across the T_N PEs of each spatial reduction group.
-    let share = if cfg.knobs.psum_group_sharing { tn.max(1) as u64 } else { 1 };
-    let live_psums_per_pe = revisits.div_ceil(share);
-    let rf = RfBudget::new(cfg.rf_words(), 1);
-    let spill = pos_n < 2 && !rf.psums_fit(live_psums_per_pe as usize);
-    // Only the overflow fraction of the live psums spills to the GB
-    // (ratio carried into the walk state below).
-    let spill_num = if cfg.knobs.fractional_spill {
-        live_psums_per_pe.saturating_sub(rf.psum_capacity() as u64)
-    } else {
-        live_psums_per_pe
-    };
-
-    let total_out = (v as u64) * (f as u64);
-    let total_visits = prep.nnz() * f as u64;
-    let chunk_total = match opts.chunk.map(|c| c.side) {
-        Some(ChunkSide::Produce) => total_out,
-        Some(ChunkSide::Consume) => total_visits,
-        None => 0,
-    };
-    let chunks = ChunkTracker::new(opts.chunk.as_ref(), chunk_total);
-
-    // Pipeline-fill overheads are paid once per phase (the NoCs stream across
-    // passes), not per pass.
-    let tree_overhead = if tn > 1 { crate::tree_latency(tn, cfg.tree_latency_per_level) } else { 0 };
-    let (phase_fill, pass_fill) = if cfg.knobs.per_pass_fill {
-        (0, tree_overhead + cfg.dist_latency)
-    } else {
-        (tree_overhead + cfg.dist_latency, 0)
-    };
-
-    let mut st = Walk {
-        counters,
-        cycles: 0,
-        stall_cycles: 0,
-        macs: 0,
-        spilled: false,
-        chunks,
-        classes: *classes,
-        opts: *opts,
-        overhead: pass_fill,
-        tn: tn as u64,
-        tf: tf as u64,
-        spill_ratio: (spill_num, live_psums_per_pe.max(1)),
-    };
-
-    // F-tile classes: the full tiles then the remainder, in iteration order, so
-    // the inner `F` loop of every order collapses to ≤ 2 batched passes.
-    let af_last = (f - (n_f - 1) * tf) as u64;
-    let f_classes: Vec<(u64, u64)> = if af_last == tf as u64 {
-        vec![(tf as u64, n_f as u64)]
-    } else {
-        vec![(tf as u64, (n_f - 1) as u64), (af_last, 1)]
-    };
-    // Per-vertex-tile degree summary, built only by the orders that slice the
-    // neighbour dimension mid-nest.
-    let tile_summary = |iv: usize| -> DegreeSummary {
-        let lo = iv * tv;
-        let hi = ((iv + 1) * tv).min(v);
-        DegreeSummary::new(degrees[lo..hi].iter().copied())
-    };
-
-    match (pos_v, pos_n) {
-        // --- exact row-major orders ---------------------------------------------
-        (0, 2) | (1, 2) => {
-            // VFN / FVN: passes over (v-tile × f-tile); reduction innermost.
-            // Only the degree sum and max of each tile matter, so the tile walk
-            // is a single scan and the F loop is batched per class.
-            for iv in 0..n_v {
-                let lo = iv * tv;
-                let hi = ((iv + 1) * tv).min(v);
-                let mut sum = 0u64;
-                let mut mx = 0usize;
-                for &d in &degrees[lo..hi] {
-                    sum += d as u64;
-                    mx = mx.max(d);
-                }
-                let avv = (hi - lo) as u64;
-                let steps = (mx as u64).div_ceil(st.tn);
-                for &(af, m) in &f_classes {
-                    st.reduction_innermost_pass(steps, sum, avv, af, m);
-                }
-            }
-        }
-        (0, 1) => {
-            // VNF: per v-tile, neighbour slices in the middle, F innermost.
-            if tv == 1 && st.chunks.is_none() {
-                // Single-row tiles with identical degrees make identical pass
-                // sequences — batch by degree class (order-insensitive without
-                // chunk timestamps).
-                for &(d, m) in prep.classes() {
-                    st.vnf_vertex(d, f, n_f, tn, spill, m);
-                }
-            } else if tv == 1 {
-                for &d in degrees {
-                    st.vnf_vertex(d, f, n_f, tn, spill, 1);
-                }
-            } else {
-                for iv in 0..n_v {
-                    let summary = tile_summary(iv);
-                    let avv = actual_tile(v, tv, iv) as u64;
-                    let n_red = (summary.max() as u64).div_ceil(st.tn).max(1) as usize;
-                    for in_ in 0..n_red {
-                        let lo = in_ * tn;
-                        let hi = lo + tn;
-                        let active = summary.active(lo, hi);
-                        st.reduction_middle_pass(
-                            n_f as u64,
-                            active * f as u64,
-                            avv,
-                            f as u64,
-                            in_ as u64,
-                            n_red as u64,
-                            active,
-                            spill,
-                            1,
-                        );
-                    }
-                }
-            }
-        }
-        (2, 1) => {
-            // FNV: column granularity — per f-tile, global neighbour slices,
-            // vertices innermost (histogram model).
-            let global = prep.global();
-            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
-            if st.chunks.is_none() {
-                // Hoist the slice walk out of the F loop: every f-tile repeats
-                // the same slice sequence (order-insensitive without chunks).
-                for in_ in 0..n_red {
-                    let lo = in_ * tn;
-                    let hi = lo + tn;
-                    let active = global.active(lo, hi);
-                    let rows_active = global.count_gt(lo);
-                    let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
-                    for &(af, m) in &f_classes {
-                        st.histogram_pass(
-                            rows_active.div_ceil(tv as u64).max(1),
-                            active,
-                            af,
-                            rows_active,
-                            rows_finishing,
-                            in_ as u64,
-                            spill,
-                            m,
-                        );
-                    }
-                }
-            } else {
-                for if_ in 0..n_f {
-                    let af = actual_tile(f, tf, if_) as u64;
-                    for in_ in 0..n_red {
-                        let lo = in_ * tn;
-                        let hi = lo + tn;
-                        let active = global.active(lo, hi);
-                        let rows_active = global.count_gt(lo);
-                        let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
-                        st.histogram_pass(
-                            rows_active.div_ceil(tv as u64).max(1),
-                            active,
-                            af,
-                            rows_active,
-                            rows_finishing,
-                            in_ as u64,
-                            spill,
-                            1,
-                        );
-                    }
-                }
-            }
-        }
-        // --- N outermost (Seq-only for AC): histogram model ----------------------
-        (1, 0) => {
-            // NVF: per neighbour slice, vertex tiles in the middle (each
-            // contributing its own active edges for the slice), F innermost.
-            if tv == 1 && st.chunks.is_none() {
-                let classes = prep.classes();
-                let gmax = classes.last().map_or(0, |&(d, _)| d);
-                let n_red = (gmax as u64).div_ceil(st.tn).max(1) as usize;
-                for in_ in 0..n_red {
-                    let lo = in_ * tn;
-                    let hi = lo + tn;
-                    for &(d, m) in classes {
-                        let active = (d.min(hi) - d.min(lo)) as u64;
-                        let rows_active = u64::from(d > lo);
-                        let rows_finishing = u64::from(d > lo && d <= hi.saturating_sub(1));
-                        st.histogram_pass(
-                            n_f as u64,
-                            active,
-                            f as u64,
-                            rows_active,
-                            rows_finishing,
-                            in_ as u64,
-                            spill,
-                            m,
-                        );
-                    }
-                }
-            } else {
-                let summaries: Vec<DegreeSummary> = (0..n_v).map(tile_summary).collect();
-                let gmax = summaries.iter().map(|s| s.max()).max().unwrap_or(0);
-                let n_red = (gmax as u64).div_ceil(st.tn).max(1) as usize;
-                for in_ in 0..n_red {
-                    let lo = in_ * tn;
-                    let hi = lo + tn;
-                    for summary in &summaries {
-                        let active = summary.active(lo, hi);
-                        let rows_active = summary.count_gt(lo);
-                        let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
-                        st.histogram_pass(
-                            n_f as u64,
-                            active,
-                            f as u64,
-                            rows_active,
-                            rows_finishing,
-                            in_ as u64,
-                            spill,
-                            1,
-                        );
-                    }
-                }
-            }
-        }
-        (2, 0) => {
-            // NFV: per neighbour slice, feature tiles in the middle (each
-            // revisiting the slice's active edges over its columns), V innermost.
-            // The F loop is batched per class, preserving iteration order.
-            let global = prep.global();
-            let n_red = (global.max() as u64).div_ceil(st.tn).max(1) as usize;
-            for in_ in 0..n_red {
-                let lo = in_ * tn;
-                let hi = lo + tn;
-                let active = global.active(lo, hi);
-                let rows_active = global.count_gt(lo);
-                let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
-                for &(af, m) in &f_classes {
-                    st.histogram_pass(
-                        rows_active.div_ceil(tv as u64).max(1),
-                        active,
-                        af,
-                        rows_active,
-                        rows_finishing,
-                        in_ as u64,
-                        spill,
-                        m,
-                    );
-                }
-            }
-        }
-        _ => unreachable!("all (pos_v, pos_n) combinations covered"),
-    }
-
-    let cycles = if st.cycles > 0 { st.cycles + phase_fill } else { 0 };
-    let chunk_marks = st.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
-    PhaseStats {
-        cycles,
-        stall_cycles: st.stall_cycles,
-        macs: st.macs,
-        counters: st.counters,
-        pe_footprint: tiling.pe_footprint(),
-        chunk_marks,
-        psum_spilled: st.spilled,
-    }
+    let leaf = SpmmLeaf::new(prep, feature_width, tiling, cfg);
+    run_phase(&leaf, cfg, classes, opts)
 }
 
-/// Mutable walk state shared by the pass helpers.
-struct Walk {
-    counters: AccessCounters,
-    cycles: u64,
-    stall_cycles: u64,
-    macs: u64,
-    spilled: bool,
-    chunks: Option<ChunkTracker>,
-    classes: OperandClasses,
-    opts: EngineOptions,
-    overhead: u64,
-    tn: u64,
-    tf: u64,
-    /// Numerator/denominator of the psum overflow fraction.
-    spill_ratio: (u64, u64),
+/// The SpMM leaf: row-major orders walked exactly, column-granularity and
+/// `N`-outermost orders through the degree-histogram model.
+struct SpmmLeaf<'a> {
+    prep: &'a PreparedSpmm<'a>,
+    f: usize,
+    tiling: &'a IntraTiling,
+    tv: usize,
+    tf: usize,
+    tn: usize,
+    n_v: usize,
+    n_f: usize,
+    pos_v: usize,
+    pos_n: usize,
+    spill: SpillModel,
 }
 
-impl Walk {
+impl<'a> SpmmLeaf<'a> {
+    fn new(prep: &'a PreparedSpmm<'a>, f: usize, tiling: &'a IntraTiling, cfg: &AccelConfig) -> Self {
+        let v = prep.degrees().len();
+        let order = tiling.order();
+        let pos_n = order.position(Dim::N).expect("N is an Aggregation dim");
+        let pos_v = order.position(Dim::V).expect("V is an Aggregation dim");
+        if v == 0 || f == 0 || prep.nnz() == 0 {
+            // Degenerate: `run_phase` short-circuits before reading these.
+            let spill = SpillModel::new(cfg, 1, 1, false);
+            return SpmmLeaf { prep, f, tiling, tv: 1, tf: 1, tn: 1, n_v: 0, n_f: 0, pos_v, pos_n, spill };
+        }
+        let max_deg = prep.max_degree();
+        let tv = tiling.tile_of(Dim::V).min(v);
+        let tf = tiling.tile_of(Dim::F).min(f);
+        let tn = tiling.tile_of(Dim::N).min(max_deg.max(1));
+        let n_v = v.div_ceil(tv);
+        let n_f = f.div_ceil(tf);
+        // Partial-sum placement: with N innermost, the output tile accumulates
+        // in the PE MAC registers. With N in the middle, each PE revisits its F
+        // (or V) slice once per neighbour slice → live psums per PE = temporal
+        // revisits of the dims inner to N, shared across the T_N PEs of each
+        // spatial reduction group. With N outermost, everything stays live.
+        let revisits: u64 = [Dim::V, Dim::F]
+            .iter()
+            .filter(|&&d| order.position(d).expect("dim present") > pos_n)
+            .map(|&d| match d {
+                Dim::V => n_v as u64,
+                _ => n_f as u64,
+            })
+            .product();
+        let spill = SpillModel::new(cfg, revisits, tn, pos_n < 2);
+        SpmmLeaf { prep, f, tiling, tv, tf, tn, n_v, n_f, pos_v, pos_n, spill }
+    }
+
     /// Charges the dense-input and adjacency traffic common to every pass that
     /// visits `edge_visits` edges over `width` feature columns of `rows` rows,
     /// for `m` identical passes. Returns the *per-pass* GB reads (for timing).
-    fn charge_inputs(&mut self, edge_visits: u64, width: u64, rows: u64, m: u64) -> u64 {
+    fn charge_inputs(&self, w: &mut PhaseWalk, edge_visits: u64, width: u64, rows: u64, m: u64) -> u64 {
         let feat = edge_visits * width;
         // CSR structure (column indices + row pointers) is always Adjacency
         // traffic; the per-edge *values* land in the `b_input` class (plain
         // adjacency values, or attention scores for a GAT aggregation) and can
         // be RF-resident when the SDDMM producer kept them local.
         let structure = edge_visits + rows;
-        self.counters.read(OperandClass::Adjacency, structure * m);
+        w.counters.read(OperandClass::Adjacency, structure * m);
         let mut gb = structure;
-        if !self.opts.scores_resident {
-            self.counters.read(self.classes.b_input, edge_visits * m);
+        if !w.opts.scores_resident {
+            w.counters.read(w.classes.b_input, edge_visits * m);
             gb += edge_visits;
         }
-        if self.opts.input_resident {
+        if w.opts.input_resident {
             // CA SP-Optimized: the intermediate rows are already local.
         } else {
-            self.counters.read(self.classes.a_input, feat * m);
+            w.counters.read(w.classes.a_input, feat * m);
             gb += feat;
         }
         // Multicast: each adjacency value fans out across the spatial F lanes;
         // features land in exactly one PE each.
-        self.counters.rf_writes += (feat + edge_visits * self.tf) * m;
+        w.counters.rf_writes += (feat + edge_visits * self.tf as u64) * m;
         gb
     }
 
     /// `m` identical passes with `N` innermost (VFN / FVN): reduction completes
     /// in-pass.
     fn reduction_innermost_pass(
-        &mut self,
+        &self,
+        w: &mut PhaseWalk,
         steps: u64,
         edge_visits: u64,
         rows: u64,
@@ -514,32 +158,29 @@ impl Walk {
         m: u64,
     ) {
         let macs = edge_visits * width;
-        self.macs += macs * m;
-        self.counters.rf_reads += 2 * macs * m;
-        let updates = macs.div_ceil(self.tn);
-        self.counters.rf_reads += updates * m;
-        self.counters.rf_writes += updates * m;
+        w.macs += macs * m;
+        w.counters.rf_reads += 2 * macs * m;
+        let updates = macs.div_ceil(self.tn as u64);
+        w.counters.rf_reads += updates * m;
+        w.counters.rf_writes += updates * m;
         let mut gb_writes = 0;
         let out = rows * width;
-        if self.opts.output_stays_local {
-            self.counters.rf_writes += out * m;
+        if w.opts.output_stays_local {
+            w.counters.rf_writes += out * m;
         } else {
-            self.counters.write(self.classes.output, out * m);
+            w.counters.write(w.classes.output, out * m);
             gb_writes = out;
         }
-        let gb_reads = self.charge_inputs(edge_visits, width, rows, m);
-        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        let start = self.cycles;
-        self.cycles += pass * m;
-        self.stall_cycles += stall * m;
-        self.advance_chunks(m, out, macs, pass, start);
+        let gb_reads = self.charge_inputs(w, edge_visits, width, rows, m);
+        w.run_pass(steps.max(1), gb_reads, gb_writes, 0, out, macs, m);
     }
 
     /// `m` identical passes with `N` in the middle (VNF): one neighbour slice,
     /// F innermost.
     #[allow(clippy::too_many_arguments)]
     fn reduction_middle_pass(
-        &mut self,
+        &self,
+        w: &mut PhaseWalk,
         steps: u64,
         macs: u64,
         rows: u64,
@@ -547,66 +188,61 @@ impl Walk {
         red_idx: u64,
         n_red: u64,
         edge_visits: u64,
-        spill: bool,
         m: u64,
     ) {
-        self.macs += macs * m;
-        self.counters.rf_reads += 2 * macs * m;
+        w.macs += macs * m;
+        w.counters.rf_reads += 2 * macs * m;
         let touched = rows * width;
-        let spilled = touched * self.spill_ratio.0 / self.spill_ratio.1;
+        let spilled = self.spill.scale(touched);
         let mut gb_writes = 0;
-        if spill {
-            self.spilled = true;
+        if self.spill.spill {
+            w.spilled = true;
             if red_idx > 0 {
-                self.counters.read(OperandClass::Psum, spilled * m);
+                w.counters.read(OperandClass::Psum, spilled * m);
             }
             if red_idx < n_red - 1 {
-                self.counters.write(OperandClass::Psum, spilled * m);
+                w.counters.write(OperandClass::Psum, spilled * m);
                 gb_writes += spilled;
             }
         } else {
-            let updates = macs.div_ceil(self.tn);
-            self.counters.rf_reads += updates * m;
-            self.counters.rf_writes += updates * m;
+            let updates = macs.div_ceil(self.tn as u64);
+            w.counters.rf_reads += updates * m;
+            w.counters.rf_writes += updates * m;
         }
         let mut produced = 0;
         if red_idx == n_red - 1 {
-            if self.opts.output_stays_local {
-                self.counters.rf_writes += touched * m;
+            if w.opts.output_stays_local {
+                w.counters.rf_writes += touched * m;
             } else {
-                self.counters.write(self.classes.output, touched * m);
+                w.counters.write(w.classes.output, touched * m);
                 gb_writes += touched;
             }
             produced = touched;
         }
-        let mut gb_reads = self.charge_inputs(edge_visits, width, rows, m);
-        if spill && red_idx > 0 {
+        let mut gb_reads = self.charge_inputs(w, edge_visits, width, rows, m);
+        if self.spill.spill && red_idx > 0 {
             gb_reads += spilled;
         }
-        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        let start = self.cycles;
-        self.cycles += pass * m;
-        self.stall_cycles += stall * m;
-        self.advance_chunks(m, produced, macs, pass, start);
+        w.run_pass(steps.max(1), gb_reads, gb_writes, 0, produced, macs, m);
     }
 
     /// The full slice walk of one single-row vertex tile under VNF (`m` rows of
     /// identical degree `d` batched together).
-    fn vnf_vertex(&mut self, d: usize, f: usize, n_f: usize, tn: usize, spill: bool, m: u64) {
-        let n_red = (d as u64).div_ceil(self.tn).max(1) as usize;
+    fn vnf_vertex(&self, w: &mut PhaseWalk, d: usize, m: u64) {
+        let n_red = (d as u64).div_ceil(self.tn as u64).max(1) as usize;
         for in_ in 0..n_red {
-            let lo = in_ * tn;
-            let hi = lo + tn;
+            let lo = in_ * self.tn;
+            let hi = lo + self.tn;
             let active = (d.min(hi) - d.min(lo)) as u64;
             self.reduction_middle_pass(
-                n_f as u64,
-                active * f as u64,
+                w,
+                self.n_f as u64,
+                active * self.f as u64,
                 1,
-                f as u64,
+                self.f as u64,
                 in_ as u64,
                 n_red as u64,
                 active,
-                spill,
                 m,
             );
         }
@@ -616,86 +252,289 @@ impl Walk {
     /// neighbour slice.
     #[allow(clippy::too_many_arguments)]
     fn histogram_pass(
-        &mut self,
+        &self,
+        w: &mut PhaseWalk,
         steps: u64,
         edge_visits: u64,
         width: u64,
         rows_active: u64,
         rows_finishing: u64,
         red_idx: u64,
-        spill: bool,
         m: u64,
     ) {
         let macs = edge_visits * width;
-        self.macs += macs * m;
-        self.counters.rf_reads += 2 * macs * m;
+        w.macs += macs * m;
+        w.counters.rf_reads += 2 * macs * m;
         let mut gb_writes = 0;
-        if spill {
-            self.spilled = true;
-            let live = self.spill_scale(rows_active.saturating_sub(rows_finishing) * width);
+        if self.spill.spill {
+            w.spilled = true;
+            let live = self.spill.scale(rows_active.saturating_sub(rows_finishing) * width);
             if red_idx > 0 {
-                self.counters.read(OperandClass::Psum, self.spill_scale(rows_active * width) * m);
+                w.counters.read(OperandClass::Psum, self.spill.scale(rows_active * width) * m);
             }
             if live > 0 {
-                self.counters.write(OperandClass::Psum, live * m);
+                w.counters.write(OperandClass::Psum, live * m);
                 gb_writes += live;
             }
         } else {
-            let updates = macs.div_ceil(self.tn);
-            self.counters.rf_reads += updates * m;
-            self.counters.rf_writes += updates * m;
+            let updates = macs.div_ceil(self.tn as u64);
+            w.counters.rf_reads += updates * m;
+            w.counters.rf_writes += updates * m;
         }
         let out = rows_finishing * width;
         if out > 0 {
-            if self.opts.output_stays_local {
-                self.counters.rf_writes += out * m;
+            if w.opts.output_stays_local {
+                w.counters.rf_writes += out * m;
             } else {
-                self.counters.write(self.classes.output, out * m);
+                w.counters.write(w.classes.output, out * m);
                 gb_writes += out;
             }
         }
-        let mut gb_reads = self.charge_inputs(edge_visits, width, rows_active, m);
-        if spill && red_idx > 0 {
-            gb_reads += self.spill_scale(rows_active * width);
+        let mut gb_reads = self.charge_inputs(w, edge_visits, width, rows_active, m);
+        if self.spill.spill && red_idx > 0 {
+            gb_reads += self.spill.scale(rows_active * width);
         }
-        let (pass, stall) = pass_timing(steps.max(1), gb_reads, gb_writes, 0, self.opts.bandwidth, self.overhead);
-        let start = self.cycles;
-        self.cycles += pass * m;
-        self.stall_cycles += stall * m;
-        self.advance_chunks(m, out, macs, pass, start);
-    }
-
-    fn spill_scale(&self, x: u64) -> u64 {
-        x * self.spill_ratio.0 / self.spill_ratio.1
-    }
-
-    fn advance_chunks(&mut self, m: u64, produced_each: u64, visits_each: u64, pass_cycles: u64, start: u64) {
-        let Some(t) = self.chunks.as_mut() else { return };
-        match self.opts.chunk.expect("tracker implies spec").side {
-            ChunkSide::Produce => {
-                if produced_each > 0 {
-                    t.advance_repeat(m, produced_each, pass_cycles, start);
-                }
-            }
-            ChunkSide::Consume => t.advance_repeat(m, visits_each, pass_cycles, start),
-        }
+        w.run_pass(steps.max(1), gb_reads, gb_writes, 0, out, macs, m);
     }
 }
 
-/// Distinct degrees with multiplicities, ascending — single-row vertex tiles
-/// with equal degree make identical pass sequences, so batched walks iterate
-/// these classes instead of every vertex.
-fn degree_classes(degrees: &[usize]) -> Vec<(usize, u64)> {
-    let mut sorted: Vec<usize> = degrees.to_vec();
-    sorted.sort_unstable();
-    let mut out: Vec<(usize, u64)> = Vec::new();
-    for d in sorted {
-        match out.last_mut() {
-            Some((last, m)) if *last == d => *m += 1,
-            _ => out.push((d, 1)),
+impl PhaseEngine for SpmmLeaf<'_> {
+    fn is_empty(&self) -> bool {
+        self.prep.degrees().is_empty() || self.f == 0 || self.prep.nnz() == 0
+    }
+
+    fn reduction_lanes(&self) -> usize {
+        self.tn
+    }
+
+    fn pe_footprint(&self) -> usize {
+        self.tiling.pe_footprint()
+    }
+
+    fn chunk_total(&self, side: ChunkSide) -> u64 {
+        match side {
+            ChunkSide::Produce => (self.prep.degrees().len() as u64) * (self.f as u64),
+            ChunkSide::Consume => self.prep.nnz() * self.f as u64,
         }
     }
-    out
+
+    fn walk(&self, w: &mut PhaseWalk) {
+        let degrees = self.prep.degrees();
+        let v = degrees.len();
+        let f = self.f;
+        let (tv, tf, tn) = (self.tv, self.tf, self.tn);
+        let (n_v, n_f) = (self.n_v, self.n_f);
+
+        // F-tile classes: the full tiles then the remainder, in iteration
+        // order, so the inner `F` loop of every order collapses to ≤ 2 batched
+        // passes.
+        let af_last = (f - (n_f - 1) * tf) as u64;
+        let f_classes: Vec<(u64, u64)> = if af_last == tf as u64 {
+            vec![(tf as u64, n_f as u64)]
+        } else {
+            vec![(tf as u64, (n_f - 1) as u64), (af_last, 1)]
+        };
+        // Per-vertex-tile degree summary, built only by the orders that slice
+        // the neighbour dimension mid-nest.
+        let tile_summary = |iv: usize| -> DegreeSummary {
+            let lo = iv * tv;
+            let hi = ((iv + 1) * tv).min(v);
+            DegreeSummary::new(degrees[lo..hi].iter().copied())
+        };
+
+        match (self.pos_v, self.pos_n) {
+            // --- exact row-major orders ---------------------------------------
+            (0, 2) | (1, 2) => {
+                // VFN / FVN: passes over (v-tile × f-tile); reduction innermost.
+                // Only the degree sum and max of each tile matter, so the tile
+                // walk is a single scan and the F loop is batched per class.
+                for iv in 0..n_v {
+                    let lo = iv * tv;
+                    let hi = ((iv + 1) * tv).min(v);
+                    let mut sum = 0u64;
+                    let mut mx = 0usize;
+                    for &d in &degrees[lo..hi] {
+                        sum += d as u64;
+                        mx = mx.max(d);
+                    }
+                    let avv = (hi - lo) as u64;
+                    let steps = (mx as u64).div_ceil(tn as u64);
+                    for &(af, m) in &f_classes {
+                        self.reduction_innermost_pass(w, steps, sum, avv, af, m);
+                    }
+                }
+            }
+            (0, 1) => {
+                // VNF: per v-tile, neighbour slices in the middle, F innermost.
+                if tv == 1 && !w.has_chunks() {
+                    // Single-row tiles with identical degrees make identical
+                    // pass sequences — batch by degree class (order-insensitive
+                    // without chunk timestamps).
+                    for &(d, m) in self.prep.classes() {
+                        self.vnf_vertex(w, d, m);
+                    }
+                } else if tv == 1 {
+                    for &d in degrees {
+                        self.vnf_vertex(w, d, 1);
+                    }
+                } else {
+                    for iv in 0..n_v {
+                        let summary = tile_summary(iv);
+                        let avv = actual_tile(v, tv, iv) as u64;
+                        let n_red = (summary.max() as u64).div_ceil(tn as u64).max(1) as usize;
+                        for in_ in 0..n_red {
+                            let lo = in_ * tn;
+                            let hi = lo + tn;
+                            let active = summary.active(lo, hi);
+                            self.reduction_middle_pass(
+                                w,
+                                n_f as u64,
+                                active * f as u64,
+                                avv,
+                                f as u64,
+                                in_ as u64,
+                                n_red as u64,
+                                active,
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+            (2, 1) => {
+                // FNV: column granularity — per f-tile, global neighbour
+                // slices, vertices innermost (histogram model).
+                let global = self.prep.global();
+                let n_red = (global.max() as u64).div_ceil(tn as u64).max(1) as usize;
+                if !w.has_chunks() {
+                    // Hoist the slice walk out of the F loop: every f-tile
+                    // repeats the same slice sequence (order-insensitive
+                    // without chunks).
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        let active = global.active(lo, hi);
+                        let rows_active = global.count_gt(lo);
+                        let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                        for &(af, m) in &f_classes {
+                            self.histogram_pass(
+                                w,
+                                rows_active.div_ceil(tv as u64).max(1),
+                                active,
+                                af,
+                                rows_active,
+                                rows_finishing,
+                                in_ as u64,
+                                m,
+                            );
+                        }
+                    }
+                } else {
+                    for if_ in 0..n_f {
+                        let af = actual_tile(f, tf, if_) as u64;
+                        for in_ in 0..n_red {
+                            let lo = in_ * tn;
+                            let hi = lo + tn;
+                            let active = global.active(lo, hi);
+                            let rows_active = global.count_gt(lo);
+                            let rows_finishing =
+                                rows_active - global.count_gt(hi.saturating_sub(1));
+                            self.histogram_pass(
+                                w,
+                                rows_active.div_ceil(tv as u64).max(1),
+                                active,
+                                af,
+                                rows_active,
+                                rows_finishing,
+                                in_ as u64,
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+            // --- N outermost (Seq-only for AC): histogram model ----------------
+            (1, 0) => {
+                // NVF: per neighbour slice, vertex tiles in the middle (each
+                // contributing its own active edges for the slice), F innermost.
+                if tv == 1 && !w.has_chunks() {
+                    let classes = self.prep.classes();
+                    let gmax = classes.last().map_or(0, |&(d, _)| d);
+                    let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        for &(d, m) in classes {
+                            let active = (d.min(hi) - d.min(lo)) as u64;
+                            let rows_active = u64::from(d > lo);
+                            let rows_finishing = u64::from(d > lo && d <= hi.saturating_sub(1));
+                            self.histogram_pass(
+                                w,
+                                n_f as u64,
+                                active,
+                                f as u64,
+                                rows_active,
+                                rows_finishing,
+                                in_ as u64,
+                                m,
+                            );
+                        }
+                    }
+                } else {
+                    let summaries: Vec<DegreeSummary> = (0..n_v).map(tile_summary).collect();
+                    let gmax = summaries.iter().map(|s| s.max()).max().unwrap_or(0);
+                    let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        for summary in &summaries {
+                            let active = summary.active(lo, hi);
+                            let rows_active = summary.count_gt(lo);
+                            let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
+                            self.histogram_pass(
+                                w,
+                                n_f as u64,
+                                active,
+                                f as u64,
+                                rows_active,
+                                rows_finishing,
+                                in_ as u64,
+                                1,
+                            );
+                        }
+                    }
+                }
+            }
+            (2, 0) => {
+                // NFV: per neighbour slice, feature tiles in the middle (each
+                // revisiting the slice's active edges over its columns), V
+                // innermost. The F loop is batched per class, preserving
+                // iteration order.
+                let global = self.prep.global();
+                let n_red = (global.max() as u64).div_ceil(tn as u64).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    let active = global.active(lo, hi);
+                    let rows_active = global.count_gt(lo);
+                    let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                    for &(af, m) in &f_classes {
+                        self.histogram_pass(
+                            w,
+                            rows_active.div_ceil(tv as u64).max(1),
+                            active,
+                            af,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            m,
+                        );
+                    }
+                }
+            }
+            _ => unreachable!("all (pos_v, pos_n) combinations covered"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -852,16 +691,5 @@ mod tests {
             assert_eq!(s.macs, 11 * 8, "{order}");
             assert!(s.cycles > 0);
         }
-    }
-
-    #[test]
-    fn degree_summary_queries() {
-        let d = DegreeSummary::new([3usize, 1, 5, 0, 2].into_iter());
-        assert_eq!(d.sum_min(usize::MAX >> 1), 11);
-        assert_eq!(d.active(0, 2), (2 + 1 + 2) + 2); // min(deg,2) each
-        assert_eq!(d.active(2, 4), ((3 - 2) + 2));
-        assert_eq!(d.count_gt(2), 2);
-        assert_eq!(d.count_gt(0), 4);
-        assert_eq!(d.max(), 5);
     }
 }

@@ -17,10 +17,12 @@
 //!   cost model consumes (Section V-A1: "Some dataflows like PP require
 //!   timestamps for the portions of outputs computed for both the phases, which
 //!   are collected at the granularity of Pel").
-//! * [`engine`] — the three phase engines: [`engine::simulate_gemm`]
-//!   (Combination), [`engine::simulate_spmm`] (Aggregation over CSR), and
-//!   [`engine::simulate_sddmm`] (adjacency-masked attention scoring plus its
-//!   edge-wise softmax pass). All walk the loop
+//! * [`engine`] — a shared `PhaseEngine` core behind four leaf engines:
+//!   [`engine::simulate_gemm`] (Combination), [`engine::simulate_spmm`]
+//!   (Aggregation over CSR), [`engine::simulate_sddmm`] (adjacency-masked
+//!   attention scoring plus its edge-wise softmax pass), and
+//!   [`engine::simulate_elementwise`] (post-layer activation / LayerNorm
+//!   sweeps). All walk the loop
 //!   nest at *pass* granularity (one sweep of the innermost temporal loop),
 //!   computing cycles and buffer traffic in closed form per pass: compute
 //!   throughput (1 MAC/PE/cycle), distribution/collection bandwidth stalls,

@@ -149,6 +149,20 @@ pub struct PhaseStats {
 }
 
 impl PhaseStats {
+    /// Stats of a degenerate phase (a workload with no work at all): zero
+    /// cycles/traffic on `pe_footprint` allocated PEs.
+    pub fn empty(pe_footprint: usize) -> Self {
+        PhaseStats {
+            cycles: 0,
+            stall_cycles: 0,
+            macs: 0,
+            counters: AccessCounters::default(),
+            pe_footprint,
+            chunk_marks: Vec::new(),
+            psum_spilled: false,
+        }
+    }
+
     /// Per-chunk durations derived from the cumulative marks.
     pub fn chunk_durations(&self) -> Vec<u64> {
         let mut prev = 0;

@@ -10,6 +10,7 @@
 //! explore --model gcn2 --dataset Cora --threads 8
 //! explore --model gin --dataset Mutag --per-layer-k 4 --json -
 //! explore --model gat --dataset Cora --threads 8
+//! explore --model gcn2 --dataset Mutag --activation act
 //! ```
 //!
 //! Prints a ranked table of the best dataflows (the *true* optimum of the
@@ -22,6 +23,7 @@
 
 use std::process::ExitCode;
 
+use omega_accel::engine::ElementwiseOp;
 use omega_accel::AccelConfig;
 use omega_core::dse::model::{explore_model, ModelDseOptions, ModelExploreOutcome};
 use omega_core::dse::{explore, DseCache, DseOptions, ExploreOutcome};
@@ -42,6 +44,7 @@ struct Args {
     phase_cache: bool,
     stats: bool,
     hidden: Option<usize>,
+    activation: Option<ElementwiseOp>,
     pes: usize,
     bandwidth: Option<usize>,
     seed: u64,
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         phase_cache: true,
         stats: false,
         hidden: None,
+        activation: None,
         pes: 512,
         bandwidth: None,
         seed: 0x0E5A_2022,
@@ -98,6 +102,13 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => out.stats = true,
             "--hidden" => {
                 out.hidden = Some(value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?)
+            }
+            "--activation" => {
+                out.activation = Some(match value(&mut i)?.to_lowercase().as_str() {
+                    "act" | "relu" => ElementwiseOp::Activation,
+                    "norm" | "layernorm" => ElementwiseOp::LayerNorm,
+                    other => return Err(format!("unknown activation '{other}' (act|norm)")),
+                })
             }
             "--pes" => out.pes = value(&mut i)?.parse().map_err(|e| format!("--pes: {e}"))?,
             "--bandwidth" => {
@@ -147,7 +158,7 @@ fn main() -> ExitCode {
                 "usage: explore [--dataset NAME] [--model gcn2|sage2|gin|gat] \
                  [--objective runtime|energy|edp] [--threads N] [--top K] \
                  [--per-layer-k K] [--refine] [--no-prune] [--no-phase-cache] \
-                 [--stats] [--hidden G] [--pes N] \
+                 [--stats] [--hidden G] [--activation act|norm] [--pes N] \
                  [--bandwidth ELEMS] [--seed S] [--json PATH|-]"
             );
             return ExitCode::FAILURE;
@@ -163,17 +174,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let dataset = spec.generate(args.seed);
-    let workload = GnnWorkload::gcn_layer(&dataset, args.hidden.unwrap_or(16));
+    let mut workload = GnnWorkload::gcn_layer(&dataset, args.hidden.unwrap_or(16));
+    // `--activation` appends a sequential elementwise suffix to every evaluated
+    // design; in model mode the same op rides on every layer instead.
+    workload.post_op = args.activation;
     let mut cfg = AccelConfig::paper_default().with_pes(args.pes);
     if let Some(bw) = args.bandwidth {
         cfg = cfg.with_bandwidth(bw);
     }
 
     if let Some(model_name) = &args.model {
-        let Some(model) = model_by_name(model_name) else {
+        let Some(mut model) = model_by_name(model_name) else {
             eprintln!("unknown model '{model_name}'; known: gcn2, sage2, gin, gat");
             return ExitCode::FAILURE;
         };
+        if let Some(op) = args.activation {
+            model = model.with_activation(op);
+        }
         return run_model(&model, &workload, &cfg, &args);
     }
 
@@ -189,8 +206,14 @@ fn main() -> ExitCode {
     let outcome = explore(&workload, &cfg, &opts);
 
     println!(
-        "workload  {} (V={}, F={}, G={}, nnz={}, max deg={})",
-        workload.name, workload.v, workload.f, workload.g, workload.nnz, workload.max_degree
+        "workload  {} (V={}, F={}, G={}, nnz={}, max deg={}{})",
+        workload.name,
+        workload.v,
+        workload.f,
+        workload.g,
+        workload.nnz,
+        workload.max_degree,
+        workload.post_op.map(|op| format!(", post {op}")).unwrap_or_default()
     );
     println!("machine   {} PEs, {} elems/cycle NoC", cfg.num_pes, cfg.dist_bandwidth);
     println!(

@@ -118,6 +118,10 @@ pub struct CostReport {
     /// sequentially before the aggregation/combination pair, sharing the
     /// Aggregation tiling.
     pub sddmm: Option<PhaseStats>,
+    /// Elementwise post-phase statistics (activation / LayerNorm, when the
+    /// workload requests one) — runs sequentially after both matrix phases on
+    /// the final phase's tiling.
+    pub post: Option<PhaseStats>,
     /// Merged access counters of all phases.
     pub counters: AccessCounters,
     /// Intermediate buffering requirement in elements (Table III column 2:

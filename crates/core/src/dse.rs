@@ -657,6 +657,12 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
     // count), so a GAT layer must never share a cache entry with a plain
     // layer of the same shape.
     eat(&(workload.attention.map_or(0, |a| a.heads as u64)).to_le_bytes());
+    // Likewise the elementwise post-phase: an activation/LayerNorm suffix
+    // changes every candidate's cycles, so it must key the cached outcome.
+    eat(&[workload.post_op.map_or(0u8, |op| match op {
+        omega_accel::engine::ElementwiseOp::Activation => 1,
+        omega_accel::engine::ElementwiseOp::LayerNorm => 2,
+    })]);
     for &d in &workload.degrees {
         eat(&(d as u64).to_le_bytes());
     }

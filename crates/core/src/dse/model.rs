@@ -594,6 +594,36 @@ mod tests {
     }
 
     #[test]
+    fn activation_threads_through_the_model_search() {
+        use omega_accel::engine::ElementwiseOp;
+        let cfg = AccelConfig::paper_default();
+        let cache = DseCache::new();
+        let plain = explore_model(&GnnModel::gcn_2layer(7), &base(), &cfg, &quick_opts(), &cache);
+        let model = GnnModel::gcn_2layer(7).with_activation(ElementwiseOp::Activation);
+        let act = explore_model(&model, &base(), &cfg, &quick_opts(), &cache);
+        let best = act.best().expect("non-empty space");
+        // The winner's lowered chain carries one post stage per layer.
+        let posts = best.report.stages.iter().filter(|(n, _)| n.ends_with(".post")).count();
+        assert_eq!(posts, 2);
+        // The activation suffix can only cost cycles on top of the same space.
+        assert!(best.score >= plain.best().unwrap().score);
+        // The post op keyed the layer-level searches separately: two shapes
+        // each searched with and without it.
+        assert_eq!(cache.searches(), 4);
+        // The ranked result stays thread-invariant.
+        let single = explore_model(
+            &model,
+            &base(),
+            &cfg,
+            &ModelDseOptions { threads: 1, ..quick_opts() },
+            &cache,
+        );
+        let sb = single.best().unwrap();
+        assert_eq!(sb.score, best.score);
+        assert_eq!(format!("{}", sb.mapping), format!("{}", best.mapping));
+    }
+
+    #[test]
     fn sage_candidates_are_ac_only() {
         let cfg = AccelConfig::paper_default();
         let model = GnnModel::sage_2layer(16, 7);

@@ -16,13 +16,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_sddmm_prepared, simulate_spmm_prepared, ChunkSide, ChunkSpec,
-    EngineOptions, GemmDims, OperandClasses, PreparedSpmm,
+    simulate_elementwise, simulate_gemm_prepared, simulate_sddmm_prepared, simulate_spmm_prepared,
+    ChunkSide, ChunkSpec, ElementwiseWorkload, EngineOptions, GemmDims, OperandClasses,
+    PreparedGemm, PreparedSpmm,
 };
-use omega_accel::{AccelConfig, AccessCounters, BandwidthShare, EnergyModel, PhaseStats};
+use omega_accel::{
+    AccelConfig, AccessCounters, BandwidthShare, EnergyModel, OperandClass, PhaseStats,
+};
 use omega_dataflow::{
-    validate, validate_sddmm, Dim, GnnDataflow, Granularity, InterPhase, IntraTiling, PhaseOrder,
-    ValidationError,
+    validate, validate_elementwise, validate_sddmm, Dim, GnnDataflow, Granularity, InterPhase,
+    IntraTiling, PhaseOrder, ValidationError,
 };
 
 use crate::cost::{CostReport, EnergyBreakdown, IntermediateCost};
@@ -94,6 +97,14 @@ enum PhaseKey {
         classes: OperandClasses,
         opts: EngineOptions,
     },
+    /// Elementwise post-phase (activation / LayerNorm) over the layer output,
+    /// run on the final matrix phase's tiling.
+    Elementwise {
+        wl: ElementwiseWorkload,
+        tiling: IntraTiling,
+        classes: OperandClasses,
+        opts: EngineOptions,
+    },
 }
 
 /// The planned evaluation of one dataflow: every phase simulation plus the
@@ -108,6 +119,10 @@ struct EvalPlan {
     sddmm: Option<PhaseKey>,
     agg: PhaseKey,
     cmb: PhaseKey,
+    /// The elementwise post-phase, when the workload requests one. It runs
+    /// sequentially after both matrix phases on the full array, reusing the
+    /// final phase's tiling.
+    post: Option<PhaseKey>,
 }
 
 /// How a DSE-driven evaluation ended (see [`PreparedEval::evaluate_dse`]).
@@ -128,7 +143,7 @@ pub struct PreparedEval<'a> {
     workload: &'a GnnWorkload,
     cfg: &'a AccelConfig,
     spmm: PreparedSpmm<'a>,
-    gemm_dims: GemmDims,
+    gemm: PreparedGemm,
     energy_model: EnergyModel,
 }
 
@@ -139,7 +154,7 @@ impl<'a> PreparedEval<'a> {
             workload,
             cfg,
             spmm: PreparedSpmm::new(&workload.degrees),
-            gemm_dims: GemmDims { v: workload.v, f: workload.f, g: workload.g },
+            gemm: PreparedGemm::new(GemmDims { v: workload.v, f: workload.f, g: workload.g }),
             energy_model: EnergyModel {
                 gb_bank_bytes: cfg.gb_bank_bytes,
                 ..EnergyModel::paper_default()
@@ -153,7 +168,8 @@ impl<'a> PreparedEval<'a> {
         let sddmm = plan.sddmm.as_ref().map(|k| self.simulate(k));
         let agg = self.simulate(&plan.agg);
         let cmb = self.simulate(&plan.cmb);
-        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb))
+        let post = plan.post.as_ref().map(|k| self.simulate(k));
+        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb, post))
     }
 
     /// [`Self::evaluate`] through a shared [`PhaseSimCache`]: bit-identical
@@ -168,7 +184,8 @@ impl<'a> PreparedEval<'a> {
         let sddmm = plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone());
         let agg = cache.stats(self, &plan.agg).as_ref().clone();
         let cmb = cache.stats(self, &plan.cmb).as_ref().clone();
-        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb))
+        let post = plan.post.as_ref().map(|k| cache.stats(self, k).as_ref().clone());
+        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb, post))
     }
 
     /// The DSE hot path: evaluate with an optional shared phase-simulation
@@ -186,19 +203,21 @@ impl<'a> PreparedEval<'a> {
                 return DseEval::Pruned;
             }
         }
-        let (sddmm, agg, cmb) = match cache {
+        let (sddmm, agg, cmb, post) = match cache {
             Some(cache) => (
                 plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone()),
                 cache.stats(self, &plan.agg).as_ref().clone(),
                 cache.stats(self, &plan.cmb).as_ref().clone(),
+                plan.post.as_ref().map(|k| cache.stats(self, k).as_ref().clone()),
             ),
             None => (
                 plan.sddmm.as_ref().map(|k| self.simulate(k)),
                 self.simulate(&plan.agg),
                 self.simulate(&plan.cmb),
+                plan.post.as_ref().map(|k| self.simulate(k)),
             ),
         };
-        DseEval::Report(Box::new(self.compose(dataflow, &plan, sddmm, agg, cmb)))
+        DseEval::Report(Box::new(self.compose(dataflow, &plan, sddmm, agg, cmb, post)))
     }
 
     /// Plans the two phase simulations of `dataflow` — the per-phase engine
@@ -308,6 +327,27 @@ impl<'a> PreparedEval<'a> {
             agg_opts.scores_resident = true;
         }
 
+        // The elementwise post-phase streams the finished `V×G` output through
+        // the array once more (twice for LayerNorm), after both matrix phases:
+        // it reuses the *final* phase's tiling — the output is already laid out
+        // for it — at full bandwidth (nothing else runs concurrently).
+        let post = match workload.post_op {
+            None => None,
+            Some(op) => {
+                let tiling = match dataflow.phase_order {
+                    PhaseOrder::AC => dataflow.cmb,
+                    PhaseOrder::CA => dataflow.agg,
+                };
+                validate_elementwise(&tiling)?;
+                Some(PhaseKey::Elementwise {
+                    wl: ElementwiseWorkload { rows: workload.v, width: workload.g, op },
+                    tiling,
+                    classes: OperandClasses::elementwise_on(OperandClass::Output),
+                    opts: EngineOptions::plain(cfg.full_bandwidth()),
+                })
+            }
+        };
+
         Ok(EvalPlan {
             sp_optimized,
             granularity,
@@ -320,11 +360,12 @@ impl<'a> PreparedEval<'a> {
                 opts: agg_opts,
             },
             cmb: PhaseKey::Gemm {
-                dims: self.gemm_dims,
+                dims: self.gemm.dims(),
                 tiling: dataflow.cmb,
                 classes: cmb_classes,
                 opts: cmb_opts,
             },
+            post,
         })
     }
 
@@ -334,13 +375,19 @@ impl<'a> PreparedEval<'a> {
             PhaseKey::Spmm { width, tiling, classes, opts } => {
                 simulate_spmm_prepared(&self.spmm, *width, tiling, self.cfg, classes, opts)
             }
-            PhaseKey::Gemm { dims, tiling, classes, opts } => {
-                simulate_gemm(*dims, tiling, self.cfg, classes, opts)
+            PhaseKey::Gemm { tiling, classes, opts, .. } => {
+                // The key's `dims` equal `self.gemm.dims()` by construction
+                // (`plan` copies them from the preparation); the prepared
+                // variant is what the simulation consumes.
+                simulate_gemm_prepared(&self.gemm, tiling, self.cfg, classes, opts)
             }
             PhaseKey::Sddmm { dot_width, heads, tiling, classes, opts } => {
                 simulate_sddmm_prepared(
                     &self.spmm, *dot_width, *heads, tiling, self.cfg, classes, opts,
                 )
+            }
+            PhaseKey::Elementwise { wl, tiling, classes, opts } => {
+                simulate_elementwise(wl, tiling, self.cfg, classes, opts)
             }
         }
     }
@@ -354,6 +401,7 @@ impl<'a> PreparedEval<'a> {
         sddmm: Option<PhaseStats>,
         agg: PhaseStats,
         cmb: PhaseStats,
+        post: Option<PhaseStats>,
     ) -> CostReport {
         let workload = self.workload;
         let cfg = self.cfg;
@@ -388,7 +436,12 @@ impl<'a> PreparedEval<'a> {
         // The scoring phase is a sequential prefix: every downstream phase
         // needs the full normalised score array (the softmax is a global
         // per-row reduction), so its cycles add on top of the composition.
-        let total_cycles = total_cycles + sddmm.as_ref().map_or(0, |s| s.cycles);
+        // Symmetrically, the elementwise post-phase is a sequential suffix: it
+        // needs the complete layer output (LayerNorm's stats sweep reads whole
+        // rows), so its cycles add at the end.
+        let total_cycles = total_cycles
+            + sddmm.as_ref().map_or(0, |s| s.cycles)
+            + post.as_ref().map_or(0, |s| s.cycles);
 
         let mut counters = AccessCounters::default();
         if let Some(s) = &sddmm {
@@ -396,6 +449,9 @@ impl<'a> PreparedEval<'a> {
         }
         counters.merge(&agg.counters);
         counters.merge(&cmb.counters);
+        if let Some(s) = &post {
+            counters.merge(&s.counters);
+        }
         // Fig. 6 / Section IV-A: Seq stages the whole intermediate on chip;
         // whatever does not fit the GB moves through DRAM instead. The
         // intermediate is the resident working set (the other operands stream
@@ -422,6 +478,7 @@ impl<'a> PreparedEval<'a> {
             agg,
             cmb,
             sddmm,
+            post,
             counters,
             intermediate_buffer_elems: buffering,
             pel: plan.pel,
@@ -447,7 +504,10 @@ impl<'a> PreparedEval<'a> {
         // omits the softmax sweeps (a further under-estimate, still
         // admissible).
         let sddmm = plan.sddmm.as_ref().map_or(0, |k| self.phase_bound(k));
+        // The elementwise post-phase is a sequential suffix, same reasoning.
+        let post = plan.post.as_ref().map_or(0, |k| self.phase_bound(k));
         sddmm
+            + post
             + match inter {
                 InterPhase::ParallelPipeline => agg.max(cmb),
                 _ => agg + cmb,
@@ -492,6 +552,18 @@ impl<'a> PreparedEval<'a> {
                 let macs = h * self.workload.nnz * d;
                 let reads = if opts.input_resident { 0 } else { macs };
                 let writes = if opts.output_stays_local { 0 } else { h * self.workload.nnz };
+                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+            }
+            PhaseKey::Elementwise { wl, tiling, opts, .. } => {
+                let elems = wl.elems();
+                if elems == 0 {
+                    return 0; // the engine early-returns a zero report
+                }
+                // Compulsory: one ALU op and one streamed read per element per
+                // sweep, one write-back per element.
+                let macs = elems * wl.op.sweeps();
+                let reads = if opts.input_resident { 0 } else { macs };
+                let writes = if opts.output_stays_local { 0 } else { elems };
                 floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
             }
         }
@@ -863,6 +935,83 @@ mod tests {
             );
         }
         assert!(cache.hits() > 0, "shared agg tilings must share SDDMM sims");
+    }
+
+    #[test]
+    fn post_op_adds_a_sequential_elementwise_suffix() {
+        use omega_accel::engine::ElementwiseOp;
+        let mut wl = small_workload();
+        let cfg = AccelConfig::paper_default();
+        for name in ["Seq1", "SP2", "PP3"] {
+            let plain = eval_preset(name, &wl, &cfg);
+            assert!(plain.post.is_none(), "{name}");
+            wl.post_op = Some(ElementwiseOp::Activation);
+            let act = eval_preset(name, &wl, &cfg);
+            let post = act.post.as_ref().expect("post stats");
+            assert!(post.cycles > 0, "{name}");
+            // One ALU op per output element for the activation sweep.
+            assert_eq!(post.macs, (wl.v * wl.g) as u64, "{name}");
+            // The suffix adds sequentially on top of the unchanged composition.
+            assert_eq!(act.total_cycles, plain.total_cycles + post.cycles, "{name}");
+            assert_eq!(act.agg.cycles, plain.agg.cycles, "{name}");
+            assert_eq!(act.cmb.cycles, plain.cmb.cycles, "{name}");
+            // LayerNorm's stats sweep costs more than the activation.
+            wl.post_op = Some(ElementwiseOp::LayerNorm);
+            let norm = eval_preset(name, &wl, &cfg);
+            let norm_post = norm.post.as_ref().unwrap();
+            assert_eq!(norm_post.macs, 2 * (wl.v * wl.g) as u64, "{name}");
+            assert!(norm_post.cycles > post.cycles, "{name}");
+            wl.post_op = None;
+        }
+    }
+
+    #[test]
+    fn post_op_follows_the_final_phase_tiling_under_ca() {
+        use omega_accel::engine::ElementwiseOp;
+        use omega_dataflow::{IntraTiling, LoopOrder, Phase};
+        let mut wl = small_workload();
+        wl.post_op = Some(ElementwiseOp::LayerNorm);
+        let cfg = AccelConfig::paper_default();
+        let agg_order = LoopOrder::new(Phase::Aggregation, [Dim::V, Dim::F, Dim::N]).unwrap();
+        let cmb_order = LoopOrder::new(Phase::Combination, [Dim::V, Dim::G, Dim::F]).unwrap();
+        let df = GnnDataflow {
+            inter: InterPhase::Sequential,
+            phase_order: PhaseOrder::CA,
+            agg: IntraTiling::new(Phase::Aggregation, agg_order, [16, 16, 1]),
+            cmb: IntraTiling::new(Phase::Combination, cmb_order, [32, 16, 1]),
+        };
+        let r = evaluate(&wl, &df, &cfg).unwrap();
+        let post = r.post.as_ref().expect("post stats");
+        // Two sweeps over V×G on the CA-final (Aggregation) tiling.
+        assert_eq!(post.macs, 2 * (wl.v * wl.g) as u64);
+        assert_eq!(r.total_cycles, r.agg.cycles + r.cmb.cycles + post.cycles);
+        // Post traffic lands in the Output bucket.
+        use omega_accel::OperandClass;
+        assert!(r.counters.gb_of(OperandClass::Output) > 0);
+    }
+
+    #[test]
+    fn post_op_cached_evaluation_is_bit_identical() {
+        use omega_accel::engine::ElementwiseOp;
+        let mut wl = small_workload();
+        wl.post_op = Some(ElementwiseOp::Activation);
+        let cfg = AccelConfig::paper_default();
+        let prep = PreparedEval::new(&wl, &cfg);
+        let cache = PhaseSimCache::new();
+        let ctx = wl.tile_context(PhaseOrder::AC);
+        for name in ["Seq1", "Seq2", "SP1", "SP2", "PP1"] {
+            let df = Preset::by_name(name).unwrap().concretize(&ctx, 512, 512);
+            let direct = prep.evaluate(&df).unwrap();
+            let cached = prep.evaluate_with_cache(&df, &cache).unwrap();
+            assert_eq!(direct.total_cycles, cached.total_cycles, "{name}");
+            assert_eq!(direct.counters, cached.counters, "{name}");
+            assert_eq!(
+                direct.post.as_ref().map(|s| s.cycles),
+                cached.post.as_ref().map(|s| s.cycles),
+                "{name}"
+            );
+        }
+        assert!(cache.hits() > 0, "shared final tilings must share post sims");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use serde::Serialize;
 
-use omega_accel::engine::{simulate_gemm, EngineOptions, GemmDims, OperandClasses};
+use omega_accel::engine::{simulate_gemm, ElementwiseOp, EngineOptions, GemmDims, OperandClasses};
 use omega_accel::{AccelConfig, AccessCounters, EnergyModel};
 use omega_dataflow::presets::Preset;
 use omega_dataflow::tiles::choose_tiling;
@@ -84,13 +84,22 @@ pub struct GnnModel {
     pub algorithm: Algorithm,
     /// Output feature width per layer (layer 0 consumes the dataset features).
     pub layer_widths: Vec<usize>,
+    /// Elementwise post-phase (activation / LayerNorm) every layer applies to
+    /// its output. `None` (the constructors' default) evaluates the classic
+    /// matrix-phases-only model.
+    pub activation: Option<ElementwiseOp>,
 }
 
 impl GnnModel {
     /// The standard 2-layer GCN (hidden 16, `num_classes` outputs) used by the
     /// Kipf & Welling citation benchmarks.
     pub fn gcn_2layer(num_classes: usize) -> Self {
-        GnnModel { name: "GCN-2".into(), algorithm: Algorithm::Gcn, layer_widths: vec![16, num_classes] }
+        GnnModel {
+            name: "GCN-2".into(),
+            algorithm: Algorithm::Gcn,
+            layer_widths: vec![16, num_classes],
+            activation: None,
+        }
     }
 
     /// A 2-layer GraphSAGE with the given hidden and output widths.
@@ -99,6 +108,7 @@ impl GnnModel {
             name: "GraphSAGE-2".into(),
             algorithm: Algorithm::GraphSage,
             layer_widths: vec![hidden, num_classes],
+            activation: None,
         }
     }
 
@@ -109,6 +119,7 @@ impl GnnModel {
             name: format!("GIN-{layers}"),
             algorithm: Algorithm::GinConv { mlp_hidden: width },
             layer_widths: vec![width; layers],
+            activation: None,
         }
     }
 
@@ -120,7 +131,15 @@ impl GnnModel {
             name: "GAT-2".into(),
             algorithm: Algorithm::Gat { heads },
             layer_widths: vec![64, num_classes],
+            activation: None,
         }
+    }
+
+    /// Same model with every layer followed by the given elementwise
+    /// post-phase (ReLU-style activation or LayerNorm).
+    pub fn with_activation(mut self, op: ElementwiseOp) -> Self {
+        self.activation = Some(op);
+        self
     }
 
     /// The per-layer workloads for a base (dataset) workload. GAT layers carry
@@ -138,6 +157,7 @@ impl GnnModel {
                     f,
                     g,
                     attention,
+                    post_op: self.activation,
                     ..base.clone()
                 };
                 f = g;
@@ -334,7 +354,8 @@ fn fit_stage(stage: &mut Stage, ctx: &omega_dataflow::tiles::TileContext, budget
     match &mut stage.kind {
         crate::multiphase::StageKind::Gemm { tiling, .. }
         | crate::multiphase::StageKind::Spmm { tiling, .. }
-        | crate::multiphase::StageKind::Sddmm { tiling, .. } => *tiling = fitted,
+        | crate::multiphase::StageKind::Sddmm { tiling, .. }
+        | crate::multiphase::StageKind::Elementwise { tiling, .. } => *tiling = fitted,
     }
 }
 
@@ -393,6 +414,22 @@ pub fn to_chain(
             (first, second)
         };
         let mut stages = vec![first, second];
+        if let Some(op) = model.activation {
+            // The elementwise post-phase streams the layer's V×G output on the
+            // final matrix phase's tiling, exactly as `evaluate` plans it — a
+            // sequential suffix to the phase pair.
+            let post_tiling = match df.phase_order {
+                PhaseOrder::AC => df.cmb,
+                PhaseOrder::CA => df.agg,
+            };
+            stages.push(Stage::elementwise(
+                format!("{}.post", wl.name),
+                wl.v,
+                wl.g,
+                op,
+                post_tiling,
+            ));
+        }
         if let Algorithm::GinConv { mlp_hidden } = model.algorithm {
             let dims = GemmDims { v: wl.v, f: wl.g, g: mlp_hidden };
             stages.push(Stage::gemm(format!("{}.mlp", wl.name), dims, df.cmb));
@@ -590,6 +627,58 @@ mod tests {
     }
 
     #[test]
+    fn to_chain_matches_evaluate_model_cycles_with_activation() {
+        // The activation post-stage must preserve the chain lowering's cycle
+        // fidelity for every inter-phase strategy, and both elementwise ops.
+        let cfg = AccelConfig::paper_default();
+        let b = base();
+        for op in [ElementwiseOp::Activation, ElementwiseOp::LayerNorm] {
+            let model = GnnModel::gcn_2layer(7).with_activation(op);
+            for preset in Preset::all() {
+                let per_layer = evaluate_model(&model, &b, &preset, &cfg).unwrap();
+                let dfs = uniform_layer_dataflows(&model, &b, &preset, &cfg).unwrap();
+                let chain = to_chain(&model, &b, &dfs, &[Link::Sequential], &cfg).unwrap();
+                let r = crate::multiphase::evaluate_chain(&chain, &cfg).unwrap();
+                assert_eq!(r.stages.len(), 6, "{}: 2 layers x (agg+cmb+post)", preset.name);
+                assert_eq!(
+                    r.total_cycles, per_layer.total_cycles,
+                    "{}/{op}: activation chain lowering drifted from evaluate()",
+                    preset.name
+                );
+                // Each layer report carries its post suffix.
+                for l in &per_layer.layers {
+                    let post = l.post.as_ref().expect("activation layers have post stats");
+                    assert!(post.cycles > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn activation_makes_models_costlier() {
+        let cfg = AccelConfig::paper_default();
+        let b = base();
+        let preset = Preset::by_name("SP2").unwrap();
+        let plain = evaluate_model(&GnnModel::gcn_2layer(7), &b, &preset, &cfg).unwrap();
+        let act = evaluate_model(
+            &GnnModel::gcn_2layer(7).with_activation(ElementwiseOp::Activation),
+            &b,
+            &preset,
+            &cfg,
+        )
+        .unwrap();
+        let norm = evaluate_model(
+            &GnnModel::gcn_2layer(7).with_activation(ElementwiseOp::LayerNorm),
+            &b,
+            &preset,
+            &cfg,
+        )
+        .unwrap();
+        assert!(act.total_cycles > plain.total_cycles);
+        assert!(norm.total_cycles > act.total_cycles);
+    }
+
+    #[test]
     fn to_chain_matches_evaluate_model_for_gin_with_mlp_stages() {
         let cfg = AccelConfig::paper_default();
         let model = GnnModel::gin(3, 64);
@@ -701,6 +790,7 @@ mod tests {
                 name: "GCN-2w".into(),
                 algorithm: Algorithm::Gcn,
                 layer_widths: vec![64, 7],
+                activation: None,
             },
             &small,
             &preset,

@@ -22,10 +22,11 @@
 use serde::Serialize;
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_sddmm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims,
-    OperandClasses, SddmmWorkload, SpmmWorkload,
+    simulate_elementwise, simulate_gemm, simulate_sddmm, simulate_spmm, ChunkSide, ChunkSpec,
+    ElementwiseOp, ElementwiseWorkload, EngineOptions, GemmDims, OperandClasses, SddmmWorkload,
+    SpmmWorkload,
 };
-use omega_accel::{AccelConfig, AccessCounters, EnergyModel, PhaseStats};
+use omega_accel::{AccelConfig, AccessCounters, EnergyModel, OperandClass, PhaseStats};
 use omega_dataflow::IntraTiling;
 
 use crate::cost::EnergyBreakdown;
@@ -62,6 +63,19 @@ pub enum StageKind {
         heads: usize,
         /// Concrete tiling (Aggregation dimension set; must satisfy
         /// `omega_dataflow::validate_sddmm`).
+        tiling: IntraTiling,
+    },
+    /// A streaming elementwise/normalization stage (activation, LayerNorm)
+    /// over a `rows × width` matrix — a GNN layer's post-phase in a lowered
+    /// chain.
+    Elementwise {
+        /// Rows of the operand matrix.
+        rows: usize,
+        /// Columns of the operand matrix.
+        width: usize,
+        /// The operation applied.
+        op: ElementwiseOp,
+        /// Concrete tiling (either phase's shape; every loop order is legal).
         tiling: IntraTiling,
     },
 }
@@ -132,6 +146,24 @@ impl Stage {
         }
     }
 
+    /// Builds an elementwise/normalization stage.
+    pub fn elementwise(
+        name: impl Into<String>,
+        rows: usize,
+        width: usize,
+        op: ElementwiseOp,
+        tiling: IntraTiling,
+    ) -> Self {
+        Stage {
+            name: name.into(),
+            kind: StageKind::Elementwise { rows, width, op, tiling },
+            input_resident: false,
+            output_stays_local: false,
+            gathers_scores: false,
+            scores_resident: false,
+        }
+    }
+
     /// Same stage with SP-Optimized residency flags (intermediate pinned in the
     /// RFs on the flagged side).
     pub fn with_residency(mut self, input_resident: bool, output_stays_local: bool) -> Self {
@@ -171,6 +203,11 @@ impl Stage {
                 let wl = SddmmWorkload { degrees, dot_width: *dot_width, heads: *heads };
                 simulate_sddmm(&wl, tiling, cfg, &OperandClasses::sddmm(), &opts)
             }
+            StageKind::Elementwise { rows, width, op, tiling } => {
+                let wl = ElementwiseWorkload { rows: *rows, width: *width, op: *op };
+                let classes = OperandClasses::elementwise_on(OperandClass::Output);
+                simulate_elementwise(&wl, tiling, cfg, &classes, &opts)
+            }
         }
     }
 
@@ -182,6 +219,7 @@ impl Stage {
             StageKind::Sddmm { degrees, heads, .. } => {
                 (*heads).max(1) as u64 * degrees.iter().map(|&d| d as u64).sum::<u64>()
             }
+            StageKind::Elementwise { rows, width, .. } => *rows as u64 * *width as u64,
         }
     }
 
@@ -190,7 +228,8 @@ impl Stage {
         match &self.kind {
             StageKind::Gemm { tiling, .. }
             | StageKind::Spmm { tiling, .. }
-            | StageKind::Sddmm { tiling, .. } => tiling,
+            | StageKind::Sddmm { tiling, .. }
+            | StageKind::Elementwise { tiling, .. } => tiling,
         }
     }
 
@@ -223,6 +262,9 @@ impl Stage {
                     * *dot_width as u64;
                 crate::evaluate::scale_elems_to_visits(pel_elems, total_elems, total_visits)
             }
+            // The elementwise engine consumes one element per element — no
+            // unit conversion needed.
+            StageKind::Elementwise { .. } => pel_elems.max(1),
         }
     }
 }
@@ -724,6 +766,30 @@ mod tests {
             evaluate_chain(&chain, &AccelConfig::paper_default()).unwrap_err(),
             ChainError::PipelinedBothSides { node: 1 }
         );
+    }
+
+    #[test]
+    fn elementwise_stage_runs_in_a_chain() {
+        let chain = Chain {
+            nodes: vec![
+                ChainNode::Single(gemm_stage("cmb", 64, 16, 8)),
+                ChainNode::Single(Stage::elementwise(
+                    "post",
+                    64,
+                    8,
+                    ElementwiseOp::LayerNorm,
+                    cmb_tiling([8, 8, 1]),
+                )),
+            ],
+            links: vec![Link::Sequential],
+        };
+        let cfg = AccelConfig::paper_default();
+        let r = evaluate_chain(&chain, &cfg).unwrap();
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.total_cycles, r.stages[0].1.cycles + r.stages[1].1.cycles);
+        // Two sweeps (stats + write-back) over the 64×8 output.
+        assert_eq!(r.stages[1].1.macs, 2 * 64 * 8);
+        assert_eq!(r.stages[1].1.pe_footprint, 64);
     }
 
     #[test]

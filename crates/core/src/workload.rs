@@ -2,6 +2,7 @@
 
 use serde::Serialize;
 
+use omega_accel::engine::ElementwiseOp;
 use omega_dataflow::tiles::TileContext;
 use omega_dataflow::PhaseOrder;
 use omega_graph::{Dataset, Graph};
@@ -19,6 +20,9 @@ pub enum PhaseKind {
     Spmm,
     /// Dense combination with the weight matrix.
     Gemm,
+    /// Streaming elementwise/normalization post-phase (activation, LayerNorm)
+    /// over the layer's `V×G` output.
+    Elementwise,
 }
 
 /// The attention structure of a GAT-style layer: how many heads score every
@@ -69,6 +73,10 @@ pub struct GnnWorkload {
     /// prepends an SDDMM scoring phase (per-edge `QKᵀ` dot products masked to
     /// the adjacency, plus an edge-wise softmax) before the aggregation.
     pub attention: Option<AttentionSpec>,
+    /// Elementwise post-phase (activation / LayerNorm) applied to the layer's
+    /// `V×G` output after both matrix phases, when present. `None` keeps the
+    /// classic two-phase (plus attention) evaluation bit-identical.
+    pub post_op: Option<ElementwiseOp>,
 }
 
 /// Default GCN hidden width used throughout the evaluation.
@@ -92,6 +100,7 @@ impl GnnWorkload {
             mean_degree,
             max_degree,
             attention: None,
+            post_op: None,
         }
     }
 
@@ -114,11 +123,15 @@ impl GnnWorkload {
     /// order. Attention layers are AC-only: SDDMM score → SpMM weighted
     /// aggregate → GEMM combine.
     pub fn phase_kinds(&self, phase_order: PhaseOrder) -> Vec<PhaseKind> {
-        match (self.attention, phase_order) {
+        let mut kinds = match (self.attention, phase_order) {
             (Some(_), _) => vec![PhaseKind::Sddmm, PhaseKind::Spmm, PhaseKind::Gemm],
             (None, PhaseOrder::AC) => vec![PhaseKind::Spmm, PhaseKind::Gemm],
             (None, PhaseOrder::CA) => vec![PhaseKind::Gemm, PhaseKind::Spmm],
+        };
+        if self.post_op.is_some() {
+            kinds.push(PhaseKind::Elementwise);
         }
+        kinds
     }
 
     /// Edge scores an attention layer materialises (`heads × nnz`; 0 without
@@ -151,7 +164,10 @@ impl GnnWorkload {
         let sddmm = self
             .attention
             .map_or(0, |a| a.heads as u64 * self.nnz * a.dot_width(self.f) as u64);
-        sddmm + self.nnz * agg_width + cmb
+        let post = self.post_op.map_or(0, |op| {
+            op.sweeps() * self.v as u64 * self.g as u64
+        });
+        sddmm + self.nnz * agg_width + cmb + post
     }
 }
 
@@ -218,6 +234,26 @@ mod tests {
         assert_eq!(w.edge_scores(), 2 * 16);
         // 2 heads × nnz × (F/2) dot width on top of the two-phase MACs.
         assert_eq!(w.total_macs(PhaseOrder::AC), plain_macs + 2 * 16 * 5);
+    }
+
+    #[test]
+    fn post_op_appends_an_elementwise_phase() {
+        let mut w = wl();
+        let plain_macs = w.total_macs(PhaseOrder::AC);
+        w.post_op = Some(ElementwiseOp::Activation);
+        assert_eq!(
+            w.phase_kinds(PhaseOrder::AC),
+            vec![PhaseKind::Spmm, PhaseKind::Gemm, PhaseKind::Elementwise]
+        );
+        // One ALU op per output element for an activation sweep.
+        assert_eq!(w.total_macs(PhaseOrder::AC), plain_macs + 6 * 4);
+        // LayerNorm adds a second (stats) sweep.
+        w.post_op = Some(ElementwiseOp::LayerNorm);
+        assert_eq!(w.total_macs(PhaseOrder::AC), plain_macs + 2 * 6 * 4);
+        assert_eq!(
+            w.phase_kinds(PhaseOrder::CA),
+            vec![PhaseKind::Gemm, PhaseKind::Spmm, PhaseKind::Elementwise]
+        );
     }
 
     #[test]

@@ -59,5 +59,6 @@ pub use dim::{Dim, LoopOrder, Mapping, MappingSpec, Phase};
 pub use inter::{Granularity, InterPhase, PhaseOrder};
 pub use intra::{IntraPattern, IntraTiling};
 pub use validate::{
-    validate, validate_pattern, validate_sddmm, validate_sddmm_pattern, ValidationError,
+    validate, validate_elementwise, validate_pattern, validate_sddmm, validate_sddmm_pattern,
+    ValidationError,
 };

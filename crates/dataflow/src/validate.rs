@@ -119,6 +119,18 @@ fn sddmm_order_legal(phase: Phase, order: crate::LoopOrder) -> Result<(), Valida
     }
 }
 
+/// Checks a tiling's legality as an **elementwise/normalization phase**
+/// (activation, LayerNorm).
+///
+/// Elementwise phases have no reduction dimension and touch each element O(1)
+/// times, so every loop order of either phase's dimension set is legal — the
+/// check always succeeds and exists so callers can treat all phase kinds
+/// uniformly (and as the anchor point should a future elementwise variant gain
+/// an ordering constraint).
+pub fn validate_elementwise(_tiling: &IntraTiling) -> Result<(), ValidationError> {
+    Ok(())
+}
+
 
 
 #[cfg(test)]
@@ -186,5 +198,17 @@ mod tests {
         // A Combination tiling is the wrong dimension set entirely.
         let cmb = tiling(Phase::Combination, "VGF", [2, 2, 1]);
         assert!(validate_sddmm(&cmb).is_err());
+    }
+
+    #[test]
+    fn elementwise_admits_every_order_and_shape() {
+        for order in ["VFN", "VNF", "FVN", "FNV", "NVF", "NFV"] {
+            let t = tiling(Phase::Aggregation, order, [2, 2, 1]);
+            assert!(validate_elementwise(&t).is_ok(), "{order}");
+        }
+        for order in ["VFG", "VGF", "FVG", "FGV", "GVF", "GFV"] {
+            let t = tiling(Phase::Combination, order, [2, 2, 1]);
+            assert!(validate_elementwise(&t).is_ok(), "{order}");
+        }
     }
 }

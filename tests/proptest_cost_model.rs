@@ -27,6 +27,7 @@ fn workload_strategy() -> impl Strategy<Value = GnnWorkload> {
                 mean_degree,
                 max_degree,
                 attention: None,
+                post_op: None,
             }
         })
 }
