@@ -57,11 +57,24 @@ pub struct ModelKnobs {
     /// Charge NoC pipeline-fill (tree depth + distribution latency) per pass
     /// instead of once per phase (off = paper behaviour: the NoCs stream).
     pub per_pass_fill: bool,
+    /// Enforce [`AccelConfig::rf_bytes_per_pe`] / [`AccelConfig::gb_bytes`] as
+    /// real budgets: working sets that overflow them trigger costed spill
+    /// passes (extra NoC/GB traffic through the counters) instead of being
+    /// silently free. Off = paper behaviour ("sufficient on-chip buffering",
+    /// Section V-A2): peaks are still *reported* in
+    /// [`crate::PhaseStats::rf_peak_bytes`] / [`crate::PhaseStats::gb_peak_bytes`],
+    /// but nothing spills on their account.
+    pub enforce_capacity: bool,
 }
 
 impl Default for ModelKnobs {
     fn default() -> Self {
-        ModelKnobs { psum_group_sharing: true, fractional_spill: true, per_pass_fill: false }
+        ModelKnobs {
+            psum_group_sharing: true,
+            fractional_spill: true,
+            per_pass_fill: false,
+            enforce_capacity: false,
+        }
     }
 }
 

@@ -228,6 +228,56 @@ impl SpillModel {
     pub(crate) fn scale(&self, x: u64) -> u64 {
         x * self.num / self.live
     }
+
+    /// Live partial sums per PE — the psum share of the RF working-set demand
+    /// the [`Footprint`] model reports.
+    #[inline]
+    pub(crate) fn live(&self) -> u64 {
+        self.live
+    }
+}
+
+/// Working-set demand of one phase run at the two on-chip storage levels — the
+/// footprint model the capacity story hangs off (DESIGN.md §3). Each leaf
+/// derives it from its actual tile grid and the residency flags; [`run_phase`]
+/// turns it into the reported [`PhaseStats::rf_peak_bytes`] /
+/// [`PhaseStats::gb_peak_bytes`] and, under a finite
+/// [`super::CapacityBudget`], into costed spill passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Footprint {
+    /// Peak per-PE register-file demand, in words.
+    pub(crate) rf_words_per_pe: u64,
+    /// Peak global-buffer staging demand, in elements.
+    pub(crate) gb_elems: u64,
+}
+
+impl Footprint {
+    /// Baseline per-PE RF slots every engine occupies: one stationary word plus
+    /// the two double-buffered stream slots ([`RfBudget`]'s model).
+    pub(crate) const BASE_RF_WORDS: u64 = 3;
+
+    /// Builds a footprint from the per-PE live-psum demand, the full-matrix
+    /// residency pins (distributed across `pe_footprint` PEs), and the GB
+    /// staging elements.
+    pub(crate) fn new(
+        live_psums: u64,
+        pinned_elems: u64,
+        pe_footprint: usize,
+        gb_elems: u64,
+    ) -> Self {
+        let per_pe_pins = pinned_elems.div_ceil(pe_footprint.max(1) as u64);
+        Footprint { rf_words_per_pe: Self::BASE_RF_WORDS + live_psums + per_pe_pins, gb_elems }
+    }
+}
+
+/// The share of `total` stream elements that makes an extra GB round trip when
+/// `over` of `peak` working-set bytes overflow the budget: `total · over /
+/// peak` (widened to `u128` so huge residency pins cannot overflow).
+fn overflow_share(total: u64, over: u64, peak: u64) -> u64 {
+    if peak == 0 {
+        return 0;
+    }
+    ((total as u128 * over as u128) / peak as u128) as u64
 }
 
 /// Mutable walk state threaded through every leaf's tile walk: the accumulating
@@ -316,6 +366,12 @@ pub(crate) trait PhaseEngine {
     /// pass.
     fn walk(&self, w: &mut PhaseWalk);
 
+    /// The working-set demand of this run (the footprint model): per-PE RF
+    /// words and GB staging elements, derived from the tile grid and the
+    /// residency flags in `opts`. Pure reporting until a finite
+    /// [`super::CapacityBudget`] makes overflow cost traffic.
+    fn footprint(&self, opts: &EngineOptions) -> Footprint;
+
     /// Post-walk sweeps (the SDDMM softmax); returns the extra cycles to add
     /// after the walk. Traffic/stalls are charged into the walk state.
     fn epilogue(&self, _w: &mut PhaseWalk) -> u64 {
@@ -352,8 +408,45 @@ pub(crate) fn run_phase<E: PhaseEngine>(
     };
     leaf.walk(&mut w);
     let extra = leaf.epilogue(&mut w);
+    let fp = leaf.footprint(opts);
+    let word = cfg.word_bytes as u64;
+    let rf_peak_bytes = fp.rf_words_per_pe.saturating_mul(word);
+    let gb_peak_bytes = fp.gb_elems.saturating_mul(word);
+    // Costed capacity spills: under a finite budget, the overflow fraction of
+    // the working set makes an extra GB round trip per streamed element — RF
+    // overflow bounces the produced stream through the GB as psum traffic, GB
+    // overflow re-fetches the consumed stream (conceptually from DRAM through
+    // the GB). Both are pure-traffic passes (compute = 0), timed against the
+    // phase's bandwidth share. An unbounded budget compares against
+    // `u64::MAX` and never fires, keeping the paper model bit-identical.
+    let mut capacity_cycles = 0u64;
+    if w.cycles > 0 {
+        if (opts.capacity.rf_bytes_per_pe as u64) < rf_peak_bytes {
+            let over = rf_peak_bytes - opts.capacity.rf_bytes_per_pe as u64;
+            let elems = overflow_share(leaf.chunk_total(ChunkSide::Produce), over, rf_peak_bytes);
+            if elems > 0 {
+                w.spilled = true;
+                w.counters.read(crate::OperandClass::Psum, elems);
+                w.counters.write(crate::OperandClass::Psum, elems);
+                let (body, stall) = bandwidth_sweep(0, elems, elems, opts.bandwidth);
+                capacity_cycles += body;
+                w.stall_cycles += stall;
+            }
+        }
+        if (opts.capacity.gb_bytes as u64) < gb_peak_bytes {
+            let over = gb_peak_bytes - opts.capacity.gb_bytes as u64;
+            let elems = overflow_share(leaf.chunk_total(ChunkSide::Consume), over, gb_peak_bytes);
+            if elems > 0 {
+                w.spilled = true;
+                w.counters.read(classes.a_input, elems);
+                let (body, stall) = bandwidth_sweep(0, elems, 0, opts.bandwidth);
+                capacity_cycles += body;
+                w.stall_cycles += stall;
+            }
+        }
+    }
     // Phase-level pipeline fill is paid once, only when the phase did any work.
-    let cycles = if w.cycles > 0 { w.cycles + phase_fill + extra } else { 0 };
+    let cycles = if w.cycles > 0 { w.cycles + phase_fill + extra + capacity_cycles } else { 0 };
     let chunk_marks = w.chunks.map(|t| t.finish(cycles)).unwrap_or_default();
     PhaseStats {
         cycles,
@@ -363,6 +456,8 @@ pub(crate) fn run_phase<E: PhaseEngine>(
         pe_footprint: footprint,
         chunk_marks,
         psum_spilled: w.spilled,
+        rf_peak_bytes,
+        gb_peak_bytes,
     }
 }
 

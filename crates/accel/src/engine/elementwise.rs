@@ -32,7 +32,7 @@ use omega_dataflow::{Dim, IntraTiling, Phase};
 
 use serde::Serialize;
 
-use super::core::{actual_tile, loop_classes, run_phase, PhaseEngine, PhaseWalk};
+use super::core::{actual_tile, loop_classes, run_phase, Footprint, PhaseEngine, PhaseWalk};
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, PhaseStats};
 
@@ -202,6 +202,21 @@ impl PhaseEngine for ElementwiseLeaf<'_> {
             ChunkSide::Produce => self.wl.elems(),
             ChunkSide::Consume => self.wl.elems(),
         }
+    }
+
+    fn footprint(&self, opts: &EngineOptions) -> Footprint {
+        if self.is_empty() {
+            return Footprint::default();
+        }
+        // The phase streams in place over one matrix: the GB stages one tile
+        // per sweep unless both residency flags keep the operand local, and a
+        // resident operand pins the whole matrix in the RFs.
+        let tile = self.tv as u64 * self.tw as u64;
+        let gb = if opts.input_resident && opts.output_stays_local { 0 } else { tile };
+        let pins = if opts.input_resident || opts.output_stays_local { self.wl.elems() } else { 0 };
+        // No cross-pass partial sums: one accumulator word stands in for the
+        // live set (the LayerNorm statistics registers).
+        Footprint::new(1, pins, self.pe_footprint(), gb)
     }
 
     fn walk(&self, w: &mut PhaseWalk) {

@@ -4,7 +4,8 @@ use omega_dataflow::{Dim, IntraTiling, Phase};
 use serde::Serialize;
 
 use super::core::{
-    actual_tile, loop_classes, run_phase, PhaseEngine, PhaseWalk, PreparedGemm, SpillModel,
+    actual_tile, loop_classes, run_phase, Footprint, PhaseEngine, PhaseWalk, PreparedGemm,
+    SpillModel,
 };
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, PhaseStats};
@@ -126,6 +127,33 @@ impl PhaseEngine for GemmLeaf<'_> {
             // The A input is the intermediate (AC).
             ChunkSide::Consume => (self.dims.v as u64) * (self.dims.f as u64),
         }
+    }
+
+    fn footprint(&self, opts: &EngineOptions) -> Footprint {
+        if self.is_empty() {
+            return Footprint::default();
+        }
+        let GemmDims { v, f, g } = self.dims;
+        let tile = |d: Dim, extent: usize| self.tiling.tile_of(d).min(extent) as u64;
+        let (tv, tf, tg) = (tile(Dim::V, v), tile(Dim::F, f), tile(Dim::G, g));
+        // GB stages one pass's operand tiles: the weight tile always, the A
+        // and output tiles unless a residency flag keeps them in the RFs.
+        let mut gb = tf * tg;
+        if !opts.input_resident {
+            gb += tv * tf;
+        }
+        if !opts.output_stays_local {
+            gb += tv * tg;
+        }
+        // Residency pins hold the *whole* matrix in the RFs across the phase.
+        let mut pins = 0u64;
+        if opts.input_resident {
+            pins += v as u64 * f as u64;
+        }
+        if opts.output_stays_local {
+            pins += v as u64 * g as u64;
+        }
+        Footprint::new(self.spill.live(), pins, self.pe_footprint(), gb)
     }
 
     fn walk(&self, w: &mut PhaseWalk) {

@@ -146,6 +146,32 @@ pub struct ChunkSpec {
     pub pel: u64,
 }
 
+/// On-chip storage budgets one phase run is held to.
+///
+/// [`CapacityBudget::UNBOUNDED`] (the [`EngineOptions::plain`] default)
+/// reproduces the paper's "sufficient buffering" assumption bit-exactly: the
+/// engines still *report* their working-set peaks, but nothing spills. Finite
+/// budgets make oversized tiles and residency pins cost real traffic — the
+/// core charges a costed spill pass per overflowing level (DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct CapacityBudget {
+    /// Register-file bytes per PE the phase may occupy.
+    pub rf_bytes_per_pe: usize,
+    /// Global-buffer bytes the phase's staged working set may occupy.
+    pub gb_bytes: usize,
+}
+
+impl CapacityBudget {
+    /// No budget on either level: peaks are reported, nothing spills.
+    pub const UNBOUNDED: CapacityBudget =
+        CapacityBudget { rf_bytes_per_pe: usize::MAX, gb_bytes: usize::MAX };
+
+    /// `true` when neither level is bounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.rf_bytes_per_pe == usize::MAX && self.gb_bytes == usize::MAX
+    }
+}
+
 /// Per-run engine options.
 ///
 /// `Eq`/`Hash` make the options usable as part of a phase-simulation cache key
@@ -169,11 +195,14 @@ pub struct EngineOptions {
     pub scores_resident: bool,
     /// Chunk-timestamp request.
     pub chunk: Option<ChunkSpec>,
+    /// On-chip storage budgets this run is held to
+    /// ([`CapacityBudget::UNBOUNDED`] = the paper's free-buffering model).
+    pub capacity: CapacityBudget,
 }
 
 impl EngineOptions {
     /// Plain run: full bandwidth share given, everything through the GB, no
-    /// chunk marks.
+    /// chunk marks, no storage budget.
     pub fn plain(bandwidth: BandwidthShare) -> Self {
         EngineOptions {
             bandwidth,
@@ -181,6 +210,7 @@ impl EngineOptions {
             output_stays_local: false,
             scores_resident: false,
             chunk: None,
+            capacity: CapacityBudget::UNBOUNDED,
         }
     }
 }

@@ -39,8 +39,8 @@
 use omega_dataflow::{Dim, IntraTiling, Phase};
 
 use super::core::{
-    actual_tile, bandwidth_sweep, loop_classes, run_phase, DegreeSummary, PhaseEngine, PhaseWalk,
-    PreparedSpmm, SpillModel,
+    actual_tile, bandwidth_sweep, loop_classes, run_phase, DegreeSummary, Footprint, PhaseEngine,
+    PhaseWalk, PreparedSpmm, SpillModel,
 };
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, OperandClass, PhaseStats};
@@ -357,6 +357,35 @@ impl PhaseEngine for SddmmLeaf<'_> {
             ChunkSide::Produce => self.scores_total,
             ChunkSide::Consume => self.scores_total * self.shape.d as u64,
         }
+    }
+
+    fn footprint(&self, opts: &EngineOptions) -> Footprint {
+        if self.is_empty() {
+            return Footprint::default();
+        }
+        let s = self.shape;
+        let (tv, tf, tn) = (s.tv as u64, s.tf as u64, s.tn as u64);
+        // GB stages one pass's slices: the CSR structure of the vertex tile,
+        // the pinned Q row slices plus the gathered K slices, and the score
+        // tile — each unless a residency flag keeps it local.
+        let mut gb = tv * (1 + tn);
+        if !opts.input_resident {
+            gb += tv * tf + tv * tn * tf;
+        }
+        if !opts.output_stays_local {
+            gb += tv * tn;
+        }
+        // Residency pins: both dot operands come from the full feature matrix
+        // (`d` columns per head over every row); local scores pin the whole
+        // adjacency-shaped score array until the softmax drains it.
+        let mut pins = 0u64;
+        if opts.input_resident {
+            pins += s.v as u64 * s.d as u64 * s.h;
+        }
+        if opts.output_stays_local {
+            pins += self.scores_total;
+        }
+        Footprint::new(self.spill.live(), pins, self.pe_footprint(), gb)
     }
 
     /// Dispatches the supported loop orders. `naive` forces the unbatched

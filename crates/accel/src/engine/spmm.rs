@@ -3,7 +3,8 @@
 use omega_dataflow::{Dim, IntraTiling, Phase};
 
 use super::core::{
-    actual_tile, run_phase, DegreeSummary, PhaseEngine, PhaseWalk, PreparedSpmm, SpillModel,
+    actual_tile, run_phase, DegreeSummary, Footprint, PhaseEngine, PhaseWalk, PreparedSpmm,
+    SpillModel,
 };
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, OperandClass, PhaseStats};
@@ -316,6 +317,43 @@ impl PhaseEngine for SpmmLeaf<'_> {
             ChunkSide::Produce => (self.prep.degrees().len() as u64) * (self.f as u64),
             ChunkSide::Consume => self.prep.nnz() * self.f as u64,
         }
+    }
+
+    fn footprint(&self, opts: &EngineOptions) -> Footprint {
+        if self.is_empty() {
+            return Footprint::default();
+        }
+        let v = self.prep.degrees().len() as u64;
+        let f = self.f as u64;
+        let (tv, tf, tn) = (self.tv as u64, self.tf as u64, self.tn as u64);
+        // GB stages one pass's slices: the CSR structure of the vertex tile
+        // (row pointers + a neighbour-index slice per row), the gathered
+        // neighbour rows feeding the spatial tile, the per-edge values, and
+        // the output tile — each unless a residency flag keeps it local.
+        let mut gb = tv * (1 + tn);
+        if !opts.input_resident {
+            gb += tv * tn * tf;
+        }
+        if !opts.scores_resident {
+            gb += tv * tn;
+        }
+        if !opts.output_stays_local {
+            gb += tv * tf;
+        }
+        // Residency pins: gathers address arbitrary rows, so `input_resident`
+        // pins the whole dense operand; `scores_resident` pins every per-edge
+        // value; `output_stays_local` pins the full output matrix.
+        let mut pins = 0u64;
+        if opts.input_resident {
+            pins += v * f;
+        }
+        if opts.scores_resident {
+            pins += self.prep.nnz();
+        }
+        if opts.output_stays_local {
+            pins += v * f;
+        }
+        Footprint::new(self.spill.live(), pins, self.pe_footprint(), gb)
     }
 
     fn walk(&self, w: &mut PhaseWalk) {

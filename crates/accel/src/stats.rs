@@ -146,6 +146,15 @@ pub struct PhaseStats {
     /// `true` if partial sums overflowed the register files and spilled to the
     /// global buffer somewhere in this phase.
     pub psum_spilled: bool,
+    /// Peak per-PE register-file working set this phase *demands*, in bytes:
+    /// stationary + stream slots, live partial sums, and the per-PE share of
+    /// any residency pins (`input_resident` / `output_stays_local` /
+    /// `scores_resident` matrices). Reported unconditionally; compared against
+    /// a budget only when capacity enforcement is on.
+    pub rf_peak_bytes: u64,
+    /// Peak global-buffer staging working set this phase demands, in bytes:
+    /// the operand tiles the GB must hold concurrently to feed one pass.
+    pub gb_peak_bytes: u64,
 }
 
 impl PhaseStats {
@@ -160,6 +169,8 @@ impl PhaseStats {
             pe_footprint,
             chunk_marks: Vec::new(),
             psum_spilled: false,
+            rf_peak_bytes: 0,
+            gb_peak_bytes: 0,
         }
     }
 
@@ -227,6 +238,8 @@ mod tests {
             pe_footprint: 1,
             chunk_marks: vec![30, 70, 100],
             psum_spilled: false,
+            rf_peak_bytes: 0,
+            gb_peak_bytes: 0,
         };
         assert_eq!(s.chunk_durations(), vec![30, 40, 30]);
     }
@@ -241,6 +254,8 @@ mod tests {
             pe_footprint: 8,
             chunk_marks: vec![],
             psum_spilled: false,
+            rf_peak_bytes: 0,
+            gb_peak_bytes: 0,
         };
         assert!((s.compute_utilisation() - 0.5).abs() < 1e-12);
         let zero = PhaseStats { cycles: 0, pe_footprint: 0, ..s };

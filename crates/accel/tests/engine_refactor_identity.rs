@@ -9,8 +9,8 @@
 //! must update the constants *and* say why in the commit.
 
 use omega_accel::engine::{
-    simulate_gemm, simulate_sddmm, simulate_spmm, ChunkSide, ChunkSpec, EngineOptions, GemmDims,
-    OperandClasses, SddmmWorkload, SpmmWorkload,
+    simulate_gemm, simulate_sddmm, simulate_spmm, CapacityBudget, ChunkSide, ChunkSpec,
+    EngineOptions, GemmDims, OperandClasses, SddmmWorkload, SpmmWorkload,
 };
 use omega_accel::{AccelConfig, BandwidthShare, PhaseStats};
 use omega_dataflow::{Dim, IntraTiling, LoopOrder, Phase};
@@ -80,6 +80,7 @@ fn option_matrix(cfg: &AccelConfig) -> Vec<EngineOptions> {
                     output_stays_local,
                     scores_resident,
                     chunk,
+                    capacity: CapacityBudget::UNBOUNDED,
                 });
             }
         }
@@ -189,6 +190,59 @@ fn mutag_engines_match_prerefactor_goldens() {
     check("Mutag", "gemm", gemm_hash(&wl, &cfg));
     check("Mutag", "spmm", spmm_hash(&wl, &cfg));
     check("Mutag", "sddmm", sddmm_hash(&wl, &cfg));
+}
+
+/// Capacity satellite: an *unbounded* budget is bit-identical to the paper
+/// model (all fields, including the new peaks), a budget equal to the reported
+/// peaks never fires, and finite budgets only ever add traffic and cycles.
+#[test]
+fn capacity_budgets_are_identity_at_unbounded_and_monotone_when_finite() {
+    let cfg = AccelConfig::paper_default();
+    let wl = dataset(DatasetSpec::mutag());
+    let swl = SpmmWorkload { degrees: &wl.degrees, feature_width: wl.f };
+    let dims = GemmDims { v: wl.v, f: wl.f, g: wl.g };
+    for tiles in TILINGS {
+        let ts = tiling(Phase::Aggregation, "VFN", tiles);
+        let tg = tiling(Phase::Combination, "VGF", tiles);
+        for resident in [false, true] {
+            let mut base = EngineOptions::plain(cfg.full_bandwidth());
+            base.input_resident = resident;
+            let spmm = |opts: &EngineOptions| {
+                simulate_spmm(&swl, &ts, &cfg, &OperandClasses::aggregation_ac(), opts)
+            };
+            let gemm = |opts: &EngineOptions| {
+                simulate_gemm(dims, &tg, &cfg, &OperandClasses::combination_ac(), opts)
+            };
+            for (run, peaks_of) in [
+                (&spmm as &dyn Fn(&EngineOptions) -> PhaseStats, "spmm"),
+                (&gemm as &dyn Fn(&EngineOptions) -> PhaseStats, "gemm"),
+            ] {
+                let free = run(&base);
+                assert!(free.rf_peak_bytes > 0, "{peaks_of}: peaks must always be reported");
+                assert!(free.gb_peak_bytes > 0, "{peaks_of}");
+                // Budget exactly at the peak: nothing overflows.
+                let mut at_peak = base;
+                at_peak.capacity = CapacityBudget {
+                    rf_bytes_per_pe: free.rf_peak_bytes as usize,
+                    gb_bytes: free.gb_peak_bytes as usize,
+                };
+                let fit = run(&at_peak);
+                assert_eq!(fit.cycles, free.cycles, "{peaks_of} {tiles:?} resident={resident}");
+                assert_eq!(fit.counters, free.counters);
+                // Halving both budgets can only add cost.
+                let mut tight = base;
+                tight.capacity = CapacityBudget {
+                    rf_bytes_per_pe: (free.rf_peak_bytes as usize / 2).max(1),
+                    gb_bytes: (free.gb_peak_bytes as usize / 2).max(1),
+                };
+                let spilled = run(&tight);
+                assert!(spilled.cycles > free.cycles, "{peaks_of} {tiles:?} resident={resident}");
+                assert!(spilled.counters.total_gb_reads() > free.counters.total_gb_reads());
+                assert!(spilled.psum_spilled);
+                assert_eq!(spilled.macs, free.macs, "spills never change the compute");
+            }
+        }
+    }
 }
 
 #[test]

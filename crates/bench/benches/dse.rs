@@ -121,11 +121,47 @@ fn bench_gat_model_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// The capacity-aware Pareto sweep vs the single-objective top-K search it
+/// rides alongside: one pass over the same 6,656-pattern space, maintaining
+/// the full (runtime, energy, buffer-footprint) frontier with bound-vector
+/// pruning instead of a scalar threshold.
+fn bench_pareto_frontier(c: &mut Criterion) {
+    let wl = workload("Mutag");
+    let cfg = AccelConfig::paper_default();
+    let mut group = c.benchmark_group("dse_pareto/Mutag");
+    group.sample_size(10);
+    for (name, pareto, prune) in
+        [("topk", false, true), ("pareto", true, true), ("pareto_noprune", true, false)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let out = explore(
+                    &wl,
+                    &cfg,
+                    &DseOptions {
+                        threads: 2,
+                        pareto,
+                        prune,
+                        ..DseOptions::new(Objective::Runtime)
+                    },
+                );
+                assert_eq!(out.space, 6656);
+                if pareto {
+                    assert!(out.frontier.len() >= 3);
+                }
+                out.best().map(|r| r.report.total_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     dse,
     bench_factored_vs_reference,
     bench_thread_scaling,
     bench_objectives,
-    bench_gat_model_search
+    bench_gat_model_search,
+    bench_pareto_frontier
 );
 criterion_main!(dse);

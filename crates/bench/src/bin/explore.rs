@@ -37,6 +37,7 @@ struct Args {
     model: Option<String>,
     per_layer_k: usize,
     objective: Objective,
+    objective_set: bool,
     threads: usize,
     top: usize,
     refine: bool,
@@ -47,6 +48,10 @@ struct Args {
     activation: Option<ElementwiseOp>,
     pes: usize,
     bandwidth: Option<usize>,
+    pareto: bool,
+    rf_bytes: Option<usize>,
+    gb_bytes: Option<usize>,
+    max_buffer_bytes: Option<u64>,
     seed: u64,
     json: Option<String>,
 }
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         model: None,
         per_layer_k: 4,
         objective: Objective::Runtime,
+        objective_set: false,
         threads: 8,
         top: 10,
         refine: false,
@@ -67,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
         activation: None,
         pes: 512,
         bandwidth: None,
+        pareto: false,
+        rf_bytes: None,
+        gb_bytes: None,
+        max_buffer_bytes: None,
         seed: 0x0E5A_2022,
         json: None,
     };
@@ -90,7 +100,8 @@ fn parse_args() -> Result<Args, String> {
                     "energy" => Objective::Energy,
                     "edp" => Objective::Edp,
                     other => return Err(format!("unknown objective '{other}' (runtime|energy|edp)")),
-                }
+                };
+                out.objective_set = true;
             }
             "--threads" => {
                 out.threads = value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
@@ -114,6 +125,20 @@ fn parse_args() -> Result<Args, String> {
             "--bandwidth" => {
                 out.bandwidth = Some(value(&mut i)?.parse().map_err(|e| format!("--bandwidth: {e}"))?)
             }
+            "--pareto" => out.pareto = true,
+            "--rf-bytes" => {
+                out.rf_bytes =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--rf-bytes: {e}"))?)
+            }
+            "--gb-bytes" => {
+                out.gb_bytes =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--gb-bytes: {e}"))?)
+            }
+            "--max-buffer-bytes" => {
+                out.max_buffer_bytes = Some(
+                    value(&mut i)?.parse().map_err(|e| format!("--max-buffer-bytes: {e}"))?,
+                )
+            }
             "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--json" => out.json = Some(value(&mut i)?),
             "--help" | "-h" => return Err("usage".into()),
@@ -132,6 +157,30 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.per_layer_k == 0 {
         return Err("--per-layer-k must be >= 1".into());
+    }
+    if out.pareto && out.objective_set {
+        return Err(
+            "--objective has no effect with --pareto (the frontier covers runtime, energy, \
+             and buffer footprint at once; pick a point from it instead)"
+                .into(),
+        );
+    }
+    if out.pareto && out.refine {
+        return Err(
+            "--refine has no effect with --pareto (refinement chases one scalar objective; \
+             the frontier is multi-objective)"
+                .into(),
+        );
+    }
+    if out.max_buffer_bytes.is_some() && !out.pareto {
+        return Err(
+            "--max-buffer-bytes requires --pareto (budget queries are answered from the \
+             frontier)"
+                .into(),
+        );
+    }
+    if out.rf_bytes == Some(0) || out.gb_bytes == Some(0) {
+        return Err("--rf-bytes/--gb-bytes must be >= 1".into());
     }
     Ok(out)
 }
@@ -159,7 +208,8 @@ fn main() -> ExitCode {
                  [--objective runtime|energy|edp] [--threads N] [--top K] \
                  [--per-layer-k K] [--refine] [--no-prune] [--no-phase-cache] \
                  [--stats] [--hidden G] [--activation act|norm] [--pes N] \
-                 [--bandwidth ELEMS] [--seed S] [--json PATH|-]"
+                 [--bandwidth ELEMS] [--pareto] [--rf-bytes N] [--gb-bytes N] \
+                 [--max-buffer-bytes N] [--seed S] [--json PATH|-]"
             );
             return ExitCode::FAILURE;
         }
@@ -182,6 +232,16 @@ fn main() -> ExitCode {
     if let Some(bw) = args.bandwidth {
         cfg = cfg.with_bandwidth(bw);
     }
+    // Finite budgets make capacity a *modelled* constraint: working sets that
+    // overflow pay costed spill passes inside the phase engines.
+    if let Some(rf) = args.rf_bytes {
+        cfg.rf_bytes_per_pe = rf;
+        cfg.knobs.enforce_capacity = true;
+    }
+    if let Some(gb) = args.gb_bytes {
+        cfg.gb_bytes = gb;
+        cfg.knobs.enforce_capacity = true;
+    }
 
     if let Some(model_name) = &args.model {
         let Some(mut model) = model_by_name(model_name) else {
@@ -201,6 +261,7 @@ fn main() -> ExitCode {
         refine_steps: if args.refine { 16 } else { 0 },
         prune: args.prune,
         phase_cache: args.phase_cache,
+        pareto: args.pareto,
         ..DseOptions::default()
     };
     let outcome = explore(&workload, &cfg, &opts);
@@ -241,7 +302,14 @@ fn main() -> ExitCode {
         );
     }
     println!();
-    print_ranked(&outcome, args.objective);
+    if args.pareto {
+        print_frontier(&outcome);
+        if let Some(budget) = args.max_buffer_bytes {
+            print_budget_query(&outcome, budget);
+        }
+    } else {
+        print_ranked(&outcome, args.objective);
+    }
 
     // The paper-relevant question: how much do Table V's presets leave on the
     // table versus the true optimum of the space?
@@ -300,6 +368,7 @@ fn run_model(model: &GnnModel, workload: &GnnWorkload, cfg: &AccelConfig, args: 
         // bit-identity checks; the ranked output is identical either way.
         prune: args.prune,
         phase_cache: args.phase_cache,
+        pareto: args.pareto,
         ..ModelDseOptions::default()
     };
     let outcome = explore_model(model, workload, cfg, &opts, DseCache::global());
@@ -346,7 +415,14 @@ fn run_model(model: &GnnModel, workload: &GnnWorkload, cfg: &AccelConfig, args: 
         );
     }
     println!();
-    print_model_ranked(&outcome, args.objective);
+    if args.pareto {
+        print_model_frontier(&outcome);
+        if let Some(budget) = args.max_buffer_bytes {
+            print_model_budget_query(&outcome, budget);
+        }
+    } else {
+        print_model_ranked(&outcome, args.objective);
+    }
 
     if let (Some(best), Some(uniform), Some(gap)) =
         (outcome.best(), outcome.uniform.as_ref(), outcome.model_gap())
@@ -384,6 +460,51 @@ fn run_model(model: &GnnModel, workload: &GnnWorkload, cfg: &AccelConfig, args: 
     ExitCode::SUCCESS
 }
 
+/// The model-level frontier: whole-chain mappings trading end-to-end runtime,
+/// energy, and peak working set (concurrent stages add, sequential steps max).
+fn print_model_frontier(outcome: &ModelExploreOutcome) {
+    println!(
+        "Pareto frontier: {} non-dominated mappings over (runtime, energy, buffer peak)",
+        outcome.frontier.len()
+    );
+    println!(
+        "{:>4}  {:<72} {:>14} {:>14} {:>14}",
+        "pt", "per-layer mapping", "cycles", "energy (uJ)", "peak (KiB)"
+    );
+    for (n, p) in outcome.frontier.iter().enumerate() {
+        println!(
+            "{:>4}  {:<72} {:>14} {:>14.3} {:>14.1}",
+            n + 1,
+            format!("{}", p.mapping),
+            p.runtime_cycles,
+            p.energy_pj / 1e6,
+            p.buffer_peak_bytes as f64 / 1024.0,
+        );
+    }
+}
+
+fn print_model_budget_query(outcome: &ModelExploreOutcome, budget: u64) {
+    println!();
+    let fit = outcome
+        .frontier
+        .iter()
+        .filter(|p| p.buffer_peak_bytes <= budget)
+        .min_by_key(|p| p.runtime_cycles);
+    match fit {
+        Some(p) => println!(
+            "budget {budget} B: fastest fitting mapping {} — {} cycles, {:.3} uJ, peak {} B",
+            p.mapping,
+            p.runtime_cycles,
+            p.energy_pj / 1e6,
+            p.buffer_peak_bytes,
+        ),
+        None => println!(
+            "budget {budget} B: no mapping fits (frontier minimum peak is {} B)",
+            outcome.frontier.iter().map(|p| p.buffer_peak_bytes).min().unwrap_or(0),
+        ),
+    }
+}
+
 fn print_model_ranked(outcome: &ModelExploreOutcome, objective: Objective) {
     let score_head = match objective {
         Objective::Runtime => "cycles",
@@ -414,6 +535,56 @@ fn write_with_dirs(path: &str, contents: &str) -> std::io::Result<()> {
         }
     }
     std::fs::write(path, contents)
+}
+
+/// The layer-level Pareto frontier: every point a best-possible trade between
+/// runtime, energy, and peak on-chip working set.
+fn print_frontier(outcome: &ExploreOutcome) {
+    println!(
+        "Pareto frontier: {} non-dominated points over (runtime, energy, buffer peak)",
+        outcome.frontier.len()
+    );
+    println!(
+        "{:>4}  {:<28} {:<26} {:>14} {:>14} {:>14}",
+        "pt", "dataflow", "tiles", "cycles", "energy (uJ)", "peak (KiB)"
+    );
+    for (n, p) in outcome.frontier.iter().enumerate() {
+        println!(
+            "{:>4}  {:<28} {:<26} {:>14} {:>14.3} {:>14.1}",
+            n + 1,
+            p.dataflow.to_string(),
+            format!("{:?}", p.dataflow.tile_tuple()),
+            p.runtime_cycles,
+            p.energy_pj / 1e6,
+            p.buffer_peak_bytes as f64 / 1024.0,
+        );
+    }
+}
+
+/// Answers a `--max-buffer-bytes` budget query from the frontier: the fastest
+/// design whose peak working set fits (always the exact optimum among all
+/// candidates that fit — the feasible-region optimum lies on the frontier).
+fn print_budget_query(outcome: &ExploreOutcome, budget: u64) {
+    println!();
+    let fit = outcome
+        .frontier
+        .iter()
+        .filter(|p| p.buffer_peak_bytes <= budget)
+        .min_by_key(|p| p.runtime_cycles);
+    match fit {
+        Some(p) => println!(
+            "budget {budget} B: fastest fitting design {} {:?} — {} cycles, {:.3} uJ, peak {} B",
+            p.dataflow,
+            p.dataflow.tile_tuple(),
+            p.runtime_cycles,
+            p.energy_pj / 1e6,
+            p.buffer_peak_bytes,
+        ),
+        None => println!(
+            "budget {budget} B: no design fits (frontier minimum peak is {} B)",
+            outcome.frontier.iter().map(|p| p.buffer_peak_bytes).min().unwrap_or(0),
+        ),
+    }
 }
 
 fn print_ranked(outcome: &ExploreOutcome, objective: Objective) {

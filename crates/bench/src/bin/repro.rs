@@ -25,7 +25,7 @@ fn main() -> ExitCode {
     let all = [
         "table1", "table2", "table3", "table4", "table5", "fig11", "fig12", "fig13", "fig14",
         "fig15", "fig16", "flexibility", "ablation", "accelerators", "sweep", "preset_gap",
-        "model_dse",
+        "model_dse", "capacity_study",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -88,6 +88,12 @@ fn main() -> ExitCode {
                 name,
                 "Model-level DSE: per-layer-specialised + pipelined chains vs best uniform preset",
                 &insights::model_gap(),
+            ),
+            "capacity_study" => emit(
+                &out_dir,
+                name,
+                "Capacity study: Table V preset winners under finite RF/GB budgets",
+                &insights::capacity_study(),
             ),
             other => {
                 eprintln!("unknown experiment '{other}'; known: {}", all.join(", "));

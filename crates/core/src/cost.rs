@@ -127,6 +127,14 @@ pub struct CostReport {
     /// Intermediate buffering requirement in elements (Table III column 2:
     /// `V×F` for Seq, `Pel` for SP-Generic, 0 for SP-Optimized, `2×Pel` for PP).
     pub intermediate_buffer_elems: u64,
+    /// Peak on-chip working set in bytes: each phase's global-buffer peak plus
+    /// its aggregate register-file peak (`rf_peak_bytes × pe_footprint`),
+    /// composed across phases the way the runtime is — sequential phases take
+    /// the maximum, overlapped (pipelined / partitioned) phases add — plus the
+    /// intermediate buffering of Table III. This is *demand*, not allocation:
+    /// it can exceed the configured capacities, which is exactly what the
+    /// capacity-aware search constrains.
+    pub buffer_peak_bytes: u64,
     /// Pipelined elements per chunk (`Pel`), when the dataflow pipelines.
     pub pel: Option<u64>,
     /// Pipelining granularity, when the dataflow pipelines.

@@ -66,6 +66,13 @@ pub struct DseOptions {
     /// sweeps pay for each *unique* phase configuration once (bit-identical
     /// results; disable to exercise the uncached reference path).
     pub phase_cache: bool,
+    /// Maintain the full (runtime, energy, buffer-footprint) Pareto frontier
+    /// in the same one-pass sweep instead of a single-objective top-K. The
+    /// [`ExploreOutcome::frontier`] is filled (deterministically), pruning
+    /// switches from the top-K runtime threshold to 3-axis bound-vector
+    /// domination, and [`ExploreOutcome::ranked`] becomes the frontier in
+    /// runtime order (its head is still the exact runtime optimum).
+    pub pareto: bool,
 }
 
 impl Default for DseOptions {
@@ -79,6 +86,7 @@ impl Default for DseOptions {
             seed_presets: true,
             prune: true,
             phase_cache: true,
+            pareto: false,
         }
     }
 }
@@ -104,11 +112,35 @@ pub struct RankedDataflow {
     pub pattern_index: Option<usize>,
 }
 
+/// One point of the (runtime, energy, buffer-footprint) Pareto frontier: no
+/// other evaluated candidate is at least as good on every axis and strictly
+/// better on one.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParetoPoint {
+    /// The concrete dataflow.
+    pub dataflow: GnnDataflow,
+    /// Its cost report.
+    pub report: CostReport,
+    /// Runtime axis (cycles).
+    pub runtime_cycles: u64,
+    /// Energy axis (total pJ).
+    pub energy_pj: f64,
+    /// Buffer-footprint axis (peak on-chip working set, bytes).
+    pub buffer_peak_bytes: u64,
+    /// Index in the enumeration order (`None` for preset seeds).
+    pub pattern_index: Option<usize>,
+}
+
 /// The result of one exhaustive exploration.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExploreOutcome {
     /// Winners, best first, deduplicated by concrete dataflow (≤ `top_k`).
     pub ranked: Vec<RankedDataflow>,
+    /// The (runtime, energy, buffer-footprint) Pareto frontier in runtime
+    /// order, when [`DseOptions::pareto`] is set (empty otherwise).
+    /// Deterministic: the set of mutually non-dominated candidates is a
+    /// property of the space, independent of threads, chunking, and pruning.
+    pub frontier: Vec<ParetoPoint>,
     /// Size of the enumerated space (the paper's 6,656).
     pub space: usize,
     /// Successful cost-model evaluations (space + seeds + refinement probes).
@@ -250,6 +282,76 @@ impl<C: PartialEq, R> TopK<C, R> {
     }
 }
 
+/// `true` when `a` Pareto-dominates `b` (no worse everywhere, strictly better
+/// somewhere; lower is better on every axis). NaN compares as "not better", so
+/// a NaN-scored candidate can never dominate — it just accumulates harmlessly.
+fn dominates(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// The shared (mutex-guarded) Pareto-frontier accumulator of a `--pareto`
+/// sweep: entries are mutually non-dominated axis vectors
+/// `[runtime cycles, energy pJ, buffer-peak bytes]` with their candidates.
+///
+/// Order-invariant by construction: an insert is rejected only when an
+/// existing entry dominates it, and it evicts every entry it dominates —
+/// since dominance is transitive, the surviving set is exactly the
+/// non-dominated subset of everything ever offered, regardless of the
+/// interleaving. Equal vectors are all kept (neither dominates); the
+/// finalisation dedups by candidate. Generic over the candidate/report pair:
+/// [`explore`] accumulates dataflows, [`model::explore_model`] whole-model
+/// mappings.
+pub(crate) struct ParetoFront<C, R> {
+    entries: Vec<Entry<C, (R, [f64; 3])>>,
+}
+
+impl<C: PartialEq, R> ParetoFront<C, R> {
+    pub(crate) fn new() -> Self {
+        ParetoFront { entries: Vec::new() }
+    }
+
+    /// `true` when some frontier point is *strictly* better than `bounds` on
+    /// every axis. Sound to prune on: the axes of `bounds` are admissible
+    /// lower bounds, so the candidate's true vector — component-wise ≥ — is
+    /// dominated by that same point and can never join the frontier.
+    pub(crate) fn strictly_dominates(&self, bounds: &[f64; 3]) -> bool {
+        self.entries.iter().any(|e| e.report.1.iter().zip(bounds).all(|(x, y)| x < y))
+    }
+
+    /// Offers `(candidate, report, axes)` with tie-break `index`.
+    pub(crate) fn offer(&mut self, index: usize, candidate: C, report: R, axes: [f64; 3]) {
+        if self.entries.iter().any(|q| dominates(&q.report.1, &axes)) {
+            return;
+        }
+        self.entries.retain(|q| !dominates(&axes, &q.report.1));
+        self.entries.push(Entry { score: axes[0], index, candidate, report: (report, axes) });
+    }
+
+    /// The frontier in deterministic order: sorted by the axis vector then the
+    /// tie-break index, deduplicated by candidate (a preset seed and its
+    /// enumerated twin share axes; the enumerated copy's smaller index wins,
+    /// keeping the in-space index populated). Each element is
+    /// `(index, candidate, report, axes)`.
+    pub(crate) fn into_sorted(mut self) -> Vec<(usize, C, R, [f64; 3])> {
+        self.entries.sort_by(|a, b| {
+            let (va, vb) = (&a.report.1, &b.report.1);
+            va[0].total_cmp(&vb[0])
+                .then(va[1].total_cmp(&vb[1]))
+                .then(va[2].total_cmp(&vb[2]))
+                .then(a.index.cmp(&b.index))
+        });
+        let mut out: Vec<(usize, C, R, [f64; 3])> = Vec::with_capacity(self.entries.len());
+        for e in self.entries {
+            if out.iter().any(|(_, c, _, _)| *c == e.candidate) {
+                continue;
+            }
+            let (report, axes) = e.report;
+            out.push((e.index, e.candidate, report, axes));
+        }
+        out
+    }
+}
+
 /// A scored candidate: `(score, tie-break index, dataflow, report)`.
 pub(crate) type Scored = (f64, usize, GnnDataflow, CostReport);
 
@@ -280,9 +382,9 @@ pub(crate) struct ParallelJob {
 
 /// Evaluates `count` candidates produced on demand by `gen` across scoped
 /// workers pulling chunked ranges from an atomic cursor; `score` turns a
-/// candidate (plus the current pruning threshold) into a [`Verdict`]. Returns
-/// the merged (unsorted) per-worker top-K lists plus
-/// `(evaluated, skipped, pruned)` counts.
+/// candidate (plus its enumeration index and the current pruning threshold)
+/// into a [`Verdict`]. Returns the merged (unsorted) per-worker top-K lists
+/// plus `(evaluated, skipped, pruned)` counts.
 ///
 /// Workers share one atomic pruning threshold: whenever a worker holds `k`
 /// *distinct* retained candidates it publishes its worst retained score
@@ -299,7 +401,7 @@ pub(crate) struct ParallelJob {
 pub(crate) fn parallel_search<C: Send + PartialEq, R: Send>(
     count: usize,
     gen: &(dyn Fn(usize) -> C + Sync),
-    score: &(dyn Fn(&C, f64) -> Verdict<R> + Sync),
+    score: &(dyn Fn(&C, usize, f64) -> Verdict<R> + Sync),
     job: &ParallelJob,
 ) -> (Vec<ScoredEntry<C, R>>, usize, usize, usize) {
     if count == 0 {
@@ -324,7 +426,7 @@ pub(crate) fn parallel_search<C: Send + PartialEq, R: Send>(
             for index in start..(start + chunk).min(count) {
                 let candidate = gen(index);
                 let thr = f64::from_bits(threshold.load(Ordering::Relaxed));
-                match score(&candidate, thr) {
+                match score(&candidate, index, thr) {
                     Verdict::Score(score, report) => {
                         evaluated += 1;
                         top.offer(Entry { score, index, candidate, report });
@@ -387,7 +489,7 @@ pub(crate) fn parallel_top_k(
         init_threshold: f64::INFINITY,
     };
     let prep = PreparedEval::new(job.workload, job.cfg);
-    let score = |dataflow: &GnnDataflow, _thr: f64| -> Verdict<CostReport> {
+    let score = |dataflow: &GnnDataflow, _index: usize, _thr: f64| -> Verdict<CostReport> {
         dse_verdict(prep.evaluate_dse(dataflow, None, None), job.objective)
     };
     let (merged, evaluated, skipped, _pruned) = parallel_search(count, gen, &score, &pjob);
@@ -465,30 +567,97 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         }
     }
     let seeded = seeds.len();
-    let pruning = opts.prune && opts.objective == Objective::Runtime;
+    let pareto = opts.pareto;
+    let pruning = opts.prune && opts.objective == Objective::Runtime && !pareto;
     let init_threshold =
         if pruning { kth_distinct_score(&seeds, opts.top_k) } else { f64::INFINITY };
+
+    // In pareto mode the shared frontier starts from the seeds (they are part
+    // of the final pool unconditionally), so 3-axis bound-vector domination
+    // pruning can engage from candidate one. The single-objective top-K
+    // threshold is disabled instead: a runtime-dominated candidate can still
+    // be Pareto-optimal on energy or footprint.
+    let front: Mutex<ParetoFront<GnnDataflow, CostReport>> = Mutex::new(ParetoFront::new());
+    if pareto {
+        let mut f = front.lock().expect("pareto front poisoned");
+        for (_, index, df, report) in &seeds {
+            f.offer(*index, *df, report.clone(), report_axes(report));
+        }
+    }
 
     let space_ref = &space;
     let gen = move |i: usize| concretize_pattern(&space_ref.get(i), workload, cfg);
     let prep_ref = &prep;
-    let score = move |dataflow: &GnnDataflow, thr: f64| -> Verdict<CostReport> {
-        dse_verdict(
-            prep_ref.evaluate_dse(dataflow, cache_ref, pruning.then_some(thr)),
-            opts.objective,
-        )
+    let front_ref = &front;
+    let score = move |dataflow: &GnnDataflow, index: usize, thr: f64| -> Verdict<CostReport> {
+        let eval = if pareto {
+            let prune_if = |bounds: [f64; 3]| {
+                opts.prune
+                    && front_ref.lock().expect("pareto front poisoned").strictly_dominates(&bounds)
+            };
+            prep_ref.evaluate_dse_pareto(dataflow, cache_ref, &prune_if)
+        } else {
+            prep_ref.evaluate_dse(dataflow, cache_ref, pruning.then_some(thr))
+        };
+        let verdict = dse_verdict(eval, opts.objective);
+        if pareto {
+            if let Verdict::Score(_, report) = &verdict {
+                front_ref.lock().expect("pareto front poisoned").offer(
+                    index,
+                    *dataflow,
+                    report.clone(),
+                    report_axes(report),
+                );
+            }
+        }
+        verdict
     };
     let job = ParallelJob { k: opts.top_k, threads, chunk: opts.chunk, init_threshold };
     let (mut merged, mut evaluated, skipped, pruned) = parallel_search(total, &gen, &score, &job);
     evaluated += seeded;
     merged.extend(seeds);
 
-    let ranked = rank(merged, opts.top_k, total);
+    let frontier = if pareto {
+        front
+            .into_inner()
+            .expect("pareto front poisoned")
+            .into_sorted()
+            .into_iter()
+            .map(|(index, dataflow, report, axes)| ParetoPoint {
+                dataflow,
+                runtime_cycles: report.total_cycles,
+                energy_pj: axes[1],
+                buffer_peak_bytes: report.buffer_peak_bytes,
+                report,
+                pattern_index: (index < total).then_some(index),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let ranked = if pareto {
+        // The frontier is already deduplicated and in runtime order; its head
+        // is the exact runtime optimum (nothing can dominate the min-runtime
+        // point without beating its runtime).
+        frontier
+            .iter()
+            .take(opts.top_k)
+            .map(|p| RankedDataflow {
+                dataflow: p.dataflow,
+                report: p.report.clone(),
+                score: p.runtime_cycles as f64,
+                pattern_index: p.pattern_index,
+            })
+            .collect()
+    } else {
+        rank(merged, opts.top_k, total)
+    };
 
     // Refinement: hill-climb tile sizes around each surviving winner and
     // re-rank (refined entries can reshuffle or displace the unrefined ones).
+    // Pareto mode skips it: hill-climbing is scalar-objective by construction.
     let mut refine_evals = 0;
-    let ranked = if opts.refine_steps > 0 {
+    let ranked = if opts.refine_steps > 0 && !pareto {
         let mut pool: Vec<(f64, usize, GnnDataflow, CostReport)> = ranked
             .iter()
             .map(|r| {
@@ -511,6 +680,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
 
     ExploreOutcome {
         ranked,
+        frontier,
         space: total,
         evaluated,
         skipped,
@@ -522,6 +692,12 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         threads,
     }
+}
+
+/// The Pareto axis vector of one evaluated dataflow: total cycles, total
+/// energy (pJ), and the composed on-chip working-set peak (bytes).
+fn report_axes(report: &CostReport) -> [f64; 3] {
+    [report.total_cycles as f64, report.energy.total_pj(), report.buffer_peak_bytes as f64]
 }
 
 /// The `k`-th best distinct-dataflow score among pre-evaluated entries — the
@@ -686,6 +862,7 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         cfg.knobs.psum_group_sharing as u8,
         cfg.knobs.fractional_spill as u8,
         cfg.knobs.per_pass_fill as u8,
+        cfg.knobs.enforce_capacity as u8,
     ]);
     // The result-affecting options (threads/chunk do not affect the
     // deterministic ranked result, so two searches differing only there share
@@ -702,6 +879,7 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         opts.seed_presets as u64,
         opts.prune as u64,
         opts.phase_cache as u64,
+        opts.pareto as u64,
     ] {
         eat(&x.to_le_bytes());
     }
@@ -862,6 +1040,129 @@ mod tests {
         );
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn pareto_frontier_is_sound_and_thread_invariant() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let opts = DseOptions { pareto: true, ..quick_opts() };
+        let out = explore(&workload, &cfg, &opts);
+        // Accounting still closes with frontier-based pruning in the loop.
+        assert_eq!(out.evaluated - out.seeded + out.skipped + out.pruned, 6656);
+        assert!(out.frontier.len() >= 3, "frontier too small: {}", out.frontier.len());
+        // Mutually non-dominated, sorted by runtime.
+        for (i, a) in out.frontier.iter().enumerate() {
+            for (j, b) in out.frontier.iter().enumerate() {
+                if i != j {
+                    let av = [a.runtime_cycles as f64, a.energy_pj, a.buffer_peak_bytes as f64];
+                    let bv = [b.runtime_cycles as f64, b.energy_pj, b.buffer_peak_bytes as f64];
+                    assert!(!dominates(&av, &bv), "{} dominates {}", a.dataflow, b.dataflow);
+                }
+            }
+        }
+        for w in out.frontier.windows(2) {
+            assert!(w[0].runtime_cycles <= w[1].runtime_cycles);
+        }
+        // The frontier head is the exact runtime optimum of the plain search,
+        // and the ranked list mirrors the frontier in pareto mode.
+        let plain = explore(&workload, &cfg, &quick_opts());
+        assert_eq!(out.frontier[0].runtime_cycles, plain.best().unwrap().report.total_cycles);
+        assert_eq!(out.ranked.len(), out.frontier.len().min(opts.top_k));
+        // Thread count and chunking do not change the frontier bit for bit.
+        let b = explore(
+            &workload,
+            &cfg,
+            &DseOptions { threads: 4, chunk: 17, pareto: true, ..quick_opts() },
+        );
+        let key = |o: &ExploreOutcome| -> Vec<(String, u64, u64, u64, Option<usize>)> {
+            o.frontier
+                .iter()
+                .map(|p| {
+                    (
+                        p.dataflow.to_string(),
+                        p.runtime_cycles,
+                        p.energy_pj.to_bits(),
+                        p.buffer_peak_bytes,
+                        p.pattern_index,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&out), key(&b));
+        // Pruning changes coverage, not the frontier.
+        let noprune =
+            explore(&workload, &cfg, &DseOptions { prune: false, pareto: true, ..quick_opts() });
+        assert_eq!(key(&out), key(&noprune));
+        assert_eq!(noprune.pruned, 0);
+    }
+
+    #[test]
+    fn frontier_is_empty_without_pareto() {
+        let out = explore(&wl(), &AccelConfig::paper_default(), &quick_opts());
+        assert!(out.frontier.is_empty());
+    }
+
+    #[test]
+    fn budget_query_from_frontier_matches_filtered_sweep() {
+        // For any footprint budget, the min-runtime feasible candidate must be
+        // on the frontier with its exact optimum runtime — the property the
+        // CLI's `--max-buffer-bytes` answer relies on.
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let out =
+            explore(&workload, &cfg, &DseOptions { pareto: true, prune: false, ..quick_opts() });
+        let space = PatternSpace::new();
+        let mut brute: Vec<(u64, u64)> = Vec::new(); // (buffer_peak, cycles)
+        for i in 0..space.len() {
+            let df = concretize_pattern(&space.get(i), &workload, &cfg);
+            if let Ok(r) = evaluate(&workload, &df, &cfg) {
+                brute.push((r.buffer_peak_bytes, r.total_cycles));
+            }
+        }
+        let budgets: Vec<u64> =
+            out.frontier.iter().map(|p| p.buffer_peak_bytes).collect();
+        for budget in budgets {
+            let best_brute =
+                brute.iter().filter(|(b, _)| *b <= budget).map(|(_, c)| *c).min().unwrap();
+            let best_front = out
+                .frontier
+                .iter()
+                .filter(|p| p.buffer_peak_bytes <= budget)
+                .map(|p| p.runtime_cycles)
+                .min()
+                .unwrap();
+            assert!(best_front <= best_brute, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn pareto_front_accumulator_is_order_invariant() {
+        let offers: Vec<(usize, [f64; 3])> = vec![
+            (0, [3.0, 1.0, 2.0]),
+            (1, [1.0, 3.0, 2.0]),
+            (2, [2.0, 2.0, 2.0]),
+            (3, [3.0, 3.0, 3.0]), // dominated by 2
+            (4, [1.0, 3.0, 2.0]), // duplicate axes of 1 — both kept, dedup later
+        ];
+        let run = |order: &[usize]| -> Vec<(usize, [f64; 3])> {
+            let mut f: ParetoFront<usize, ()> = ParetoFront::new();
+            for &i in order {
+                let (index, axes) = offers[i];
+                f.offer(index, index, (), axes);
+            }
+            f.into_sorted().into_iter().map(|(i, _, _, a)| (i, a)).collect()
+        };
+        let fwd = run(&[0, 1, 2, 3, 4]);
+        let rev = run(&[4, 3, 2, 1, 0]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1, 4, 2, 0]);
+        // Strict-dominance pruning test: a bound vector strictly above an
+        // entry on all axes is prunable; touching any axis exactly is not.
+        let mut f: ParetoFront<usize, ()> = ParetoFront::new();
+        f.offer(0, 0, (), [1.0, 1.0, 1.0]);
+        assert!(f.strictly_dominates(&[2.0, 2.0, 2.0]));
+        assert!(!f.strictly_dominates(&[1.0, 2.0, 2.0]));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! the layer-level engine; uniform Table V preset chains are seeded so the
 //! reported optimum is never worse than any fixed-preset accelerator.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -32,7 +33,7 @@ use omega_accel::AccelConfig;
 use omega_dataflow::presets::Preset;
 use omega_dataflow::GnnDataflow;
 
-use super::{parallel_search, DseCache, DseOptions, ParallelJob};
+use super::{parallel_search, DseCache, DseOptions, ParallelJob, ParetoFront};
 use crate::mapper::Objective;
 use crate::models::{to_chain, uniform_layer_dataflows, GnnModel, ModelError};
 use crate::multiphase::{evaluate_chain, ChainReport, Link, PartitionSplit};
@@ -62,6 +63,12 @@ pub struct ModelDseOptions {
     /// Phase-simulation memoisation in the per-layer searches
     /// ([`DseOptions::phase_cache`]; ranked-output-neutral).
     pub phase_cache: bool,
+    /// Also maintain the (runtime, energy, buffer-footprint) Pareto frontier
+    /// over the joint space. The per-layer searches run in Pareto mode too —
+    /// their frontiers feed footprint-diverse layer candidates into the joint
+    /// space — and [`ModelExploreOutcome::frontier`] is filled. The scalar
+    /// ranked list is unaffected (the joint sweep never prunes).
+    pub pareto: bool,
 }
 
 impl Default for ModelDseOptions {
@@ -76,6 +83,7 @@ impl Default for ModelDseOptions {
             chunk: 16,
             prune: true,
             phase_cache: true,
+            pareto: false,
         }
     }
 }
@@ -203,6 +211,25 @@ pub struct UniformBaseline {
     pub score: f64,
 }
 
+/// One point of a model-level (runtime, energy, buffer-footprint) Pareto
+/// frontier: no other evaluated chain mapping is at least as good on every
+/// axis and strictly better on one.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelParetoPoint {
+    /// The joint mapping.
+    pub mapping: ModelMapping,
+    /// Its chain evaluation (chunk timelines stripped).
+    pub report: ChainReport,
+    /// Runtime axis (end-to-end cycles).
+    pub runtime_cycles: u64,
+    /// Energy axis (total pJ).
+    pub energy_pj: f64,
+    /// Buffer-footprint axis (peak on-chip working set, bytes).
+    pub buffer_peak_bytes: u64,
+    /// Index in the joint enumeration (`None` for uniform-preset seeds).
+    pub index: Option<usize>,
+}
+
 /// The result of one model-level exploration.
 #[derive(Debug, Clone, Serialize)]
 pub struct ModelExploreOutcome {
@@ -212,6 +239,9 @@ pub struct ModelExploreOutcome {
     pub workload: String,
     /// Winners, best first, deduplicated by mapping (≤ `top_k`).
     pub ranked: Vec<RankedModelMapping>,
+    /// The chain-level Pareto frontier in runtime order, when
+    /// [`ModelDseOptions::pareto`] is set (empty otherwise).
+    pub frontier: Vec<ModelParetoPoint>,
     /// Size of the joint space.
     pub space: usize,
     /// Candidates per layer.
@@ -331,6 +361,10 @@ fn layer_candidate_list(
         // arm stays reachable for the bit-identity acceptance tests.
         prune: opts.prune,
         phase_cache: opts.phase_cache,
+        // Pareto model search draws layer candidates from the layer frontier
+        // (ranked = frontier in runtime order there), so footprint-diverse
+        // dataflows enter the joint space.
+        pareto: opts.pareto,
     };
     let outcome = cache.explore(wl, cfg, &layer_opts);
     let mut cands: Vec<GnnDataflow> =
@@ -397,6 +431,12 @@ fn build_space_with_stats(
     (ModelSpace { layer_candidates, link_options }, phase_sims, phase_cache_hits)
 }
 
+/// The Pareto axis vector of one evaluated chain: end-to-end cycles, total
+/// energy (pJ), and the chain's composed working-set peak (bytes).
+fn chain_axes(report: &ChainReport) -> [f64; 3] {
+    [report.total_cycles as f64, report.energy.total_pj(), report.buffer_peak_bytes as f64]
+}
+
 /// Lowers and evaluates one joint mapping end-to-end, returning its objective
 /// value and chain report.
 pub fn evaluate_mapping(
@@ -442,9 +482,24 @@ pub fn explore_model(
         }
         Some((s, r))
     };
-    let score = |m: &ModelMapping, _thr: f64| -> super::Verdict<ChainReport> {
+    // The joint sweep never prunes, so the Pareto frontier can ride along the
+    // scalar search without affecting it: every evaluated chain is offered.
+    let front: Mutex<ParetoFront<ModelMapping, ChainReport>> = Mutex::new(ParetoFront::new());
+    let front_ref = &front;
+    let pareto = opts.pareto;
+    let score = |m: &ModelMapping, index: usize, _thr: f64| -> super::Verdict<ChainReport> {
         match score_mapping(m) {
-            Some((s, r)) => super::Verdict::Score(s, r),
+            Some((s, r)) => {
+                if pareto {
+                    front_ref.lock().expect("model pareto front poisoned").offer(
+                        index,
+                        m.clone(),
+                        r.clone(),
+                        chain_axes(&r),
+                    );
+                }
+                super::Verdict::Score(s, r)
+            }
             None => super::Verdict::Skip,
         }
     };
@@ -479,9 +534,36 @@ pub fn explore_model(
                     score: s,
                 });
             }
+            if pareto {
+                front.lock().expect("model pareto front poisoned").offer(
+                    total + j,
+                    mapping.clone(),
+                    r.clone(),
+                    chain_axes(&r),
+                );
+            }
             merged.push((s, total + j, mapping, r));
         }
     }
+
+    let frontier: Vec<ModelParetoPoint> = if pareto {
+        front
+            .into_inner()
+            .expect("model pareto front poisoned")
+            .into_sorted()
+            .into_iter()
+            .map(|(index, mapping, report, axes)| ModelParetoPoint {
+                mapping,
+                runtime_cycles: report.total_cycles,
+                energy_pj: axes[1],
+                buffer_peak_bytes: report.buffer_peak_bytes,
+                report,
+                index: (index < total).then_some(index),
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Rank: ascending (score, index), deduplicated by mapping. `total_cmp`
     // keys so a NaN objective score cannot panic the sort (it ranks last).
@@ -506,6 +588,7 @@ pub fn explore_model(
         model: model.name.clone(),
         workload: base.name.clone(),
         ranked,
+        frontier,
         space: total,
         layer_candidates: space.layer_candidates.iter().map(Vec::len).collect(),
         link_options: space.link_options.iter().map(Vec::len).collect(),

@@ -17,8 +17,8 @@ use std::sync::{Arc, Mutex};
 
 use omega_accel::engine::{
     simulate_elementwise, simulate_gemm_prepared, simulate_sddmm_prepared, simulate_spmm_prepared,
-    ChunkSide, ChunkSpec, ElementwiseWorkload, EngineOptions, GemmDims, OperandClasses,
-    PreparedGemm, PreparedSpmm,
+    CapacityBudget, ChunkSide, ChunkSpec, ElementwiseWorkload, EngineOptions, GemmDims,
+    OperandClasses, PreparedGemm, PreparedSpmm,
 };
 use omega_accel::{
     AccelConfig, AccessCounters, BandwidthShare, EnergyModel, OperandClass, PhaseStats,
@@ -165,11 +165,7 @@ impl<'a> PreparedEval<'a> {
     /// Evaluates one dataflow — bit-identical to [`evaluate`].
     pub fn evaluate(&self, dataflow: &GnnDataflow) -> Result<CostReport, EvalError> {
         let plan = self.plan(dataflow)?;
-        let sddmm = plan.sddmm.as_ref().map(|k| self.simulate(k));
-        let agg = self.simulate(&plan.agg);
-        let cmb = self.simulate(&plan.cmb);
-        let post = plan.post.as_ref().map(|k| self.simulate(k));
-        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb, post))
+        Ok(self.run_plan(dataflow, &plan, None))
     }
 
     /// [`Self::evaluate`] through a shared [`PhaseSimCache`]: bit-identical
@@ -181,11 +177,7 @@ impl<'a> PreparedEval<'a> {
         cache: &PhaseSimCache,
     ) -> Result<CostReport, EvalError> {
         let plan = self.plan(dataflow)?;
-        let sddmm = plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone());
-        let agg = cache.stats(self, &plan.agg).as_ref().clone();
-        let cmb = cache.stats(self, &plan.cmb).as_ref().clone();
-        let post = plan.post.as_ref().map(|k| cache.stats(self, k).as_ref().clone());
-        Ok(self.compose(dataflow, &plan, sddmm, agg, cmb, post))
+        Ok(self.run_plan(dataflow, &plan, Some(cache)))
     }
 
     /// The DSE hot path: evaluate with an optional shared phase-simulation
@@ -203,6 +195,37 @@ impl<'a> PreparedEval<'a> {
                 return DseEval::Pruned;
             }
         }
+        DseEval::Report(Box::new(self.run_plan(dataflow, &plan, cache)))
+    }
+
+    /// The Pareto-mode DSE hot path: plan the dataflow, hand its per-objective
+    /// admissible bound vector (`[cycles, energy pJ, buffer-peak bytes]`) to
+    /// `prune_if`, and simulate only when the caller cannot rule it out. A
+    /// `true` verdict is sound exactly when the caller only prunes vectors
+    /// some known-reachable point strictly beats on **all** axes: the real
+    /// report is component-wise ≥ the bound, so it would be dominated too.
+    pub(crate) fn evaluate_dse_pareto(
+        &self,
+        dataflow: &GnnDataflow,
+        cache: Option<&PhaseSimCache>,
+        prune_if: &dyn Fn([f64; 3]) -> bool,
+    ) -> DseEval {
+        let Ok(plan) = self.plan(dataflow) else { return DseEval::Invalid };
+        if prune_if(self.bound_vector(&plan, dataflow)) {
+            return DseEval::Pruned;
+        }
+        DseEval::Report(Box::new(self.run_plan(dataflow, &plan, cache)))
+    }
+
+    /// Simulates every planned phase (through `cache` when given, directly
+    /// otherwise) and composes the totals — the shared tail of all evaluation
+    /// entry points.
+    fn run_plan(
+        &self,
+        dataflow: &GnnDataflow,
+        plan: &EvalPlan,
+        cache: Option<&PhaseSimCache>,
+    ) -> CostReport {
         let (sddmm, agg, cmb, post) = match cache {
             Some(cache) => (
                 plan.sddmm.as_ref().map(|k| cache.stats(self, k).as_ref().clone()),
@@ -217,7 +240,7 @@ impl<'a> PreparedEval<'a> {
                 plan.post.as_ref().map(|k| self.simulate(k)),
             ),
         };
-        DseEval::Report(Box::new(self.compose(dataflow, &plan, sddmm, agg, cmb, post)))
+        self.compose(dataflow, plan, sddmm, agg, cmb, post)
     }
 
     /// Plans the two phase simulations of `dataflow` — the per-phase engine
@@ -227,6 +250,15 @@ impl<'a> PreparedEval<'a> {
         let workload = self.workload;
         let cfg = self.cfg;
         let sp_optimized = dataflow.is_sp_optimized();
+        // Capacity enforcement is opt-in (`ModelKnobs::enforce_capacity`): the
+        // engines always *report* their working-set peaks, but only a finite
+        // budget makes overflowing tiles pay the spill recipe. `UNBOUNDED`
+        // keeps every plan bit-identical to the unconstrained paper model.
+        let capacity = if cfg.knobs.enforce_capacity {
+            CapacityBudget { rf_bytes_per_pe: cfg.rf_bytes_per_pe, gb_bytes: cfg.gb_bytes }
+        } else {
+            CapacityBudget::UNBOUNDED
+        };
 
         // Attention (GAT) workloads prepend an SDDMM scoring phase: scores are
         // computed on the input features (AC only) with the layer's
@@ -239,6 +271,7 @@ impl<'a> PreparedEval<'a> {
                 }
                 validate_sddmm(&dataflow.agg)?;
                 let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+                opts.capacity = capacity;
                 if sp_optimized {
                     // SP-Optimized attention: both phases share the tiling, so
                     // the scores never leave the PE register files — the
@@ -319,7 +352,9 @@ impl<'a> PreparedEval<'a> {
             }
         };
 
-        let mut agg_opts = agg_opts;
+        let (mut agg_opts, mut cmb_opts) = (agg_opts, cmb_opts);
+        agg_opts.capacity = capacity;
+        cmb_opts.capacity = capacity;
         if sddmm.is_some() && sp_optimized {
             // The SDDMM producer kept the scores local (see above): the
             // aggregation reads them from the RFs, fetching only the CSR
@@ -339,11 +374,13 @@ impl<'a> PreparedEval<'a> {
                     PhaseOrder::CA => dataflow.agg,
                 };
                 validate_elementwise(&tiling)?;
+                let mut opts = EngineOptions::plain(cfg.full_bandwidth());
+                opts.capacity = capacity;
                 Some(PhaseKey::Elementwise {
                     wl: ElementwiseWorkload { rows: workload.v, width: workload.g, op },
                     tiling,
                     classes: OperandClasses::elementwise_on(OperandClass::Output),
-                    opts: EngineOptions::plain(cfg.full_bandwidth()),
+                    opts,
                 })
             }
         };
@@ -472,6 +509,24 @@ impl<'a> PreparedEval<'a> {
         let energy =
             EnergyBreakdown::from_counters_with(&counters, &self.energy_model, intermediate_cost);
 
+        // On-chip working-set peak, composed the way the runtime is: the two
+        // matrix phases share the machine sequentially under Seq/SP (max of
+        // their peaks) but coexist under PP (sum); the SDDMM prefix and the
+        // elementwise suffix run alone on the full array (max). The Table III
+        // intermediate buffering coexists with whichever phase is running, so
+        // its bytes add on top.
+        let phase_peak = |s: &PhaseStats| -> u64 {
+            s.gb_peak_bytes.saturating_add(s.rf_peak_bytes.saturating_mul(s.pe_footprint as u64))
+        };
+        let matrix_pair = match dataflow.inter {
+            InterPhase::ParallelPipeline => phase_peak(&agg).saturating_add(phase_peak(&cmb)),
+            _ => phase_peak(&agg).max(phase_peak(&cmb)),
+        };
+        let buffer_peak_bytes = matrix_pair
+            .max(sddmm.as_ref().map_or(0, &phase_peak))
+            .max(post.as_ref().map_or(0, &phase_peak))
+            .saturating_add(buffering.saturating_mul(cfg.word_bytes as u64));
+
         CostReport {
             dataflow: *dataflow,
             total_cycles,
@@ -481,6 +536,7 @@ impl<'a> PreparedEval<'a> {
             post,
             counters,
             intermediate_buffer_elems: buffering,
+            buffer_peak_bytes,
             pel: plan.pel,
             granularity: plan.granularity,
             sp_optimized: plan.sp_optimized,
@@ -515,59 +571,153 @@ impl<'a> PreparedEval<'a> {
     }
 
     fn phase_bound(&self, key: &PhaseKey) -> u64 {
-        fn floor3(macs: u64, footprint: u64, reads: u64, writes: u64, bw: BandwidthShare) -> u64 {
-            macs.div_ceil(footprint.max(1))
-                .max(reads.div_ceil(bw.dist.max(1) as u64))
-                .max(writes.div_ceil(bw.red.max(1) as u64))
-        }
+        let Some(fl) = self.phase_floor(key) else { return 0 };
+        fl.macs
+            .div_ceil(fl.footprint.max(1))
+            .max((fl.a_reads + fl.b_reads).div_ceil(fl.bandwidth.dist.max(1) as u64))
+            .max(fl.writes.div_ceil(fl.bandwidth.red.max(1) as u64))
+    }
+
+    /// The compulsory work and traffic of one planned phase, split by operand
+    /// class so [`Self::bound_vector`]'s energy axis can gate out the
+    /// (possibly discounted) `Intermediate` class while the cycle bound keeps
+    /// summing the raw read streams. `None` when the engine would early-return
+    /// a zero report.
+    fn phase_floor(&self, key: &PhaseKey) -> Option<PhaseFloor> {
         match key {
-            PhaseKey::Spmm { width, tiling, opts, .. } => {
+            PhaseKey::Spmm { width, tiling, classes, opts } => {
                 let v = self.workload.v as u64;
                 let w = *width as u64;
                 if v == 0 || w == 0 || self.workload.nnz == 0 {
-                    return 0; // the engine early-returns a zero report
+                    return None;
                 }
                 let macs = self.workload.nnz * w;
-                let reads = if opts.input_resident { 0 } else { macs };
-                let writes = if opts.output_stays_local { 0 } else { v * w };
-                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+                Some(PhaseFloor {
+                    macs,
+                    footprint: tiling.pe_footprint() as u64,
+                    // One gathered dense element per MAC (the engine charges
+                    // `edge_visits × width` per pass, which covers each
+                    // (edge, column) at least once).
+                    a_reads: if opts.input_resident { 0 } else { macs },
+                    b_reads: 0,
+                    writes: if opts.output_stays_local { 0 } else { v * w },
+                    classes: *classes,
+                    bandwidth: opts.bandwidth,
+                })
             }
-            PhaseKey::Gemm { dims, tiling, opts, .. } => {
+            PhaseKey::Gemm { dims, tiling, classes, opts } => {
                 let (v, f, g) = (dims.v as u64, dims.f as u64, dims.g as u64);
                 if v == 0 || f == 0 || g == 0 {
-                    return 0; // the engine early-returns a zero report
+                    return None;
                 }
-                let macs = v * f * g;
-                let reads = f * g + if opts.input_resident { 0 } else { v * f };
-                let writes = if opts.output_stays_local { 0 } else { v * g };
-                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+                Some(PhaseFloor {
+                    macs: v * f * g,
+                    footprint: tiling.pe_footprint() as u64,
+                    a_reads: if opts.input_resident { 0 } else { v * f },
+                    // Every weight is fetched at least once.
+                    b_reads: f * g,
+                    writes: if opts.output_stays_local { 0 } else { v * g },
+                    classes: *classes,
+                    bandwidth: opts.bandwidth,
+                })
             }
-            PhaseKey::Sddmm { dot_width, heads, tiling, opts, .. } => {
+            PhaseKey::Sddmm { dot_width, heads, tiling, classes, opts } => {
                 let (d, h) = (*dot_width as u64, (*heads).max(1) as u64);
                 if self.workload.v == 0 || d == 0 || self.workload.nnz == 0 {
-                    return 0; // the engine early-returns a zero report
+                    return None;
                 }
                 // Compulsory: one gathered K element per MAC; one score write
                 // per (edge, head).
                 let macs = h * self.workload.nnz * d;
-                let reads = if opts.input_resident { 0 } else { macs };
-                let writes = if opts.output_stays_local { 0 } else { h * self.workload.nnz };
-                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+                Some(PhaseFloor {
+                    macs,
+                    footprint: tiling.pe_footprint() as u64,
+                    a_reads: if opts.input_resident { 0 } else { macs },
+                    b_reads: 0,
+                    writes: if opts.output_stays_local { 0 } else { h * self.workload.nnz },
+                    classes: *classes,
+                    bandwidth: opts.bandwidth,
+                })
             }
-            PhaseKey::Elementwise { wl, tiling, opts, .. } => {
+            PhaseKey::Elementwise { wl, tiling, classes, opts } => {
                 let elems = wl.elems();
                 if elems == 0 {
-                    return 0; // the engine early-returns a zero report
+                    return None;
                 }
                 // Compulsory: one ALU op and one streamed read per element per
                 // sweep, one write-back per element.
                 let macs = elems * wl.op.sweeps();
-                let reads = if opts.input_resident { 0 } else { macs };
-                let writes = if opts.output_stays_local { 0 } else { elems };
-                floor3(macs, tiling.pe_footprint() as u64, reads, writes, opts.bandwidth)
+                Some(PhaseFloor {
+                    macs,
+                    footprint: tiling.pe_footprint() as u64,
+                    a_reads: if opts.input_resident { 0 } else { macs },
+                    b_reads: 0,
+                    writes: if opts.output_stays_local { 0 } else { elems },
+                    classes: *classes,
+                    bandwidth: opts.bandwidth,
+                })
             }
         }
     }
+
+    /// The per-objective admissible bound vector of a planned dataflow:
+    /// `[total cycles, energy pJ, buffer-peak bytes]`, each component never
+    /// over-estimating the corresponding [`CostReport`] axis.
+    ///
+    /// * Cycles — [`Self::lower_bound`], unchanged from single-objective
+    ///   pruning.
+    /// * Energy — the compulsory GB traffic of *non-Intermediate* operand
+    ///   classes at the flat GB rate. [`EnergyBreakdown`] charges every
+    ///   non-Intermediate access at exactly `gb_access_pj` (only the
+    ///   Intermediate class is ever discounted to a partition rate), and the
+    ///   bound omits RF, DRAM-overflow, adjacency-structure, softmax, and
+    ///   spill energy entirely, so the truth is only ever higher.
+    /// * Footprint — the Table III intermediate buffering alone, known from
+    ///   the plan without simulation; `compose` adds every phase's strictly
+    ///   positive staging peak on top of it.
+    fn bound_vector(&self, plan: &EvalPlan, dataflow: &GnnDataflow) -> [f64; 3] {
+        let cycles = self.lower_bound(plan, dataflow.inter) as f64;
+        let phases = [Some(&plan.agg), Some(&plan.cmb), plan.sddmm.as_ref(), plan.post.as_ref()];
+        let mut gb_accesses: u64 = 0;
+        for fl in phases.into_iter().flatten().filter_map(|k| self.phase_floor(k)) {
+            if fl.classes.a_input != OperandClass::Intermediate {
+                gb_accesses += fl.a_reads;
+            }
+            if fl.classes.b_input != OperandClass::Intermediate {
+                gb_accesses += fl.b_reads;
+            }
+            if fl.classes.output != OperandClass::Intermediate {
+                gb_accesses += fl.writes;
+            }
+        }
+        let energy = gb_accesses as f64 * self.energy_model.gb_access_pj;
+        let buffering = match dataflow.inter {
+            InterPhase::Sequential => self.workload.intermediate_elems(dataflow.phase_order),
+            InterPhase::SequentialPipeline => {
+                if plan.sp_optimized {
+                    0
+                } else {
+                    plan.pel.unwrap_or(0)
+                }
+            }
+            InterPhase::ParallelPipeline => 2 * plan.pel.unwrap_or(0),
+        };
+        let footprint = buffering.saturating_mul(self.cfg.word_bytes as u64) as f64;
+        [cycles, energy, footprint]
+    }
+}
+
+/// One phase's compulsory floor (see [`PreparedEval::phase_floor`]): MACs, PE
+/// footprint, class-attributed streaming reads (`a`/`b` operands) and
+/// single-write outputs, at the phase's bandwidth share.
+struct PhaseFloor {
+    macs: u64,
+    footprint: u64,
+    a_reads: u64,
+    b_reads: u64,
+    writes: u64,
+    classes: OperandClasses,
+    bandwidth: BandwidthShare,
 }
 
 /// A shared, thread-safe memo of phase simulations for one
@@ -789,6 +939,65 @@ mod tests {
         let pp_rate = pp.energy.intermediate_pj
             / pp.counters.gb_of(omega_accel::OperandClass::Intermediate).max(1) as f64;
         assert!(pp_rate < seq_rate, "pp {pp_rate} vs seq {seq_rate}");
+    }
+
+    #[test]
+    fn buffer_peak_composes_like_the_runtime() {
+        let wl = small_workload();
+        let cfg = AccelConfig::paper_default();
+        let phase_peak = |s: &PhaseStats| -> u64 {
+            s.gb_peak_bytes.saturating_add(s.rf_peak_bytes.saturating_mul(s.pe_footprint as u64))
+        };
+        // Sequential: max of the phase peaks plus Table III buffering.
+        let seq = eval_preset("Seq1", &wl, &cfg);
+        assert!(seq.buffer_peak_bytes > 0);
+        assert_eq!(
+            seq.buffer_peak_bytes,
+            phase_peak(&seq.agg).max(phase_peak(&seq.cmb))
+                + seq.intermediate_buffer_elems * cfg.word_bytes as u64
+        );
+        // ParallelPipeline: concurrent phases add, plus the 2×Pel ping-pong.
+        let pp = eval_preset("PP3", &wl, &cfg);
+        assert_eq!(
+            pp.buffer_peak_bytes,
+            phase_peak(&pp.agg)
+                + phase_peak(&pp.cmb)
+                + pp.intermediate_buffer_elems * cfg.word_bytes as u64
+        );
+    }
+
+    #[test]
+    fn enforce_capacity_is_identity_when_unbounded_and_costed_when_finite() {
+        let wl = small_workload();
+        let cfg = AccelConfig::paper_default(); // enforce_capacity defaults off
+        let baseline = eval_preset("Seq1", &wl, &cfg);
+        // Turning enforcement on with the (ample) default budgets must not
+        // change anything unless a working set actually overflows.
+        let mut enforced = cfg;
+        enforced.knobs.enforce_capacity = true;
+        enforced.rf_bytes_per_pe = usize::MAX;
+        enforced.gb_bytes = usize::MAX;
+        let wide = {
+            let preset = Preset::by_name("Seq1").unwrap();
+            let ctx = wl.tile_context(preset.pattern.phase_order);
+            let df = preset.concretize(&ctx, enforced.num_pes, enforced.num_pes);
+            evaluate(&wl, &df, &enforced).unwrap()
+        };
+        assert_eq!(wide.total_cycles, baseline.total_cycles);
+        assert_eq!(wide.counters.total_gb_reads() + wide.counters.total_gb_writes(), baseline.counters.total_gb_reads() + baseline.counters.total_gb_writes());
+        // A starved global buffer forces spill traffic and extra cycles.
+        let mut tight = enforced;
+        tight.gb_bytes = 1 << 10;
+        let starved = {
+            let preset = Preset::by_name("Seq1").unwrap();
+            let ctx = wl.tile_context(preset.pattern.phase_order);
+            let df = preset.concretize(&ctx, tight.num_pes, tight.num_pes);
+            evaluate(&wl, &df, &tight).unwrap()
+        };
+        assert!(starved.total_cycles > baseline.total_cycles);
+        assert!(starved.counters.total_gb_reads() + starved.counters.total_gb_writes() > baseline.counters.total_gb_reads() + baseline.counters.total_gb_writes());
+        // The reported demand itself is capacity-independent.
+        assert_eq!(starved.buffer_peak_bytes, baseline.buffer_peak_bytes);
     }
 
     #[test]

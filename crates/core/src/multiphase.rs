@@ -344,6 +344,12 @@ pub struct ChainReport {
     pub counters: AccessCounters,
     /// Buffer energy (all non-RF traffic charged at GB rate).
     pub energy: EnergyBreakdown,
+    /// Peak on-chip working set in bytes across the chain's execution steps:
+    /// concurrent stages (parallel groups, pipelined pairs plus their
+    /// ping-pong buffer) add their per-stage peaks, sequential steps take the
+    /// maximum — the chain-level analogue of
+    /// [`crate::CostReport::buffer_peak_bytes`].
+    pub buffer_peak_bytes: u64,
 }
 
 /// Structural failure of a chain evaluation.
@@ -512,11 +518,20 @@ pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> Result<ChainReport, C
         }
     }
 
-    // Compose timing.
+    // Compose timing, and the working-set peak over the same execution steps:
+    // everything running concurrently within a step (a parallel group's
+    // members, a pipelined pair plus its ping-pong buffer) adds, sequential
+    // steps take the max.
+    let phase_peak = |s: &PhaseStats| -> u64 {
+        s.gb_peak_bytes.saturating_add(s.rf_peak_bytes.saturating_mul(s.pe_footprint as u64))
+    };
+    let node_peak = |group: &[(String, PhaseStats)]| -> u64 {
+        group.iter().map(|(_, s)| phase_peak(s)).fold(0u64, u64::saturating_add)
+    };
+    let mut buffer_peak_bytes: u64 = 0;
     let mut i = 0;
     while i < chain.nodes.len() {
-        let pipelined_next = matches!(chain.links.get(i), Some(Link::Pipelined { .. }));
-        if pipelined_next {
+        if let Some(Link::Pipelined { pel, .. }) = chain.links.get(i) {
             let producer = &node_stats[i][0].1;
             let consumer = &node_stats[i + 1][0].1;
             let p = producer.chunk_durations();
@@ -525,10 +540,15 @@ pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> Result<ChainReport, C
             let c = if c.len() == k { c } else { resample_durations(&c, k) };
             let p = if p.is_empty() { vec![0] } else { p };
             total += pipeline_runtime(&p, &c);
+            let step = node_peak(&node_stats[i])
+                .saturating_add(node_peak(&node_stats[i + 1]))
+                .saturating_add(2 * pel * cfg.word_bytes as u64);
+            buffer_peak_bytes = buffer_peak_bytes.max(step);
             i += 2;
         } else {
             let node_cycles = node_stats[i].iter().map(|(_, s)| s.cycles).max().unwrap_or(0);
             total += node_cycles;
+            buffer_peak_bytes = buffer_peak_bytes.max(node_peak(&node_stats[i]));
             i += 1;
         }
     }
@@ -543,7 +563,7 @@ pub fn evaluate_chain(chain: &Chain, cfg: &AccelConfig) -> Result<ChainReport, C
         stages.extend(group);
     }
     let energy = EnergyBreakdown::from_counters(&counters, &EnergyModel::paper_default(), None);
-    Ok(ChainReport { stages, total_cycles: total, counters, energy })
+    Ok(ChainReport { stages, total_cycles: total, counters, energy, buffer_peak_bytes })
 }
 
 #[cfg(test)]
@@ -647,6 +667,47 @@ mod tests {
         for ((_, a), (_, b)) in r_split.stages.iter().zip(&r_ideal.stages) {
             assert!(a.cycles >= b.cycles);
         }
+    }
+
+    #[test]
+    fn chain_buffer_peak_maxes_sequential_and_adds_concurrent() {
+        let cfg = AccelConfig::paper_default();
+        let big = gemm_stage("big", 64, 64, 16);
+        let small = gemm_stage("small", 8, 8, 4);
+        let peak_of = |stage: Stage| {
+            let chain = Chain { nodes: vec![ChainNode::Single(stage)], links: vec![] };
+            evaluate_chain(&chain, &cfg).unwrap().buffer_peak_bytes
+        };
+        let (pb, ps) = (peak_of(big.clone()), peak_of(small.clone()));
+        assert!(pb > 0 && ps > 0);
+        // Sequential steps take the max of the per-stage peaks…
+        let seq = Chain {
+            nodes: vec![ChainNode::Single(big.clone()), ChainNode::Single(small.clone())],
+            links: vec![Link::Sequential],
+        };
+        assert_eq!(evaluate_chain(&seq, &cfg).unwrap().buffer_peak_bytes, pb.max(ps));
+        // …a parallel group's members add…
+        let par = Chain {
+            nodes: vec![ChainNode::Parallel(vec![big.clone(), small.clone()])],
+            links: vec![],
+        };
+        assert_eq!(evaluate_chain(&par, &cfg).unwrap().buffer_peak_bytes, pb + ps);
+        // …and a pipelined pair adds both sides plus the 2×Pel ping-pong.
+        let pel = 8 * 16;
+        let pip = Chain {
+            nodes: vec![ChainNode::Single(big), ChainNode::Single(small)],
+            links: vec![Link::pipelined(pel)],
+        };
+        let r = evaluate_chain(&pip, &cfg).unwrap();
+        // Chunked runs re-simulate the stages, so compare against the report's
+        // own per-stage peaks rather than the unchunked singles.
+        let stage_peak = |s: &omega_accel::PhaseStats| {
+            s.gb_peak_bytes + s.rf_peak_bytes * s.pe_footprint as u64
+        };
+        let expected = stage_peak(&r.stages[0].1)
+            + stage_peak(&r.stages[1].1)
+            + 2 * pel * cfg.word_bytes as u64;
+        assert_eq!(r.buffer_peak_bytes, expected);
     }
 
     #[test]
