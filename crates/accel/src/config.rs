@@ -1,6 +1,6 @@
 //! Hardware configuration of the simulated spatial accelerator.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Parameters of the templated flexible spatial accelerator (Fig. 1).
 ///
@@ -9,7 +9,7 @@ use serde::Serialize;
 /// to ensure that the data is received from (or sent to) all the PEs without any
 /// stalls" — i.e. one element per PE per cycle. The bandwidth case study
 /// (Fig. 16) lowers [`AccelConfig::dist_bandwidth`] / [`AccelConfig::red_bandwidth`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize, Serialize)]
 pub struct AccelConfig {
     /// Number of processing elements.
     pub num_pes: usize,
@@ -46,7 +46,7 @@ pub struct AccelConfig {
 /// Defaults are the calibrated model; flipping a knob quantifies how much that
 /// decision contributes to the reproduced shapes (see the `ablation` artifact
 /// of the `repro` binary).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize, Serialize)]
 pub struct ModelKnobs {
     /// Live partial sums are shared across the `T_red` PEs of a spatial
     /// reduction group (on = paper behaviour: SP1/SP2 fit, SPhighV spills).

@@ -30,14 +30,14 @@
 
 use omega_dataflow::{Dim, IntraTiling, Phase};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use super::core::{actual_tile, loop_classes, run_phase, Footprint, PhaseEngine, PhaseWalk};
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, PhaseStats};
 
 /// The elementwise operation a phase applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum ElementwiseOp {
     /// Pointwise activation (ReLU/ELU/…): one read-modify-write sweep.
     Activation,

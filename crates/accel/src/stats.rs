@@ -1,6 +1,6 @@
 //! Per-phase simulation statistics.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Operand classes tracked separately in the global-buffer counters — the
 /// breakdown of Fig. 13 (Adj / Inp / Int / Wt / Op / Psum) extended with the
@@ -75,7 +75,7 @@ impl std::fmt::Display for OperandClass {
 }
 
 /// Buffer access counters for one simulated phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Deserialize, Serialize)]
 pub struct AccessCounters {
     /// Global-buffer reads per operand class.
     pub gb_reads: [u64; NUM_OPERAND_CLASSES],
@@ -127,7 +127,7 @@ impl AccessCounters {
 }
 
 /// Result of simulating one phase under one intra-phase dataflow.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Deserialize, Serialize)]
 pub struct PhaseStats {
     /// Total cycles, including stalls.
     pub cycles: u64,

@@ -54,6 +54,8 @@ struct Args {
     max_buffer_bytes: Option<u64>,
     seed: u64,
     json: Option<String>,
+    serve: Option<String>,
+    cache_file: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         max_buffer_bytes: None,
         seed: 0x0E5A_2022,
         json: None,
+        serve: None,
+        cache_file: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -141,6 +145,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--json" => out.json = Some(value(&mut i)?),
+            "--serve" => out.serve = Some(value(&mut i)?),
+            "--cache-file" => out.cache_file = Some(value(&mut i)?),
             "--help" | "-h" => return Err("usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -182,7 +188,52 @@ fn parse_args() -> Result<Args, String> {
     if out.rf_bytes == Some(0) || out.gb_bytes == Some(0) {
         return Err("--rf-bytes/--gb-bytes must be >= 1".into());
     }
+    if out.cache_file.is_some() && out.serve.is_none() {
+        return Err("--cache-file requires --serve".into());
+    }
     Ok(out)
+}
+
+/// `--serve ADDR`: forward into the `mapperd` daemon loop instead of running
+/// one exploration — the same worker pool, shared decision cache, and
+/// NDJSON protocol, sized by `--threads`/`--top`/`--cache-file`.
+fn serve(addr: &str, args: &Args) -> ExitCode {
+    omega_serve::signal::install();
+    let opts = omega_serve::ServeOptions {
+        addr: addr.to_string(),
+        threads: args.threads,
+        search_threads: args.threads,
+        top_k: args.top,
+        cache_file: args.cache_file.as_ref().map(std::path::PathBuf::from),
+        ..Default::default()
+    };
+    let server = match omega_serve::MapperServer::bind(opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("explore --serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("explore: serving mapper decisions on {addr}"),
+        Err(e) => {
+            eprintln!("explore --serve: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "explore: served {} requests — {} searches, {} hits, {} coalesced",
+                stats.requests, stats.searches, stats.hits, stats.coalesced
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("explore --serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The named multi-layer models the CLI can explore.
@@ -209,11 +260,16 @@ fn main() -> ExitCode {
                  [--per-layer-k K] [--refine] [--no-prune] [--no-phase-cache] \
                  [--stats] [--hidden G] [--activation act|norm] [--pes N] \
                  [--bandwidth ELEMS] [--pareto] [--rf-bytes N] [--gb-bytes N] \
-                 [--max-buffer-bytes N] [--seed S] [--json PATH|-]"
+                 [--max-buffer-bytes N] [--seed S] [--json PATH|-] \
+                 [--serve HOST:PORT [--cache-file PATH]]"
             );
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(addr) = args.serve.clone() {
+        return serve(&addr, &args);
+    }
 
     let Some(spec) = DatasetSpec::by_name(&args.dataset) else {
         eprintln!(

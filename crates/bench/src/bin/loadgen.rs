@@ -1,0 +1,403 @@
+//! `loadgen` — synthetic decision traffic against a running `mapperd`.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7453 --requests 200 --concurrency 4
+//! loadgen --addr 127.0.0.1:7453 --dataset Citeseer --repeat-pct 80 --json -
+//! loadgen --addr 127.0.0.1:7453 --mode fast --no-warmup --shutdown
+//! ```
+//!
+//! Drives a deterministic mix of repeated ("hot", defaulting to 80%) and
+//! fresh workloads over `--concurrency` persistent connections (closed loop:
+//! each connection sends its next request as soon as the previous answer
+//! lands) and reports client-measured p50/p99 decision latency, sustained
+//! QPS, and the cache-disposition mix. Hot workloads are `--hot-set` hidden
+//! widths of `--dataset`; fresh ones perturb the graph seed so every one is a
+//! new fingerprint. `--warmup` (default) first sends each hot workload once,
+//! so the timed run measures the warm-cache serving path. Run `mapperd` with
+//! at least `--threads == --concurrency` workers: connections are sticky to a
+//! worker for their lifetime.
+//!
+//! `--json PATH` (or `-` for stdout) writes a machine-readable summary
+//! including the server's own counters; `--shutdown` asks the daemon to drain
+//! and flush its cache when done.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use omega_core::GnnWorkload;
+use omega_graph::DatasetSpec;
+use omega_serve::{MapRequest, MapResponse};
+use serde::Serialize;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    dataset: String,
+    hot_set: usize,
+    repeat_pct: u64,
+    mode: String,
+    objective: Option<String>,
+    top_k: usize,
+    warmup: bool,
+    seed: u64,
+    json: Option<String>,
+    shutdown: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] \
+                     [--dataset NAME] [--hot-set N] [--repeat-pct P] [--mode exact|fast] \
+                     [--objective runtime|energy|edp] [--top K] [--no-warmup] [--seed S] \
+                     [--json PATH|-] [--shutdown] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        addr: "127.0.0.1:7453".into(),
+        requests: 200,
+        concurrency: 4,
+        dataset: "Citeseer".into(),
+        hot_set: 4,
+        repeat_pct: 80,
+        mode: "exact".into(),
+        objective: None,
+        top_k: 3,
+        warmup: true,
+        seed: 0x0E5A_2022,
+        json: None,
+        shutdown: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let parsed = |name: &str, v: String| v.parse::<usize>().map_err(|e| format!("{name}: {e}"));
+        match arg.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--requests" => out.requests = parsed("--requests", value("--requests")?)?,
+            "--concurrency" => out.concurrency = parsed("--concurrency", value("--concurrency")?)?,
+            "--dataset" => out.dataset = value("--dataset")?,
+            "--hot-set" => out.hot_set = parsed("--hot-set", value("--hot-set")?)?,
+            "--repeat-pct" => out.repeat_pct = parsed("--repeat-pct", value("--repeat-pct")?)? as u64,
+            "--mode" => out.mode = value("--mode")?,
+            "--objective" => out.objective = Some(value("--objective")?),
+            "--top" => out.top_k = parsed("--top", value("--top")?)?,
+            "--no-warmup" => out.warmup = false,
+            "--warmup" => out.warmup = true,
+            "--seed" => {
+                out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => out.json = Some(value("--json")?),
+            "--shutdown" => out.shutdown = true,
+            "--quiet" => out.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if out.requests == 0 || out.concurrency == 0 || out.hot_set == 0 {
+        return Err("--requests, --concurrency, and --hot-set must be positive".into());
+    }
+    if out.repeat_pct > 100 {
+        return Err("--repeat-pct must be 0..=100".into());
+    }
+    Ok(out)
+}
+
+/// SplitMix64: deterministic per-index stream selector.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn request_line(args: &Args, workload: &GnnWorkload) -> String {
+    let mut request = MapRequest::for_workload(workload);
+    request.mode = Some(args.mode.clone());
+    request.objective = args.objective.clone();
+    request.top_k = Some(args.top_k);
+    serde_json::to_string(&request).expect("request JSON")
+}
+
+/// Connects with retries so loadgen can start before the daemon finishes
+/// binding (CI starts both back-to-back).
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let mut last = String::new();
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!("cannot connect to {addr}: {last}"))
+}
+
+fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Result<MapResponse, String> {
+    stream.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    stream.write_all(b"\n").map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+    if response.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    serde_json::from_str(&response).map_err(|e| format!("bad response: {e}"))
+}
+
+#[derive(Debug, Default)]
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    hit: u64,
+    coalesced: u64,
+    search: u64,
+    warm: u64,
+    errors: u64,
+}
+
+impl ClientTally {
+    fn record(&mut self, latency_us: u64, response: &MapResponse) {
+        self.latencies_us.push(latency_us);
+        if !response.ok {
+            self.errors += 1;
+            return;
+        }
+        match response.cache.as_deref() {
+            Some("hit") => self.hit += 1,
+            Some("coalesced") => self.coalesced += 1,
+            Some("search") => self.search += 1,
+            Some("warm") => self.warm += 1,
+            _ => {}
+        }
+    }
+}
+
+/// The machine-readable summary (`--json`).
+#[derive(Debug, Serialize)]
+struct Summary {
+    addr: String,
+    dataset: String,
+    mode: String,
+    requests: usize,
+    concurrency: usize,
+    elapsed_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    hit: u64,
+    coalesced: u64,
+    search: u64,
+    warm: u64,
+    errors: u64,
+    server: Option<omega_serve::ServerStats>,
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec) = DatasetSpec::by_name(&args.dataset) else {
+        eprintln!(
+            "loadgen: unknown dataset '{}'; known: {}",
+            args.dataset,
+            DatasetSpec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+
+    // Hot set: one dataset instance served at `hot_set` hidden widths — the
+    // repeated traffic a warm cache should answer without searching. Fresh
+    // requests perturb the graph seed, so each is a new fingerprint (a new
+    // graph arriving at the service, Dynasparse-style).
+    let dataset = spec.generate(args.seed);
+    let hot: Vec<String> = (0..args.hot_set)
+        .map(|i| request_line(&args, &GnnWorkload::gcn_layer(&dataset, 16 + 8 * i)))
+        .collect();
+    let mut fresh_used = 0u64;
+    let schedule: Vec<String> = (0..args.requests)
+        .map(|i| {
+            if mix(args.seed ^ i as u64) % 100 < args.repeat_pct {
+                hot[(mix(i as u64) % args.hot_set as u64) as usize].clone()
+            } else {
+                fresh_used += 1;
+                let variant = spec.generate(args.seed.wrapping_add(1000 + fresh_used));
+                request_line(&args, &GnnWorkload::gcn_layer(&variant, 16))
+            }
+        })
+        .collect();
+
+    if !args.quiet {
+        eprintln!(
+            "loadgen: {} requests ({} fresh) over {} connections to {} [{} {}]",
+            args.requests,
+            fresh_used,
+            args.concurrency,
+            args.addr,
+            args.dataset,
+            args.mode
+        );
+    }
+
+    // Warmup: prime the cache with each hot workload once, off the clock.
+    if args.warmup {
+        let mut stream = match connect(&args.addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for line in &hot {
+            if let Err(e) = exchange(&mut stream, &mut reader, line) {
+                eprintln!("loadgen: warmup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|s| {
+        let schedule = &schedule;
+        let addr = &args.addr;
+        let clients: Vec<_> = (0..args.concurrency)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut stream = match connect(addr) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("loadgen: {e}");
+                            tally.errors += 1;
+                            return tally;
+                        }
+                    };
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for line in schedule.iter().skip(t).step_by(args.concurrency) {
+                        let sent = Instant::now();
+                        match exchange(&mut stream, &mut reader, line) {
+                            Ok(response) => {
+                                tally.record(sent.elapsed().as_micros() as u64, &response)
+                            }
+                            Err(e) => {
+                                eprintln!("loadgen: {e}");
+                                tally.errors += 1;
+                                return tally;
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(args.requests);
+    let (mut hit, mut coalesced, mut search, mut warm, mut errors) = (0, 0, 0, 0, 0);
+    for t in &tallies {
+        latencies.extend_from_slice(&t.latencies_us);
+        hit += t.hit;
+        coalesced += t.coalesced;
+        search += t.search;
+        warm += t.warm;
+        errors += t.errors;
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let elapsed_s = elapsed.as_secs_f64();
+    let qps = if elapsed_s > 0.0 { completed as f64 / elapsed_s } else { 0.0 };
+    let p50_ms = percentile_us(&latencies, 0.50) as f64 / 1000.0;
+    let p99_ms = percentile_us(&latencies, 0.99) as f64 / 1000.0;
+    let mean_ms = if completed > 0 {
+        latencies.iter().sum::<u64>() as f64 / completed as f64 / 1000.0
+    } else {
+        0.0
+    };
+
+    // Server-side counters (and optionally a drain-and-flush shutdown).
+    let server = connect(&args.addr).ok().and_then(|mut stream| {
+        let mut reader = BufReader::new(stream.try_clone().ok()?);
+        let stats = exchange(&mut stream, &mut reader, "{\"cmd\":\"stats\"}").ok()?.stats;
+        if args.shutdown {
+            let _ = exchange(&mut stream, &mut reader, "{\"cmd\":\"shutdown\"}");
+        }
+        stats
+    });
+
+    println!(
+        "loadgen: {completed}/{} requests in {elapsed_s:.3} s — {qps:.0} QPS, \
+         p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms, mean {mean_ms:.3} ms",
+        args.requests
+    );
+    println!(
+        "loadgen: dispositions hit {hit}, coalesced {coalesced}, search {search}, \
+         warm {warm}, errors {errors}"
+    );
+    if let Some(stats) = &server {
+        println!(
+            "loadgen: server counters — {} requests, {} searches, {} hits, {} coalesced, \
+             {} warm starts, {} evictions, {} entries",
+            stats.requests,
+            stats.searches,
+            stats.hits,
+            stats.coalesced,
+            stats.warm_starts,
+            stats.evictions,
+            stats.cache_entries
+        );
+    }
+
+    let summary = Summary {
+        addr: args.addr.clone(),
+        dataset: args.dataset.clone(),
+        mode: args.mode.clone(),
+        requests: completed,
+        concurrency: args.concurrency,
+        elapsed_s,
+        qps,
+        p50_ms,
+        p99_ms,
+        mean_ms,
+        hit,
+        coalesced,
+        search,
+        warm,
+        errors,
+        server,
+    };
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string(&summary).expect("summary JSON");
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

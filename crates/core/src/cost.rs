@@ -1,6 +1,6 @@
 //! The cost report: what OMEGA tells you about one dataflow on one workload.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use omega_accel::{AccessCounters, EnergyModel, OperandClass, PhaseStats, NUM_OPERAND_CLASSES};
 use omega_dataflow::{GnnDataflow, Granularity};
@@ -21,7 +21,7 @@ pub enum IntermediateCost {
 }
 
 /// On-chip buffer access energy, broken down the way Fig. 12 plots it.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
 pub struct EnergyBreakdown {
     /// Global-buffer access energy (pJ), excluding intermediate-partition traffic.
     pub gb_pj: f64,
@@ -103,7 +103,7 @@ impl EnergyBreakdown {
 }
 
 /// Full evaluation result for one dataflow on one workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Deserialize, Serialize)]
 pub struct CostReport {
     /// The evaluated dataflow.
     pub dataflow: GnnDataflow,

@@ -23,12 +23,14 @@
 //!   the same workload.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use crossbeam::thread;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use omega_accel::AccelConfig;
 use omega_dataflow::enumerate::PatternSpace;
@@ -99,7 +101,7 @@ impl DseOptions {
 }
 
 /// One ranked exploration winner.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Deserialize, Serialize)]
 pub struct RankedDataflow {
     /// The concrete dataflow.
     pub dataflow: GnnDataflow,
@@ -115,7 +117,7 @@ pub struct RankedDataflow {
 /// One point of the (runtime, energy, buffer-footprint) Pareto frontier: no
 /// other evaluated candidate is at least as good on every axis and strictly
 /// better on one.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Deserialize, Serialize)]
 pub struct ParetoPoint {
     /// The concrete dataflow.
     pub dataflow: GnnDataflow,
@@ -132,7 +134,7 @@ pub struct ParetoPoint {
 }
 
 /// The result of one exhaustive exploration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Deserialize, Serialize)]
 pub struct ExploreOutcome {
     /// Winners, best first, deduplicated by concrete dataflow (≤ `top_k`).
     pub ranked: Vec<RankedDataflow>,
@@ -209,6 +211,16 @@ pub fn concretize_pattern(
         agg: choose_tiling(&pattern.agg, &ctx, agg_pes, &balanced_policy(&pattern.agg)),
         cmb: choose_tiling(&pattern.cmb, &ctx, cmb_pes, &balanced_policy(&pattern.cmb)),
     }
+}
+
+/// Locks `m`, adopting the guard even when a previous holder panicked. Every
+/// structure guarded this way (the Pareto frontiers, the phase-sim cache, the
+/// [`DseCache`] state) stays structurally valid across any panic point, so the
+/// poison flag only records that *some* request died — and a long-running
+/// mapper process must keep serving after one request panics, not wedge on
+/// `PoisonError` forever.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Total order on a `(score, tie-break index)` search key: `f64::total_cmp` on
@@ -579,7 +591,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
     // be Pareto-optimal on energy or footprint.
     let front: Mutex<ParetoFront<GnnDataflow, CostReport>> = Mutex::new(ParetoFront::new());
     if pareto {
-        let mut f = front.lock().expect("pareto front poisoned");
+        let mut f = lock_recover(&front);
         for (_, index, df, report) in &seeds {
             f.offer(*index, *df, report.clone(), report_axes(report));
         }
@@ -593,7 +605,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         let eval = if pareto {
             let prune_if = |bounds: [f64; 3]| {
                 opts.prune
-                    && front_ref.lock().expect("pareto front poisoned").strictly_dominates(&bounds)
+                    && lock_recover(front_ref).strictly_dominates(&bounds)
             };
             prep_ref.evaluate_dse_pareto(dataflow, cache_ref, &prune_if)
         } else {
@@ -602,7 +614,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         let verdict = dse_verdict(eval, opts.objective);
         if pareto {
             if let Verdict::Score(_, report) = &verdict {
-                front_ref.lock().expect("pareto front poisoned").offer(
+                lock_recover(front_ref).offer(
                     index,
                     *dataflow,
                     report.clone(),
@@ -620,7 +632,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
     let frontier = if pareto {
         front
             .into_inner()
-            .expect("pareto front poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_sorted()
             .into_iter()
             .map(|(index, dataflow, report, axes)| ParetoPoint {
@@ -746,34 +758,255 @@ fn rank(
     out
 }
 
-/// A workload-keyed cache of exploration outcomes.
+/// Default bound on cached outcomes per [`DseCache`]. Generous — an outcome is
+/// a few hundred kilobytes at most, so the default caps the cache around a few
+/// hundred megabytes — but *bounded*, so a daemon serving endlessly diverse
+/// shapes cannot leak memory without limit.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Version tag of the persisted cache file; bump on any change to the entry
+/// layout so stale files are rejected instead of misread.
+pub const CACHE_FILE_VERSION: u32 = 1;
+
+/// Shape summary of a cached workload, persisted next to each outcome so a
+/// serving process can warm-start an unseen shape from its nearest cached
+/// neighbour ([`DseCache::warm_hint`]).
+#[derive(Debug, Clone, PartialEq, Deserialize, Serialize)]
+pub struct WorkloadProfile {
+    /// Vertices `V`.
+    pub v: u64,
+    /// Input feature width `F`.
+    pub f: u64,
+    /// Output feature width `G`.
+    pub g: u64,
+    /// Adjacency non-zeros.
+    pub nnz: u64,
+    /// Mean vertex degree.
+    pub mean_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: u64,
+    /// Attention heads (0 = no attention phase).
+    pub heads: u64,
+    /// Elementwise post-phase: 0 = none, 1 = activation, 2 = LayerNorm.
+    pub post_op: u8,
+}
+
+impl WorkloadProfile {
+    /// The profile of `workload`.
+    pub fn of(workload: &GnnWorkload) -> Self {
+        WorkloadProfile {
+            v: workload.v as u64,
+            f: workload.f as u64,
+            g: workload.g as u64,
+            nnz: workload.nnz,
+            mean_degree: workload.mean_degree,
+            max_degree: workload.max_degree as u64,
+            heads: workload.attention.map_or(0, |a| a.heads as u64),
+            post_op: post_op_byte(workload.post_op),
+        }
+    }
+
+    /// Shape distance for nearest-neighbour warm starts: log-scale L2 over the
+    /// magnitude axes (a 2× size difference counts the same everywhere), plus
+    /// a large constant penalty per *structural* mismatch (attention or
+    /// post-phase presence), so a GAT shape never warm-starts a GCN shape
+    /// while any structurally compatible neighbour exists.
+    pub fn distance(&self, other: &Self) -> f64 {
+        let axis = |a: f64, b: f64| {
+            let d = ((a + 1.0) / (b + 1.0)).ln();
+            d * d
+        };
+        let mut d2 = axis(self.v as f64, other.v as f64)
+            + axis(self.f as f64, other.f as f64)
+            + axis(self.g as f64, other.g as f64)
+            + axis(self.nnz as f64, other.nnz as f64)
+            + axis(self.mean_degree, other.mean_degree)
+            + axis(self.max_degree as f64, other.max_degree as f64);
+        if (self.heads == 0) != (other.heads == 0) || self.post_op != other.post_op {
+            d2 += 1e6;
+        } else {
+            d2 += axis(self.heads as f64, other.heads as f64);
+        }
+        d2.sqrt()
+    }
+}
+
+/// [`GnnWorkload::post_op`] as the stable byte used by both the fingerprint
+/// and the persisted [`WorkloadProfile`].
+fn post_op_byte(op: Option<omega_accel::engine::ElementwiseOp>) -> u8 {
+    match op {
+        None => 0,
+        Some(omega_accel::engine::ElementwiseOp::Activation) => 1,
+        Some(omega_accel::engine::ElementwiseOp::LayerNorm) => 2,
+    }
+}
+
+/// How a [`DseCache::explore_traced`] request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Answered from an already-cached entry.
+    Hit,
+    /// Blocked on an identical in-flight search and shared its result.
+    Coalesced,
+    /// Ran the underlying search.
+    Searched,
+}
+
+/// A nearest-neighbour warm-start suggestion ([`DseCache::warm_hint`]).
+#[derive(Debug, Clone)]
+pub struct WarmHint {
+    /// The neighbour's full outcome; its ranked dataflows are candidate
+    /// mappings for the new shape (re-evaluate them on the actual workload).
+    pub outcome: Arc<ExploreOutcome>,
+    /// The neighbour's shape.
+    pub profile: WorkloadProfile,
+    /// [`WorkloadProfile::distance`] between the request and the neighbour.
+    pub distance: f64,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    Running,
+    Done(Arc<ExploreOutcome>),
+    /// The leader panicked before publishing; waiters retry (one becomes the
+    /// new leader).
+    Abandoned,
+}
+
+/// Single-flight rendezvous for one in-progress search.
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { state: Mutex::new(FlightState::Running), cv: Condvar::new() }
+    }
+
+    /// Blocks until the leader publishes; `None` when it abandoned.
+    fn wait(&self) -> Option<Arc<ExploreOutcome>> {
+        let mut st = lock_recover(&self.state);
+        loop {
+            match &*st {
+                FlightState::Running => {
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                FlightState::Done(outcome) => return Some(Arc::clone(outcome)),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn finish(&self, state: FlightState) {
+        *lock_recover(&self.state) = state;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    outcome: Arc<ExploreOutcome>,
+    profile: WorkloadProfile,
+    /// Tick of the last lookup that returned this entry (LRU age).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u64, CacheEntry>,
+    inflight: HashMap<u64, Arc<Flight>>,
+    tick: u64,
+}
+
+/// On-disk form of one cache entry.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+struct PersistedEntry {
+    key: u64,
+    profile: WorkloadProfile,
+    outcome: ExploreOutcome,
+}
+
+/// On-disk form of a whole cache; `entries` are ordered least-recently-used
+/// first, so reloading reproduces the eviction order.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+struct PersistedCache {
+    version: u32,
+    entries: Vec<PersistedEntry>,
+}
+
+/// A workload-keyed, bounded, concurrency-safe cache of exploration outcomes.
 ///
 /// Keyed by everything the (deterministic) result depends on: the workload
 /// fingerprint (dimensions and full degree sequence), the accelerator
 /// configuration, and the result-affecting options (`objective`, `top_k`,
 /// `refine_steps`, `seed_presets` — *not* `threads`/`chunk`). Repeated sweeps
 /// over the same workloads hit the cache instead of re-searching.
-#[derive(Debug, Default)]
+///
+/// Built to sit under a long-running mapper daemon:
+///
+/// * **single-flight** — concurrent requests for the same key block on one
+///   search instead of racing duplicates ([`Self::explore_traced`] reports
+///   which path a request took);
+/// * **bounded** — at most [`Self::capacity`] entries, evicting the
+///   least-recently-used ([`Self::evictions`] counts);
+/// * **poison-proof** — a panicking request never wedges later ones (locks are
+///   recovered, an abandoned flight is retried by its waiters);
+/// * **persistent** — [`Self::save`] / [`Self::load`] round-trip the entries
+///   through a versioned JSON file bit-identically, and
+///   [`Self::warm_hint`] finds the nearest cached shape for warm starts.
+#[derive(Debug)]
 pub struct DseCache {
-    inner: Mutex<HashMap<u64, Arc<ExploreOutcome>>>,
+    state: Mutex<CacheState>,
+    capacity: usize,
     searches: AtomicUsize,
+    hits: AtomicUsize,
+    coalesced: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for DseCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl DseCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The process-wide shared cache (used by the bench sweeps).
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DseCache {
+            state: Mutex::new(CacheState::default()),
+            capacity: capacity.max(1),
+            searches: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide shared cache (used by the bench sweeps and the
+    /// serving path). Capacity defaults to [`DEFAULT_CACHE_CAPACITY`];
+    /// the `OMEGA_DSE_CACHE_CAP` environment variable overrides it.
     pub fn global() -> &'static DseCache {
         static GLOBAL: OnceLock<DseCache> = OnceLock::new();
-        GLOBAL.get_or_init(DseCache::new)
+        GLOBAL.get_or_init(|| {
+            let cap = std::env::var("OMEGA_DSE_CACHE_CAP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CACHE_CAPACITY);
+            DseCache::with_capacity(cap)
+        })
     }
 
     /// Cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("dse cache poisoned").len()
+        lock_recover(&self.state).entries.len()
     }
 
     /// `true` when nothing is cached yet.
@@ -781,11 +1014,34 @@ impl DseCache {
         self.len() == 0
     }
 
-    /// Actual searches this cache has performed (cache misses) — the
-    /// observable that distinguishes "served from cache" from "re-searched",
-    /// since a re-search of a known workload would not change [`Self::len`].
+    /// Maximum entries held before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// *Completed* searches this cache has performed — incremented when a
+    /// search finishes, so panicking searches and coalesced duplicates never
+    /// inflate it. This is the observable that distinguishes "served from
+    /// cache" from "re-searched", since a re-search of a known workload would
+    /// not change [`Self::len`].
     pub fn searches(&self) -> usize {
         self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from a cached entry.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that blocked on an identical in-flight search and shared its
+    /// result instead of duplicating it.
+    pub fn coalesced(&self) -> usize {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU bound.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Like [`explore`], but returns the cached outcome when this
@@ -796,20 +1052,225 @@ impl DseCache {
         cfg: &AccelConfig,
         opts: &DseOptions,
     ) -> Arc<ExploreOutcome> {
+        self.explore_traced(workload, cfg, opts).0
+    }
+
+    /// [`Self::explore`] plus how the request was satisfied. Concurrent
+    /// requests for the same key are single-flighted: exactly one runs the
+    /// search, the rest block on it and share its outcome.
+    pub fn explore_traced(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+    ) -> (Arc<ExploreOutcome>, CacheOutcome) {
         let key = fingerprint(workload, cfg, opts);
-        if let Some(hit) = self.inner.lock().expect("dse cache poisoned").get(&key) {
-            return Arc::clone(hit);
+        loop {
+            enum Role {
+                Wait(Arc<Flight>),
+                Lead(Arc<Flight>),
+            }
+            let role = {
+                let mut st = lock_recover(&self.state);
+                st.tick += 1;
+                let tick = st.tick;
+                if let Some(entry) = st.entries.get_mut(&key) {
+                    entry.last_used = tick;
+                    let outcome = Arc::clone(&entry.outcome);
+                    drop(st);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (outcome, CacheOutcome::Hit);
+                }
+                if let Some(flight) = st.inflight.get(&key) {
+                    Role::Wait(Arc::clone(flight))
+                } else {
+                    let flight = Arc::new(Flight::new());
+                    st.inflight.insert(key, Arc::clone(&flight));
+                    Role::Lead(flight)
+                }
+            };
+            match role {
+                Role::Wait(flight) => {
+                    if let Some(outcome) = flight.wait() {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return (outcome, CacheOutcome::Coalesced);
+                    }
+                    // The leader panicked before publishing; retry (this
+                    // waiter may become the new leader).
+                }
+                Role::Lead(flight) => {
+                    let lead = FlightLead { cache: self, key, flight: &flight, done: false };
+                    let outcome = Arc::new(explore(workload, cfg, opts));
+                    lead.complete(Arc::clone(&outcome), WorkloadProfile::of(workload));
+                    return (outcome, CacheOutcome::Searched);
+                }
+            }
         }
-        // Search outside the lock (explorations are long; a racing duplicate
-        // search is deterministic, so last-write-wins is harmless).
-        self.searches.fetch_add(1, Ordering::Relaxed);
-        let outcome = Arc::new(explore(workload, cfg, opts));
-        self.inner
-            .lock()
-            .expect("dse cache poisoned")
-            .entry(key)
-            .or_insert(outcome)
-            .clone()
+    }
+
+    /// A cache probe that does *not* search on miss. `Some` counts as a hit
+    /// and refreshes the entry's LRU position.
+    pub fn lookup(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+    ) -> Option<Arc<ExploreOutcome>> {
+        let key = fingerprint(workload, cfg, opts);
+        let mut st = lock_recover(&self.state);
+        st.tick += 1;
+        let tick = st.tick;
+        let outcome = st.entries.get_mut(&key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.outcome)
+        });
+        drop(st);
+        if outcome.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// The cached outcome whose workload shape is nearest to `workload`
+    /// (smallest [`WorkloadProfile::distance`]; ties broken by key for
+    /// determinism). `None` when nothing is cached. The caller re-evaluates
+    /// the hinted ranked dataflows on the actual workload — a handful of
+    /// cost-model calls instead of a full search.
+    pub fn warm_hint(&self, workload: &GnnWorkload) -> Option<WarmHint> {
+        let profile = WorkloadProfile::of(workload);
+        let st = lock_recover(&self.state);
+        st.entries
+            .iter()
+            .map(|(key, entry)| (entry.profile.distance(&profile), *key, entry))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(distance, _, entry)| WarmHint {
+                outcome: Arc::clone(&entry.outcome),
+                profile: entry.profile.clone(),
+                distance,
+            })
+    }
+
+    /// Inserts under the held lock, evicting least-recently-used entries to
+    /// stay within capacity (never the key being inserted).
+    fn insert_locked(
+        &self,
+        st: &mut CacheState,
+        key: u64,
+        outcome: Arc<ExploreOutcome>,
+        profile: WorkloadProfile,
+    ) {
+        st.tick += 1;
+        if !st.entries.contains_key(&key) {
+            while st.entries.len() >= self.capacity {
+                let victim = st
+                    .entries
+                    .iter()
+                    .min_by_key(|(k, e)| (e.last_used, **k))
+                    .map(|(k, _)| *k);
+                match victim {
+                    Some(k) => {
+                        st.entries.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        let tick = st.tick;
+        st.entries.insert(key, CacheEntry { outcome, profile, last_used: tick });
+    }
+
+    /// Writes every cached entry to `path` as versioned JSON (atomically:
+    /// temp file + rename), least-recently-used first so a reload preserves
+    /// the eviction order.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let snapshot = {
+            let st = lock_recover(&self.state);
+            let mut rows: Vec<(&u64, &CacheEntry)> = st.entries.iter().collect();
+            rows.sort_by_key(|(k, e)| (e.last_used, **k));
+            PersistedCache {
+                version: CACHE_FILE_VERSION,
+                entries: rows
+                    .into_iter()
+                    .map(|(key, entry)| PersistedEntry {
+                        key: *key,
+                        profile: entry.profile.clone(),
+                        outcome: (*entry.outcome).clone(),
+                    })
+                    .collect(),
+            }
+        };
+        let json = serde_json::to_string(&snapshot).map_err(io::Error::other)?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Merges the entries persisted at `path` into this cache (evicting LRU
+    /// entries if the merge exceeds capacity). Returns how many entries the
+    /// file held. Fails with `InvalidData` on a version mismatch or a
+    /// malformed file.
+    pub fn load_into(&self, path: &Path) -> io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let parsed: PersistedCache = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad cache file: {e}"))
+        })?;
+        if parsed.version != CACHE_FILE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "cache file version {} (this build reads {})",
+                    parsed.version, CACHE_FILE_VERSION
+                ),
+            ));
+        }
+        let count = parsed.entries.len();
+        let mut st = lock_recover(&self.state);
+        for entry in parsed.entries {
+            self.insert_locked(&mut st, entry.key, Arc::new(entry.outcome), entry.profile);
+        }
+        Ok(count)
+    }
+
+    /// A fresh default-capacity cache loaded from `path`.
+    pub fn load(path: &Path) -> io::Result<DseCache> {
+        let cache = DseCache::new();
+        cache.load_into(path)?;
+        Ok(cache)
+    }
+}
+
+/// Drop guard held by a single-flight leader. Completing publishes the outcome
+/// and counts the search; dropping without completing (the search panicked)
+/// abandons the flight so waiters retry instead of blocking forever.
+struct FlightLead<'a> {
+    cache: &'a DseCache,
+    key: u64,
+    flight: &'a Flight,
+    done: bool,
+}
+
+impl FlightLead<'_> {
+    fn complete(mut self, outcome: Arc<ExploreOutcome>, profile: WorkloadProfile) {
+        self.done = true;
+        {
+            let mut st = lock_recover(&self.cache.state);
+            st.inflight.remove(&self.key);
+            self.cache.insert_locked(&mut st, self.key, Arc::clone(&outcome), profile);
+        }
+        // Counted at completion, so a panicking search never inflates it.
+        self.cache.searches.fetch_add(1, Ordering::Relaxed);
+        self.flight.finish(FlightState::Done(outcome));
+    }
+}
+
+impl Drop for FlightLead<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        lock_recover(&self.cache.state).inflight.remove(&self.key);
+        self.flight.finish(FlightState::Abandoned);
     }
 }
 
@@ -1040,6 +1501,177 @@ mod tests {
         );
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(cache.len(), 2);
+        // Every request above was either a completed search or a hit, counted
+        // at the right moment.
+        assert_eq!(cache.searches(), 2);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn cache_single_flights_concurrent_identical_requests() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let cache = DseCache::new();
+        let opts = quick_opts();
+        const N: usize = 8;
+        let results: Vec<(Arc<ExploreOutcome>, CacheOutcome)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| s.spawn(|| cache.explore_traced(&workload, &cfg, &opts)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        // Exactly one underlying search ran, no matter how the threads raced;
+        // everyone shares the same outcome allocation.
+        assert_eq!(cache.searches(), 1, "duplicate searches ran");
+        let searched =
+            results.iter().filter(|(_, how)| *how == CacheOutcome::Searched).count();
+        assert_eq!(searched, 1);
+        assert_eq!(cache.hits() + cache.coalesced(), N - 1);
+        for (outcome, _) in &results {
+            assert!(Arc::ptr_eq(outcome, &results[0].0));
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_recovers_from_poisoned_lock() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let cache = DseCache::new();
+        cache.explore(&workload, &cfg, &quick_opts());
+        // Inject a panic while holding the state lock, poisoning it.
+        let injected = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.state.lock().unwrap();
+                panic!("injected panic while holding the cache lock");
+            })
+            .join()
+        });
+        assert!(injected.is_err());
+        assert!(cache.state.is_poisoned());
+        // The cache keeps serving: hits, fresh searches, saves.
+        assert_eq!(cache.len(), 1);
+        let (_, how) = cache.explore_traced(&workload, &cfg, &quick_opts());
+        assert_eq!(how, CacheOutcome::Hit);
+        let fresh = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 32);
+        let (_, how) = cache.explore_traced(&fresh, &cfg, &quick_opts());
+        assert_eq!(how, CacheOutcome::Searched);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn abandoned_flight_unblocks_waiters_without_counting_a_search() {
+        // Unit-level injection of the leader-panicked path: a FlightLead
+        // dropped without completing (what unwinding through the search does).
+        let cache = DseCache::new();
+        let key = 42u64;
+        let flight = Arc::new(Flight::new());
+        lock_recover(&cache.state).inflight.insert(key, Arc::clone(&flight));
+        let lead = FlightLead { cache: &cache, key, flight: &flight, done: false };
+        drop(lead);
+        // Waiters observe the abandonment (and would retry as leaders) rather
+        // than blocking forever; the dead flight is deregistered; the search
+        // counter never moved because nothing completed.
+        assert!(flight.wait().is_none());
+        assert!(lock_recover(&cache.state).inflight.is_empty());
+        assert_eq!(cache.searches(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_first() {
+        let cfg = AccelConfig::paper_default();
+        let cache = DseCache::with_capacity(2);
+        let dataset = DatasetSpec::mutag().generate(4);
+        let (a, b, c) = (
+            GnnWorkload::gcn_layer(&dataset, 8),
+            GnnWorkload::gcn_layer(&dataset, 16),
+            GnnWorkload::gcn_layer(&dataset, 32),
+        );
+        let opts = quick_opts();
+        cache.explore(&a, &cfg, &opts);
+        cache.explore(&b, &cfg, &opts);
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+        // Touch `a`, making `b` the least recently used…
+        assert!(cache.lookup(&a, &cfg, &opts).is_some());
+        // …so inserting `c` evicts `b`, not `a`.
+        cache.explore(&c, &cfg, &opts);
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        assert!(cache.lookup(&a, &cfg, &opts).is_some());
+        assert!(cache.lookup(&b, &cfg, &opts).is_none());
+        assert!(cache.lookup(&c, &cfg, &opts).is_some());
+    }
+
+    #[test]
+    fn cache_persistence_round_trips_bit_identically() {
+        let cfg = AccelConfig::paper_default();
+        let cache = DseCache::new();
+        let dataset = DatasetSpec::mutag().generate(4);
+        let (a, b) =
+            (GnnWorkload::gcn_layer(&dataset, 8), GnnWorkload::gcn_layer(&dataset, 16));
+        let opts = quick_opts();
+        let out_a = cache.explore(&a, &cfg, &opts);
+        let out_b = cache.explore(&b, &cfg, &opts);
+
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("omega-dse-cache-rt-{}.json", std::process::id()));
+        let path2 = dir.join(format!("omega-dse-cache-rt2-{}.json", std::process::id()));
+        cache.save(&path).expect("save");
+
+        let loaded = DseCache::load(&path).expect("load");
+        assert_eq!(loaded.len(), 2);
+        // Both workloads hit without searching, and the reloaded outcomes are
+        // bit-identical to the originals (JSON equality covers every ranked
+        // score bit: floats round-trip exactly through the writer/parser).
+        let (back_a, how_a) = loaded.explore_traced(&a, &cfg, &opts);
+        let (back_b, how_b) = loaded.explore_traced(&b, &cfg, &opts);
+        assert_eq!((how_a, how_b), (CacheOutcome::Hit, CacheOutcome::Hit));
+        assert_eq!(loaded.searches(), 0);
+        for (orig, back) in [(&out_a, &back_a), (&out_b, &back_b)] {
+            assert_eq!(
+                serde_json::to_string(&**orig).unwrap(),
+                serde_json::to_string(&**back).unwrap()
+            );
+        }
+        // A second save of the reloaded cache reproduces the file byte for
+        // byte (entry order included).
+        loaded.save(&path2).expect("re-save");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap(),
+            "persisted cache not byte-stable across a load/save cycle"
+        );
+
+        // Version mismatches are rejected instead of misread.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped =
+            text.replacen(&format!("\"version\":{CACHE_FILE_VERSION}"), "\"version\":999", 1);
+        assert_ne!(text, bumped, "version field not found in persisted file");
+        std::fs::write(&path, bumped).unwrap();
+        let err = DseCache::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn warm_hint_returns_nearest_cached_shape() {
+        let cfg = AccelConfig::paper_default();
+        let cache = DseCache::new();
+        let dataset = DatasetSpec::mutag().generate(4);
+        let opts = quick_opts();
+        assert!(cache.warm_hint(&GnnWorkload::gcn_layer(&dataset, 16)).is_none());
+        cache.explore(&GnnWorkload::gcn_layer(&dataset, 8), &cfg, &opts);
+        cache.explore(&GnnWorkload::gcn_layer(&dataset, 64), &cfg, &opts);
+        // g=16 is closer to g=8 than to g=64 in log space.
+        let hint = cache.warm_hint(&GnnWorkload::gcn_layer(&dataset, 16)).unwrap();
+        assert_eq!(hint.profile.g, 8);
+        assert!(hint.distance > 0.0 && hint.distance < 1.0, "{}", hint.distance);
+        // An attention workload is structurally different from every cached
+        // entry: a hint still comes back, but carrying the mismatch penalty.
+        let gat = GnnWorkload::gat_layer(&dataset, 16, 4);
+        let hint = cache.warm_hint(&gat).unwrap();
+        assert!(hint.distance > 100.0, "{}", hint.distance);
     }
 
     #[test]

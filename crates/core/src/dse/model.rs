@@ -33,7 +33,7 @@ use omega_accel::AccelConfig;
 use omega_dataflow::presets::Preset;
 use omega_dataflow::GnnDataflow;
 
-use super::{parallel_search, DseCache, DseOptions, ParallelJob, ParetoFront};
+use super::{lock_recover, parallel_search, DseCache, DseOptions, ParallelJob, ParetoFront};
 use crate::mapper::Objective;
 use crate::models::{to_chain, uniform_layer_dataflows, GnnModel, ModelError};
 use crate::multiphase::{evaluate_chain, ChainReport, Link, PartitionSplit};
@@ -491,7 +491,7 @@ pub fn explore_model(
         match score_mapping(m) {
             Some((s, r)) => {
                 if pareto {
-                    front_ref.lock().expect("model pareto front poisoned").offer(
+                    lock_recover(front_ref).offer(
                         index,
                         m.clone(),
                         r.clone(),
@@ -535,7 +535,7 @@ pub fn explore_model(
                 });
             }
             if pareto {
-                front.lock().expect("model pareto front poisoned").offer(
+                lock_recover(&front).offer(
                     total + j,
                     mapping.clone(),
                     r.clone(),
@@ -549,7 +549,7 @@ pub fn explore_model(
     let frontier: Vec<ModelParetoPoint> = if pareto {
         front
             .into_inner()
-            .expect("model pareto front poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .into_sorted()
             .into_iter()
             .map(|(index, mapping, report, axes)| ModelParetoPoint {

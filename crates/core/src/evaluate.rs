@@ -29,6 +29,7 @@ use omega_dataflow::{
 };
 
 use crate::cost::{CostReport, EnergyBreakdown, IntermediateCost};
+use crate::dse::lock_recover;
 use crate::pipeline::{pipeline_runtime, resample_durations};
 use crate::GnnWorkload;
 
@@ -758,7 +759,7 @@ impl PhaseSimCache {
 
     /// Distinct phase configurations currently memoised.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("phase cache poisoned").len()
+        lock_recover(&self.inner).len()
     }
 
     /// `true` when nothing is memoised yet.
@@ -768,7 +769,7 @@ impl PhaseSimCache {
 
     /// The stats for `key`, simulated via `prep` on miss.
     fn stats(&self, prep: &PreparedEval<'_>, key: &PhaseKey) -> Arc<PhaseStats> {
-        if let Some(hit) = self.inner.lock().expect("phase cache poisoned").get(key) {
+        if let Some(hit) = lock_recover(&self.inner).get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -779,9 +780,7 @@ impl PhaseSimCache {
         if stats.chunk_marks.len() > MAX_CACHED_MARKS {
             return stats;
         }
-        self.inner
-            .lock()
-            .expect("phase cache poisoned")
+        lock_recover(&self.inner)
             .entry(*key)
             .or_insert(stats)
             .clone()

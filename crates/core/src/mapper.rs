@@ -6,7 +6,7 @@
 //! tile chooser) plus parallel best-of search under a runtime / energy / EDP
 //! objective.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use omega_accel::AccelConfig;
 use omega_dataflow::enumerate::PatternSpace;
@@ -16,7 +16,7 @@ use omega_dataflow::{GnnDataflow, InterPhase, IntraTiling, Phase};
 use crate::{evaluate, CostReport, GnnWorkload};
 
 /// What the mapper minimises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize, Serialize)]
 pub enum Objective {
     /// Total cycles.
     Runtime,

@@ -1,6 +1,6 @@
 //! GNN layer workloads: what the cost model evaluates a dataflow against.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use omega_accel::engine::ElementwiseOp;
 use omega_dataflow::tiles::TileContext;
@@ -28,7 +28,7 @@ pub enum PhaseKind {
 /// The attention structure of a GAT-style layer: how many heads score every
 /// edge. The per-head dot-product length is `F / heads` (the feature width
 /// splits across heads), clamped to ≥ 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub struct AttentionSpec {
     /// Attention heads (≥ 1).
     pub heads: usize,

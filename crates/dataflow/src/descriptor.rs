@@ -1,6 +1,6 @@
 //! Complete GNN dataflow descriptors: `<Inter><order>(<AggIntra>, <CmbIntra>)`.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::granularity::pipeline_granularity;
 use crate::{
@@ -11,7 +11,7 @@ use crate::{
 /// A dataflow *pattern*: inter-phase strategy, phase order, and one intra-phase
 /// pattern per phase — the exact shape of the rows of Tables II and V, including
 /// `x` ("either") mapping placeholders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize, Serialize)]
 pub struct GnnDataflowPattern {
     /// Inter-phase strategy.
     pub inter: InterPhase,
@@ -46,7 +46,7 @@ impl std::fmt::Display for GnnDataflowPattern {
 
 /// A concrete GNN dataflow: inter-phase strategy, phase order, and a concrete
 /// tiling per phase. This is the unit the OMEGA cost model evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Deserialize, Serialize)]
 pub struct GnnDataflow {
     /// Inter-phase strategy.
     pub inter: InterPhase,

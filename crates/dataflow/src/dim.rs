@@ -1,6 +1,6 @@
 //! Loop-nest vocabulary: dimensions, spatial/temporal mappings, loop orders.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A loop dimension of a GNN phase (paper notation, Fig. 3):
 ///
@@ -8,7 +8,7 @@ use serde::Serialize;
 /// * `N` — neighbours (the Aggregation reduction dimension, encoded in CSR),
 /// * `F` — input features (Aggregation columns; the Combination reduction dim),
 /// * `G` — output features (Combination columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize, PartialOrd, Ord)]
 pub enum Dim {
     /// Vertices.
     V,
@@ -50,7 +50,7 @@ impl std::fmt::Display for Dim {
 }
 
 /// The two GNN phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum Phase {
     /// SpMM over the adjacency matrix (`H = A · X`).
     Aggregation,
@@ -93,7 +93,7 @@ impl std::fmt::Display for Phase {
 
 /// Concrete mapping of a dimension: spatial (unrolled across PEs, tile size > 1) or
 /// temporal (tile size = 1), the paper's `s` / `t` subscripts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum Mapping {
     /// Unrolled across PEs (`T_Dim > 1`).
     Spatial,
@@ -113,7 +113,7 @@ impl Mapping {
 
 /// Mapping *pattern*: spatial, temporal, or either — the paper's `x` subscript used
 /// throughout Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum MappingSpec {
     /// Must be spatial.
     Spatial,
@@ -164,7 +164,7 @@ impl MappingSpec {
 
 /// A phase's loop order: the three temporal loops from outermost to innermost
 /// (Fig. 4's "Loop order - VGF (V→G→F)").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub struct LoopOrder {
     dims: [Dim; 3],
 }

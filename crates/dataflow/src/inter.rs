@@ -1,9 +1,9 @@
 //! Inter-phase strategies, phase orders, and pipelining granularities.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Inter-phase dataflow strategy (Section III-B, Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum InterPhase {
     /// `Seq` — phases run back-to-back; the whole `V×F` intermediate matrix is
     /// staged through the memory hierarchy.
@@ -42,7 +42,7 @@ impl std::fmt::Display for InterPhase {
 }
 
 /// Phase computation order: GCNs allow either phase first (Section II-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum PhaseOrder {
     /// Aggregation → Combination: computes `(A·X0)·W`; intermediate is `V×F`.
     AC,
@@ -73,7 +73,7 @@ impl std::fmt::Display for PhaseOrder {
 
 /// Granularity at which the intermediate matrix is pipelined between phases for
 /// SP-Generic and PP (Section IV-D, Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub enum Granularity {
     /// Tiles of `T_V × T_F` elements (`Pel = T_Vmax · T_Fmax`).
     Element,

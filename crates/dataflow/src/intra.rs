@@ -1,13 +1,13 @@
 //! Intra-phase dataflows: patterns (with `x` placeholders) and concrete tilings.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::{Dim, LoopOrder, Mapping, MappingSpec, Phase};
 
 /// An intra-phase dataflow *pattern*: a loop order plus per-dimension mapping
 /// specs, e.g. `VxFsNt` (Table II/V style). Patterns describe families of concrete
 /// dataflows; [`IntraTiling`] is one member with actual tile sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub struct IntraPattern {
     phase: Phase,
     order: LoopOrder,
@@ -80,7 +80,7 @@ impl std::fmt::Display for IntraPattern {
 /// of that dimension mapped *in parallel across PEs*; `T_Dim > 1` ⇔ the dimension is
 /// spatial (`s`), `T_Dim = 1` ⇔ temporal (`t`). The product of the tile sizes is the
 /// number of PEs the phase occupies (its static utilisation numerator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Deserialize, Serialize)]
 pub struct IntraTiling {
     phase: Phase,
     order: LoopOrder,

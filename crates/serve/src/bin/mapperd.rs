@@ -1,0 +1,99 @@
+//! `mapperd` — the persistent mapper daemon.
+//!
+//! ```text
+//! mapperd --addr 127.0.0.1:7453 --threads 4 --cache-file mapper-cache.json
+//! mapperd --addr 127.0.0.1:0 --cache-cap 4096 --search-threads 8 --quiet
+//! ```
+//!
+//! Listens for newline-delimited JSON mapping requests (see the
+//! `omega_serve` crate docs for the protocol), answering each from the
+//! process-wide decision cache. Prints the bound address on stdout once
+//! ready — wait for that line (or poll the port) before sending traffic.
+//! SIGTERM, SIGINT, or an in-band `{"cmd":"shutdown"}` drain the workers and
+//! flush the cache to `--cache-file`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use omega_serve::{signal, MapperServer, ServeOptions};
+
+const USAGE: &str = "usage: mapperd [--addr HOST:PORT] [--threads N] [--search-threads N] \
+                     [--cache-cap N] [--cache-file PATH] [--top K] [--quiet]";
+
+fn parse_args() -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--threads" => {
+                opts.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--search-threads" => {
+                opts.search_threads =
+                    value("--search-threads")?.parse().map_err(|e| format!("--search-threads: {e}"))?
+            }
+            "--cache-cap" => {
+                opts.cache_capacity =
+                    value("--cache-cap")?.parse().map_err(|e| format!("--cache-cap: {e}"))?
+            }
+            "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+            "--top" => opts.top_k = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("mapperd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install();
+    let server = match MapperServer::bind(opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mapperd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("mapperd: listening on {addr}"),
+        Err(e) => {
+            eprintln!("mapperd: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "mapperd: served {} requests ({} errors) — {} searches, {} hits, \
+                 {} coalesced, {} warm starts, {} evictions, p50 {} µs, p99 {} µs",
+                stats.requests,
+                stats.errors,
+                stats.searches,
+                stats.hits,
+                stats.coalesced,
+                stats.warm_starts,
+                stats.evictions,
+                stats.p50_us,
+                stats.p99_us,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mapperd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! Mapper-as-a-service: `mapperd`, a persistent decision daemon over a shared
+//! [`DseCache`].
+//!
+//! Dynasparse-style input-adaptive execution only works if the mapper answers
+//! in milliseconds; the factored DSE made a Citeseer full-space sweep take
+//! ~9 ms, and this crate productionises it as a long-running service. Clients
+//! speak newline-delimited JSON over TCP: each line is one request, each
+//! answer one line. A worker-thread pool serves connections; every mapping
+//! request funnels through one process-wide [`DseCache`], so identical
+//! concurrent requests single-flight onto one search, repeats answer from
+//! memory, and the whole cache persists across restarts via
+//! [`DseCache::save`]/[`DseCache::load_into`].
+//!
+//! ## Protocol
+//!
+//! Request fields (all except the workload shape optional):
+//!
+//! ```json
+//! {"id":1,"workload":{"name":"Citeseer","v":3327,"f":3703,"g":16,
+//!  "degrees":[...],"attention_heads":0,"post_op":null},
+//!  "objective":"runtime","mode":"exact","top_k":5}
+//! ```
+//!
+//! `cmd` selects non-mapping actions: `"ping"`, `"stats"`, `"save"`, and
+//! `"shutdown"` (graceful: drains workers, then flushes the cache to the
+//! configured file — SIGTERM does the same via [`signal`]). `mode:"fast"`
+//! answers from the cache or a nearest-neighbour warm start
+//! ([`DseCache::warm_hint`]) without ever running a full search unless the
+//! cache is cold. Responses carry the decision, the cache disposition
+//! (`hit`/`coalesced`/`search`/`warm`), and the measured per-request latency.
+
+pub mod signal;
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use omega_accel::engine::ElementwiseOp;
+use omega_core::dse::{CacheOutcome, DseCache, DseOptions, ExploreOutcome, RankedDataflow};
+use omega_core::mapper::Objective;
+use omega_core::{evaluate, AccelConfig, AttentionSpec, GnnWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Locks a mutex, recovering the guard from a poisoned lock: a worker that
+/// panicked mid-request must not wedge the daemon (same policy as the
+/// serving-path locks inside `omega_core`).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The workload shape of a mapping request. Either the full `degrees` vector
+/// (exact adjacency structure, as the cost model sees offline) or a
+/// `mean_degree` summary (expanded to a uniform vector) must be present.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct WorkloadSpec {
+    /// Display name (defaults to `"request"`).
+    pub name: Option<String>,
+    /// Vertices `V` (> 0).
+    pub v: usize,
+    /// Input feature width `F` (> 0).
+    pub f: usize,
+    /// Output feature width `G` (> 0).
+    pub g: usize,
+    /// Stored non-zeros per adjacency row; length must equal `v`.
+    pub degrees: Option<Vec<usize>>,
+    /// Uniform-degree fallback when `degrees` is omitted.
+    pub mean_degree: Option<f64>,
+    /// Attention heads (> 0 makes this a GAT-style layer).
+    pub attention_heads: Option<usize>,
+    /// Elementwise post-phase: `"act"` or `"norm"`.
+    pub post_op: Option<String>,
+}
+
+impl WorkloadSpec {
+    /// Builds the request shape from an existing workload (client side).
+    pub fn of(workload: &GnnWorkload) -> Self {
+        WorkloadSpec {
+            name: Some(workload.name.clone()),
+            v: workload.v,
+            f: workload.f,
+            g: workload.g,
+            degrees: Some(workload.degrees.clone()),
+            mean_degree: None,
+            attention_heads: workload.attention.map(|a| a.heads),
+            post_op: workload.post_op.map(|op| op.label().to_string()),
+        }
+    }
+
+    /// Validates the spec into the workload the cost model consumes.
+    pub fn to_workload(&self) -> Result<GnnWorkload, String> {
+        if self.v == 0 || self.f == 0 || self.g == 0 {
+            return Err(format!(
+                "workload dims must be positive (v={} f={} g={})",
+                self.v, self.f, self.g
+            ));
+        }
+        let degrees: Vec<usize> = match &self.degrees {
+            Some(d) => {
+                if d.len() != self.v {
+                    return Err(format!("degrees length {} != v {}", d.len(), self.v));
+                }
+                d.clone()
+            }
+            None => {
+                let mean = self.mean_degree.unwrap_or(1.0);
+                if !mean.is_finite() || mean < 0.0 {
+                    return Err(format!("mean_degree {mean} must be finite and >= 0"));
+                }
+                vec![(mean.round() as usize).max(1); self.v]
+            }
+        };
+        let nnz: u64 = degrees.iter().map(|&d| d as u64).sum();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let mean_degree = nnz as f64 / self.v as f64;
+        let attention = match self.attention_heads {
+            None | Some(0) => None,
+            Some(heads) => Some(AttentionSpec::new(heads)),
+        };
+        let post_op = match self.post_op.as_deref() {
+            None | Some("") => None,
+            Some("act" | "activation") => Some(ElementwiseOp::Activation),
+            Some("norm" | "layernorm") => Some(ElementwiseOp::LayerNorm),
+            Some(other) => return Err(format!("unknown post_op `{other}` (expected act|norm)")),
+        };
+        Ok(GnnWorkload {
+            name: self.name.clone().unwrap_or_else(|| "request".into()),
+            v: self.v,
+            f: self.f,
+            g: self.g,
+            degrees,
+            nnz,
+            mean_degree,
+            max_degree,
+            attention,
+            post_op,
+        })
+    }
+}
+
+/// One request line. `cmd` defaults to `"map"`; control commands (`ping`,
+/// `stats`, `save`, `shutdown`) ignore the mapping fields.
+#[derive(Debug, Clone, Default, Deserialize, Serialize)]
+pub struct MapRequest {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: Option<u64>,
+    /// `"map"` (default) | `"ping"` | `"stats"` | `"save"` | `"shutdown"`.
+    pub cmd: Option<String>,
+    /// The shape to map (required for `map`).
+    pub workload: Option<WorkloadSpec>,
+    /// `"runtime"` (default) | `"energy"` | `"edp"`.
+    pub objective: Option<String>,
+    /// `"exact"` (default: full search on miss) | `"fast"` (cache or
+    /// warm-start re-evaluation; searches only when the cache is cold).
+    pub mode: Option<String>,
+    /// Ranked winners to return (capped by the server's configured top-K).
+    pub top_k: Option<usize>,
+    /// Accelerator PEs (defaults to the paper config).
+    pub pes: Option<usize>,
+    /// DRAM bandwidth in elements/cycle (defaults to the paper config).
+    pub bandwidth: Option<usize>,
+}
+
+impl MapRequest {
+    /// A mapping request for `workload` with server-side defaults elsewhere.
+    pub fn for_workload(workload: &GnnWorkload) -> Self {
+        MapRequest { workload: Some(WorkloadSpec::of(workload)), ..Default::default() }
+    }
+}
+
+/// One ranked decision in a response: the dataflow in its parseable display
+/// form plus the cost axes the client needs to act on it.
+#[derive(Debug, Clone, Deserialize, Serialize)]
+pub struct Decision {
+    /// Display form of the concrete dataflow (round-trips via `FromStr`).
+    pub dataflow: String,
+    /// Modelled runtime.
+    pub cycles: u64,
+    /// Modelled total energy.
+    pub energy_pj: f64,
+    /// Peak on-chip working set.
+    pub buffer_peak_bytes: u64,
+    /// Objective value (lower is better).
+    pub score: f64,
+}
+
+impl Decision {
+    fn of(ranked: &RankedDataflow) -> Self {
+        Decision {
+            dataflow: ranked.dataflow.to_string(),
+            cycles: ranked.report.total_cycles,
+            energy_pj: ranked.report.energy.total_pj(),
+            buffer_peak_bytes: ranked.report.buffer_peak_bytes,
+            score: ranked.score,
+        }
+    }
+}
+
+/// Server-side counters, returned by the `stats` command and by
+/// [`MapperServer::run`] on exit.
+#[derive(Debug, Clone, Default, Deserialize, Serialize)]
+pub struct ServerStats {
+    /// Request lines handled (including control commands and errors).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Full searches actually run (completed) by the shared cache.
+    pub searches: u64,
+    /// Requests answered from a cached entry.
+    pub hits: u64,
+    /// Requests that piggybacked on another request's in-flight search.
+    pub coalesced: u64,
+    /// `fast`-mode requests answered by warm-start re-evaluation.
+    pub warm_starts: u64,
+    /// Cache entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Median per-request service latency (µs, over a recent window).
+    pub p50_us: u64,
+    /// 99th-percentile per-request service latency (µs, over a recent window).
+    pub p99_us: u64,
+}
+
+/// One response line. `ok == false` carries `error`; mapping responses carry
+/// `best`/`ranked`, the cache disposition, and the measured service latency.
+#[derive(Debug, Clone, Default, Deserialize, Serialize)]
+pub struct MapResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Whether the request was served.
+    pub ok: bool,
+    /// What went wrong, when `ok` is false.
+    pub error: Option<String>,
+    /// `"hit"` | `"coalesced"` | `"search"` | `"warm"` for mapping requests.
+    pub cache: Option<String>,
+    /// Server-side service time for this request (µs).
+    pub latency_us: Option<u64>,
+    /// The winning decision.
+    pub best: Option<Decision>,
+    /// Ranked winners, best first.
+    pub ranked: Option<Vec<Decision>>,
+    /// Warm-start neighbour distance ([`DseCache::warm_hint`]), `"warm"` only.
+    pub warm_distance: Option<f64>,
+    /// Counters, for the `stats` and `shutdown` commands.
+    pub stats: Option<ServerStats>,
+}
+
+impl MapResponse {
+    fn err(error: String) -> Self {
+        MapResponse { ok: false, error: Some(error), ..Default::default() }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Connection-serving worker threads.
+    pub threads: usize,
+    /// DSE threads each search uses.
+    pub search_threads: usize,
+    /// LRU bound of the shared cache.
+    pub cache_capacity: usize,
+    /// Persist/restore the cache here (loaded at bind, flushed at shutdown).
+    pub cache_file: Option<PathBuf>,
+    /// Default (and maximum) ranked winners per response.
+    pub top_k: usize,
+    /// Suppress stderr progress lines.
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7453".into(),
+            threads: 4,
+            search_threads: 4,
+            cache_capacity: omega_core::dse::DEFAULT_CACHE_CAPACITY,
+            cache_file: None,
+            top_k: 10,
+            quiet: false,
+        }
+    }
+}
+
+/// Sliding window of per-request latencies backing the p50/p99 counters.
+const LATENCY_WINDOW: usize = 8192;
+
+/// The daemon: a TCP acceptor, a worker pool, and the shared [`DseCache`].
+///
+/// [`Self::bind`] claims the port and restores the cache file;
+/// [`Self::run`] blocks serving requests until a `shutdown` command or a
+/// termination signal, then flushes the cache and returns the final counters.
+pub struct MapperServer {
+    opts: ServeOptions,
+    listener: TcpListener,
+    cache: DseCache,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    warm_starts: AtomicU64,
+    latencies_us: Mutex<VecDeque<u64>>,
+}
+
+impl MapperServer {
+    /// Binds the listen socket and restores the cache file, when configured
+    /// and present (a missing file is a cold start, not an error).
+    pub fn bind(opts: ServeOptions) -> io::Result<MapperServer> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache = DseCache::with_capacity(opts.cache_capacity);
+        if let Some(path) = &opts.cache_file {
+            if path.exists() {
+                let loaded = cache.load_into(path)?;
+                if !opts.quiet {
+                    eprintln!("mapperd: restored {loaded} cached decisions from {}", path.display());
+                }
+            }
+        }
+        Ok(MapperServer {
+            opts,
+            listener,
+            cache,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            latencies_us: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+        })
+    }
+
+    /// The bound address (the concrete port when `addr` asked for port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared decision cache.
+    pub fn cache(&self) -> &DseCache {
+        &self.cache
+    }
+
+    /// Asks the serving loop to drain and exit (same effect as the in-band
+    /// `shutdown` command or SIGTERM).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::termination_requested()
+    }
+
+    /// Serves until shutdown, then flushes the cache file (when configured)
+    /// and returns the final counters.
+    pub fn run(&self) -> io::Result<ServerStats> {
+        let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
+        let available = Condvar::new();
+        std::thread::scope(|s| {
+            for _ in 0..self.opts.threads.max(1) {
+                s.spawn(|| self.worker(&queue, &available));
+            }
+            while !self.shutting_down() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        // Finite read timeouts keep workers responsive to the
+                        // shutdown flag while a connection idles.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                        lock_recover(&queue).push_back(stream);
+                        available.notify_one();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        if !self.opts.quiet {
+                            eprintln!("mapperd: accept failed: {e}");
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            }
+            available.notify_all();
+        });
+        if let Some(path) = &self.opts.cache_file {
+            self.cache.save(path)?;
+            if !self.opts.quiet {
+                eprintln!(
+                    "mapperd: flushed {} cached decisions to {}",
+                    self.cache.len(),
+                    path.display()
+                );
+            }
+        }
+        Ok(self.stats())
+    }
+
+    fn worker(&self, queue: &Mutex<VecDeque<TcpStream>>, available: &Condvar) {
+        loop {
+            let stream = {
+                let mut q = lock_recover(queue);
+                loop {
+                    if let Some(s) = q.pop_front() {
+                        break Some(s);
+                    }
+                    if self.shutting_down() {
+                        break None;
+                    }
+                    // Timed wait: a signal flips a flag nobody notifies on.
+                    q = available
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            };
+            match stream {
+                Some(stream) => self.serve_connection(stream),
+                None => return,
+            }
+        }
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // client closed
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let response = self.handle_line(trimmed);
+                        let sent = writer
+                            .write_all(response.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .and_then(|()| writer.flush());
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                    line.clear();
+                }
+                // Timeout: a partial line (if any) stays buffered in `line`
+                // and the next read_line appends the remainder.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.shutting_down() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Serves one request line and returns the response line (no trailing
+    /// newline). Public so the protocol is testable without a socket.
+    pub fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut response = match serde_json::from_str::<MapRequest>(line) {
+            Ok(request) => {
+                let id = request.id;
+                // A panicking request must answer with an error, not take the
+                // worker (and a poisoned lock) down with it.
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(&request)));
+                let mut response = match outcome {
+                    Ok(Ok(response)) => response,
+                    Ok(Err(error)) => MapResponse::err(error),
+                    Err(_) => MapResponse::err("internal panic while serving request".into()),
+                };
+                response.id = id;
+                response
+            }
+            Err(e) => MapResponse::err(format!("bad request: {e}")),
+        };
+        if !response.ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        response.latency_us = Some(latency_us);
+        let mut window = lock_recover(&self.latencies_us);
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(latency_us);
+        drop(window);
+        serde_json::to_string(&response).unwrap_or_else(|e| {
+            format!("{{\"ok\":false,\"error\":\"response serialisation failed: {e}\"}}")
+        })
+    }
+
+    fn dispatch(&self, request: &MapRequest) -> Result<MapResponse, String> {
+        match request.cmd.as_deref().unwrap_or("map") {
+            "ping" => Ok(MapResponse { ok: true, ..Default::default() }),
+            "stats" => Ok(MapResponse { ok: true, stats: Some(self.stats()), ..Default::default() }),
+            "save" => {
+                let path = self
+                    .opts
+                    .cache_file
+                    .as_ref()
+                    .ok_or_else(|| "no --cache-file configured".to_string())?;
+                self.cache.save(path).map_err(|e| format!("cache save failed: {e}"))?;
+                Ok(MapResponse { ok: true, ..Default::default() })
+            }
+            "shutdown" => {
+                self.request_shutdown();
+                Ok(MapResponse { ok: true, stats: Some(self.stats()), ..Default::default() })
+            }
+            "map" => self.serve_map(request),
+            other => Err(format!("unknown cmd `{other}` (expected map|ping|stats|save|shutdown)")),
+        }
+    }
+
+    fn serve_map(&self, request: &MapRequest) -> Result<MapResponse, String> {
+        let spec = request.workload.as_ref().ok_or_else(|| "missing `workload`".to_string())?;
+        let workload = spec.to_workload()?;
+        let objective = match request.objective.as_deref() {
+            None | Some("runtime") => Objective::Runtime,
+            Some("energy") => Objective::Energy,
+            Some("edp") => Objective::Edp,
+            Some(other) => {
+                return Err(format!("unknown objective `{other}` (expected runtime|energy|edp)"))
+            }
+        };
+        let mut cfg = AccelConfig::paper_default();
+        if let Some(pes) = request.pes {
+            cfg = cfg.with_pes(pes);
+        }
+        if let Some(bw) = request.bandwidth {
+            cfg = cfg.with_bandwidth(bw);
+        }
+        let mut opts = DseOptions::new(objective);
+        opts.threads = self.opts.search_threads;
+        opts.top_k = request.top_k.unwrap_or(self.opts.top_k).clamp(1, self.opts.top_k.max(1));
+        match request.mode.as_deref().unwrap_or("exact") {
+            "exact" => {
+                let (outcome, how) = self.cache.explore_traced(&workload, &cfg, &opts);
+                Ok(Self::map_response(&outcome, disposition(how), None))
+            }
+            "fast" => {
+                if let Some(outcome) = self.cache.lookup(&workload, &cfg, &opts) {
+                    return Ok(Self::map_response(&outcome, "hit", None));
+                }
+                if let Some(response) = self.warm_start(&workload, &cfg, &opts, objective) {
+                    return Ok(response);
+                }
+                let (outcome, how) = self.cache.explore_traced(&workload, &cfg, &opts);
+                Ok(Self::map_response(&outcome, disposition(how), None))
+            }
+            other => Err(format!("unknown mode `{other}` (expected exact|fast)")),
+        }
+    }
+
+    /// `fast`-mode miss path: re-evaluates the ranked dataflows of the
+    /// nearest cached shape on the actual workload — a handful of cost-model
+    /// calls instead of a full search. `None` when the cache is empty or no
+    /// hinted dataflow evaluates successfully (caller falls back to a search).
+    fn warm_start(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+        objective: Objective,
+    ) -> Option<MapResponse> {
+        let hint = self.cache.warm_hint(workload)?;
+        let mut ranked: Vec<Decision> = hint
+            .outcome
+            .ranked
+            .iter()
+            .filter_map(|r| {
+                let report = evaluate(workload, &r.dataflow, cfg).ok()?;
+                let score = objective.score(&report);
+                Some(Decision {
+                    dataflow: r.dataflow.to_string(),
+                    cycles: report.total_cycles,
+                    energy_pj: report.energy.total_pj(),
+                    buffer_peak_bytes: report.buffer_peak_bytes,
+                    score,
+                })
+            })
+            .collect();
+        if ranked.is_empty() {
+            return None;
+        }
+        ranked.sort_by(|a, b| a.score.total_cmp(&b.score).then_with(|| a.dataflow.cmp(&b.dataflow)));
+        ranked.truncate(opts.top_k.max(1));
+        self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        Some(MapResponse {
+            ok: true,
+            cache: Some("warm".into()),
+            best: ranked.first().cloned(),
+            ranked: Some(ranked),
+            warm_distance: Some(hint.distance),
+            ..Default::default()
+        })
+    }
+
+    fn map_response(outcome: &ExploreOutcome, cache: &str, warm: Option<f64>) -> MapResponse {
+        MapResponse {
+            ok: true,
+            cache: Some(cache.into()),
+            best: outcome.best().map(Decision::of),
+            ranked: Some(outcome.ranked.iter().map(Decision::of).collect()),
+            warm_distance: warm,
+            ..Default::default()
+        }
+    }
+
+    /// Current counters: request/error totals, the shared cache's
+    /// hit/search/eviction counters, and p50/p99 service latency over a
+    /// sliding window of recent requests.
+    pub fn stats(&self) -> ServerStats {
+        let mut sorted: Vec<u64> = lock_recover(&self.latencies_us).iter().copied().collect();
+        sorted.sort_unstable();
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_entries: self.cache.len() as u64,
+            searches: self.cache.searches() as u64,
+            hits: self.cache.hits() as u64,
+            coalesced: self.cache.coalesced() as u64,
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            evictions: self.cache.evictions() as u64,
+            p50_us: percentile_us(&sorted, 0.50),
+            p99_us: percentile_us(&sorted, 0.99),
+        }
+    }
+}
+
+fn disposition(how: CacheOutcome) -> &'static str {
+    match how {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Coalesced => "coalesced",
+        CacheOutcome::Searched => "search",
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload_spec(g: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: Some("tiny".into()),
+            v: 24,
+            f: 8,
+            g,
+            degrees: Some((0..24).map(|i| 1 + (i % 4)).collect()),
+            mean_degree: None,
+            attention_heads: None,
+            post_op: None,
+        }
+    }
+
+    fn test_server() -> MapperServer {
+        // Port 0: bind a throwaway socket purely to construct the server; the
+        // protocol tests below go through handle_line, not TCP.
+        let opts = ServeOptions { addr: "127.0.0.1:0".into(), quiet: true, ..Default::default() };
+        MapperServer::bind(opts).expect("bind")
+    }
+
+    fn request_json(spec: &WorkloadSpec, extra: &str) -> String {
+        let workload = serde_json::to_string(spec).unwrap();
+        format!("{{\"workload\":{workload}{extra}}}")
+    }
+
+    #[test]
+    fn ping_stats_and_bad_json_round_trip() {
+        let server = test_server();
+        let pong: MapResponse =
+            serde_json::from_str(&server.handle_line("{\"cmd\":\"ping\",\"id\":7}")).unwrap();
+        assert!(pong.ok);
+        assert_eq!(pong.id, Some(7));
+        assert!(pong.latency_us.is_some());
+
+        let bad: MapResponse = serde_json::from_str(&server.handle_line("{nope")).unwrap();
+        assert!(!bad.ok);
+        assert!(bad.error.unwrap().starts_with("bad request"));
+
+        let stats: MapResponse =
+            serde_json::from_str(&server.handle_line("{\"cmd\":\"stats\"}")).unwrap();
+        let stats = stats.stats.expect("stats payload");
+        assert_eq!(stats.requests, 3); // ping + bad line + this stats call
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn map_request_searches_then_hits() {
+        let server = test_server();
+        let line = request_json(&tiny_workload_spec(8), ",\"top_k\":3");
+        let first: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(first.ok, "error: {:?}", first.error);
+        assert_eq!(first.cache.as_deref(), Some("search"));
+        let best = first.best.expect("a winning decision");
+        assert!(best.cycles > 0);
+        assert!(first.ranked.unwrap().len() <= 3);
+
+        let second: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert_eq!(second.cache.as_deref(), Some("hit"));
+        assert_eq!(second.best.unwrap().dataflow, best.dataflow);
+        assert_eq!(server.cache().searches(), 1);
+        assert_eq!(server.cache().hits(), 1);
+    }
+
+    #[test]
+    fn fast_mode_warm_starts_from_the_nearest_shape() {
+        let server = test_server();
+        // Seed the cache with one exact search at g=8 …
+        let seed = request_json(&tiny_workload_spec(8), "");
+        let seeded: MapResponse = serde_json::from_str(&server.handle_line(&seed)).unwrap();
+        assert!(seeded.ok);
+        // … then ask for the unseen g=16 in fast mode: warm start, no search.
+        let fast = request_json(&tiny_workload_spec(16), ",\"mode\":\"fast\"");
+        let warm: MapResponse = serde_json::from_str(&server.handle_line(&fast)).unwrap();
+        assert!(warm.ok, "error: {:?}", warm.error);
+        assert_eq!(warm.cache.as_deref(), Some("warm"));
+        assert!(warm.warm_distance.unwrap() > 0.0);
+        assert!(warm.best.is_some());
+        assert_eq!(server.cache().searches(), 1, "warm start must not search");
+    }
+
+    #[test]
+    fn map_errors_name_the_field() {
+        let server = test_server();
+        let missing: MapResponse = serde_json::from_str(&server.handle_line("{}")).unwrap();
+        assert_eq!(missing.error.as_deref(), Some("missing `workload`"));
+
+        let mut spec = tiny_workload_spec(8);
+        spec.degrees = Some(vec![1; 3]); // wrong length
+        let bad: MapResponse =
+            serde_json::from_str(&server.handle_line(&request_json(&spec, ""))).unwrap();
+        assert!(bad.error.unwrap().contains("degrees length 3 != v 24"));
+
+        let unknown: MapResponse = serde_json::from_str(
+            &server.handle_line(&request_json(&tiny_workload_spec(8), ",\"cmd\":\"frobnicate\"")),
+        )
+        .unwrap();
+        assert!(unknown.error.unwrap().contains("unknown cmd"));
+    }
+
+    #[test]
+    fn uniform_degree_fallback_builds_a_workload() {
+        let spec = WorkloadSpec {
+            name: None,
+            v: 10,
+            f: 4,
+            g: 4,
+            degrees: None,
+            mean_degree: Some(2.6),
+            attention_heads: Some(2),
+            post_op: Some("act".into()),
+        };
+        let wl = spec.to_workload().unwrap();
+        assert_eq!(wl.degrees, vec![3; 10]);
+        assert_eq!(wl.nnz, 30);
+        assert_eq!(wl.attention.unwrap().heads, 2);
+        assert_eq!(wl.post_op, Some(ElementwiseOp::Activation));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_us(&[], 0.99), 0);
+        assert_eq!(percentile_us(&[5], 0.50), 5);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 0.50), 50);
+        assert_eq!(percentile_us(&v, 0.99), 99);
+        assert_eq!(percentile_us(&v, 1.0), 100);
+    }
+}

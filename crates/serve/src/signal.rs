@@ -1,0 +1,64 @@
+//! Process-termination signals for the daemon: SIGTERM/SIGINT flip a flag the
+//! serving loops poll, so shutdown drains in-flight work and flushes the cache
+//! instead of killing the process mid-request.
+//!
+//! This is the only unsafe code in the crate (the raw `signal(2)` FFI call);
+//! `omega_core` itself forbids unsafe, so the daemon hosts it here. The
+//! handler only stores to an atomic — async-signal-safe by construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been delivered (or [`request`]ed).
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Marks termination as requested, as if a signal had arrived. Used by the
+/// in-band `shutdown` protocol command and by tests.
+pub fn request() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        super::request();
+    }
+
+    /// Installs SIGTERM/SIGINT handlers that flip the termination flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_terminate);
+            signal(SIGINT, on_terminate);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal facility on this platform; the in-band `shutdown` command
+    /// (and [`super::request`]) still work.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn request_flips_the_flag() {
+        // Process-global state: this test must not assume the flag starts
+        // false if another test raised it, so it only checks the raise path.
+        super::request();
+        assert!(super::termination_requested());
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end daemon tests over a real loopback socket: concurrent identical
+//! requests single-flight onto one search, and shutdown flushes a cache file
+//! that a restarted server answers hits from.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+
+use omega_serve::{MapRequest, MapResponse, MapperServer, ServeOptions, WorkloadSpec};
+
+fn tiny_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: Some("tiny".into()),
+        v: 24,
+        f: 8,
+        g: 8,
+        degrees: Some((0..24).map(|i| 1 + (i % 4)).collect()),
+        mean_degree: None,
+        attention_heads: None,
+        post_op: None,
+    }
+}
+
+fn send_line(addr: &std::net::SocketAddr, line: &str) -> MapResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response line");
+    serde_json::from_str(&response).expect("response JSON")
+}
+
+#[test]
+fn concurrent_identical_requests_trigger_exactly_one_search() {
+    let opts = ServeOptions { addr: "127.0.0.1:0".into(), quiet: true, ..Default::default() };
+    let server = MapperServer::bind(opts).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let request = serde_json::to_string(&MapRequest::for_workload(
+        &tiny_spec().to_workload().expect("workload"),
+    ))
+    .expect("request JSON");
+
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.run().expect("run"));
+
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let request = request.clone();
+                s.spawn(move || send_line(&addr, &request))
+            })
+            .collect();
+        let responses: Vec<MapResponse> =
+            clients.into_iter().map(|c| c.join().expect("client")).collect();
+
+        for r in &responses {
+            assert!(r.ok, "error: {:?}", r.error);
+            assert!(r.latency_us.is_some());
+        }
+        let best: Vec<&str> =
+            responses.iter().map(|r| r.best.as_ref().unwrap().dataflow.as_str()).collect();
+        assert!(best.windows(2).all(|w| w[0] == w[1]), "all clients share one decision: {best:?}");
+        let searches =
+            responses.iter().filter(|r| r.cache.as_deref() == Some("search")).count();
+        assert_eq!(searches, 1, "dispositions: {:?}", responses.iter().map(|r| &r.cache));
+
+        let stats = send_line(&addr, "{\"cmd\":\"shutdown\"}").stats.expect("stats");
+        assert_eq!(stats.searches, 1, "exactly one underlying search");
+        assert_eq!(stats.hits + stats.coalesced, 3);
+
+        let stats = serving.join().expect("server thread");
+        assert_eq!(stats.errors, 0);
+    });
+}
+
+#[test]
+fn shutdown_flushes_cache_file_and_a_restart_answers_hits() {
+    let path = std::env::temp_dir().join(format!("omega-serve-daemon-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let request = serde_json::to_string(&MapRequest::for_workload(
+        &tiny_spec().to_workload().expect("workload"),
+    ))
+    .expect("request JSON");
+
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        cache_file: Some(path.clone()),
+        quiet: true,
+        ..Default::default()
+    };
+    let server = MapperServer::bind(opts.clone()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.run().expect("run"));
+        let first = send_line(&addr, &request);
+        assert_eq!(first.cache.as_deref(), Some("search"));
+        assert!(send_line(&addr, "{\"cmd\":\"shutdown\"}").ok);
+        serving.join().expect("server thread");
+    });
+    assert!(path.exists(), "shutdown flushed the cache file");
+
+    // A restarted server answers the same request from the restored cache
+    // without running any search.
+    let reloaded = MapperServer::bind(opts).expect("rebind");
+    let response: MapResponse =
+        serde_json::from_str(&reloaded.handle_line(&request)).expect("response JSON");
+    assert_eq!(response.cache.as_deref(), Some("hit"), "error: {:?}", response.error);
+    assert_eq!(reloaded.cache().searches(), 0);
+    assert_eq!(reloaded.cache().hits(), 1);
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -2,14 +2,15 @@
 //! has no access to crates.io (see `third_party/README.md`).
 //!
 //! Instead of the real visitor-based data model, `Serialize` lowers a value to
-//! a [`Content`] tree that `serde_json` then renders. The surface covers
-//! exactly what this workspace uses: `#[derive(Serialize)]` on plain structs
-//! and enums, plus impls for primitives, strings, options, sequences, arrays,
-//! tuples, and string-keyed maps.
+//! a [`Content`] tree that `serde_json` then renders, and [`Deserialize`]
+//! rebuilds a value from the same tree. The surface covers exactly what this
+//! workspace uses: `#[derive(Serialize)]` / `#[derive(Deserialize)]` on plain
+//! structs and enums, plus impls for primitives, strings, options, sequences,
+//! arrays, tuples, and string-keyed maps.
 
 use std::collections::BTreeMap;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// Simplified serde data model: what a value looks like once serialized.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,7 +142,275 @@ impl_tuple! {
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
 }
 
+impl Content {
+    /// Human-readable tag for error messages ("map", "seq", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "seq",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+    /// "expected X, found Y" for a mismatched node.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+    /// Prefixes the message with the field/variant it occurred under.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for DeError {}
+
+/// Mirror of [`Serialize`]: rebuild a value from its [`Content`] encoding.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Named-struct field lookup used by `#[derive(Deserialize)]`. A missing key
+/// deserializes as `Null` so `Option` fields default to `None` while required
+/// fields report which key was absent.
+pub fn field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_content(v).map_err(|e| e.in_field(key)),
+        None => T::from_content(&Content::Null)
+            .map_err(|_| DeError(format!("missing field `{key}`"))),
+    }
+}
+
+macro_rules! impl_de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new(format!(
+                    "{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+macro_rules! impl_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::new(format!("{v} out of range")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new(format!(
+                    "{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_signed!(i8, i16, i32, i64, isize);
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        // Integral floats may have been narrowed to the integer variants on
+        // the way through JSON; widen them back.
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("seq", other)),
+        }
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_content(content)?;
+        let got = items.len();
+        items.try_into().map_err(|_| {
+            DeError::new(format!("expected array of length {N}, found {got}"))
+        })
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v).map_err(|e| e.in_field(k))?)))
+                .collect(),
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($n:tt $t:ident),+; $len:expr))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    Content::Seq(items) => Err(DeError::new(format!(
+                        "expected seq of length {}, found {}", $len, items.len()))),
+                    other => Err(DeError::expected("seq", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (0 A; 1)
+    (0 A, 1 B; 2)
+    (0 A, 1 B, 2 C; 3)
+    (0 A, 1 B, 2 C, 3 D; 4)
+    (0 A, 1 B, 2 C, 3 D, 4 E; 5)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F; 6)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G; 7)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H; 8)
+}
+
 /// Namespace parity with real serde (`serde::ser::Serialize`).
 pub mod ser {
     pub use super::{Content, Serialize};
+}
+
+/// Namespace parity with real serde (`serde::de::Deserialize`).
+pub mod de {
+    pub use super::{Content, DeError, Deserialize};
+}
+
+#[cfg(test)]
+mod de_tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&Content::U64(7)).unwrap(), 7);
+        assert_eq!(i32::from_content(&Content::I64(-3)).unwrap(), -3);
+        assert_eq!(u8::from_content(&Content::I64(200)).unwrap(), 200);
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+        assert_eq!(f64::from_content(&Content::U64(5)).unwrap(), 5.0);
+        assert!(bool::from_content(&Content::Bool(true)).unwrap());
+        assert_eq!(
+            String::from_content(&Content::Str("x".into())).unwrap(),
+            "x"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_content(&v.to_content()).unwrap(), v);
+        let a = [1usize, 2, 3];
+        assert_eq!(<[usize; 3]>::from_content(&a.to_content()).unwrap(), a);
+        assert!(<[usize; 4]>::from_content(&a.to_content()).is_err());
+        let t = (1u32, -2i64, 3.5f64);
+        assert_eq!(<(u32, i64, f64)>::from_content(&t.to_content()).unwrap(), t);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_content(&o.to_content()).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_content(&Some(4u64).to_content()).unwrap(),
+            Some(4)
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn missing_field_reports_key() {
+        let map = vec![("present".to_string(), Content::U64(1))];
+        let err = field::<u64>(&map, "absent").unwrap_err();
+        assert!(err.to_string().contains("absent"), "{err}");
+        // Option fields tolerate absence.
+        assert_eq!(field::<Option<u64>>(&map, "absent").unwrap(), None);
+    }
 }

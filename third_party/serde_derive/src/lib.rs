@@ -1,4 +1,5 @@
-//! Minimal `#[derive(Serialize)]` for the vendored `serde` stand-in.
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` stand-in.
 //!
 //! Hand-rolled token walking (no `syn`/`quote` — the build is offline). Supports
 //! exactly the shapes this workspace uses: non-generic structs with named
@@ -9,13 +10,40 @@ use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
+    match parse_item(input).and_then(|item| expand(&item)) {
         Ok(src) => src.parse().expect("serde_derive: generated impl parses"),
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
 }
 
-fn expand(input: TokenStream) -> Result<String, String> {
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input).and_then(|item| expand_de(&item)) {
+        Ok(src) => src.parse().expect("serde_derive: generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// The derived item, reduced to what both expansions need.
+enum Item {
+    NamedStruct(String, Vec<String>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct(n, _)
+            | Item::TupleStruct(n, _)
+            | Item::UnitStruct(n)
+            | Item::Enum(n, _) => n,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
     skip_attrs_and_vis(&toks, &mut i);
@@ -39,91 +67,236 @@ fn expand(input: TokenStream) -> Result<String, String> {
         ));
     }
 
-    let body = if kind == "struct" {
+    if kind == "struct" {
         match &toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let fields = named_fields(g);
-                let pairs: Vec<String> = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "(::std::string::String::from({f:?}), \
-                             ::serde::Serialize::to_content(&self.{f}))"
-                        )
-                    })
-                    .collect();
-                format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+                Ok(Item::NamedStruct(name, named_fields(g)))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                let n = tuple_arity(g);
-                match n {
-                    0 => "::serde::Content::Seq(vec![])".to_string(),
-                    // Newtype structs serialize transparently, as in real serde.
-                    1 => "::serde::Serialize::to_content(&self.0)".to_string(),
-                    _ => {
-                        let items: Vec<String> = (0..n)
-                            .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
-                            .collect();
-                        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
-                    }
-                }
+                Ok(Item::TupleStruct(name, tuple_arity(g)))
             }
-            _ => "::serde::Content::Null".to_string(), // unit struct
+            _ => Ok(Item::UnitStruct(name)),
         }
     } else {
-        let g = match &toks.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
-            other => return Err(format!("serde_derive: expected enum body, got {other:?}")),
-        };
-        let mut arms = Vec::new();
-        for v in variants(&g) {
-            arms.push(match v {
-                Variant::Unit(vn) => format!(
-                    "{name}::{vn} => ::serde::Content::Str(::std::string::String::from({vn:?})),"
-                ),
-                Variant::Tuple(vn, n) => {
-                    let binds: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
-                    let inner = if n == 1 {
-                        "::serde::Serialize::to_content(__f0)".to_string()
-                    } else {
-                        let items: Vec<String> = binds
-                            .iter()
-                            .map(|b| format!("::serde::Serialize::to_content({b})"))
-                            .collect();
-                        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
-                    };
-                    format!(
-                        "{name}::{vn}({}) => ::serde::Content::Map(vec![\
-                         (::std::string::String::from({vn:?}), {inner})]),",
-                        binds.join(", ")
-                    )
-                }
-                Variant::Struct(vn, fields) => {
-                    let pairs: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            format!(
-                                "(::std::string::String::from({f:?}), \
-                                 ::serde::Serialize::to_content({f}))"
-                            )
-                        })
-                        .collect();
-                    format!(
-                        "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![\
-                         (::std::string::String::from({vn:?}), \
-                         ::serde::Content::Map(vec![{}]))]),",
-                        fields.join(", "),
-                        pairs.join(", ")
-                    )
-                }
-            });
+        match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, variants(g)))
+            }
+            other => Err(format!("serde_derive: expected enum body, got {other:?}")),
         }
-        format!("match self {{ {} }}", arms.join(" "))
+    }
+}
+
+fn expand(item: &Item) -> Result<String, String> {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct(_, fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+        }
+        Item::TupleStruct(_, n) => match n {
+            0 => "::serde::Content::Seq(vec![])".to_string(),
+            // Newtype structs serialize transparently, as in real serde.
+            1 => "::serde::Serialize::to_content(&self.0)".to_string(),
+            _ => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            }
+        },
+        Item::UnitStruct(_) => "::serde::Content::Null".to_string(),
+        Item::Enum(_, variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                arms.push(match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => ::serde::Content::Str(::std::string::String::from({vn:?})),"
+                    ),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                             (::std::string::String::from({vn:?}), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Content::Map(vec![{}]))]),",
+                            fields.join(", "),
+                            pairs.join(", ")
+                        )
+                    }
+                });
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
     };
 
     Ok(format!(
         "impl ::serde::Serialize for {name} {{\n\
              fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    ))
+}
+
+/// Expansion for `#[derive(Deserialize)]`: the exact inverse of [`expand`]'s
+/// encoding, so derive pairs round-trip through `Content` (and JSON).
+fn expand_de(item: &Item) -> Result<String, String> {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct(_, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__m, {f:?})?,"))
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(__m) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::expected(\"map\", __other)),\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Item::TupleStruct(_, n) => match n {
+            0 => format!(
+                "match __c {{\n\
+                     ::serde::Content::Seq(__s) if __s.is_empty() => \
+                         ::std::result::Result::Ok({name}()),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::expected(\"empty seq\", __other)),\n\
+                 }}"
+            ),
+            // Newtype structs deserialize transparently, mirroring serialization.
+            1 => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+            ),
+            _ => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "match __c {{\n\
+                         ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"seq of length {n}\", __other)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        },
+        Item::UnitStruct(_) => format!(
+            "match __c {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", __other)),\n\
+             }}"
+        ),
+        Item::Enum(_, variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_content(__v)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_content(&__s[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __v {{\n\
+                                     ::serde::Content::Seq(__s) if __s.len() == {n} => \
+                                         ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::DeError::expected(\"seq of length {n}\", __other)),\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        };
+                        data_arms.push(format!("{vn:?} => {{ {inner} }}"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__vm, {f:?})?,"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => match __v {{\n\
+                                 ::serde::Content::Map(__vm) => \
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\"map\", __other)),\n\
+                             }}",
+                            inits.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __v => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{__v}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = &__m[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __k => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{__k}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"enum representation\", __other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+
+    Ok(format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
          }}"
     ))
 }

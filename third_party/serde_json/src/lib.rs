@@ -3,13 +3,14 @@
 //!
 //! Provides the subset the workspace uses: [`Value`] with sorted-key objects
 //! (matching real serde_json's default `BTreeMap` ordering), [`to_value`],
-//! [`to_string`] / [`to_string_pretty`], and a strict-enough [`from_str`]
-//! parser for round-tripping its own output.
+//! [`to_string`] / [`to_string_pretty`], a strict-enough [`from_str`] parser
+//! for round-tripping its own output, and typed decoding via [`from_value`]
+//! (`from_str::<T>` composes the two).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Content, Serialize};
+use serde::{Content, Deserialize, Serialize};
 
 /// Key-sorted object representation, like real serde_json without
 /// `preserve_order`.
@@ -152,8 +153,36 @@ fn content_to_value(c: Content) -> Value {
     }
 }
 
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number(N::I(n))) => Content::I64(*n),
+        Value::Number(Number(N::U(n))) => Content::U64(*n),
+        Value::Number(Number(N::F(n))) => Content::F64(*n),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => {
+            Content::Map(map.iter().map(|(k, v)| (k.clone(), value_to_content(v))).collect())
+        }
+    }
+}
+
+/// `Value` deserializes into itself, so `from_str::<Value>` keeps the untyped
+/// path that predates typed decoding.
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content.clone()))
+    }
+}
+
 pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
     Ok(content_to_value(value.to_content()))
+}
+
+/// Decode a parsed [`Value`] into a `Deserialize` type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_content(&value_to_content(value)).map_err(|e| Error(e.to_string()))
 }
 
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -239,7 +268,7 @@ fn write_value(
     }
 }
 
-pub fn from_str(s: &str) -> Result<Value, Error> {
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
@@ -247,7 +276,7 @@ pub fn from_str(s: &str) -> Result<Value, Error> {
     if p.pos != p.bytes.len() {
         return Err(Error(format!("trailing characters at byte {}", p.pos)));
     }
-    Ok(v)
+    from_value(&v)
 }
 
 struct Parser<'a> {
@@ -366,15 +395,19 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        if float {
-            let v: f64 = text.parse().map_err(|e| Error(format!("bad number {text:?}: {e}")))?;
-            Ok(Value::Number(Number(N::F(v))))
-        } else if let Ok(v) = text.parse::<u64>() {
-            Ok(Value::Number(Number(N::U(v))))
-        } else {
-            let v: i64 = text.parse().map_err(|e| Error(format!("bad number {text:?}: {e}")))?;
-            Ok(Value::Number(Number(N::I(v))))
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::U(v))));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::I(v))));
+            }
+            // Integer literal outside u64/i64 range (e.g. the 300-digit
+            // expansion Display emits for 1e300): fall back to f64, as real
+            // serde_json does without `arbitrary_precision`.
         }
+        let v: f64 = text.parse().map_err(|e| Error(format!("bad number {text:?}: {e}")))?;
+        Ok(Value::Number(Number(N::F(v))))
     }
 
     fn array(&mut self) -> Result<Value, Error> {
@@ -436,8 +469,8 @@ mod tests {
     #[test]
     fn round_trip() {
         let src = r#"{"a": [1, 2.5, -3], "b": "x\ny", "c": true, "d": null}"#;
-        let v = from_str(src).unwrap();
-        let back = from_str(&v.to_string()).unwrap();
+        let v: Value = from_str(src).unwrap();
+        let back: Value = from_str(&v.to_string()).unwrap();
         assert_eq!(v, back);
     }
 
@@ -445,6 +478,26 @@ mod tests {
     fn pretty_is_parseable() {
         let rows = vec![("k".to_string(), 1.5f64)];
         let s = to_string_pretty(&rows).unwrap();
-        assert!(from_str(&s).is_ok());
+        assert!(from_str::<Value>(&s).is_ok());
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let original = vec![(1u64, -2i64, 0.125f64), (u64::MAX, i64::MIN, 3.0)];
+        let json = to_string(&original).unwrap();
+        let back: Vec<(u64, i64, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        // The persisted DseCache depends on floats surviving JSON unchanged:
+        // shortest-round-trip Display for fractional values, `{v:.1}` for
+        // integral ones, and the u64 path for integers.
+        for v in [0.1f64, 1.0 / 3.0, 1e300, 5e-324, -0.0, 123456789.0, 9.007199254740993e15] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {json} -> {back}");
+        }
     }
 }
