@@ -55,6 +55,8 @@ struct Args {
     seed: u64,
     json: Option<String>,
     serve: Option<String>,
+    remote: Option<String>,
+    deadline_ms: Option<u64>,
     cache_file: Option<String>,
 }
 
@@ -82,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x0E5A_2022,
         json: None,
         serve: None,
+        remote: None,
+        deadline_ms: None,
         cache_file: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -146,6 +150,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--json" => out.json = Some(value(&mut i)?),
             "--serve" => out.serve = Some(value(&mut i)?),
+            "--remote" => out.remote = Some(value(&mut i)?),
+            "--deadline-ms" => {
+                out.deadline_ms =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
+            }
             "--cache-file" => out.cache_file = Some(value(&mut i)?),
             "--help" | "-h" => return Err("usage".into()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -190,6 +199,16 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.cache_file.is_some() && out.serve.is_none() {
         return Err("--cache-file requires --serve".into());
+    }
+    if out.remote.is_some() && (out.model.is_some() || out.pareto || out.serve.is_some()) {
+        return Err(
+            "--remote forwards one layer-level search to a running mapperd; it cannot \
+             combine with --model, --pareto, or --serve"
+                .into(),
+        );
+    }
+    if out.deadline_ms.is_some() && out.remote.is_none() {
+        return Err("--deadline-ms requires --remote (deadlines are a serving concept)".into());
     }
     Ok(out)
 }
@@ -236,6 +255,75 @@ fn serve(addr: &str, args: &Args) -> ExitCode {
     }
 }
 
+/// `--remote ADDR`: forward the layer-level search to a running `mapperd`
+/// instead of searching locally — the client side of the serving stack, with
+/// the same retry/backoff machinery `loadgen` uses. Transient failures (shed
+/// responses, injected panics, a daemon still starting) retry with
+/// exponential backoff + jitter; permanent errors surface immediately.
+fn remote(addr: &str, args: &Args, workload: &GnnWorkload, cfg: &AccelConfig) -> ExitCode {
+    use omega_serve::client::{MapperClient, RetryPolicy};
+    let mut request = omega_serve::MapRequest::for_workload(workload);
+    request.objective = Some(
+        match args.objective {
+            Objective::Runtime => "runtime",
+            Objective::Energy => "energy",
+            Objective::Edp => "edp",
+        }
+        .to_string(),
+    );
+    request.top_k = Some(args.top);
+    request.pes = Some(cfg.num_pes);
+    request.bandwidth = Some(cfg.dist_bandwidth);
+    request.deadline_ms = args.deadline_ms;
+    let policy = RetryPolicy { attempts: 5, base_delay_ms: 50, max_delay_ms: 2000, seed: args.seed };
+    let mut client = match MapperClient::connect(addr, policy) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("explore --remote: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("explore --remote: request failed after retries: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !response.ok {
+        eprintln!(
+            "explore --remote: {} (quality {})",
+            response.error.as_deref().unwrap_or("request refused"),
+            response.decision_quality.as_deref().unwrap_or("?")
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "workload  {} (V={}, F={}, G={}, nnz={})",
+        workload.name, workload.v, workload.f, workload.g, workload.nnz
+    );
+    println!(
+        "remote    {addr} — disposition {}, quality {}, server latency {} µs, {} retries",
+        response.cache.as_deref().unwrap_or("?"),
+        response.decision_quality.as_deref().unwrap_or("?"),
+        response.latency_us.unwrap_or(0),
+        client.retries(),
+    );
+    println!();
+    println!("{:>4}  {:<28} {:>14} {:>14} {:>14}", "rank", "dataflow", "cycles", "energy (uJ)", "score");
+    for (rank, d) in response.ranked.iter().flatten().enumerate() {
+        println!(
+            "{:>4}  {:<28} {:>14} {:>14.3} {:>14.4e}",
+            rank + 1,
+            d.dataflow,
+            d.cycles,
+            d.energy_pj / 1e6,
+            d.score,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// The named multi-layer models the CLI can explore.
 fn model_by_name(name: &str) -> Option<GnnModel> {
     match name.to_lowercase().as_str() {
@@ -261,7 +349,8 @@ fn main() -> ExitCode {
                  [--stats] [--hidden G] [--activation act|norm] [--pes N] \
                  [--bandwidth ELEMS] [--pareto] [--rf-bytes N] [--gb-bytes N] \
                  [--max-buffer-bytes N] [--seed S] [--json PATH|-] \
-                 [--serve HOST:PORT [--cache-file PATH]]"
+                 [--serve HOST:PORT [--cache-file PATH]] \
+                 [--remote HOST:PORT [--deadline-ms MS]]"
             );
             return ExitCode::FAILURE;
         }
@@ -297,6 +386,10 @@ fn main() -> ExitCode {
     if let Some(gb) = args.gb_bytes {
         cfg.gb_bytes = gb;
         cfg.knobs.enforce_capacity = true;
+    }
+
+    if let Some(addr) = args.remote.clone() {
+        return remote(&addr, &args, &workload, &cfg);
     }
 
     if let Some(model_name) = &args.model {

@@ -3,31 +3,44 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7453 --requests 200 --concurrency 4
 //! loadgen --addr 127.0.0.1:7453 --dataset Citeseer --repeat-pct 80 --json -
-//! loadgen --addr 127.0.0.1:7453 --mode fast --no-warmup --shutdown
+//! loadgen --addr 127.0.0.1:7453 --deadline-ms 10 --chaos --retries 5 \
+//!         --max-error-rate 2 --shutdown
 //! ```
 //!
 //! Drives a deterministic mix of repeated ("hot", defaulting to 80%) and
 //! fresh workloads over `--concurrency` persistent connections (closed loop:
 //! each connection sends its next request as soon as the previous answer
 //! lands) and reports client-measured p50/p99 decision latency, sustained
-//! QPS, and the cache-disposition mix. Hot workloads are `--hot-set` hidden
+//! QPS, the cache-disposition mix, and the decision-quality mix
+//! (`exact`/`warm`/`preset`/`shed`). Hot workloads are `--hot-set` hidden
 //! widths of `--dataset`; fresh ones perturb the graph seed so every one is a
 //! new fingerprint. `--warmup` (default) first sends each hot workload once,
-//! so the timed run measures the warm-cache serving path. Run `mapperd` with
-//! at least `--threads == --concurrency` workers: connections are sticky to a
-//! worker for their lifetime.
+//! so the timed run measures the warm-cache serving path.
+//!
+//! Requests ride the retrying [`MapperClient`]: transient failures (shed
+//! responses, injected panics, dropped connections) back off exponentially
+//! with deterministic jitter and retry up to `--retries` times. The run exits
+//! non-zero only when the final error+shed rate exceeds `--max-error-rate`
+//! percent (default 0: any unrecovered failure fails the run).
+//!
+//! `--chaos` interleaves deterministic adversarial probes with the regular
+//! traffic — garbage lines, oversized lines, slow split writes, mid-line
+//! disconnects, connection bursts, and save probes — the client half of the
+//! server's `FaultPlan`. Probes only assert liveness (the daemon answering
+//! real traffic afterwards); their own dispositions are not failures.
 //!
 //! `--json PATH` (or `-` for stdout) writes a machine-readable summary
 //! including the server's own counters; `--shutdown` asks the daemon to drain
 //! and flush its cache when done.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use omega_core::GnnWorkload;
 use omega_graph::DatasetSpec;
+use omega_serve::client::{MapperClient, RetryPolicy};
 use omega_serve::{MapRequest, MapResponse};
 use serde::Serialize;
 
@@ -41,8 +54,12 @@ struct Args {
     mode: String,
     objective: Option<String>,
     top_k: usize,
+    deadline_ms: Option<u64>,
     warmup: bool,
     seed: u64,
+    retries: u32,
+    max_error_rate: f64,
+    chaos: bool,
     json: Option<String>,
     shutdown: bool,
     quiet: bool,
@@ -50,8 +67,9 @@ struct Args {
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C] \
                      [--dataset NAME] [--hot-set N] [--repeat-pct P] [--mode exact|fast] \
-                     [--objective runtime|energy|edp] [--top K] [--no-warmup] [--seed S] \
-                     [--json PATH|-] [--shutdown] [--quiet]";
+                     [--objective runtime|energy|edp] [--top K] [--deadline-ms MS] \
+                     [--no-warmup] [--seed S] [--retries N] [--max-error-rate PCT] \
+                     [--chaos] [--json PATH|-] [--shutdown] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -64,8 +82,12 @@ fn parse_args() -> Result<Args, String> {
         mode: "exact".into(),
         objective: None,
         top_k: 3,
+        deadline_ms: None,
         warmup: true,
         seed: 0x0E5A_2022,
+        retries: 4,
+        max_error_rate: 0.0,
+        chaos: false,
         json: None,
         shutdown: false,
         quiet: false,
@@ -84,11 +106,24 @@ fn parse_args() -> Result<Args, String> {
             "--mode" => out.mode = value("--mode")?,
             "--objective" => out.objective = Some(value("--objective")?),
             "--top" => out.top_k = parsed("--top", value("--top")?)?,
+            "--deadline-ms" => {
+                out.deadline_ms =
+                    Some(value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
+            }
             "--no-warmup" => out.warmup = false,
             "--warmup" => out.warmup = true,
             "--seed" => {
                 out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
             }
+            "--retries" => {
+                out.retries = value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--max-error-rate" => {
+                out.max_error_rate = value("--max-error-rate")?
+                    .parse()
+                    .map_err(|e| format!("--max-error-rate: {e}"))?
+            }
+            "--chaos" => out.chaos = true,
             "--json" => out.json = Some(value("--json")?),
             "--shutdown" => out.shutdown = true,
             "--quiet" => out.quiet = true,
@@ -104,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.repeat_pct > 100 {
         return Err("--repeat-pct must be 0..=100".into());
+    }
+    if !(0.0..=100.0).contains(&out.max_error_rate) {
+        return Err("--max-error-rate must be 0..=100 (percent)".into());
     }
     Ok(out)
 }
@@ -121,35 +159,19 @@ fn request_line(args: &Args, workload: &GnnWorkload) -> String {
     request.mode = Some(args.mode.clone());
     request.objective = args.objective.clone();
     request.top_k = Some(args.top_k);
+    request.deadline_ms = args.deadline_ms;
     serde_json::to_string(&request).expect("request JSON")
 }
 
-/// Connects with retries so loadgen can start before the daemon finishes
-/// binding (CI starts both back-to-back).
-fn connect(addr: &str) -> Result<TcpStream, String> {
-    let mut last = String::new();
-    for _ in 0..100 {
-        match TcpStream::connect(addr) {
-            Ok(stream) => {
-                let _ = stream.set_nodelay(true);
-                return Ok(stream);
-            }
-            Err(e) => last = e.to_string(),
-        }
-        std::thread::sleep(Duration::from_millis(100));
+/// Connect retries generous enough for CI, where loadgen starts before the
+/// daemon finishes binding.
+fn client_policy(args: &Args, stream: u64) -> RetryPolicy {
+    RetryPolicy {
+        attempts: args.retries.max(1),
+        base_delay_ms: 25,
+        max_delay_ms: 800,
+        seed: args.seed ^ mix(stream),
     }
-    Err(format!("cannot connect to {addr}: {last}"))
-}
-
-fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Result<MapResponse, String> {
-    stream.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
-    stream.write_all(b"\n").map_err(|e| format!("send: {e}"))?;
-    let mut response = String::new();
-    reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
-    if response.is_empty() {
-        return Err("server closed the connection".into());
-    }
-    serde_json::from_str(&response).map_err(|e| format!("bad response: {e}"))
 }
 
 #[derive(Debug, Default)]
@@ -159,14 +181,25 @@ struct ClientTally {
     coalesced: u64,
     search: u64,
     warm: u64,
+    exact: u64,
+    degraded_warm: u64,
+    degraded_preset: u64,
+    shed: u64,
     errors: u64,
+    retries: u64,
+    reconnects: u64,
+    chaos_probes: u64,
 }
 
 impl ClientTally {
     fn record(&mut self, latency_us: u64, response: &MapResponse) {
         self.latencies_us.push(latency_us);
         if !response.ok {
-            self.errors += 1;
+            if response.decision_quality.as_deref() == Some("shed") {
+                self.shed += 1;
+            } else {
+                self.errors += 1;
+            }
             return;
         }
         match response.cache.as_deref() {
@@ -175,6 +208,75 @@ impl ClientTally {
             Some("search") => self.search += 1,
             Some("warm") => self.warm += 1,
             _ => {}
+        }
+        match response.decision_quality.as_deref() {
+            Some("warm") => self.degraded_warm += 1,
+            Some("preset") => self.degraded_preset += 1,
+            // Unlabeled ok responses (control commands) are not decisions.
+            Some("exact") => self.exact += 1,
+            _ => {}
+        }
+    }
+}
+
+/// One adversarial client behaviour, driven by `--chaos`: the client half of
+/// the server's fault plan. Each probe uses its own throwaway connection so
+/// the measuring connections stay clean; failures are ignored — liveness is
+/// asserted by the real traffic that follows and the final stats probe.
+fn chaos_probe(addr: &str, kind: u64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let await_line = |reader: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+    };
+    match kind % 6 {
+        // Garbage that is not JSON: server must answer a typed error.
+        0 => {
+            let _ = stream.write_all(b"{definitely not json\n");
+            await_line(&mut reader);
+        }
+        // A single multi-KB line: bounded read path discards, types an error.
+        1 => {
+            let mut line = vec![b'x'; 64 * 1024];
+            line.push(b'\n');
+            let _ = stream.write_all(&line);
+            await_line(&mut reader);
+        }
+        // Slow client: a valid request drip-fed in two halves.
+        2 => {
+            let _ = stream.write_all(b"{\"cmd\":");
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(60));
+            let _ = stream.write_all(b"\"ping\"}\n");
+            await_line(&mut reader);
+        }
+        // Disconnect mid-line: the server must just drop the connection.
+        3 => {
+            let _ = stream.write_all(b"{\"cmd\":\"pi");
+        }
+        // Connection burst: pressure the admission limit; extras get explicit
+        // shed lines instead of silent stalls.
+        4 => {
+            let burst: Vec<TcpStream> =
+                (0..6).filter_map(|_| TcpStream::connect(addr).ok()).collect();
+            std::thread::sleep(Duration::from_millis(20));
+            for mut extra in burst {
+                let _ = extra.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 256];
+                let _ = extra.read(&mut buf); // shed line or nothing
+            }
+        }
+        // Save probe: exercises the save path (and any armed save-crash
+        // fault); either an ok or an error line is acceptable.
+        _ => {
+            let _ = stream.write_all(b"{\"cmd\":\"save\"}\n");
+            await_line(&mut reader);
         }
     }
 }
@@ -196,7 +298,16 @@ struct Summary {
     coalesced: u64,
     search: u64,
     warm: u64,
+    exact: u64,
+    degraded_warm: u64,
+    degraded_preset: u64,
+    shed: u64,
     errors: u64,
+    retries: u64,
+    reconnects: u64,
+    chaos_probes: u64,
+    error_rate_pct: f64,
+    max_error_rate_pct: f64,
     server: Option<omega_serve::ServerStats>,
 }
 
@@ -248,30 +359,33 @@ fn main() -> ExitCode {
 
     if !args.quiet {
         eprintln!(
-            "loadgen: {} requests ({} fresh) over {} connections to {} [{} {}]",
+            "loadgen: {} requests ({} fresh) over {} connections to {} [{} {}]{}",
             args.requests,
             fresh_used,
             args.concurrency,
             args.addr,
             args.dataset,
-            args.mode
+            args.mode,
+            if args.chaos { " +chaos" } else { "" }
         );
     }
 
     // Warmup: prime the cache with each hot workload once, off the clock.
     if args.warmup {
-        let mut stream = match connect(&args.addr) {
-            Ok(s) => s,
+        let mut client = match MapperClient::connect(&args.addr, client_policy(&args, u64::MAX)) {
+            Ok(client) => client,
             Err(e) => {
-                eprintln!("loadgen: {e}");
+                eprintln!("loadgen: cannot connect to {}: {e}", args.addr);
                 return ExitCode::FAILURE;
             }
         };
-        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
         for line in &hot {
-            if let Err(e) = exchange(&mut stream, &mut reader, line) {
-                eprintln!("loadgen: warmup failed: {e}");
-                return ExitCode::FAILURE;
+            match client.request_line(line) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("loadgen: warmup failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
@@ -279,33 +393,49 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let tallies: Vec<ClientTally> = std::thread::scope(|s| {
         let schedule = &schedule;
-        let addr = &args.addr;
+        let args = &args;
         let clients: Vec<_> = (0..args.concurrency)
             .map(|t| {
                 s.spawn(move || {
                     let mut tally = ClientTally::default();
-                    let mut stream = match connect(addr) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("loadgen: {e}");
-                            tally.errors += 1;
-                            return tally;
+                    let indexed: Vec<(usize, &String)> =
+                        schedule.iter().enumerate().skip(t).step_by(args.concurrency).collect();
+                    let mut client =
+                        match MapperClient::connect(&args.addr, client_policy(args, t as u64)) {
+                            Ok(client) => client,
+                            Err(e) => {
+                                eprintln!("loadgen: cannot connect to {}: {e}", args.addr);
+                                tally.errors += indexed.len() as u64;
+                                return tally;
+                            }
+                        };
+                    let mut consecutive_io = 0u32;
+                    for (done, (i, line)) in indexed.iter().enumerate() {
+                        if args.chaos && mix(args.seed ^ 0xC4A05 ^ *i as u64).is_multiple_of(8) {
+                            tally.chaos_probes += 1;
+                            chaos_probe(&args.addr, mix(0xFA17 ^ *i as u64));
                         }
-                    };
-                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-                    for line in schedule.iter().skip(t).step_by(args.concurrency) {
                         let sent = Instant::now();
-                        match exchange(&mut stream, &mut reader, line) {
+                        match client.request_line(line) {
                             Ok(response) => {
-                                tally.record(sent.elapsed().as_micros() as u64, &response)
+                                consecutive_io = 0;
+                                tally.record(sent.elapsed().as_micros() as u64, &response);
                             }
                             Err(e) => {
-                                eprintln!("loadgen: {e}");
                                 tally.errors += 1;
-                                return tally;
+                                consecutive_io += 1;
+                                if consecutive_io > 10 {
+                                    // The daemon is gone; charge what's left
+                                    // as errors instead of grinding backoffs.
+                                    eprintln!("loadgen: giving up on {}: {e}", args.addr);
+                                    tally.errors += (indexed.len() - done - 1) as u64;
+                                    break;
+                                }
                             }
                         }
                     }
+                    tally.retries = client.retries();
+                    tally.reconnects = client.reconnects();
                     tally
                 })
             })
@@ -315,14 +445,21 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed();
 
     let mut latencies: Vec<u64> = Vec::with_capacity(args.requests);
-    let (mut hit, mut coalesced, mut search, mut warm, mut errors) = (0, 0, 0, 0, 0);
+    let mut sum = ClientTally::default();
     for t in &tallies {
         latencies.extend_from_slice(&t.latencies_us);
-        hit += t.hit;
-        coalesced += t.coalesced;
-        search += t.search;
-        warm += t.warm;
-        errors += t.errors;
+        sum.hit += t.hit;
+        sum.coalesced += t.coalesced;
+        sum.search += t.search;
+        sum.warm += t.warm;
+        sum.exact += t.exact;
+        sum.degraded_warm += t.degraded_warm;
+        sum.degraded_preset += t.degraded_preset;
+        sum.shed += t.shed;
+        sum.errors += t.errors;
+        sum.retries += t.retries;
+        sum.reconnects += t.reconnects;
+        sum.chaos_probes += t.chaos_probes;
     }
     latencies.sort_unstable();
     let completed = latencies.len();
@@ -335,16 +472,20 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+    // Failure rate over everything attempted: hard errors plus final sheds
+    // (a shed that survived all retries is an unanswered request).
+    let error_rate_pct = 100.0 * (sum.errors + sum.shed) as f64 / args.requests.max(1) as f64;
 
     // Server-side counters (and optionally a drain-and-flush shutdown).
-    let server = connect(&args.addr).ok().and_then(|mut stream| {
-        let mut reader = BufReader::new(stream.try_clone().ok()?);
-        let stats = exchange(&mut stream, &mut reader, "{\"cmd\":\"stats\"}").ok()?.stats;
-        if args.shutdown {
-            let _ = exchange(&mut stream, &mut reader, "{\"cmd\":\"shutdown\"}");
-        }
-        stats
-    });
+    let server = MapperClient::connect(&args.addr, client_policy(&args, u64::MAX - 1))
+        .ok()
+        .and_then(|mut client| {
+            let stats = client.request_line("{\"cmd\":\"stats\"}").ok()?.stats;
+            if args.shutdown {
+                let _ = client.request_line("{\"cmd\":\"shutdown\"}");
+            }
+            stats
+        });
 
     println!(
         "loadgen: {completed}/{} requests in {elapsed_s:.3} s — {qps:.0} QPS, \
@@ -352,20 +493,41 @@ fn main() -> ExitCode {
         args.requests
     );
     println!(
-        "loadgen: dispositions hit {hit}, coalesced {coalesced}, search {search}, \
-         warm {warm}, errors {errors}"
+        "loadgen: cache hit {}, coalesced {}, search {}, warm {}",
+        sum.hit, sum.coalesced, sum.search, sum.warm
+    );
+    println!(
+        "loadgen: quality exact {}, degraded-warm {}, degraded-preset {}, shed {}; \
+         errors {}, retries {}, reconnects {}, chaos probes {} ({error_rate_pct:.2}% failed, \
+         limit {:.2}%)",
+        sum.exact,
+        sum.degraded_warm,
+        sum.degraded_preset,
+        sum.shed,
+        sum.errors,
+        sum.retries,
+        sum.reconnects,
+        sum.chaos_probes,
+        args.max_error_rate
     );
     if let Some(stats) = &server {
         println!(
             "loadgen: server counters — {} requests, {} searches, {} hits, {} coalesced, \
-             {} warm starts, {} evictions, {} entries",
+             {} warm starts, {} evictions, {} entries, {} shed, {} degraded-warm, \
+             {} degraded-preset, {} cancelled, {} quarantined, {} faults injected",
             stats.requests,
             stats.searches,
             stats.hits,
             stats.coalesced,
             stats.warm_starts,
             stats.evictions,
-            stats.cache_entries
+            stats.cache_entries,
+            stats.shed,
+            stats.degraded_warm,
+            stats.degraded_preset,
+            stats.cancelled_searches,
+            stats.quarantined_loads,
+            stats.faults_injected
         );
     }
 
@@ -380,11 +542,20 @@ fn main() -> ExitCode {
         p50_ms,
         p99_ms,
         mean_ms,
-        hit,
-        coalesced,
-        search,
-        warm,
-        errors,
+        hit: sum.hit,
+        coalesced: sum.coalesced,
+        search: sum.search,
+        warm: sum.warm,
+        exact: sum.exact,
+        degraded_warm: sum.degraded_warm,
+        degraded_preset: sum.degraded_preset,
+        shed: sum.shed,
+        errors: sum.errors,
+        retries: sum.retries,
+        reconnects: sum.reconnects,
+        chaos_probes: sum.chaos_probes,
+        error_rate_pct,
+        max_error_rate_pct: args.max_error_rate,
         server,
     };
     if let Some(path) = &args.json {
@@ -396,7 +567,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if errors > 0 {
+    if error_rate_pct > args.max_error_rate {
+        eprintln!(
+            "loadgen: FAILED — error rate {error_rate_pct:.2}% exceeds limit {:.2}%",
+            args.max_error_rate
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -364,6 +364,31 @@ impl<C: PartialEq, R> ParetoFront<C, R> {
     }
 }
 
+/// Cooperative cancellation for long-running searches: a cheap, cloneable
+/// flag checked by the parallel-search workers at every chunk claim. A serving
+/// process hands one to each search it might abandon (deadline expiry,
+/// shutdown), so an abandoned search stops burning workers within one chunk
+/// (~64 candidate evaluations) instead of running to completion.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asks every search holding a clone of this token to stop.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Self::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
 /// A scored candidate: `(score, tie-break index, dataflow, report)`.
 pub(crate) type Scored = (f64, usize, GnnDataflow, CostReport);
 
@@ -390,6 +415,10 @@ pub(crate) struct ParallelJob {
     /// Starting value of the shared pruning threshold (`f64::INFINITY` when no
     /// pre-evaluated entries warrant one).
     pub init_threshold: f64,
+    /// Cooperative cancellation, checked at every chunk claim (`None` = never
+    /// cancelled). A cancelled search returns partial results the caller must
+    /// discard — determinism only holds for completed sweeps.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Evaluates `count` candidates produced on demand by `gen` across scoped
@@ -431,6 +460,9 @@ pub(crate) fn parallel_search<C: Send + PartialEq, R: Send>(
         let mut skipped = 0usize;
         let mut pruned = 0usize;
         loop {
+            if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                break;
+            }
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= count {
                 break;
@@ -499,6 +531,7 @@ pub(crate) fn parallel_top_k(
         threads: job.threads,
         chunk: job.chunk,
         init_threshold: f64::INFINITY,
+        cancel: None,
     };
     let prep = PreparedEval::new(job.workload, job.cfg);
     let score = |dataflow: &GnnDataflow, _index: usize, _thr: f64| -> Verdict<CostReport> {
@@ -556,7 +589,24 @@ fn dse_verdict(eval: DseEval, objective: Objective) -> Verdict<CostReport> {
 /// assert!(outcome.ranked.windows(2).all(|w| w[0].score <= w[1].score));
 /// ```
 pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> ExploreOutcome {
+    explore_cancellable(workload, cfg, opts, &CancelToken::new())
+        .expect("a never-cancelled exploration always completes")
+}
+
+/// [`explore`] with cooperative cancellation: returns `None` — and stops
+/// burning worker threads within one work-queue chunk — once `cancel` fires.
+/// Partial results are discarded (determinism only holds for completed
+/// sweeps); a `None` therefore means "no answer", never "a worse answer".
+pub fn explore_cancellable(
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &DseOptions,
+    cancel: &CancelToken,
+) -> Option<ExploreOutcome> {
     let t0 = Instant::now();
+    if cancel.is_cancelled() {
+        return None;
+    }
     let space = PatternSpace::new();
     let total = space.len();
     let threads = opts.threads.max(1);
@@ -624,8 +674,19 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         }
         verdict
     };
-    let job = ParallelJob { k: opts.top_k, threads, chunk: opts.chunk, init_threshold };
+    let job = ParallelJob {
+        k: opts.top_k,
+        threads,
+        chunk: opts.chunk,
+        init_threshold,
+        cancel: Some(cancel.clone()),
+    };
     let (mut merged, mut evaluated, skipped, pruned) = parallel_search(total, &gen, &score, &job);
+    if cancel.is_cancelled() {
+        // The sweep stopped early: its partial top-K must not masquerade as
+        // the exhaustive optimum.
+        return None;
+    }
     evaluated += seeded;
     merged.extend(seeds);
 
@@ -690,7 +751,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         ranked
     };
 
-    ExploreOutcome {
+    Some(ExploreOutcome {
         ranked,
         frontier,
         space: total,
@@ -703,7 +764,7 @@ pub fn explore(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         refine_evals,
         elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         threads,
-    }
+    })
 }
 
 /// The Pareto axis vector of one evaluated dataflow: total cycles, total
@@ -936,6 +997,40 @@ struct PersistedCache {
     entries: Vec<PersistedEntry>,
 }
 
+/// Checksum footer written as the last line of a persisted cache file:
+/// the payload's FNV-1a digest and byte length, so a truncated or bit-flipped
+/// file is detected at load instead of silently misread.
+#[derive(Debug, Clone, Copy, Deserialize, Serialize)]
+struct PersistedFooter {
+    /// Footer discriminant (the cache file version).
+    omega_cache_footer: u32,
+    /// FNV-1a digest of the payload bytes.
+    crc64: u64,
+    /// Payload length in bytes.
+    bytes: u64,
+}
+
+/// What [`DseCache::load_or_quarantine`] did with the persisted file.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Entries restored into the cache.
+    pub loaded: usize,
+    /// Where the corrupt file was moved, when validation failed.
+    pub quarantined: Option<std::path::PathBuf>,
+    /// Whether a stale `.tmp` leftover from a crashed save was deleted.
+    pub cleaned_tmp: bool,
+}
+
+/// FNV-1a over `bytes` (the checksum of the persisted cache payload).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A workload-keyed, bounded, concurrency-safe cache of exploration outcomes.
 ///
 /// Keyed by everything the (deterministic) result depends on: the workload
@@ -964,6 +1059,8 @@ pub struct DseCache {
     hits: AtomicUsize,
     coalesced: AtomicUsize,
     evictions: AtomicUsize,
+    cancelled: AtomicUsize,
+    quarantined: AtomicUsize,
 }
 
 impl Default for DseCache {
@@ -987,6 +1084,8 @@ impl DseCache {
             hits: AtomicUsize::new(0),
             coalesced: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            cancelled: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         }
     }
 
@@ -1044,6 +1143,18 @@ impl DseCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Searches abandoned by cooperative cancellation
+    /// ([`Self::explore_traced_cancellable`]) before they completed.
+    pub fn cancelled(&self) -> usize {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt persisted cache files quarantined by
+    /// [`Self::load_or_quarantine`] instead of loaded.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     /// Like [`explore`], but returns the cached outcome when this
     /// (workload, config, options) was searched before.
     pub fn explore(
@@ -1064,6 +1175,23 @@ impl DseCache {
         cfg: &AccelConfig,
         opts: &DseOptions,
     ) -> (Arc<ExploreOutcome>, CacheOutcome) {
+        self.explore_traced_cancellable(workload, cfg, opts, &CancelToken::new())
+            .expect("a never-cancelled cached exploration always completes")
+    }
+
+    /// [`Self::explore_traced`] with cooperative cancellation: `None` once
+    /// `cancel` fires, whether this request was leading the search (the sweep
+    /// stops within one work-queue chunk, the flight is abandoned, waiters
+    /// retry) or waiting on another leader. A cancelled search inserts nothing
+    /// into the cache and never inflates [`Self::searches`];
+    /// [`Self::cancelled`] counts the abandonments.
+    pub fn explore_traced_cancellable(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+        cancel: &CancelToken,
+    ) -> Option<(Arc<ExploreOutcome>, CacheOutcome)> {
         let key = fingerprint(workload, cfg, opts);
         loop {
             enum Role {
@@ -1079,7 +1207,7 @@ impl DseCache {
                     let outcome = Arc::clone(&entry.outcome);
                     drop(st);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return (outcome, CacheOutcome::Hit);
+                    return Some((outcome, CacheOutcome::Hit));
                 }
                 if let Some(flight) = st.inflight.get(&key) {
                     Role::Wait(Arc::clone(flight))
@@ -1093,16 +1221,32 @@ impl DseCache {
                 Role::Wait(flight) => {
                     if let Some(outcome) = flight.wait() {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        return (outcome, CacheOutcome::Coalesced);
+                        return Some((outcome, CacheOutcome::Coalesced));
                     }
-                    // The leader panicked before publishing; retry (this
-                    // waiter may become the new leader).
+                    // The leader panicked or was cancelled before publishing;
+                    // unless this waiter was itself cancelled, retry (it may
+                    // become the new leader).
+                    if cancel.is_cancelled() {
+                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
                 }
                 Role::Lead(flight) => {
                     let lead = FlightLead { cache: self, key, flight: &flight, done: false };
-                    let outcome = Arc::new(explore(workload, cfg, opts));
-                    lead.complete(Arc::clone(&outcome), WorkloadProfile::of(workload));
-                    return (outcome, CacheOutcome::Searched);
+                    match explore_cancellable(workload, cfg, opts, cancel) {
+                        Some(outcome) => {
+                            let outcome = Arc::new(outcome);
+                            lead.complete(Arc::clone(&outcome), WorkloadProfile::of(workload));
+                            return Some((outcome, CacheOutcome::Searched));
+                        }
+                        None => {
+                            // Dropping the lead abandons the flight, so any
+                            // waiters retry instead of blocking forever.
+                            drop(lead);
+                            self.cancelled.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
                 }
             }
         }
@@ -1182,8 +1326,19 @@ impl DseCache {
 
     /// Writes every cached entry to `path` as versioned JSON (atomically:
     /// temp file + rename), least-recently-used first so a reload preserves
-    /// the eviction order.
+    /// the eviction order, followed by a checksum footer line so
+    /// [`Self::load_into`] detects truncated or corrupted files instead of
+    /// misreading them.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with_crash_point(path, false)
+    }
+
+    /// [`Self::save`] with a deterministic crash injected between writing the
+    /// temp file and renaming it over `path` — the window a `kill -9` during
+    /// save leaves behind. Fault-injection harnesses use it to prove the
+    /// recovery path: the original file survives untouched and the leftover
+    /// `.tmp` is cleaned up (never loaded) by [`Self::load_or_quarantine`].
+    pub fn save_with_crash_point(&self, path: &Path, crash_before_rename: bool) -> io::Result<()> {
         let snapshot = {
             let st = lock_recover(&self.state);
             let mut rows: Vec<(&u64, &CacheEntry)> = st.entries.iter().collect();
@@ -1200,29 +1355,65 @@ impl DseCache {
                     .collect(),
             }
         };
-        let json = serde_json::to_string(&snapshot).map_err(io::Error::other)?;
+        let payload = serde_json::to_string(&snapshot).map_err(io::Error::other)?;
+        let footer = PersistedFooter {
+            omega_cache_footer: CACHE_FILE_VERSION,
+            crc64: fnv1a_64(payload.as_bytes()),
+            bytes: payload.len() as u64,
+        };
+        let footer_json = serde_json::to_string(&footer).map_err(io::Error::other)?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
+        std::fs::write(&tmp, format!("{payload}\n{footer_json}\n"))?;
+        if crash_before_rename {
+            panic!("injected fault: crash between cache tmp write and rename");
+        }
         std::fs::rename(&tmp, path)
     }
 
     /// Merges the entries persisted at `path` into this cache (evicting LRU
     /// entries if the merge exceeds capacity). Returns how many entries the
-    /// file held. Fails with `InvalidData` on a version mismatch or a
-    /// malformed file.
+    /// file held. Fails with `InvalidData` on a version mismatch, a malformed
+    /// or truncated file, or a checksum-footer mismatch — serving processes
+    /// that must survive a corrupt file wrap this in
+    /// [`Self::load_or_quarantine`].
     pub fn load_into(&self, path: &Path) -> io::Result<usize> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let text = std::fs::read_to_string(path)?;
-        let parsed: PersistedCache = serde_json::from_str(&text).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad cache file: {e}"))
-        })?;
+        // Footer-bearing layout: `<payload JSON>\n<footer JSON>\n`. A file
+        // without a parseable footer line falls back to parsing the whole
+        // text as a (pre-checksum, PR 8) payload — truncation or corruption
+        // then surfaces as a JSON parse error.
+        let stripped = text.trim_end_matches(['\n', '\r']);
+        let payload: &str = match stripped
+            .rfind('\n')
+            .map(|i| (&stripped[..i], &stripped[i + 1..]))
+            .and_then(|(body, tail)| {
+                serde_json::from_str::<PersistedFooter>(tail).ok().map(|f| (body, f))
+            }) {
+            Some((body, footer)) => {
+                if footer.bytes != body.len() as u64 {
+                    return Err(invalid(format!(
+                        "cache file truncated: footer expects {} payload bytes, found {}",
+                        footer.bytes,
+                        body.len()
+                    )));
+                }
+                if footer.crc64 != fnv1a_64(body.as_bytes()) {
+                    return Err(invalid(
+                        "cache file corrupted: payload checksum does not match footer".into(),
+                    ));
+                }
+                body
+            }
+            None => stripped,
+        };
+        let parsed: PersistedCache = serde_json::from_str(payload)
+            .map_err(|e| invalid(format!("bad cache file: {e}")))?;
         if parsed.version != CACHE_FILE_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "cache file version {} (this build reads {})",
-                    parsed.version, CACHE_FILE_VERSION
-                ),
-            ));
+            return Err(invalid(format!(
+                "cache file version {} (this build reads {})",
+                parsed.version, CACHE_FILE_VERSION
+            )));
         }
         let count = parsed.entries.len();
         let mut st = lock_recover(&self.state);
@@ -1230,6 +1421,30 @@ impl DseCache {
             self.insert_locked(&mut st, entry.key, Arc::new(entry.outcome), entry.profile);
         }
         Ok(count)
+    }
+
+    /// The serving-path load: never aborts on a bad file. A missing file is a
+    /// cold start; stale `.tmp` leftovers from a crash mid-save are deleted
+    /// (never loaded); a file that fails validation ([`Self::load_into`]'s
+    /// `InvalidData`) is renamed aside to `<path>.quarantined` — preserved for
+    /// inspection, counted by [`Self::quarantined`] — and serving starts cold
+    /// to rebuild it. Only genuine I/O errors (permissions, disk) propagate.
+    pub fn load_or_quarantine(&self, path: &Path) -> io::Result<LoadReport> {
+        let tmp = path.with_extension("tmp");
+        let cleaned_tmp = std::fs::remove_file(&tmp).is_ok();
+        if !path.exists() {
+            return Ok(LoadReport { loaded: 0, quarantined: None, cleaned_tmp });
+        }
+        match self.load_into(path) {
+            Ok(loaded) => Ok(LoadReport { loaded, quarantined: None, cleaned_tmp }),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let quarantine = path.with_extension("quarantined");
+                std::fs::rename(path, &quarantine)?;
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                Ok(LoadReport { loaded: 0, quarantined: Some(quarantine), cleaned_tmp })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// A fresh default-capacity cache loaded from `path`.
@@ -1352,6 +1567,7 @@ mod tests {
     use super::*;
     use crate::evaluate;
     use omega_graph::DatasetSpec;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn wl() -> GnnWorkload {
         GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 16)
@@ -1652,6 +1868,150 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn cancelled_explore_returns_none_not_a_partial_answer() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        // A token cancelled before the sweep starts: no answer at all, rather
+        // than an empty or partial ranked list masquerading as the optimum.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(explore_cancellable(&workload, &cfg, &quick_opts(), &cancel).is_none());
+        // A fresh token completes and matches the plain entry point bit for bit.
+        let some = explore_cancellable(&workload, &cfg, &quick_opts(), &CancelToken::new())
+            .expect("uncancelled search completes");
+        let plain = explore(&workload, &cfg, &quick_opts());
+        assert_eq!(
+            some.ranked.iter().map(|r| r.dataflow.to_string()).collect::<Vec<_>>(),
+            plain.ranked.iter().map(|r| r.dataflow.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cancelled_cache_search_inserts_nothing_and_counts() {
+        let cfg = AccelConfig::paper_default();
+        let workload = wl();
+        let cache = DseCache::new();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert!(cache
+            .explore_traced_cancellable(&workload, &cfg, &quick_opts(), &cancel)
+            .is_none());
+        assert_eq!(cache.len(), 0, "a cancelled search must not populate the cache");
+        assert_eq!(cache.searches(), 0);
+        assert_eq!(cache.cancelled(), 1);
+        // The abandoned flight is deregistered: a later request leads afresh.
+        let (_, how) = cache.explore_traced(&workload, &cfg, &quick_opts());
+        assert_eq!(how, CacheOutcome::Searched);
+        assert_eq!(cache.searches(), 1);
+        // A cancelled request whose key is already cached is still a hit:
+        // answering from memory needs no search to abandon.
+        let got = cache.explore_traced_cancellable(&workload, &cfg, &quick_opts(), &cancel);
+        assert_eq!(got.map(|(_, how)| how), Some(CacheOutcome::Hit));
+    }
+
+    #[test]
+    fn load_into_rejects_truncated_corrupted_and_garbage_files() {
+        let cfg = AccelConfig::paper_default();
+        let cache = DseCache::new();
+        cache.explore(&wl(), &cfg, &quick_opts());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("omega-dse-cache-corrupt-{}.json", std::process::id()));
+        cache.save(&path).expect("save");
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation anywhere in the payload: the footer length check fires.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = DseCache::new().load_into(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A single flipped payload byte: the checksum fires even though the
+        // file is still length-consistent, well-formed JSON.
+        let flipped = good.replacen("\"v\":", "\"w\":", 1);
+        assert_ne!(good, flipped);
+        std::fs::write(&path, &flipped).unwrap();
+        let err = DseCache::new().load_into(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Garbage that was never a cache file.
+        std::fs::write(&path, "!!! not a cache file !!!").unwrap();
+        let err = DseCache::new().load_into(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // And the untouched file still round-trips.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(DseCache::new().load_into(&path).unwrap(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_quarantine_survives_corruption_and_cleans_stale_tmp() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("omega-dse-cache-quar-{}.json", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        let quarantine = path.with_extension("quarantined");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
+
+        // Missing file: a cold start, and a stale tmp from a crashed save is
+        // deleted without ever being loaded.
+        std::fs::write(&tmp, "half-written snapshot").unwrap();
+        let cache = DseCache::new();
+        let report = cache.load_or_quarantine(&path).expect("cold start");
+        assert_eq!(report.loaded, 0);
+        assert!(report.cleaned_tmp);
+        assert!(!tmp.exists(), "stale tmp must be removed");
+
+        // Corrupt file: quarantined aside (preserved for inspection), serving
+        // starts cold instead of aborting.
+        std::fs::write(&path, "{\"version\":1,\"entries\":[tru").unwrap();
+        let report = cache.load_or_quarantine(&path).expect("quarantine");
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.quarantined.as_deref(), Some(quarantine.as_path()));
+        assert!(!path.exists() && quarantine.exists());
+        assert_eq!(cache.quarantined(), 1);
+
+        // The rebuilt cache then persists and reloads normally.
+        let cfg = AccelConfig::paper_default();
+        cache.explore(&wl(), &cfg, &quick_opts());
+        cache.save(&path).expect("save rebuilt");
+        let report = cache.load_or_quarantine(&path).expect("reload");
+        assert_eq!(report.loaded, 1);
+        assert!(report.quarantined.is_none());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
+    }
+
+    #[test]
+    fn crash_between_tmp_write_and_rename_preserves_the_previous_file() {
+        let cfg = AccelConfig::paper_default();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("omega-dse-cache-crash-{}.json", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        let cache = DseCache::new();
+        cache.explore(&wl(), &cfg, &quick_opts());
+        cache.save(&path).expect("first save");
+        let before = std::fs::read(&path).unwrap();
+
+        // Grow the cache, then crash the save in the kill-during-save window.
+        let bigger = GnnWorkload::gcn_layer(&DatasetSpec::mutag().generate(4), 32);
+        cache.explore(&bigger, &cfg, &quick_opts());
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            cache.save_with_crash_point(&path, true)
+        }));
+        assert!(crashed.is_err(), "the injected crash must unwind");
+        assert!(tmp.exists(), "the crash leaves a tmp file behind");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "the target file is untouched");
+
+        // Recovery: the previous snapshot loads, the leftover tmp is cleaned.
+        let recovered = DseCache::new();
+        let report = recovered.load_or_quarantine(&path).expect("recover");
+        assert_eq!(report.loaded, 1, "the pre-crash snapshot survives");
+        assert!(report.cleaned_tmp && !tmp.exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

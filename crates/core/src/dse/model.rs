@@ -508,6 +508,7 @@ pub fn explore_model(
         threads,
         chunk: opts.chunk,
         init_threshold: f64::INFINITY,
+        cancel: None,
     };
     let (mut merged, mut evaluated, skipped, _pruned) =
         parallel_search(total, &gen, &score, &job);

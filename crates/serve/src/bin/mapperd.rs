@@ -15,13 +15,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use omega_serve::faults::FaultPlan;
 use omega_serve::{signal, MapperServer, ServeOptions};
 
 const USAGE: &str = "usage: mapperd [--addr HOST:PORT] [--threads N] [--search-threads N] \
-                     [--cache-cap N] [--cache-file PATH] [--top K] [--quiet]";
+                     [--cache-cap N] [--cache-file PATH] [--top K] [--max-connections N] \
+                     [--max-line-bytes N] [--write-timeout-ms N] [--no-background-complete] \
+                     [--fault-plan SPEC] [--quiet]\n\
+                     SPEC: panic_every=N,search_delay_ms=N,save_crash=0|1 \
+                     (also read from $OMEGA_FAULTS)";
 
 fn parse_args() -> Result<ServeOptions, String> {
-    let mut opts = ServeOptions::default();
+    let mut opts = ServeOptions { faults: FaultPlan::from_env()?, ..Default::default() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -40,6 +45,20 @@ fn parse_args() -> Result<ServeOptions, String> {
             }
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--top" => opts.top_k = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--max-connections" => {
+                opts.max_connections =
+                    value("--max-connections")?.parse().map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes =
+                    value("--max-line-bytes")?.parse().map_err(|e| format!("--max-line-bytes: {e}"))?
+            }
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms =
+                    value("--write-timeout-ms")?.parse().map_err(|e| format!("--write-timeout-ms: {e}"))?
+            }
+            "--no-background-complete" => opts.background_complete = false,
+            "--fault-plan" => opts.faults = FaultPlan::parse(&value("--fault-plan")?)?,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -60,6 +79,9 @@ fn main() -> ExitCode {
         }
     };
     signal::install();
+    if opts.faults.is_active() && !opts.quiet {
+        eprintln!("mapperd: fault plan armed: {}", opts.faults);
+    }
     let server = match MapperServer::bind(opts) {
         Ok(server) => server,
         Err(e) => {
@@ -78,7 +100,9 @@ fn main() -> ExitCode {
         Ok(stats) => {
             println!(
                 "mapperd: served {} requests ({} errors) — {} searches, {} hits, \
-                 {} coalesced, {} warm starts, {} evictions, p50 {} µs, p99 {} µs",
+                 {} coalesced, {} warm starts, {} evictions, {} shed, \
+                 {} degraded (warm {} / preset {}), {} cancelled searches, \
+                 {} faults injected, p50 {} µs, p99 {} µs",
                 stats.requests,
                 stats.errors,
                 stats.searches,
@@ -86,6 +110,12 @@ fn main() -> ExitCode {
                 stats.coalesced,
                 stats.warm_starts,
                 stats.evictions,
+                stats.shed,
+                stats.degraded_warm + stats.degraded_preset,
+                stats.degraded_warm,
+                stats.degraded_preset,
+                stats.cancelled_searches,
+                stats.faults_injected,
                 stats.p50_us,
                 stats.p99_us,
             );

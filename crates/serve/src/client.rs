@@ -1,0 +1,233 @@
+//! A retrying NDJSON client for `mapperd`.
+//!
+//! [`MapperClient`] wraps one TCP connection and layers the fault handling a
+//! caller should not have to reinvent: connect retries while the daemon
+//! starts, reconnection when the connection drops mid-exchange, and bounded
+//! retries with exponential backoff + deterministic jitter for transient
+//! server-side failures (shed responses, injected handler panics, cancelled
+//! searches). Both `loadgen` and `explore --remote` forward through it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::{MapRequest, MapResponse};
+
+/// SplitMix64 finalizer: a cheap, deterministic bit mixer backing the retry
+/// jitter (no external RNG crates).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Retry shape: up to `attempts` tries per request, sleeping
+/// `base_delay_ms << try` (capped at `max_delay_ms`) with ±50% deterministic
+/// jitter between tries. Jitter decorrelates retry storms: without it, every
+/// client that saw the same shed response would hammer back in lockstep.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries per request (1 = no retries).
+    pub attempts: u32,
+    /// First backoff sleep; doubles each retry.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 4, base_delay_ms: 20, max_delay_ms: 1000, seed: 0x0a11ce }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff sleep before retry `attempt` (1-based): exponential with
+    /// ±50% jitter drawn deterministically from the seed.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_delay_ms.saturating_shl(attempt.min(16));
+        let capped = exp.clamp(1, self.max_delay_ms.max(1));
+        // Jitter in [capped/2, capped]: never zero, never past the cap.
+        let jitter = mix(self.seed ^ u64::from(attempt)) % (capped / 2 + 1);
+        Duration::from_millis(capped - jitter)
+    }
+}
+
+/// Shim: `u64::checked_shl` returning saturation instead of `None`.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// Whether a failed response is worth retrying: explicit sheds (the server
+/// asked us to back off and come back) and transient internal failures
+/// (injected or real panics, searches cancelled under the request). Malformed
+/// requests and validation errors are *not* retryable — resending the same
+/// bad request can never succeed.
+pub fn retryable(response: &MapResponse) -> bool {
+    if response.ok {
+        return false;
+    }
+    if response.decision_quality.as_deref() == Some("shed") {
+        return true;
+    }
+    match response.error.as_deref() {
+        Some(e) => e.contains("panic") || e.contains("cancelled") || e.contains("shutting down"),
+        None => false,
+    }
+}
+
+/// One client connection to `mapperd`, with reconnect + retry built in.
+pub struct MapperClient {
+    addr: String,
+    policy: RetryPolicy,
+    stream: Option<BufReader<TcpStream>>,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl MapperClient {
+    /// Connects to `addr`, retrying with backoff while the daemon starts up.
+    pub fn connect(addr: &str, policy: RetryPolicy) -> std::io::Result<MapperClient> {
+        let mut client = MapperClient {
+            addr: addr.to_string(),
+            policy,
+            stream: None,
+            retries: 0,
+            reconnects: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Request-level retries performed so far (for disposition reporting).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed after a dropped connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let mut last_err = None;
+            for attempt in 1..=self.policy.attempts.max(1) {
+                match TcpStream::connect(&self.addr) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true).ok();
+                        self.stream = Some(BufReader::new(stream));
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        std::thread::sleep(self.policy.backoff(attempt));
+                    }
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+
+    /// One raw exchange: send the line, read one response line. Any I/O
+    /// failure drops the connection so the next try reconnects.
+    fn exchange(&mut self, line: &str) -> std::io::Result<MapResponse> {
+        let reader = self.ensure_connected()?;
+        let result = (|| {
+            let stream = reader.get_mut();
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()?;
+            let mut answer = String::new();
+            if reader.read_line(&mut answer)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            serde_json::from_str::<MapResponse>(answer.trim())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Sends a request line, retrying transient failures (I/O errors,
+    /// [`retryable`] responses) with exponential backoff + jitter up to the
+    /// policy's attempt budget. The last response (or error) is returned
+    /// as-is, so callers still see the final disposition.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<MapResponse> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last: Option<std::io::Result<MapResponse>> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.retries += 1;
+                std::thread::sleep(self.policy.backoff(attempt - 1));
+            }
+            match self.exchange(line) {
+                Ok(response) if !retryable(&response) => return Ok(response),
+                Ok(response) => last = Some(Ok(response)),
+                Err(e) => {
+                    self.reconnects += 1;
+                    last = Some(Err(e));
+                }
+            }
+        }
+        last.expect("at least one attempt ran")
+    }
+
+    /// Serialises and sends a [`MapRequest`] with the same retry behaviour.
+    pub fn request(&mut self, request: &MapRequest) -> std::io::Result<MapResponse> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.request_line(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_jittered_and_deterministic() {
+        let policy = RetryPolicy { attempts: 5, base_delay_ms: 10, max_delay_ms: 80, seed: 7 };
+        for attempt in 1..=8 {
+            let d = policy.backoff(attempt).as_millis() as u64;
+            let cap = (10u64 << attempt.min(16)).min(80);
+            assert!(d >= cap / 2 && d <= cap, "attempt {attempt}: {d} outside [{}, {cap}]", cap / 2);
+            assert_eq!(policy.backoff(attempt), policy.backoff(attempt), "jitter is seeded");
+        }
+        // Different seeds decorrelate the jitter stream.
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert!((1..=8).any(|a| policy.backoff(a) != other.backoff(a)));
+    }
+
+    #[test]
+    fn retryable_distinguishes_transient_from_permanent_failures() {
+        let ok = MapResponse { ok: true, ..Default::default() };
+        assert!(!retryable(&ok));
+        let shed = MapResponse::shed("shed: connection limit 4 reached, retry later".into());
+        assert!(retryable(&shed));
+        let panic = MapResponse::err("internal panic while serving request".into());
+        assert!(retryable(&panic));
+        let bad = MapResponse::err("bad request: expected value at line 1".into());
+        assert!(!retryable(&bad), "resending a malformed request cannot succeed");
+        let missing = MapResponse::err("missing `workload`".into());
+        assert!(!retryable(&missing));
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] describes which failures `mapperd` should inflict on
+//! itself — handler panics, artificial search latency, a crash in the
+//! kill-during-save window — so every recovery path (per-request
+//! `catch_unwind`, deadline degradation, cache quarantine/rebuild) is
+//! exercised by tests and the CI chaos smoke rather than merely claimed.
+//! The plan is plain data: parsing it never arms anything, the server
+//! consults it at each injection point. `loadgen --chaos` provides the
+//! client-side half (slow, garbage, oversized, and disconnecting clients).
+
+/// Which faults to inject, and how often. [`FaultPlan::default`] injects
+/// nothing; `mapperd --fault-plan SPEC` (or the `OMEGA_FAULTS` environment
+/// variable) arms it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic inside the request handler on every Nth `map` request
+    /// (0 = never). The daemon must answer an error line and keep serving.
+    pub panic_every: u64,
+    /// Sleep this long before every cold search, simulating a slow or
+    /// contended search path so deadline degradation engages.
+    pub search_delay_ms: u64,
+    /// Crash the *first* cache save between the temp-file write and the
+    /// rename — the window a `kill -9` during save leaves behind. One-shot:
+    /// later saves (including the shutdown flush) succeed.
+    pub save_crash: bool,
+}
+
+impl FaultPlan {
+    /// Parses a `key=value` comma list: `panic_every=N`, `search_delay_ms=N`,
+    /// `save_crash=0|1`. An empty spec is the no-fault plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault `{part}` is not key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("fault `{key}`: bad value `{value}`: {e}"))?;
+            match key.trim() {
+                "panic_every" => plan.panic_every = n,
+                "search_delay_ms" => plan.search_delay_ms = n,
+                "save_crash" => plan.save_crash = n != 0,
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (expected panic_every|search_delay_ms|save_crash)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan named by the `OMEGA_FAULTS` environment variable (the
+    /// no-fault plan when unset).
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("OMEGA_FAULTS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(FaultPlan::default()),
+        }
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_active(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+
+    /// Whether the `seq`-th `map` request (1-based) should panic.
+    pub fn should_panic(&self, seq: u64) -> bool {
+        self.panic_every > 0 && seq.is_multiple_of(self.panic_every)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "panic_every={},search_delay_ms={},save_crash={}",
+            self.panic_every, self.search_delay_ms, self.save_crash as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_specs_and_rejects_unknown_keys() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert!(!FaultPlan::default().is_active());
+        let plan = FaultPlan::parse("panic_every=3, search_delay_ms=250 ,save_crash=1").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan { panic_every: 3, search_delay_ms: 250, save_crash: true }
+        );
+        assert!(plan.is_active());
+        assert!(FaultPlan::parse("panic_every").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("panic_every=x").is_err());
+        // Display round-trips through parse.
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn panic_schedule_is_every_nth_map_request() {
+        let plan = FaultPlan { panic_every: 3, ..Default::default() };
+        let fired: Vec<u64> = (1..=9).filter(|&s| plan.should_panic(s)).collect();
+        assert_eq!(fired, vec![3, 6, 9]);
+        assert!(!FaultPlan::default().should_panic(1), "no-fault plan never panics");
+    }
+}

@@ -5,11 +5,11 @@
 //! in milliseconds; the factored DSE made a Citeseer full-space sweep take
 //! ~9 ms, and this crate productionises it as a long-running service. Clients
 //! speak newline-delimited JSON over TCP: each line is one request, each
-//! answer one line. A worker-thread pool serves connections; every mapping
-//! request funnels through one process-wide [`DseCache`], so identical
+//! answer one line. A worker-thread pool multiplexes connections; every
+//! mapping request funnels through one process-wide [`DseCache`], so identical
 //! concurrent requests single-flight onto one search, repeats answer from
 //! memory, and the whole cache persists across restarts via
-//! [`DseCache::save`]/[`DseCache::load_into`].
+//! [`DseCache::save`]/[`DseCache::load_or_quarantine`].
 //!
 //! ## Protocol
 //!
@@ -18,7 +18,7 @@
 //! ```json
 //! {"id":1,"workload":{"name":"Citeseer","v":3327,"f":3703,"g":16,
 //!  "degrees":[...],"attention_heads":0,"post_op":null},
-//!  "objective":"runtime","mode":"exact","top_k":5}
+//!  "objective":"runtime","mode":"exact","top_k":5,"deadline_ms":10}
 //! ```
 //!
 //! `cmd` selects non-mapping actions: `"ping"`, `"stats"`, `"save"`, and
@@ -27,23 +27,52 @@
 //! answers from the cache or a nearest-neighbour warm start
 //! ([`DseCache::warm_hint`]) without ever running a full search unless the
 //! cache is cold. Responses carry the decision, the cache disposition
-//! (`hit`/`coalesced`/`search`/`warm`), and the measured per-request latency.
+//! (`hit`/`coalesced`/`search`/`warm`/`preset`), and the measured per-request
+//! latency.
+//!
+//! ## Deadlines and the degradation ladder
+//!
+//! A request carrying `deadline_ms` is answered within that budget or answered
+//! *degraded*, never silently late: cache hit → bounded search → warm-start
+//! re-evaluation → best-preset fallback → explicit shed. Every response is
+//! labeled with its `decision_quality` (`exact`/`warm`/`preset`/`shed`), and a
+//! search abandoned by its deadline keeps running in the background to
+//! populate the cache (disable with
+//! [`ServeOptions::background_complete`] — then a cooperative
+//! [`CancelToken`] stops it at the next work-chunk boundary).
+//!
+//! ## Admission control
+//!
+//! The daemon bounds every per-client resource: connections past
+//! [`ServeOptions::max_connections`] are answered with an explicit `shed`
+//! response and closed; request lines past [`ServeOptions::max_line_bytes`]
+//! are discarded in constant memory and answered with a typed error; writes
+//! to slow clients time out after [`ServeOptions::write_timeout_ms`]. Workers
+//! serve bounded turns and rotate connections through a shared queue, so one
+//! slow or idle client never pins a worker. [`faults::FaultPlan`] injects
+//! handler panics, search delays, and save-path crashes to prove the recovery
+//! paths under test and in CI chaos smokes.
 
+pub mod client;
+pub mod faults;
 pub mod signal;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use faults::FaultPlan;
 use omega_accel::engine::ElementwiseOp;
-use omega_core::dse::{CacheOutcome, DseCache, DseOptions, ExploreOutcome, RankedDataflow};
-use omega_core::mapper::Objective;
-use omega_core::{evaluate, AccelConfig, AttentionSpec, GnnWorkload};
+use omega_core::dse::{
+    CacheOutcome, CancelToken, DseCache, DseOptions, ExploreOutcome, RankedDataflow,
+};
+use omega_core::mapper::{extended_candidates, Objective};
+use omega_core::{evaluate, AccelConfig, AttentionSpec, GnnDataflow, GnnWorkload};
 use serde::{Deserialize, Serialize};
 
 /// Locks a mutex, recovering the guard from a poisoned lock: a worker that
@@ -163,6 +192,10 @@ pub struct MapRequest {
     pub pes: Option<usize>,
     /// DRAM bandwidth in elements/cycle (defaults to the paper config).
     pub bandwidth: Option<usize>,
+    /// Answer-by budget in milliseconds. A cold search that cannot finish in
+    /// this budget is answered degraded (warm → preset → shed) and labeled
+    /// via `decision_quality`; omitted means "wait for the exact answer".
+    pub deadline_ms: Option<u64>,
 }
 
 impl MapRequest {
@@ -220,6 +253,21 @@ pub struct ServerStats {
     pub warm_starts: u64,
     /// Cache entries evicted by the LRU bound.
     pub evictions: u64,
+    /// Work refused outright: connections past the admission limit plus
+    /// deadline requests with no degraded answer available.
+    pub shed: u64,
+    /// Deadline misses answered by warm-start re-evaluation
+    /// (`decision_quality: "warm"` on a deadlined request).
+    pub degraded_warm: u64,
+    /// Deadline misses answered by the best-preset fallback
+    /// (`decision_quality: "preset"`).
+    pub degraded_preset: u64,
+    /// Searches stopped early by a cooperative [`CancelToken`].
+    pub cancelled_searches: u64,
+    /// Corrupt cache files quarantined at load instead of aborting startup.
+    pub quarantined_loads: u64,
+    /// Faults the configured [`FaultPlan`] actually injected.
+    pub faults_injected: u64,
     /// Median per-request service latency (µs, over a recent window).
     pub p50_us: u64,
     /// 99th-percentile per-request service latency (µs, over a recent window).
@@ -227,7 +275,8 @@ pub struct ServerStats {
 }
 
 /// One response line. `ok == false` carries `error`; mapping responses carry
-/// `best`/`ranked`, the cache disposition, and the measured service latency.
+/// `best`/`ranked`, the cache disposition, the decision quality, and the
+/// measured service latency.
 #[derive(Debug, Clone, Default, Deserialize, Serialize)]
 pub struct MapResponse {
     /// Echo of the request id.
@@ -236,8 +285,13 @@ pub struct MapResponse {
     pub ok: bool,
     /// What went wrong, when `ok` is false.
     pub error: Option<String>,
-    /// `"hit"` | `"coalesced"` | `"search"` | `"warm"` for mapping requests.
+    /// `"hit"` | `"coalesced"` | `"search"` | `"warm"` | `"preset"` for
+    /// mapping requests.
     pub cache: Option<String>,
+    /// `"exact"` | `"warm"` | `"preset"` | `"shed"`: how good this answer is
+    /// relative to a full search. Every mapping response is labeled — a
+    /// degraded answer is never silently presented as exact.
+    pub decision_quality: Option<String>,
     /// Server-side service time for this request (µs).
     pub latency_us: Option<u64>,
     /// The winning decision.
@@ -253,6 +307,15 @@ pub struct MapResponse {
 impl MapResponse {
     fn err(error: String) -> Self {
         MapResponse { ok: false, error: Some(error), ..Default::default() }
+    }
+
+    fn shed(error: String) -> Self {
+        MapResponse {
+            ok: false,
+            error: Some(error),
+            decision_quality: Some("shed".into()),
+            ..Default::default()
+        }
     }
 }
 
@@ -271,6 +334,20 @@ pub struct ServeOptions {
     pub cache_file: Option<PathBuf>,
     /// Default (and maximum) ranked winners per response.
     pub top_k: usize,
+    /// Admission limit: connections past this are answered with an explicit
+    /// `shed` response and closed instead of queueing unboundedly.
+    pub max_connections: usize,
+    /// Longest accepted request line; longer lines are discarded in constant
+    /// memory and answered with a typed error (the connection survives).
+    pub max_line_bytes: usize,
+    /// Response writes to a slow client abort after this long, so a stalled
+    /// reader cannot pin a worker.
+    pub write_timeout_ms: u64,
+    /// Keep running a search whose request already timed out, so the result
+    /// still populates the cache (`false` cancels it cooperatively instead).
+    pub background_complete: bool,
+    /// Deterministic fault injection (defaults to no faults).
+    pub faults: FaultPlan,
     /// Suppress stderr progress lines.
     pub quiet: bool,
 }
@@ -284,6 +361,11 @@ impl Default for ServeOptions {
             cache_capacity: omega_core::dse::DEFAULT_CACHE_CAPACITY,
             cache_file: None,
             top_k: 10,
+            max_connections: 64,
+            max_line_bytes: 1 << 20,
+            write_timeout_ms: 5000,
+            background_complete: true,
+            faults: FaultPlan::default(),
             quiet: false,
         }
     }
@@ -291,6 +373,110 @@ impl Default for ServeOptions {
 
 /// Sliding window of per-request latencies backing the p50/p99 counters.
 const LATENCY_WINDOW: usize = 8192;
+
+/// Per-turn read timeout: the longest an idle connection may hold a worker
+/// before it rotates back into the shared queue.
+const READ_SLICE_MS: u64 = 20;
+
+/// Requests one connection may have served per turn before the worker rotates
+/// to the next queued connection — the per-connection in-flight bound that
+/// keeps one firehose client from starving the rest.
+const MAX_LINES_PER_TURN: usize = 16;
+
+/// One live client connection, multiplexed across worker turns. The partial
+/// line and discard flag persist between turns, so a line split across
+/// read slices (or an oversized line mid-discard) resumes where it left off.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    pending: Vec<u8>,
+    discarding: bool,
+}
+
+/// What a detached search thread sends back: the outcome and its cache
+/// disposition, or `None` when the search was cancelled mid-flight.
+type SearchResult = Option<(Arc<ExploreOutcome>, CacheOutcome)>;
+
+/// What a worker turn decided about its connection.
+enum Turn {
+    /// Still alive: rotate it back into the queue.
+    Continue,
+    /// Closed by the client, dead, or shut down: drop it.
+    Closed,
+}
+
+/// One step of the bounded NDJSON reader.
+#[derive(Debug, PartialEq, Eq)]
+enum LineRead {
+    /// A complete line (newline stripped, may be empty).
+    Line(String),
+    /// A line exceeded the byte bound; it was discarded without buffering.
+    TooLong,
+    /// No complete line buffered yet — try again next turn.
+    Pending,
+    /// Clean end of stream.
+    Eof,
+    /// Unrecoverable read error.
+    Dead,
+}
+
+/// Reads one newline-terminated line of at most `max_bytes` bytes, buffering
+/// at most `max_bytes` regardless of what the peer sends. An oversized line
+/// flips `discarding`: its bytes are consumed and dropped until the newline,
+/// then reported once as [`LineRead::TooLong`] — a multi-MB garbage line
+/// costs bounded memory and the connection stays usable.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    pending: &mut Vec<u8>,
+    discarding: &mut bool,
+    max_bytes: usize,
+) -> LineRead {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return LineRead::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Dead,
+        };
+        if buf.is_empty() {
+            return LineRead::Eof; // EOF; any partial line is dropped
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let oversized = *discarding || pending.len() + pos > max_bytes;
+                if !oversized {
+                    pending.extend_from_slice(&buf[..pos]);
+                }
+                reader.consume(pos + 1);
+                *discarding = false;
+                if oversized {
+                    pending.clear();
+                    return LineRead::TooLong;
+                }
+                let line = String::from_utf8_lossy(pending).into_owned();
+                pending.clear();
+                return LineRead::Line(line);
+            }
+            None => {
+                let chunk = buf.len();
+                if !*discarding {
+                    if pending.len() + chunk > max_bytes {
+                        pending.clear();
+                        *discarding = true;
+                    } else {
+                        pending.extend_from_slice(buf);
+                    }
+                }
+                reader.consume(chunk);
+            }
+        }
+    }
+}
 
 /// The daemon: a TCP acceptor, a worker pool, and the shared [`DseCache`].
 ///
@@ -300,29 +486,58 @@ const LATENCY_WINDOW: usize = 8192;
 pub struct MapperServer {
     opts: ServeOptions,
     listener: TcpListener,
-    cache: DseCache,
+    cache: Arc<DseCache>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
     warm_starts: AtomicU64,
+    shed: AtomicU64,
+    degraded_warm: AtomicU64,
+    degraded_preset: AtomicU64,
+    faults_injected: AtomicU64,
+    map_seq: AtomicU64,
+    search_seq: AtomicU64,
+    save_crash_armed: AtomicBool,
+    open_connections: AtomicUsize,
+    active_searches: Arc<Mutex<HashMap<u64, CancelToken>>>,
     latencies_us: Mutex<VecDeque<u64>>,
 }
 
 impl MapperServer {
-    /// Binds the listen socket and restores the cache file, when configured
-    /// and present (a missing file is a cold start, not an error).
+    /// Binds the listen socket and restores the cache file, when configured.
+    /// A missing file is a cold start; a truncated/corrupt/mid-write file is
+    /// quarantined (renamed aside) and the daemon starts cold instead of
+    /// refusing to boot ([`DseCache::load_or_quarantine`]).
     pub fn bind(opts: ServeOptions) -> io::Result<MapperServer> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
-        let cache = DseCache::with_capacity(opts.cache_capacity);
+        let cache = Arc::new(DseCache::with_capacity(opts.cache_capacity));
         if let Some(path) = &opts.cache_file {
-            if path.exists() {
-                let loaded = cache.load_into(path)?;
-                if !opts.quiet {
-                    eprintln!("mapperd: restored {loaded} cached decisions from {}", path.display());
+            let report = cache.load_or_quarantine(path)?;
+            if !opts.quiet {
+                if report.cleaned_tmp {
+                    eprintln!(
+                        "mapperd: removed stale temp file left by an interrupted save of {}",
+                        path.display()
+                    );
+                }
+                if let Some(quarantined) = &report.quarantined {
+                    eprintln!(
+                        "mapperd: cache file {} failed validation; quarantined to {} (cold start)",
+                        path.display(),
+                        quarantined.display()
+                    );
+                }
+                if report.loaded > 0 {
+                    eprintln!(
+                        "mapperd: restored {} cached decisions from {}",
+                        report.loaded,
+                        path.display()
+                    );
                 }
             }
         }
+        let save_crash_armed = AtomicBool::new(opts.faults.save_crash);
         Ok(MapperServer {
             opts,
             listener,
@@ -331,6 +546,15 @@ impl MapperServer {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded_warm: AtomicU64::new(0),
+            degraded_preset: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            map_seq: AtomicU64::new(0),
+            search_seq: AtomicU64::new(0),
+            save_crash_armed,
+            open_connections: AtomicUsize::new(0),
+            active_searches: Arc::new(Mutex::new(HashMap::new())),
             latencies_us: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
         })
     }
@@ -355,10 +579,10 @@ impl MapperServer {
         self.shutdown.load(Ordering::SeqCst) || signal::termination_requested()
     }
 
-    /// Serves until shutdown, then flushes the cache file (when configured)
-    /// and returns the final counters.
+    /// Serves until shutdown, then cancels in-flight searches, flushes the
+    /// cache file (when configured) and returns the final counters.
     pub fn run(&self) -> io::Result<ServerStats> {
-        let queue: Mutex<VecDeque<TcpStream>> = Mutex::new(VecDeque::new());
+        let queue: Mutex<VecDeque<Conn>> = Mutex::new(VecDeque::new());
         let available = Condvar::new();
         std::thread::scope(|s| {
             for _ in 0..self.opts.threads.max(1) {
@@ -367,11 +591,27 @@ impl MapperServer {
             while !self.shutting_down() {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
+                        if self.open_connections.load(Ordering::Relaxed)
+                            >= self.opts.max_connections.max(1)
+                        {
+                            self.shed_connection(stream);
+                            continue;
+                        }
                         let _ = stream.set_nodelay(true);
-                        // Finite read timeouts keep workers responsive to the
-                        // shutdown flag while a connection idles.
-                        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-                        lock_recover(&queue).push_back(stream);
+                        // Short read slices keep the worker pool rotating
+                        // through connections and responsive to shutdown.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(READ_SLICE_MS)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                            self.opts.write_timeout_ms.max(1),
+                        )));
+                        let Ok(read_half) = stream.try_clone() else { continue };
+                        self.open_connections.fetch_add(1, Ordering::Relaxed);
+                        lock_recover(&queue).push_back(Conn {
+                            reader: BufReader::new(read_half),
+                            writer: stream,
+                            pending: Vec::new(),
+                            discarding: false,
+                        });
                         available.notify_one();
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -388,6 +628,11 @@ impl MapperServer {
             }
             available.notify_all();
         });
+        // Stop background searches promptly; a cancelled search discards its
+        // partial work and never publishes to the cache.
+        for (_, token) in lock_recover(&self.active_searches).drain() {
+            token.cancel();
+        }
         if let Some(path) = &self.opts.cache_file {
             self.cache.save(path)?;
             if !self.opts.quiet {
@@ -401,13 +646,29 @@ impl MapperServer {
         Ok(self.stats())
     }
 
-    fn worker(&self, queue: &Mutex<VecDeque<TcpStream>>, available: &Condvar) {
+    /// Refuses a connection past the admission limit: best-effort explicit
+    /// `shed` line (a short write timeout so a slow client cannot stall the
+    /// accept loop), then close. Explicit refusal beats a silent stall — the
+    /// client can back off and retry instead of hanging.
+    fn shed_connection(&self, mut stream: TcpStream) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let response = MapResponse::shed(format!(
+            "shed: connection limit {} reached, retry later",
+            self.opts.max_connections
+        ));
+        if let Ok(json) = serde_json::to_string(&response) {
+            let _ = stream.write_all(json.as_bytes()).and_then(|()| stream.write_all(b"\n"));
+        }
+    }
+
+    fn worker(&self, queue: &Mutex<VecDeque<Conn>>, available: &Condvar) {
         loop {
-            let stream = {
+            let conn = {
                 let mut q = lock_recover(queue);
                 loop {
-                    if let Some(s) = q.pop_front() {
-                        break Some(s);
+                    if let Some(c) = q.pop_front() {
+                        break Some(c);
                     }
                     if self.shutting_down() {
                         break None;
@@ -419,49 +680,61 @@ impl MapperServer {
                         .0;
                 }
             };
-            match stream {
-                Some(stream) => self.serve_connection(stream),
-                None => return,
+            let Some(mut conn) = conn else { return };
+            match self.serve_turn(&mut conn) {
+                Turn::Continue => {
+                    lock_recover(queue).push_back(conn);
+                    available.notify_one();
+                }
+                Turn::Closed => {
+                    self.open_connections.fetch_sub(1, Ordering::Relaxed);
+                }
             }
         }
     }
 
-    fn serve_connection(&self, stream: TcpStream) {
-        let Ok(read_half) = stream.try_clone() else { return };
-        let mut reader = BufReader::new(read_half);
-        let mut writer = stream;
-        let mut line = String::new();
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => break, // client closed
-                Ok(_) => {
+    /// Serves one bounded turn of a connection: up to [`MAX_LINES_PER_TURN`]
+    /// requests, or until the read slice times out with no complete line.
+    fn serve_turn(&self, conn: &mut Conn) -> Turn {
+        for _ in 0..MAX_LINES_PER_TURN {
+            let step = read_bounded_line(
+                &mut conn.reader,
+                &mut conn.pending,
+                &mut conn.discarding,
+                self.opts.max_line_bytes.max(1),
+            );
+            let response = match step {
+                LineRead::Line(line) => {
                     let trimmed = line.trim();
-                    if !trimmed.is_empty() {
-                        let response = self.handle_line(trimmed);
-                        let sent = writer
-                            .write_all(response.as_bytes())
-                            .and_then(|()| writer.write_all(b"\n"))
-                            .and_then(|()| writer.flush());
-                        if sent.is_err() {
-                            break;
-                        }
+                    if trimmed.is_empty() {
+                        continue;
                     }
-                    line.clear();
+                    self.handle_line(trimmed)
                 }
-                // Timeout: a partial line (if any) stays buffered in `line`
-                // and the next read_line appends the remainder.
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if self.shutting_down() {
-                        break;
-                    }
+                LineRead::TooLong => {
+                    self.requests.fetch_add(1, Ordering::Relaxed);
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    let response = MapResponse::err(format!(
+                        "oversized request line: exceeds {} bytes",
+                        self.opts.max_line_bytes.max(1)
+                    ));
+                    serde_json::to_string(&response).unwrap_or_default()
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => break,
+                LineRead::Pending => {
+                    return if self.shutting_down() { Turn::Closed } else { Turn::Continue }
+                }
+                LineRead::Eof | LineRead::Dead => return Turn::Closed,
+            };
+            let sent = conn
+                .writer
+                .write_all(response.as_bytes())
+                .and_then(|()| conn.writer.write_all(b"\n"))
+                .and_then(|()| conn.writer.flush());
+            if sent.is_err() {
+                return Turn::Closed; // dead or timed-out (slow) client
             }
         }
+        Turn::Continue
     }
 
     /// Serves one request line and returns the response line (no trailing
@@ -511,7 +784,16 @@ impl MapperServer {
                     .cache_file
                     .as_ref()
                     .ok_or_else(|| "no --cache-file configured".to_string())?;
-                self.cache.save(path).map_err(|e| format!("cache save failed: {e}"))?;
+                // One-shot injected crash in the tmp-write → rename window:
+                // the panic unwinds to handle_line's catch_unwind, the client
+                // sees an error, and the stale .tmp is cleaned at next bind.
+                let crash = self.save_crash_armed.swap(false, Ordering::SeqCst);
+                if crash {
+                    self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                }
+                self.cache
+                    .save_with_crash_point(path, crash)
+                    .map_err(|e| format!("cache save failed: {e}"))?;
                 Ok(MapResponse { ok: true, ..Default::default() })
             }
             "shutdown" => {
@@ -524,6 +806,12 @@ impl MapperServer {
     }
 
     fn serve_map(&self, request: &MapRequest) -> Result<MapResponse, String> {
+        let started = Instant::now();
+        let seq = self.map_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.opts.faults.should_panic(seq) {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: handler panic on map request {seq}");
+        }
         let spec = request.workload.as_ref().ok_or_else(|| "missing `workload`".to_string())?;
         let workload = spec.to_workload()?;
         let objective = match request.objective.as_deref() {
@@ -544,29 +832,133 @@ impl MapperServer {
         let mut opts = DseOptions::new(objective);
         opts.threads = self.opts.search_threads;
         opts.top_k = request.top_k.unwrap_or(self.opts.top_k).clamp(1, self.opts.top_k.max(1));
-        match request.mode.as_deref().unwrap_or("exact") {
-            "exact" => {
-                let (outcome, how) = self.cache.explore_traced(&workload, &cfg, &opts);
-                Ok(Self::map_response(&outcome, disposition(how), None))
+        let mode = request.mode.as_deref().unwrap_or("exact");
+        if !matches!(mode, "exact" | "fast") {
+            return Err(format!("unknown mode `{mode}` (expected exact|fast)"));
+        }
+        // A cached answer is exact and fits any budget.
+        if let Some(outcome) = self.cache.lookup(&workload, &cfg, &opts) {
+            return Ok(Self::map_response(&outcome, "hit", None, "exact"));
+        }
+        // `fast` mode prefers a warm start over searching at all.
+        if mode == "fast" {
+            if let Some(response) = self.warm_start(&workload, &cfg, &opts, objective) {
+                return Ok(response);
             }
-            "fast" => {
-                if let Some(outcome) = self.cache.lookup(&workload, &cfg, &opts) {
-                    return Ok(Self::map_response(&outcome, "hit", None));
-                }
-                if let Some(response) = self.warm_start(&workload, &cfg, &opts, objective) {
-                    return Ok(response);
+        }
+        match request.deadline_ms {
+            None => {
+                if self.opts.faults.search_delay_ms > 0 {
+                    self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(self.opts.faults.search_delay_ms));
                 }
                 let (outcome, how) = self.cache.explore_traced(&workload, &cfg, &opts);
-                Ok(Self::map_response(&outcome, disposition(how), None))
+                Ok(Self::map_response(&outcome, disposition(how), None, "exact"))
             }
-            other => Err(format!("unknown mode `{other}` (expected exact|fast)")),
+            Some(deadline_ms) => {
+                Ok(self.serve_with_deadline(&workload, cfg, opts, objective, deadline_ms, started))
+            }
         }
     }
 
-    /// `fast`-mode miss path: re-evaluates the ranked dataflows of the
-    /// nearest cached shape on the actual workload — a handful of cost-model
-    /// calls instead of a full search. `None` when the cache is empty or no
-    /// hinted dataflow evaluates successfully (caller falls back to a search).
+    /// Cold search under a deadline: the search runs on a detached thread
+    /// while this worker waits out the budget (minus a margin reserved for
+    /// composing a degraded answer). On time → exact; past budget → the
+    /// degradation ladder. The abandoned search keeps running to populate
+    /// the cache unless [`ServeOptions::background_complete`] is off, in
+    /// which case its [`CancelToken`] stops it at the next chunk boundary.
+    fn serve_with_deadline(
+        &self,
+        workload: &GnnWorkload,
+        cfg: AccelConfig,
+        opts: DseOptions,
+        objective: Objective,
+        deadline_ms: u64,
+        started: Instant,
+    ) -> MapResponse {
+        let deadline = Duration::from_millis(deadline_ms.max(1));
+        let margin = (deadline / 5).max(Duration::from_millis(1));
+        let (rx, token) = self.spawn_search(workload, cfg, opts);
+        let budget = deadline.saturating_sub(margin).saturating_sub(started.elapsed());
+        match rx.recv_timeout(budget) {
+            Ok(Some((outcome, how))) => {
+                Self::map_response(&outcome, disposition(how), None, "exact")
+            }
+            // Cancelled under us (shutdown) or the search thread died:
+            // degrade rather than stall or answer nothing.
+            Ok(None) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.degraded_response(workload, &cfg, &opts, objective)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if !self.opts.background_complete {
+                    token.cancel();
+                }
+                self.degraded_response(workload, &cfg, &opts, objective)
+            }
+        }
+    }
+
+    /// Starts a cancellable cached search on a detached thread, registering
+    /// its [`CancelToken`] so shutdown can stop orphaned work. The channel
+    /// yields `Some((outcome, disposition))`, or `None` if cancelled.
+    fn spawn_search(
+        &self,
+        workload: &GnnWorkload,
+        cfg: AccelConfig,
+        opts: DseOptions,
+    ) -> (mpsc::Receiver<SearchResult>, CancelToken) {
+        let token = CancelToken::new();
+        let id = self.search_seq.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.active_searches).insert(id, token.clone());
+        if self.opts.faults.search_delay_ms > 0 {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let (tx, rx) = mpsc::channel();
+        let cache = Arc::clone(&self.cache);
+        let registry = Arc::clone(&self.active_searches);
+        let delay_ms = self.opts.faults.search_delay_ms;
+        let workload = workload.clone();
+        let cancel = token.clone();
+        std::thread::spawn(move || {
+            if delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            let result = cache.explore_traced_cancellable(&workload, &cfg, &opts, &cancel);
+            lock_recover(&registry).remove(&id);
+            // The requester may have timed out and moved on; that just means
+            // nobody reads the result — the cache insert already happened.
+            let _ = tx.send(result);
+        });
+        (rx, token)
+    }
+
+    /// The degradation ladder for a missed deadline: warm-start
+    /// re-evaluation of the nearest cached shape, then the best preset
+    /// dataflow by direct evaluation, then an explicit shed. Each rung is a
+    /// handful of cost-model calls — microseconds, well inside any margin.
+    fn degraded_response(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+        objective: Objective,
+    ) -> MapResponse {
+        if let Some(response) = self.warm_start(workload, cfg, opts, objective) {
+            self.degraded_warm.fetch_add(1, Ordering::Relaxed);
+            return response;
+        }
+        if let Some(response) = self.preset_fallback(workload, cfg, opts, objective) {
+            self.degraded_preset.fetch_add(1, Ordering::Relaxed);
+            return response;
+        }
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        MapResponse::shed("deadline exceeded and no degraded answer is available".into())
+    }
+
+    /// Warm-start path: re-evaluates the ranked dataflows of the nearest
+    /// cached shape on the actual workload — a handful of cost-model calls
+    /// instead of a full search. `None` when the cache is empty or no hinted
+    /// dataflow evaluates successfully (caller falls back further).
     fn warm_start(
         &self,
         workload: &GnnWorkload,
@@ -575,31 +967,18 @@ impl MapperServer {
         objective: Objective,
     ) -> Option<MapResponse> {
         let hint = self.cache.warm_hint(workload)?;
-        let mut ranked: Vec<Decision> = hint
-            .outcome
-            .ranked
-            .iter()
-            .filter_map(|r| {
-                let report = evaluate(workload, &r.dataflow, cfg).ok()?;
-                let score = objective.score(&report);
-                Some(Decision {
-                    dataflow: r.dataflow.to_string(),
-                    cycles: report.total_cycles,
-                    energy_pj: report.energy.total_pj(),
-                    buffer_peak_bytes: report.buffer_peak_bytes,
-                    score,
-                })
-            })
-            .collect();
-        if ranked.is_empty() {
-            return None;
-        }
-        ranked.sort_by(|a, b| a.score.total_cmp(&b.score).then_with(|| a.dataflow.cmp(&b.dataflow)));
-        ranked.truncate(opts.top_k.max(1));
+        let ranked = rank_by_evaluation(
+            hint.outcome.ranked.iter().map(|r| &r.dataflow),
+            workload,
+            cfg,
+            opts,
+            objective,
+        )?;
         self.warm_starts.fetch_add(1, Ordering::Relaxed);
         Some(MapResponse {
             ok: true,
             cache: Some("warm".into()),
+            decision_quality: Some("warm".into()),
             best: ranked.first().cloned(),
             ranked: Some(ranked),
             warm_distance: Some(hint.distance),
@@ -607,10 +986,38 @@ impl MapperServer {
         })
     }
 
-    fn map_response(outcome: &ExploreOutcome, cache: &str, warm: Option<f64>) -> MapResponse {
+    /// Last resort before shedding: evaluate the preset candidate dataflows
+    /// directly (the same seeds the full search starts from) and answer with
+    /// the best. Always available — it needs no cache state at all.
+    fn preset_fallback(
+        &self,
+        workload: &GnnWorkload,
+        cfg: &AccelConfig,
+        opts: &DseOptions,
+        objective: Objective,
+    ) -> Option<MapResponse> {
+        let candidates = extended_candidates(workload, cfg);
+        let ranked = rank_by_evaluation(candidates.iter(), workload, cfg, opts, objective)?;
+        Some(MapResponse {
+            ok: true,
+            cache: Some("preset".into()),
+            decision_quality: Some("preset".into()),
+            best: ranked.first().cloned(),
+            ranked: Some(ranked),
+            ..Default::default()
+        })
+    }
+
+    fn map_response(
+        outcome: &ExploreOutcome,
+        cache: &str,
+        warm: Option<f64>,
+        quality: &str,
+    ) -> MapResponse {
         MapResponse {
             ok: true,
             cache: Some(cache.into()),
+            decision_quality: Some(quality.into()),
             best: outcome.best().map(Decision::of),
             ranked: Some(outcome.ranked.iter().map(Decision::of).collect()),
             warm_distance: warm,
@@ -619,8 +1026,9 @@ impl MapperServer {
     }
 
     /// Current counters: request/error totals, the shared cache's
-    /// hit/search/eviction counters, and p50/p99 service latency over a
-    /// sliding window of recent requests.
+    /// hit/search/eviction counters, the robustness counters (shed, degraded
+    /// by quality, cancelled searches, quarantined loads, injected faults),
+    /// and p50/p99 service latency over a sliding window of recent requests.
     pub fn stats(&self) -> ServerStats {
         let mut sorted: Vec<u64> = lock_recover(&self.latencies_us).iter().copied().collect();
         sorted.sort_unstable();
@@ -633,10 +1041,50 @@ impl MapperServer {
             coalesced: self.cache.coalesced() as u64,
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             evictions: self.cache.evictions() as u64,
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded_warm: self.degraded_warm.load(Ordering::Relaxed),
+            degraded_preset: self.degraded_preset.load(Ordering::Relaxed),
+            cancelled_searches: self.cache.cancelled() as u64,
+            quarantined_loads: self.cache.quarantined() as u64,
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             p50_us: percentile_us(&sorted, 0.50),
             p99_us: percentile_us(&sorted, 0.99),
         }
     }
+}
+
+/// Evaluates candidate dataflows on `workload`, ranks by objective score
+/// (ties broken by display form for determinism), dedups, and truncates to
+/// the requested top-K. `None` when nothing evaluates successfully.
+fn rank_by_evaluation<'a, I>(
+    candidates: I,
+    workload: &GnnWorkload,
+    cfg: &AccelConfig,
+    opts: &DseOptions,
+    objective: Objective,
+) -> Option<Vec<Decision>>
+where
+    I: Iterator<Item = &'a GnnDataflow>,
+{
+    let mut ranked: Vec<Decision> = candidates
+        .filter_map(|dataflow| {
+            let report = evaluate(workload, dataflow, cfg).ok()?;
+            Some(Decision {
+                dataflow: dataflow.to_string(),
+                cycles: report.total_cycles,
+                energy_pj: report.energy.total_pj(),
+                buffer_peak_bytes: report.buffer_peak_bytes,
+                score: objective.score(&report),
+            })
+        })
+        .collect();
+    if ranked.is_empty() {
+        return None;
+    }
+    ranked.sort_by(|a, b| a.score.total_cmp(&b.score).then_with(|| a.dataflow.cmp(&b.dataflow)));
+    ranked.dedup_by(|a, b| a.dataflow == b.dataflow);
+    ranked.truncate(opts.top_k.max(1));
+    Some(ranked)
 }
 
 fn disposition(how: CacheOutcome) -> &'static str {
@@ -674,9 +1122,14 @@ mod tests {
     }
 
     fn test_server() -> MapperServer {
+        test_server_with(ServeOptions::default())
+    }
+
+    fn test_server_with(mut opts: ServeOptions) -> MapperServer {
         // Port 0: bind a throwaway socket purely to construct the server; the
         // protocol tests below go through handle_line, not TCP.
-        let opts = ServeOptions { addr: "127.0.0.1:0".into(), quiet: true, ..Default::default() };
+        opts.addr = "127.0.0.1:0".into();
+        opts.quiet = true;
         MapperServer::bind(opts).expect("bind")
     }
 
@@ -712,12 +1165,14 @@ mod tests {
         let first: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
         assert!(first.ok, "error: {:?}", first.error);
         assert_eq!(first.cache.as_deref(), Some("search"));
+        assert_eq!(first.decision_quality.as_deref(), Some("exact"));
         let best = first.best.expect("a winning decision");
         assert!(best.cycles > 0);
         assert!(first.ranked.unwrap().len() <= 3);
 
         let second: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
         assert_eq!(second.cache.as_deref(), Some("hit"));
+        assert_eq!(second.decision_quality.as_deref(), Some("exact"));
         assert_eq!(second.best.unwrap().dataflow, best.dataflow);
         assert_eq!(server.cache().searches(), 1);
         assert_eq!(server.cache().hits(), 1);
@@ -735,6 +1190,7 @@ mod tests {
         let warm: MapResponse = serde_json::from_str(&server.handle_line(&fast)).unwrap();
         assert!(warm.ok, "error: {:?}", warm.error);
         assert_eq!(warm.cache.as_deref(), Some("warm"));
+        assert_eq!(warm.decision_quality.as_deref(), Some("warm"));
         assert!(warm.warm_distance.unwrap() > 0.0);
         assert!(warm.best.is_some());
         assert_eq!(server.cache().searches(), 1, "warm start must not search");
@@ -786,5 +1242,180 @@ mod tests {
         assert_eq!(percentile_us(&v, 0.50), 50);
         assert_eq!(percentile_us(&v, 0.99), 99);
         assert_eq!(percentile_us(&v, 1.0), 100);
+    }
+
+    /// Forces tiny fill_buf slices so lines split across reads exercise the
+    /// partial-accumulation path.
+    fn chunked(bytes: &[u8]) -> BufReader<io::Cursor<Vec<u8>>> {
+        BufReader::with_capacity(3, io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn bounded_reader_assembles_lines_across_small_reads() {
+        let mut reader = chunked(b"hello world\nsecond\npartial-then-eof");
+        let mut pending = Vec::new();
+        let mut discarding = false;
+        let mut next = || read_bounded_line(&mut reader, &mut pending, &mut discarding, 64);
+        assert_eq!(next(), LineRead::Line("hello world".into()));
+        assert_eq!(next(), LineRead::Line("second".into()));
+        assert_eq!(next(), LineRead::Eof, "a half-sent line before EOF is dropped");
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_lines_without_buffering_them() {
+        let big = vec![b'x'; 200];
+        let mut input = big.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let mut reader = chunked(&input);
+        let mut pending = Vec::new();
+        let mut discarding = false;
+        let max = 16;
+        loop {
+            match read_bounded_line(&mut reader, &mut pending, &mut discarding, max) {
+                LineRead::TooLong => break,
+                LineRead::Pending => continue,
+                other => panic!("expected TooLong, got {other:?}"),
+            }
+        }
+        assert!(pending.len() <= max, "discard mode must not buffer the oversized line");
+        // The connection is still usable: the next line parses normally.
+        assert_eq!(
+            read_bounded_line(&mut reader, &mut pending, &mut discarding, max),
+            LineRead::Line("ok".into())
+        );
+    }
+
+    #[test]
+    fn bounded_reader_rejects_an_oversized_line_arriving_in_one_read() {
+        // A complete-with-newline line over the bound, all in one buffer.
+        let mut reader = BufReader::new(io::Cursor::new(b"0123456789ABCDEF\nok\n".to_vec()));
+        let mut pending = Vec::new();
+        let mut discarding = false;
+        assert_eq!(read_bounded_line(&mut reader, &mut pending, &mut discarding, 8), LineRead::TooLong);
+        assert_eq!(
+            read_bounded_line(&mut reader, &mut pending, &mut discarding, 8),
+            LineRead::Line("ok".into())
+        );
+    }
+
+    #[test]
+    fn deadline_miss_degrades_to_preset_then_background_completes() {
+        let server = test_server_with(ServeOptions {
+            faults: FaultPlan { search_delay_ms: 400, ..Default::default() },
+            ..Default::default()
+        });
+        // Cold cache + 400 ms injected search delay + 30 ms budget: the
+        // ladder has no warm neighbour, so the answer is the best preset.
+        let line = request_json(&tiny_workload_spec(8), ",\"deadline_ms\":30,\"id\":1");
+        let started = Instant::now();
+        let degraded: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(degraded.ok, "error: {:?}", degraded.error);
+        assert_eq!(degraded.decision_quality.as_deref(), Some("preset"));
+        assert!(degraded.best.is_some(), "a preset answer still carries a decision");
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "the deadline path must not wait out the full search delay"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.degraded_preset, 1);
+        assert_eq!(stats.faults_injected, 1);
+        // background_complete (default): the abandoned search still runs to
+        // completion and publishes, so the same request later is an exact hit.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while server.cache().searches() == 0 {
+            assert!(Instant::now() < deadline, "background search never completed");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let warm: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert_eq!(warm.cache.as_deref(), Some("hit"));
+        assert_eq!(warm.decision_quality.as_deref(), Some("exact"));
+    }
+
+    #[test]
+    fn deadline_miss_prefers_a_warm_neighbour_over_presets() {
+        let server = test_server_with(ServeOptions {
+            faults: FaultPlan { search_delay_ms: 400, ..Default::default() },
+            background_complete: false,
+            ..Default::default()
+        });
+        // Seed g=8 the slow way (no deadline: waits out the injected delay).
+        let seed = request_json(&tiny_workload_spec(8), "");
+        let seeded: MapResponse = serde_json::from_str(&server.handle_line(&seed)).unwrap();
+        assert!(seeded.ok);
+        // g=16 under a tight deadline: the nearest cached shape answers warm.
+        let line = request_json(&tiny_workload_spec(16), ",\"deadline_ms\":30");
+        let warm: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(warm.ok, "error: {:?}", warm.error);
+        assert_eq!(warm.decision_quality.as_deref(), Some("warm"));
+        assert!(warm.warm_distance.unwrap() > 0.0);
+        assert_eq!(server.stats().degraded_warm, 1);
+        // background_complete=false: the abandoned search is cancelled, so it
+        // must never publish a second search. Give it time to prove that.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.cache().cancelled() == 0 {
+            assert!(Instant::now() < deadline, "cancelled search never wound down");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(server.cache().searches(), 1, "the cancelled search must not publish");
+    }
+
+    #[test]
+    fn injected_panics_answer_errors_and_are_counted() {
+        let server = test_server_with(ServeOptions {
+            faults: FaultPlan { panic_every: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let line = request_json(&tiny_workload_spec(8), "");
+        let first: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(first.ok, "first map request is not a panic multiple");
+        let second: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(!second.ok);
+        assert!(second.error.unwrap().contains("panic"));
+        // The daemon survives and keeps serving (request 3 is odd → no panic).
+        let third: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(third.ok);
+        assert_eq!(third.cache.as_deref(), Some("hit"));
+        let stats = server.stats();
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn injected_save_crash_leaves_tmp_and_recovery_cleans_it() {
+        let dir = std::env::temp_dir().join(format!("omega-serve-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_file = dir.join("cache.json");
+        let server = test_server_with(ServeOptions {
+            cache_file: Some(cache_file.clone()),
+            faults: FaultPlan { save_crash: true, ..Default::default() },
+            ..Default::default()
+        });
+        let line = request_json(&tiny_workload_spec(8), "");
+        let mapped: MapResponse = serde_json::from_str(&server.handle_line(&line)).unwrap();
+        assert!(mapped.ok);
+        // First save crashes in the tmp-write → rename window …
+        let crashed: MapResponse =
+            serde_json::from_str(&server.handle_line("{\"cmd\":\"save\"}")).unwrap();
+        assert!(!crashed.ok);
+        assert!(crashed.error.unwrap().contains("panic"));
+        assert!(cache_file.with_extension("tmp").exists(), "crash leaves the tmp file behind");
+        assert!(!cache_file.exists(), "the crashed save must not have renamed");
+        // … the fault is one-shot: the retry succeeds …
+        let saved: MapResponse =
+            serde_json::from_str(&server.handle_line("{\"cmd\":\"save\"}")).unwrap();
+        assert!(saved.ok, "error: {:?}", saved.error);
+        assert!(cache_file.exists());
+        drop(server);
+        // … and a restart cleans the stale tmp and loads the good file.
+        let reborn = test_server_with(ServeOptions {
+            cache_file: Some(cache_file.clone()),
+            ..Default::default()
+        });
+        assert!(!cache_file.with_extension("tmp").exists(), "bind cleans stale tmp files");
+        let warm: MapResponse = serde_json::from_str(&reborn.handle_line(&line)).unwrap();
+        assert_eq!(warm.cache.as_deref(), Some("hit"));
+        assert_eq!(reborn.cache().searches(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,11 +1,15 @@
 //! End-to-end daemon tests over a real loopback socket: concurrent identical
-//! requests single-flight onto one search, and shutdown flushes a cache file
-//! that a restarted server answers hits from.
+//! requests single-flight onto one search, shutdown flushes a cache file that
+//! a restarted server answers hits from, oversized lines get typed errors
+//! without killing the connection, overflow connections shed explicitly, and
+//! a chaos run (injected panics + a save-path crash + garbage clients)
+//! survives with a restart serving warm traffic searchlessly.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-
+use omega_serve::client::{MapperClient, RetryPolicy};
+use omega_serve::faults::FaultPlan;
 use omega_serve::{MapRequest, MapResponse, MapperServer, ServeOptions, WorkloadSpec};
 
 fn tiny_spec() -> WorkloadSpec {
@@ -107,6 +111,183 @@ fn shutdown_flushes_cache_file_and_a_restart_answers_hits() {
     assert_eq!(response.cache.as_deref(), Some("hit"), "error: {:?}", response.error);
     assert_eq!(reloaded.cache().searches(), 0);
     assert_eq!(reloaded.cache().hits(), 1);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn oversized_lines_get_a_typed_error_and_the_connection_survives() {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_line_bytes: 512,
+        quiet: true,
+        ..Default::default()
+    };
+    let server = MapperServer::bind(opts).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.run().expect("run"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        // A line well past the bound must be discarded, not buffered …
+        let mut line = vec![b'x'; 4096];
+        line.push(b'\n');
+        stream.write_all(&line).expect("send oversized");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("error line");
+        let rejected: MapResponse = serde_json::from_str(&response).expect("response JSON");
+        assert!(!rejected.ok);
+        assert!(
+            rejected.error.as_deref().unwrap_or("").contains("oversized request line"),
+            "typed error, got: {:?}",
+            rejected.error
+        );
+        // … and the SAME connection keeps working afterwards.
+        stream.write_all(b"{\"cmd\":\"ping\",\"id\":9}\n").expect("send ping");
+        response.clear();
+        reader.read_line(&mut response).expect("pong line");
+        let pong: MapResponse = serde_json::from_str(&response).expect("pong JSON");
+        assert!(pong.ok);
+        assert_eq!(pong.id, Some(9));
+
+        assert!(send_line(&addr, "{\"cmd\":\"shutdown\"}").ok);
+        let stats = serving.join().expect("server thread");
+        assert_eq!(stats.errors, 1, "exactly the oversized line errored");
+    });
+}
+
+#[test]
+fn connections_past_the_admission_limit_are_shed_explicitly() {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        max_connections: 2,
+        quiet: true,
+        ..Default::default()
+    };
+    let server = MapperServer::bind(opts).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.run().expect("run"));
+
+        // Fill the limit with two held connections, each proven registered
+        // by a ping round-trip (TCP connect alone races the accept loop).
+        let held: Vec<(TcpStream, BufReader<TcpStream>)> = (0..2)
+            .map(|i| {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                stream
+                    .write_all(format!("{{\"cmd\":\"ping\",\"id\":{i}}}\n").as_bytes())
+                    .expect("ping");
+                let mut response = String::new();
+                reader.read_line(&mut response).expect("pong");
+                assert!(serde_json::from_str::<MapResponse>(&response).expect("JSON").ok);
+                (stream, reader)
+            })
+            .collect();
+
+        // The third connection gets an explicit shed line, then EOF.
+        let extra = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(extra);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("shed line");
+        let shed: MapResponse = serde_json::from_str(&response).expect("shed JSON");
+        assert!(!shed.ok);
+        assert_eq!(shed.decision_quality.as_deref(), Some("shed"));
+        assert!(shed.error.as_deref().unwrap_or("").contains("connection limit"));
+        response.clear();
+        assert_eq!(reader.read_line(&mut response).expect("EOF"), 0, "shed conn is closed");
+
+        // Releasing a held connection frees a slot for a newcomer.
+        drop(held);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let pong = send_line(&addr, "{\"cmd\":\"ping\"}");
+            if pong.ok {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "slot never freed after close");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        let stats = send_line(&addr, "{\"cmd\":\"shutdown\"}").stats.expect("stats");
+        assert!(stats.shed >= 1, "the overflow connection was counted as shed");
+        serving.join().expect("server thread");
+    });
+}
+
+#[test]
+fn chaos_run_survives_and_a_restart_serves_warm_with_zero_searches() {
+    let path = std::env::temp_dir().join(format!("omega-serve-chaos-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let request = serde_json::to_string(&MapRequest::for_workload(
+        &tiny_spec().to_workload().expect("workload"),
+    ))
+    .expect("request JSON");
+
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        cache_file: Some(path.clone()),
+        max_line_bytes: 1024,
+        faults: FaultPlan { panic_every: 3, save_crash: true, ..Default::default() },
+        quiet: true,
+        ..Default::default()
+    };
+    let server = MapperServer::bind(opts).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|s| {
+        let serving = s.spawn(|| server.run().expect("run"));
+        let policy = RetryPolicy { attempts: 5, base_delay_ms: 5, max_delay_ms: 50, seed: 11 };
+        let mut client = MapperClient::connect(&addr.to_string(), policy).expect("connect");
+
+        // Adversarial clients: garbage JSON, an oversized line, a mid-line
+        // disconnect — none may take the daemon down.
+        let garbage = send_line(&addr, "{definitely not json");
+        assert!(!garbage.ok);
+        let oversized = send_line(&addr, &"x".repeat(4096));
+        assert!(oversized.error.as_deref().unwrap_or("").contains("oversized"));
+        {
+            let mut half = TcpStream::connect(addr).expect("connect");
+            half.write_all(b"{\"cmd\":\"pi").expect("half line");
+        } // dropped mid-line
+
+        // The save path crashes once (injected), leaving a stale .tmp; the
+        // in-band response is an error, not a dead daemon. Raw send: no
+        // retries, so the crash is observed rather than papered over.
+        let crashed = send_line(&addr, "{\"cmd\":\"save\"}");
+        assert!(!crashed.ok);
+        assert!(crashed.error.as_deref().unwrap_or("").contains("panic"));
+        assert!(path.with_extension("tmp").exists(), "crash left the temp file");
+
+        // Map traffic through the retrying client: every third map request
+        // panics server-side, but retries land every answer.
+        for _ in 0..6 {
+            let response = client.request_line(&request).expect("mapped");
+            assert!(response.ok, "retries recover injected panics: {:?}", response.error);
+            assert_eq!(response.decision_quality.as_deref(), Some("exact"));
+        }
+        assert!(client.retries() >= 1, "at least one injected panic was retried");
+
+        let stats = send_line(&addr, "{\"cmd\":\"shutdown\"}").stats.expect("stats");
+        assert!(stats.faults_injected >= 2, "panic + save crash injected: {stats:?}");
+        assert!(stats.errors >= 3, "garbage + oversized + crash + panics all counted");
+        serving.join().expect("server thread");
+    });
+    // The shutdown flush (a plain save — the crash was one-shot) persisted
+    // the cache; a restart loads it and serves the hot shape searchlessly.
+    assert!(path.exists(), "shutdown still flushed the cache after chaos");
+    let reloaded = MapperServer::bind(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        cache_file: Some(path.clone()),
+        quiet: true,
+        ..Default::default()
+    })
+    .expect("rebind");
+    assert!(!path.with_extension("tmp").exists(), "rebind cleaned the stale temp file");
+    let warm: MapResponse =
+        serde_json::from_str(&reloaded.handle_line(&request)).expect("response JSON");
+    assert_eq!(warm.cache.as_deref(), Some("hit"), "error: {:?}", warm.error);
+    assert_eq!(reloaded.cache().searches(), 0, "warm restart never searches");
 
     let _ = std::fs::remove_file(&path);
 }
