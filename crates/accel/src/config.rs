@@ -65,6 +65,12 @@ pub struct ModelKnobs {
     /// [`crate::PhaseStats::rf_peak_bytes`] / [`crate::PhaseStats::gb_peak_bytes`],
     /// but nothing spills on their account.
     pub enforce_capacity: bool,
+    /// Route every phase simulation through the per-edge reference walk
+    /// (`EngineOptions::reference_walk`) instead of the summary-driven
+    /// O(degree classes + tile boundaries) walk. Off = identical results,
+    /// orders of magnitude faster on large graphs; on = the differential
+    /// oracle, O(nnz) per simulation.
+    pub reference_walk: bool,
 }
 
 impl Default for ModelKnobs {
@@ -74,6 +80,7 @@ impl Default for ModelKnobs {
             fractional_spill: true,
             per_pass_fill: false,
             enforce_capacity: false,
+            reference_walk: false,
         }
     }
 }

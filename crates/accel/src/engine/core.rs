@@ -32,7 +32,8 @@
 //!    calls [`run_phase`]. The elementwise engine (`elementwise.rs`, ~150
 //!    lines) is the template.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use super::{ChunkSide, ChunkSpec, EngineOptions, GemmDims, OperandClasses};
 use crate::{AccelConfig, AccessCounters, BandwidthShare, PhaseStats, RfBudget};
@@ -295,6 +296,9 @@ pub(crate) struct PhaseWalk {
     pub(crate) macs: u64,
     /// Set when any pass spilled partial sums.
     pub(crate) spilled: bool,
+    /// Tile passes replayed from a batched class this walk (flushed into
+    /// [`crate::telemetry::class_replays`] by [`run_phase`]).
+    pub(crate) class_replays: u64,
     /// Operand-class assignment of this run.
     pub(crate) classes: OperandClasses,
     /// Per-run engine options.
@@ -401,12 +405,14 @@ pub(crate) fn run_phase<E: PhaseEngine>(
         stall_cycles: 0,
         macs: 0,
         spilled: false,
+        class_replays: 0,
         classes: *classes,
         opts: *opts,
         chunks: ChunkTracker::new(opts.chunk.as_ref(), chunk_total),
         overhead: pass_fill,
     };
     leaf.walk(&mut w);
+    crate::telemetry::add_class_replays(w.class_replays);
     let extra = leaf.epilogue(&mut w);
     let fp = leaf.footprint(opts);
     let word = cfg.word_bytes as u64;
@@ -466,31 +472,65 @@ pub(crate) fn run_phase<E: PhaseEngine>(
 // leaves so `PreparedEval` plans every phase kind uniformly.
 // ---------------------------------------------------------------------------
 
-/// Degree summary supporting O(log n) "edges active in neighbour slice `[lo, hi)`"
-/// queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`. Shared by the SpMM and
-/// SDDMM leaves, whose neighbour-slice walks are the same shape.
+/// Degree summary supporting O(log classes) "edges active in neighbour slice
+/// `[lo, hi)`" queries: `Σ_v min(deg_v, hi) − min(deg_v, lo)`. Shared by the
+/// SpMM and SDDMM leaves, whose neighbour-slice walks are the same shape.
+///
+/// Stored as **degree classes** (distinct degrees + multiplicities), not the
+/// sorted row list, so construction is O(V + classes·log classes) and the
+/// structure stays small even for million-row graphs whose rows fall into a
+/// few hundred distinct degrees.
 #[derive(Debug)]
 pub(crate) struct DegreeSummary {
-    sorted: Vec<u32>,
-    prefix: Vec<u64>, // prefix[i] = sum of sorted[..i]
+    /// Distinct degrees, ascending.
+    degs: Vec<u32>,
+    /// `rows[i]` = rows with degree among `degs[..i]` (len = degs.len() + 1).
+    rows: Vec<u64>,
+    /// `edges[i]` = Σ degree·count over `degs[..i]`.
+    edges: Vec<u64>,
 }
 
 impl DegreeSummary {
     pub(crate) fn new(degrees: impl Iterator<Item = usize>) -> Self {
-        let mut sorted: Vec<u32> = degrees.map(|d| d as u32).collect();
-        sorted.sort_unstable();
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
-        prefix.push(0u64);
-        for &d in &sorted {
-            prefix.push(prefix.last().unwrap() + d as u64);
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let mut n = 0u64;
+        for d in degrees {
+            *counts.entry(d as u32).or_insert(0) += 1;
+            n += 1;
         }
-        DegreeSummary { sorted, prefix }
+        crate::telemetry::count_prepare(n);
+        let mut classes: Vec<(u32, u64)> = counts.into_iter().collect();
+        classes.sort_unstable_by_key(|&(d, _)| d);
+        Self::from_classes(classes.iter().map(|&(d, m)| (d as usize, m)))
+    }
+
+    /// Builds the summary from already-deduplicated `(degree, multiplicity)`
+    /// classes in ascending degree order — O(classes), no re-counting.
+    pub(crate) fn from_classes(classes: impl Iterator<Item = (usize, u64)>) -> Self {
+        let (lo, hi) = classes.size_hint();
+        let cap = hi.unwrap_or(lo);
+        let mut degs = Vec::with_capacity(cap);
+        let mut rows = Vec::with_capacity(cap + 1);
+        let mut edges = Vec::with_capacity(cap + 1);
+        rows.push(0u64);
+        edges.push(0u64);
+        for (d, m) in classes {
+            debug_assert!(degs.last().is_none_or(|&p| p < d as u32), "classes must ascend");
+            degs.push(d as u32);
+            rows.push(rows.last().unwrap() + m);
+            edges.push(edges.last().unwrap() + d as u64 * m);
+        }
+        DegreeSummary { degs, rows, edges }
+    }
+
+    fn total_rows(&self) -> u64 {
+        *self.rows.last().unwrap()
     }
 
     /// Σ_v min(deg_v, x).
     fn sum_min(&self, x: usize) -> u64 {
-        let idx = self.sorted.partition_point(|&d| (d as usize) < x);
-        self.prefix[idx] + (self.sorted.len() - idx) as u64 * x as u64
+        let idx = self.degs.partition_point(|&d| (d as usize) < x);
+        self.edges[idx] + (self.total_rows() - self.rows[idx]) * x as u64
     }
 
     /// Edge visits whose within-row index falls in `[lo, hi)`.
@@ -500,28 +540,144 @@ impl DegreeSummary {
 
     /// Rows with degree > k.
     pub(crate) fn count_gt(&self, k: usize) -> u64 {
-        (self.sorted.len() - self.sorted.partition_point(|&d| d as usize <= k)) as u64
+        self.total_rows() - self.rows[self.degs.partition_point(|&d| d as usize <= k)]
     }
 
     pub(crate) fn max(&self) -> usize {
-        self.sorted.last().map_or(0, |&d| d as usize)
+        self.degs.last().map_or(0, |&d| d as usize)
     }
 }
 
 /// Distinct degrees with multiplicities, ascending — single-row vertex tiles
 /// with equal degree make identical pass sequences, so batched walks iterate
-/// these classes instead of every vertex.
+/// these classes instead of every vertex. O(V + classes·log classes).
 fn degree_classes(degrees: &[usize]) -> Vec<(usize, u64)> {
-    let mut sorted: Vec<usize> = degrees.to_vec();
-    sorted.sort_unstable();
-    let mut out: Vec<(usize, u64)> = Vec::new();
-    for d in sorted {
-        match out.last_mut() {
-            Some((last, m)) if *last == d => *m += 1,
-            _ => out.push((d, 1)),
-        }
+    crate::telemetry::count_prepare(degrees.len() as u64);
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    for &d in degrees {
+        *counts.entry(d).or_insert(0) += 1;
     }
+    let mut out: Vec<(usize, u64)> = counts.into_iter().collect();
+    out.sort_unstable_by_key(|&(d, _)| d);
     out
+}
+
+/// One equivalence class of vertex tiles: every tile whose (sorted) degree
+/// multiset equals the class key produces an identical pass timeline under
+/// *any* loop order and tile shape, so the summary walks compute that
+/// timeline once and replay it `mult` times (`ChunkTracker::advance_repeat`
+/// keeps even the chunk marks exact).
+#[derive(Debug)]
+pub(crate) struct TileClass {
+    /// Σ degrees of one tile in the class (edge visits).
+    pub(crate) sum: u64,
+    /// Max degree of one tile (tile-synchronized step count keys off this).
+    pub(crate) max: usize,
+    /// Rows in one tile (`tv`, or the remainder for the last tile).
+    pub(crate) rows: u64,
+    /// Tiles in this class.
+    pub(crate) mult: u64,
+    /// The class key: one tile's degrees, sorted ascending.
+    degrees: Box<[u32]>,
+    /// Lazily-built slice summary for the orders that cut the neighbour
+    /// dimension mid-nest (VNF / NVF).
+    summary: OnceLock<DegreeSummary>,
+}
+
+impl TileClass {
+    /// The degree summary of one representative tile (all tiles in the class
+    /// share it by construction).
+    pub(crate) fn summary(&self) -> &DegreeSummary {
+        self.summary.get_or_init(|| {
+            crate::telemetry::count_prepare(self.degrees.len() as u64);
+            // The key is sorted, so the classes are a linear run-length pass.
+            let mut classes: Vec<(usize, u64)> = Vec::new();
+            for &d in self.degrees.iter() {
+                match classes.last_mut() {
+                    Some((last, m)) if *last == d as usize => *m += 1,
+                    _ => classes.push((d as usize, 1)),
+                }
+            }
+            DegreeSummary::from_classes(classes.into_iter())
+        })
+    }
+}
+
+/// The per-(workload, `T_V`) tile summary driving the O(degree classes +
+/// tile boundaries) walks: every vertex tile mapped to its [`TileClass`],
+/// with boundary (remainder) tiles falling out naturally as their own class.
+/// Built once per tile height in [`PreparedSpmm::summary`] and shared across
+/// every simulation of that workload — loop order, `T_F`/`T_N`, chunking,
+/// residency, and capacity budgets all reuse the same structure.
+#[derive(Debug)]
+pub(crate) struct WorkloadSummary {
+    /// Class id of each vertex tile, in tile order (the chunk-exact walks
+    /// iterate this; O(#tiles) entries).
+    tile_class: Vec<u32>,
+    classes: Vec<TileClass>,
+}
+
+impl WorkloadSummary {
+    pub(crate) fn new(degrees: &[usize], tv: usize) -> Self {
+        let tv = tv.max(1);
+        let v = degrees.len();
+        let n_v = v.div_ceil(tv);
+        crate::telemetry::count_prepare(v as u64);
+        let mut classes: Vec<TileClass> = Vec::new();
+        let mut index: HashMap<Box<[u32]>, u32> = HashMap::new();
+        let mut tile_class = Vec::with_capacity(n_v);
+        for iv in 0..n_v {
+            let lo = iv * tv;
+            let hi = ((iv + 1) * tv).min(v);
+            let mut key: Vec<u32> = degrees[lo..hi].iter().map(|&d| d as u32).collect();
+            key.sort_unstable();
+            let key: Box<[u32]> = key.into_boxed_slice();
+            let id = match index.get(&key) {
+                Some(&id) => {
+                    classes[id as usize].mult += 1;
+                    id
+                }
+                None => {
+                    let id = classes.len() as u32;
+                    let sum = key.iter().map(|&d| d as u64).sum();
+                    let max = key.last().map_or(0, |&d| d as usize);
+                    classes.push(TileClass {
+                        sum,
+                        max,
+                        rows: (hi - lo) as u64,
+                        mult: 1,
+                        degrees: key.clone(),
+                        summary: OnceLock::new(),
+                    });
+                    index.insert(key, id);
+                    id
+                }
+            };
+            tile_class.push(id);
+        }
+        WorkloadSummary { tile_class, classes }
+    }
+
+    /// The tile classes, in first-occurrence order.
+    pub(crate) fn classes(&self) -> &[TileClass] {
+        &self.classes
+    }
+
+    /// The class of vertex tile `iv`.
+    pub(crate) fn class_of(&self, iv: usize) -> &TileClass {
+        &self.classes[self.tile_class[iv] as usize]
+    }
+
+    /// The class *id* of vertex tile `iv` — O(1) equality checks let the
+    /// chunk-exact walks fold runs of consecutive same-class tiles.
+    pub(crate) fn class_id(&self, iv: usize) -> u32 {
+        self.tile_class[iv]
+    }
+
+    /// Number of vertex tiles.
+    pub(crate) fn num_tiles(&self) -> usize {
+        self.tile_class.len()
+    }
 }
 
 /// Degree structures of one adjacency, hoisted out of the sparse leaves so a
@@ -538,14 +694,31 @@ pub struct PreparedSpmm<'a> {
     max_degree: usize,
     classes: OnceLock<Vec<(usize, u64)>>,
     global: OnceLock<DegreeSummary>,
+    /// Per-`T_V` tile summaries, built once and shared across every
+    /// simulation of this workload (tile heights are few — the DSE's
+    /// power-of-two tile ladder yields ~log₂ V distinct values).
+    summaries: Mutex<HashMap<usize, Arc<WorkloadSummary>>>,
 }
 
 impl<'a> PreparedSpmm<'a> {
-    /// Prepares the degree structures for `degrees`.
+    /// Prepares the degree structures for `degrees`: one fused O(V) pass for
+    /// the totals, everything else lazy.
     pub fn new(degrees: &'a [usize]) -> Self {
-        let nnz = degrees.iter().map(|&d| d as u64).sum();
-        let max_degree = degrees.iter().copied().max().unwrap_or(0);
-        PreparedSpmm { degrees, nnz, max_degree, classes: OnceLock::new(), global: OnceLock::new() }
+        crate::telemetry::count_prepare(degrees.len() as u64);
+        let mut nnz = 0u64;
+        let mut max_degree = 0usize;
+        for &d in degrees {
+            nnz += d as u64;
+            max_degree = max_degree.max(d);
+        }
+        PreparedSpmm {
+            degrees,
+            nnz,
+            max_degree,
+            classes: OnceLock::new(),
+            global: OnceLock::new(),
+            summaries: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The stored non-zeros per row this preparation covers.
@@ -569,6 +742,13 @@ impl<'a> PreparedSpmm<'a> {
 
     pub(crate) fn global(&self) -> &DegreeSummary {
         self.global.get_or_init(|| DegreeSummary::new(self.degrees.iter().copied()))
+    }
+
+    /// The tile summary for vertex-tile height `tv`, built on first use and
+    /// cached (thread-safe — DSE workers share one `PreparedSpmm`).
+    pub(crate) fn summary(&self, tv: usize) -> Arc<WorkloadSummary> {
+        let mut map = self.summaries.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(tv).or_insert_with(|| Arc::new(WorkloadSummary::new(self.degrees, tv))).clone()
     }
 }
 

@@ -198,6 +198,12 @@ pub struct EngineOptions {
     /// On-chip storage budgets this run is held to
     /// ([`CapacityBudget::UNBOUNDED`] = the paper's free-buffering model).
     pub capacity: CapacityBudget,
+    /// Force the per-edge reference walk: every vertex tile is scanned and
+    /// every pass issued with multiplicity 1, instead of replaying
+    /// summary-batched tile classes. O(nnz) instead of O(degree classes +
+    /// tile boundaries) — kept compiled as the differential-testing oracle
+    /// (`crates/accel/tests/summary_identity.rs` asserts bit-identity).
+    pub reference_walk: bool,
 }
 
 impl EngineOptions {
@@ -211,6 +217,7 @@ impl EngineOptions {
             scores_resident: false,
             chunk: None,
             capacity: CapacityBudget::UNBOUNDED,
+            reference_walk: false,
         }
     }
 }

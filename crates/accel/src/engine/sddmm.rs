@@ -40,7 +40,7 @@ use omega_dataflow::{Dim, IntraTiling, Phase};
 
 use super::core::{
     actual_tile, bandwidth_sweep, loop_classes, run_phase, DegreeSummary, Footprint, PhaseEngine,
-    PhaseWalk, PreparedSpmm, SpillModel,
+    PhaseWalk, PreparedSpmm, SpillModel, TileClass,
 };
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, OperandClass, PhaseStats};
@@ -137,7 +137,9 @@ fn simulate_sddmm_inner(
         pos_v < pos_n,
         "SDDMM loop order {order} puts N before V; gate with omega_dataflow::validate_sddmm"
     );
-    let leaf = SddmmLeaf::new(prep, dot_width, heads, tiling, cfg, naive);
+    // `EngineOptions::reference_walk` routes through the same per-pass oracle
+    // the tests' `naive` flag does.
+    let leaf = SddmmLeaf::new(prep, dot_width, heads, tiling, cfg, naive || opts.reference_walk);
     run_phase(&leaf, cfg, classes, opts)
 }
 
@@ -336,6 +338,35 @@ impl<'a> SddmmLeaf<'a> {
             }
         }
     }
+
+    /// The neighbour-slice walk of one `VNF` vertex-tile class (`m` folds the
+    /// head count and any class multiplicity).
+    fn vnf_tile_class(&self, w: &mut PhaseWalk, c: &TileClass, m: u64) {
+        let tn = self.shape.tn;
+        let summary = c.summary();
+        let n_red = (c.max as u64).div_ceil(tn as u64).max(1) as usize;
+        for in_ in 0..n_red {
+            let active = summary.active(in_ * tn, (in_ + 1) * tn);
+            self.streaming_pass(w, active, c.rows, in_ == 0, m);
+        }
+    }
+
+    /// Degree sum, tile-synchronized step count, and rows of one vertex tile —
+    /// the reference walk's per-tile scan (the summary walk reads the same
+    /// facts from the tile's class in O(1)).
+    fn tile_scan(&self, iv: usize) -> (u64, u64, u64) {
+        let s = self.shape;
+        let lo = iv * s.tv;
+        let hi = ((iv + 1) * s.tv).min(s.v);
+        crate::telemetry::count_prepare((hi - lo) as u64);
+        let mut sum = 0u64;
+        let mut mx = 0usize;
+        for &deg in &self.prep.degrees()[lo..hi] {
+            sum += deg as u64;
+            mx = mx.max(deg);
+        }
+        (sum, (mx as u64).div_ceil(s.tn as u64), (hi - lo) as u64)
+    }
 }
 
 impl PhaseEngine for SddmmLeaf<'_> {
@@ -397,19 +428,6 @@ impl PhaseEngine for SddmmLeaf<'_> {
         let s = self.shape;
         let degrees = self.prep.degrees();
         let tn = s.tn as u64;
-        // Degree sum and max of one vertex tile — the only facts a row-major
-        // scoring pass needs (tile synchronization keys off the max).
-        let tile_scan = move |iv: usize| -> (u64, u64, u64) {
-            let lo = iv * s.tv;
-            let hi = ((iv + 1) * s.tv).min(s.v);
-            let mut sum = 0u64;
-            let mut mx = 0usize;
-            for &deg in &degrees[lo..hi] {
-                sum += deg as u64;
-                mx = mx.max(deg);
-            }
-            (sum, (mx as u64).div_ceil(tn), (hi - lo) as u64)
-        };
         // Heads iterate back-to-back at fixed (tile, slice) indices: the leaf
         // folds them into the pass multiplicity, the reference walk repeats the
         // pass `h` times.
@@ -419,18 +437,43 @@ impl PhaseEngine for SddmmLeaf<'_> {
                 // VFN: per v-tile, F-slices in the middle, neighbours
                 // innermost. The F loop is batched per `loop_classes` — at a
                 // fixed v-tile its passes are consecutive in true iteration
-                // order, so the batching is chunk-exact.
-                let f_walk: Vec<(usize, u64)> = if self.naive {
-                    (0..s.n_f).map(|i| (i, 1)).collect()
+                // order, so the batching is chunk-exact; the summary walk
+                // additionally folds identical vertex tiles into their class.
+                if self.naive {
+                    for iv in 0..s.n_v {
+                        let (sum, steps, avv) = self.tile_scan(iv);
+                        for if_ in 0..s.n_f {
+                            let af = actual_tile(s.d, s.tf, if_) as u64;
+                            for _ in 0..reps_h {
+                                self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, m_h);
+                            }
+                        }
+                    }
                 } else {
-                    loop_classes(s.n_f)
-                };
-                for iv in 0..s.n_v {
-                    let (sum, steps, avv) = tile_scan(iv);
-                    for &(if_, mf) in &f_walk {
-                        let af = actual_tile(s.d, s.tf, if_) as u64;
-                        for _ in 0..reps_h {
-                            self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                    let f_walk = loop_classes(s.n_f);
+                    let ws = self.prep.summary(s.tv);
+                    if !w.has_chunks() {
+                        for c in ws.classes() {
+                            w.class_replays += c.mult - 1;
+                            let steps = (c.max as u64).div_ceil(tn);
+                            for &(if_, mf) in &f_walk {
+                                let af = actual_tile(s.d, s.tf, if_) as u64;
+                                self.scoring_pass(
+                                    w, steps, c.sum, c.rows, af, if_ as u64, true,
+                                    mf * s.h * c.mult,
+                                );
+                            }
+                        }
+                    } else {
+                        for iv in 0..ws.num_tiles() {
+                            let c = ws.class_of(iv);
+                            let steps = (c.max as u64).div_ceil(tn);
+                            for &(if_, mf) in &f_walk {
+                                let af = actual_tile(s.d, s.tf, if_) as u64;
+                                self.scoring_pass(
+                                    w, steps, c.sum, c.rows, af, if_ as u64, true, mf * s.h,
+                                );
+                            }
                         }
                     }
                 }
@@ -441,17 +484,40 @@ impl PhaseEngine for SddmmLeaf<'_> {
                 // the middle F-class would lump passes that interleave with
                 // other v-tiles in true order, so with chunk timestamps the F
                 // loop walks per index.
-                let f_walk: Vec<(usize, u64)> = if self.naive || w.has_chunks() {
-                    (0..s.n_f).map(|i| (i, 1)).collect()
+                if self.naive {
+                    for if_ in 0..s.n_f {
+                        let af = actual_tile(s.d, s.tf, if_) as u64;
+                        for iv in 0..s.n_v {
+                            let (sum, steps, avv) = self.tile_scan(iv);
+                            for _ in 0..reps_h {
+                                self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, m_h);
+                            }
+                        }
+                    }
                 } else {
-                    loop_classes(s.n_f)
-                };
-                for &(if_, mf) in &f_walk {
-                    let af = actual_tile(s.d, s.tf, if_) as u64;
-                    for iv in 0..s.n_v {
-                        let (sum, steps, avv) = tile_scan(iv);
-                        for _ in 0..reps_h {
-                            self.scoring_pass(w, steps, sum, avv, af, if_ as u64, true, mf * m_h);
+                    let ws = self.prep.summary(s.tv);
+                    if !w.has_chunks() {
+                        for &(if_, mf) in &loop_classes(s.n_f) {
+                            let af = actual_tile(s.d, s.tf, if_) as u64;
+                            for c in ws.classes() {
+                                w.class_replays += c.mult - 1;
+                                let steps = (c.max as u64).div_ceil(tn);
+                                self.scoring_pass(
+                                    w, steps, c.sum, c.rows, af, if_ as u64, true,
+                                    mf * s.h * c.mult,
+                                );
+                            }
+                        }
+                    } else {
+                        for if_ in 0..s.n_f {
+                            let af = actual_tile(s.d, s.tf, if_) as u64;
+                            for iv in 0..ws.num_tiles() {
+                                let c = ws.class_of(iv);
+                                let steps = (c.max as u64).div_ceil(tn);
+                                self.scoring_pass(
+                                    w, steps, c.sum, c.rows, af, if_ as u64, true, s.h,
+                                );
+                            }
                         }
                     }
                 }
@@ -464,13 +530,14 @@ impl PhaseEngine for SddmmLeaf<'_> {
                     // sequences — batch by degree class (order-insensitive
                     // without chunk timestamps).
                     for &(deg, m) in self.prep.classes() {
+                        w.class_replays += m - 1;
                         self.vnf_vertex(w, deg, m * s.h, 1);
                     }
                 } else if s.tv == 1 {
                     for &deg in degrees {
                         self.vnf_vertex(w, deg, m_h, reps_h);
                     }
-                } else {
+                } else if self.naive {
                     for iv in 0..s.n_v {
                         let lo = iv * s.tv;
                         let hi = ((iv + 1) * s.tv).min(s.v);
@@ -482,6 +549,18 @@ impl PhaseEngine for SddmmLeaf<'_> {
                             for _ in 0..reps_h {
                                 self.streaming_pass(w, active, avv, in_ == 0, m_h);
                             }
+                        }
+                    }
+                } else {
+                    let ws = self.prep.summary(s.tv);
+                    if !w.has_chunks() {
+                        for c in ws.classes() {
+                            w.class_replays += c.mult - 1;
+                            self.vnf_tile_class(w, c, s.h * c.mult);
+                        }
+                    } else {
+                        for iv in 0..ws.num_tiles() {
+                            self.vnf_tile_class(w, ws.class_of(iv), s.h);
                         }
                     }
                 }

@@ -4,7 +4,7 @@ use omega_dataflow::{Dim, IntraTiling, Phase};
 
 use super::core::{
     actual_tile, run_phase, DegreeSummary, Footprint, PhaseEngine, PhaseWalk, PreparedSpmm,
-    SpillModel,
+    SpillModel, TileClass,
 };
 use super::{ChunkSide, EngineOptions, OperandClasses};
 use crate::{AccelConfig, OperandClass, PhaseStats};
@@ -227,6 +227,42 @@ impl<'a> SpmmLeaf<'a> {
         w.run_pass(steps.max(1), gb_reads, gb_writes, 0, produced, macs, m);
     }
 
+    /// F-tile classes: the full tiles then the remainder, in iteration order,
+    /// so the inner `F` loop of every order collapses to ≤ 2 batched passes.
+    fn f_classes(&self) -> Vec<(u64, u64)> {
+        let (f, tf, n_f) = (self.f, self.tf, self.n_f);
+        let af_last = (f - (n_f - 1) * tf) as u64;
+        if af_last == tf as u64 {
+            vec![(tf as u64, n_f as u64)]
+        } else {
+            vec![(tf as u64, (n_f - 1) as u64), (af_last, 1)]
+        }
+    }
+
+    /// The neighbour-slice walk of one vertex-tile class under VNF (`m`
+    /// identical tiles batched together).
+    fn vnf_tile(&self, w: &mut PhaseWalk, c: &TileClass, m: u64) {
+        let tn = self.tn;
+        let summary = c.summary();
+        let n_red = (c.max as u64).div_ceil(tn as u64).max(1) as usize;
+        for in_ in 0..n_red {
+            let lo = in_ * tn;
+            let hi = lo + tn;
+            let active = summary.active(lo, hi);
+            self.reduction_middle_pass(
+                w,
+                self.n_f as u64,
+                active * self.f as u64,
+                c.rows,
+                self.f as u64,
+                in_ as u64,
+                n_red as u64,
+                active,
+                m,
+            );
+        }
+    }
+
     /// The full slice walk of one single-row vertex tile under VNF (`m` rows of
     /// identical degree `d` batched together).
     fn vnf_vertex(&self, w: &mut PhaseWalk, d: usize, m: u64) {
@@ -356,24 +392,31 @@ impl PhaseEngine for SpmmLeaf<'_> {
         Footprint::new(self.spill.live(), pins, self.pe_footprint(), gb)
     }
 
+    /// Dispatches between the summary-driven walk (the default) and the
+    /// per-edge reference walk (`EngineOptions::reference_walk`) — the
+    /// differential suite (`crates/accel/tests/summary_identity.rs`) asserts
+    /// the two are bit-identical on every supported combination.
     fn walk(&self, w: &mut PhaseWalk) {
+        if w.opts.reference_walk {
+            self.walk_reference(w)
+        } else {
+            self.walk_summary(w)
+        }
+    }
+}
+
+impl SpmmLeaf<'_> {
+    /// The per-edge reference walk: every vertex tile scanned afresh, every
+    /// F-tile and neighbour slice visited with multiplicity 1. O(nnz) per
+    /// simulation — kept compiled as the differential-testing oracle.
+    fn walk_reference(&self, w: &mut PhaseWalk) {
         let degrees = self.prep.degrees();
         let v = degrees.len();
         let f = self.f;
         let (tv, tf, tn) = (self.tv, self.tf, self.tn);
         let (n_v, n_f) = (self.n_v, self.n_f);
-
-        // F-tile classes: the full tiles then the remainder, in iteration
-        // order, so the inner `F` loop of every order collapses to ≤ 2 batched
-        // passes.
-        let af_last = (f - (n_f - 1) * tf) as u64;
-        let f_classes: Vec<(u64, u64)> = if af_last == tf as u64 {
-            vec![(tf as u64, n_f as u64)]
-        } else {
-            vec![(tf as u64, (n_f - 1) as u64), (af_last, 1)]
-        };
-        // Per-vertex-tile degree summary, built only by the orders that slice
-        // the neighbour dimension mid-nest.
+        // Per-vertex-tile degree summary, built afresh per tile (the summary
+        // walk replays the cached per-class structure instead).
         let tile_summary = |iv: usize| -> DegreeSummary {
             let lo = iv * tv;
             let hi = ((iv + 1) * tv).min(v);
@@ -381,14 +424,12 @@ impl PhaseEngine for SpmmLeaf<'_> {
         };
 
         match (self.pos_v, self.pos_n) {
-            // --- exact row-major orders ---------------------------------------
             (0, 2) | (1, 2) => {
-                // VFN / FVN: passes over (v-tile × f-tile); reduction innermost.
-                // Only the degree sum and max of each tile matter, so the tile
-                // walk is a single scan and the F loop is batched per class.
+                // VFN / FVN: per (v-tile × f-tile) pass; reduction innermost.
                 for iv in 0..n_v {
                     let lo = iv * tv;
                     let hi = ((iv + 1) * tv).min(v);
+                    crate::telemetry::count_prepare((hi - lo) as u64);
                     let mut sum = 0u64;
                     let mut mx = 0usize;
                     for &d in &degrees[lo..hi] {
@@ -397,21 +438,15 @@ impl PhaseEngine for SpmmLeaf<'_> {
                     }
                     let avv = (hi - lo) as u64;
                     let steps = (mx as u64).div_ceil(tn as u64);
-                    for &(af, m) in &f_classes {
-                        self.reduction_innermost_pass(w, steps, sum, avv, af, m);
+                    for if_ in 0..n_f {
+                        let af = actual_tile(f, tf, if_) as u64;
+                        self.reduction_innermost_pass(w, steps, sum, avv, af, 1);
                     }
                 }
             }
             (0, 1) => {
                 // VNF: per v-tile, neighbour slices in the middle, F innermost.
-                if tv == 1 && !w.has_chunks() {
-                    // Single-row tiles with identical degrees make identical
-                    // pass sequences — batch by degree class (order-insensitive
-                    // without chunk timestamps).
-                    for &(d, m) in self.prep.classes() {
-                        self.vnf_vertex(w, d, m);
-                    }
-                } else if tv == 1 {
+                if tv == 1 {
                     for &d in degrees {
                         self.vnf_vertex(w, d, 1);
                     }
@@ -435,6 +470,152 @@ impl PhaseEngine for SpmmLeaf<'_> {
                                 active,
                                 1,
                             );
+                        }
+                    }
+                }
+            }
+            (2, 1) => {
+                // FNV: per f-tile, global neighbour slices, vertices innermost
+                // (histogram model — the global summary *is* the model here).
+                let global = self.prep.global();
+                let n_red = (global.max() as u64).div_ceil(tn as u64).max(1) as usize;
+                for if_ in 0..n_f {
+                    let af = actual_tile(f, tf, if_) as u64;
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        let active = global.active(lo, hi);
+                        let rows_active = global.count_gt(lo);
+                        let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                        self.histogram_pass(
+                            w,
+                            rows_active.div_ceil(tv as u64).max(1),
+                            active,
+                            af,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            1,
+                        );
+                    }
+                }
+            }
+            (1, 0) => {
+                // NVF: per neighbour slice, vertex tiles in the middle, F
+                // innermost.
+                let summaries: Vec<DegreeSummary> = (0..n_v).map(tile_summary).collect();
+                let gmax = summaries.iter().map(|s| s.max()).max().unwrap_or(0);
+                let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    for summary in &summaries {
+                        let active = summary.active(lo, hi);
+                        let rows_active = summary.count_gt(lo);
+                        let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
+                        self.histogram_pass(
+                            w,
+                            n_f as u64,
+                            active,
+                            f as u64,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            1,
+                        );
+                    }
+                }
+            }
+            (2, 0) => {
+                // NFV: per neighbour slice, feature tiles in the middle, V
+                // innermost.
+                let global = self.prep.global();
+                let n_red = (global.max() as u64).div_ceil(tn as u64).max(1) as usize;
+                for in_ in 0..n_red {
+                    let lo = in_ * tn;
+                    let hi = lo + tn;
+                    let active = global.active(lo, hi);
+                    let rows_active = global.count_gt(lo);
+                    let rows_finishing = rows_active - global.count_gt(hi.saturating_sub(1));
+                    for if_ in 0..n_f {
+                        let af = actual_tile(f, tf, if_) as u64;
+                        self.histogram_pass(
+                            w,
+                            rows_active.div_ceil(tv as u64).max(1),
+                            active,
+                            af,
+                            rows_active,
+                            rows_finishing,
+                            in_ as u64,
+                            1,
+                        );
+                    }
+                }
+            }
+            _ => unreachable!("all (pos_v, pos_n) combinations covered"),
+        }
+    }
+
+    /// The summary-driven walk: O(degree classes + tile boundaries) per
+    /// simulation. Unchunked runs iterate [`TileClass`]es with the class
+    /// multiplicity folded into the pass (`ChunkTracker::advance_repeat`
+    /// semantics make the batching exact); chunked runs iterate tiles in true
+    /// order but read each tile's `(sum, max, rows)` and slice summary from
+    /// its class in O(1), so a tile row-block's timeline is computed once per
+    /// (class, tile-shape) pair and replayed.
+    fn walk_summary(&self, w: &mut PhaseWalk) {
+        let degrees = self.prep.degrees();
+        let f = self.f;
+        let (tv, tf, tn) = (self.tv, self.tf, self.tn);
+        let n_f = self.n_f;
+        let f_classes = self.f_classes();
+
+        match (self.pos_v, self.pos_n) {
+            (0, 2) | (1, 2) => {
+                // VFN / FVN: only (sum, max, rows) of each tile matter.
+                let s = self.prep.summary(tv);
+                if !w.has_chunks() {
+                    for c in s.classes() {
+                        w.class_replays += c.mult - 1;
+                        let steps = (c.max as u64).div_ceil(tn as u64);
+                        for &(af, m) in &f_classes {
+                            self.reduction_innermost_pass(w, steps, c.sum, c.rows, af, m * c.mult);
+                        }
+                    }
+                } else {
+                    for iv in 0..s.num_tiles() {
+                        let c = s.class_of(iv);
+                        let steps = (c.max as u64).div_ceil(tn as u64);
+                        for &(af, m) in &f_classes {
+                            self.reduction_innermost_pass(w, steps, c.sum, c.rows, af, m);
+                        }
+                    }
+                }
+            }
+            (0, 1) => {
+                // VNF: per v-tile, neighbour slices in the middle, F innermost.
+                if tv == 1 && !w.has_chunks() {
+                    // Single-row tiles with identical degrees make identical
+                    // pass sequences — batch by degree class (order-insensitive
+                    // without chunk timestamps).
+                    for &(d, m) in self.prep.classes() {
+                        w.class_replays += m - 1;
+                        self.vnf_vertex(w, d, m);
+                    }
+                } else if tv == 1 {
+                    for &d in degrees {
+                        self.vnf_vertex(w, d, 1);
+                    }
+                } else {
+                    let s = self.prep.summary(tv);
+                    if !w.has_chunks() {
+                        for c in s.classes() {
+                            w.class_replays += c.mult - 1;
+                            self.vnf_tile(w, c, c.mult);
+                        }
+                    } else {
+                        for iv in 0..s.num_tiles() {
+                            self.vnf_tile(w, s.class_of(iv), 1);
                         }
                     }
                 }
@@ -491,44 +672,83 @@ impl PhaseEngine for SpmmLeaf<'_> {
                     }
                 }
             }
-            // --- N outermost (Seq-only for AC): histogram model ----------------
             (1, 0) => {
                 // NVF: per neighbour slice, vertex tiles in the middle (each
                 // contributing its own active edges for the slice), F innermost.
+                //
+                // A tile is *dead* in slice `in_` once its max degree is ≤ the
+                // slice base: its pass carries no edges, rows, or output —
+                // just the pipeline-bubble timing, identical for every dead
+                // tile, and every pass cost is linear in the multiplicity. So
+                // the dead tiles of each slice batch into one pass, keeping
+                // this arm O(Σ_classes ceil(max/T_N) + slices) instead of
+                // O(classes × slices) — a power-law hub otherwise drives the
+                // slice count into the thousands while almost every tile dies
+                // within the first few.
                 if tv == 1 && !w.has_chunks() {
                     let classes = self.prep.classes();
                     let gmax = classes.last().map_or(0, |&(d, _)| d);
                     let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                    // Classes ascend by degree, so each slice's dead set is a
+                    // prefix; prefix-sum the multiplicities once.
+                    let mut rows_before = Vec::with_capacity(classes.len() + 1);
+                    rows_before.push(0u64);
+                    for &(_, m) in classes {
+                        rows_before.push(rows_before.last().unwrap() + m);
+                    }
                     for in_ in 0..n_red {
                         let lo = in_ * tn;
                         let hi = lo + tn;
-                        for &(d, m) in classes {
+                        let first_alive = classes.partition_point(|&(d, _)| d <= lo);
+                        let dead = rows_before[first_alive];
+                        if dead > 0 {
+                            w.class_replays += dead - 1;
+                            self.histogram_pass(w, n_f as u64, 0, f as u64, 0, 0, in_ as u64, dead);
+                        }
+                        for &(d, m) in &classes[first_alive..] {
                             let active = (d.min(hi) - d.min(lo)) as u64;
-                            let rows_active = u64::from(d > lo);
-                            let rows_finishing = u64::from(d > lo && d <= hi.saturating_sub(1));
+                            let rows_finishing = u64::from(d <= hi.saturating_sub(1));
+                            w.class_replays += m - 1;
                             self.histogram_pass(
                                 w,
                                 n_f as u64,
                                 active,
                                 f as u64,
-                                rows_active,
+                                1,
                                 rows_finishing,
                                 in_ as u64,
                                 m,
                             );
                         }
                     }
-                } else {
-                    let summaries: Vec<DegreeSummary> = (0..n_v).map(tile_summary).collect();
-                    let gmax = summaries.iter().map(|s| s.max()).max().unwrap_or(0);
+                } else if !w.has_chunks() {
+                    let s = self.prep.summary(tv);
+                    let classes = s.classes();
+                    let gmax = classes.iter().map(|c| c.max).max().unwrap_or(0);
                     let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                    // Class ids sorted by max descending: each slice's alive
+                    // set is a prefix, the dead suffix one batched pass.
+                    // (Order-insensitive without chunk timestamps.)
+                    let mut by_max: Vec<u32> = (0..classes.len() as u32).collect();
+                    by_max.sort_unstable_by(|&a, &b| {
+                        classes[b as usize].max.cmp(&classes[a as usize].max)
+                    });
+                    let mut dead_after = vec![0u64; by_max.len() + 1];
+                    for i in (0..by_max.len()).rev() {
+                        dead_after[i] = dead_after[i + 1] + classes[by_max[i] as usize].mult;
+                    }
                     for in_ in 0..n_red {
                         let lo = in_ * tn;
                         let hi = lo + tn;
-                        for summary in &summaries {
+                        let alive = by_max.partition_point(|&id| classes[id as usize].max > lo);
+                        for &id in &by_max[..alive] {
+                            let c = &classes[id as usize];
+                            let summary = c.summary();
                             let active = summary.active(lo, hi);
                             let rows_active = summary.count_gt(lo);
-                            let rows_finishing = rows_active - summary.count_gt(hi.saturating_sub(1));
+                            let rows_finishing =
+                                rows_active - summary.count_gt(hi.saturating_sub(1));
+                            w.class_replays += c.mult - 1;
                             self.histogram_pass(
                                 w,
                                 n_f as u64,
@@ -537,7 +757,72 @@ impl PhaseEngine for SpmmLeaf<'_> {
                                 rows_active,
                                 rows_finishing,
                                 in_ as u64,
-                                1,
+                                c.mult,
+                            );
+                        }
+                        let dead = dead_after[alive];
+                        if dead > 0 {
+                            w.class_replays += dead - 1;
+                            self.histogram_pass(w, n_f as u64, 0, f as u64, 0, 0, in_ as u64, dead);
+                        }
+                    }
+                } else {
+                    // Chunk timestamps pin the true tile order, but runs of
+                    // consecutive tiles with identical passes (same class, or
+                    // both dead for this slice) still fold —
+                    // `ChunkTracker::advance_repeat` keeps the marks exact —
+                    // and the alive list shrinks as the slices deepen.
+                    let s = self.prep.summary(tv);
+                    let gmax = s.classes().iter().map(|c| c.max).max().unwrap_or(0);
+                    let n_red = (gmax as u64).div_ceil(tn as u64).max(1) as usize;
+                    let mut alive: Vec<u32> = (0..s.num_tiles() as u32).collect();
+                    for in_ in 0..n_red {
+                        let lo = in_ * tn;
+                        let hi = lo + tn;
+                        alive.retain(|&iv| s.class_of(iv as usize).max > lo);
+                        let mut next = 0u32; // first tile not yet accounted for
+                        let mut i = 0usize;
+                        while i < alive.len() {
+                            let iv = alive[i];
+                            if iv > next {
+                                let dead = (iv - next) as u64;
+                                w.class_replays += dead - 1;
+                                self.histogram_pass(
+                                    w, n_f as u64, 0, f as u64, 0, 0, in_ as u64, dead,
+                                );
+                            }
+                            let cid = s.class_id(iv as usize);
+                            let mut run = 1u32;
+                            while i + run as usize != alive.len()
+                                && alive[i + run as usize] == iv + run
+                                && s.class_id((iv + run) as usize) == cid
+                            {
+                                run += 1;
+                            }
+                            let summary = s.class_of(iv as usize).summary();
+                            let active = summary.active(lo, hi);
+                            let rows_active = summary.count_gt(lo);
+                            let rows_finishing =
+                                rows_active - summary.count_gt(hi.saturating_sub(1));
+                            w.class_replays += u64::from(run) - 1;
+                            self.histogram_pass(
+                                w,
+                                n_f as u64,
+                                active,
+                                f as u64,
+                                rows_active,
+                                rows_finishing,
+                                in_ as u64,
+                                u64::from(run),
+                            );
+                            next = iv + run;
+                            i += run as usize;
+                        }
+                        let tail = s.num_tiles() as u32 - next;
+                        if tail > 0 {
+                            w.class_replays += u64::from(tail) - 1;
+                            self.histogram_pass(
+                                w, n_f as u64, 0, f as u64, 0, 0, in_ as u64, u64::from(tail),
                             );
                         }
                     }

@@ -59,6 +59,7 @@ pub mod functional;
 mod noc;
 mod rf;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{AccelConfig, BandwidthShare, ModelKnobs};
 pub use energy::EnergyModel;

@@ -61,8 +61,10 @@ const TILINGS: [[usize; 3]; 4] = [[1, 1, 1], [4, 4, 2], [16, 8, 4], [5, 3, 2]];
 
 /// The option matrix every engine is swept over: chunk specs (none, produce,
 /// consume at non-round `Pel`), residency-flag combinations, and two bandwidth
-/// shares (stall-free and throttled).
-fn option_matrix(cfg: &AccelConfig) -> Vec<EngineOptions> {
+/// shares (stall-free and throttled). `reference_walk = true` re-runs the
+/// whole matrix through the per-edge oracle — it must land on the same golden
+/// hashes as the summary-driven default.
+fn options_with(cfg: &AccelConfig, reference_walk: bool) -> Vec<EngineOptions> {
     let mut out = Vec::new();
     let chunks = [
         None,
@@ -81,6 +83,7 @@ fn option_matrix(cfg: &AccelConfig) -> Vec<EngineOptions> {
                     scores_resident,
                     chunk,
                     capacity: CapacityBudget::UNBOUNDED,
+                    reference_walk,
                 });
             }
         }
@@ -112,7 +115,7 @@ fn gemm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
     for order in ["VGF", "VFG", "GVF", "GFV", "FVG", "FGV"] {
         for tiles in TILINGS {
             let t = tiling(Phase::Combination, order, tiles);
-            for opts in option_matrix(cfg) {
+            for opts in options_with(cfg, false) {
                 h.stats(&simulate_gemm(dims, &t, cfg, &OperandClasses::combination_ac(), &opts));
             }
         }
@@ -120,13 +123,13 @@ fn gemm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
     h.0
 }
 
-fn spmm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
+fn spmm_hash(wl: &Workload, cfg: &AccelConfig, reference_walk: bool) -> u64 {
     let mut h = Fnv::new();
     let swl = SpmmWorkload { degrees: &wl.degrees, feature_width: wl.f };
     for order in ["VFN", "FVN", "VNF", "FNV", "NVF", "NFV"] {
         for tiles in TILINGS {
             let t = tiling(Phase::Aggregation, order, tiles);
-            for opts in option_matrix(cfg) {
+            for opts in options_with(cfg, reference_walk) {
                 let classes = if opts.scores_resident {
                     OperandClasses::aggregation_gat()
                 } else {
@@ -139,7 +142,7 @@ fn spmm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
     h.0
 }
 
-fn sddmm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
+fn sddmm_hash(wl: &Workload, cfg: &AccelConfig, reference_walk: bool) -> u64 {
     let mut h = Fnv::new();
     for heads in [1usize, 3] {
         let dot = (wl.f / heads).max(1);
@@ -147,7 +150,7 @@ fn sddmm_hash(wl: &Workload, cfg: &AccelConfig) -> u64 {
         for order in ["VFN", "VNF", "FVN"] {
             for tiles in TILINGS {
                 let t = tiling(Phase::Aggregation, order, tiles);
-                for opts in option_matrix(cfg) {
+                for opts in options_with(cfg, reference_walk) {
                     h.stats(&simulate_sddmm(&swl, &t, cfg, &OperandClasses::sddmm(), &opts));
                 }
             }
@@ -188,8 +191,22 @@ fn mutag_engines_match_prerefactor_goldens() {
     let cfg = AccelConfig::paper_default();
     let wl = dataset(DatasetSpec::mutag());
     check("Mutag", "gemm", gemm_hash(&wl, &cfg));
-    check("Mutag", "spmm", spmm_hash(&wl, &cfg));
-    check("Mutag", "sddmm", sddmm_hash(&wl, &cfg));
+    check("Mutag", "spmm", spmm_hash(&wl, &cfg, false));
+    check("Mutag", "sddmm", sddmm_hash(&wl, &cfg, false));
+}
+
+/// Summary-path satellite: the per-edge reference walk must reproduce the very
+/// same golden hashes as the summary-driven default — one assertion covering
+/// the whole loop-order × tiling × option matrix per engine.
+#[test]
+fn reference_walk_reproduces_the_same_goldens() {
+    let cfg = AccelConfig::paper_default();
+    for spec in [DatasetSpec::mutag(), DatasetSpec::proteins()] {
+        let name = spec.name;
+        let wl = dataset(spec);
+        check(name, "spmm", spmm_hash(&wl, &cfg, true));
+        check(name, "sddmm", sddmm_hash(&wl, &cfg, true));
+    }
 }
 
 /// Capacity satellite: an *unbounded* budget is bit-identical to the paper
@@ -250,6 +267,6 @@ fn proteins_engines_match_prerefactor_goldens() {
     let cfg = AccelConfig::paper_default();
     let wl = dataset(DatasetSpec::proteins());
     check("Proteins", "gemm", gemm_hash(&wl, &cfg));
-    check("Proteins", "spmm", spmm_hash(&wl, &cfg));
-    check("Proteins", "sddmm", sddmm_hash(&wl, &cfg));
+    check("Proteins", "spmm", spmm_hash(&wl, &cfg, false));
+    check("Proteins", "sddmm", sddmm_hash(&wl, &cfg, false));
 }

@@ -11,6 +11,7 @@
 //! explore --model gin --dataset Mutag --per-layer-k 4 --json -
 //! explore --model gat --dataset Cora --threads 8
 //! explore --model gcn2 --dataset Mutag --activation act
+//! explore --dataset rmat-20 --threads 8 --stats
 //! ```
 //!
 //! Prints a ranked table of the best dataflows (the *true* optimum of the
@@ -43,6 +44,7 @@ struct Args {
     refine: bool,
     prune: bool,
     phase_cache: bool,
+    reference_walk: bool,
     stats: bool,
     hidden: Option<usize>,
     activation: Option<ElementwiseOp>,
@@ -72,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         refine: false,
         prune: true,
         phase_cache: true,
+        reference_walk: false,
         stats: false,
         hidden: None,
         activation: None,
@@ -118,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
             "--refine" => out.refine = true,
             "--no-prune" => out.prune = false,
             "--no-phase-cache" => out.phase_cache = false,
+            "--reference-walk" => out.reference_walk = true,
             "--stats" => out.stats = true,
             "--hidden" => {
                 out.hidden = Some(value(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?)
@@ -343,9 +347,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: explore [--dataset NAME] [--model gcn2|sage2|gin|gat] \
+                "usage: explore [--dataset NAME|rmat-N|chung-lu-N] [--model gcn2|sage2|gin|gat] \
                  [--objective runtime|energy|edp] [--threads N] [--top K] \
                  [--per-layer-k K] [--refine] [--no-prune] [--no-phase-cache] \
+                 [--reference-walk] \
                  [--stats] [--hidden G] [--activation act|norm] [--pes N] \
                  [--bandwidth ELEMS] [--pareto] [--rf-bytes N] [--gb-bytes N] \
                  [--max-buffer-bytes N] [--seed S] [--json PATH|-] \
@@ -360,16 +365,26 @@ fn main() -> ExitCode {
         return serve(&addr, &args);
     }
 
-    let Some(spec) = DatasetSpec::by_name(&args.dataset) else {
-        eprintln!(
-            "unknown dataset '{}'; known: {}",
-            args.dataset,
-            DatasetSpec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
-        );
-        return ExitCode::FAILURE;
+    // The Table IV registry first; unknown names fall through to the scale
+    // family (`rmat-N` / `chung-lu-N`), whose summary-driven sweeps are the
+    // reason million-vertex workloads are now addressable from the CLI.
+    let mut workload = match DatasetSpec::by_name(&args.dataset) {
+        Some(spec) => {
+            let dataset = spec.generate(args.seed);
+            GnnWorkload::gcn_layer(&dataset, args.hidden.unwrap_or(16))
+        }
+        None => match omega_graph::scale_graph(&args.dataset, args.seed) {
+            Some(graph) => GnnWorkload::from_graph(&graph, args.hidden.unwrap_or(16)),
+            None => {
+                eprintln!(
+                    "unknown dataset '{}'; known: {}, rmat-N, chung-lu-N",
+                    args.dataset,
+                    DatasetSpec::all().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
     };
-    let dataset = spec.generate(args.seed);
-    let mut workload = GnnWorkload::gcn_layer(&dataset, args.hidden.unwrap_or(16));
     // `--activation` appends a sequential elementwise suffix to every evaluated
     // design; in model mode the same op rides on every layer instead.
     workload.post_op = args.activation;
@@ -387,6 +402,10 @@ fn main() -> ExitCode {
         cfg.gb_bytes = gb;
         cfg.knobs.enforce_capacity = true;
     }
+    // `--reference-walk` pins every sparse phase to the per-edge oracle: same
+    // ranked result (bit-identical), O(nnz) cost — the differential baseline
+    // for the summary-driven walk.
+    cfg.knobs.reference_walk = args.reference_walk;
 
     if let Some(addr) = args.remote.clone() {
         return remote(&addr, &args, &workload, &cfg);
@@ -442,12 +461,13 @@ fn main() -> ExitCode {
         // lower bound pruned without simulating.
         let lookups = outcome.phase_sims + outcome.phase_cache_hits;
         println!(
-            "stats     phase_sims={} phase_cache_hits={} ({:.1}% reuse), pruned={} ({:.1}% of space)",
+            "stats     phase_sims={} phase_cache_hits={} ({:.1}% reuse), pruned={} ({:.1}% of space), class_replays={}",
             outcome.phase_sims,
             outcome.phase_cache_hits,
             100.0 * outcome.phase_cache_hits as f64 / lookups.max(1) as f64,
             outcome.pruned,
             100.0 * outcome.pruned as f64 / outcome.space.max(1) as f64,
+            outcome.class_replays,
         );
     }
     println!();

@@ -167,6 +167,12 @@ pub struct ExploreOutcome {
     pub elapsed_ms: f64,
     /// Worker threads used.
     pub threads: usize,
+    /// Degree-class pass replays the summary-driven walk batched during this
+    /// exploration (delta of the process-wide [`omega_accel::telemetry`]
+    /// counter, summed over all worker threads) — each one is a whole
+    /// row-block timeline the per-edge reference walk would have recomputed.
+    /// 0 when the answer came from the outcome cache or the reference walk ran.
+    pub class_replays: u64,
 }
 
 impl ExploreOutcome {
@@ -607,6 +613,7 @@ pub fn explore_cancellable(
     if cancel.is_cancelled() {
         return None;
     }
+    let replays0 = omega_accel::telemetry::class_replays();
     let space = PatternSpace::new();
     let total = space.len();
     let threads = opts.threads.max(1);
@@ -764,6 +771,7 @@ pub fn explore_cancellable(
         refine_evals,
         elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         threads,
+        class_replays: omega_accel::telemetry::class_replays() - replays0,
     })
 }
 
@@ -827,7 +835,8 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// Version tag of the persisted cache file; bump on any change to the entry
 /// layout so stale files are rejected instead of misread.
-pub const CACHE_FILE_VERSION: u32 = 1;
+/// v2: `ExploreOutcome` gained `class_replays`.
+pub const CACHE_FILE_VERSION: u32 = 2;
 
 /// Shape summary of a cached workload, persisted next to each outcome so a
 /// serving process can warm-start an unseen shape from its nearest cached
@@ -1539,6 +1548,7 @@ fn fingerprint(workload: &GnnWorkload, cfg: &AccelConfig, opts: &DseOptions) -> 
         cfg.knobs.fractional_spill as u8,
         cfg.knobs.per_pass_fill as u8,
         cfg.knobs.enforce_capacity as u8,
+        cfg.knobs.reference_walk as u8,
     ]);
     // The result-affecting options (threads/chunk do not affect the
     // deterministic ranked result, so two searches differing only there share

@@ -273,6 +273,7 @@ impl<'a> PreparedEval<'a> {
                 validate_sddmm(&dataflow.agg)?;
                 let mut opts = EngineOptions::plain(cfg.full_bandwidth());
                 opts.capacity = capacity;
+                opts.reference_walk = cfg.knobs.reference_walk;
                 if sp_optimized {
                     // SP-Optimized attention: both phases share the tiling, so
                     // the scores never leave the PE register files — the
@@ -356,6 +357,9 @@ impl<'a> PreparedEval<'a> {
         let (mut agg_opts, mut cmb_opts) = (agg_opts, cmb_opts);
         agg_opts.capacity = capacity;
         cmb_opts.capacity = capacity;
+        // The per-edge oracle only exists for the sparse walks; GEMM has no
+        // reference path, so its options stay untouched (and cache-stable).
+        agg_opts.reference_walk = cfg.knobs.reference_walk;
         if sddmm.is_some() && sp_optimized {
             // The SDDMM producer kept the scores local (see above): the
             // aggregation reads them from the RFs, fetching only the CSR

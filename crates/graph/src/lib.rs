@@ -17,6 +17,9 @@
 //!   GCN normalisation.
 //! * [`generators`] — Erdős–Rényi, Chung-Lu power-law, and ring-molecule generators
 //!   covering the degree-shape regimes of Table IV.
+//! * [`scale`] — R-MAT and scaled Chung-Lu generators with streaming CSR
+//!   construction, reaching million-vertex graphs (`rmat-20` and beyond) via
+//!   the [`scale_graph`] name resolver.
 //! * [`DatasetSpec`] / [`Dataset`] — the Table IV registry and batched instantiation
 //!   (64 graphs per batch; 32 for Reddit-bin, matching Section V-A2).
 //! * [`GraphStats`] / [`Category`] — degree statistics and the paper's HE/HF/LEF
@@ -30,10 +33,12 @@ mod builder;
 mod datasets;
 pub mod generators;
 mod graph;
+pub mod scale;
 mod stats;
 
 pub use batch::batch_graphs;
 pub use builder::GraphBuilder;
 pub use datasets::{suite, Dataset, DatasetSpec, EdgeConvention};
 pub use graph::Graph;
+pub use scale::scale_graph;
 pub use stats::{Category, GraphStats};

@@ -1,0 +1,355 @@
+//! Million-node scale generators with streaming CSR construction.
+//!
+//! The Table IV stand-ins (a few thousand vertices) exercise every dataflow
+//! regime, but the summary-driven walk earns its keep on graphs whose `nnz`
+//! dwarfs the number of degree classes. This module provides the classic
+//! scale-free generators at that size:
+//!
+//! * [`rmat`] — Graph500-style recursive-matrix graphs (`a=0.57, b=c=0.19,
+//!   d=0.05`), with **stateless per-edge generation**: each edge is a pure
+//!   function of `(seed, edge index)`, so the edge stream is replayed instead
+//!   of stored.
+//! * [`chung_lu_scaled`] — the power-law expected-degree model of
+//!   [`crate::generators::chung_lu`], lifted to power-of-two scales by
+//!   re-running its deterministic O(n + m) sampling walk per pass.
+//!
+//! Both build the CSR directly in two passes over the edge stream (count →
+//! prefix-sum → fill → per-row sort/dedupe), never materialising an edge list:
+//! peak memory is the finished CSR plus one `u32` counter per vertex. The
+//! result is bit-identical to feeding the same stream through
+//! [`GraphBuilder`] with its defaults (undirected mirror for `u != v`, a self
+//! loop on every vertex, duplicates collapsed, unit values) — pinned by a
+//! differential test below.
+//!
+//! [`scale_graph`] resolves `"rmat-20"` / `"chung-lu-18"` style names so CLIs
+//! and workload specs can address the family next to the Table IV datasets,
+//! and [`sample_subgraph`] cuts deterministic induced subgraphs for
+//! model-level tests that want realistic degree shapes at test-suite sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use omega_matrix::CsrMatrix;
+
+use crate::{Graph, GraphBuilder};
+
+/// Feature width of every [`scale_graph`] workload.
+pub const SCALE_FEATURE_DIM: usize = 64;
+
+/// Undirected edges per vertex of every [`scale_graph`] workload.
+pub const SCALE_EDGE_FACTOR: usize = 8;
+
+/// SplitMix64 mix — the same finalizer [`Graph::features`] uses.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `e`-th R-MAT edge of a `2^scale`-vertex graph: a pure function of
+/// `(seed, e)`, so both CSR passes regenerate the identical stream.
+fn rmat_edge(scale: u32, seed: u64, e: u64) -> (usize, usize) {
+    let mut s = splitmix64(seed ^ e.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let (mut u, mut v) = (0usize, 0usize);
+    for _ in 0..scale {
+        s = splitmix64(s);
+        // 53 uniform bits → one quadrant choice per recursion level.
+        let r = (s >> 11) as f64 / (1u64 << 53) as f64;
+        let (bu, bv) = if r < 0.57 {
+            (0, 0)
+        } else if r < 0.76 {
+            (0, 1)
+        } else if r < 0.95 {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u = (u << 1) | bu;
+        v = (v << 1) | bv;
+    }
+    (u, v)
+}
+
+/// Streams the (deterministic, replayable) edge sequence `emit` into a CSR
+/// adjacency with [`GraphBuilder`]-default semantics — symmetric mirror for
+/// `u != v`, a self loop on every vertex, duplicates collapsed, values `1.0`
+/// — without ever materialising the edge list. `emit` is called twice and
+/// must produce the same sequence both times.
+fn build_streamed(
+    name: &str,
+    n: usize,
+    feature_dim: usize,
+    emit: impl Fn(&mut dyn FnMut(usize, usize)),
+) -> Graph {
+    // Pass 1: per-row slot counts (one slot per row for the self loop).
+    let mut counts = vec![1u32; n];
+    emit(&mut |u, v| {
+        counts[u] += 1;
+        if u != v {
+            counts[v] += 1;
+        }
+    });
+    let mut slot = vec![0u64; n + 1];
+    for (i, &c) in counts.iter().enumerate() {
+        slot[i + 1] = slot[i] + c as u64;
+    }
+    let total = slot[n];
+    assert!(total <= u32::MAX as u64, "edge slots overflow u32 CSR indices");
+    drop(counts);
+
+    // Pass 2: fill the slots, then sort + dedupe each row in place.
+    let mut col_idx = vec![0u32; total as usize];
+    let mut cursor: Vec<usize> = slot[..n].iter().map(|&s| s as usize).collect();
+    for (v, c) in cursor.iter_mut().enumerate() {
+        col_idx[*c] = v as u32;
+        *c += 1;
+    }
+    emit(&mut |u, v| {
+        col_idx[cursor[u]] = v as u32;
+        cursor[u] += 1;
+        if u != v {
+            col_idx[cursor[v]] = u as u32;
+            cursor[v] += 1;
+        }
+    });
+    drop(cursor);
+
+    let mut row_ptr = vec![0u32; n + 1];
+    let mut w = 0usize;
+    for r in 0..n {
+        let (s, e) = (slot[r] as usize, slot[r + 1] as usize);
+        col_idx[s..e].sort_unstable();
+        let mut last = None;
+        for i in s..e {
+            let c = col_idx[i];
+            if last != Some(c) {
+                col_idx[w] = c;
+                w += 1;
+                last = Some(c);
+            }
+        }
+        row_ptr[r + 1] = w as u32;
+    }
+    col_idx.truncate(w);
+    let values = vec![1.0; w];
+    let csr = CsrMatrix::from_raw_parts(n, n, row_ptr, col_idx, values)
+        .expect("streamed CSR satisfies the structural invariants by construction");
+    Graph::new(name, csr, feature_dim)
+}
+
+/// R-MAT graph over `2^scale` vertices with `edge_factor · 2^scale` generated
+/// edges (Graph500 partition probabilities). Deterministic in `seed`; memory
+/// is the finished CSR plus one counter per vertex, so `scale = 20` (≈ 1M
+/// vertices, ≈ 17M stored non-zeros) builds comfortably in-process.
+pub fn rmat(name: &str, scale: u32, edge_factor: usize, feature_dim: usize, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let m = (edge_factor * n) as u64;
+    build_streamed(name, n, feature_dim, |sink| {
+        for e in 0..m {
+            let (u, v) = rmat_edge(scale, seed, e);
+            sink(u, v);
+        }
+    })
+}
+
+/// [`crate::generators::chung_lu`] at power-of-two scale with streaming CSR
+/// construction: same truncated power-law weights, same Miller–Hagberg
+/// O(n + m) sampling walk, but the edge stream goes straight into the CSR
+/// passes instead of an edge list. Deterministic in `seed`.
+pub fn chung_lu_scaled(
+    name: &str,
+    scale: u32,
+    edge_factor: usize,
+    gamma: f64,
+    feature_dim: usize,
+    seed: u64,
+) -> Graph {
+    let n = 1usize << scale;
+    let undirected_edges = edge_factor * n;
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 5) as f64).powf(-alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let scale_w = (2.0 * undirected_edges as f64) / wsum;
+    for w in &mut weights {
+        *w *= scale_w;
+    }
+    let total_w: f64 = weights.iter().sum();
+    build_streamed(name, n, feature_dim, |sink| {
+        chung_lu_stream(&weights, total_w, seed, sink);
+    })
+}
+
+/// One deterministic Miller–Hagberg sampling walk over the weight sequence,
+/// emitting each sampled undirected edge once. Re-seeding per call replays
+/// the identical stream, which is what [`build_streamed`]'s two passes need.
+fn chung_lu_stream(weights: &[f64], total_w: f64, seed: u64, sink: &mut dyn FnMut(usize, usize)) {
+    let n = weights.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for u in 0..n {
+        let mut v = u + 1;
+        let mut p = (weights[u] * weights[v.min(n - 1)] / total_w).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen_range(0.0f64..1.0).max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                v += skip;
+            }
+            if v >= n {
+                break;
+            }
+            let q = (weights[u] * weights[v] / total_w).min(1.0);
+            if rng.gen_range(0.0f64..1.0) < q / p {
+                sink(u, v);
+            }
+            p = q;
+            v += 1;
+        }
+    }
+}
+
+/// Resolves a scale-family workload name: `rmat-N` (R-MAT) or `chung-lu-N`
+/// (power-law expected-degree, `γ = 2.1`) over `2^N` vertices, edge factor
+/// [`SCALE_EDGE_FACTOR`], feature width [`SCALE_FEATURE_DIM`]. `N` is capped
+/// at 26 (≈ 67M vertices) to keep a typo from asking for terabytes. Returns
+/// `None` for names outside the family, so callers can try the Table IV
+/// registry first and fall through here.
+pub fn scale_graph(spec: &str, seed: u64) -> Option<Graph> {
+    let (kind, scale) = spec.rsplit_once('-')?;
+    let scale: u32 = scale.parse().ok()?;
+    if !(1..=26).contains(&scale) {
+        return None;
+    }
+    match kind.to_ascii_lowercase().as_str() {
+        "rmat" => Some(rmat(spec, scale, SCALE_EDGE_FACTOR, SCALE_FEATURE_DIM, seed)),
+        "chung-lu" => {
+            Some(chung_lu_scaled(spec, scale, SCALE_EDGE_FACTOR, 2.1, SCALE_FEATURE_DIM, seed))
+        }
+        _ => None,
+    }
+}
+
+/// Deterministic induced subgraph on `k` uniformly-sampled vertices: the
+/// stored structure (mirrors, self loops) restricted to the sample, with
+/// vertices renumbered in ascending original order. Model-level tests use
+/// this to shrink a scale-family graph to suite-friendly size while keeping
+/// its degree shape.
+pub fn sample_subgraph(g: &Graph, k: usize, seed: u64) -> Graph {
+    let n = g.num_vertices();
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Floyd's algorithm: k distinct vertices, O(k) expected.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut verts: Vec<usize> = chosen.into_iter().collect();
+    verts.sort_unstable();
+    let index: std::collections::HashMap<usize, usize> =
+        verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut b = GraphBuilder::new(format!("{}[sub{k}]", g.name), verts.len(), g.feature_dim());
+    // The source graph already materialises mirrors and self loops; copy its
+    // stored pattern verbatim instead of re-running the preprocessing.
+    b.undirected(false).self_loops(false);
+    let a = g.adjacency();
+    for (new_u, &u) in verts.iter().enumerate() {
+        for &c in a.row_cols(u) {
+            if let Some(&new_v) = index.get(&(c as usize)) {
+                b.edge(new_u, new_v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The streamed build must match `GraphBuilder` fed the same edge stream.
+    #[test]
+    fn streamed_build_matches_graph_builder() {
+        for seed in [0, 7, 91] {
+            let scale = 8u32;
+            let n = 1usize << scale;
+            let m = (SCALE_EDGE_FACTOR * n) as u64;
+            let streamed = rmat("r", scale, SCALE_EDGE_FACTOR, 16, seed);
+            let mut b = GraphBuilder::new("r", n, 16);
+            for e in 0..m {
+                let (u, v) = rmat_edge(scale, seed, e);
+                b.edge(u, v);
+            }
+            let reference = b.build();
+            assert_eq!(streamed.adjacency(), reference.adjacency(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chung_lu_scaled_matches_graph_builder() {
+        let (scale, ef, gamma, seed) = (9u32, 4usize, 2.1, 3u64);
+        let streamed = chung_lu_scaled("cl", scale, ef, gamma, 8, seed);
+        // Feed the identical replayed stream through GraphBuilder.
+        let n = 1usize << scale;
+        let alpha = 1.0 / (gamma - 1.0);
+        let mut weights: Vec<f64> = (0..n).map(|i| ((i + 5) as f64).powf(-alpha)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let scale_w = (2.0 * (ef * n) as f64) / wsum;
+        for w in &mut weights {
+            *w *= scale_w;
+        }
+        let total_w: f64 = weights.iter().sum();
+        let mut b = GraphBuilder::new("cl", n, 8);
+        chung_lu_stream(&weights, total_w, seed, &mut |u, v| {
+            b.edge(u, v);
+        });
+        assert_eq!(streamed.adjacency(), b.build().adjacency());
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_seed_sensitive() {
+        let a = rmat("r", 7, 8, 8, 1);
+        let b = rmat("r", 7, 8, 8, 1);
+        let c = rmat("r", 7, 8, 8, 2);
+        assert_eq!(a.adjacency(), b.adjacency());
+        assert_ne!(a.adjacency().col_idx(), c.adjacency().col_idx());
+    }
+
+    #[test]
+    fn rmat_is_skewed_toward_low_ids() {
+        // Quadrant probabilities concentrate mass on low vertex ids: vertex 0
+        // must be a hub far above the mean degree.
+        let g = rmat("r", 10, 8, 8, 5);
+        let mean = g.adjacency().mean_degree();
+        let hub = g.degree(0) as f64;
+        assert!(hub > 8.0 * mean, "hub {hub} vs mean {mean}");
+    }
+
+    #[test]
+    fn scale_graph_resolves_the_family() {
+        let g = scale_graph("rmat-6", 11).expect("rmat family");
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.feature_dim(), SCALE_FEATURE_DIM);
+        let cl = scale_graph("chung-lu-6", 11).expect("chung-lu family");
+        assert_eq!(cl.num_vertices(), 64);
+        assert!(scale_graph("rmat-99", 11).is_none(), "scale cap");
+        assert!(scale_graph("rmat-x", 11).is_none());
+        assert!(scale_graph("cora", 11).is_none(), "registry names are not ours");
+    }
+
+    #[test]
+    fn sample_subgraph_preserves_stored_structure() {
+        let g = rmat("r", 8, 4, 8, 9);
+        let sub = sample_subgraph(&g, 50, 13);
+        assert_eq!(sub.num_vertices(), 50);
+        assert_eq!(sub.feature_dim(), g.feature_dim());
+        // Every sampled vertex keeps its self loop (the source graph has one
+        // on every vertex), so no degree is zero.
+        assert!((0..50).all(|v| sub.degree(v) >= 1));
+        // Determinism.
+        let again = sample_subgraph(&g, 50, 13);
+        assert_eq!(sub.adjacency(), again.adjacency());
+    }
+}

@@ -48,15 +48,24 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Computes statistics for a graph.
+    /// Computes statistics for a graph in one pass over the row-pointer
+    /// array: `nnz` and the mean/sparsity are O(1) on CSR, and the max degree
+    /// falls out of the same `V`-length sweep — no per-row re-derivation, so
+    /// stats on a million-vertex scale graph cost O(V), not O(nnz).
     pub fn of(graph: &Graph) -> Self {
         let a = graph.adjacency();
+        let max_degree = a
+            .row_ptr()
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
         GraphStats {
             vertices: graph.num_vertices(),
             edges: graph.num_edges(),
             features: graph.feature_dim(),
             mean_degree: a.mean_degree(),
-            max_degree: a.max_degree(),
+            max_degree,
             sparsity: a.sparsity(),
         }
     }

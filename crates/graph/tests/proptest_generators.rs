@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use omega_graph::generators::{chung_lu, ego_network, erdos_renyi, ring_molecule};
-use omega_graph::{batch_graphs, DatasetSpec, Graph, GraphBuilder, GraphStats};
+use omega_graph::scale::{sample_subgraph, SCALE_EDGE_FACTOR};
+use omega_graph::{batch_graphs, scale_graph, DatasetSpec, Graph, GraphBuilder, GraphStats};
 
 fn structural_invariants(g: &Graph) {
     let a = g.adjacency();
@@ -99,6 +100,53 @@ proptest! {
         prop_assert_eq!(a.graph.adjacency().col_idx(), b.graph.adjacency().col_idx());
         let s = GraphStats::of(&a.graph);
         prop_assert_eq!(s.category(), spec.category);
+    }
+
+    #[test]
+    fn rmat_scale_family_invariants(scale in 1u32..9, seed in 0u64..64) {
+        let g = scale_graph(&format!("rmat-{scale}"), seed).expect("in-range scale resolves");
+        structural_invariants(&g);
+        let n = 1usize << scale;
+        prop_assert_eq!(g.num_vertices(), n);
+        // Self loops put a floor under nnz; mirrored R-MAT edges (minus
+        // collapsed duplicates and self-hits) cap it.
+        prop_assert!(g.num_edges() >= n);
+        prop_assert!(g.num_edges() <= n + 2 * SCALE_EDGE_FACTOR * n);
+        // The streamed CSR and the stats sweep agree on the degree facts.
+        let s = GraphStats::of(&g);
+        prop_assert_eq!(s.edges, g.num_edges());
+        prop_assert_eq!(s.max_degree, g.adjacency().max_degree());
+        prop_assert!(s.max_degree >= 1);
+        // Determinism: the same spec + seed streams the same graph.
+        let again = scale_graph(&format!("rmat-{scale}"), seed).unwrap();
+        prop_assert_eq!(g.adjacency().row_ptr(), again.adjacency().row_ptr());
+        prop_assert_eq!(g.adjacency().col_idx(), again.adjacency().col_idx());
+    }
+
+    #[test]
+    fn chung_lu_scale_family_invariants(scale in 1u32..9, seed in 0u64..64) {
+        let g = scale_graph(&format!("chung-lu-{scale}"), seed).expect("in-range scale resolves");
+        structural_invariants(&g);
+        let n = 1usize << scale;
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert!(g.num_edges() >= n);
+        prop_assert!(g.num_edges() <= n + 2 * SCALE_EDGE_FACTOR * n);
+        let again = scale_graph(&format!("chung-lu-{scale}"), seed).unwrap();
+        prop_assert_eq!(g.adjacency().col_idx(), again.adjacency().col_idx());
+    }
+
+    #[test]
+    fn sampled_subgraphs_preserve_structure(scale in 3u32..9, k in 1usize..48, seed in 0u64..32) {
+        let g = scale_graph(&format!("rmat-{scale}"), seed).unwrap();
+        let k = k.min(g.num_vertices());
+        let sub = sample_subgraph(&g, k, seed ^ 0x9e37);
+        // An induced subgraph of a symmetric, self-looped graph is itself
+        // symmetric and self-looped — the copy keeps the pattern verbatim.
+        structural_invariants(&sub);
+        prop_assert_eq!(sub.num_vertices(), k);
+        prop_assert_eq!(sub.feature_dim(), g.feature_dim());
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        prop_assert!(sub.adjacency().max_degree() <= g.adjacency().max_degree());
     }
 
     #[test]

@@ -103,7 +103,18 @@ pub struct WorkloadSpec {
     pub attention_heads: Option<usize>,
     /// Elementwise post-phase: `"act"` or `"norm"`.
     pub post_op: Option<String>,
+    /// Scale-family dataset name (`"rmat-N"` / `"chung-lu-N"`): the server
+    /// generates the graph itself (deterministic seed), so million-vertex
+    /// requests do not ship a million-entry `degrees` vector over the wire.
+    /// When present, `v`/`f`/`degrees`/`mean_degree` are ignored; `g` still
+    /// sets the hidden width.
+    pub dataset: Option<String>,
 }
+
+/// The fixed generation seed for [`WorkloadSpec::dataset`] requests: every
+/// server resolves the same name to the same graph, so persisted cache
+/// entries stay valid across daemons.
+pub const SCALE_DATASET_SEED: u64 = 0x0E5A_2022;
 
 impl WorkloadSpec {
     /// Builds the request shape from an existing workload (client side).
@@ -117,11 +128,30 @@ impl WorkloadSpec {
             mean_degree: None,
             attention_heads: workload.attention.map(|a| a.heads),
             post_op: workload.post_op.map(|op| op.label().to_string()),
+            dataset: None,
         }
     }
 
     /// Validates the spec into the workload the cost model consumes.
     pub fn to_workload(&self) -> Result<GnnWorkload, String> {
+        if let Some(ds) = self.dataset.as_deref() {
+            if self.g == 0 {
+                return Err("workload g must be positive".into());
+            }
+            let graph = omega_graph::scale_graph(ds, SCALE_DATASET_SEED).ok_or_else(|| {
+                format!("unknown scale dataset `{ds}` (expected rmat-N or chung-lu-N)")
+            })?;
+            let mut wl = GnnWorkload::from_graph(&graph, self.g);
+            if let Some(name) = &self.name {
+                wl.name = name.clone();
+            }
+            wl.attention = match self.attention_heads {
+                None | Some(0) => None,
+                Some(heads) => Some(AttentionSpec::new(heads)),
+            };
+            wl.post_op = parse_post_op(self.post_op.as_deref())?;
+            return Ok(wl);
+        }
         if self.v == 0 || self.f == 0 || self.g == 0 {
             return Err(format!(
                 "workload dims must be positive (v={} f={} g={})",
@@ -150,12 +180,7 @@ impl WorkloadSpec {
             None | Some(0) => None,
             Some(heads) => Some(AttentionSpec::new(heads)),
         };
-        let post_op = match self.post_op.as_deref() {
-            None | Some("") => None,
-            Some("act" | "activation") => Some(ElementwiseOp::Activation),
-            Some("norm" | "layernorm") => Some(ElementwiseOp::LayerNorm),
-            Some(other) => return Err(format!("unknown post_op `{other}` (expected act|norm)")),
-        };
+        let post_op = parse_post_op(self.post_op.as_deref())?;
         Ok(GnnWorkload {
             name: self.name.clone().unwrap_or_else(|| "request".into()),
             v: self.v,
@@ -168,6 +193,17 @@ impl WorkloadSpec {
             attention,
             post_op,
         })
+    }
+}
+
+/// Parses the `post_op` request field (`"act"` / `"norm"`, with the long
+/// spellings accepted too).
+fn parse_post_op(label: Option<&str>) -> Result<Option<ElementwiseOp>, String> {
+    match label {
+        None | Some("") => Ok(None),
+        Some("act" | "activation") => Ok(Some(ElementwiseOp::Activation)),
+        Some("norm" | "layernorm") => Ok(Some(ElementwiseOp::LayerNorm)),
+        Some(other) => Err(format!("unknown post_op `{other}` (expected act|norm)")),
     }
 }
 
@@ -1118,6 +1154,7 @@ mod tests {
             mean_degree: None,
             attention_heads: None,
             post_op: None,
+            dataset: None,
         }
     }
 
@@ -1226,12 +1263,39 @@ mod tests {
             mean_degree: Some(2.6),
             attention_heads: Some(2),
             post_op: Some("act".into()),
+            dataset: None,
         };
         let wl = spec.to_workload().unwrap();
         assert_eq!(wl.degrees, vec![3; 10]);
         assert_eq!(wl.nnz, 30);
         assert_eq!(wl.attention.unwrap().heads, 2);
         assert_eq!(wl.post_op, Some(ElementwiseOp::Activation));
+    }
+
+    #[test]
+    fn scale_dataset_requests_generate_server_side() {
+        let spec = WorkloadSpec {
+            name: None,
+            v: 0, // ignored: the graph supplies the shape
+            f: 0,
+            g: 8,
+            degrees: None,
+            mean_degree: None,
+            attention_heads: None,
+            post_op: None,
+            dataset: Some("rmat-6".into()),
+        };
+        let wl = spec.to_workload().unwrap();
+        assert_eq!(wl.v, 64);
+        assert_eq!(wl.f, omega_graph::scale::SCALE_FEATURE_DIM);
+        assert_eq!(wl.g, 8);
+        assert!(wl.nnz > 64, "mirrors + self loops");
+        // Deterministic across servers: the fixed seed pins the graph.
+        let again = spec.to_workload().unwrap();
+        assert_eq!(wl.degrees, again.degrees);
+        // Unknown family names are rejected, not silently defaulted.
+        let bad = WorkloadSpec { dataset: Some("rmat-x".into()), ..spec };
+        assert!(bad.to_workload().is_err());
     }
 
     #[test]

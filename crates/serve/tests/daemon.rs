@@ -22,6 +22,7 @@ fn tiny_spec() -> WorkloadSpec {
         mean_degree: None,
         attention_heads: None,
         post_op: None,
+        dataset: None,
     }
 }
 
